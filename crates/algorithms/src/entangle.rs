@@ -1,0 +1,124 @@
+//! Entangled-state preparation circuits used by examples and tests.
+
+use circuit::{Circuit, OneQubitGate, Qubit};
+use mathkit::Angle;
+
+/// Builds the Bell-pair preparation circuit `H(0); CX(0, 1)` — the state of
+/// Example 2 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// let c = algorithms::bell_pair();
+/// assert_eq!(c.num_qubits(), 2);
+/// assert_eq!(c.len(), 2);
+/// ```
+#[must_use]
+pub fn bell_pair() -> Circuit {
+    let mut c = Circuit::with_name(2, "bell");
+    c.h(Qubit(0));
+    c.cx(Qubit(0), Qubit(1));
+    c
+}
+
+/// Builds the GHZ-state preparation circuit on `n` qubits:
+/// `(|0...0> + |1...1>)/sqrt(2)`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let c = algorithms::ghz(5);
+/// assert_eq!(c.len(), 5); // one H plus a CNOT chain
+/// ```
+#[must_use]
+pub fn ghz(n: u16) -> Circuit {
+    assert!(n > 0, "GHZ state needs at least one qubit");
+    let mut c = Circuit::with_name(n, format!("ghz_{n}"));
+    c.h(Qubit(0));
+    for i in 1..n {
+        c.cx(Qubit(i - 1), Qubit(i));
+    }
+    c
+}
+
+/// Builds the W-state preparation circuit on `n` qubits: the uniform
+/// superposition of all computational basis states with exactly one `1`.
+///
+/// The construction cascades controlled rotations: qubit `k` receives the
+/// excitation with amplitude `sqrt(1/(n-k))` of the remaining mass, followed
+/// by a CNOT that moves the "excitation still unplaced" marker.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let c = algorithms::w_state(4);
+/// assert_eq!(c.num_qubits(), 4);
+/// ```
+#[must_use]
+pub fn w_state(n: u16) -> Circuit {
+    assert!(n > 0, "W state needs at least one qubit");
+    let mut c = Circuit::with_name(n, format!("w_{n}"));
+    // Start with the excitation on qubit 0.
+    c.x(Qubit(0));
+    // Distribute it: for each k, rotate part of the amplitude from qubit k
+    // onto qubit k+1.
+    for k in 0..n - 1 {
+        let remaining = f64::from(n - k);
+        // We want P(move on) = (remaining-1)/remaining.
+        let theta = 2.0 * ((remaining - 1.0) / remaining).sqrt().asin();
+        c.controlled_gate(
+            OneQubitGate::Ry(Angle::Radians(theta)),
+            vec![Qubit(k)],
+            Qubit(k + 1),
+        );
+        c.cx(Qubit(k + 1), Qubit(k));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_and_ghz_structure() {
+        assert_eq!(bell_pair().stats().counts["h"], 1);
+        let g = ghz(8);
+        assert_eq!(g.len(), 8);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.name(), "ghz_8");
+    }
+
+    #[test]
+    fn w_state_gate_count_is_linear() {
+        let w = w_state(6);
+        assert_eq!(w.len(), 1 + 2 * 5);
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn ghz_zero_panics() {
+        let _ = ghz(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn w_zero_panics() {
+        let _ = w_state(0);
+    }
+
+    #[test]
+    fn single_qubit_edge_cases() {
+        assert_eq!(ghz(1).len(), 1);
+        assert_eq!(w_state(1).len(), 1);
+    }
+}

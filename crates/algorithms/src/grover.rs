@@ -1,0 +1,180 @@
+//! Grover search circuits with a random oracle (`grover_A` benchmarks).
+
+use circuit::{Circuit, OneQubitGate, Qubit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a generated Grover circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroverSpec {
+    /// Number of search qubits (the circuit adds one oracle ancilla).
+    pub search_qubits: u16,
+    /// The marked element the random oracle recognises.
+    pub marked: u64,
+    /// Number of Grover iterations in the circuit.
+    pub iterations: usize,
+}
+
+impl GroverSpec {
+    /// The total number of qubits of the circuit (search register + ancilla).
+    #[must_use]
+    pub fn total_qubits(&self) -> u16 {
+        self.search_qubits + 1
+    }
+}
+
+/// Builds Grover's search over `n` search qubits with an oracle marking a
+/// random element drawn from `seed`, using the standard
+/// `floor(pi/4 * sqrt(2^n))` iteration count.
+///
+/// The circuit uses `n + 1` qubits (one oracle ancilla prepared in `|->`),
+/// matching the qubit counts of the paper's `grover_A` benchmarks
+/// (e.g. `grover_20` has 21 qubits).
+///
+/// # Examples
+///
+/// ```
+/// let c = algorithms::grover(10, 7);
+/// assert_eq!(c.num_qubits(), 11);
+/// assert!(c.name().starts_with("grover_10"));
+/// ```
+#[must_use]
+pub fn grover(n: u16, seed: u64) -> Circuit {
+    let iterations = default_iterations(n);
+    grover_with_iterations(n, seed, iterations).0
+}
+
+/// Builds Grover's search with an explicit iteration count, returning the
+/// circuit together with the [`GroverSpec`] describing the marked element.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or larger than 63.
+#[must_use]
+pub fn grover_with_iterations(n: u16, seed: u64, iterations: usize) -> (Circuit, GroverSpec) {
+    assert!(n > 0 && n < 64, "search register must have 1..=63 qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let marked: u64 = rng.gen_range(0..(1u64 << n));
+
+    let spec = GroverSpec {
+        search_qubits: n,
+        marked,
+        iterations,
+    };
+    let ancilla = Qubit(n);
+    let search: Vec<Qubit> = (0..n).map(Qubit).collect();
+
+    let mut c = Circuit::with_name(n + 1, format!("grover_{n}"));
+
+    // Ancilla in |->, search register in uniform superposition.
+    c.x(ancilla);
+    c.h(ancilla);
+    for &q in &search {
+        c.h(q);
+    }
+
+    for _ in 0..iterations {
+        append_oracle(&mut c, &search, ancilla, marked);
+        append_diffusion(&mut c, &search);
+    }
+    (c, spec)
+}
+
+/// The standard optimal iteration count `floor(pi/4 * sqrt(2^n))`.
+#[must_use]
+fn default_iterations(n: u16) -> usize {
+    let space = (1u64 << n.min(62)) as f64;
+    (std::f64::consts::FRAC_PI_4 * space.sqrt()).floor().max(1.0) as usize
+}
+
+/// Appends the phase oracle: flips the ancilla (in `|->`) iff the search
+/// register equals the marked element.
+fn append_oracle(c: &mut Circuit, search: &[Qubit], ancilla: Qubit, marked: u64) {
+    // Map the marked element to the all-ones pattern, apply a multi-controlled
+    // X onto the ancilla, and undo the mapping.
+    for (bit, &q) in search.iter().enumerate() {
+        if marked & (1 << bit) == 0 {
+            c.x(q);
+        }
+    }
+    c.mcx(search.to_vec(), ancilla);
+    for (bit, &q) in search.iter().enumerate() {
+        if marked & (1 << bit) == 0 {
+            c.x(q);
+        }
+    }
+}
+
+/// Appends the diffusion operator (inversion about the mean) on the search
+/// register.
+fn append_diffusion(c: &mut Circuit, search: &[Qubit]) {
+    for &q in search {
+        c.h(q);
+        c.x(q);
+    }
+    // Multi-controlled Z on the all-ones state.
+    let (last, controls) = search.split_last().expect("search register is non-empty");
+    c.controlled_gate(OneQubitGate::Z, controls.to_vec(), *last);
+    for &q in search {
+        c.x(q);
+        c.h(q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_counts_match_the_paper() {
+        // Table I: grover_20 has 21 qubits, grover_35 has 36.
+        assert_eq!(grover(20, 0).num_qubits(), 21);
+        assert_eq!(grover_with_iterations(35, 0, 1).0.num_qubits(), 36);
+    }
+
+    #[test]
+    fn circuit_is_valid_and_deterministic_per_seed() {
+        let a = grover_with_iterations(8, 123, 3);
+        let b = grover_with_iterations(8, 123, 3);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert!(a.0.validate().is_ok());
+        let c = grover_with_iterations(8, 124, 3);
+        // A different seed almost surely marks a different element.
+        assert_ne!(a.1.marked, c.1.marked);
+    }
+
+    #[test]
+    fn iteration_count_scales_with_square_root() {
+        let (c1, s1) = grover_with_iterations(4, 0, default_iterations(4));
+        let (c2, s2) = grover_with_iterations(8, 0, default_iterations(8));
+        assert_eq!(s1.iterations, 3); // floor(pi/4 * 4)
+        assert_eq!(s2.iterations, 12); // floor(pi/4 * 16)
+        assert!(c2.len() > c1.len());
+    }
+
+    #[test]
+    fn marked_element_is_within_range() {
+        for seed in 0..20 {
+            let (_, spec) = grover_with_iterations(6, seed, 1);
+            assert!(spec.marked < 64);
+            assert_eq!(spec.total_qubits(), 7);
+        }
+    }
+
+    #[test]
+    fn oracle_and_diffusion_gate_structure() {
+        let (c, _) = grover_with_iterations(3, 5, 1);
+        let stats = c.stats();
+        // 1 oracle MCX + 1 diffusion MCZ with 3-qubit support each.
+        assert_eq!(stats.counts["x"] >= 1, true);
+        assert!(stats.counts["h"] >= 8);
+        assert!(stats.multi_qubit_ops >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=63")]
+    fn zero_search_qubits_panics() {
+        let _ = grover_with_iterations(0, 0, 1);
+    }
+}

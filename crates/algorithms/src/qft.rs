@@ -1,0 +1,129 @@
+//! Quantum Fourier Transform circuits (`qft_A` benchmarks).
+
+use circuit::{Circuit, Qubit};
+use mathkit::Angle;
+
+/// Builds the Quantum Fourier Transform on `n` qubits.
+///
+/// The construction is the textbook one: for each qubit from the most
+/// significant down, a Hadamard followed by controlled phase rotations
+/// `R_k = diag(1, e^{2 pi i / 2^k})` conditioned on the less significant
+/// qubits, optionally followed by the qubit-reversal swaps.
+///
+/// Applied to the all-zeros input state (as in the paper's `qft_A`
+/// benchmarks) the output is a uniform-superposition product state, so its
+/// decision diagram has exactly one node per qubit — this is what makes the
+/// DD-based sampler scale to `qft_48` while the dense vector runs out of
+/// memory at `qft_32`.
+///
+/// # Examples
+///
+/// ```
+/// let c = algorithms::qft(16, true);
+/// assert_eq!(c.num_qubits(), 16);
+/// assert_eq!(c.name(), "qft_16");
+/// ```
+#[must_use]
+pub fn qft(n: u16, with_swaps: bool) -> Circuit {
+    let mut c = Circuit::with_name(n, format!("qft_{n}"));
+    for target in (0..n).rev() {
+        c.h(Qubit(target));
+        for (k, control) in (0..target).rev().enumerate() {
+            // The rotation angle halves with the distance between the qubits.
+            let rotation = Angle::qft_rotation(k as u32 + 2);
+            c.cp(rotation, Qubit(control), Qubit(target));
+        }
+    }
+    if with_swaps {
+        for i in 0..n / 2 {
+            c.swap(Qubit(i), Qubit(n - 1 - i));
+        }
+    }
+    c
+}
+
+/// Builds the inverse Quantum Fourier Transform on `n` qubits.
+///
+/// # Examples
+///
+/// ```
+/// let c = algorithms::inverse_qft(4, true);
+/// assert_eq!(c.len(), algorithms::qft(4, true).len());
+/// ```
+#[must_use]
+pub fn inverse_qft(n: u16, with_swaps: bool) -> Circuit {
+    let mut c = qft(n, with_swaps).adjoint();
+    c.set_name(format!("iqft_{n}"));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::Operation;
+
+    #[test]
+    fn qft_gate_count_is_quadratic() {
+        for n in [1u16, 2, 4, 8] {
+            let c = qft(n, false);
+            let expected = usize::from(n) * (usize::from(n) + 1) / 2;
+            assert_eq!(c.len(), expected, "n = {n}");
+            assert!(c.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn qft_with_swaps_appends_reversal() {
+        let c = qft(6, true);
+        let without = qft(6, false);
+        assert_eq!(c.len(), without.len() + 3);
+        assert!(matches!(
+            c.operations().last(),
+            Some(Operation::Swap { .. })
+        ));
+    }
+
+    #[test]
+    fn qft_names_match_the_paper() {
+        assert_eq!(qft(32, true).name(), "qft_32");
+        assert_eq!(qft(48, true).name(), "qft_48");
+    }
+
+    #[test]
+    fn inverse_qft_reverses_the_qft() {
+        let f = qft(3, true);
+        let i = inverse_qft(3, true);
+        assert_eq!(f.len(), i.len());
+        // The first op of the inverse is the adjoint of the last op of the QFT.
+        match (f.operations().last(), i.operations().first()) {
+            (Some(Operation::Swap { a, b, .. }), Some(Operation::Swap { a: ia, b: ib, .. })) => {
+                assert_eq!((a, b), (ia, ib));
+            }
+            other => panic!("unexpected op pair {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rotation_angles_shrink_geometrically() {
+        let c = qft(4, false);
+        // The first rotation targeting the top qubit uses angle pi/2, the
+        // next pi/4, then pi/8.
+        let mut angles = Vec::new();
+        for op in c.operations() {
+            if let Operation::Unitary {
+                gate: circuit::OneQubitGate::Phase(a),
+                target,
+                controls,
+            } = op
+            {
+                if target.index() == 3 && !controls.is_empty() {
+                    angles.push(a.radians());
+                }
+            }
+        }
+        assert_eq!(angles.len(), 3);
+        assert!((angles[0] - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((angles[1] - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        assert!((angles[2] - std::f64::consts::FRAC_PI_8).abs() < 1e-12);
+    }
+}

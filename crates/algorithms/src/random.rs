@@ -1,0 +1,92 @@
+//! Unstructured random circuits used for property tests and scaling sweeps.
+
+use circuit::{Circuit, OneQubitGate, Qubit};
+use mathkit::Angle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random circuit of `layers` layers on `n` qubits.
+///
+/// Each layer applies a random single-qubit gate (from a Clifford+T+rotation
+/// alphabet) to every qubit, followed by CNOTs between a random pairing of
+/// qubits.  The generator is deterministic for a given `(n, layers, seed)`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let c = algorithms::random_circuit(5, 4, 99);
+/// assert_eq!(c.num_qubits(), 5);
+/// assert!(c.validate().is_ok());
+/// ```
+#[must_use]
+pub fn random_circuit(n: u16, layers: u16, seed: u64) -> Circuit {
+    assert!(n > 0, "random circuit needs at least one qubit");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(n, format!("random_{n}_{layers}"));
+
+    for _ in 0..layers {
+        for q in 0..n {
+            let gate = match rng.gen_range(0..8) {
+                0 => OneQubitGate::H,
+                1 => OneQubitGate::X,
+                2 => OneQubitGate::S,
+                3 => OneQubitGate::T,
+                4 => OneQubitGate::SqrtX,
+                5 => OneQubitGate::Rz(Angle::Radians(rng.gen_range(0.0..std::f64::consts::TAU))),
+                6 => OneQubitGate::Ry(Angle::Radians(rng.gen_range(0.0..std::f64::consts::TAU))),
+                _ => OneQubitGate::Phase(Angle::Radians(rng.gen_range(0.0..std::f64::consts::TAU))),
+            };
+            c.gate(gate, Qubit(q));
+        }
+        // Random pairing for the entangling sub-layer.
+        let mut order: Vec<u16> = (0..n).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        for pair in order.chunks_exact(2) {
+            c.cx(Qubit(pair[0]), Qubit(pair[1]));
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        assert_eq!(random_circuit(6, 5, 1), random_circuit(6, 5, 1));
+        assert_ne!(random_circuit(6, 5, 1), random_circuit(6, 5, 2));
+    }
+
+    #[test]
+    fn layer_count_controls_size() {
+        let small = random_circuit(4, 2, 0).len();
+        let large = random_circuit(4, 8, 0).len();
+        assert!(large > 3 * small);
+    }
+
+    #[test]
+    fn circuits_validate() {
+        for seed in 0..5 {
+            assert!(random_circuit(7, 6, seed).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn single_qubit_circuits_have_no_entanglers() {
+        let c = random_circuit(1, 4, 3);
+        assert!(c.stats().two_qubit_ops == 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn zero_qubits_panics() {
+        let _ = random_circuit(0, 1, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Random grid circuits in the style of the Google quantum-supremacy
+//! benchmarks (`supremacy_AxB_C`).
+//!
+//! The generator follows the construction rules published by Boixo et al.
+//! (Nature Physics 14, 2018) for the GRCS circuit family the paper samples
+//! from: an initial layer of Hadamards on a rectangular qubit grid, followed
+//! by `depth` cycles that each activate one of eight staggered controlled-Z
+//! coupler patterns and place random single-qubit gates from
+//! `{T, sqrt(X), sqrt(Y)}` on qubits that idled out of a CZ, with the usual
+//! constraints (the first non-Clifford gate on a qubit is a `T`, the same
+//! gate is never repeated back-to-back).  See `DESIGN.md` for the
+//! substitution note — the original GRCS instance files are not vendored,
+//! but the generated circuits have the same structure and entangling power.
+
+use circuit::{Circuit, OneQubitGate, Qubit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a generated supremacy-style circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupremacySpec {
+    /// Grid rows.
+    pub rows: u16,
+    /// Grid columns.
+    pub cols: u16,
+    /// Number of CZ cycles after the initial Hadamard layer.
+    pub depth: u16,
+    /// Total qubits (`rows * cols`).
+    pub qubits: u16,
+}
+
+/// Builds a supremacy-style random circuit on a `rows x cols` grid with the
+/// given depth and seed.
+///
+/// # Panics
+///
+/// Panics if the grid is empty.
+///
+/// # Examples
+///
+/// ```
+/// let (c, spec) = algorithms::supremacy(4, 4, 10, 0);
+/// assert_eq!(spec.qubits, 16);
+/// assert_eq!(c.name(), "supremacy_4x4_10");
+/// ```
+#[must_use]
+pub fn supremacy(rows: u16, cols: u16, depth: u16, seed: u64) -> (Circuit, SupremacySpec) {
+    assert!(rows > 0 && cols > 0, "grid must be non-empty");
+    let qubits = rows * cols;
+    let spec = SupremacySpec {
+        rows,
+        cols,
+        depth,
+        qubits,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(qubits, format!("supremacy_{rows}x{cols}_{depth}"));
+    let qubit = |r: u16, col: u16| Qubit(r * cols + col);
+
+    // Cycle 0: Hadamard on every qubit.
+    for q in 0..qubits {
+        c.h(Qubit(q));
+    }
+
+    // Per-qubit bookkeeping for the single-qubit gate rules.
+    let mut had_t = vec![false; usize::from(qubits)];
+    let mut last_gate: Vec<Option<OneQubitGate>> = vec![None; usize::from(qubits)];
+    let mut in_cz_prev = vec![true; usize::from(qubits)]; // H counts as activity
+
+    for cycle in 0..depth {
+        // Select the coupler pattern for this cycle (8 staggered layouts,
+        // alternating horizontal and vertical bonds).
+        let pattern = cycle % 8;
+        let mut in_cz_now = vec![false; usize::from(qubits)];
+        let mut pairs: Vec<(Qubit, Qubit)> = Vec::new();
+        if pattern % 2 == 0 {
+            // Horizontal bonds (r, c)-(r, c+1).
+            let col_parity = (pattern / 2) % 2;
+            let row_parity = (pattern / 4) % 2;
+            for r in 0..rows {
+                for col in 0..cols.saturating_sub(1) {
+                    if col % 2 == col_parity && r % 2 == row_parity {
+                        pairs.push((qubit(r, col), qubit(r, col + 1)));
+                    }
+                }
+            }
+        } else {
+            // Vertical bonds (r, c)-(r+1, c).
+            let row_parity = (pattern / 2) % 2;
+            let col_parity = (pattern / 4) % 2;
+            for r in 0..rows.saturating_sub(1) {
+                for col in 0..cols {
+                    if r % 2 == row_parity && col % 2 == col_parity {
+                        pairs.push((qubit(r, col), qubit(r + 1, col)));
+                    }
+                }
+            }
+        }
+        for (a, b) in &pairs {
+            c.cz(*a, *b);
+            in_cz_now[a.index()] = true;
+            in_cz_now[b.index()] = true;
+        }
+
+        // Single-qubit gates on qubits that were in a CZ last cycle but not
+        // in this one.
+        for q in 0..usize::from(qubits) {
+            if in_cz_prev[q] && !in_cz_now[q] {
+                let gate = if !had_t[q] {
+                    had_t[q] = true;
+                    OneQubitGate::T
+                } else {
+                    // Choose sqrt(X) or sqrt(Y), never repeating the previous gate.
+                    let candidates = [OneQubitGate::SqrtX, OneQubitGate::SqrtY, OneQubitGate::T];
+                    loop {
+                        let pick = candidates[rng.gen_range(0..candidates.len())];
+                        if last_gate[q] != Some(pick) {
+                            break pick;
+                        }
+                    }
+                };
+                c.gate(gate, Qubit(u16::try_from(q).expect("qubit index fits")));
+                last_gate[q] = Some(gate);
+            }
+        }
+        in_cz_prev = in_cz_now;
+    }
+
+    (c, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_counts_match_the_paper() {
+        assert_eq!(supremacy(4, 4, 10, 0).1.qubits, 16);
+        assert_eq!(supremacy(5, 4, 10, 0).1.qubits, 20);
+        assert_eq!(supremacy(5, 5, 10, 0).1.qubits, 25);
+    }
+
+    #[test]
+    fn circuits_validate_and_are_seed_deterministic() {
+        let a = supremacy(4, 4, 10, 7).0;
+        let b = supremacy(4, 4, 10, 7).0;
+        assert_eq!(a, b);
+        assert!(a.validate().is_ok());
+        let c = supremacy(4, 4, 10, 8).0;
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_qubit_gets_an_initial_hadamard() {
+        let (c, spec) = supremacy(3, 3, 4, 1);
+        let hadamards = c
+            .operations()
+            .iter()
+            .take(usize::from(spec.qubits))
+            .filter(|op| matches!(op, circuit::Operation::Unitary { gate: OneQubitGate::H, .. }))
+            .count();
+        assert_eq!(hadamards, usize::from(spec.qubits));
+    }
+
+    #[test]
+    fn depth_zero_is_only_the_hadamard_layer() {
+        let (c, _) = supremacy(3, 3, 0, 0);
+        assert_eq!(c.len(), 9);
+    }
+
+    #[test]
+    fn deeper_circuits_have_more_cz_gates() {
+        let shallow = supremacy(4, 4, 4, 0).0.stats();
+        let deep = supremacy(4, 4, 12, 0).0.stats();
+        assert!(deep.counts.get("z").copied().unwrap_or(0) > shallow.counts.get("z").copied().unwrap_or(0));
+    }
+
+    #[test]
+    fn first_single_qubit_gate_after_cz_is_t() {
+        let (c, _) = supremacy(2, 2, 6, 3);
+        // Find the first non-H single-qubit unitary; by the construction rule
+        // it must be a T gate.
+        let first = c.operations().iter().find_map(|op| match op {
+            circuit::Operation::Unitary {
+                gate,
+                controls,
+                ..
+            } if controls.is_empty() && !matches!(gate, OneQubitGate::H | OneQubitGate::Z) => {
+                Some(*gate)
+            }
+            _ => None,
+        });
+        assert_eq!(first, Some(OneQubitGate::T));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_grid_panics() {
+        let _ = supremacy(0, 3, 1, 0);
+    }
+}

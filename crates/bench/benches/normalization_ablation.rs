@@ -1,0 +1,81 @@
+//! Ablation of the paper's proposed normalization scheme (Section IV-C,
+//! experiment E7 of `DESIGN.md`): sampling with
+//!
+//! * the general downstream-probability sampler on a left-most-normalized
+//!   DD (the pre-existing scheme),
+//! * the general sampler on a 2-norm-normalized DD, and
+//! * the specialised [`NormalizedSampler`] that exploits the 2-norm
+//!   invariant and reads branch probabilities straight off the edge weights.
+
+use bench::BENCH_SEED;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dd::{DdPackage, DdSampler, Normalization, NormalizedSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SHOTS: u64 = 10_000;
+
+fn workloads() -> Vec<circuit::Circuit> {
+    vec![
+        algorithms::qft(24, true),
+        algorithms::grover(12, BENCH_SEED),
+        algorithms::shor(33, 2).0,
+        algorithms::supremacy(3, 3, 8, BENCH_SEED).0,
+    ]
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalization_ablation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    for circuit in workloads() {
+        // Left-most normalization + general sampler.
+        let mut leftmost = DdPackage::with_normalization(Normalization::LeftMost);
+        let left_state = dd::simulate(&mut leftmost, &circuit).expect("valid circuit");
+        group.bench_with_input(
+            BenchmarkId::new("leftmost_downstream_sampler", circuit.name()),
+            &(&leftmost, &left_state),
+            |b, (package, state)| {
+                let sampler = DdSampler::new(package, state);
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+                    (0..SHOTS).map(|_| sampler.sample(package, &mut rng)).sum::<u64>()
+                });
+            },
+        );
+
+        // 2-norm normalization + general sampler.
+        let mut two_norm = DdPackage::with_normalization(Normalization::TwoNorm);
+        let norm_state = dd::simulate(&mut two_norm, &circuit).expect("valid circuit");
+        group.bench_with_input(
+            BenchmarkId::new("two_norm_downstream_sampler", circuit.name()),
+            &(&two_norm, &norm_state),
+            |b, (package, state)| {
+                let sampler = DdSampler::new(package, state);
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+                    (0..SHOTS).map(|_| sampler.sample(package, &mut rng)).sum::<u64>()
+                });
+            },
+        );
+
+        // 2-norm normalization + local-weight sampler (the paper's proposal).
+        group.bench_with_input(
+            BenchmarkId::new("two_norm_local_sampler", circuit.name()),
+            &(&two_norm, &norm_state),
+            |b, (package, state)| {
+                let sampler = NormalizedSampler::new(package, state);
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+                    (0..SHOTS).map(|_| sampler.sample(package, &mut rng)).sum::<u64>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_normalization);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Raw sampler throughput: precomputation cost and per-sample cost of both
+//! methods, measured separately (the two phases that add up to the `t [s]`
+//! columns of Table I).
+
+use bench::BENCH_SEED;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dd::{DdPackage, DdSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use statevector::PrefixSampler;
+
+const SHOTS: u64 = 10_000;
+
+fn workloads() -> Vec<circuit::Circuit> {
+    vec![
+        algorithms::qft(20, true),
+        algorithms::supremacy(4, 4, 10, BENCH_SEED).0,
+        algorithms::w_state(20),
+    ]
+}
+
+fn bench_precompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precompute");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    for circuit in workloads() {
+        let dense = statevector::simulate(&circuit).expect("dense simulation fits");
+        group.bench_with_input(
+            BenchmarkId::new("prefix_sum_construction", circuit.name()),
+            &dense,
+            |b, state| b.iter(|| PrefixSampler::new(state)),
+        );
+
+        let mut package = DdPackage::new();
+        let state = dd::simulate(&mut package, &circuit).expect("valid circuit");
+        group.bench_with_input(
+            BenchmarkId::new("downstream_annotation", circuit.name()),
+            &(&package, &state),
+            |b, (package, state)| b.iter(|| DdSampler::new(package, state)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_per_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_sample");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(SHOTS));
+
+    for circuit in workloads() {
+        let dense = statevector::simulate(&circuit).expect("dense simulation fits");
+        let prefix = PrefixSampler::new(&dense);
+        group.bench_with_input(
+            BenchmarkId::new("binary_search", circuit.name()),
+            &prefix,
+            |b, sampler| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+                    (0..SHOTS).map(|_| sampler.sample(&mut rng)).sum::<u64>()
+                });
+            },
+        );
+
+        let mut package = DdPackage::new();
+        let state = dd::simulate(&mut package, &circuit).expect("valid circuit");
+        let sampler = DdSampler::new(&package, &state);
+        group.bench_with_input(
+            BenchmarkId::new("dd_path_traversal", circuit.name()),
+            &(&package, &sampler),
+            |b, (package, sampler)| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+                    (0..SHOTS).map(|_| sampler.sample(package, &mut rng)).sum::<u64>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_precompute, bench_per_sample);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Regenerates Table I of the paper: runtime and memory for error-free
+//! sampling of bitstrings with the vector-based and the DD-based method.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bench --release --bin table1 [-- OPTIONS]
+//!
+//!   --scale smoke|reduced|full   benchmark set (default: reduced)
+//!   --shots N                    samples per benchmark (default: 1000000)
+//!   --budget-gib G               memory budget for the dense backend
+//!                                (default: 32, the paper's machine)
+//!   --validate                   additionally run a chi-square check of the
+//!                                DD samples against the exact distribution
+//! ```
+//!
+//! The vector-based column reports `MO` when the dense amplitude array would
+//! not fit the budget, mirroring the paper's presentation.
+
+use statevector::MemoryBudget;
+use weaksim::experiment::{format_table, run_table1_row, table1_benchmarks, BenchmarkScale};
+use weaksim::stats::chi_square_test;
+use weaksim::{Backend, WeakSimulator};
+
+struct Options {
+    scale: BenchmarkScale,
+    shots: u64,
+    budget: MemoryBudget,
+    validate: bool,
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        scale: BenchmarkScale::Reduced,
+        shots: 1_000_000,
+        budget: MemoryBudget::from_gib(32),
+        validate: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                options.scale = match args.next().as_deref() {
+                    Some("smoke") => BenchmarkScale::Smoke,
+                    Some("full") => BenchmarkScale::Full,
+                    Some("reduced") | None => BenchmarkScale::Reduced,
+                    Some(other) => {
+                        eprintln!("unknown scale '{other}', using reduced");
+                        BenchmarkScale::Reduced
+                    }
+                }
+            }
+            "--shots" => {
+                options.shots = args
+                    .next()
+                    .and_then(|a| a.parse().ok())
+                    .unwrap_or(options.shots)
+            }
+            "--budget-gib" => {
+                if let Some(gib) = args.next().and_then(|a| a.parse().ok()) {
+                    options.budget = MemoryBudget::from_gib(gib);
+                }
+            }
+            "--validate" => options.validate = true,
+            other => eprintln!("ignoring unknown argument '{other}'"),
+        }
+    }
+    options
+}
+
+fn main() {
+    let options = parse_options();
+    let instances = table1_benchmarks(options.scale);
+    println!(
+        "Table I reproduction: {} benchmarks, {} samples each, dense budget {} GiB",
+        instances.len(),
+        options.shots,
+        options.budget.bytes() / (1 << 30)
+    );
+    println!();
+
+    let mut rows = Vec::new();
+    for instance in &instances {
+        eprintln!("running {} ({} qubits)...", instance.name, instance.circuit.num_qubits());
+        match run_table1_row(instance, options.shots, options.budget, 2020) {
+            Ok(row) => {
+                if options.validate {
+                    validate(instance, options.shots.min(200_000));
+                }
+                rows.push(row);
+            }
+            Err(e) => eprintln!("  skipped {}: {e}", instance.name),
+        }
+    }
+
+    println!("{}", format_table(&rows));
+    println!("(vector `t` = prefix-sum construction + sampling; DD `t` = downstream precomputation + sampling;");
+    println!(" `MO` = the dense amplitude array exceeds the memory budget, as in the paper)");
+}
+
+fn validate(instance: &weaksim::experiment::BenchmarkInstance, shots: u64) {
+    let outcome = WeakSimulator::new(Backend::DecisionDiagram)
+        .run(&instance.circuit, shots, 77)
+        .expect("validated circuit");
+    // Exact probabilities are only affordable for moderate qubit counts.
+    if instance.circuit.num_qubits() <= 26 {
+        let chi = chi_square_test(&outcome.histogram, |i| outcome.state.probability(i));
+        eprintln!(
+            "  validation: chi2 = {:.1}, dof = {}, p = {:.4} -> {}",
+            chi.statistic,
+            chi.degrees_of_freedom,
+            chi.p_value,
+            if chi.is_consistent(1e-4) { "consistent" } else { "REJECTED" }
+        );
+    } else {
+        eprintln!("  validation skipped (too many qubits for exact comparison)");
+    }
+}

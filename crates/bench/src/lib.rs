@@ -1,0 +1,68 @@
+//! Shared helpers for the benchmark harness that regenerates the evaluation
+//! of the paper (Table I and the illustrative figures).
+//!
+//! The interesting entry points are the two binaries:
+//!
+//! * `cargo run -p bench --release --bin table1` — measures every benchmark
+//!   of Table I with both samplers and prints the table;
+//! * `cargo run -p bench --release --bin figures -- fig2|fig3|fig4` —
+//!   regenerates the running-example figures.
+//!
+//! The Criterion benches under `benches/` time the individual families so
+//! regressions in either sampler show up in CI.
+
+use statevector::MemoryBudget;
+use weaksim::experiment::BenchmarkInstance;
+use weaksim::{Backend, WeakSimulator};
+
+/// Number of samples used by the Criterion benches (Table I uses one
+/// million; the benches default to fewer so a full run stays affordable and
+/// scale linearly).
+pub const BENCH_SHOTS: u64 = 100_000;
+
+/// The seed used everywhere in the harness for reproducibility.
+pub const BENCH_SEED: u64 = 2020;
+
+/// Prepares a strong-simulation state once so benches can time the sampling
+/// step in isolation (the quantity reported in Table I).
+///
+/// # Panics
+///
+/// Panics if the circuit cannot be simulated, which for the benchmark
+/// circuits indicates a bug rather than a recoverable condition.
+#[must_use]
+pub fn prepare_state(instance: &BenchmarkInstance, backend: Backend) -> weaksim::StrongState {
+    WeakSimulator::new(backend)
+        .with_memory_budget(MemoryBudget::unlimited())
+        .strong(&instance.circuit)
+        .unwrap_or_else(|e| panic!("strong simulation of {} failed: {e}", instance.name))
+}
+
+/// Draws `shots` samples from a prepared state and returns the histogram
+/// (used by benches as the timed body).
+#[must_use]
+pub fn sample_prepared(
+    state: &weaksim::StrongState,
+    shots: u64,
+    seed: u64,
+) -> weaksim::ShotHistogram {
+    let (histogram, _, _) = WeakSimulator::sample(state, shots, seed);
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use weaksim::experiment::{table1_benchmarks, BenchmarkScale};
+
+    #[test]
+    fn prepared_states_can_be_sampled() {
+        let instances = table1_benchmarks(BenchmarkScale::Smoke);
+        let instance = &instances[0];
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let state = prepare_state(instance, backend);
+            let histogram = sample_prepared(&state, 100, BENCH_SEED);
+            assert_eq!(histogram.shots(), 100);
+        }
+    }
+}

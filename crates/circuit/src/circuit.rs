@@ -1,0 +1,471 @@
+//! The [`Circuit`] container and its builder methods.
+
+use crate::{CircuitStats, OneQubitGate, Operation, Permutation, Qubit};
+use mathkit::Angle;
+use std::fmt;
+
+/// An ordered sequence of [`Operation`]s on a fixed number of qubits.
+///
+/// All qubits start in `|0>`; the circuit is followed by a computational-
+/// basis measurement of every qubit (performed by the simulators, not
+/// represented as an operation).
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{Circuit, Qubit};
+///
+/// let mut ghz = Circuit::with_name(3, "ghz_3");
+/// ghz.h(Qubit(0));
+/// ghz.cx(Qubit(0), Qubit(1));
+/// ghz.cx(Qubit(1), Qubit(2));
+/// assert_eq!(ghz.num_qubits(), 3);
+/// assert_eq!(ghz.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    name: String,
+    num_qubits: u16,
+    ops: Vec<Operation>,
+}
+
+/// Error returned by [`Circuit::validate`] when an operation references
+/// qubits outside the circuit or overlaps controls with targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateCircuitError {
+    /// An operation references a qubit index `>= num_qubits`.
+    QubitOutOfRange {
+        /// Index of the offending operation.
+        op_index: usize,
+        /// The out-of-range qubit.
+        qubit: Qubit,
+        /// Number of qubits in the circuit.
+        num_qubits: u16,
+    },
+    /// An operation uses the same qubit as both control and target.
+    ControlOverlapsTarget {
+        /// Index of the offending operation.
+        op_index: usize,
+        /// The qubit that appears on both sides.
+        qubit: Qubit,
+    },
+}
+
+impl fmt::Display for ValidateCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateCircuitError::QubitOutOfRange {
+                op_index,
+                qubit,
+                num_qubits,
+            } => write!(
+                f,
+                "operation {op_index} references {qubit} but the circuit has only {num_qubits} qubits"
+            ),
+            ValidateCircuitError::ControlOverlapsTarget { op_index, qubit } => write!(
+                f,
+                "operation {op_index} uses {qubit} as both control and target"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidateCircuitError {}
+
+impl Circuit {
+    /// Creates an empty circuit on `num_qubits` qubits.
+    #[must_use]
+    pub fn new(num_qubits: u16) -> Self {
+        Self::with_name(num_qubits, "circuit")
+    }
+
+    /// Creates an empty, named circuit (names show up in reports and QASM
+    /// headers).
+    #[must_use]
+    pub fn with_name(num_qubits: u16, name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            num_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// The circuit name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the circuit.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> u16 {
+        self.num_qubits
+    }
+
+    /// The number of operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the circuit contains no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations in program order.
+    #[must_use]
+    pub fn operations(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Iterates over the operations in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Operation> {
+        self.ops.iter()
+    }
+
+    /// Appends a raw operation.
+    pub fn push(&mut self, op: Operation) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Appends all operations of `other` (qubit indices are kept as-is).
+    pub fn extend_from(&mut self, other: &Circuit) -> &mut Self {
+        self.ops.extend_from_slice(&other.ops);
+        self
+    }
+
+    /// Appends a single-qubit gate.
+    pub fn gate(&mut self, gate: OneQubitGate, target: Qubit) -> &mut Self {
+        self.push(Operation::Unitary {
+            gate,
+            target,
+            controls: Vec::new(),
+        })
+    }
+
+    /// Appends a controlled single-qubit gate with arbitrarily many controls.
+    pub fn controlled_gate(
+        &mut self,
+        gate: OneQubitGate,
+        controls: Vec<Qubit>,
+        target: Qubit,
+    ) -> &mut Self {
+        self.push(Operation::Unitary {
+            gate,
+            target,
+            controls,
+        })
+    }
+
+    /// Appends a Hadamard gate.
+    pub fn h(&mut self, q: Qubit) -> &mut Self {
+        self.gate(OneQubitGate::H, q)
+    }
+
+    /// Appends a Pauli-X gate.
+    pub fn x(&mut self, q: Qubit) -> &mut Self {
+        self.gate(OneQubitGate::X, q)
+    }
+
+    /// Appends a Pauli-Y gate.
+    pub fn y(&mut self, q: Qubit) -> &mut Self {
+        self.gate(OneQubitGate::Y, q)
+    }
+
+    /// Appends a Pauli-Z gate.
+    pub fn z(&mut self, q: Qubit) -> &mut Self {
+        self.gate(OneQubitGate::Z, q)
+    }
+
+    /// Appends an S gate.
+    pub fn s(&mut self, q: Qubit) -> &mut Self {
+        self.gate(OneQubitGate::S, q)
+    }
+
+    /// Appends a T gate.
+    pub fn t(&mut self, q: Qubit) -> &mut Self {
+        self.gate(OneQubitGate::T, q)
+    }
+
+    /// Appends a phase gate `diag(1, e^{i theta})`.
+    pub fn p(&mut self, theta: Angle, q: Qubit) -> &mut Self {
+        self.gate(OneQubitGate::Phase(theta), q)
+    }
+
+    /// Appends an X-rotation.
+    pub fn rx(&mut self, theta: Angle, q: Qubit) -> &mut Self {
+        self.gate(OneQubitGate::Rx(theta), q)
+    }
+
+    /// Appends a Y-rotation.
+    pub fn ry(&mut self, theta: Angle, q: Qubit) -> &mut Self {
+        self.gate(OneQubitGate::Ry(theta), q)
+    }
+
+    /// Appends a Z-rotation.
+    pub fn rz(&mut self, theta: Angle, q: Qubit) -> &mut Self {
+        self.gate(OneQubitGate::Rz(theta), q)
+    }
+
+    /// Appends a CNOT gate.
+    pub fn cx(&mut self, control: Qubit, target: Qubit) -> &mut Self {
+        self.controlled_gate(OneQubitGate::X, vec![control], target)
+    }
+
+    /// Appends a controlled-Z gate.
+    pub fn cz(&mut self, control: Qubit, target: Qubit) -> &mut Self {
+        self.controlled_gate(OneQubitGate::Z, vec![control], target)
+    }
+
+    /// Appends a controlled phase gate.
+    pub fn cp(&mut self, theta: Angle, control: Qubit, target: Qubit) -> &mut Self {
+        self.controlled_gate(OneQubitGate::Phase(theta), vec![control], target)
+    }
+
+    /// Appends a Toffoli (CCX) gate.
+    pub fn ccx(&mut self, c0: Qubit, c1: Qubit, target: Qubit) -> &mut Self {
+        self.controlled_gate(OneQubitGate::X, vec![c0, c1], target)
+    }
+
+    /// Appends a multi-controlled X gate.
+    pub fn mcx(&mut self, controls: Vec<Qubit>, target: Qubit) -> &mut Self {
+        self.controlled_gate(OneQubitGate::X, controls, target)
+    }
+
+    /// Appends a multi-controlled Z gate.
+    pub fn mcz(&mut self, controls: Vec<Qubit>, target: Qubit) -> &mut Self {
+        self.controlled_gate(OneQubitGate::Z, controls, target)
+    }
+
+    /// Appends a multi-controlled phase gate.
+    pub fn mcp(&mut self, theta: Angle, controls: Vec<Qubit>, target: Qubit) -> &mut Self {
+        self.controlled_gate(OneQubitGate::Phase(theta), controls, target)
+    }
+
+    /// Appends a swap of two qubits.
+    pub fn swap(&mut self, a: Qubit, b: Qubit) -> &mut Self {
+        self.push(Operation::Swap {
+            a,
+            b,
+            controls: Vec::new(),
+        })
+    }
+
+    /// Appends a controlled swap (Fredkin) gate.
+    pub fn cswap(&mut self, control: Qubit, a: Qubit, b: Qubit) -> &mut Self {
+        self.push(Operation::Swap {
+            a,
+            b,
+            controls: vec![control],
+        })
+    }
+
+    /// Appends an uncontrolled basis-state permutation.
+    pub fn permute(&mut self, permutation: Permutation) -> &mut Self {
+        self.push(Operation::Permute {
+            permutation,
+            controls: Vec::new(),
+        })
+    }
+
+    /// Appends a controlled basis-state permutation.
+    pub fn controlled_permute(
+        &mut self,
+        controls: Vec<Qubit>,
+        permutation: Permutation,
+    ) -> &mut Self {
+        self.push(Operation::Permute {
+            permutation,
+            controls,
+        })
+    }
+
+    /// Checks that every operation only references qubits inside the circuit
+    /// and never overlaps controls with targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, identifying the operation index.
+    pub fn validate(&self) -> Result<(), ValidateCircuitError> {
+        for (op_index, op) in self.ops.iter().enumerate() {
+            for q in op.support() {
+                if q.index() >= usize::from(self.num_qubits) {
+                    return Err(ValidateCircuitError::QubitOutOfRange {
+                        op_index,
+                        qubit: q,
+                        num_qubits: self.num_qubits,
+                    });
+                }
+            }
+            let targets = op.targets();
+            for c in op.controls() {
+                if targets.contains(c) {
+                    return Err(ValidateCircuitError::ControlOverlapsTarget {
+                        op_index,
+                        qubit: *c,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes gate counts and depth.
+    #[must_use]
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats::of(self)
+    }
+
+    /// Returns the circuit with every operation replaced by its inverse, in
+    /// reverse order (the adjoint circuit).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: every operation in the alphabet has an inverse.
+    #[must_use]
+    pub fn adjoint(&self) -> Circuit {
+        let mut out = Circuit::with_name(self.num_qubits, format!("{}_dg", self.name));
+        for op in self.ops.iter().rev() {
+            let inverted = match op {
+                Operation::Unitary {
+                    gate,
+                    target,
+                    controls,
+                } => Operation::Unitary {
+                    gate: gate.adjoint(),
+                    target: *target,
+                    controls: controls.clone(),
+                },
+                Operation::Swap { .. } => op.clone(),
+                Operation::Permute {
+                    permutation,
+                    controls,
+                } => Operation::Permute {
+                    permutation: permutation.inverse(),
+                    controls: controls.clone(),
+                },
+            };
+            out.push(inverted);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} qubits, {} ops)", self.name, self.num_qubits, self.ops.len())?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Operation;
+    type IntoIter = std::slice::Iter<'a, Operation>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+impl Extend<Operation> for Circuit {
+    fn extend<T: IntoIterator<Item = Operation>>(&mut self, iter: T) {
+        self.ops.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_append_operations() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0))
+            .x(Qubit(1))
+            .cx(Qubit(0), Qubit(1))
+            .ccx(Qubit(0), Qubit(1), Qubit(2))
+            .swap(Qubit(0), Qubit(2))
+            .cp(Angle::pi_over(2), Qubit(0), Qubit(1));
+        assert_eq!(c.len(), 6);
+        assert!(c.validate().is_ok());
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn validation_catches_out_of_range_qubits() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(5));
+        assert!(matches!(
+            c.validate(),
+            Err(ValidateCircuitError::QubitOutOfRange { qubit: Qubit(5), .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_control_target_overlap() {
+        let mut c = Circuit::new(2);
+        c.controlled_gate(OneQubitGate::X, vec![Qubit(1)], Qubit(1));
+        assert!(matches!(
+            c.validate(),
+            Err(ValidateCircuitError::ControlOverlapsTarget { qubit: Qubit(1), .. })
+        ));
+    }
+
+    #[test]
+    fn adjoint_reverses_and_inverts() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).s(Qubit(1)).cx(Qubit(0), Qubit(1));
+        let adj = c.adjoint();
+        assert_eq!(adj.len(), 3);
+        // Last op of adjoint is the inverse of the first op of the original.
+        match &adj.operations()[2] {
+            Operation::Unitary { gate, .. } => assert_eq!(*gate, OneQubitGate::H),
+            other => panic!("unexpected op {other:?}"),
+        }
+        match &adj.operations()[1] {
+            Operation::Unitary { gate, .. } => assert_eq!(*gate, OneQubitGate::Sdg),
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extend_and_iterate() {
+        let mut a = Circuit::new(2);
+        a.h(Qubit(0));
+        let mut b = Circuit::new(2);
+        b.x(Qubit(1));
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.iter().count(), 2);
+        assert_eq!((&a).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn naming() {
+        let mut c = Circuit::with_name(1, "test");
+        assert_eq!(c.name(), "test");
+        c.set_name("renamed");
+        assert_eq!(c.name(), "renamed");
+        assert!(c.to_string().contains("renamed"));
+    }
+
+    #[test]
+    fn display_lists_operations() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).cx(Qubit(0), Qubit(1));
+        let text = c.to_string();
+        assert!(text.contains("h q[0]"));
+        assert!(text.contains("x q[1] ctrl[q[0]]"));
+    }
+}

@@ -1,0 +1,99 @@
+//! OpenQASM 2.0 subset reader and writer.
+//!
+//! The supported subset covers the gate alphabet used by the benchmark
+//! generators, so circuits can be exported to (and re-imported from) other
+//! simulators for cross-validation:
+//!
+//! * header: `OPENQASM 2.0;` and `include "qelib1.inc";`
+//! * declarations: `qreg`, `creg`
+//! * gates: `id, x, y, z, h, s, sdg, t, tdg, sx, sxdg, p, u1, rx, ry, rz,
+//!   cx, cz, cp, cu1, swap, cswap, ccx`
+//! * `barrier` and `measure` statements are accepted and ignored (the
+//!   simulators measure every qubit at the end of the circuit)
+//!
+//! Basis-state [`Permutation`](crate::Permutation) operations have no QASM
+//! counterpart; exporting a circuit containing one returns
+//! [`WriteQasmError::UnsupportedOperation`].
+//!
+//! # Examples
+//!
+//! ```
+//! use circuit::{Circuit, Qubit, qasm};
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(Qubit(0));
+//! bell.cx(Qubit(0), Qubit(1));
+//!
+//! let text = qasm::to_qasm(&bell)?;
+//! let parsed = qasm::parse(&text)?;
+//! assert_eq!(parsed.num_qubits(), 2);
+//! assert_eq!(parsed.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod parser;
+mod writer;
+
+pub use parser::{parse, ParseQasmError};
+pub use writer::{to_qasm, WriteQasmError};
+
+#[cfg(test)]
+mod tests {
+    use crate::{Circuit, OneQubitGate, Qubit};
+    use mathkit::Angle;
+
+    #[test]
+    fn roundtrip_preserves_gate_sequence() {
+        let mut c = Circuit::with_name(3, "roundtrip");
+        c.h(Qubit(0))
+            .x(Qubit(1))
+            .s(Qubit(2))
+            .t(Qubit(0))
+            .rx(Angle::Radians(0.5), Qubit(1))
+            .cp(Angle::pi_over(4), Qubit(0), Qubit(2))
+            .cx(Qubit(0), Qubit(1))
+            .cz(Qubit(1), Qubit(2))
+            .swap(Qubit(0), Qubit(2))
+            .ccx(Qubit(0), Qubit(1), Qubit(2));
+        let text = super::to_qasm(&c).unwrap();
+        let parsed = super::parse(&text).unwrap();
+        assert_eq!(parsed.num_qubits(), c.num_qubits());
+        assert_eq!(parsed.len(), c.len());
+        // Gate mnemonics survive the roundtrip in order.
+        let names: Vec<_> = parsed
+            .operations()
+            .iter()
+            .map(|op| match op {
+                crate::Operation::Unitary { gate, .. } => gate.name().to_string(),
+                crate::Operation::Swap { .. } => "swap".into(),
+                crate::Operation::Permute { .. } => "permute".into(),
+            })
+            .collect();
+        assert_eq!(names[0], "h");
+        assert_eq!(names[9], "x"); // ccx parses as controlled x
+    }
+
+    #[test]
+    fn permutation_cannot_be_exported() {
+        let mut c = Circuit::new(2);
+        let perm =
+            crate::Permutation::new(vec![Qubit(0), Qubit(1)], vec![1, 2, 3, 0]).unwrap();
+        c.permute(perm);
+        assert!(super::to_qasm(&c).is_err());
+    }
+
+    #[test]
+    fn parsed_angles_match_written_angles() {
+        let mut c = Circuit::new(1);
+        c.rz(Angle::Radians(1.234_567_890_1), Qubit(0));
+        let text = super::to_qasm(&c).unwrap();
+        let parsed = super::parse(&text).unwrap();
+        match &parsed.operations()[0] {
+            crate::Operation::Unitary {
+                gate: OneQubitGate::Rz(a),
+                ..
+            } => assert!((a.radians() - 1.234_567_890_1).abs() < 1e-9),
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! OpenQASM 2.0 subset parser.
+//!
+//! The parser is a hand-written recursive-descent parser over a small token
+//! stream; it supports the statements listed in the [module docs](super).
+
+use crate::{Circuit, OneQubitGate, Qubit};
+use mathkit::Angle;
+use std::fmt;
+
+/// Error returned by [`parse`] with a line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQasmError {
+    /// 1-based line number of the offending statement.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QASM parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseQasmError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseQasmError {
+    ParseQasmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Evaluates a restricted arithmetic expression used for gate angles:
+/// numbers, `pi`, unary minus, `+`, `-`, `*`, `/` and parentheses.
+fn eval_expr(text: &str, line: usize) -> Result<f64, ParseQasmError> {
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+        line: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+                self.chars.next();
+            }
+        }
+
+        fn parse_sum(&mut self) -> Result<f64, ParseQasmError> {
+            let mut value = self.parse_product()?;
+            loop {
+                self.skip_ws();
+                match self.chars.peek() {
+                    Some('+') => {
+                        self.chars.next();
+                        value += self.parse_product()?;
+                    }
+                    Some('-') => {
+                        self.chars.next();
+                        value -= self.parse_product()?;
+                    }
+                    _ => return Ok(value),
+                }
+            }
+        }
+
+        fn parse_product(&mut self) -> Result<f64, ParseQasmError> {
+            let mut value = self.parse_atom()?;
+            loop {
+                self.skip_ws();
+                match self.chars.peek() {
+                    Some('*') => {
+                        self.chars.next();
+                        value *= self.parse_atom()?;
+                    }
+                    Some('/') => {
+                        self.chars.next();
+                        value /= self.parse_atom()?;
+                    }
+                    _ => return Ok(value),
+                }
+            }
+        }
+
+        fn parse_atom(&mut self) -> Result<f64, ParseQasmError> {
+            self.skip_ws();
+            match self.chars.peek().copied() {
+                Some('-') => {
+                    self.chars.next();
+                    Ok(-self.parse_atom()?)
+                }
+                Some('+') => {
+                    self.chars.next();
+                    self.parse_atom()
+                }
+                Some('(') => {
+                    self.chars.next();
+                    let value = self.parse_sum()?;
+                    self.skip_ws();
+                    if self.chars.next() != Some(')') {
+                        return Err(err(self.line, "expected ')' in angle expression"));
+                    }
+                    Ok(value)
+                }
+                Some(c) if c.is_ascii_digit() || c == '.' => {
+                    let mut num = String::new();
+                    while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == 'E' || *c == '-' && num.ends_with(['e', 'E'])) {
+                        num.push(self.chars.next().expect("peeked"));
+                    }
+                    num.parse::<f64>()
+                        .map_err(|_| err(self.line, format!("invalid number '{num}'")))
+                }
+                Some(c) if c.is_ascii_alphabetic() => {
+                    let mut ident = String::new();
+                    while matches!(self.chars.peek(), Some(c) if c.is_ascii_alphanumeric() || *c == '_') {
+                        ident.push(self.chars.next().expect("peeked"));
+                    }
+                    if ident.eq_ignore_ascii_case("pi") {
+                        Ok(std::f64::consts::PI)
+                    } else {
+                        Err(err(self.line, format!("unknown identifier '{ident}' in angle")))
+                    }
+                }
+                other => Err(err(
+                    self.line,
+                    format!("unexpected character {other:?} in angle expression"),
+                )),
+            }
+        }
+    }
+
+    let mut parser = Parser {
+        chars: text.chars().peekable(),
+        line,
+    };
+    let value = parser.parse_sum()?;
+    parser.skip_ws();
+    if parser.chars.next().is_some() {
+        return Err(err(line, format!("trailing characters in expression '{text}'")));
+    }
+    Ok(value)
+}
+
+/// Parses a qubit operand of the form `name[index]`.
+fn parse_operand(token: &str, line: usize, register: &str) -> Result<Qubit, ParseQasmError> {
+    let token = token.trim();
+    let open = token
+        .find('[')
+        .ok_or_else(|| err(line, format!("expected indexed operand, got '{token}'")))?;
+    let close = token
+        .find(']')
+        .ok_or_else(|| err(line, format!("missing ']' in operand '{token}'")))?;
+    let name = &token[..open];
+    if name != register {
+        return Err(err(
+            line,
+            format!("operand register '{name}' does not match declared register '{register}'"),
+        ));
+    }
+    let index: u16 = token[open + 1..close]
+        .parse()
+        .map_err(|_| err(line, format!("invalid qubit index in '{token}'")))?;
+    Ok(Qubit(index))
+}
+
+/// Parses OpenQASM 2.0 text into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns a [`ParseQasmError`] with a line number for statements outside the
+/// supported subset, undeclared registers, malformed operands or angles.
+///
+/// # Examples
+///
+/// ```
+/// let source = r#"
+///     OPENQASM 2.0;
+///     include "qelib1.inc";
+///     qreg q[2];
+///     h q[0];
+///     cx q[0],q[1];
+/// "#;
+/// let circuit = circuit::qasm::parse(source)?;
+/// assert_eq!(circuit.num_qubits(), 2);
+/// assert_eq!(circuit.len(), 2);
+/// # Ok::<(), circuit::qasm::ParseQasmError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Circuit, ParseQasmError> {
+    let mut circuit: Option<Circuit> = None;
+    let mut register = String::from("q");
+
+    // Statements are ';'-terminated; track line numbers for diagnostics.
+    let mut line_no = 1usize;
+    for raw_line in source.lines() {
+        let line = raw_line.split("//").next().unwrap_or("").trim();
+        let current_line = line_no;
+        line_no += 1;
+        if line.is_empty() {
+            continue;
+        }
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            parse_statement(stmt, current_line, &mut circuit, &mut register)?;
+        }
+    }
+
+    circuit.ok_or_else(|| err(line_no, "no qreg declaration found"))
+}
+
+fn parse_statement(
+    stmt: &str,
+    line: usize,
+    circuit: &mut Option<Circuit>,
+    register: &mut String,
+) -> Result<(), ParseQasmError> {
+    let (head, rest) = match stmt.find(|c: char| c.is_whitespace() || c == '(') {
+        Some(pos) => (&stmt[..pos], stmt[pos..].trim_start()),
+        None => (stmt, ""),
+    };
+
+    match head {
+        "OPENQASM" | "include" | "barrier" | "creg" => Ok(()),
+        "qreg" => {
+            let open = rest.find('[').ok_or_else(|| err(line, "malformed qreg"))?;
+            let close = rest.find(']').ok_or_else(|| err(line, "malformed qreg"))?;
+            let name = rest[..open].trim().to_string();
+            let size: u16 = rest[open + 1..close]
+                .parse()
+                .map_err(|_| err(line, "invalid qreg size"))?;
+            if let Some(existing) = circuit {
+                return Err(err(
+                    line,
+                    format!(
+                        "multiple qreg declarations are not supported (already have {} qubits)",
+                        existing.num_qubits()
+                    ),
+                ));
+            }
+            *register = name;
+            *circuit = Some(Circuit::new(size));
+            Ok(())
+        }
+        "measure" => Ok(()),
+        _ => {
+            let circuit = circuit
+                .as_mut()
+                .ok_or_else(|| err(line, "gate statement before qreg declaration"))?;
+            parse_gate(stmt, line, circuit, register)
+        }
+    }
+}
+
+fn parse_gate(
+    stmt: &str,
+    line: usize,
+    circuit: &mut Circuit,
+    register: &str,
+) -> Result<(), ParseQasmError> {
+    // Split "name(args) operands" into name, optional args, operands.
+    let (name_and_args, operands_text) = match stmt.find(|c: char| c.is_whitespace()) {
+        Some(pos) if !stmt[..pos].contains('(') || stmt[..pos].contains(')') => {
+            (&stmt[..pos], &stmt[pos..])
+        }
+        _ => {
+            // The gate has parenthesised args that may contain spaces.
+            let close = stmt
+                .find(')')
+                .ok_or_else(|| err(line, format!("malformed gate statement '{stmt}'")))?;
+            (&stmt[..=close], &stmt[close + 1..])
+        }
+    };
+    let (name, args) = match name_and_args.find('(') {
+        Some(open) => {
+            let close = name_and_args
+                .rfind(')')
+                .ok_or_else(|| err(line, "missing ')' in gate arguments"))?;
+            (
+                &name_and_args[..open],
+                Some(&name_and_args[open + 1..close]),
+            )
+        }
+        None => (name_and_args, None),
+    };
+    let operands: Vec<Qubit> = operands_text
+        .split(',')
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| parse_operand(t, line, register))
+        .collect::<Result<_, _>>()?;
+
+    let angle = |args: Option<&str>| -> Result<Angle, ParseQasmError> {
+        let text = args.ok_or_else(|| err(line, format!("gate '{name}' requires an angle")))?;
+        Ok(Angle::Radians(eval_expr(text, line)?))
+    };
+    let expect = |n: usize| -> Result<(), ParseQasmError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("gate '{name}' expects {n} operands, got {}", operands.len()),
+            ))
+        }
+    };
+
+    match name {
+        "id" => expect(1),
+        "x" | "y" | "z" | "h" | "s" | "sdg" | "t" | "tdg" | "sx" | "sxdg" => {
+            expect(1)?;
+            let gate = match name {
+                "x" => OneQubitGate::X,
+                "y" => OneQubitGate::Y,
+                "z" => OneQubitGate::Z,
+                "h" => OneQubitGate::H,
+                "s" => OneQubitGate::S,
+                "sdg" => OneQubitGate::Sdg,
+                "t" => OneQubitGate::T,
+                "tdg" => OneQubitGate::Tdg,
+                "sx" => OneQubitGate::SqrtX,
+                _ => OneQubitGate::SqrtXdg,
+            };
+            circuit.gate(gate, operands[0]);
+            Ok(())
+        }
+        "p" | "u1" => {
+            expect(1)?;
+            let a = angle(args)?;
+            circuit.p(a, operands[0]);
+            Ok(())
+        }
+        "rx" | "ry" | "rz" => {
+            expect(1)?;
+            let a = angle(args)?;
+            match name {
+                "rx" => circuit.rx(a, operands[0]),
+                "ry" => circuit.ry(a, operands[0]),
+                _ => circuit.rz(a, operands[0]),
+            };
+            Ok(())
+        }
+        "u" | "u3" => {
+            expect(1)?;
+            let text = args.ok_or_else(|| err(line, "u gate requires three angles"))?;
+            let parts: Vec<&str> = text.split(',').collect();
+            if parts.len() != 3 {
+                return Err(err(line, "u gate requires three angles"));
+            }
+            let theta = Angle::Radians(eval_expr(parts[0], line)?);
+            let phi = Angle::Radians(eval_expr(parts[1], line)?);
+            let lambda = Angle::Radians(eval_expr(parts[2], line)?);
+            circuit.gate(OneQubitGate::U { theta, phi, lambda }, operands[0]);
+            Ok(())
+        }
+        "cx" | "CX" => {
+            expect(2)?;
+            circuit.cx(operands[0], operands[1]);
+            Ok(())
+        }
+        "cz" => {
+            expect(2)?;
+            circuit.cz(operands[0], operands[1]);
+            Ok(())
+        }
+        "cp" | "cu1" => {
+            expect(2)?;
+            let a = angle(args)?;
+            circuit.cp(a, operands[0], operands[1]);
+            Ok(())
+        }
+        "swap" => {
+            expect(2)?;
+            circuit.swap(operands[0], operands[1]);
+            Ok(())
+        }
+        "cswap" => {
+            expect(3)?;
+            circuit.cswap(operands[0], operands[1], operands[2]);
+            Ok(())
+        }
+        "ccx" => {
+            expect(3)?;
+            circuit.ccx(operands[0], operands[1], operands[2]);
+            Ok(())
+        }
+        other => Err(err(line, format!("unsupported gate '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Operation;
+
+    #[test]
+    fn parses_bell_circuit() {
+        let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q -> c;\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn parses_angles_with_pi_expressions() {
+        let src = "qreg q[1]; p(pi/2) q[0]; rz(-pi/4) q[0]; rx(2*pi/3) q[0]; ry(0.5) q[0];";
+        let c = parse(src).unwrap();
+        assert_eq!(c.len(), 4);
+        match &c.operations()[0] {
+            Operation::Unitary {
+                gate: OneQubitGate::Phase(a),
+                ..
+            } => assert!((a.radians() - std::f64::consts::FRAC_PI_2).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &c.operations()[2] {
+            Operation::Unitary {
+                gate: OneQubitGate::Rx(a),
+                ..
+            } => assert!((a.radians() - 2.0 * std::f64::consts::PI / 3.0).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let e = parse("qreg q[1]; frobnicate q[0];").unwrap_err();
+        assert!(e.message.contains("unsupported gate"));
+    }
+
+    #[test]
+    fn rejects_gate_before_qreg() {
+        let e = parse("h q[0];").unwrap_err();
+        assert!(e.message.contains("before qreg"));
+    }
+
+    #[test]
+    fn rejects_wrong_operand_count() {
+        let e = parse("qreg q[2]; cx q[0];").unwrap_err();
+        assert!(e.message.contains("expects 2 operands"));
+    }
+
+    #[test]
+    fn rejects_out_of_register_name() {
+        let e = parse("qreg q[2]; h r[0];").unwrap_err();
+        assert!(e.message.contains("does not match"));
+    }
+
+    #[test]
+    fn ignores_barriers_and_comments() {
+        let src = "// a comment\nqreg q[2];\nbarrier q;\nh q[0]; // trailing comment\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn parses_u_gate() {
+        let c = parse("qreg q[1]; u(pi/2,0,pi) q[0];").unwrap();
+        match &c.operations()[0] {
+            Operation::Unitary {
+                gate: OneQubitGate::U { theta, .. },
+                ..
+            } => assert!((theta.radians() - std::f64::consts::FRAC_PI_2).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_evaluator_handles_precedence() {
+        assert!((eval_expr("1+2*3", 0).unwrap() - 7.0).abs() < 1e-12);
+        assert!((eval_expr("(1+2)*3", 0).unwrap() - 9.0).abs() < 1e-12);
+        assert!((eval_expr("-pi/2", 0).unwrap() + std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((eval_expr("1e-3", 0).unwrap() - 1e-3).abs() < 1e-15);
+        assert!(eval_expr("1++", 0).is_err());
+        assert!(eval_expr("foo", 0).is_err());
+    }
+
+    #[test]
+    fn rejects_double_qreg() {
+        let e = parse("qreg q[2]; qreg r[2];").unwrap_err();
+        assert!(e.message.contains("multiple qreg"));
+    }
+}

@@ -1,0 +1,221 @@
+//! OpenQASM 2.0 writer.
+
+use crate::{Circuit, OneQubitGate, Operation, Qubit};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error returned by [`to_qasm`] when the circuit contains an operation that
+/// has no OpenQASM 2.0 representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteQasmError {
+    /// The operation at this index cannot be expressed in the QASM subset.
+    UnsupportedOperation {
+        /// Index of the offending operation.
+        op_index: usize,
+        /// Human-readable description of the operation.
+        description: String,
+    },
+}
+
+impl fmt::Display for WriteQasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteQasmError::UnsupportedOperation {
+                op_index,
+                description,
+            } => write!(
+                f,
+                "operation {op_index} ({description}) cannot be written as OpenQASM 2.0"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WriteQasmError {}
+
+fn q(qubit: Qubit) -> String {
+    format!("q[{}]", qubit.index())
+}
+
+fn gate_call(gate: &OneQubitGate) -> String {
+    match gate {
+        OneQubitGate::Phase(a) => format!("p({})", a.radians()),
+        OneQubitGate::Rx(a) => format!("rx({})", a.radians()),
+        OneQubitGate::Ry(a) => format!("ry({})", a.radians()),
+        OneQubitGate::Rz(a) => format!("rz({})", a.radians()),
+        OneQubitGate::U { theta, phi, lambda } => format!(
+            "u({},{},{})",
+            theta.radians(),
+            phi.radians(),
+            lambda.radians()
+        ),
+        other => other.name().to_string(),
+    }
+}
+
+/// Serialises a circuit to OpenQASM 2.0 text.
+///
+/// # Errors
+///
+/// Returns [`WriteQasmError::UnsupportedOperation`] for operations outside
+/// the QASM subset: basis-state permutations, gates with three or more
+/// controls, and controlled gates whose base gate has no standard controlled
+/// form (anything other than `X`, `Z`, phase and swap).
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{Circuit, Qubit, qasm::to_qasm};
+/// let mut c = Circuit::new(1);
+/// c.h(Qubit(0));
+/// assert!(to_qasm(&c)?.contains("h q[0];"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> Result<String, WriteQasmError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "// {}", circuit.name());
+    let _ = writeln!(out, "OPENQASM 2.0;");
+    let _ = writeln!(out, "include \"qelib1.inc\";");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    let _ = writeln!(out, "creg c[{}];", circuit.num_qubits());
+
+    for (op_index, op) in circuit.operations().iter().enumerate() {
+        let unsupported = |description: &str| WriteQasmError::UnsupportedOperation {
+            op_index,
+            description: description.to_string(),
+        };
+        match op {
+            Operation::Unitary {
+                gate,
+                target,
+                controls,
+            } => match controls.len() {
+                0 => {
+                    let _ = writeln!(out, "{} {};", gate_call(gate), q(*target));
+                }
+                1 => {
+                    let c = controls[0];
+                    match gate {
+                        OneQubitGate::X => {
+                            let _ = writeln!(out, "cx {},{};", q(c), q(*target));
+                        }
+                        OneQubitGate::Z => {
+                            let _ = writeln!(out, "cz {},{};", q(c), q(*target));
+                        }
+                        OneQubitGate::Phase(a) => {
+                            let _ = writeln!(
+                                out,
+                                "cp({}) {},{};",
+                                a.radians(),
+                                q(c),
+                                q(*target)
+                            );
+                        }
+                        other => {
+                            return Err(unsupported(&format!(
+                                "controlled {} has no OpenQASM 2.0 form in the supported subset",
+                                other.name()
+                            )))
+                        }
+                    }
+                }
+                2 => match gate {
+                    OneQubitGate::X => {
+                        let _ = writeln!(
+                            out,
+                            "ccx {},{},{};",
+                            q(controls[0]),
+                            q(controls[1]),
+                            q(*target)
+                        );
+                    }
+                    other => {
+                        return Err(unsupported(&format!(
+                            "doubly-controlled {} is not in the supported subset",
+                            other.name()
+                        )))
+                    }
+                },
+                n => {
+                    return Err(unsupported(&format!(
+                        "gate with {n} controls is not expressible in OpenQASM 2.0 without ancillas"
+                    )))
+                }
+            },
+            Operation::Swap { a, b, controls } => match controls.len() {
+                0 => {
+                    let _ = writeln!(out, "swap {},{};", q(*a), q(*b));
+                }
+                1 => {
+                    let _ = writeln!(out, "cswap {},{},{};", q(controls[0]), q(*a), q(*b));
+                }
+                n => {
+                    return Err(unsupported(&format!(
+                        "swap with {n} controls is not expressible in the supported subset"
+                    )))
+                }
+            },
+            Operation::Permute { .. } => {
+                return Err(unsupported(
+                    "basis-state permutations have no OpenQASM representation",
+                ))
+            }
+        }
+    }
+    let _ = writeln!(out, "measure q -> c;");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathkit::Angle;
+
+    #[test]
+    fn header_and_registers_are_emitted() {
+        let c = Circuit::with_name(4, "header_test");
+        let text = to_qasm(&c).unwrap();
+        assert!(text.contains("OPENQASM 2.0;"));
+        assert!(text.contains("qreg q[4];"));
+        assert!(text.contains("creg c[4];"));
+        assert!(text.contains("// header_test"));
+        assert!(text.contains("measure q -> c;"));
+    }
+
+    #[test]
+    fn standard_gates_are_emitted() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0))
+            .cx(Qubit(0), Qubit(1))
+            .cz(Qubit(1), Qubit(2))
+            .cp(Angle::pi_over(2), Qubit(0), Qubit(2))
+            .swap(Qubit(0), Qubit(1))
+            .cswap(Qubit(2), Qubit(0), Qubit(1))
+            .ccx(Qubit(0), Qubit(1), Qubit(2));
+        let text = to_qasm(&c).unwrap();
+        assert!(text.contains("h q[0];"));
+        assert!(text.contains("cx q[0],q[1];"));
+        assert!(text.contains("cz q[1],q[2];"));
+        assert!(text.contains("cp(1.5707963267948966) q[0],q[2];"));
+        assert!(text.contains("swap q[0],q[1];"));
+        assert!(text.contains("cswap q[2],q[0],q[1];"));
+        assert!(text.contains("ccx q[0],q[1],q[2];"));
+    }
+
+    #[test]
+    fn unsupported_controlled_gate_errors() {
+        let mut c = Circuit::new(2);
+        c.controlled_gate(OneQubitGate::H, vec![Qubit(0)], Qubit(1));
+        assert!(matches!(
+            to_qasm(&c),
+            Err(WriteQasmError::UnsupportedOperation { op_index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn many_controls_error() {
+        let mut c = Circuit::new(4);
+        c.mcx(vec![Qubit(0), Qubit(1), Qubit(2)], Qubit(3));
+        assert!(to_qasm(&c).is_err());
+    }
+}

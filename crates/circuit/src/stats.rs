@@ -1,0 +1,147 @@
+//! Circuit statistics: gate counts and depth.
+
+use crate::{Circuit, Operation};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Summary statistics of a [`Circuit`], used by experiment reports.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{Circuit, Qubit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(Qubit(0));
+/// c.cx(Qubit(0), Qubit(1));
+/// let stats = c.stats();
+/// assert_eq!(stats.total_ops, 2);
+/// assert_eq!(stats.two_qubit_ops, 1);
+/// assert_eq!(stats.depth, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    /// Total number of operations.
+    pub total_ops: usize,
+    /// Operations acting on a single qubit with no controls.
+    pub single_qubit_ops: usize,
+    /// Operations touching exactly two qubits (controls included).
+    pub two_qubit_ops: usize,
+    /// Operations touching three or more qubits (controls included).
+    pub multi_qubit_ops: usize,
+    /// Circuit depth: length of the longest chain of operations that share a
+    /// qubit (each operation occupies one layer on every qubit it touches).
+    pub depth: usize,
+    /// Gate counts keyed by mnemonic (`"h"`, `"x"`, `"swap"`, `"permute"`, …).
+    pub counts: BTreeMap<String, usize>,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of a circuit.
+    #[must_use]
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut stats = CircuitStats {
+            total_ops: circuit.len(),
+            ..CircuitStats::default()
+        };
+        let mut layer_of_qubit = vec![0usize; usize::from(circuit.num_qubits())];
+        for op in circuit.operations() {
+            let support = op.support();
+            match support.len() {
+                0 | 1 => stats.single_qubit_ops += 1,
+                2 => stats.two_qubit_ops += 1,
+                _ => stats.multi_qubit_ops += 1,
+            }
+            let mnemonic = match op {
+                Operation::Unitary { gate, .. } => gate.name().to_string(),
+                Operation::Swap { .. } => "swap".to_string(),
+                Operation::Permute { .. } => "permute".to_string(),
+            };
+            *stats.counts.entry(mnemonic).or_insert(0) += 1;
+
+            let layer = support
+                .iter()
+                .map(|q| layer_of_qubit.get(q.index()).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for q in &support {
+                if let Some(slot) = layer_of_qubit.get_mut(q.index()) {
+                    *slot = layer;
+                }
+            }
+            stats.depth = stats.depth.max(layer);
+        }
+        stats
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ops (1q: {}, 2q: {}, 3q+: {}), depth {}",
+            self.total_ops,
+            self.single_qubit_ops,
+            self.two_qubit_ops,
+            self.multi_qubit_ops,
+            self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Qubit;
+
+    #[test]
+    fn empty_circuit_has_zero_stats() {
+        let s = Circuit::new(4).stats();
+        assert_eq!(s.total_ops, 0);
+        assert_eq!(s.depth, 0);
+        assert!(s.counts.is_empty());
+    }
+
+    #[test]
+    fn counts_by_mnemonic() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0)).h(Qubit(1)).cx(Qubit(0), Qubit(1)).swap(Qubit(1), Qubit(2));
+        let s = c.stats();
+        assert_eq!(s.counts["h"], 2);
+        assert_eq!(s.counts["x"], 1);
+        assert_eq!(s.counts["swap"], 1);
+        assert_eq!(s.single_qubit_ops, 2);
+        assert_eq!(s.two_qubit_ops, 2);
+    }
+
+    #[test]
+    fn depth_accounts_for_parallel_gates() {
+        let mut c = Circuit::new(4);
+        // Two disjoint CNOTs can share a layer; a following CNOT on q1,q2
+        // must come after both.
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(2), Qubit(3));
+        c.cx(Qubit(1), Qubit(2));
+        let s = c.stats();
+        assert_eq!(s.depth, 2);
+    }
+
+    #[test]
+    fn depth_of_serial_chain() {
+        let mut c = Circuit::new(1);
+        for _ in 0..5 {
+            c.h(Qubit(0));
+        }
+        assert_eq!(c.stats().depth, 5);
+    }
+
+    #[test]
+    fn multi_qubit_ops_counted() {
+        let mut c = Circuit::new(3);
+        c.ccx(Qubit(0), Qubit(1), Qubit(2));
+        let s = c.stats();
+        assert_eq!(s.multi_qubit_ops, 1);
+        assert!(s.to_string().contains("3q+: 1"));
+    }
+}

@@ -1,0 +1,301 @@
+//! The experiment harness that regenerates the paper's evaluation (Table I)
+//! and supporting figures.
+//!
+//! Table I of the paper reports, for 17 benchmark circuits, the size of the
+//! sampled representation and the time to draw one million samples with the
+//! vector-based and the DD-based method.  [`table1_benchmarks`] builds the
+//! circuit list (at three scales, so tests and CI can run a cheap subset),
+//! [`run_table1_row`] measures one row, and [`format_table`] renders the
+//! result in the layout of the paper.
+
+use crate::{Backend, RunError, WeakSimulator};
+use circuit::Circuit;
+use statevector::MemoryBudget;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A named benchmark circuit.
+#[derive(Debug, Clone)]
+pub struct BenchmarkInstance {
+    /// The benchmark name as it appears in Table I (e.g. `qft_32`).
+    pub name: String,
+    /// The circuit itself.
+    pub circuit: Circuit,
+}
+
+impl BenchmarkInstance {
+    fn new(circuit: Circuit) -> Self {
+        Self {
+            name: circuit.name().to_string(),
+            circuit,
+        }
+    }
+}
+
+/// How much of the paper's benchmark set to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchmarkScale {
+    /// A handful of very small instances; finishes in well under a second.
+    /// Used by unit and integration tests.
+    Smoke,
+    /// Mid-sized instances from every family; finishes in minutes on a
+    /// laptop.  This is the default for `cargo run -p bench --bin table1`.
+    Reduced,
+    /// The full 17-benchmark set of Table I (qft_48, grover_35,
+    /// supremacy_5x5_10, ...).  Needs a beefy machine and patience, exactly
+    /// like the original evaluation.
+    Full,
+}
+
+/// Builds the benchmark circuits of Table I at the requested scale.
+///
+/// # Examples
+///
+/// ```
+/// use weaksim::experiment::{table1_benchmarks, BenchmarkScale};
+/// let smoke = table1_benchmarks(BenchmarkScale::Smoke);
+/// assert!(smoke.iter().any(|b| b.name.starts_with("qft_")));
+/// ```
+#[must_use]
+pub fn table1_benchmarks(scale: BenchmarkScale) -> Vec<BenchmarkInstance> {
+    let mut out = Vec::new();
+    match scale {
+        BenchmarkScale::Smoke => {
+            out.push(BenchmarkInstance::new(algorithms::qft(8, true)));
+            out.push(BenchmarkInstance::new(algorithms::qft(12, true)));
+            out.push(BenchmarkInstance::new(algorithms::grover(6, 2020)));
+            out.push(BenchmarkInstance::new(algorithms::shor(15, 2).0));
+            out.push(BenchmarkInstance::new(algorithms::jellium(2, 1).0));
+            out.push(BenchmarkInstance::new(algorithms::supremacy(3, 3, 6, 2020).0));
+        }
+        BenchmarkScale::Reduced => {
+            out.push(BenchmarkInstance::new(algorithms::qft(16, true)));
+            out.push(BenchmarkInstance::new(algorithms::qft(32, true)));
+            out.push(BenchmarkInstance::new(algorithms::qft(48, true)));
+            out.push(BenchmarkInstance::new(algorithms::grover(16, 2020)));
+            out.push(BenchmarkInstance::new(algorithms::grover(18, 2020)));
+            out.push(BenchmarkInstance::new(algorithms::grover(20, 2020)));
+            out.push(BenchmarkInstance::new(algorithms::shor(33, 2).0));
+            out.push(BenchmarkInstance::new(algorithms::shor(55, 2).0));
+            out.push(BenchmarkInstance::new(algorithms::shor(69, 4).0));
+            out.push(BenchmarkInstance::new(algorithms::jellium(2, 2).0));
+            out.push(BenchmarkInstance::new(algorithms::jellium(3, 2).0));
+            out.push(BenchmarkInstance::new(algorithms::supremacy(4, 4, 10, 2020).0));
+            out.push(BenchmarkInstance::new(algorithms::supremacy(5, 4, 10, 2020).0));
+        }
+        BenchmarkScale::Full => {
+            out.push(BenchmarkInstance::new(algorithms::qft(16, true)));
+            out.push(BenchmarkInstance::new(algorithms::qft(32, true)));
+            out.push(BenchmarkInstance::new(algorithms::qft(48, true)));
+            out.push(BenchmarkInstance::new(algorithms::grover(20, 2020)));
+            out.push(BenchmarkInstance::new(algorithms::grover(25, 2020)));
+            out.push(BenchmarkInstance::new(algorithms::grover(30, 2020)));
+            out.push(BenchmarkInstance::new(algorithms::grover(35, 2020)));
+            out.push(BenchmarkInstance::new(algorithms::shor(33, 2).0));
+            out.push(BenchmarkInstance::new(algorithms::shor(55, 2).0));
+            out.push(BenchmarkInstance::new(algorithms::shor(69, 4).0));
+            out.push(BenchmarkInstance::new(algorithms::shor(221, 4).0));
+            out.push(BenchmarkInstance::new(algorithms::shor(247, 4).0));
+            out.push(BenchmarkInstance::new(algorithms::jellium(2, 2).0));
+            out.push(BenchmarkInstance::new(algorithms::jellium(3, 2).0));
+            out.push(BenchmarkInstance::new(algorithms::supremacy(4, 4, 10, 2020).0));
+            out.push(BenchmarkInstance::new(algorithms::supremacy(5, 4, 10, 2020).0));
+            out.push(BenchmarkInstance::new(algorithms::supremacy(5, 5, 10, 2020).0));
+        }
+    }
+    out
+}
+
+/// One measured row of Table I.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of qubits.
+    pub qubits: u16,
+    /// Size of the dense representation (`2^n` amplitudes), reported even
+    /// when the vector-based run hits the memory budget.
+    pub vector_size: u128,
+    /// Prefix-sum construction plus sampling time for the vector-based
+    /// method, or `None` on memory-out ("MO" in the paper).
+    pub vector_time: Option<Duration>,
+    /// Number of nodes of the final state decision diagram.
+    pub dd_size: u128,
+    /// Downstream-probability precomputation plus sampling time for the
+    /// DD-based method.
+    pub dd_time: Duration,
+    /// Strong-simulation time for the DD backend (not part of Table I, but
+    /// reported for transparency).
+    pub dd_strong_time: Duration,
+    /// Number of samples drawn.
+    pub shots: u64,
+}
+
+impl Table1Row {
+    /// `log2` of the DD size, matching the `~ 2^x` annotation of the paper.
+    #[must_use]
+    pub fn dd_size_log2(&self) -> f64 {
+        (self.dd_size as f64).log2()
+    }
+}
+
+/// Measures one benchmark with both samplers.
+///
+/// # Errors
+///
+/// Returns an error only if the circuit itself is invalid; a vector-backend
+/// memory-out is reported in the row (as in the paper), not as an error.
+pub fn run_table1_row(
+    instance: &BenchmarkInstance,
+    shots: u64,
+    budget: MemoryBudget,
+    seed: u64,
+) -> Result<Table1Row, RunError> {
+    let qubits = instance.circuit.num_qubits();
+
+    // DD-based run (always possible).
+    let dd_outcome =
+        WeakSimulator::new(Backend::DecisionDiagram).run(&instance.circuit, shots, seed)?;
+
+    // Vector-based run, which may hit the memory budget.
+    let vector_time = match WeakSimulator::new(Backend::StateVector)
+        .with_memory_budget(budget)
+        .run(&instance.circuit, shots, seed)
+    {
+        Ok(outcome) => Some(outcome.weak_time()),
+        Err(RunError::MemoryOut { .. }) => None,
+        Err(other) => return Err(other),
+    };
+
+    Ok(Table1Row {
+        name: instance.name.clone(),
+        qubits,
+        vector_size: 1u128 << qubits,
+        vector_time,
+        dd_size: dd_outcome.representation_size,
+        dd_time: dd_outcome.weak_time(),
+        dd_strong_time: dd_outcome.strong_time,
+        shots,
+    })
+}
+
+/// Renders measured rows in the layout of Table I.
+#[must_use]
+pub fn format_table(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>6} | {:>14} {:>12} | {:>12} {:>10} {:>12}",
+        "benchmark", "qubits", "vec size", "vec t [s]", "DD size", "DD t [s]", "DD strong [s]"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(100));
+    for row in rows {
+        let vector_time = match row.vector_time {
+            Some(t) => format!("{:.2}", t.as_secs_f64()),
+            None => "MO".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:>6} | {:>14} {:>12} | {:>12} {:>10.2} {:>12.2}",
+            row.name,
+            row.qubits,
+            format!("2^{}", row.qubits),
+            vector_time,
+            format!("{} ~2^{:.1}", row.dd_size, row.dd_size_log2()),
+            row.dd_time.as_secs_f64(),
+            row.dd_strong_time.as_secs_f64(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_benchmarks_cover_every_family() {
+        let names: Vec<String> = table1_benchmarks(BenchmarkScale::Smoke)
+            .into_iter()
+            .map(|b| b.name)
+            .collect();
+        for prefix in ["qft_", "grover_", "shor_", "jellium_", "supremacy_"] {
+            assert!(
+                names.iter().any(|n| n.starts_with(prefix)),
+                "missing family {prefix} in {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_benchmark_set_matches_the_paper() {
+        let names: Vec<String> = table1_benchmarks(BenchmarkScale::Full)
+            .into_iter()
+            .map(|b| b.name)
+            .collect();
+        assert_eq!(names.len(), 17);
+        for expected in [
+            "qft_16",
+            "qft_32",
+            "qft_48",
+            "grover_20",
+            "grover_25",
+            "grover_30",
+            "grover_35",
+            "shor_33_2",
+            "shor_55_2",
+            "shor_69_4",
+            "shor_221_4",
+            "shor_247_4",
+            "jellium_2x2",
+            "jellium_3x3",
+            "supremacy_4x4_10",
+            "supremacy_5x4_10",
+            "supremacy_5x5_10",
+        ] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn running_a_smoke_row_produces_sensible_numbers() {
+        let instance = BenchmarkInstance {
+            name: "qft_8".into(),
+            circuit: algorithms::qft(8, true),
+        };
+        let row =
+            run_table1_row(&instance, 2_000, MemoryBudget::unlimited(), 1).expect("row runs");
+        assert_eq!(row.qubits, 8);
+        assert_eq!(row.vector_size, 256);
+        assert_eq!(row.dd_size, 8); // product state
+        assert!(row.vector_time.is_some());
+        assert_eq!(row.shots, 2_000);
+        assert!((row.dd_size_log2() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_out_is_reported_not_fatal() {
+        let instance = BenchmarkInstance {
+            name: "qft_16".into(),
+            circuit: algorithms::qft(16, true),
+        };
+        let row = run_table1_row(&instance, 100, MemoryBudget::from_bytes(64), 1).expect("row");
+        assert!(row.vector_time.is_none());
+        assert!(row.dd_size > 0);
+        let table = format_table(&[row]);
+        assert!(table.contains("MO"));
+    }
+
+    #[test]
+    fn format_table_lists_every_row() {
+        let instance = BenchmarkInstance {
+            name: "ghz_4".into(),
+            circuit: algorithms::ghz(4),
+        };
+        let row = run_table1_row(&instance, 100, MemoryBudget::unlimited(), 0).unwrap();
+        let text = format_table(&[row.clone(), row]);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("ghz_4"));
+        assert!(text.contains("benchmark"));
+    }
+}

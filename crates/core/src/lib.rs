@@ -1,0 +1,44 @@
+//! Weak simulation of quantum computation — the user-facing front end of the
+//! reproduction of Hillmich, Markov and Wille, *"Just Like the Real Thing:
+//! Fast Weak Simulation of Quantum Computation"* (DAC 2020).
+//!
+//! The crate ties the substrates together:
+//!
+//! * [`WeakSimulator`] — run a [`circuit::Circuit`] through either backend
+//!   ([`Backend::DecisionDiagram`] or [`Backend::StateVector`]) and draw
+//!   measurement samples that are statistically indistinguishable from an
+//!   error-free quantum computer;
+//! * [`ShotHistogram`] — aggregated samples with bitstring formatting;
+//! * [`stats`] — chi-square goodness-of-fit and total-variation-distance
+//!   checks used to validate the "statistically indistinguishable" claim;
+//! * [`experiment`] — the harness that regenerates Table I of the paper
+//!   (per-benchmark representation sizes and sampling times for both
+//!   backends).
+//!
+//! # Quick start
+//!
+//! ```
+//! use circuit::{Circuit, Qubit};
+//! use weaksim::{Backend, WeakSimulator};
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(Qubit(0));
+//! bell.cx(Qubit(0), Qubit(1));
+//!
+//! let mut sim = WeakSimulator::new(Backend::DecisionDiagram);
+//! let outcome = sim.run(&bell, 1000, 42)?;
+//! // Only |00> and |11> can ever be observed.
+//! assert!(outcome.histogram.counts().keys().all(|&k| k == 0 || k == 3));
+//! # Ok::<(), weaksim::RunError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+mod shots;
+mod simulator;
+pub mod stats;
+
+pub use shots::ShotHistogram;
+pub use simulator::{Backend, RunError, RunOutcome, StrongState, WeakSimulator};

@@ -1,0 +1,195 @@
+//! Aggregated measurement samples.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A histogram of measurement outcomes (basis-state index -> count).
+///
+/// # Examples
+///
+/// ```
+/// use weaksim::ShotHistogram;
+///
+/// let hist = ShotHistogram::from_samples(3, [0b101, 0b101, 0b000].into_iter());
+/// assert_eq!(hist.shots(), 3);
+/// assert_eq!(hist.count(0b101), 2);
+/// assert_eq!(hist.bitstring(0b101), "101");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShotHistogram {
+    num_qubits: u16,
+    counts: BTreeMap<u64, u64>,
+    shots: u64,
+}
+
+impl ShotHistogram {
+    /// Creates an empty histogram for `num_qubits`-bit outcomes.
+    #[must_use]
+    pub fn new(num_qubits: u16) -> Self {
+        Self {
+            num_qubits,
+            counts: BTreeMap::new(),
+            shots: 0,
+        }
+    }
+
+    /// Builds a histogram from raw samples.
+    pub fn from_samples(num_qubits: u16, samples: impl Iterator<Item = u64>) -> Self {
+        let mut hist = Self::new(num_qubits);
+        for s in samples {
+            hist.record(s);
+        }
+        hist
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, outcome: u64) {
+        *self.counts.entry(outcome).or_insert(0) += 1;
+        self.shots += 1;
+    }
+
+    /// The number of qubits per outcome.
+    #[must_use]
+    pub fn num_qubits(&self) -> u16 {
+        self.num_qubits
+    }
+
+    /// The total number of recorded shots.
+    #[must_use]
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// The raw counts, keyed by basis-state index.
+    #[must_use]
+    pub fn counts(&self) -> &BTreeMap<u64, u64> {
+        &self.counts
+    }
+
+    /// The count of a specific outcome.
+    #[must_use]
+    pub fn count(&self, outcome: u64) -> u64 {
+        self.counts.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// The empirical frequency of a specific outcome.
+    #[must_use]
+    pub fn frequency(&self, outcome: u64) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.count(outcome) as f64 / self.shots as f64
+        }
+    }
+
+    /// The number of distinct outcomes observed.
+    #[must_use]
+    pub fn distinct_outcomes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The most frequent outcome, if any shots were recorded.
+    #[must_use]
+    pub fn most_common(&self) -> Option<(u64, u64)> {
+        self.counts
+            .iter()
+            .max_by_key(|(outcome, count)| (*count, std::cmp::Reverse(*outcome)))
+            .map(|(&o, &c)| (o, c))
+    }
+
+    /// Formats an outcome as a bitstring `q_{n-1} ... q_1 q_0` (most
+    /// significant qubit first), matching the notation of the paper.
+    #[must_use]
+    pub fn bitstring(&self, outcome: u64) -> String {
+        (0..self.num_qubits)
+            .rev()
+            .map(|bit| if outcome & (1 << bit) != 0 { '1' } else { '0' })
+            .collect()
+    }
+
+    /// Iterates over `(bitstring, count)` pairs in index order.
+    #[must_use]
+    pub fn to_bitstring_counts(&self) -> Vec<(String, u64)> {
+        self.counts
+            .iter()
+            .map(|(&o, &c)| (self.bitstring(o), c))
+            .collect()
+    }
+}
+
+impl Extend<u64> for ShotHistogram {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        for s in iter {
+            self.record(s);
+        }
+    }
+}
+
+impl fmt::Display for ShotHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} shots over {} qubits", self.shots, self.num_qubits)?;
+        for (&outcome, &count) in &self.counts {
+            writeln!(
+                f,
+                "  |{}> : {count} ({:.4})",
+                self.bitstring(outcome),
+                self.frequency(outcome)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut h = ShotHistogram::new(2);
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        assert_eq!(h.shots(), 3);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.count(1), 0);
+        assert!((h.frequency(3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.distinct_outcomes(), 2);
+        assert_eq!(h.most_common(), Some((3, 2)));
+    }
+
+    #[test]
+    fn bitstring_formatting_is_msb_first() {
+        let h = ShotHistogram::new(4);
+        assert_eq!(h.bitstring(0b0101), "0101");
+        assert_eq!(h.bitstring(0b1000), "1000");
+        assert_eq!(h.bitstring(0), "0000");
+    }
+
+    #[test]
+    fn from_samples_and_extend() {
+        let mut h = ShotHistogram::from_samples(3, [1, 2, 2, 7].into_iter());
+        h.extend([7, 7]);
+        assert_eq!(h.shots(), 6);
+        assert_eq!(h.count(7), 3);
+        let pairs = h.to_bitstring_counts();
+        assert_eq!(pairs[0], ("001".to_string(), 1));
+        assert_eq!(pairs.last().unwrap(), &("111".to_string(), 3));
+    }
+
+    #[test]
+    fn empty_histogram_behaviour() {
+        let h = ShotHistogram::new(2);
+        assert_eq!(h.shots(), 0);
+        assert_eq!(h.frequency(0), 0.0);
+        assert_eq!(h.most_common(), None);
+    }
+
+    #[test]
+    fn display_lists_outcomes() {
+        let h = ShotHistogram::from_samples(2, [0, 3, 3].into_iter());
+        let text = h.to_string();
+        assert!(text.contains("|00>"));
+        assert!(text.contains("|11>"));
+    }
+}

@@ -1,0 +1,395 @@
+//! The unified weak-simulation front end.
+
+use crate::ShotHistogram;
+use circuit::Circuit;
+use dd::{DdPackage, DdSampler, StateDd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use statevector::{MemoryBudget, PrefixSampler, StateVector};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The simulation backend used for strong simulation and sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Edge-weighted decision diagrams with single-path sampling — the
+    /// method proposed by the paper (Section IV).
+    #[default]
+    DecisionDiagram,
+    /// Dense state vector with prefix-sum / binary-search sampling — the
+    /// baseline method (Section III).
+    StateVector,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::DecisionDiagram => write!(f, "DD-based"),
+            Backend::StateVector => write!(f, "vector-based"),
+        }
+    }
+}
+
+/// Error returned by [`WeakSimulator::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The circuit failed validation.
+    InvalidCircuit(circuit::ValidateCircuitError),
+    /// The dense amplitude array would exceed the memory budget (only the
+    /// [`Backend::StateVector`] backend can fail this way; this is the "MO"
+    /// of Table I).
+    MemoryOut {
+        /// Number of qubits of the requested simulation.
+        num_qubits: u16,
+        /// Bytes the amplitude array would need.
+        required_bytes: u128,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::InvalidCircuit(e) => write!(f, "invalid circuit: {e}"),
+            RunError::MemoryOut {
+                num_qubits,
+                required_bytes,
+            } => write!(
+                f,
+                "memory out: a {num_qubits}-qubit dense state vector needs {required_bytes} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<statevector::SimulateError> for RunError {
+    fn from(e: statevector::SimulateError) -> Self {
+        match e {
+            statevector::SimulateError::InvalidCircuit(e) => RunError::InvalidCircuit(e),
+            statevector::SimulateError::MemoryOut {
+                num_qubits,
+                required_bytes,
+                ..
+            } => RunError::MemoryOut {
+                num_qubits,
+                required_bytes,
+            },
+        }
+    }
+}
+
+impl From<dd::ApplyError> for RunError {
+    fn from(e: dd::ApplyError) -> Self {
+        match e {
+            dd::ApplyError::InvalidCircuit(e) => RunError::InvalidCircuit(e),
+        }
+    }
+}
+
+/// The result of strong simulation, kept so repeated sampling does not redo
+/// the expensive part.
+#[derive(Debug)]
+pub enum StrongState {
+    /// A decision-diagram state together with its owning package.
+    DecisionDiagram {
+        /// The package owning the nodes.
+        package: Box<DdPackage>,
+        /// The final state.
+        state: StateDd,
+    },
+    /// A dense state vector.
+    StateVector(StateVector),
+}
+
+impl StrongState {
+    /// The number of qubits of the state.
+    #[must_use]
+    pub fn num_qubits(&self) -> u16 {
+        match self {
+            StrongState::DecisionDiagram { state, .. } => state.num_qubits(),
+            StrongState::StateVector(v) => v.num_qubits(),
+        }
+    }
+
+    /// The exact measurement probability of a basis state.
+    #[must_use]
+    pub fn probability(&self, index: u64) -> f64 {
+        match self {
+            StrongState::DecisionDiagram { package, state } => state.probability(package, index),
+            StrongState::StateVector(v) => v.probability(index),
+        }
+    }
+
+    /// The size of the representation: decision-diagram node count or number
+    /// of dense amplitudes (the two "size" columns of Table I).
+    #[must_use]
+    pub fn representation_size(&self) -> u128 {
+        match self {
+            StrongState::DecisionDiagram { package, state } => state.node_count(package) as u128,
+            StrongState::StateVector(v) => v.len() as u128,
+        }
+    }
+}
+
+/// Timing and output of one weak-simulation run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The backend that produced this outcome.
+    pub backend: Backend,
+    /// Aggregated measurement samples.
+    pub histogram: ShotHistogram,
+    /// Time spent on strong simulation (not reported in Table I, but useful).
+    pub strong_time: Duration,
+    /// Time spent on the sampling precomputation (prefix sums or downstream
+    /// probabilities).
+    pub precompute_time: Duration,
+    /// Time spent drawing the samples.
+    pub sampling_time: Duration,
+    /// Representation size (DD nodes or dense amplitudes).
+    pub representation_size: u128,
+    /// The final strong-simulation state, for follow-up queries.
+    pub state: StrongState,
+}
+
+impl RunOutcome {
+    /// The combined precompute + sampling time — the quantity reported in the
+    /// `t [s]` columns of Table I.
+    #[must_use]
+    pub fn weak_time(&self) -> Duration {
+        self.precompute_time + self.sampling_time
+    }
+}
+
+/// A weak simulator: strong simulation followed by measurement sampling on
+/// the chosen [`Backend`].
+///
+/// # Examples
+///
+/// ```
+/// use weaksim::{Backend, WeakSimulator};
+///
+/// let circuit = algorithms::ghz(4);
+/// let mut sim = WeakSimulator::new(Backend::StateVector);
+/// let outcome = sim.run(&circuit, 500, 1)?;
+/// assert_eq!(outcome.histogram.shots(), 500);
+/// # Ok::<(), weaksim::RunError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WeakSimulator {
+    backend: Backend,
+    memory_budget: MemoryBudget,
+}
+
+impl WeakSimulator {
+    /// Creates a simulator for the given backend with an unlimited memory
+    /// budget.
+    #[must_use]
+    pub fn new(backend: Backend) -> Self {
+        Self {
+            backend,
+            memory_budget: MemoryBudget::unlimited(),
+        }
+    }
+
+    /// Restricts the dense-vector backend to the given memory budget
+    /// (decision diagrams are never budgeted; they grow with the state's
+    /// structure, not with `2^n`).
+    #[must_use]
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.memory_budget = budget;
+        self
+    }
+
+    /// The backend of this simulator.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Runs strong simulation only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InvalidCircuit`] for malformed circuits and
+    /// [`RunError::MemoryOut`] when the dense backend exceeds its budget.
+    pub fn strong(&self, circuit: &Circuit) -> Result<StrongState, RunError> {
+        match self.backend {
+            Backend::DecisionDiagram => {
+                let mut package = Box::new(DdPackage::new());
+                let state = dd::simulate(&mut package, circuit)?;
+                Ok(StrongState::DecisionDiagram { package, state })
+            }
+            Backend::StateVector => {
+                let state = statevector::simulate_with_budget(circuit, self.memory_budget)?;
+                Ok(StrongState::StateVector(state))
+            }
+        }
+    }
+
+    /// Runs strong simulation followed by `shots` measurement samples drawn
+    /// with a deterministic RNG seeded by `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InvalidCircuit`] for malformed circuits and
+    /// [`RunError::MemoryOut`] when the dense backend exceeds its budget.
+    pub fn run(&mut self, circuit: &Circuit, shots: u64, seed: u64) -> Result<RunOutcome, RunError> {
+        let strong_start = Instant::now();
+        let state = self.strong(circuit)?;
+        let strong_time = strong_start.elapsed();
+        let (histogram, precompute_time, sampling_time) = Self::sample(&state, shots, seed);
+        Ok(RunOutcome {
+            backend: self.backend,
+            representation_size: state.representation_size(),
+            histogram,
+            strong_time,
+            precompute_time,
+            sampling_time,
+            state,
+        })
+    }
+
+    /// Draws `shots` samples from an already strong-simulated state.
+    ///
+    /// Returns the histogram together with the precomputation time (prefix
+    /// sums or downstream probabilities) and the pure sampling time.
+    #[must_use]
+    pub fn sample(state: &StrongState, shots: u64, seed: u64) -> (ShotHistogram, Duration, Duration) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match state {
+            StrongState::DecisionDiagram { package, state } => {
+                let precompute_start = Instant::now();
+                let sampler = DdSampler::new(package, state);
+                let precompute_time = precompute_start.elapsed();
+
+                let sampling_start = Instant::now();
+                let mut histogram = ShotHistogram::new(state.num_qubits());
+                for _ in 0..shots {
+                    histogram.record(sampler.sample(package, &mut rng));
+                }
+                (histogram, precompute_time, sampling_start.elapsed())
+            }
+            StrongState::StateVector(vector) => {
+                let precompute_start = Instant::now();
+                let sampler = PrefixSampler::new(vector);
+                let precompute_time = precompute_start.elapsed();
+
+                let sampling_start = Instant::now();
+                let mut histogram = ShotHistogram::new(vector.num_qubits());
+                for _ in 0..shots {
+                    histogram.record(sampler.sample(&mut rng));
+                }
+                (histogram, precompute_time, sampling_start.elapsed())
+            }
+        }
+    }
+}
+
+impl Default for WeakSimulator {
+    fn default() -> Self {
+        Self::new(Backend::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::Qubit;
+
+    #[test]
+    fn both_backends_agree_on_a_ghz_circuit() {
+        let circuit = algorithms::ghz(5);
+        let shots = 20_000;
+        let dd_outcome = WeakSimulator::new(Backend::DecisionDiagram)
+            .run(&circuit, shots, 3)
+            .unwrap();
+        let sv_outcome = WeakSimulator::new(Backend::StateVector)
+            .run(&circuit, shots, 3)
+            .unwrap();
+        for outcome in [&dd_outcome, &sv_outcome] {
+            assert_eq!(outcome.histogram.shots(), shots);
+            // Only the all-zeros and all-ones strings occur.
+            assert!(outcome
+                .histogram
+                .counts()
+                .keys()
+                .all(|&k| k == 0 || k == 0b11111));
+            let zero_freq = outcome.histogram.frequency(0);
+            assert!((zero_freq - 0.5).abs() < 0.02, "{} {zero_freq}", outcome.backend);
+        }
+        // The DD is much smaller than the dense vector.
+        assert!(dd_outcome.representation_size < sv_outcome.representation_size);
+    }
+
+    #[test]
+    fn memory_budget_produces_memory_out_only_for_vectors() {
+        let circuit = algorithms::qft(18, true);
+        let budget = MemoryBudget::from_bytes(1024);
+        let vector = WeakSimulator::new(Backend::StateVector)
+            .with_memory_budget(budget)
+            .run(&circuit, 10, 0);
+        assert!(matches!(vector, Err(RunError::MemoryOut { .. })));
+
+        let dd = WeakSimulator::new(Backend::DecisionDiagram)
+            .with_memory_budget(budget)
+            .run(&circuit, 10, 0);
+        assert!(dd.is_ok());
+    }
+
+    #[test]
+    fn invalid_circuits_are_rejected_by_both_backends() {
+        let mut c = Circuit::new(1);
+        c.h(Qubit(5));
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let result = WeakSimulator::new(backend).run(&c, 1, 0);
+            assert!(matches!(result, Err(RunError::InvalidCircuit(_))));
+        }
+    }
+
+    #[test]
+    fn outcome_reports_timings_and_sizes() {
+        let circuit = algorithms::qft(10, true);
+        let outcome = WeakSimulator::new(Backend::DecisionDiagram)
+            .run(&circuit, 100, 7)
+            .unwrap();
+        assert_eq!(outcome.representation_size, 10); // product state: 1 node/qubit
+        assert!(outcome.weak_time() >= outcome.sampling_time);
+        assert_eq!(outcome.state.num_qubits(), 10);
+        let sv = WeakSimulator::new(Backend::StateVector)
+            .run(&circuit, 100, 7)
+            .unwrap();
+        assert_eq!(sv.representation_size, 1 << 10);
+    }
+
+    #[test]
+    fn strong_state_probability_queries_match() {
+        let circuit = algorithms::bell_pair();
+        let dd = WeakSimulator::new(Backend::DecisionDiagram)
+            .strong(&circuit)
+            .unwrap();
+        let sv = WeakSimulator::new(Backend::StateVector)
+            .strong(&circuit)
+            .unwrap();
+        for i in 0..4 {
+            assert!((dd.probability(i) - sv.probability(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_seed() {
+        let circuit = algorithms::w_state(4);
+        let mut sim = WeakSimulator::new(Backend::DecisionDiagram);
+        let a = sim.run(&circuit, 1000, 11).unwrap();
+        let b = sim.run(&circuit, 1000, 11).unwrap();
+        assert_eq!(a.histogram, b.histogram);
+        let c = sim.run(&circuit, 1000, 12).unwrap();
+        assert_ne!(a.histogram, c.histogram);
+    }
+
+    #[test]
+    fn backend_display_names() {
+        assert_eq!(Backend::DecisionDiagram.to_string(), "DD-based");
+        assert_eq!(Backend::StateVector.to_string(), "vector-based");
+    }
+}

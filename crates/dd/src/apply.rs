@@ -1,0 +1,305 @@
+//! Strong simulation of circuits on decision diagrams.
+
+use crate::matrix::OperatorDd;
+use crate::ops::matrix_vector_multiply;
+use crate::{DdPackage, StateDd};
+use circuit::{Circuit, OneQubitGate, Operation, Qubit};
+use std::fmt;
+
+/// Error returned by [`simulate`] and [`apply_circuit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// The circuit failed validation.
+    InvalidCircuit(circuit::ValidateCircuitError),
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::InvalidCircuit(e) => write!(f, "invalid circuit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+impl From<circuit::ValidateCircuitError> for ApplyError {
+    fn from(e: circuit::ValidateCircuitError) -> Self {
+        ApplyError::InvalidCircuit(e)
+    }
+}
+
+/// Number of allocated vector nodes above which garbage is collected between
+/// gates (when the reachable set is much smaller).
+const GC_NODE_THRESHOLD: usize = 250_000;
+
+/// Applies one lowered operation to a state DD and returns the new state.
+///
+/// Swap operations are decomposed into three CNOTs (picking up any controls
+/// on each of them); unitaries and permutations are converted to operator
+/// DDs and applied by matrix–vector multiplication.
+pub fn apply_operation(package: &mut DdPackage, state: StateDd, op: &Operation) -> StateDd {
+    let n = state.num_qubits();
+    match op {
+        Operation::Unitary {
+            gate,
+            target,
+            controls,
+        } => {
+            let operator = OperatorDd::controlled_gate(package, n, *gate, *target, controls);
+            StateDd::from_root(
+                matrix_vector_multiply(package, operator.root(), state.root()),
+                n,
+            )
+        }
+        Operation::Swap { a, b, controls } => {
+            if a == b {
+                return state;
+            }
+            let mut current = state;
+            for (control, target) in [(*a, *b), (*b, *a), (*a, *b)] {
+                let mut all_controls: Vec<Qubit> = controls.clone();
+                all_controls.push(control);
+                let operator = OperatorDd::controlled_gate(
+                    package,
+                    n,
+                    OneQubitGate::X,
+                    target,
+                    &all_controls,
+                );
+                current = StateDd::from_root(
+                    matrix_vector_multiply(package, operator.root(), current.root()),
+                    n,
+                );
+            }
+            current
+        }
+        Operation::Permute {
+            permutation,
+            controls,
+        } => {
+            let operator =
+                OperatorDd::controlled_permutation(package, n, permutation, controls);
+            StateDd::from_root(
+                matrix_vector_multiply(package, operator.root(), state.root()),
+                n,
+            )
+        }
+    }
+}
+
+/// Applies every operation of `circuit` to `state`, collecting garbage
+/// between gates when the arena grows far beyond the reachable state.
+///
+/// # Errors
+///
+/// Returns [`ApplyError::InvalidCircuit`] if the circuit fails validation.
+pub fn apply_circuit(
+    package: &mut DdPackage,
+    state: StateDd,
+    circuit: &Circuit,
+) -> Result<StateDd, ApplyError> {
+    circuit.validate()?;
+    let mut current = state;
+    for op in circuit.operations() {
+        current = apply_operation(package, current, op);
+        if package.allocated_vector_nodes() > GC_NODE_THRESHOLD {
+            let reachable = current.node_count(package);
+            if package.allocated_vector_nodes() > 4 * reachable {
+                let roots = package.collect_garbage(&[current.root()]);
+                current = StateDd::from_root(roots[0], current.num_qubits());
+            }
+        }
+    }
+    Ok(current)
+}
+
+/// Strong-simulates `circuit` from `|0...0>` into a state decision diagram.
+///
+/// # Errors
+///
+/// Returns [`ApplyError::InvalidCircuit`] if the circuit fails validation.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{Circuit, Qubit};
+/// use dd::DdPackage;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(Qubit(0));
+/// c.cx(Qubit(0), Qubit(1));
+/// let mut package = DdPackage::new();
+/// let state = dd::simulate(&mut package, &c)?;
+/// assert!((state.probability(&package, 0b00) - 0.5).abs() < 1e-12);
+/// assert!((state.probability(&package, 0b11) - 0.5).abs() < 1e-12);
+/// # Ok::<(), dd::ApplyError>(())
+/// ```
+pub fn simulate(package: &mut DdPackage, circuit: &Circuit) -> Result<StateDd, ApplyError> {
+    let state = StateDd::zero_state(package, circuit.num_qubits());
+    apply_circuit(package, state, circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::Permutation;
+    use mathkit::{Angle, Complex, SQRT1_2};
+
+    const EPS: f64 = 1e-10;
+
+    fn assert_state(package: &DdPackage, state: &StateDd, expected: &[Complex]) {
+        let amps = state.to_amplitudes(package);
+        assert_eq!(amps.len(), expected.len());
+        for (i, (got, want)) in amps.iter().zip(expected).enumerate() {
+            assert!(
+                (*got - *want).norm() < EPS,
+                "amplitude {i}: got {got}, expected {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn bell_state_matches_example_2() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(1));
+        let mut p = DdPackage::new();
+        let s = simulate(&mut p, &c).unwrap();
+        let h = Complex::from_real(SQRT1_2);
+        assert_state(&p, &s, &[h, Complex::ZERO, Complex::ZERO, h]);
+        // One q1 node plus two distinct q0 nodes ([1,0] and [0,1]).
+        assert_eq!(s.node_count(&p), 3);
+    }
+
+    #[test]
+    fn ghz_state_on_five_qubits() {
+        let n = 5u16;
+        let mut c = Circuit::new(n);
+        c.h(Qubit(0));
+        for i in 1..n {
+            c.cx(Qubit(i - 1), Qubit(i));
+        }
+        let mut p = DdPackage::new();
+        let s = simulate(&mut p, &c).unwrap();
+        assert!((s.probability(&p, 0) - 0.5).abs() < EPS);
+        assert!((s.probability(&p, (1 << n) - 1) - 0.5).abs() < EPS);
+        assert!((s.norm_sqr(&p) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn x_and_swap_move_excitations() {
+        let mut c = Circuit::new(3);
+        c.x(Qubit(0));
+        c.swap(Qubit(0), Qubit(2));
+        let mut p = DdPackage::new();
+        let s = simulate(&mut p, &c).unwrap();
+        assert!((s.probability(&p, 0b100) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn controlled_swap_only_fires_with_control_set() {
+        let mut c = Circuit::new(3);
+        c.x(Qubit(0));
+        c.cswap(Qubit(2), Qubit(0), Qubit(1));
+        let mut p = DdPackage::new();
+        let s = simulate(&mut p, &c).unwrap();
+        assert!((s.probability(&p, 0b001) - 1.0).abs() < EPS);
+
+        let mut c = Circuit::new(3);
+        c.x(Qubit(0));
+        c.x(Qubit(2));
+        c.cswap(Qubit(2), Qubit(0), Qubit(1));
+        let mut p = DdPackage::new();
+        let s = simulate(&mut p, &c).unwrap();
+        assert!((s.probability(&p, 0b110) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn permutation_gate_on_dd() {
+        let perm = Permutation::new(vec![Qubit(0), Qubit(1)], vec![1, 2, 3, 0]).unwrap();
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.permute(perm);
+        let mut p = DdPackage::new();
+        let s = simulate(&mut p, &c).unwrap();
+        // (|00> + |01>)/sqrt(2) -> (|01> + |10>)/sqrt(2).
+        assert!((s.probability(&p, 0b01) - 0.5).abs() < EPS);
+        assert!((s.probability(&p, 0b10) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn running_example_circuit_matches_fig_4() {
+        let mut c = Circuit::new(3);
+        c.rx(Angle::Radians(2.0 * std::f64::consts::PI / 3.0), Qubit(2));
+        c.x(Qubit(2));
+        c.h(Qubit(1));
+        c.ccx(Qubit(2), Qubit(1), Qubit(0));
+        c.x(Qubit(0));
+        c.cx(Qubit(2), Qubit(0));
+        let mut p = DdPackage::new();
+        let s = simulate(&mut p, &c).unwrap();
+        let a = Complex::new(0.0, -(3.0_f64 / 8.0).sqrt());
+        let b = Complex::from_real((1.0_f64 / 8.0).sqrt());
+        assert_state(
+            &p,
+            &s,
+            &[
+                Complex::ZERO,
+                a,
+                Complex::ZERO,
+                a,
+                b,
+                Complex::ZERO,
+                Complex::ZERO,
+                b,
+            ],
+        );
+        // Fig. 4b draws six nodes; with full node sharing the [0,1] leaf is
+        // reused by both q1 nodes, so the canonical diagram has five.
+        assert_eq!(s.node_count(&p), 5);
+    }
+
+    #[test]
+    fn invalid_circuit_is_rejected() {
+        let mut c = Circuit::new(1);
+        c.h(Qubit(7));
+        let mut p = DdPackage::new();
+        assert!(matches!(
+            simulate(&mut p, &c),
+            Err(ApplyError::InvalidCircuit(_))
+        ));
+    }
+
+    #[test]
+    fn diagonal_circuit_keeps_probabilities_uniform() {
+        let mut c = Circuit::new(3);
+        for i in 0..3 {
+            c.h(Qubit(i));
+        }
+        c.t(Qubit(0));
+        c.cz(Qubit(0), Qubit(1));
+        c.cp(Angle::pi_over(8), Qubit(1), Qubit(2));
+        let mut p = DdPackage::new();
+        let s = simulate(&mut p, &c).unwrap();
+        for i in 0..8 {
+            assert!((s.probability(&p, i) - 0.125).abs() < EPS, "index {i}");
+        }
+    }
+
+    #[test]
+    fn circuit_then_adjoint_returns_to_zero_state() {
+        let mut c = Circuit::new(4);
+        c.h(Qubit(0))
+            .cx(Qubit(0), Qubit(1))
+            .t(Qubit(2))
+            .ry(Angle::Radians(0.7), Qubit(3))
+            .swap(Qubit(1), Qubit(3))
+            .ccx(Qubit(0), Qubit(1), Qubit(2));
+        let mut p = DdPackage::new();
+        let s = simulate(&mut p, &c).unwrap();
+        let s = apply_circuit(&mut p, s, &c.adjoint()).unwrap();
+        assert!((s.probability(&p, 0) - 1.0).abs() < EPS);
+        assert_eq!(s.node_count(&p), 4);
+    }
+}

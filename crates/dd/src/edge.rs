@@ -1,0 +1,217 @@
+//! Node identifiers, interned edge weights and edges.
+
+use mathkit::ValueId;
+
+/// Identifier of a vector (state) decision-diagram node inside a
+/// [`DdPackage`](crate::DdPackage).
+///
+/// The special value [`VectorNodeId::TERMINAL`] denotes the shared terminal
+/// node that ends every root-to-terminal path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VectorNodeId(pub(crate) u32);
+
+impl VectorNodeId {
+    /// The terminal node.
+    pub const TERMINAL: VectorNodeId = VectorNodeId(u32::MAX);
+
+    /// Returns `true` if this is the terminal node.
+    #[inline]
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        self == Self::TERMINAL
+    }
+
+    /// The raw arena index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the terminal node, which has no arena slot.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        assert!(!self.is_terminal(), "terminal node has no arena index");
+        self.0 as usize
+    }
+}
+
+/// Identifier of a matrix (operator) decision-diagram node inside a
+/// [`DdPackage`](crate::DdPackage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MatrixNodeId(pub(crate) u32);
+
+impl MatrixNodeId {
+    /// The terminal node.
+    pub const TERMINAL: MatrixNodeId = MatrixNodeId(u32::MAX);
+
+    /// Returns `true` if this is the terminal node.
+    #[inline]
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        self == Self::TERMINAL
+    }
+
+    /// The raw arena index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the terminal node, which has no arena slot.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        assert!(!self.is_terminal(), "terminal node has no arena index");
+        self.0 as usize
+    }
+}
+
+/// An interned complex edge weight: a pair of canonical real-value ids from
+/// the package's complex table.
+///
+/// Two weights are numerically equal (within the table tolerance) if and only
+/// if their `WeightId`s are equal, which is what makes hashing-based node
+/// sharing work in the presence of floating-point round-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WeightId {
+    /// Canonical id of the real part.
+    pub re: ValueId,
+    /// Canonical id of the imaginary part.
+    pub im: ValueId,
+}
+
+impl WeightId {
+    /// The interned weight `0`.
+    pub const ZERO: WeightId = WeightId {
+        re: ValueId::ZERO,
+        im: ValueId::ZERO,
+    };
+    /// The interned weight `1`.
+    pub const ONE: WeightId = WeightId {
+        re: ValueId::ONE,
+        im: ValueId::ZERO,
+    };
+
+    /// Returns `true` if the weight is the canonical zero.
+    #[inline]
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+
+    /// Returns `true` if the weight is the canonical one.
+    #[inline]
+    #[must_use]
+    pub fn is_one(self) -> bool {
+        self == Self::ONE
+    }
+}
+
+/// A weighted edge to a vector node.
+///
+/// The edge weight multiplies every amplitude represented by the sub-diagram
+/// it points to.  An edge with weight zero always points to the terminal
+/// node (the canonical representation of the zero vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VectorEdge {
+    /// The node the edge points to.
+    pub target: VectorNodeId,
+    /// The interned complex weight.
+    pub weight: WeightId,
+}
+
+impl VectorEdge {
+    /// The canonical zero edge (weight 0 to the terminal node).
+    pub const ZERO: VectorEdge = VectorEdge {
+        target: VectorNodeId::TERMINAL,
+        weight: WeightId::ZERO,
+    };
+    /// The terminal edge with weight 1 (the scalar 1).
+    pub const ONE: VectorEdge = VectorEdge {
+        target: VectorNodeId::TERMINAL,
+        weight: WeightId::ONE,
+    };
+
+    /// Returns `true` if this edge represents the zero vector.
+    #[inline]
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.weight.is_zero()
+    }
+
+    /// Returns `true` if this edge points at the terminal node.
+    #[inline]
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        self.target.is_terminal()
+    }
+}
+
+/// A weighted edge to a matrix node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatrixEdge {
+    /// The node the edge points to.
+    pub target: MatrixNodeId,
+    /// The interned complex weight.
+    pub weight: WeightId,
+}
+
+impl MatrixEdge {
+    /// The canonical zero edge (weight 0 to the terminal node).
+    pub const ZERO: MatrixEdge = MatrixEdge {
+        target: MatrixNodeId::TERMINAL,
+        weight: WeightId::ZERO,
+    };
+    /// The terminal edge with weight 1 (the scalar 1).
+    pub const ONE: MatrixEdge = MatrixEdge {
+        target: MatrixNodeId::TERMINAL,
+        weight: WeightId::ONE,
+    };
+
+    /// Returns `true` if this edge represents the zero matrix.
+    #[inline]
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.weight.is_zero()
+    }
+
+    /// Returns `true` if this edge points at the terminal node.
+    #[inline]
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        self.target.is_terminal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_ids() {
+        assert!(VectorNodeId::TERMINAL.is_terminal());
+        assert!(MatrixNodeId::TERMINAL.is_terminal());
+        assert!(!VectorNodeId(0).is_terminal());
+    }
+
+    #[test]
+    #[should_panic(expected = "terminal node has no arena index")]
+    fn terminal_has_no_index() {
+        let _ = VectorNodeId::TERMINAL.index();
+    }
+
+    #[test]
+    fn weight_constants() {
+        assert!(WeightId::ZERO.is_zero());
+        assert!(!WeightId::ZERO.is_one());
+        assert!(WeightId::ONE.is_one());
+        assert!(!WeightId::ONE.is_zero());
+    }
+
+    #[test]
+    fn canonical_edges() {
+        assert!(VectorEdge::ZERO.is_zero());
+        assert!(VectorEdge::ZERO.is_terminal());
+        assert!(VectorEdge::ONE.is_terminal());
+        assert!(!VectorEdge::ONE.is_zero());
+        assert!(MatrixEdge::ZERO.is_zero());
+        assert!(MatrixEdge::ONE.is_terminal());
+    }
+}

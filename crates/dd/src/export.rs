@@ -1,0 +1,162 @@
+//! Graphviz DOT export of state decision diagrams.
+
+use crate::sample::EdgeProbabilities;
+use crate::{DdPackage, StateDd};
+use mathkit::FxHashSet;
+use std::fmt::Write as _;
+
+/// Renders a state decision diagram as Graphviz DOT text.
+///
+/// When `probabilities` is `Some`, every edge is additionally labelled with
+/// the branch probability used during sampling — this reproduces the
+/// annotated diagram of Fig. 4c of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use dd::{DdPackage, StateDd};
+///
+/// let mut package = DdPackage::new();
+/// let state = StateDd::basis_state(&mut package, 2, 0b10);
+/// let dot = dd::to_dot(&package, &state, None);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("q1"));
+/// ```
+#[must_use]
+pub fn to_dot(
+    package: &DdPackage,
+    state: &StateDd,
+    probabilities: Option<&EdgeProbabilities>,
+) -> String {
+    let mut out = String::from("digraph state_dd {\n");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  terminal [shape=box, label=\"1\"];");
+
+    let root = state.root();
+    let _ = writeln!(out, "  root [shape=point];");
+    let root_weight = package.weight_value(root.weight);
+    let _ = writeln!(
+        out,
+        "  root -> {} [label=\"{}\"];",
+        node_name(root),
+        format_weight(root_weight.re, root_weight.im)
+    );
+
+    let mut seen: FxHashSet<u32> = FxHashSet::default();
+    let mut stack = vec![root.target];
+    while let Some(id) = stack.pop() {
+        if id.is_terminal() || !seen.insert(id.index() as u32) {
+            continue;
+        }
+        let node = package.vnode(id);
+        let _ = writeln!(
+            out,
+            "  n{} [shape=circle, label=\"q{}\"];",
+            id.index(),
+            node.var
+        );
+        for (bit, child) in node.children.iter().enumerate() {
+            let style = if bit == 0 { "dashed" } else { "solid" };
+            if child.is_zero() {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> zero_{}_{} [style={style}, label=\"0\"];",
+                    id.index(),
+                    id.index(),
+                    bit
+                );
+                let _ = writeln!(
+                    out,
+                    "  zero_{}_{} [shape=point, label=\"0\"];",
+                    id.index(),
+                    bit
+                );
+                continue;
+            }
+            let weight = package.weight_value(child.weight);
+            let mut label = format_weight(weight.re, weight.im);
+            if let Some(probs) = probabilities {
+                if let Some(branch) = probs.branch.get(&id) {
+                    let _ = write!(label, " (p={:.3})", branch[bit]);
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  n{} -> {} [style={style}, label=\"{label}\"];",
+                id.index(),
+                node_name(*child)
+            );
+            stack.push(child.target);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn node_name(edge: crate::VectorEdge) -> String {
+    if edge.target.is_terminal() {
+        "terminal".to_string()
+    } else {
+        format!("n{}", edge.target.index())
+    }
+}
+
+fn format_weight(re: f64, im: f64) -> String {
+    if im == 0.0 {
+        format!("{re:.3}")
+    } else if re == 0.0 {
+        format!("{im:.3}i")
+    } else {
+        format!("{re:.3}{im:+.3}i")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathkit::Complex;
+
+    #[test]
+    fn dot_output_contains_all_levels() {
+        let mut p = DdPackage::new();
+        let s = StateDd::zero_state(&mut p, 3);
+        let dot = to_dot(&p, &s, None);
+        assert!(dot.contains("q0"));
+        assert!(dot.contains("q1"));
+        assert!(dot.contains("q2"));
+        assert!(dot.contains("terminal"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_output_with_probabilities_labels_edges() {
+        let mut p = DdPackage::new();
+        let a = Complex::new(0.0, -(3.0_f64 / 8.0).sqrt());
+        let b = Complex::from_real((1.0_f64 / 8.0).sqrt());
+        let s = StateDd::from_amplitudes(
+            &mut p,
+            &[
+                Complex::ZERO,
+                a,
+                Complex::ZERO,
+                a,
+                b,
+                Complex::ZERO,
+                Complex::ZERO,
+                b,
+            ],
+        );
+        let probs = EdgeProbabilities::new(&p, &s);
+        let dot = to_dot(&p, &s, Some(&probs));
+        assert!(dot.contains("p=0.750"));
+        assert!(dot.contains("p=0.250"));
+    }
+
+    #[test]
+    fn zero_children_render_as_zero_stubs() {
+        let mut p = DdPackage::new();
+        let s = StateDd::basis_state(&mut p, 2, 0b01);
+        let dot = to_dot(&p, &s, None);
+        assert!(dot.contains("zero_"));
+    }
+}

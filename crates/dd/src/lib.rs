@@ -1,0 +1,77 @@
+//! Edge-weighted decision diagrams for quantum-circuit simulation and the
+//! weak-simulation sampler of Hillmich, Markov and Wille (DAC 2020).
+//!
+//! # Overview
+//!
+//! A quantum state over `n` qubits is a vector of `2^n` complex amplitudes.
+//! Decision diagrams (DDs) exploit redundancy in that vector: the vector is
+//! split recursively into halves (one split per qubit), equal sub-vectors are
+//! shared, and common factors are pulled out into complex *edge weights*.
+//! The amplitude of a basis state is the product of the edge weights along
+//! the corresponding root-to-terminal path.
+//!
+//! This crate provides
+//!
+//! * [`DdPackage`] — the arena that owns all nodes, the canonical
+//!   complex-value table, the unique tables (for node sharing) and the
+//!   compute tables (for memoized operations);
+//! * [`StateDd`] — a state (vector) decision diagram rooted at a
+//!   [`VectorEdge`];
+//! * [`OperatorDd`] — an operator (matrix) decision diagram used to apply
+//!   gates by matrix–vector multiplication;
+//! * [`apply_circuit`]/[`simulate`] — strong simulation of a
+//!   [`circuit::Circuit`] into a [`StateDd`];
+//! * [`DdSampler`] — the paper's contribution: weak simulation by
+//!   precomputing *downstream* (and *upstream*) probabilities in time linear
+//!   in the DD size and then drawing each sample with a single randomized
+//!   root-to-terminal traversal (`O(n)` per sample);
+//! * [`Normalization`] — the standard left-most normalization and the
+//!   paper's proposed 2-norm normalization, under which the probability of
+//!   each branch can be read directly off the local edge weights.
+//!
+//! # Examples
+//!
+//! ```
+//! use circuit::{Circuit, Qubit};
+//! use dd::{DdPackage, DdSampler};
+//! use rand::SeedableRng;
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(Qubit(0));
+//! bell.cx(Qubit(0), Qubit(1));
+//!
+//! let mut package = DdPackage::new();
+//! let state = dd::simulate(&mut package, &bell)?;
+//! assert_eq!(state.node_count(&package), 3);
+//!
+//! let sampler = DdSampler::new(&package, &state);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+//! let shot = sampler.sample(&package, &mut rng);
+//! assert!(shot == 0 || shot == 3);
+//! # Ok::<(), dd::ApplyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apply;
+mod edge;
+mod export;
+mod matrix;
+mod measure;
+mod node;
+mod ops;
+mod package;
+mod sample;
+mod vector;
+
+pub use apply::{apply_circuit, apply_operation, simulate, ApplyError};
+pub use edge::{MatrixEdge, MatrixNodeId, VectorEdge, VectorNodeId, WeightId};
+pub use export::to_dot;
+pub use ops::{add, inner_product, matrix_add, matrix_matrix_multiply, matrix_vector_multiply};
+pub use matrix::OperatorDd;
+pub use measure::{measure_all, measure_qubit};
+pub use node::{MatrixNode, VectorNode};
+pub use package::{DdPackage, DdStats, Normalization};
+pub use sample::{DdSampler, EdgeProbabilities, NormalizedSampler};
+pub use vector::StateDd;

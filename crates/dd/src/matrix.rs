@@ -1,0 +1,575 @@
+//! Operator (matrix) decision diagrams and gate constructors.
+
+use crate::edge::{MatrixEdge, VectorEdge};
+use crate::ops::matrix_add;
+use crate::DdPackage;
+use circuit::{OneQubitGate, Permutation, Qubit};
+use mathkit::Complex;
+
+/// A linear operator on `n` qubits represented as a matrix decision diagram.
+///
+/// Operator DDs are used internally to apply gates by matrix–vector
+/// multiplication, and exposed so callers can fuse gates or inspect gate
+/// matrices.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{OneQubitGate, Qubit};
+/// use dd::{DdPackage, OperatorDd};
+///
+/// let mut package = DdPackage::new();
+/// let cnot = OperatorDd::controlled_gate(&mut package, 2, OneQubitGate::X, Qubit(1), &[Qubit(0)]);
+/// // CNOT maps |01> (control q0 = 1) to |11>.
+/// assert_eq!(cnot.entry(&package, 0b11, 0b01).re, 1.0);
+/// assert_eq!(cnot.entry(&package, 0b01, 0b01).re, 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatorDd {
+    root: MatrixEdge,
+    num_qubits: u16,
+}
+
+impl OperatorDd {
+    /// Wraps an existing root edge.
+    #[must_use]
+    pub fn from_root(root: MatrixEdge, num_qubits: u16) -> Self {
+        Self { root, num_qubits }
+    }
+
+    /// The root edge.
+    #[must_use]
+    pub fn root(&self) -> MatrixEdge {
+        self.root
+    }
+
+    /// The number of qubits the operator acts on.
+    #[must_use]
+    pub fn num_qubits(&self) -> u16 {
+        self.num_qubits
+    }
+
+    /// The identity operator on `num_qubits` qubits.
+    #[must_use]
+    pub fn identity(package: &mut DdPackage, num_qubits: u16) -> Self {
+        let mut edge = package.matrix_terminal(Complex::ONE);
+        for var in 0..num_qubits {
+            edge = package.make_mnode(var, [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, edge]);
+        }
+        Self {
+            root: edge,
+            num_qubits,
+        }
+    }
+
+    /// Builds the operator for a (multi-)controlled single-qubit gate.
+    ///
+    /// Controls may lie above or below the target in the variable order; the
+    /// construction handles both by building, below the target level, the
+    /// combination `delta_rc * (I - P) + u_rc * P` where `P` projects onto
+    /// "all lower controls are 1".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target coincides with a control or any qubit is out of
+    /// range.
+    #[must_use]
+    pub fn controlled_gate(
+        package: &mut DdPackage,
+        num_qubits: u16,
+        gate: OneQubitGate,
+        target: Qubit,
+        controls: &[Qubit],
+    ) -> Self {
+        assert!(
+            target.index() < usize::from(num_qubits),
+            "target {target} out of range"
+        );
+        assert!(
+            !controls.contains(&target),
+            "target {target} must not also be a control"
+        );
+        let mut is_control = vec![false; usize::from(num_qubits)];
+        for c in controls {
+            assert!(
+                c.index() < usize::from(num_qubits),
+                "control {c} out of range"
+            );
+            is_control[c.index()] = true;
+        }
+        let u = gate.matrix();
+        let target_level = target.index() as u16;
+
+        // Identity chains for every prefix of levels, used in control branches.
+        let mut identity_chain = Vec::with_capacity(usize::from(num_qubits) + 1);
+        identity_chain.push(package.matrix_terminal(Complex::ONE));
+        for var in 0..num_qubits {
+            let below = identity_chain[usize::from(var)];
+            identity_chain.push(package.make_mnode(
+                var,
+                [below, MatrixEdge::ZERO, MatrixEdge::ZERO, below],
+            ));
+        }
+
+        // mixed(level, a, b) builds `a * (I - P) + b * P` over levels 0..=level,
+        // where P projects onto "all controls at those levels equal 1".
+        fn mixed(
+            package: &mut DdPackage,
+            level: i32,
+            a: Complex,
+            b: Complex,
+            is_control: &[bool],
+            identity_chain: &[MatrixEdge],
+        ) -> MatrixEdge {
+            if level < 0 {
+                return package.matrix_terminal(b);
+            }
+            let var = level as u16;
+            let below = mixed(package, level - 1, a, b, is_control, identity_chain);
+            if is_control[level as usize] {
+                let id_below = identity_chain[level as usize];
+                let zero_branch = package.scale_medge(id_below, a);
+                package.make_mnode(
+                    var,
+                    [zero_branch, MatrixEdge::ZERO, MatrixEdge::ZERO, below],
+                )
+            } else {
+                package.make_mnode(var, [below, MatrixEdge::ZERO, MatrixEdge::ZERO, below])
+            }
+        }
+
+        // Build the target level: block (r, c) = delta_rc * (I - P) + u_rc * P.
+        let mut blocks = [MatrixEdge::ZERO; 4];
+        for row in 0..2usize {
+            for col in 0..2usize {
+                let delta = if row == col { Complex::ONE } else { Complex::ZERO };
+                blocks[2 * row + col] = mixed(
+                    package,
+                    i32::from(target_level) - 1,
+                    delta,
+                    u[row][col],
+                    &is_control,
+                    &identity_chain,
+                );
+            }
+        }
+        let mut edge = package.make_mnode(target_level, blocks);
+
+        // Levels above the target: controls gate the operator, other qubits
+        // pass it through diagonally.
+        for var in (target_level + 1)..num_qubits {
+            edge = if is_control[usize::from(var)] {
+                let id_below = identity_chain[usize::from(var)];
+                package.make_mnode(var, [id_below, MatrixEdge::ZERO, MatrixEdge::ZERO, edge])
+            } else {
+                package.make_mnode(var, [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, edge])
+            };
+        }
+
+        Self {
+            root: edge,
+            num_qubits,
+        }
+    }
+
+    /// Builds the operator for a (multi-)controlled basis-state permutation.
+    ///
+    /// The operator maps `|v>` to `|perm(v)>` on the permutation's register
+    /// when every control is `|1>`, and acts as the identity otherwise.  It
+    /// is assembled as `(I - P (x) I_R) + sum_v P (x) |perm(v)><v|_R`, one
+    /// simple chain DD per register value, combined with [`matrix_add`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if register or control qubits are out of range or overlap.
+    #[must_use]
+    pub fn controlled_permutation(
+        package: &mut DdPackage,
+        num_qubits: u16,
+        permutation: &Permutation,
+        controls: &[Qubit],
+    ) -> Self {
+        let register = permutation.qubits();
+        for q in register.iter().chain(controls) {
+            assert!(q.index() < usize::from(num_qubits), "qubit {q} out of range");
+        }
+        for c in controls {
+            assert!(
+                !register.contains(c),
+                "control {c} must not be part of the permuted register"
+            );
+        }
+        let mut is_control = vec![false; usize::from(num_qubits)];
+        for c in controls {
+            is_control[c.index()] = true;
+        }
+        let mut register_bit = vec![None; usize::from(num_qubits)];
+        for (bit, q) in register.iter().enumerate() {
+            register_bit[q.index()] = Some(bit);
+        }
+
+        // Identity chain reused by the control-failure term and chain builders.
+        let mut identity_chain = Vec::with_capacity(usize::from(num_qubits) + 1);
+        identity_chain.push(package.matrix_terminal(Complex::ONE));
+        for var in 0..num_qubits {
+            let below = identity_chain[usize::from(var)];
+            identity_chain.push(package.make_mnode(
+                var,
+                [below, MatrixEdge::ZERO, MatrixEdge::ZERO, below],
+            ));
+        }
+
+        // Term 1: identity on the subspace where not all controls are 1,
+        // i.e. I - P (x) I_R.  Built with the same mixed recursion as gates:
+        // a = 1 (identity part), b = 0 (controls-satisfied part), treating
+        // register qubits as pass-through.
+        fn not_all_controls(
+            package: &mut DdPackage,
+            level: i32,
+            is_control: &[bool],
+            identity_chain: &[MatrixEdge],
+        ) -> MatrixEdge {
+            if level < 0 {
+                return MatrixEdge::ZERO;
+            }
+            let var = level as u16;
+            let below = not_all_controls(package, level - 1, is_control, identity_chain);
+            if is_control[level as usize] {
+                let id_below = identity_chain[level as usize];
+                package.make_mnode(var, [id_below, MatrixEdge::ZERO, MatrixEdge::ZERO, below])
+            } else {
+                package.make_mnode(var, [below, MatrixEdge::ZERO, MatrixEdge::ZERO, below])
+            }
+        }
+        let mut total = not_all_controls(
+            package,
+            i32::from(num_qubits) - 1,
+            &is_control,
+            &identity_chain,
+        );
+
+        // One chain per register value v: P (x) |perm(v)><v| (x) I elsewhere.
+        for (value, &mapped) in permutation.mapping().iter().enumerate() {
+            let mut edge = package.matrix_terminal(Complex::ONE);
+            for var in 0..num_qubits {
+                let children = if let Some(bit) = register_bit[usize::from(var)] {
+                    let col = (value >> bit) & 1;
+                    let row = ((mapped >> bit) & 1) as usize;
+                    let mut c = [MatrixEdge::ZERO; 4];
+                    c[2 * row + col] = edge;
+                    c
+                } else if is_control[usize::from(var)] {
+                    [MatrixEdge::ZERO, MatrixEdge::ZERO, MatrixEdge::ZERO, edge]
+                } else {
+                    [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, edge]
+                };
+                edge = package.make_mnode(var, children);
+            }
+            total = matrix_add(package, total, edge);
+        }
+
+        Self {
+            root: total,
+            num_qubits,
+        }
+    }
+
+    /// Builds an operator DD from a dense row-major matrix of size
+    /// `2^n x 2^n` (intended for tests and very small operators).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square with a power-of-two dimension.
+    #[must_use]
+    pub fn from_dense(package: &mut DdPackage, matrix: &[Vec<Complex>]) -> Self {
+        let dim = matrix.len();
+        assert!(dim.is_power_of_two(), "matrix dimension must be a power of two");
+        assert!(
+            matrix.iter().all(|row| row.len() == dim),
+            "matrix must be square"
+        );
+        let num_qubits = dim.trailing_zeros() as u16;
+
+        fn build(
+            package: &mut DdPackage,
+            matrix: &[Vec<Complex>],
+            row0: usize,
+            col0: usize,
+            size: usize,
+        ) -> MatrixEdge {
+            if size == 1 {
+                return package.matrix_terminal(matrix[row0][col0]);
+            }
+            let half = size / 2;
+            let var = (size.trailing_zeros() - 1) as u16;
+            let mut children = [MatrixEdge::ZERO; 4];
+            for row in 0..2 {
+                for col in 0..2 {
+                    children[2 * row + col] = build(
+                        package,
+                        matrix,
+                        row0 + row * half,
+                        col0 + col * half,
+                        half,
+                    );
+                }
+            }
+            package.make_mnode(var, children)
+        }
+
+        let root = build(package, matrix, 0, 0, dim);
+        Self {
+            root,
+            num_qubits,
+        }
+    }
+
+    /// The matrix entry at (`row`, `col`), reconstructed from the path
+    /// weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    #[must_use]
+    pub fn entry(&self, package: &DdPackage, row: u64, col: u64) -> Complex {
+        assert!(
+            self.num_qubits == 64
+                || (row < (1u64 << self.num_qubits) && col < (1u64 << self.num_qubits)),
+            "matrix index out of range"
+        );
+        if self.root.is_zero() {
+            return Complex::ZERO;
+        }
+        let mut value = package.weight_value(self.root.weight);
+        let mut edge = self.root;
+        while !edge.is_terminal() {
+            let node = package.mnode(edge.target);
+            let r = ((row >> node.var) & 1) as usize;
+            let c = ((col >> node.var) & 1) as usize;
+            edge = node.children[2 * r + c];
+            if edge.is_zero() {
+                return Complex::ZERO;
+            }
+            value *= package.weight_value(edge.weight);
+        }
+        value
+    }
+
+    /// Applies the operator to a state, returning the resulting state edge.
+    #[must_use]
+    pub fn apply(&self, package: &mut DdPackage, state: VectorEdge) -> VectorEdge {
+        crate::ops::matrix_vector_multiply(package, self.root, state)
+    }
+
+    /// The number of matrix nodes reachable from the root.
+    #[must_use]
+    pub fn node_count(&self, package: &DdPackage) -> usize {
+        package.reachable_matrix_nodes(self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathkit::SQRT1_2;
+
+    fn assert_matrix_eq(
+        package: &DdPackage,
+        op: &OperatorDd,
+        expected: &[Vec<Complex>],
+        context: &str,
+    ) {
+        let dim = expected.len();
+        for row in 0..dim {
+            for col in 0..dim {
+                let got = op.entry(package, row as u64, col as u64);
+                assert!(
+                    (got - expected[row][col]).norm() < 1e-10,
+                    "{context}: entry ({row}, {col}) = {got}, expected {}",
+                    expected[row][col]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_has_one_node_per_level() {
+        let mut p = DdPackage::new();
+        let id = OperatorDd::identity(&mut p, 4);
+        assert_eq!(id.node_count(&p), 4);
+        for i in 0..16u64 {
+            for j in 0..16u64 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((id.entry(&p, i, j).re - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn single_qubit_gate_on_one_qubit() {
+        let mut p = DdPackage::new();
+        let h = OperatorDd::controlled_gate(&mut p, 1, OneQubitGate::H, Qubit(0), &[]);
+        let s = Complex::from_real(SQRT1_2);
+        assert_matrix_eq(
+            &p,
+            &h,
+            &[vec![s, s], vec![s, -s]],
+            "H",
+        );
+    }
+
+    #[test]
+    fn uncontrolled_gate_embeds_in_larger_register() {
+        let mut p = DdPackage::new();
+        // X on qubit 1 of a 2-qubit register: |ab> -> |a XOR 1, b> with qubit 1 as MSB.
+        let x1 = OperatorDd::controlled_gate(&mut p, 2, OneQubitGate::X, Qubit(1), &[]);
+        for col in 0..4u64 {
+            let row = col ^ 0b10;
+            assert!((x1.entry(&p, row, col).re - 1.0).abs() < 1e-12);
+            assert!(x1.entry(&p, col, col).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cnot_with_control_below_target() {
+        let mut p = DdPackage::new();
+        // Control on qubit 0, target on qubit 1.
+        let cnot = OperatorDd::controlled_gate(&mut p, 2, OneQubitGate::X, Qubit(1), &[Qubit(0)]);
+        let one = Complex::ONE;
+        let zero = Complex::ZERO;
+        // Basis order |q1 q0>: 00, 01, 10, 11 -> indices 0..3.
+        let expected = vec![
+            vec![one, zero, zero, zero],
+            vec![zero, zero, zero, one],
+            vec![zero, zero, one, zero],
+            vec![zero, one, zero, zero],
+        ];
+        assert_matrix_eq(&p, &cnot, &expected, "CNOT control below target");
+    }
+
+    #[test]
+    fn cnot_with_control_above_target() {
+        let mut p = DdPackage::new();
+        // Control on qubit 1, target on qubit 0.
+        let cnot = OperatorDd::controlled_gate(&mut p, 2, OneQubitGate::X, Qubit(0), &[Qubit(1)]);
+        let one = Complex::ONE;
+        let zero = Complex::ZERO;
+        let expected = vec![
+            vec![one, zero, zero, zero],
+            vec![zero, one, zero, zero],
+            vec![zero, zero, zero, one],
+            vec![zero, zero, one, zero],
+        ];
+        assert_matrix_eq(&p, &cnot, &expected, "CNOT control above target");
+    }
+
+    #[test]
+    fn toffoli_matrix_is_a_permutation() {
+        let mut p = DdPackage::new();
+        let ccx = OperatorDd::controlled_gate(
+            &mut p,
+            3,
+            OneQubitGate::X,
+            Qubit(2),
+            &[Qubit(0), Qubit(1)],
+        );
+        for col in 0..8u64 {
+            let row = if col & 0b011 == 0b011 { col ^ 0b100 } else { col };
+            assert!(
+                (ccx.entry(&p, row, col).re - 1.0).abs() < 1e-12,
+                "column {col}"
+            );
+        }
+    }
+
+    #[test]
+    fn controlled_phase_is_diagonal() {
+        let mut p = DdPackage::new();
+        let theta = std::f64::consts::FRAC_PI_4;
+        let cp = OperatorDd::controlled_gate(
+            &mut p,
+            2,
+            OneQubitGate::Phase(mathkit::Angle::Radians(theta)),
+            Qubit(1),
+            &[Qubit(0)],
+        );
+        for col in 0..4u64 {
+            let expected = if col == 3 {
+                Complex::phase(theta)
+            } else {
+                Complex::ONE
+            };
+            assert!((cp.entry(&p, col, col) - expected).norm() < 1e-12);
+            assert!(cp.entry(&p, col, col ^ 1).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_dense_round_trips() {
+        let mut p = DdPackage::new();
+        let m = vec![
+            vec![Complex::new(1.0, 0.0), Complex::new(0.0, 1.0)],
+            vec![Complex::new(0.5, 0.5), Complex::new(-1.0, 0.0)],
+        ];
+        let op = OperatorDd::from_dense(&mut p, &m);
+        assert_matrix_eq(&p, &op, &m, "dense 2x2");
+    }
+
+    #[test]
+    fn permutation_operator_without_controls() {
+        let mut p = DdPackage::new();
+        // Increment modulo 4 on qubits 0..1.
+        let perm = Permutation::new(vec![Qubit(0), Qubit(1)], vec![1, 2, 3, 0]).unwrap();
+        let op = OperatorDd::controlled_permutation(&mut p, 2, &perm, &[]);
+        for col in 0..4u64 {
+            let row = (col + 1) % 4;
+            assert!((op.entry(&p, row, col).re - 1.0).abs() < 1e-12, "col {col}");
+            for other in 0..4u64 {
+                if other != row {
+                    assert!(op.entry(&p, other, col).norm() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_permutation_acts_only_when_control_is_one() {
+        let mut p = DdPackage::new();
+        let perm = Permutation::new(vec![Qubit(0), Qubit(1)], vec![1, 2, 3, 0]).unwrap();
+        let op = OperatorDd::controlled_permutation(&mut p, 3, &perm, &[Qubit(2)]);
+        // Control q2 = 0: identity on the low bits.
+        for col in 0..4u64 {
+            assert!((op.entry(&p, col, col).re - 1.0).abs() < 1e-12);
+        }
+        // Control q2 = 1: increment on the low bits.
+        for col in 0..4u64 {
+            let row = 4 + (col + 1) % 4;
+            assert!((op.entry(&p, row, 4 + col).re - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn permutation_on_non_contiguous_register() {
+        let mut p = DdPackage::new();
+        // Swap the values of qubits 0 and 2 expressed as a permutation of the
+        // register [q0, q2]: value bits (b0, b1) -> (b1, b0).
+        let perm = Permutation::new(vec![Qubit(0), Qubit(2)], vec![0, 2, 1, 3]).unwrap();
+        let op = OperatorDd::controlled_permutation(&mut p, 3, &perm, &[]);
+        for col in 0..8u64 {
+            let b0 = col & 1;
+            let b2 = (col >> 2) & 1;
+            let row = (col & 0b010) | (b0 << 2) | b2;
+            assert!(
+                (op.entry(&p, row, col).re - 1.0).abs() < 1e-12,
+                "col {col} expected row {row}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not also be a control")]
+    fn control_equal_to_target_panics() {
+        let mut p = DdPackage::new();
+        let _ = OperatorDd::controlled_gate(&mut p, 2, OneQubitGate::X, Qubit(0), &[Qubit(0)]);
+    }
+}

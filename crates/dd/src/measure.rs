@@ -1,0 +1,169 @@
+//! Destructive measurement (state collapse) on decision diagrams.
+//!
+//! Weak simulation never needs collapse — sampling is a read-only operation
+//! that can be repeated (Section IV-B of the paper).  Collapse is provided as
+//! a library extension for users who interleave measurements with further
+//! gates (e.g. iterative phase estimation or error-correction experiments).
+
+use crate::edge::MatrixEdge;
+use crate::ops::matrix_vector_multiply;
+use crate::{DdPackage, DdSampler, StateDd};
+use circuit::Qubit;
+use mathkit::Complex;
+use rand::Rng;
+
+/// Measures a single qubit in the computational basis, collapsing the state.
+///
+/// Returns the observed bit and the renormalized post-measurement state.
+///
+/// # Panics
+///
+/// Panics if `qubit` is outside the state or the state is the zero vector.
+pub fn measure_qubit<R: Rng + ?Sized>(
+    package: &mut DdPackage,
+    state: &StateDd,
+    qubit: Qubit,
+    rng: &mut R,
+) -> (u8, StateDd) {
+    assert!(
+        qubit.index() < usize::from(state.num_qubits()),
+        "qubit {qubit} outside the {}-qubit state",
+        state.num_qubits()
+    );
+    assert!(!state.root().is_zero(), "cannot measure the zero vector");
+
+    let projected_one = project(package, state, qubit, 1);
+    let p_one = projected_one.norm_sqr(package);
+    let outcome = u8::from(rng.gen::<f64>() < p_one);
+
+    let (projected, probability) = if outcome == 1 {
+        (projected_one, p_one)
+    } else {
+        (project(package, state, qubit, 0), 1.0 - p_one)
+    };
+    assert!(
+        probability > 0.0,
+        "measurement produced an outcome of probability zero"
+    );
+    let renormalized = package.scale_vedge(
+        projected.root(),
+        Complex::from_real(1.0 / probability.sqrt()),
+    );
+    (
+        outcome,
+        StateDd::from_root(renormalized, state.num_qubits()),
+    )
+}
+
+/// Measures every qubit, collapsing the state to a computational basis state.
+///
+/// Returns the observed bitstring (qubit `k` at bit `k`) and the collapsed
+/// state.
+///
+/// # Panics
+///
+/// Panics if the state is the zero vector.
+pub fn measure_all<R: Rng + ?Sized>(
+    package: &mut DdPackage,
+    state: &StateDd,
+    rng: &mut R,
+) -> (u64, StateDd) {
+    let sampler = DdSampler::new(package, state);
+    let outcome = sampler.sample(package, rng);
+    let collapsed = StateDd::basis_state(package, state.num_qubits(), outcome);
+    (outcome, collapsed)
+}
+
+/// Projects the state onto the subspace where `qubit` has value `bit`
+/// (without renormalizing).
+fn project(package: &mut DdPackage, state: &StateDd, qubit: Qubit, bit: u8) -> StateDd {
+    let n = state.num_qubits();
+    // Build the diagonal projector |bit><bit| on `qubit`, identity elsewhere.
+    let mut edge = package.matrix_terminal(Complex::ONE);
+    for var in 0..n {
+        let children = if usize::from(var) == qubit.index() {
+            let mut c = [MatrixEdge::ZERO; 4];
+            c[usize::from(2 * bit + bit)] = edge;
+            c
+        } else {
+            [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, edge]
+        };
+        edge = package.make_mnode(var, children);
+    }
+    StateDd::from_root(matrix_vector_multiply(package, edge, state.root()), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn measuring_a_basis_state_is_deterministic() {
+        let mut p = DdPackage::new();
+        let state = StateDd::basis_state(&mut p, 4, 0b1010);
+        let mut rng = StdRng::seed_from_u64(0);
+        for q in 0..4u16 {
+            let (bit, post) = measure_qubit(&mut p, &state, Qubit(q), &mut rng);
+            assert_eq!(u64::from(bit), (0b1010 >> q) & 1);
+            assert!((post.norm_sqr(&p) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn measuring_one_ghz_qubit_collapses_the_rest() {
+        let mut p = DdPackage::new();
+        let circuit = {
+            let mut c = circuit::Circuit::new(4);
+            c.h(Qubit(0));
+            c.cx(Qubit(0), Qubit(1));
+            c.cx(Qubit(1), Qubit(2));
+            c.cx(Qubit(2), Qubit(3));
+            c
+        };
+        let state = crate::simulate(&mut p, &circuit).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut saw = [false, false];
+        for _ in 0..20 {
+            let (bit, post) = measure_qubit(&mut p, &state, Qubit(2), &mut rng);
+            saw[usize::from(bit)] = true;
+            // After measuring one qubit of a GHZ state all qubits agree.
+            let expected = if bit == 1 { 0b1111 } else { 0 };
+            assert!((post.probability(&p, expected) - 1.0).abs() < 1e-10);
+            assert!((post.norm_sqr(&p) - 1.0).abs() < 1e-10);
+        }
+        assert!(saw[0] && saw[1], "both outcomes should occur in 20 tries");
+    }
+
+    #[test]
+    fn measure_all_matches_the_distribution() {
+        let mut p = DdPackage::new();
+        let circuit = algorithms::w_state(3);
+        let state = crate::simulate(&mut p, &circuit).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0u32; 8];
+        for _ in 0..3000 {
+            let (outcome, collapsed) = measure_all(&mut p, &state, &mut rng);
+            counts[outcome as usize] += 1;
+            assert!((collapsed.probability(&p, outcome) - 1.0).abs() < 1e-12);
+        }
+        // Only one-hot outcomes appear, each about a third of the time.
+        for (i, &count) in counts.iter().enumerate() {
+            if [1, 2, 4].contains(&i) {
+                assert!((f64::from(count) / 3000.0 - 1.0 / 3.0).abs() < 0.05, "outcome {i}");
+            } else {
+                assert_eq!(count, 0, "impossible outcome {i} observed");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn measuring_a_missing_qubit_panics() {
+        let mut p = DdPackage::new();
+        let state = StateDd::zero_state(&mut p, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = measure_qubit(&mut p, &state, Qubit(5), &mut rng);
+    }
+}

@@ -1,0 +1,99 @@
+//! Decision-diagram node payloads.
+
+use crate::edge::{MatrixEdge, VectorEdge};
+
+/// A vector (state) decision-diagram node.
+///
+/// A node at variable level `var` splits the represented vector by the value
+/// of qubit `var`: the 0-successor describes the half where qubit `var` is
+/// `|0>`, the 1-successor the half where it is `|1>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VectorNode {
+    /// The qubit this node decides on.
+    pub var: u16,
+    /// The successor edges, indexed by the value of qubit `var`.
+    pub children: [VectorEdge; 2],
+}
+
+impl VectorNode {
+    /// The 0-successor edge.
+    #[inline]
+    #[must_use]
+    pub fn zero(&self) -> VectorEdge {
+        self.children[0]
+    }
+
+    /// The 1-successor edge.
+    #[inline]
+    #[must_use]
+    pub fn one(&self) -> VectorEdge {
+        self.children[1]
+    }
+}
+
+/// A matrix (operator) decision-diagram node.
+///
+/// A node at level `var` splits the operator into four sub-blocks indexed by
+/// the (row, column) bit of qubit `var`: `children[2*row + col]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatrixNode {
+    /// The qubit this node decides on.
+    pub var: u16,
+    /// The four sub-block edges, indexed by `2*row_bit + col_bit`.
+    pub children: [MatrixEdge; 4],
+}
+
+impl MatrixNode {
+    /// The sub-block for the given row and column bit of this qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is greater than 1.
+    #[inline]
+    #[must_use]
+    pub fn block(&self, row: u8, col: u8) -> MatrixEdge {
+        assert!(row < 2 && col < 2, "block indices must be bits");
+        self.children[usize::from(2 * row + col)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_node_accessors() {
+        let n = VectorNode {
+            var: 3,
+            children: [VectorEdge::ONE, VectorEdge::ZERO],
+        };
+        assert_eq!(n.zero(), VectorEdge::ONE);
+        assert_eq!(n.one(), VectorEdge::ZERO);
+    }
+
+    #[test]
+    fn matrix_node_block_indexing() {
+        let n = MatrixNode {
+            var: 0,
+            children: [
+                MatrixEdge::ONE,
+                MatrixEdge::ZERO,
+                MatrixEdge::ZERO,
+                MatrixEdge::ONE,
+            ],
+        };
+        assert_eq!(n.block(0, 0), MatrixEdge::ONE);
+        assert_eq!(n.block(0, 1), MatrixEdge::ZERO);
+        assert_eq!(n.block(1, 1), MatrixEdge::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn matrix_node_block_bounds() {
+        let n = MatrixNode {
+            var: 0,
+            children: [MatrixEdge::ZERO; 4],
+        };
+        let _ = n.block(2, 0);
+    }
+}

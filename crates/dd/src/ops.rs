@@ -1,0 +1,375 @@
+//! Memoized decision-diagram operations: vector addition, matrix addition,
+//! matrix–vector and matrix–matrix multiplication.
+
+use crate::edge::{MatrixEdge, VectorEdge};
+use crate::DdPackage;
+use mathkit::Complex;
+
+/// Adds two state DDs (`a + b`), sharing structure through the package's
+/// compute table.
+///
+/// Both edges must be rooted at the same variable level (or be terminal /
+/// zero edges); this is always the case for DDs built over the same number
+/// of qubits.
+pub fn add(package: &mut DdPackage, a: VectorEdge, b: VectorEdge) -> VectorEdge {
+    if a.is_zero() {
+        return b;
+    }
+    if b.is_zero() {
+        return a;
+    }
+    if a.is_terminal() && b.is_terminal() {
+        let value = package.weight_value(a.weight) + package.weight_value(b.weight);
+        return package.vector_terminal(value);
+    }
+
+    // Addition is commutative; canonicalize the key order to double the
+    // compute-table hit rate.
+    let key = if (a.target, a.weight) <= (b.target, b.weight) {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    if let Some(&cached) = package.add_cache.get(&key) {
+        package.note_compute_hit();
+        return cached;
+    }
+    package.note_compute_miss();
+
+    let var = package
+        .vedge_var(a)
+        .or_else(|| package.vedge_var(b))
+        .expect("non-terminal edge must have a variable");
+    debug_assert_eq!(
+        package.vedge_var(a),
+        package.vedge_var(b),
+        "added DDs must be over the same variable level"
+    );
+
+    let wa = package.weight_value(a.weight);
+    let wb = package.weight_value(b.weight);
+    let a_node = *package.vnode(a.target);
+    let b_node = *package.vnode(b.target);
+
+    let mut children = [VectorEdge::ZERO; 2];
+    for bit in 0..2 {
+        let left = package.scale_vedge(a_node.children[bit], wa);
+        let right = package.scale_vedge(b_node.children[bit], wb);
+        children[bit] = add(package, left, right);
+    }
+    let result = package.make_vnode(var, children[0], children[1]);
+    package.add_cache.insert(key, result);
+    result
+}
+
+/// Adds two operator DDs (`a + b`).
+pub fn matrix_add(package: &mut DdPackage, a: MatrixEdge, b: MatrixEdge) -> MatrixEdge {
+    if a.is_zero() {
+        return b;
+    }
+    if b.is_zero() {
+        return a;
+    }
+    if a.is_terminal() && b.is_terminal() {
+        let value = package.weight_value(a.weight) + package.weight_value(b.weight);
+        return package.matrix_terminal(value);
+    }
+
+    let key = if (a.target, a.weight) <= (b.target, b.weight) {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    if let Some(&cached) = package.madd_cache.get(&key) {
+        package.note_compute_hit();
+        return cached;
+    }
+    package.note_compute_miss();
+
+    let a_node = *package.mnode(a.target);
+    let b_node = *package.mnode(b.target);
+    debug_assert_eq!(a_node.var, b_node.var);
+    let wa = package.weight_value(a.weight);
+    let wb = package.weight_value(b.weight);
+
+    let mut children = [MatrixEdge::ZERO; 4];
+    for i in 0..4 {
+        let left = package.scale_medge(a_node.children[i], wa);
+        let right = package.scale_medge(b_node.children[i], wb);
+        children[i] = matrix_add(package, left, right);
+    }
+    let result = package.make_mnode(a_node.var, children);
+    package.madd_cache.insert(key, result);
+    result
+}
+
+/// Multiplies an operator DD by a state DD (`m * v`), the core of
+/// DD-based strong simulation.
+///
+/// The result weights are factored out of the recursion so the compute table
+/// can be keyed on node identities alone.
+pub fn matrix_vector_multiply(
+    package: &mut DdPackage,
+    m: MatrixEdge,
+    v: VectorEdge,
+) -> VectorEdge {
+    if m.is_zero() || v.is_zero() {
+        return VectorEdge::ZERO;
+    }
+    let factor = package.weight_value(m.weight) * package.weight_value(v.weight);
+    let normalized = multiply_nodes(package, m, v);
+    package.scale_vedge(normalized, factor)
+}
+
+/// Multiplies the sub-diagrams below `m.target` and `v.target`, ignoring the
+/// incoming weights (they are applied by the caller).
+fn multiply_nodes(package: &mut DdPackage, m: MatrixEdge, v: VectorEdge) -> VectorEdge {
+    if m.is_terminal() && v.is_terminal() {
+        return VectorEdge::ONE;
+    }
+    debug_assert!(
+        !m.is_terminal() && !v.is_terminal(),
+        "operator and state DDs must span the same qubits"
+    );
+
+    let key = (m.target, v.target);
+    if let Some(&cached) = package.mv_cache.get(&key) {
+        package.note_compute_hit();
+        return cached;
+    }
+    package.note_compute_miss();
+
+    let m_node = *package.mnode(m.target);
+    let v_node = *package.vnode(v.target);
+    debug_assert_eq!(
+        m_node.var, v_node.var,
+        "operator level {} does not match state level {}",
+        m_node.var, v_node.var
+    );
+
+    let mut children = [VectorEdge::ZERO; 2];
+    for row in 0..2 {
+        let mut acc = VectorEdge::ZERO;
+        for col in 0..2 {
+            let m_child = m_node.children[2 * row + col];
+            let v_child = v_node.children[col];
+            if m_child.is_zero() || v_child.is_zero() {
+                continue;
+            }
+            let sub = multiply_nodes(package, m_child, v_child);
+            let factor =
+                package.weight_value(m_child.weight) * package.weight_value(v_child.weight);
+            let term = package.scale_vedge(sub, factor);
+            acc = add(package, acc, term);
+        }
+        children[row] = acc;
+    }
+    let result = package.make_vnode(m_node.var, children[0], children[1]);
+    package.mv_cache.insert(key, result);
+    result
+}
+
+/// Multiplies two operator DDs (`a * b`), used to fuse gates.
+pub fn matrix_matrix_multiply(
+    package: &mut DdPackage,
+    a: MatrixEdge,
+    b: MatrixEdge,
+) -> MatrixEdge {
+    if a.is_zero() || b.is_zero() {
+        return MatrixEdge::ZERO;
+    }
+    let factor = package.weight_value(a.weight) * package.weight_value(b.weight);
+    let normalized = multiply_matrix_nodes(package, a, b);
+    package.scale_medge(normalized, factor)
+}
+
+fn multiply_matrix_nodes(package: &mut DdPackage, a: MatrixEdge, b: MatrixEdge) -> MatrixEdge {
+    if a.is_terminal() && b.is_terminal() {
+        return MatrixEdge::ONE;
+    }
+    debug_assert!(!a.is_terminal() && !b.is_terminal());
+
+    let key = (a.target, b.target);
+    if let Some(&cached) = package.mm_cache.get(&key) {
+        package.note_compute_hit();
+        return cached;
+    }
+    package.note_compute_miss();
+
+    let a_node = *package.mnode(a.target);
+    let b_node = *package.mnode(b.target);
+    debug_assert_eq!(a_node.var, b_node.var);
+
+    let mut children = [MatrixEdge::ZERO; 4];
+    for row in 0..2 {
+        for col in 0..2 {
+            let mut acc = MatrixEdge::ZERO;
+            for k in 0..2 {
+                let a_child = a_node.children[2 * row + k];
+                let b_child = b_node.children[2 * k + col];
+                if a_child.is_zero() || b_child.is_zero() {
+                    continue;
+                }
+                let sub = multiply_matrix_nodes(package, a_child, b_child);
+                let factor =
+                    package.weight_value(a_child.weight) * package.weight_value(b_child.weight);
+                let term = package.scale_medge(sub, factor);
+                acc = matrix_add(package, acc, term);
+            }
+            children[2 * row + col] = acc;
+        }
+    }
+    let result = package.make_mnode(a_node.var, children);
+    package.mm_cache.insert(key, result);
+    result
+}
+
+/// The inner product `<a|b>` of two state DDs over the same qubits.
+pub fn inner_product(package: &mut DdPackage, a: VectorEdge, b: VectorEdge) -> Complex {
+    fn recurse(package: &mut DdPackage, a: VectorEdge, b: VectorEdge) -> Complex {
+        if a.is_zero() || b.is_zero() {
+            return Complex::ZERO;
+        }
+        let wa = package.weight_value(a.weight).conj();
+        let wb = package.weight_value(b.weight);
+        if a.is_terminal() && b.is_terminal() {
+            return wa * wb;
+        }
+        let a_node = *package.vnode(a.target);
+        let b_node = *package.vnode(b.target);
+        debug_assert_eq!(a_node.var, b_node.var);
+        let mut total = Complex::ZERO;
+        for bit in 0..2 {
+            total += recurse(package, a_node.children[bit], b_node.children[bit]);
+        }
+        wa * wb * total
+    }
+    recurse(package, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateDd;
+    use mathkit::SQRT1_2;
+
+    fn from_amps(package: &mut DdPackage, amps: &[Complex]) -> VectorEdge {
+        StateDd::from_amplitudes(package, amps).root()
+    }
+
+    fn to_amps(package: &DdPackage, edge: VectorEdge, n: u16) -> Vec<Complex> {
+        StateDd::from_root(edge, n).to_amplitudes(package)
+    }
+
+    #[test]
+    fn add_is_elementwise() {
+        let mut p = DdPackage::new();
+        let a = from_amps(
+            &mut p,
+            &[
+                Complex::from_real(1.0),
+                Complex::ZERO,
+                Complex::from_real(2.0),
+                Complex::new(0.0, 1.0),
+            ],
+        );
+        let b = from_amps(
+            &mut p,
+            &[
+                Complex::from_real(0.5),
+                Complex::from_real(3.0),
+                Complex::from_real(-2.0),
+                Complex::new(0.0, -1.0),
+            ],
+        );
+        let sum = add(&mut p, a, b);
+        let amps = to_amps(&p, sum, 2);
+        let expected = [
+            Complex::from_real(1.5),
+            Complex::from_real(3.0),
+            Complex::ZERO,
+            Complex::ZERO,
+        ];
+        for (got, want) in amps.iter().zip(expected.iter()) {
+            assert!((*got - *want).norm() < 1e-12, "{got} != {want}");
+        }
+    }
+
+    #[test]
+    fn add_with_zero_is_identity() {
+        let mut p = DdPackage::new();
+        let a = from_amps(&mut p, &[Complex::ONE, Complex::ZERO]);
+        assert_eq!(add(&mut p, a, VectorEdge::ZERO), a);
+        assert_eq!(add(&mut p, VectorEdge::ZERO, a), a);
+    }
+
+    #[test]
+    fn add_is_commutative_via_cache_key() {
+        let mut p = DdPackage::new();
+        let a = from_amps(&mut p, &[Complex::ONE, Complex::from_real(2.0)]);
+        let b = from_amps(&mut p, &[Complex::from_real(3.0), Complex::from_real(-1.0)]);
+        let ab = add(&mut p, a, b);
+        let ba = add(&mut p, b, a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn identity_matrix_multiplication_preserves_state() {
+        let mut p = DdPackage::new();
+        let identity = crate::OperatorDd::identity(&mut p, 2);
+        let amps = [
+            Complex::from_real(0.5),
+            Complex::new(0.0, 0.5),
+            Complex::from_real(-0.5),
+            Complex::new(0.0, -0.5),
+        ];
+        let v = from_amps(&mut p, &amps);
+        let result = matrix_vector_multiply(&mut p, identity.root(), v);
+        let out = to_amps(&p, result, 2);
+        for (got, want) in out.iter().zip(amps.iter()) {
+            assert!((*got - *want).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inner_product_of_orthogonal_states_is_zero() {
+        let mut p = DdPackage::new();
+        let zero = StateDd::basis_state(&mut p, 2, 0).root();
+        let three = StateDd::basis_state(&mut p, 2, 3).root();
+        assert!(inner_product(&mut p, zero, three).norm() < 1e-12);
+        assert!((inner_product(&mut p, zero, zero) - Complex::ONE).norm() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_of_superpositions() {
+        let mut p = DdPackage::new();
+        let h = Complex::from_real(SQRT1_2);
+        let plus = from_amps(&mut p, &[h, h]);
+        let minus = from_amps(&mut p, &[h, -h]);
+        assert!(inner_product(&mut p, plus, minus).norm() < 1e-12);
+        assert!((inner_product(&mut p, plus, plus) - Complex::ONE).norm() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_add_builds_sums() {
+        let mut p = DdPackage::new();
+        // |0><0| + |1><1| over one qubit equals the identity.
+        let one = p.matrix_terminal(Complex::ONE);
+        let proj0 = p.make_mnode(0, [one, MatrixEdge::ZERO, MatrixEdge::ZERO, MatrixEdge::ZERO]);
+        let proj1 = p.make_mnode(0, [MatrixEdge::ZERO, MatrixEdge::ZERO, MatrixEdge::ZERO, one]);
+        let sum = matrix_add(&mut p, proj0, proj1);
+        let identity = crate::OperatorDd::identity(&mut p, 1).root();
+        assert_eq!(sum, identity);
+    }
+
+    #[test]
+    fn matrix_matrix_multiply_composes_operators() {
+        let mut p = DdPackage::new();
+        // X * X = I on one qubit.
+        let one = p.matrix_terminal(Complex::ONE);
+        let x = p.make_mnode(0, [MatrixEdge::ZERO, one, one, MatrixEdge::ZERO]);
+        let xx = matrix_matrix_multiply(&mut p, x, x);
+        let identity = crate::OperatorDd::identity(&mut p, 1).root();
+        assert_eq!(xx, identity);
+    }
+}

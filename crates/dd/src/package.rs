@@ -1,0 +1,684 @@
+//! The decision-diagram package: arenas, unique tables, compute tables and
+//! normalization.
+
+use crate::edge::{MatrixEdge, MatrixNodeId, VectorEdge, VectorNodeId, WeightId};
+use crate::node::{MatrixNode, VectorNode};
+use mathkit::{CTable, Complex, FxHashMap, FxHashSet, Tolerance};
+
+/// The edge-weight normalization scheme applied when creating vector nodes.
+///
+/// Normalization is what makes the representation canonical: structurally
+/// equal sub-vectors must produce identical (node, weight) pairs so the
+/// unique table can share them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Normalization {
+    /// Divide both outgoing weights by the left-most non-zero weight
+    /// (classical QMDD normalization, Fig. 4b of the paper).
+    LeftMost,
+    /// Divide both outgoing weights by the 2-norm of the weight pair and pull
+    /// the phase of the first non-zero weight into the incoming edge
+    /// (the scheme proposed in Section IV-C, Fig. 4d of the paper).  After
+    /// this normalization the squared magnitudes of the two outgoing weights
+    /// sum to one, so they can be read directly as branch probabilities
+    /// during sampling.
+    #[default]
+    TwoNorm,
+}
+
+/// Occupancy counters of a [`DdPackage`], used in experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DdStats {
+    /// Vector nodes currently stored in the arena (including garbage).
+    pub vector_nodes: usize,
+    /// Matrix nodes currently stored in the arena (including garbage).
+    pub matrix_nodes: usize,
+    /// Distinct interned real values.
+    pub interned_values: usize,
+    /// Hits in the vector unique table.
+    pub vector_unique_hits: u64,
+    /// Misses (insertions) in the vector unique table.
+    pub vector_unique_misses: u64,
+    /// Hits in the add/multiply compute tables.
+    pub compute_hits: u64,
+    /// Misses in the add/multiply compute tables.
+    pub compute_misses: u64,
+    /// Number of garbage collections performed.
+    pub garbage_collections: u64,
+}
+
+/// The arena owning every decision-diagram node together with the canonical
+/// complex-value table, the unique tables and the compute tables.
+///
+/// All decision diagrams ([`StateDd`](crate::StateDd),
+/// [`OperatorDd`](crate::OperatorDd)) are plain edge handles into a package;
+/// the package must outlive them and be passed to every operation.
+///
+/// # Examples
+///
+/// ```
+/// use dd::{DdPackage, Normalization};
+///
+/// let mut package = DdPackage::with_normalization(Normalization::LeftMost);
+/// let state = dd::StateDd::zero_state(&mut package, 3);
+/// assert_eq!(state.node_count(&package), 3);
+/// ```
+#[derive(Debug)]
+pub struct DdPackage {
+    vnodes: Vec<VectorNode>,
+    mnodes: Vec<MatrixNode>,
+    vunique: FxHashMap<VectorNode, VectorNodeId>,
+    munique: FxHashMap<MatrixNode, MatrixNodeId>,
+    ctable: CTable,
+    normalization: Normalization,
+    pub(crate) add_cache: FxHashMap<(VectorEdge, VectorEdge), VectorEdge>,
+    pub(crate) mv_cache: FxHashMap<(MatrixNodeId, VectorNodeId), VectorEdge>,
+    pub(crate) madd_cache: FxHashMap<(MatrixEdge, MatrixEdge), MatrixEdge>,
+    pub(crate) mm_cache: FxHashMap<(MatrixNodeId, MatrixNodeId), MatrixEdge>,
+    stats: DdStats,
+}
+
+impl DdPackage {
+    /// Creates a package with the paper's proposed
+    /// [2-norm normalization](Normalization::TwoNorm) and the default
+    /// numerical tolerance.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_normalization(Normalization::default())
+    }
+
+    /// Creates a package using the given normalization scheme.
+    #[must_use]
+    pub fn with_normalization(normalization: Normalization) -> Self {
+        Self::with_settings(normalization, Tolerance::default())
+    }
+
+    /// Creates a package with explicit normalization and interning tolerance.
+    #[must_use]
+    pub fn with_settings(normalization: Normalization, tolerance: Tolerance) -> Self {
+        Self {
+            vnodes: Vec::new(),
+            mnodes: Vec::new(),
+            vunique: FxHashMap::default(),
+            munique: FxHashMap::default(),
+            ctable: CTable::with_tolerance(tolerance),
+            normalization,
+            add_cache: FxHashMap::default(),
+            mv_cache: FxHashMap::default(),
+            madd_cache: FxHashMap::default(),
+            mm_cache: FxHashMap::default(),
+            stats: DdStats::default(),
+        }
+    }
+
+    /// The normalization scheme used for vector nodes.
+    #[must_use]
+    pub fn normalization(&self) -> Normalization {
+        self.normalization
+    }
+
+    /// Current occupancy statistics.
+    #[must_use]
+    pub fn stats(&self) -> DdStats {
+        DdStats {
+            vector_nodes: self.vnodes.len(),
+            matrix_nodes: self.mnodes.len(),
+            interned_values: self.ctable.len(),
+            ..self.stats
+        }
+    }
+
+    // ----- weights -------------------------------------------------------
+
+    /// Interns a complex number as an edge weight.
+    pub fn weight(&mut self, value: Complex) -> WeightId {
+        let tol = self.ctable.tolerance().eps();
+        // Snap to exact zero/one so the canonical constants are used.
+        let re = if value.re.abs() <= tol { 0.0 } else { value.re };
+        let im = if value.im.abs() <= tol { 0.0 } else { value.im };
+        let (re, im) = self.ctable.intern_complex(Complex::new(re, im));
+        WeightId { re, im }
+    }
+
+    /// The complex value of an interned weight.
+    #[must_use]
+    pub fn weight_value(&self, id: WeightId) -> Complex {
+        self.ctable.complex(id.re, id.im)
+    }
+
+    /// Multiplies two interned weights.
+    pub fn weight_mul(&mut self, a: WeightId, b: WeightId) -> WeightId {
+        if a.is_zero() || b.is_zero() {
+            return WeightId::ZERO;
+        }
+        if a.is_one() {
+            return b;
+        }
+        if b.is_one() {
+            return a;
+        }
+        let value = self.weight_value(a) * self.weight_value(b);
+        self.weight(value)
+    }
+
+    // ----- vector nodes --------------------------------------------------
+
+    /// The vector node stored under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is the terminal node or not in this package.
+    #[must_use]
+    pub fn vnode(&self, id: VectorNodeId) -> &VectorNode {
+        &self.vnodes[id.index()]
+    }
+
+    /// The matrix node stored under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is the terminal node or not in this package.
+    #[must_use]
+    pub fn mnode(&self, id: MatrixNodeId) -> &MatrixNode {
+        &self.mnodes[id.index()]
+    }
+
+    /// The variable (qubit) level of the node a vector edge points to, or
+    /// `None` for the terminal.
+    #[must_use]
+    pub fn vedge_var(&self, edge: VectorEdge) -> Option<u16> {
+        if edge.target.is_terminal() {
+            None
+        } else {
+            Some(self.vnode(edge.target).var)
+        }
+    }
+
+    /// Builds a terminal vector edge with the given complex weight.
+    pub fn vector_terminal(&mut self, value: Complex) -> VectorEdge {
+        let weight = self.weight(value);
+        if weight.is_zero() {
+            VectorEdge::ZERO
+        } else {
+            VectorEdge {
+                target: VectorNodeId::TERMINAL,
+                weight,
+            }
+        }
+    }
+
+    /// Multiplies an edge weight by a complex scalar, preserving canonical
+    /// zero edges.
+    pub fn scale_vedge(&mut self, edge: VectorEdge, factor: Complex) -> VectorEdge {
+        if edge.is_zero() {
+            return VectorEdge::ZERO;
+        }
+        let weight = self.weight(self.weight_value(edge.weight) * factor);
+        if weight.is_zero() {
+            VectorEdge::ZERO
+        } else {
+            VectorEdge {
+                target: edge.target,
+                weight,
+            }
+        }
+    }
+
+    /// Multiplies a matrix edge weight by a complex scalar.
+    pub fn scale_medge(&mut self, edge: MatrixEdge, factor: Complex) -> MatrixEdge {
+        if edge.is_zero() {
+            return MatrixEdge::ZERO;
+        }
+        let weight = self.weight(self.weight_value(edge.weight) * factor);
+        if weight.is_zero() {
+            MatrixEdge::ZERO
+        } else {
+            MatrixEdge {
+                target: edge.target,
+                weight,
+            }
+        }
+    }
+
+    /// Creates (or reuses) a vector node at level `var` with the given
+    /// successors and returns the normalized edge pointing to it.
+    ///
+    /// The successors' weights are normalized according to the package's
+    /// [`Normalization`]; the factor pulled out is returned as the weight of
+    /// the resulting edge.
+    pub fn make_vnode(&mut self, var: u16, zero: VectorEdge, one: VectorEdge) -> VectorEdge {
+        let w0 = if zero.is_zero() {
+            Complex::ZERO
+        } else {
+            self.weight_value(zero.weight)
+        };
+        let w1 = if one.is_zero() {
+            Complex::ZERO
+        } else {
+            self.weight_value(one.weight)
+        };
+        if w0.is_zero() && w1.is_zero() {
+            return VectorEdge::ZERO;
+        }
+
+        let factor = match self.normalization {
+            Normalization::LeftMost => {
+                if !w0.is_zero() {
+                    w0
+                } else {
+                    w1
+                }
+            }
+            Normalization::TwoNorm => {
+                let mag = (w0.norm_sqr() + w1.norm_sqr()).sqrt();
+                let phase_source = if !w0.is_zero() { w0 } else { w1 };
+                Complex::from_polar(mag, phase_source.arg())
+            }
+        };
+
+        let nw0 = w0 / factor;
+        let nw1 = w1 / factor;
+        let zero_edge = self.canonical_child(zero, nw0);
+        let one_edge = self.canonical_child(one, nw1);
+
+        let node = VectorNode {
+            var,
+            children: [zero_edge, one_edge],
+        };
+        let id = if let Some(&id) = self.vunique.get(&node) {
+            self.stats.vector_unique_hits += 1;
+            id
+        } else {
+            self.stats.vector_unique_misses += 1;
+            let id = VectorNodeId(
+                u32::try_from(self.vnodes.len()).expect("vector node arena overflow"),
+            );
+            self.vnodes.push(node);
+            self.vunique.insert(node, id);
+            id
+        };
+        VectorEdge {
+            target: id,
+            weight: self.weight(factor),
+        }
+    }
+
+    fn canonical_child(&mut self, child: VectorEdge, normalized_weight: Complex) -> VectorEdge {
+        let weight = self.weight(normalized_weight);
+        if weight.is_zero() {
+            VectorEdge::ZERO
+        } else {
+            VectorEdge {
+                target: child.target,
+                weight,
+            }
+        }
+    }
+
+    // ----- matrix nodes --------------------------------------------------
+
+    /// Builds a terminal matrix edge with the given complex weight.
+    pub fn matrix_terminal(&mut self, value: Complex) -> MatrixEdge {
+        let weight = self.weight(value);
+        if weight.is_zero() {
+            MatrixEdge::ZERO
+        } else {
+            MatrixEdge {
+                target: MatrixNodeId::TERMINAL,
+                weight,
+            }
+        }
+    }
+
+    /// Creates (or reuses) a matrix node at level `var` with the four
+    /// sub-blocks `children[2*row + col]`, returning the normalized edge.
+    ///
+    /// Matrix nodes always use left-most normalization (the 2-norm scheme is
+    /// specific to sampling from state DDs).
+    pub fn make_mnode(&mut self, var: u16, children: [MatrixEdge; 4]) -> MatrixEdge {
+        let weights: Vec<Complex> = children
+            .iter()
+            .map(|e| {
+                if e.is_zero() {
+                    Complex::ZERO
+                } else {
+                    self.weight_value(e.weight)
+                }
+            })
+            .collect();
+        let Some(factor) = weights.iter().copied().find(|w| !w.is_zero()) else {
+            return MatrixEdge::ZERO;
+        };
+
+        let mut normalized = [MatrixEdge::ZERO; 4];
+        for (i, (edge, w)) in children.iter().zip(&weights).enumerate() {
+            let weight = self.weight(*w / factor);
+            normalized[i] = if weight.is_zero() {
+                MatrixEdge::ZERO
+            } else {
+                MatrixEdge {
+                    target: edge.target,
+                    weight,
+                }
+            };
+        }
+
+        let node = MatrixNode {
+            var,
+            children: normalized,
+        };
+        let id = if let Some(&id) = self.munique.get(&node) {
+            id
+        } else {
+            let id = MatrixNodeId(
+                u32::try_from(self.mnodes.len()).expect("matrix node arena overflow"),
+            );
+            self.mnodes.push(node);
+            self.munique.insert(node, id);
+            id
+        };
+        MatrixEdge {
+            target: id,
+            weight: self.weight(factor),
+        }
+    }
+
+    // ----- compute-table statistics --------------------------------------
+
+    pub(crate) fn note_compute_hit(&mut self) {
+        self.stats.compute_hits += 1;
+    }
+
+    pub(crate) fn note_compute_miss(&mut self) {
+        self.stats.compute_misses += 1;
+    }
+
+    /// Clears the add/multiply compute tables (the unique tables and nodes
+    /// are untouched).
+    pub fn clear_compute_tables(&mut self) {
+        self.add_cache.clear();
+        self.mv_cache.clear();
+        self.madd_cache.clear();
+        self.mm_cache.clear();
+    }
+
+    // ----- garbage collection --------------------------------------------
+
+    /// The number of nodes currently held in the vector arena, including
+    /// nodes that are no longer reachable from any root.
+    #[must_use]
+    pub fn allocated_vector_nodes(&self) -> usize {
+        self.vnodes.len()
+    }
+
+    /// The number of nodes currently held in the matrix arena.
+    #[must_use]
+    pub fn allocated_matrix_nodes(&self) -> usize {
+        self.mnodes.len()
+    }
+
+    /// Counts the vector nodes reachable from `root` (excluding the
+    /// terminal), i.e. the "size" column reported for DD-based sampling in
+    /// Table I of the paper.
+    #[must_use]
+    pub fn reachable_vector_nodes(&self, root: VectorEdge) -> usize {
+        let mut seen: FxHashSet<VectorNodeId> = FxHashSet::default();
+        let mut stack = vec![root.target];
+        while let Some(id) = stack.pop() {
+            if id.is_terminal() || !seen.insert(id) {
+                continue;
+            }
+            let node = self.vnode(id);
+            for child in node.children {
+                if !child.is_zero() {
+                    stack.push(child.target);
+                }
+            }
+        }
+        seen.len()
+    }
+
+    /// Counts the matrix nodes reachable from `root` (excluding the
+    /// terminal).
+    #[must_use]
+    pub fn reachable_matrix_nodes(&self, root: MatrixEdge) -> usize {
+        let mut seen: FxHashSet<MatrixNodeId> = FxHashSet::default();
+        let mut stack = vec![root.target];
+        while let Some(id) = stack.pop() {
+            if id.is_terminal() || !seen.insert(id) {
+                continue;
+            }
+            let node = self.mnode(id);
+            for child in node.children {
+                if !child.is_zero() {
+                    stack.push(child.target);
+                }
+            }
+        }
+        seen.len()
+    }
+
+    /// Reclaims every node not reachable from the given root edges and
+    /// returns the updated roots.
+    ///
+    /// Garbage collection compacts both arenas, rebuilds the unique tables
+    /// and clears the compute tables (which may refer to collected nodes).
+    /// Any [`VectorEdge`]/[`MatrixEdge`] not passed as a root is invalidated;
+    /// the returned vector contains the remapped root edges in the same
+    /// order as the input.
+    pub fn collect_garbage(&mut self, roots: &[VectorEdge]) -> Vec<VectorEdge> {
+        self.stats.garbage_collections += 1;
+
+        // Map old ids to new ids, visiting children before parents.
+        let mut remap: FxHashMap<VectorNodeId, VectorNodeId> = FxHashMap::default();
+        let mut new_nodes: Vec<VectorNode> = Vec::new();
+
+        // Depth-first post-order rewrite.
+        fn rewrite(
+            package_nodes: &[VectorNode],
+            id: VectorNodeId,
+            remap: &mut FxHashMap<VectorNodeId, VectorNodeId>,
+            new_nodes: &mut Vec<VectorNode>,
+        ) -> VectorNodeId {
+            if id.is_terminal() {
+                return id;
+            }
+            if let Some(&mapped) = remap.get(&id) {
+                return mapped;
+            }
+            let node = package_nodes[id.index()];
+            let mut children = node.children;
+            for child in &mut children {
+                if !child.is_zero() {
+                    child.target = rewrite(package_nodes, child.target, remap, new_nodes);
+                }
+            }
+            let new_id = VectorNodeId(u32::try_from(new_nodes.len()).expect("arena overflow"));
+            new_nodes.push(VectorNode {
+                var: node.var,
+                children,
+            });
+            remap.insert(id, new_id);
+            new_id
+        }
+
+        let mut new_roots = Vec::with_capacity(roots.len());
+        for root in roots {
+            let mut updated = *root;
+            if !updated.is_zero() {
+                updated.target = rewrite(&self.vnodes, updated.target, &mut remap, &mut new_nodes);
+            }
+            new_roots.push(updated);
+        }
+
+        self.vnodes = new_nodes;
+        self.vunique = self
+            .vnodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| (*node, VectorNodeId(i as u32)))
+            .collect();
+
+        // Matrix nodes are cheap to rebuild per gate; drop them all.
+        self.mnodes.clear();
+        self.munique.clear();
+        self.clear_compute_tables();
+        new_roots
+    }
+}
+
+impl Default for DdPackage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathkit::SQRT1_2;
+
+    #[test]
+    fn weight_interning_round_trips() {
+        let mut p = DdPackage::new();
+        let w = p.weight(Complex::new(0.25, -0.5));
+        assert_eq!(p.weight_value(w), Complex::new(0.25, -0.5));
+        assert!(p.weight(Complex::ZERO).is_zero());
+        assert!(p.weight(Complex::ONE).is_one());
+    }
+
+    #[test]
+    fn tiny_values_snap_to_zero() {
+        let mut p = DdPackage::new();
+        assert!(p.weight(Complex::new(1e-14, -1e-14)).is_zero());
+    }
+
+    #[test]
+    fn weight_multiplication_shortcuts() {
+        let mut p = DdPackage::new();
+        let a = p.weight(Complex::new(0.5, 0.5));
+        assert!(p.weight_mul(a, WeightId::ZERO).is_zero());
+        assert_eq!(p.weight_mul(a, WeightId::ONE), a);
+        let sq = p.weight_mul(a, a);
+        assert!((p.weight_value(sq) - Complex::new(0.0, 0.5)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn make_vnode_shares_identical_nodes() {
+        let mut p = DdPackage::new();
+        let t = p.vector_terminal(Complex::ONE);
+        let a = p.make_vnode(0, t, t);
+        let b = p.make_vnode(0, t, t);
+        assert_eq!(a.target, b.target);
+        assert_eq!(p.allocated_vector_nodes(), 1);
+    }
+
+    #[test]
+    fn make_vnode_zero_children_give_zero_edge() {
+        let mut p = DdPackage::new();
+        let e = p.make_vnode(2, VectorEdge::ZERO, VectorEdge::ZERO);
+        assert!(e.is_zero());
+    }
+
+    #[test]
+    fn two_norm_normalization_makes_weights_unit_norm() {
+        let mut p = DdPackage::with_normalization(Normalization::TwoNorm);
+        let t = p.vector_terminal(Complex::ONE);
+        let a = p.scale_vedge(t, Complex::new(3.0, 0.0));
+        let b = p.scale_vedge(t, Complex::new(0.0, 4.0));
+        let edge = p.make_vnode(0, a, b);
+        let node = p.vnode(edge.target);
+        let w0 = p.weight_value(node.children[0].weight);
+        let w1 = p.weight_value(node.children[1].weight);
+        assert!((w0.norm_sqr() + w1.norm_sqr() - 1.0).abs() < 1e-12);
+        // The factor carries the full magnitude (5) and the phase of w0.
+        assert!((p.weight_value(edge.weight).norm() - 5.0).abs() < 1e-12);
+        // First nonzero normalized weight is real positive.
+        assert!(w0.im.abs() < 1e-12 && w0.re > 0.0);
+    }
+
+    #[test]
+    fn leftmost_normalization_sets_first_weight_to_one() {
+        let mut p = DdPackage::with_normalization(Normalization::LeftMost);
+        let t = p.vector_terminal(Complex::ONE);
+        let a = p.scale_vedge(t, Complex::from_real(SQRT1_2));
+        let b = p.scale_vedge(t, Complex::from_real(-SQRT1_2));
+        let edge = p.make_vnode(0, a, b);
+        let node = p.vnode(edge.target);
+        assert!(node.children[0].weight.is_one());
+        let w1 = p.weight_value(node.children[1].weight);
+        assert!((w1 - Complex::from_real(-1.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_makes_scaled_subvectors_share_nodes() {
+        for norm in [Normalization::LeftMost, Normalization::TwoNorm] {
+            let mut p = DdPackage::with_normalization(norm);
+            let t = p.vector_terminal(Complex::ONE);
+            // (1, 2) and (3i, 6i) are scalar multiples of each other.
+            let a1 = p.scale_vedge(t, Complex::from_real(1.0));
+            let b1 = p.scale_vedge(t, Complex::from_real(2.0));
+            let a2 = p.scale_vedge(t, Complex::new(0.0, 3.0));
+            let b2 = p.scale_vedge(t, Complex::new(0.0, 6.0));
+            let e1 = p.make_vnode(0, a1, b1);
+            let e2 = p.make_vnode(0, a2, b2);
+            assert_eq!(e1.target, e2.target, "normalization {norm:?}");
+        }
+    }
+
+    #[test]
+    fn make_mnode_normalizes_and_shares() {
+        let mut p = DdPackage::new();
+        let one = p.matrix_terminal(Complex::ONE);
+        let half = p.matrix_terminal(Complex::from_real(0.5));
+        let a = p.make_mnode(0, [half, MatrixEdge::ZERO, MatrixEdge::ZERO, half]);
+        let b = p.make_mnode(0, [one, MatrixEdge::ZERO, MatrixEdge::ZERO, one]);
+        // Both are scalar multiples of the identity block, so they share a node.
+        assert_eq!(a.target, b.target);
+        assert!((p.weight_value(a.weight).re - 0.5).abs() < 1e-12);
+        assert!(p.make_mnode(1, [MatrixEdge::ZERO; 4]).is_zero());
+    }
+
+    #[test]
+    fn stats_report_counts() {
+        let mut p = DdPackage::new();
+        let t = p.vector_terminal(Complex::ONE);
+        let _ = p.make_vnode(0, t, VectorEdge::ZERO);
+        let s = p.stats();
+        assert_eq!(s.vector_nodes, 1);
+        assert!(s.interned_values >= 2);
+        assert_eq!(s.vector_unique_misses, 1);
+    }
+
+    #[test]
+    fn reachable_count_ignores_garbage() {
+        let mut p = DdPackage::new();
+        let t = p.vector_terminal(Complex::ONE);
+        let keep = p.make_vnode(0, t, VectorEdge::ZERO);
+        let keep = p.make_vnode(1, keep, VectorEdge::ZERO);
+        // Create garbage.
+        let _ = p.make_vnode(0, t, t);
+        assert_eq!(p.allocated_vector_nodes(), 3);
+        assert_eq!(p.reachable_vector_nodes(keep), 2);
+    }
+
+    #[test]
+    fn garbage_collection_compacts_and_remaps() {
+        let mut p = DdPackage::new();
+        let t = p.vector_terminal(Complex::ONE);
+        let keep = p.make_vnode(0, t, VectorEdge::ZERO);
+        let keep = p.make_vnode(1, keep, t);
+        for i in 0..10 {
+            let x = p.scale_vedge(t, Complex::from_real(f64::from(i) + 2.0));
+            let _ = p.make_vnode(0, x, t);
+        }
+        assert!(p.allocated_vector_nodes() > 2);
+        let roots = p.collect_garbage(&[keep]);
+        assert_eq!(p.allocated_vector_nodes(), 2);
+        assert_eq!(p.reachable_vector_nodes(roots[0]), 2);
+        // The structure survives: level-1 node over a level-0 node.
+        let top = p.vnode(roots[0].target);
+        assert_eq!(top.var, 1);
+        assert_eq!(p.vnode(top.children[0].target).var, 0);
+        assert_eq!(p.stats().garbage_collections, 1);
+    }
+}

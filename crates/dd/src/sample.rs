@@ -1,0 +1,478 @@
+//! Weak simulation on decision diagrams (Section IV of the paper).
+//!
+//! The sampler precomputes, for every node, the *downstream probability*:
+//! the total probability mass of all half-paths from that node to the
+//! terminal.  Together with the squared magnitudes of the outgoing edge
+//! weights this yields the probability of branching left or right at each
+//! node, so a sample is drawn by one randomized root-to-terminal traversal —
+//! `O(n)` work per sample after a precomputation linear in the DD size.
+//!
+//! *Upstream probabilities* (mass of half-paths from the root down to a
+//! node) are also computed; they are not needed for sampling but annotate
+//! the per-edge probabilities shown in Fig. 4c of the paper and are exposed
+//! through [`EdgeProbabilities`].
+
+use crate::edge::{VectorEdge, VectorNodeId};
+use crate::package::Normalization;
+use crate::{DdPackage, StateDd};
+use mathkit::FxHashMap;
+use rand::Rng;
+
+/// A weak-simulation sampler over a state decision diagram.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{Circuit, Qubit};
+/// use dd::{DdPackage, DdSampler};
+/// use rand::SeedableRng;
+///
+/// let mut ghz = Circuit::new(3);
+/// ghz.h(Qubit(0));
+/// ghz.cx(Qubit(0), Qubit(1));
+/// ghz.cx(Qubit(1), Qubit(2));
+///
+/// let mut package = DdPackage::new();
+/// let state = dd::simulate(&mut package, &ghz)?;
+/// let sampler = DdSampler::new(&package, &state);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// for _ in 0..10 {
+///     let shot = sampler.sample(&package, &mut rng);
+///     assert!(shot == 0 || shot == 0b111);
+/// }
+/// # Ok::<(), dd::ApplyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DdSampler {
+    root: VectorEdge,
+    num_qubits: u16,
+    downstream: FxHashMap<VectorNodeId, f64>,
+}
+
+impl DdSampler {
+    /// Precomputes the downstream probabilities of every node reachable from
+    /// the state's root (a depth-first traversal linear in the DD size).
+    #[must_use]
+    pub fn new(package: &DdPackage, state: &StateDd) -> Self {
+        let mut downstream = FxHashMap::default();
+        downstream_probability(package, state.root().target, &mut downstream);
+        Self {
+            root: state.root(),
+            num_qubits: state.num_qubits(),
+            downstream,
+        }
+    }
+
+    /// The number of qubits in each output sample.
+    #[must_use]
+    pub fn num_qubits(&self) -> u16 {
+        self.num_qubits
+    }
+
+    /// The downstream probability of the node behind `edge` (1 for the
+    /// terminal node).
+    #[must_use]
+    pub fn downstream(&self, edge: VectorEdge) -> f64 {
+        if edge.target.is_terminal() {
+            1.0
+        } else {
+            self.downstream.get(&edge.target).copied().unwrap_or(0.0)
+        }
+    }
+
+    /// Draws one basis-state sample by a randomized root-to-terminal
+    /// traversal (`O(n)` per sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is the zero vector (no probability mass).
+    pub fn sample<R: Rng + ?Sized>(&self, package: &DdPackage, rng: &mut R) -> u64 {
+        assert!(!self.root.is_zero(), "cannot sample from the zero vector");
+        let mut index = 0u64;
+        let mut edge = self.root;
+        while !edge.is_terminal() {
+            let node = package.vnode(edge.target);
+            let p: [f64; 2] = std::array::from_fn(|bit| {
+                let child = node.children[bit];
+                if child.is_zero() {
+                    0.0
+                } else {
+                    package.weight_value(child.weight).norm_sqr() * self.downstream(child)
+                }
+            });
+            let total = p[0] + p[1];
+            let threshold = rng.gen::<f64>() * total;
+            let bit = usize::from(threshold >= p[0]);
+            if bit == 1 {
+                index |= 1 << node.var;
+            }
+            edge = node.children[bit];
+        }
+        index
+    }
+
+    /// Draws `shots` samples.
+    #[must_use = "the samples are the result of the weak simulation"]
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        package: &DdPackage,
+        rng: &mut R,
+        shots: usize,
+    ) -> Vec<u64> {
+        (0..shots).map(|_| self.sample(package, rng)).collect()
+    }
+}
+
+/// A sampler specialised for the paper's proposed 2-norm normalization
+/// (Section IV-C): under that scheme the squared magnitudes of the two
+/// outgoing edge weights already sum to one at every node, so no downstream
+/// probabilities need to be looked up during the traversal.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalizedSampler {
+    root: VectorEdge,
+    num_qubits: u16,
+}
+
+impl NormalizedSampler {
+    /// Creates the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the package does not use [`Normalization::TwoNorm`]; with
+    /// any other normalization the local weights are not probabilities and
+    /// the sampler would be biased.
+    #[must_use]
+    pub fn new(package: &DdPackage, state: &StateDd) -> Self {
+        assert_eq!(
+            package.normalization(),
+            Normalization::TwoNorm,
+            "NormalizedSampler requires the 2-norm normalization scheme"
+        );
+        Self {
+            root: state.root(),
+            num_qubits: state.num_qubits(),
+        }
+    }
+
+    /// The number of qubits in each output sample.
+    #[must_use]
+    pub fn num_qubits(&self) -> u16 {
+        self.num_qubits
+    }
+
+    /// Draws one sample using only the local edge weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is the zero vector.
+    pub fn sample<R: Rng + ?Sized>(&self, package: &DdPackage, rng: &mut R) -> u64 {
+        assert!(!self.root.is_zero(), "cannot sample from the zero vector");
+        let mut index = 0u64;
+        let mut edge = self.root;
+        while !edge.is_terminal() {
+            let node = package.vnode(edge.target);
+            let p0 = if node.children[0].is_zero() {
+                0.0
+            } else {
+                package.weight_value(node.children[0].weight).norm_sqr()
+            };
+            let bit = usize::from(rng.gen::<f64>() >= p0);
+            if bit == 1 {
+                index |= 1 << node.var;
+            }
+            edge = node.children[bit];
+        }
+        index
+    }
+
+    /// Draws `shots` samples.
+    #[must_use = "the samples are the result of the weak simulation"]
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        package: &DdPackage,
+        rng: &mut R,
+        shots: usize,
+    ) -> Vec<u64> {
+        (0..shots).map(|_| self.sample(package, rng)).collect()
+    }
+}
+
+/// Per-node probability annotations of a state decision diagram: the
+/// downstream and upstream probabilities of Section IV-B and the resulting
+/// branch probabilities shown on the edges in Fig. 4c of the paper.
+#[derive(Debug, Clone)]
+pub struct EdgeProbabilities {
+    /// Downstream probability of each node (half-paths to the terminal).
+    pub downstream: FxHashMap<VectorNodeId, f64>,
+    /// Upstream probability of each node (half-paths from the root).
+    pub upstream: FxHashMap<VectorNodeId, f64>,
+    /// Probability of taking the 0- and 1-successor when a sample traversal
+    /// reaches the node.
+    pub branch: FxHashMap<VectorNodeId, [f64; 2]>,
+}
+
+impl EdgeProbabilities {
+    /// Computes all annotations for `state`.
+    ///
+    /// Downstream probabilities are computed by a depth-first traversal,
+    /// upstream probabilities by a level-ordered (breadth-first) sweep, both
+    /// linear in the number of nodes.
+    #[must_use]
+    pub fn new(package: &DdPackage, state: &StateDd) -> Self {
+        let root = state.root();
+        let mut downstream = FxHashMap::default();
+        downstream_probability(package, root.target, &mut downstream);
+
+        // Upstream sweep: process nodes from the highest variable level down
+        // so every predecessor is finished before its successors.
+        let mut upstream: FxHashMap<VectorNodeId, f64> = FxHashMap::default();
+        if !root.is_zero() && !root.target.is_terminal() {
+            upstream.insert(root.target, package.weight_value(root.weight).norm_sqr());
+            let mut by_level: Vec<VectorNodeId> = downstream.keys().copied().collect();
+            by_level.sort_by_key(|id| std::cmp::Reverse(package.vnode(*id).var));
+            for id in by_level {
+                let mass = upstream.get(&id).copied().unwrap_or(0.0);
+                if mass == 0.0 {
+                    continue;
+                }
+                let node = package.vnode(id);
+                for child in node.children {
+                    if child.is_zero() || child.target.is_terminal() {
+                        continue;
+                    }
+                    let w = package.weight_value(child.weight).norm_sqr();
+                    *upstream.entry(child.target).or_insert(0.0) += mass * w;
+                }
+            }
+        }
+
+        let mut branch = FxHashMap::default();
+        for (&id, _) in &downstream {
+            let node = package.vnode(id);
+            let p: [f64; 2] = std::array::from_fn(|bit| {
+                let child = node.children[bit];
+                if child.is_zero() {
+                    0.0
+                } else {
+                    let down = if child.target.is_terminal() {
+                        1.0
+                    } else {
+                        downstream[&child.target]
+                    };
+                    package.weight_value(child.weight).norm_sqr() * down
+                }
+            });
+            let total = p[0] + p[1];
+            let normalized = if total > 0.0 {
+                [p[0] / total, p[1] / total]
+            } else {
+                [0.0, 0.0]
+            };
+            branch.insert(id, normalized);
+        }
+
+        Self {
+            downstream,
+            upstream,
+            branch,
+        }
+    }
+}
+
+/// Computes downstream probabilities for every node reachable from `target`
+/// and stores them in `memo`; returns the value for `target`.
+fn downstream_probability(
+    package: &DdPackage,
+    target: VectorNodeId,
+    memo: &mut FxHashMap<VectorNodeId, f64>,
+) -> f64 {
+    if target.is_terminal() {
+        return 1.0;
+    }
+    if let Some(&v) = memo.get(&target) {
+        return v;
+    }
+    let node = package.vnode(target);
+    let mut total = 0.0;
+    for child in node.children {
+        if child.is_zero() {
+            continue;
+        }
+        let w = package.weight_value(child.weight).norm_sqr();
+        total += w * downstream_probability(package, child.target, memo);
+    }
+    memo.insert(target, total);
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathkit::Complex;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_example(package: &mut DdPackage) -> StateDd {
+        let a = Complex::new(0.0, -(3.0_f64 / 8.0).sqrt());
+        let b = Complex::from_real((1.0_f64 / 8.0).sqrt());
+        StateDd::from_amplitudes(
+            package,
+            &[
+                Complex::ZERO,
+                a,
+                Complex::ZERO,
+                a,
+                b,
+                Complex::ZERO,
+                Complex::ZERO,
+                b,
+            ],
+        )
+    }
+
+    #[test]
+    fn downstream_of_root_is_total_probability() {
+        let mut p = DdPackage::new();
+        let s = paper_example(&mut p);
+        let sampler = DdSampler::new(&p, &s);
+        let root_down = sampler.downstream(VectorEdge {
+            target: s.root().target,
+            weight: s.root().weight,
+        });
+        let w = p.weight_value(s.root().weight).norm_sqr();
+        assert!((w * root_down - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch_probabilities_match_fig_4c() {
+        // Fig. 4c: the root (q2) node branches left with probability 3/4 and
+        // right with probability 1/4.
+        let mut p = DdPackage::new();
+        let s = paper_example(&mut p);
+        let probs = EdgeProbabilities::new(&p, &s);
+        let root = s.root().target;
+        let b = probs.branch[&root];
+        assert!((b[0] - 0.75).abs() < 1e-12, "left branch {}", b[0]);
+        assert!((b[1] - 0.25).abs() < 1e-12, "right branch {}", b[1]);
+        // Every q1/q0 node in this example branches 1/2 : 1/2 except the
+        // q0 nodes that force a single outcome.
+        for (&id, branch) in &probs.branch {
+            let total: f64 = branch.iter().sum();
+            if probs.downstream[&id] > 0.0 {
+                assert!((total - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn upstream_probabilities_sum_to_one_per_level() {
+        let mut p = DdPackage::new();
+        let s = paper_example(&mut p);
+        let probs = EdgeProbabilities::new(&p, &s);
+        // The root carries all the mass.
+        assert!((probs.upstream[&s.root().target] - 1.0).abs() < 1e-12);
+        // Mass arriving at the q1 level sums to 1 (weighted by reachability).
+        let level_mass: f64 = probs
+            .upstream
+            .iter()
+            .filter(|(id, _)| p.vnode(**id).var == 1)
+            .map(|(_, &m)| m)
+            .sum();
+        assert!((level_mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_match_the_exact_distribution() {
+        let mut p = DdPackage::new();
+        let s = paper_example(&mut p);
+        let sampler = DdSampler::new(&p, &s);
+        let mut rng = StdRng::seed_from_u64(2020);
+        let shots = 200_000;
+        let mut counts = [0u64; 8];
+        for _ in 0..shots {
+            counts[sampler.sample(&p, &mut rng) as usize] += 1;
+        }
+        let expected = [0.0, 0.375, 0.0, 0.375, 0.125, 0.0, 0.0, 0.125];
+        for (i, &e) in expected.iter().enumerate() {
+            let freq = counts[i] as f64 / shots as f64;
+            assert!(
+                (freq - e).abs() < 0.01,
+                "index {i}: frequency {freq}, expected {e}"
+            );
+            if e == 0.0 {
+                assert_eq!(counts[i], 0, "impossible outcome {i} was sampled");
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_sampler_agrees_with_general_sampler() {
+        let mut p = DdPackage::new();
+        let s = paper_example(&mut p);
+        let general = DdSampler::new(&p, &s);
+        let local = NormalizedSampler::new(&p, &s);
+        let shots = 100_000;
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts_general = [0u64; 8];
+        for _ in 0..shots {
+            counts_general[general.sample(&p, &mut rng) as usize] += 1;
+        }
+        let mut counts_local = [0u64; 8];
+        for _ in 0..shots {
+            counts_local[local.sample(&p, &mut rng) as usize] += 1;
+        }
+        for i in 0..8 {
+            let fg = counts_general[i] as f64 / shots as f64;
+            let fl = counts_local[i] as f64 / shots as f64;
+            assert!((fg - fl).abs() < 0.01, "index {i}: {fg} vs {fl}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2-norm normalization")]
+    fn normalized_sampler_rejects_leftmost_normalization() {
+        let mut p = DdPackage::with_normalization(Normalization::LeftMost);
+        let s = paper_example(&mut p);
+        let _ = NormalizedSampler::new(&p, &s);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn sampling_the_zero_vector_panics() {
+        let mut p = DdPackage::new();
+        let s = StateDd::from_amplitudes(&mut p, &[Complex::ZERO; 4]);
+        let sampler = DdSampler::new(&p, &s);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sampler.sample(&p, &mut rng);
+    }
+
+    #[test]
+    fn basis_state_always_samples_itself() {
+        let mut p = DdPackage::new();
+        let s = StateDd::basis_state(&mut p, 6, 0b101101);
+        let sampler = DdSampler::new(&p, &s);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            assert_eq!(sampler.sample(&p, &mut rng), 0b101101);
+        }
+        let local = NormalizedSampler::new(&p, &s);
+        for _ in 0..50 {
+            assert_eq!(local.sample(&p, &mut rng), 0b101101);
+        }
+        assert_eq!(sampler.num_qubits(), 6);
+        assert_eq!(local.num_qubits(), 6);
+    }
+
+    #[test]
+    fn downstream_is_one_under_two_norm_normalization() {
+        // Under the proposed normalization every node's downstream
+        // probability is exactly 1, which is why NormalizedSampler can skip
+        // the lookup.
+        let mut p = DdPackage::new();
+        let s = paper_example(&mut p);
+        let sampler = DdSampler::new(&p, &s);
+        for (_, &d) in sampler.downstream.iter() {
+            assert!((d - 1.0).abs() < 1e-9, "downstream {d}");
+        }
+    }
+}

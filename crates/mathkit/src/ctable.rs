@@ -1,0 +1,273 @@
+//! Canonical complex-value interning.
+//!
+//! Decision-diagram node sharing requires that edge weights which are "the
+//! same number up to floating-point round-off" compare equal and hash to the
+//! same bucket.  Following the implementation strategy of Zulehner, Hillmich
+//! and Wille ("How to efficiently handle complex values?", ICCAD 2019 —
+//! reference \[24\] of the reproduced paper), the [`CTable`] interns `f64`
+//! values under an absolute tolerance and hands out stable [`ValueId`]s.
+//! Two interned values are equal if and only if their ids are equal, so
+//! downstream hash tables can key on the ids directly.
+
+use crate::tolerance::Tolerance;
+use crate::Complex;
+use crate::FxHashMap;
+
+/// A stable identifier for an interned real value in a [`CTable`].
+///
+/// Ids are never reused; comparing ids is equivalent to comparing the
+/// underlying values under the table's tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(u32);
+
+impl ValueId {
+    /// The id of the pre-interned value `0.0`.
+    pub const ZERO: ValueId = ValueId(0);
+    /// The id of the pre-interned value `1.0`.
+    pub const ONE: ValueId = ValueId(1);
+
+    /// The raw index of this id (useful for dense side tables).
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Occupancy statistics of a [`CTable`], useful when reporting memory use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CTableStats {
+    /// Number of distinct interned values.
+    pub entries: usize,
+    /// Number of lookups that found an existing entry.
+    pub hits: u64,
+    /// Number of lookups that inserted a new entry.
+    pub misses: u64,
+}
+
+/// A tolerance-based interning table for real values.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::CTable;
+///
+/// let mut table = CTable::new();
+/// let a = table.intern(std::f64::consts::FRAC_1_SQRT_2);
+/// let b = table.intern(1.0 / 2.0_f64.sqrt());
+/// assert_eq!(a, b); // same value up to round-off, same id
+/// ```
+#[derive(Debug, Clone)]
+pub struct CTable {
+    values: Vec<f64>,
+    buckets: FxHashMap<i64, Vec<ValueId>>,
+    tolerance: Tolerance,
+    hits: u64,
+    misses: u64,
+}
+
+impl CTable {
+    /// Creates a table with the [default tolerance](crate::DEFAULT_TOLERANCE),
+    /// pre-populated with `0.0` and `1.0` (ids [`ValueId::ZERO`] and
+    /// [`ValueId::ONE`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_tolerance(Tolerance::default())
+    }
+
+    /// Creates a table with an explicit tolerance.
+    #[must_use]
+    pub fn with_tolerance(tolerance: Tolerance) -> Self {
+        let mut table = Self {
+            values: Vec::with_capacity(64),
+            buckets: FxHashMap::default(),
+            tolerance,
+            hits: 0,
+            misses: 0,
+        };
+        let zero = table.intern(0.0);
+        let one = table.intern(1.0);
+        debug_assert_eq!(zero, ValueId::ZERO);
+        debug_assert_eq!(one, ValueId::ONE);
+        table.hits = 0;
+        table.misses = 0;
+        table
+    }
+
+    /// The tolerance used for equality.
+    #[must_use]
+    pub fn tolerance(&self) -> Tolerance {
+        self.tolerance
+    }
+
+    fn bucket_of(&self, value: f64) -> i64 {
+        // Bucket width is 2x the tolerance so a value and anything within
+        // tolerance of it land in the same or an adjacent bucket.
+        let width = (self.tolerance.eps() * 2.0).max(f64::MIN_POSITIVE);
+        (value / width).round() as i64
+    }
+
+    /// Interns `value`, returning the id of an existing entry within
+    /// tolerance or inserting a new entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or infinite — non-finite amplitudes always
+    /// indicate a bug further up the stack and must not be silently interned.
+    pub fn intern(&mut self, value: f64) -> ValueId {
+        assert!(value.is_finite(), "cannot intern non-finite value {value}");
+        let value = if value == 0.0 { 0.0 } else { value };
+        let bucket = self.bucket_of(value);
+        for b in [bucket, bucket - 1, bucket + 1] {
+            if let Some(ids) = self.buckets.get(&b) {
+                for &id in ids {
+                    if self.tolerance.eq(self.values[id.index()], value) {
+                        self.hits += 1;
+                        return id;
+                    }
+                }
+            }
+        }
+        let id = ValueId(u32::try_from(self.values.len()).expect("complex table overflow"));
+        self.values.push(value);
+        self.buckets.entry(bucket).or_default().push(id);
+        self.misses += 1;
+        id
+    }
+
+    /// Interns both components of a complex number.
+    pub fn intern_complex(&mut self, z: Complex) -> (ValueId, ValueId) {
+        (self.intern(z.re), self.intern(z.im))
+    }
+
+    /// The value stored under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    #[must_use]
+    pub fn value(&self, id: ValueId) -> f64 {
+        self.values[id.index()]
+    }
+
+    /// Reconstructs a complex number from a pair of interned components.
+    #[must_use]
+    pub fn complex(&self, re: ValueId, im: ValueId) -> Complex {
+        Complex::new(self.value(re), self.value(im))
+    }
+
+    /// The number of distinct interned values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if only the pre-populated constants are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.len() <= 2
+    }
+
+    /// Lookup statistics.
+    #[must_use]
+    pub fn stats(&self) -> CTableStats {
+        CTableStats {
+            entries: self.values.len(),
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+}
+
+impl Default for CTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preinterned_constants() {
+        let mut t = CTable::new();
+        assert_eq!(t.intern(0.0), ValueId::ZERO);
+        assert_eq!(t.intern(1.0), ValueId::ONE);
+        assert_eq!(t.value(ValueId::ZERO), 0.0);
+        assert_eq!(t.value(ValueId::ONE), 1.0);
+    }
+
+    #[test]
+    fn values_within_tolerance_share_an_id() {
+        let mut t = CTable::new();
+        let a = t.intern(0.5);
+        let b = t.intern(0.5 + 1e-12);
+        let c = t.intern(0.5 - 1e-12);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(t.len(), 3); // 0, 1, 0.5
+    }
+
+    #[test]
+    fn values_outside_tolerance_get_fresh_ids() {
+        let mut t = CTable::new();
+        let a = t.intern(0.5);
+        let b = t.intern(0.5001);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn negative_zero_is_zero() {
+        let mut t = CTable::new();
+        assert_eq!(t.intern(-0.0), ValueId::ZERO);
+    }
+
+    #[test]
+    fn complex_roundtrip() {
+        let mut t = CTable::new();
+        let z = Complex::new(0.25, -0.75);
+        let (re, im) = t.intern_complex(z);
+        assert_eq!(t.complex(re, im), z);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut t = CTable::new();
+        t.intern(0.3);
+        t.intern(0.3);
+        t.intern(0.7);
+        let s = t.stats();
+        assert_eq!(s.entries, 4);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn boundary_values_near_bucket_edges_still_match() {
+        let mut t = CTable::new();
+        // Construct values straddling a bucket boundary but within tolerance.
+        let eps = t.tolerance().eps();
+        let base = 123.0 * (2.0 * eps) + eps; // sits exactly on a boundary
+        let a = t.intern(base - 0.4 * eps);
+        let b = t.intern(base + 0.4 * eps);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn interning_nan_panics() {
+        let mut t = CTable::new();
+        let _ = t.intern(f64::NAN);
+    }
+
+    #[test]
+    fn many_distinct_values() {
+        let mut t = CTable::new();
+        let ids: Vec<_> = (0..1000).map(|i| t.intern(i as f64 * 0.001)).collect();
+        // Re-interning returns the identical ids.
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(t.intern(i as f64 * 0.001), id);
+        }
+    }
+}

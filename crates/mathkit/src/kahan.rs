@@ -1,0 +1,156 @@
+//! Compensated (Kahan–Babuška) summation.
+//!
+//! The vector-based sampler builds a prefix-sum array over up to `2^n`
+//! probabilities; naive accumulation drifts enough that the final prefix can
+//! differ noticeably from 1.0, which would bias samples drawn near the end of
+//! the array.  [`KahanSum`] keeps a running compensation term so the error is
+//! bounded independently of the number of additions.
+
+/// A running compensated sum.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::KahanSum;
+///
+/// let mut sum = KahanSum::new();
+/// for _ in 0..1_000_000 {
+///     sum.add(1e-6);
+/// }
+/// assert!((sum.value() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Creates an empty sum.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a sum starting from `value`.
+    #[must_use]
+    pub fn with_value(value: f64) -> Self {
+        Self {
+            sum: value,
+            compensation: 0.0,
+        }
+    }
+
+    /// Adds `x` to the running sum with compensation (Neumaier variant, which
+    /// stays accurate even when the addend is larger than the running sum).
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The current compensated value of the sum.
+    #[inline]
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl From<f64> for KahanSum {
+    fn from(value: f64) -> Self {
+        Self::with_value(value)
+    }
+}
+
+impl Extend<f64> for KahanSum {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for KahanSum {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Sums a slice of `f64` with compensation and returns the total.
+///
+/// # Examples
+///
+/// ```
+/// let xs = vec![0.1_f64; 10];
+/// assert!((mathkit::KahanSum::from_iter(xs.iter().copied()).value() - 1.0).abs() < 1e-15);
+/// ```
+#[must_use]
+pub fn compensated_sum(values: &[f64]) -> f64 {
+    values.iter().copied().collect::<KahanSum>().value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(KahanSum::new().value(), 0.0);
+    }
+
+    #[test]
+    fn matches_exact_sum_for_small_inputs() {
+        let mut s = KahanSum::new();
+        s.add(1.0);
+        s.add(2.0);
+        s.add(3.0);
+        assert_eq!(s.value(), 6.0);
+    }
+
+    #[test]
+    fn compensates_catastrophic_cancellation() {
+        // Classic Neumaier example: naive summation loses the small terms.
+        let mut s = KahanSum::new();
+        s.add(1.0);
+        s.add(1e100);
+        s.add(1.0);
+        s.add(-1e100);
+        assert_eq!(s.value(), 2.0);
+    }
+
+    #[test]
+    fn many_tiny_terms_stay_accurate() {
+        let n = 10_000_000_u64;
+        let term = 1.0 / n as f64;
+        let mut s = KahanSum::new();
+        for _ in 0..n {
+            s.add(term);
+        }
+        assert!((s.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut s: KahanSum = (0..100).map(|i| i as f64).collect();
+        assert_eq!(s.value(), 4950.0);
+        s.extend([1.0, 2.0]);
+        assert_eq!(s.value(), 4953.0);
+        assert_eq!(compensated_sum(&[0.5, 0.25, 0.25]), 1.0);
+    }
+
+    #[test]
+    fn with_value_starts_from_given_total() {
+        let mut s = KahanSum::with_value(10.0);
+        s.add(5.0);
+        assert_eq!(s.value(), 15.0);
+        assert_eq!(KahanSum::from(3.0).value(), 3.0);
+    }
+}

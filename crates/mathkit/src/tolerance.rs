@@ -1,0 +1,126 @@
+//! Numerical tolerance handling.
+//!
+//! Decision-diagram node sharing relies on recognising that two
+//! floating-point amplitudes are "the same value up to round-off".  All such
+//! comparisons in the workspace go through the [`Tolerance`] type so that the
+//! comparison policy is defined in exactly one place.
+
+/// The default absolute tolerance used when interning complex values and
+/// comparing amplitudes, matching the magnitude used by DD-based simulators
+/// in the literature.
+pub const DEFAULT_TOLERANCE: f64 = 1e-10;
+
+/// An absolute comparison tolerance.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::Tolerance;
+///
+/// let tol = Tolerance::default();
+/// assert!(tol.eq(1.0, 1.0 + 1e-13));
+/// assert!(!tol.eq(1.0, 1.001));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Tolerance(f64);
+
+impl Tolerance {
+    /// Creates a tolerance from an absolute epsilon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is negative or not finite.
+    #[must_use]
+    pub fn new(eps: f64) -> Self {
+        assert!(eps.is_finite() && eps >= 0.0, "tolerance must be a non-negative finite number");
+        Self(eps)
+    }
+
+    /// The absolute epsilon of this tolerance.
+    #[inline]
+    #[must_use]
+    pub fn eps(&self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` if `a` and `b` differ by at most the tolerance.
+    #[inline]
+    #[must_use]
+    pub fn eq(&self, a: f64, b: f64) -> bool {
+        (a - b).abs() <= self.0
+    }
+
+    /// Returns `true` if `x` is within the tolerance of zero.
+    #[inline]
+    #[must_use]
+    pub fn is_zero(&self, x: f64) -> bool {
+        x.abs() <= self.0
+    }
+
+    /// Returns `true` if `x` is within the tolerance of one.
+    #[inline]
+    #[must_use]
+    pub fn is_one(&self, x: f64) -> bool {
+        (x - 1.0).abs() <= self.0
+    }
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Self(DEFAULT_TOLERANCE)
+    }
+}
+
+/// Compares two floats under the [`DEFAULT_TOLERANCE`].
+///
+/// # Examples
+///
+/// ```
+/// assert!(mathkit::approx_eq(0.1 + 0.2, 0.3));
+/// ```
+#[inline]
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= DEFAULT_TOLERANCE
+}
+
+/// Compares two floats under an explicit absolute tolerance.
+#[inline]
+#[must_use]
+pub fn approx_eq_with(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tolerance_accepts_roundoff() {
+        assert!(approx_eq(0.1 + 0.2, 0.3));
+        assert!(approx_eq(1.0, 1.0));
+        assert!(!approx_eq(1.0, 1.0001));
+    }
+
+    #[test]
+    fn explicit_tolerance() {
+        assert!(approx_eq_with(1.0, 1.01, 0.1));
+        assert!(!approx_eq_with(1.0, 1.01, 0.001));
+    }
+
+    #[test]
+    fn tolerance_type_behaviour() {
+        let t = Tolerance::new(1e-6);
+        assert_eq!(t.eps(), 1e-6);
+        assert!(t.eq(2.0, 2.0 + 5e-7));
+        assert!(t.is_zero(-5e-7));
+        assert!(t.is_one(1.0 - 5e-7));
+        assert!(!t.is_one(1.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_tolerance_panics() {
+        let _ = Tolerance::new(-1.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Dense statevector simulation and prefix-sum sampling.
+//!
+//! This crate implements the *baseline* of the reproduced paper (Section
+//! III): strong simulation into an explicit array of `2^n` amplitudes,
+//! followed by weak simulation using either
+//!
+//! * a **linear traversal** of the probability array per sample, or
+//! * a precomputed **prefix-sum array** and **binary search** per sample
+//!   (`O(n)` per sample after an `O(2^n)` precomputation).
+//!
+//! The memory wall that motivates the paper's decision-diagram sampler is
+//! modelled by [`MemoryBudget`]: requesting a simulation whose amplitude
+//! array would exceed the budget reports a *memory-out* instead of thrashing
+//! the host machine.
+//!
+//! # Examples
+//!
+//! ```
+//! use circuit::{Circuit, Qubit};
+//! use statevector::{simulate, PrefixSampler};
+//! use rand::SeedableRng;
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(Qubit(0));
+//! bell.cx(Qubit(0), Qubit(1));
+//!
+//! let state = simulate(&bell)?;
+//! let sampler = PrefixSampler::new(&state);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let sample = sampler.sample(&mut rng);
+//! assert!(sample == 0 || sample == 3); // |00> or |11>
+//! # Ok::<(), statevector::SimulateError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apply;
+mod memory;
+mod prefix;
+mod sample;
+mod state;
+
+pub use apply::{apply_circuit, apply_operation, simulate, simulate_with_budget, SimulateError};
+pub use memory::MemoryBudget;
+pub use prefix::PrefixSampler;
+pub use sample::{sample_counts, sample_many, LinearSampler};
+pub use state::StateVector;

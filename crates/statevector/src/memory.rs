@@ -1,0 +1,124 @@
+//! Memory budgeting for dense simulation.
+//!
+//! The evaluation of the reproduced paper reports "MO" (memory out) for the
+//! vector-based sampler whenever the explicit amplitude array no longer fits
+//! the machine (e.g. `qft_32`, `qft_48`, `grover_35` on a 32 GiB host).
+//! [`MemoryBudget`] lets the experiment harness reproduce that behaviour
+//! deterministically and without actually exhausting host memory.
+
+/// A limit on the number of bytes the dense amplitude array may occupy.
+///
+/// # Examples
+///
+/// ```
+/// use statevector::MemoryBudget;
+///
+/// // The paper's 32 GiB machine cannot hold a 32-qubit state vector
+/// // (2^32 amplitudes * 16 bytes = 64 GiB).
+/// let budget = MemoryBudget::from_gib(32);
+/// assert!(budget.allows(MemoryBudget::state_vector_bytes(30)));
+/// assert!(!budget.allows(MemoryBudget::state_vector_bytes(32)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    bytes: u64,
+}
+
+/// Size of one complex amplitude in bytes (two `f64`s).
+const AMPLITUDE_BYTES: u128 = 16;
+
+impl MemoryBudget {
+    /// A budget that never triggers a memory-out.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self { bytes: u64::MAX }
+    }
+
+    /// A budget of exactly `bytes` bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: u64) -> Self {
+        Self { bytes }
+    }
+
+    /// A budget of `gib` GiB.
+    #[must_use]
+    pub fn from_gib(gib: u32) -> Self {
+        Self {
+            bytes: u64::from(gib) * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// The budget in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The number of bytes a dense `num_qubits`-qubit state vector needs.
+    #[must_use]
+    pub fn state_vector_bytes(num_qubits: u16) -> u128 {
+        AMPLITUDE_BYTES << num_qubits
+    }
+
+    /// The number of bytes the prefix-sum array (one `f64` per amplitude)
+    /// needs on top of the state vector.
+    #[must_use]
+    pub fn prefix_array_bytes(num_qubits: u16) -> u128 {
+        8u128 << num_qubits
+    }
+
+    /// Returns `true` if an allocation of `required` bytes fits the budget.
+    #[must_use]
+    pub fn allows(&self, required: u128) -> bool {
+        required <= u128::from(self.bytes)
+    }
+}
+
+impl Default for MemoryBudget {
+    /// The default budget mirrors the paper's testbed: 32 GiB of RAM.
+    fn default() -> Self {
+        Self::from_gib(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_vector_sizes() {
+        assert_eq!(MemoryBudget::state_vector_bytes(0), 16);
+        assert_eq!(MemoryBudget::state_vector_bytes(10), 16 * 1024);
+        assert_eq!(MemoryBudget::state_vector_bytes(32), 64 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn paper_machine_thresholds() {
+        // With 32 GiB, 31 qubits fit (32 GiB exactly) but 32 qubits do not.
+        let budget = MemoryBudget::default();
+        assert!(budget.allows(MemoryBudget::state_vector_bytes(31)));
+        assert!(!budget.allows(MemoryBudget::state_vector_bytes(32)));
+    }
+
+    #[test]
+    fn unlimited_always_allows() {
+        assert!(MemoryBudget::unlimited().allows(MemoryBudget::state_vector_bytes(59)));
+        assert!(!MemoryBudget::default().allows(MemoryBudget::state_vector_bytes(59)));
+    }
+
+    #[test]
+    fn explicit_byte_budgets() {
+        let b = MemoryBudget::from_bytes(1000);
+        assert_eq!(b.bytes(), 1000);
+        assert!(b.allows(1000));
+        assert!(!b.allows(1001));
+    }
+
+    #[test]
+    fn prefix_array_is_half_the_state_vector() {
+        assert_eq!(
+            MemoryBudget::prefix_array_bytes(20) * 2,
+            MemoryBudget::state_vector_bytes(20)
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Prefix-sum construction and binary-search sampling (Section III of the
+//! paper, Fig. 3).
+
+use crate::StateVector;
+use mathkit::KahanSum;
+use rand::Rng;
+
+/// A sampler that precomputes the prefix sums `r_i = sum_{k<=i} p_k` of the
+/// output probability distribution and answers each sample with a binary
+/// search, exactly as described in Section III of the paper.
+///
+/// Precomputation is `O(2^n)`; each sample costs `O(n)` comparisons.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{Circuit, Qubit};
+/// use statevector::{simulate, PrefixSampler};
+/// use rand::SeedableRng;
+///
+/// let mut c = Circuit::new(1);
+/// c.x(Qubit(0));
+/// let sampler = PrefixSampler::new(&simulate(&c)?);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// assert_eq!(sampler.sample(&mut rng), 1); // the state is |1> with certainty
+/// # Ok::<(), statevector::SimulateError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixSampler {
+    prefix: Vec<f64>,
+    num_qubits: u16,
+}
+
+impl PrefixSampler {
+    /// Builds the prefix-sum array from a state vector.
+    ///
+    /// The construction mirrors Fig. 3 of the paper: squared magnitudes of
+    /// the amplitudes are accumulated left to right (with compensated
+    /// summation so the final entry stays at 1 even for huge arrays).
+    #[must_use]
+    pub fn new(state: &StateVector) -> Self {
+        let mut prefix = Vec::with_capacity(state.len());
+        let mut running = KahanSum::new();
+        for amp in state.amplitudes() {
+            running.add(amp.norm_sqr());
+            prefix.push(running.value());
+        }
+        Self {
+            prefix,
+            num_qubits: state.num_qubits(),
+        }
+    }
+
+    /// Builds a sampler directly from a probability vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probabilities` is empty or its length is not a power of
+    /// two.
+    #[must_use]
+    pub fn from_probabilities(probabilities: &[f64]) -> Self {
+        assert!(
+            probabilities.len().is_power_of_two(),
+            "probability vector length must be a power of two"
+        );
+        let mut prefix = Vec::with_capacity(probabilities.len());
+        let mut running = KahanSum::new();
+        for &p in probabilities {
+            running.add(p);
+            prefix.push(running.value());
+        }
+        Self {
+            prefix,
+            num_qubits: probabilities.len().trailing_zeros() as u16,
+        }
+    }
+
+    /// The number of qubits of the sampled register.
+    #[must_use]
+    pub fn num_qubits(&self) -> u16 {
+        self.num_qubits
+    }
+
+    /// The prefix-sum array (monotonically non-decreasing, last entry ~1).
+    #[must_use]
+    pub fn prefix_sums(&self) -> &[f64] {
+        &self.prefix
+    }
+
+    /// The total probability mass (should be 1 for a normalized state).
+    #[must_use]
+    pub fn total_mass(&self) -> f64 {
+        self.prefix.last().copied().unwrap_or(0.0)
+    }
+
+    /// Draws one basis-state index using the supplied random number
+    /// generator (one uniform variate plus a binary search).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let p_hat: f64 = rng.gen::<f64>() * self.total_mass();
+        self.locate(p_hat)
+    }
+
+    /// Draws `shots` samples.
+    #[must_use = "the samples are the result of the weak simulation"]
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, shots: usize) -> Vec<u64> {
+        (0..shots).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Locates the output index for a given cumulative probability value
+    /// `p_hat` in `[0, 1)`: the smallest index whose prefix sum exceeds
+    /// `p_hat`.  Exposed so tests (and the figure generator) can reproduce
+    /// the worked example of Fig. 3.
+    #[must_use]
+    pub fn locate(&self, p_hat: f64) -> u64 {
+        let idx = self.prefix.partition_point(|&r| r <= p_hat);
+        // Guard against p_hat == total mass (can only happen through rounding).
+        idx.min(self.prefix.len() - 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathkit::Complex;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_example_state() -> StateVector {
+        // Fig. 3 of the paper: amplitudes [0, -0.612i, 0, -0.612i, 0.354, 0, 0, 0.354].
+        let a = Complex::new(0.0, -(3.0_f64 / 8.0).sqrt());
+        let b = Complex::from_real((1.0_f64 / 8.0).sqrt());
+        StateVector::from_amplitudes(vec![
+            Complex::ZERO,
+            a,
+            Complex::ZERO,
+            a,
+            b,
+            Complex::ZERO,
+            Complex::ZERO,
+            b,
+        ])
+    }
+
+    #[test]
+    fn prefix_sums_match_fig_3() {
+        let sampler = PrefixSampler::new(&paper_example_state());
+        let expected = [0.0, 3.0 / 8.0, 3.0 / 8.0, 6.0 / 8.0, 7.0 / 8.0, 7.0 / 8.0, 7.0 / 8.0, 1.0];
+        for (i, &e) in expected.iter().enumerate() {
+            assert!(
+                (sampler.prefix_sums()[i] - e).abs() < 1e-12,
+                "prefix[{i}] = {} expected {e}",
+                sampler.prefix_sums()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn example_8_of_the_paper() {
+        // With p_hat = 1/2 the sample is |011> (index 3).
+        let sampler = PrefixSampler::new(&paper_example_state());
+        assert_eq!(sampler.locate(0.5), 3);
+    }
+
+    #[test]
+    fn locate_edge_cases() {
+        let sampler = PrefixSampler::from_probabilities(&[0.25, 0.25, 0.25, 0.25]);
+        assert_eq!(sampler.locate(0.0), 0);
+        assert_eq!(sampler.locate(0.24), 0);
+        assert_eq!(sampler.locate(0.25), 1);
+        assert_eq!(sampler.locate(0.99), 3);
+        assert_eq!(sampler.locate(1.0), 3); // clamped
+    }
+
+    #[test]
+    fn deterministic_state_always_samples_the_same_index() {
+        let sampler = PrefixSampler::new(&StateVector::basis_state(4, 11));
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(sampler.sample(&mut rng), 11);
+        }
+    }
+
+    #[test]
+    fn samples_follow_the_distribution() {
+        let sampler = PrefixSampler::new(&paper_example_state());
+        let mut rng = StdRng::seed_from_u64(7);
+        let shots = 200_000;
+        let samples = sampler.sample_many(&mut rng, shots);
+        let mut counts = [0u64; 8];
+        for s in samples {
+            counts[s as usize] += 1;
+        }
+        // Zero-probability outcomes never appear.
+        for i in [0usize, 2, 5, 6] {
+            assert_eq!(counts[i], 0);
+        }
+        // Nonzero outcomes appear with roughly the right frequency.
+        let freq = |i: usize| counts[i] as f64 / shots as f64;
+        assert!((freq(1) - 0.375).abs() < 0.01);
+        assert!((freq(3) - 0.375).abs() < 0.01);
+        assert!((freq(4) - 0.125).abs() < 0.01);
+        assert!((freq(7) - 0.125).abs() < 0.01);
+    }
+
+    #[test]
+    fn total_mass_is_one_for_normalized_states() {
+        let sampler = PrefixSampler::new(&paper_example_state());
+        assert!((sampler.total_mass() - 1.0).abs() < 1e-12);
+        assert_eq!(sampler.num_qubits(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn from_probabilities_requires_power_of_two() {
+        let _ = PrefixSampler::from_probabilities(&[0.5, 0.25, 0.25]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Linear-traversal sampling and sampling conveniences.
+
+use crate::StateVector;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A sampler that draws each sample by a linear traversal of the probability
+/// array (no precomputation).
+///
+/// This is the paper's "direct (linear) traversal, which takes `2^(n-1)`
+/// steps on average" — it exists as the slowest baseline and because it can
+/// stream over amplitudes that never fit in memory all at once.
+///
+/// # Examples
+///
+/// ```
+/// use statevector::{LinearSampler, StateVector};
+/// use rand::SeedableRng;
+///
+/// let sampler = LinearSampler::new(&StateVector::basis_state(3, 6));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// assert_eq!(sampler.sample(&mut rng), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearSampler {
+    probabilities: Vec<f64>,
+}
+
+impl LinearSampler {
+    /// Builds the sampler from a state vector (stores only probabilities).
+    #[must_use]
+    pub fn new(state: &StateVector) -> Self {
+        Self {
+            probabilities: state.probabilities(),
+        }
+    }
+
+    /// Builds the sampler directly from a probability vector.
+    #[must_use]
+    pub fn from_probabilities(probabilities: Vec<f64>) -> Self {
+        Self { probabilities }
+    }
+
+    /// Draws one sample by scanning the probability array until the running
+    /// sum exceeds a uniformly drawn threshold.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let total: f64 = self.probabilities.iter().sum();
+        let threshold: f64 = rng.gen::<f64>() * total;
+        let mut running = 0.0;
+        for (i, &p) in self.probabilities.iter().enumerate() {
+            running += p;
+            if running > threshold {
+                return i as u64;
+            }
+        }
+        (self.probabilities.len() - 1) as u64
+    }
+
+    /// Draws `shots` samples.
+    #[must_use = "the samples are the result of the weak simulation"]
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, shots: usize) -> Vec<u64> {
+        (0..shots).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Draws `shots` samples from `state` using the prefix-sum sampler and
+/// returns them in draw order.
+///
+/// This is the convenience entry point for "vector-based weak simulation" as
+/// evaluated in Table I of the paper.
+#[must_use = "the samples are the result of the weak simulation"]
+pub fn sample_many<R: Rng + ?Sized>(state: &StateVector, rng: &mut R, shots: usize) -> Vec<u64> {
+    crate::PrefixSampler::new(state).sample_many(rng, shots)
+}
+
+/// Draws `shots` samples and aggregates them into a histogram keyed by basis
+/// state index.
+#[must_use = "the histogram is the result of the weak simulation"]
+pub fn sample_counts<R: Rng + ?Sized>(
+    state: &StateVector,
+    rng: &mut R,
+    shots: usize,
+) -> BTreeMap<u64, u64> {
+    let sampler = crate::PrefixSampler::new(state);
+    let mut counts = BTreeMap::new();
+    for _ in 0..shots {
+        *counts.entry(sampler.sample(rng)).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use circuit::{Circuit, Qubit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_sampler_matches_prefix_sampler_distribution() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(1));
+        c.h(Qubit(2));
+        let state = simulate(&c).unwrap();
+        let linear = LinearSampler::new(&state);
+        let prefix = crate::PrefixSampler::new(&state);
+
+        let shots = 50_000;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut linear_counts = [0u64; 8];
+        for _ in 0..shots {
+            linear_counts[linear.sample(&mut rng) as usize] += 1;
+        }
+        let mut prefix_counts = [0u64; 8];
+        for _ in 0..shots {
+            prefix_counts[prefix.sample(&mut rng) as usize] += 1;
+        }
+        for i in 0..8 {
+            let expected = state.probability(i as u64);
+            let lf = linear_counts[i] as f64 / shots as f64;
+            let pf = prefix_counts[i] as f64 / shots as f64;
+            assert!((lf - expected).abs() < 0.02, "linear index {i}");
+            assert!((pf - expected).abs() < 0.02, "prefix index {i}");
+        }
+    }
+
+    #[test]
+    fn sample_counts_aggregates_all_shots() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        let state = simulate(&c).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = sample_counts(&state, &mut rng, 1000);
+        assert_eq!(counts.values().sum::<u64>(), 1000);
+        // Only |00> and |01> can appear.
+        assert!(counts.keys().all(|&k| k == 0 || k == 1));
+    }
+
+    #[test]
+    fn sample_many_returns_requested_number_of_shots() {
+        let state = crate::StateVector::basis_state(2, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples = sample_many(&state, &mut rng, 37);
+        assert_eq!(samples.len(), 37);
+        assert!(samples.iter().all(|&s| s == 2));
+    }
+
+    #[test]
+    fn linear_sampler_from_probabilities() {
+        let sampler = LinearSampler::from_probabilities(vec![0.0, 0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            assert_eq!(sampler.sample(&mut rng), 2);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Quickstart: weak simulation of a Bell pair.
+//!
+//! Builds the two-qubit Bell circuit, runs it through both backends and
+//! prints the sampled histograms — the kind of output a physical quantum
+//! computer would return.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use circuit::{Circuit, Qubit};
+use weaksim::{Backend, WeakSimulator};
+
+fn main() -> Result<(), weaksim::RunError> {
+    // The running circuit of Example 2 in the paper: H then CNOT.
+    let mut bell = Circuit::with_name(2, "bell");
+    bell.h(Qubit(0));
+    bell.cx(Qubit(0), Qubit(1));
+
+    let shots = 10_000;
+    for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+        let outcome = WeakSimulator::new(backend).run(&bell, shots, 2020)?;
+        println!("=== {backend} sampling of {} ===", bell.name());
+        println!(
+            "representation size: {} ({}), strong simulation {:.3} ms, sampling {:.3} ms",
+            outcome.representation_size,
+            match backend {
+                Backend::DecisionDiagram => "DD nodes",
+                Backend::StateVector => "amplitudes",
+            },
+            outcome.strong_time.as_secs_f64() * 1e3,
+            outcome.weak_time().as_secs_f64() * 1e3,
+        );
+        for (bits, count) in outcome.histogram.to_bitstring_counts() {
+            println!("  |{bits}> observed {count} times ({:.3})", count as f64 / shots as f64);
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Umbrella crate of the weak-simulation reproduction.
+//!
+//! This crate simply re-exports the workspace members so examples,
+//! integration tests and downstream users can depend on a single package:
+//!
+//! * [`mathkit`] — complex arithmetic, value interning, compensated sums;
+//! * [`circuit`] — the circuit IR and OpenQASM subset;
+//! * [`algorithms`] — benchmark circuit generators;
+//! * [`dd`] — decision diagrams, strong simulation and the DD sampler;
+//! * [`statevector`] — the dense baseline simulator and prefix-sum sampler;
+//! * [`weaksim`] — the unified front end, statistics and experiment harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use weaksim_repro::weaksim::{Backend, WeakSimulator};
+//!
+//! let circuit = weaksim_repro::algorithms::ghz(3);
+//! let outcome = WeakSimulator::new(Backend::DecisionDiagram).run(&circuit, 100, 0)?;
+//! assert_eq!(outcome.histogram.shots(), 100);
+//! # Ok::<(), weaksim_repro::weaksim::RunError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use algorithms;
+pub use circuit;
+pub use dd;
+pub use mathkit;
+pub use statevector;
+pub use weaksim;

@@ -1,0 +1,147 @@
+//! Cross-checks the two strong-simulation substrates against each other:
+//! for a wide range of circuits the decision-diagram engine and the dense
+//! statevector engine must produce the same state (up to numerical noise).
+
+use dd::DdPackage;
+use mathkit::Complex;
+
+fn assert_backends_agree(circuit: &circuit::Circuit, tolerance: f64) {
+    let dense = statevector::simulate(circuit).expect("dense simulation succeeds");
+    let mut package = DdPackage::new();
+    let diagram = dd::simulate(&mut package, circuit).expect("DD simulation succeeds");
+    for index in 0..dense.len() as u64 {
+        let a = dense.amplitude(index);
+        let b = diagram.amplitude(&package, index);
+        assert!(
+            (a - b).norm() < tolerance,
+            "{}: amplitude {index} differs: dense {a}, DD {b}",
+            circuit.name()
+        );
+    }
+}
+
+#[test]
+fn bell_ghz_and_w_states_agree() {
+    assert_backends_agree(&algorithms::bell_pair(), 1e-9);
+    assert_backends_agree(&algorithms::ghz(7), 1e-9);
+    assert_backends_agree(&algorithms::w_state(6), 1e-9);
+}
+
+#[test]
+fn qft_states_agree() {
+    for n in [2u16, 4, 6, 9] {
+        assert_backends_agree(&algorithms::qft(n, true), 1e-8);
+        assert_backends_agree(&algorithms::qft(n, false), 1e-8);
+    }
+}
+
+#[test]
+fn qft_implements_the_discrete_fourier_transform() {
+    // Semantics check: applied to basis state |x>, the QFT (with swaps)
+    // produces amplitudes e^{2 pi i x y / 2^n} / sqrt(2^n) at |y>, with qubit
+    // k carrying bit k of both x and y.
+    let n = 4u16;
+    let dim = 1u64 << n;
+    for x in [0u64, 1, 5, 11, 15] {
+        let mut circuit = circuit::Circuit::new(n);
+        for bit in 0..n {
+            if x & (1 << bit) != 0 {
+                circuit.x(circuit::Qubit(bit));
+            }
+        }
+        circuit.extend_from(&algorithms::qft(n, true));
+        let state = statevector::simulate(&circuit).unwrap();
+        let scale = 1.0 / (dim as f64).sqrt();
+        for y in 0..dim {
+            let angle = std::f64::consts::TAU * (x as f64) * (y as f64) / dim as f64;
+            let expected = Complex::from_polar(scale, angle);
+            let got = state.amplitude(y);
+            assert!(
+                (got - expected).norm() < 1e-9,
+                "x = {x}, y = {y}: got {got}, expected {expected}"
+            );
+        }
+    }
+}
+
+#[test]
+fn grover_iterations_agree() {
+    let (circuit, _) = algorithms::grover_with_iterations(6, 11, 4);
+    assert_backends_agree(&circuit, 1e-8);
+}
+
+#[test]
+fn shor_order_finding_agrees_on_small_moduli() {
+    let (circuit, _) = algorithms::shor(15, 7);
+    assert_backends_agree(&circuit, 1e-8);
+}
+
+#[test]
+fn jellium_circuits_agree() {
+    let (circuit, _) = algorithms::jellium(2, 2);
+    assert_backends_agree(&circuit, 1e-8);
+}
+
+#[test]
+fn supremacy_circuits_agree() {
+    let (circuit, _) = algorithms::supremacy(3, 3, 8, 5);
+    assert_backends_agree(&circuit, 1e-8);
+}
+
+#[test]
+fn random_circuits_agree() {
+    for seed in 0..8 {
+        let circuit = algorithms::random_circuit(6, 6, seed);
+        assert_backends_agree(&circuit, 1e-8);
+    }
+}
+
+#[test]
+fn running_example_agrees_and_matches_the_paper() {
+    let circuit = algorithms::running_example();
+    assert_backends_agree(&circuit, 1e-12);
+    let dense = statevector::simulate(&circuit).unwrap();
+    let expected = [0.0, 0.375, 0.0, 0.375, 0.125, 0.0, 0.0, 0.125];
+    for (i, &p) in expected.iter().enumerate() {
+        assert!((dense.probability(i as u64) - p).abs() < 1e-12);
+    }
+    // Fig. 4a's non-zero amplitudes.
+    assert!(
+        (dense.amplitude(1) - Complex::new(0.0, -(3.0_f64 / 8.0).sqrt())).norm() < 1e-12
+    );
+    assert!((dense.amplitude(4) - Complex::from_real((1.0_f64 / 8.0).sqrt())).norm() < 1e-12);
+}
+
+#[test]
+fn both_normalization_schemes_agree_with_the_dense_engine() {
+    for normalization in [dd::Normalization::LeftMost, dd::Normalization::TwoNorm] {
+        let circuit = algorithms::random_circuit(5, 5, 33);
+        let dense = statevector::simulate(&circuit).unwrap();
+        let mut package = DdPackage::with_normalization(normalization);
+        let diagram = dd::simulate(&mut package, &circuit).unwrap();
+        for index in 0..dense.len() as u64 {
+            assert!(
+                (dense.amplitude(index) - diagram.amplitude(&package, index)).norm() < 1e-8,
+                "normalization {normalization:?}, index {index}"
+            );
+        }
+    }
+}
+
+#[test]
+fn qasm_round_trip_preserves_the_simulated_state() {
+    let mut original = circuit::Circuit::with_name(4, "roundtrip");
+    original
+        .h(circuit::Qubit(0))
+        .cx(circuit::Qubit(0), circuit::Qubit(1))
+        .t(circuit::Qubit(2))
+        .cp(mathkit::Angle::pi_over(4), circuit::Qubit(1), circuit::Qubit(3))
+        .swap(circuit::Qubit(2), circuit::Qubit(3))
+        .rz(mathkit::Angle::Radians(0.8), circuit::Qubit(0));
+    let text = circuit::qasm::to_qasm(&original).expect("exportable circuit");
+    let parsed = circuit::qasm::parse(&text).expect("parsable output");
+
+    let a = statevector::simulate(&original).unwrap();
+    let b = statevector::simulate(&parsed).unwrap();
+    assert!(a.fidelity(&b) > 1.0 - 1e-9);
+}
