@@ -84,7 +84,9 @@ pub fn grover_with_iterations(n: u16, seed: u64, iterations: usize) -> (Circuit,
 #[must_use]
 fn default_iterations(n: u16) -> usize {
     let space = (1u64 << n.min(62)) as f64;
-    (std::f64::consts::FRAC_PI_4 * space.sqrt()).floor().max(1.0) as usize
+    (std::f64::consts::FRAC_PI_4 * space.sqrt())
+        .floor()
+        .max(1.0) as usize
 }
 
 /// Appends the phase oracle: flips the ancilla (in `|->`) iff the search
@@ -167,7 +169,7 @@ mod tests {
         let (c, _) = grover_with_iterations(3, 5, 1);
         let stats = c.stats();
         // 1 oracle MCX + 1 diffusion MCZ with 3-qubit support each.
-        assert_eq!(stats.counts["x"] >= 1, true);
+        assert!(stats.counts["x"] >= 1);
         assert!(stats.counts["h"] >= 8);
         assert!(stats.multi_qubit_ops >= 2);
     }

@@ -86,11 +86,21 @@ pub fn jellium(side: u16, steps: u16) -> (Circuit, JelliumSpec) {
             for r in 0..side {
                 for col in 0..side {
                     if col + 1 < side {
-                        append_givens(&mut c, orbital(r, col, s), orbital(r, col + 1, s), hop_angle(bond));
+                        append_givens(
+                            &mut c,
+                            orbital(r, col, s),
+                            orbital(r, col + 1, s),
+                            hop_angle(bond),
+                        );
                         bond += 1;
                     }
                     if r + 1 < side {
-                        append_givens(&mut c, orbital(r, col, s), orbital(r + 1, col, s), hop_angle(bond));
+                        append_givens(
+                            &mut c,
+                            orbital(r, col, s),
+                            orbital(r + 1, col, s),
+                            hop_angle(bond),
+                        );
                         bond += 1;
                     }
                 }

@@ -112,7 +112,13 @@ pub fn shor(modulus: u64, base: u64) -> (Circuit, ShorSpec) {
 fn modular_multiplication(work: &[Qubit], factor: u64, modulus: u64) -> Permutation {
     let size = 1u64 << work.len();
     let mapping: Vec<u64> = (0..size)
-        .map(|v| if v < modulus { (v * factor) % modulus } else { v })
+        .map(|v| {
+            if v < modulus {
+                (v * factor) % modulus
+            } else {
+                v
+            }
+        })
         .collect();
     Permutation::new(work.to_vec(), mapping)
         .expect("modular multiplication by a coprime is a bijection")
@@ -203,7 +209,7 @@ mod tests {
     fn modular_multiplication_is_a_bijection() {
         let work: Vec<Qubit> = (0..4).map(Qubit).collect();
         let perm = modular_multiplication(&work, 7, 15);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for v in 0..16 {
             let m = perm.apply(v);
             assert!(!seen[m as usize]);
@@ -237,9 +243,6 @@ mod tests {
         assert_eq!(stats.counts["permute"], usize::from(spec.counting_bits));
         // One initial X plus Hadamards on counting qubits and the inverse QFT.
         assert_eq!(stats.counts["x"], 1);
-        assert_eq!(
-            stats.counts["h"],
-            2 * usize::from(spec.counting_bits)
-        );
+        assert_eq!(stats.counts["h"], 2 * usize::from(spec.counting_bits));
     }
 }

@@ -157,7 +157,15 @@ mod tests {
             .operations()
             .iter()
             .take(usize::from(spec.qubits))
-            .filter(|op| matches!(op, circuit::Operation::Unitary { gate: OneQubitGate::H, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    circuit::Operation::Unitary {
+                        gate: OneQubitGate::H,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(hadamards, usize::from(spec.qubits));
     }
@@ -172,7 +180,10 @@ mod tests {
     fn deeper_circuits_have_more_cz_gates() {
         let shallow = supremacy(4, 4, 4, 0).0.stats();
         let deep = supremacy(4, 4, 12, 0).0.stats();
-        assert!(deep.counts.get("z").copied().unwrap_or(0) > shallow.counts.get("z").copied().unwrap_or(0));
+        assert!(
+            deep.counts.get("z").copied().unwrap_or(0)
+                > shallow.counts.get("z").copied().unwrap_or(0)
+        );
     }
 
     #[test]
@@ -181,11 +192,9 @@ mod tests {
         // Find the first non-H single-qubit unitary; by the construction rule
         // it must be a T gate.
         let first = c.operations().iter().find_map(|op| match op {
-            circuit::Operation::Unitary {
-                gate,
-                controls,
-                ..
-            } if controls.is_empty() && !matches!(gate, OneQubitGate::H | OneQubitGate::Z) => {
+            circuit::Operation::Unitary { gate, controls, .. }
+                if controls.is_empty() && !matches!(gate, OneQubitGate::H | OneQubitGate::Z) =>
+            {
                 Some(*gate)
             }
             _ => None,

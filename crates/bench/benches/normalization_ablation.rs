@@ -41,7 +41,9 @@ fn bench_normalization(c: &mut Criterion) {
                 let sampler = DdSampler::new(package, state);
                 b.iter(|| {
                     let mut rng = StdRng::seed_from_u64(BENCH_SEED);
-                    (0..SHOTS).map(|_| sampler.sample(package, &mut rng)).sum::<u64>()
+                    (0..SHOTS)
+                        .map(|_| sampler.sample(package, &mut rng))
+                        .sum::<u64>()
                 });
             },
         );
@@ -56,7 +58,9 @@ fn bench_normalization(c: &mut Criterion) {
                 let sampler = DdSampler::new(package, state);
                 b.iter(|| {
                     let mut rng = StdRng::seed_from_u64(BENCH_SEED);
-                    (0..SHOTS).map(|_| sampler.sample(package, &mut rng)).sum::<u64>()
+                    (0..SHOTS)
+                        .map(|_| sampler.sample(package, &mut rng))
+                        .sum::<u64>()
                 });
             },
         );
@@ -69,7 +73,9 @@ fn bench_normalization(c: &mut Criterion) {
                 let sampler = NormalizedSampler::new(package, state);
                 b.iter(|| {
                     let mut rng = StdRng::seed_from_u64(BENCH_SEED);
-                    (0..SHOTS).map(|_| sampler.sample(package, &mut rng)).sum::<u64>()
+                    (0..SHOTS)
+                        .map(|_| sampler.sample(package, &mut rng))
+                        .sum::<u64>()
                 });
             },
         );

@@ -1,13 +1,25 @@
-//! Raw sampler throughput: precomputation cost and per-sample cost of both
-//! methods, measured separately (the two phases that add up to the `t [s]`
-//! columns of Table I).
+//! Raw sampler throughput: precomputation cost and per-sample cost of every
+//! sampling method, measured separately (the two phases that add up to the
+//! `t [s]` columns of Table I).
+//!
+//! Besides the Criterion groups, this bench records the headline baseline —
+//! `CompiledSampler` vs `DdSampler` on the 20-qubit supremacy state — into
+//! `BENCH_sampler_throughput.json` at the workspace root.  Regenerate with:
+//!
+//! ```text
+//! cargo bench -p bench --bench sampler_throughput
+//! ```
+//!
+//! (`CRITERION_QUICK=1` shrinks the Criterion windows for CI smoke runs; the
+//! JSON baseline always uses fixed shot counts and wall-clock timing.)
 
 use bench::BENCH_SEED;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dd::{DdPackage, DdSampler};
+use dd::{CompiledSampler, DdPackage, DdSampler, NormalizedSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use statevector::PrefixSampler;
+use std::time::Instant;
 
 const SHOTS: u64 = 10_000;
 
@@ -39,6 +51,11 @@ fn bench_precompute(c: &mut Criterion) {
             BenchmarkId::new("downstream_annotation", circuit.name()),
             &(&package, &state),
             |b, (package, state)| b.iter(|| DdSampler::new(package, state)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("arena_compilation", circuit.name()),
+            &(&package, &state),
+            |b, (package, state)| b.iter(|| CompiledSampler::new(package, state)),
         );
     }
     group.finish();
@@ -74,7 +91,33 @@ fn bench_per_sample(c: &mut Criterion) {
             |b, (package, sampler)| {
                 b.iter(|| {
                     let mut rng = StdRng::seed_from_u64(BENCH_SEED);
-                    (0..SHOTS).map(|_| sampler.sample(package, &mut rng)).sum::<u64>()
+                    (0..SHOTS)
+                        .map(|_| sampler.sample(package, &mut rng))
+                        .sum::<u64>()
+                });
+            },
+        );
+
+        let compiled = CompiledSampler::new(&package, &state);
+        group.bench_with_input(
+            BenchmarkId::new("compiled_arena_walk", circuit.name()),
+            &compiled,
+            |b, sampler| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+                    (0..SHOTS).map(|_| sampler.sample(&mut rng)).sum::<u64>()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compiled_parallel_batch", circuit.name()),
+            &compiled,
+            |b, sampler| {
+                b.iter(|| {
+                    sampler
+                        .sample_many_parallel(BENCH_SEED, SHOTS as usize)
+                        .iter()
+                        .sum::<u64>()
                 });
             },
         );
@@ -82,5 +125,87 @@ fn bench_per_sample(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_precompute, bench_per_sample);
+/// Wall-clock throughput of each sampler on the 20-qubit supremacy state,
+/// recorded to `BENCH_sampler_throughput.json` (the acceptance baseline:
+/// compiled single-thread >= 3x `DdSampler`).
+fn record_baseline_json(_c: &mut Criterion) {
+    let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let shots: usize = if quick { 20_000 } else { 200_000 };
+
+    let (circuit, _) = algorithms::supremacy(4, 5, 10, BENCH_SEED);
+    let mut package = DdPackage::new();
+    let state = dd::simulate(&mut package, &circuit).expect("valid circuit");
+    let nodes = state.node_count(&package);
+
+    let compile_start = Instant::now();
+    let compiled = CompiledSampler::new(&package, &state);
+    let compile_seconds = compile_start.elapsed().as_secs_f64();
+
+    let dd_sampler = DdSampler::new(&package, &state);
+    let normalized = NormalizedSampler::new(&package, &state);
+    let threads = rayon::current_num_threads();
+
+    let time = |f: &mut dyn FnMut() -> u64| -> f64 {
+        let checksum = f(); // warm caches once
+        std::hint::black_box(checksum);
+        let start = Instant::now();
+        std::hint::black_box(f());
+        start.elapsed().as_secs_f64()
+    };
+
+    let dd_seconds = time(&mut || {
+        let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+        dd_sampler
+            .sample_many(&package, &mut rng, shots)
+            .iter()
+            .sum()
+    });
+    let normalized_seconds = time(&mut || {
+        let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+        normalized
+            .sample_many(&package, &mut rng, shots)
+            .iter()
+            .sum()
+    });
+    let compiled_seconds = time(&mut || {
+        let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+        compiled.sample_many(&mut rng, shots).iter().sum()
+    });
+    let parallel_seconds = time(&mut || {
+        compiled
+            .sample_many_parallel(BENCH_SEED, shots)
+            .iter()
+            .sum()
+    });
+
+    let rate = |seconds: f64| shots as f64 / seconds;
+    let json = format!(
+        "{{\n  \"benchmark\": \"{name}\",\n  \"qubits\": {qubits},\n  \"dd_nodes\": {nodes},\n  \"shots\": {shots},\n  \"threads\": {threads},\n  \"compile_seconds\": {compile_seconds:.6},\n  \"samplers\": {{\n    \"dd_sampler\": {{ \"seconds\": {dd:.6}, \"shots_per_second\": {dd_rate:.0} }},\n    \"normalized_sampler\": {{ \"seconds\": {nm:.6}, \"shots_per_second\": {nm_rate:.0} }},\n    \"compiled_sampler\": {{ \"seconds\": {cp:.6}, \"shots_per_second\": {cp_rate:.0} }},\n    \"compiled_parallel\": {{ \"seconds\": {pl:.6}, \"shots_per_second\": {pl_rate:.0} }}\n  }},\n  \"speedup_compiled_vs_dd_sampler\": {speedup:.2},\n  \"speedup_parallel_vs_dd_sampler\": {pspeedup:.2}\n}}\n",
+        name = circuit.name(),
+        qubits = circuit.num_qubits(),
+        dd = dd_seconds,
+        dd_rate = rate(dd_seconds),
+        nm = normalized_seconds,
+        nm_rate = rate(normalized_seconds),
+        cp = compiled_seconds,
+        cp_rate = rate(compiled_seconds),
+        pl = parallel_seconds,
+        pl_rate = rate(parallel_seconds),
+        speedup = dd_seconds / compiled_seconds,
+        pspeedup = dd_seconds / parallel_seconds,
+    );
+
+    // workspace root = crates/bench/../..
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../BENCH_sampler_throughput.json");
+    std::fs::write(&path, &json).expect("baseline JSON is writable");
+    eprintln!("\nbaseline written to {}:\n{json}", path.display());
+}
+
+criterion_group!(
+    benches,
+    bench_precompute,
+    bench_per_sample,
+    record_baseline_json
+);
 criterion_main!(benches);

@@ -50,9 +50,12 @@ fn figure_2() -> Result<(), weaksim::RunError> {
         .histogram
         .to_bitstring_counts()
         .into_iter()
-        .flat_map(|(bits, count)| std::iter::repeat(bits).take(count as usize))
+        .flat_map(|(bits, count)| std::iter::repeat_n(bits, count as usize))
         .collect();
-    println!("\nweak simulation (ten measurement outcomes): {}\n", samples.join(" "));
+    println!(
+        "\nweak simulation (ten measurement outcomes): {}\n",
+        samples.join(" ")
+    );
     Ok(())
 }
 

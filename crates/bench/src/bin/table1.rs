@@ -81,7 +81,11 @@ fn main() {
 
     let mut rows = Vec::new();
     for instance in &instances {
-        eprintln!("running {} ({} qubits)...", instance.name, instance.circuit.num_qubits());
+        eprintln!(
+            "running {} ({} qubits)...",
+            instance.name,
+            instance.circuit.num_qubits()
+        );
         match run_table1_row(instance, options.shots, options.budget, 2020) {
             Ok(row) => {
                 if options.validate {
@@ -110,7 +114,11 @@ fn validate(instance: &weaksim::experiment::BenchmarkInstance, shots: u64) {
             chi.statistic,
             chi.degrees_of_freedom,
             chi.p_value,
-            if chi.is_consistent(1e-4) { "consistent" } else { "REJECTED" }
+            if chi.is_consistent(1e-4) {
+                "consistent"
+            } else {
+                "REJECTED"
+            }
         );
     } else {
         eprintln!("  validation skipped (too many qubits for exact comparison)");

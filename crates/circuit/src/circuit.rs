@@ -361,7 +361,13 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} ({} qubits, {} ops)", self.name, self.num_qubits, self.ops.len())?;
+        writeln!(
+            f,
+            "{} ({} qubits, {} ops)",
+            self.name,
+            self.num_qubits,
+            self.ops.len()
+        )?;
         for op in &self.ops {
             writeln!(f, "  {op}")?;
         }
@@ -408,7 +414,10 @@ mod tests {
         c.h(Qubit(5));
         assert!(matches!(
             c.validate(),
-            Err(ValidateCircuitError::QubitOutOfRange { qubit: Qubit(5), .. })
+            Err(ValidateCircuitError::QubitOutOfRange {
+                qubit: Qubit(5),
+                ..
+            })
         ));
     }
 
@@ -418,7 +427,10 @@ mod tests {
         c.controlled_gate(OneQubitGate::X, vec![Qubit(1)], Qubit(1));
         assert!(matches!(
             c.validate(),
-            Err(ValidateCircuitError::ControlOverlapsTarget { qubit: Qubit(1), .. })
+            Err(ValidateCircuitError::ControlOverlapsTarget {
+                qubit: Qubit(1),
+                ..
+            })
         ));
     }
 

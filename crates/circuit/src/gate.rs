@@ -86,10 +86,14 @@ impl OneQubitGate {
             OneQubitGate::H => [[h, h], [h, -h]],
             OneQubitGate::S => [[one, zero], [zero, i]],
             OneQubitGate::Sdg => [[one, zero], [zero, -i]],
-            OneQubitGate::T => [[one, zero], [zero, Complex::phase(std::f64::consts::FRAC_PI_4)]],
-            OneQubitGate::Tdg => {
-                [[one, zero], [zero, Complex::phase(-std::f64::consts::FRAC_PI_4)]]
-            }
+            OneQubitGate::T => [
+                [one, zero],
+                [zero, Complex::phase(std::f64::consts::FRAC_PI_4)],
+            ],
+            OneQubitGate::Tdg => [
+                [one, zero],
+                [zero, Complex::phase(-std::f64::consts::FRAC_PI_4)],
+            ],
             OneQubitGate::SqrtX => {
                 let p = Complex::new(0.5, 0.5);
                 let m = Complex::new(0.5, -0.5);
@@ -110,9 +114,7 @@ impl OneQubitGate {
                 let m = Complex::new(0.5, -0.5);
                 [[p, m], [-m, p]]
             }
-            OneQubitGate::Phase(theta) => {
-                [[one, zero], [zero, Complex::phase(theta.radians())]]
-            }
+            OneQubitGate::Phase(theta) => [[one, zero], [zero, Complex::phase(theta.radians())]],
             OneQubitGate::Rx(theta) => {
                 let half = theta.radians() / 2.0;
                 let c = Complex::from_real(half.cos());
@@ -127,10 +129,7 @@ impl OneQubitGate {
             }
             OneQubitGate::Rz(theta) => {
                 let half = theta.radians() / 2.0;
-                [
-                    [Complex::phase(-half), zero],
-                    [zero, Complex::phase(half)],
-                ]
+                [[Complex::phase(-half), zero], [zero, Complex::phase(half)]]
             }
             OneQubitGate::U { theta, phi, lambda } => {
                 let t = theta.radians() / 2.0;
@@ -139,10 +138,7 @@ impl OneQubitGate {
                 let lambda = lambda.radians();
                 [
                     [Complex::from_real(c), -Complex::phase(lambda) * s],
-                    [
-                        Complex::phase(phi) * s,
-                        Complex::phase(phi + lambda) * c,
-                    ],
+                    [Complex::phase(phi) * s, Complex::phase(phi + lambda) * c],
                 ]
             }
         }
@@ -224,7 +220,10 @@ impl OneQubitGate {
 impl fmt::Display for OneQubitGate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OneQubitGate::Phase(a) | OneQubitGate::Rx(a) | OneQubitGate::Ry(a) | OneQubitGate::Rz(a) => {
+            OneQubitGate::Phase(a)
+            | OneQubitGate::Rx(a)
+            | OneQubitGate::Ry(a)
+            | OneQubitGate::Rz(a) => {
                 write!(f, "{}({})", self.name(), a)
             }
             OneQubitGate::U { theta, phi, lambda } => {
@@ -253,7 +252,10 @@ mod tests {
     }
 
     fn adjoint_mat(a: &Matrix2) -> Matrix2 {
-        [[a[0][0].conj(), a[1][0].conj()], [a[0][1].conj(), a[1][1].conj()]]
+        [
+            [a[0][0].conj(), a[1][0].conj()],
+            [a[0][1].conj(), a[1][1].conj()],
+        ]
     }
 
     fn assert_identity(m: &Matrix2) {
@@ -377,7 +379,10 @@ mod tests {
         let u = OneQubitGate::U {
             theta: Angle::pi_over(2),
             phi: Angle::ZERO,
-            lambda: Angle::DyadicPi { numerator: 1, power: 0 },
+            lambda: Angle::DyadicPi {
+                numerator: 1,
+                power: 0,
+            },
         }
         .matrix();
         let h = OneQubitGate::H.matrix();
@@ -401,7 +406,10 @@ mod tests {
     fn names_and_display() {
         assert_eq!(OneQubitGate::H.name(), "h");
         assert_eq!(OneQubitGate::H.to_string(), "h");
-        assert_eq!(OneQubitGate::Phase(Angle::pi_over(4)).to_string(), "p(1*pi/4)");
+        assert_eq!(
+            OneQubitGate::Phase(Angle::pi_over(4)).to_string(),
+            "p(1*pi/4)"
+        );
         assert_eq!(OneQubitGate::SqrtX.name(), "sx");
     }
 }

@@ -76,8 +76,7 @@ mod tests {
     #[test]
     fn permutation_cannot_be_exported() {
         let mut c = Circuit::new(2);
-        let perm =
-            crate::Permutation::new(vec![Qubit(0), Qubit(1)], vec![1, 2, 3, 0]).unwrap();
+        let perm = crate::Permutation::new(vec![Qubit(0), Qubit(1)], vec![1, 2, 3, 0]).unwrap();
         c.permute(perm);
         assert!(super::to_qasm(&c).is_err());
     }

@@ -18,7 +18,11 @@ pub struct ParseQasmError {
 
 impl fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "QASM parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "QASM parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -104,7 +108,8 @@ fn eval_expr(text: &str, line: usize) -> Result<f64, ParseQasmError> {
                 }
                 Some(c) if c.is_ascii_digit() || c == '.' => {
                     let mut num = String::new();
-                    while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == 'E' || *c == '-' && num.ends_with(['e', 'E'])) {
+                    while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == 'E' || *c == '-' && num.ends_with(['e', 'E']))
+                    {
                         num.push(self.chars.next().expect("peeked"));
                     }
                     num.parse::<f64>()
@@ -112,13 +117,17 @@ fn eval_expr(text: &str, line: usize) -> Result<f64, ParseQasmError> {
                 }
                 Some(c) if c.is_ascii_alphabetic() => {
                     let mut ident = String::new();
-                    while matches!(self.chars.peek(), Some(c) if c.is_ascii_alphanumeric() || *c == '_') {
+                    while matches!(self.chars.peek(), Some(c) if c.is_ascii_alphanumeric() || *c == '_')
+                    {
                         ident.push(self.chars.next().expect("peeked"));
                     }
                     if ident.eq_ignore_ascii_case("pi") {
                         Ok(std::f64::consts::PI)
                     } else {
-                        Err(err(self.line, format!("unknown identifier '{ident}' in angle")))
+                        Err(err(
+                            self.line,
+                            format!("unknown identifier '{ident}' in angle"),
+                        ))
                     }
                 }
                 other => Err(err(
@@ -136,7 +145,10 @@ fn eval_expr(text: &str, line: usize) -> Result<f64, ParseQasmError> {
     let value = parser.parse_sum()?;
     parser.skip_ws();
     if parser.chars.next().is_some() {
-        return Err(err(line, format!("trailing characters in expression '{text}'")));
+        return Err(err(
+            line,
+            format!("trailing characters in expression '{text}'"),
+        ));
     }
     Ok(value)
 }

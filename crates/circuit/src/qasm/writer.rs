@@ -103,13 +103,7 @@ pub fn to_qasm(circuit: &Circuit) -> Result<String, WriteQasmError> {
                             let _ = writeln!(out, "cz {},{};", q(c), q(*target));
                         }
                         OneQubitGate::Phase(a) => {
-                            let _ = writeln!(
-                                out,
-                                "cp({}) {},{};",
-                                a.radians(),
-                                q(c),
-                                q(*target)
-                            );
+                            let _ = writeln!(out, "cp({}) {},{};", a.radians(), q(c), q(*target));
                         }
                         other => {
                             return Err(unsupported(&format!(

@@ -106,7 +106,10 @@ mod tests {
     #[test]
     fn counts_by_mnemonic() {
         let mut c = Circuit::new(3);
-        c.h(Qubit(0)).h(Qubit(1)).cx(Qubit(0), Qubit(1)).swap(Qubit(1), Qubit(2));
+        c.h(Qubit(0))
+            .h(Qubit(1))
+            .cx(Qubit(0), Qubit(1))
+            .swap(Qubit(1), Qubit(2));
         let s = c.stats();
         assert_eq!(s.counts["h"], 2);
         assert_eq!(s.counts["x"], 1);

@@ -66,7 +66,9 @@ pub fn table1_benchmarks(scale: BenchmarkScale) -> Vec<BenchmarkInstance> {
             out.push(BenchmarkInstance::new(algorithms::grover(6, 2020)));
             out.push(BenchmarkInstance::new(algorithms::shor(15, 2).0));
             out.push(BenchmarkInstance::new(algorithms::jellium(2, 1).0));
-            out.push(BenchmarkInstance::new(algorithms::supremacy(3, 3, 6, 2020).0));
+            out.push(BenchmarkInstance::new(
+                algorithms::supremacy(3, 3, 6, 2020).0,
+            ));
         }
         BenchmarkScale::Reduced => {
             out.push(BenchmarkInstance::new(algorithms::qft(16, true)));
@@ -80,8 +82,12 @@ pub fn table1_benchmarks(scale: BenchmarkScale) -> Vec<BenchmarkInstance> {
             out.push(BenchmarkInstance::new(algorithms::shor(69, 4).0));
             out.push(BenchmarkInstance::new(algorithms::jellium(2, 2).0));
             out.push(BenchmarkInstance::new(algorithms::jellium(3, 2).0));
-            out.push(BenchmarkInstance::new(algorithms::supremacy(4, 4, 10, 2020).0));
-            out.push(BenchmarkInstance::new(algorithms::supremacy(5, 4, 10, 2020).0));
+            out.push(BenchmarkInstance::new(
+                algorithms::supremacy(4, 4, 10, 2020).0,
+            ));
+            out.push(BenchmarkInstance::new(
+                algorithms::supremacy(5, 4, 10, 2020).0,
+            ));
         }
         BenchmarkScale::Full => {
             out.push(BenchmarkInstance::new(algorithms::qft(16, true)));
@@ -98,9 +104,15 @@ pub fn table1_benchmarks(scale: BenchmarkScale) -> Vec<BenchmarkInstance> {
             out.push(BenchmarkInstance::new(algorithms::shor(247, 4).0));
             out.push(BenchmarkInstance::new(algorithms::jellium(2, 2).0));
             out.push(BenchmarkInstance::new(algorithms::jellium(3, 2).0));
-            out.push(BenchmarkInstance::new(algorithms::supremacy(4, 4, 10, 2020).0));
-            out.push(BenchmarkInstance::new(algorithms::supremacy(5, 4, 10, 2020).0));
-            out.push(BenchmarkInstance::new(algorithms::supremacy(5, 5, 10, 2020).0));
+            out.push(BenchmarkInstance::new(
+                algorithms::supremacy(4, 4, 10, 2020).0,
+            ));
+            out.push(BenchmarkInstance::new(
+                algorithms::supremacy(5, 4, 10, 2020).0,
+            ));
+            out.push(BenchmarkInstance::new(
+                algorithms::supremacy(5, 5, 10, 2020).0,
+            ));
         }
     }
     out
@@ -121,8 +133,8 @@ pub struct Table1Row {
     pub vector_time: Option<Duration>,
     /// Number of nodes of the final state decision diagram.
     pub dd_size: u128,
-    /// Downstream-probability precomputation plus sampling time for the
-    /// DD-based method.
+    /// Sampler-compilation (flat-arena + downstream-probability) plus
+    /// sampling time for the DD-based method.
     pub dd_time: Duration,
     /// Strong-simulation time for the DD backend (not part of Table I, but
     /// reported for transparency).
@@ -263,8 +275,7 @@ mod tests {
             name: "qft_8".into(),
             circuit: algorithms::qft(8, true),
         };
-        let row =
-            run_table1_row(&instance, 2_000, MemoryBudget::unlimited(), 1).expect("row runs");
+        let row = run_table1_row(&instance, 2_000, MemoryBudget::unlimited(), 1).expect("row runs");
         assert_eq!(row.qubits, 8);
         assert_eq!(row.vector_size, 256);
         assert_eq!(row.dd_size, 8); // product state

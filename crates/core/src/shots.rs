@@ -1,9 +1,14 @@
 //! Aggregated measurement samples.
 
-use std::collections::BTreeMap;
+use mathkit::FxHashMap;
 use std::fmt;
 
 /// A histogram of measurement outcomes (basis-state index -> count).
+///
+/// Recording goes through a hash accumulator (`FxHashMap`), so the per-shot
+/// cost is a single cheap hash insert even for millions of shots; ordered
+/// views for display and export are produced on demand by
+/// [`sorted_counts`](Self::sorted_counts).
 ///
 /// # Examples
 ///
@@ -18,7 +23,7 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ShotHistogram {
     num_qubits: u16,
-    counts: BTreeMap<u64, u64>,
+    counts: FxHashMap<u64, u64>,
     shots: u64,
 }
 
@@ -28,7 +33,7 @@ impl ShotHistogram {
     pub fn new(num_qubits: u16) -> Self {
         Self {
             num_qubits,
-            counts: BTreeMap::new(),
+            counts: FxHashMap::default(),
             shots: 0,
         }
     }
@@ -48,6 +53,24 @@ impl ShotHistogram {
         self.shots += 1;
     }
 
+    /// Records a whole batch of samples (the bulk path used by the parallel
+    /// sampler).
+    pub fn record_many(&mut self, outcomes: &[u64]) {
+        // One reservation covers the worst case of all-new outcomes, capped
+        // at the support size so a billion-shot batch over a few outcomes
+        // does not allocate a billion-slot table.
+        let support = if self.num_qubits >= 63 {
+            usize::MAX
+        } else {
+            1usize << self.num_qubits
+        };
+        self.counts.reserve(outcomes.len().min(support));
+        for &outcome in outcomes {
+            *self.counts.entry(outcome).or_insert(0) += 1;
+        }
+        self.shots += outcomes.len() as u64;
+    }
+
     /// The number of qubits per outcome.
     #[must_use]
     pub fn num_qubits(&self) -> u16 {
@@ -60,10 +83,19 @@ impl ShotHistogram {
         self.shots
     }
 
-    /// The raw counts, keyed by basis-state index.
+    /// The raw counts, keyed by basis-state index (unordered; use
+    /// [`sorted_counts`](Self::sorted_counts) for an index-ordered view).
     #[must_use]
-    pub fn counts(&self) -> &BTreeMap<u64, u64> {
+    pub fn counts(&self) -> &FxHashMap<u64, u64> {
         &self.counts
+    }
+
+    /// The counts as `(basis-state index, count)` pairs in index order.
+    #[must_use]
+    pub fn sorted_counts(&self) -> Vec<(u64, u64)> {
+        let mut pairs: Vec<(u64, u64)> = self.counts.iter().map(|(&o, &c)| (o, c)).collect();
+        pairs.sort_unstable_by_key(|&(outcome, _)| outcome);
+        pairs
     }
 
     /// The count of a specific outcome.
@@ -88,7 +120,8 @@ impl ShotHistogram {
         self.counts.len()
     }
 
-    /// The most frequent outcome, if any shots were recorded.
+    /// The most frequent outcome, if any shots were recorded (ties resolve
+    /// to the smallest basis-state index).
     #[must_use]
     pub fn most_common(&self) -> Option<(u64, u64)> {
         self.counts
@@ -110,9 +143,9 @@ impl ShotHistogram {
     /// Iterates over `(bitstring, count)` pairs in index order.
     #[must_use]
     pub fn to_bitstring_counts(&self) -> Vec<(String, u64)> {
-        self.counts
-            .iter()
-            .map(|(&o, &c)| (self.bitstring(o), c))
+        self.sorted_counts()
+            .into_iter()
+            .map(|(o, c)| (self.bitstring(o), c))
             .collect()
     }
 }
@@ -128,7 +161,7 @@ impl Extend<u64> for ShotHistogram {
 impl fmt::Display for ShotHistogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{} shots over {} qubits", self.shots, self.num_qubits)?;
-        for (&outcome, &count) in &self.counts {
+        for (outcome, count) in self.sorted_counts() {
             writeln!(
                 f,
                 "  |{}> : {count} ({:.4})",
@@ -159,6 +192,17 @@ mod tests {
     }
 
     #[test]
+    fn record_many_matches_individual_records() {
+        let mut bulk = ShotHistogram::new(3);
+        bulk.record_many(&[1, 2, 2, 7, 7, 7]);
+        let single = ShotHistogram::from_samples(3, [1, 2, 2, 7, 7, 7].into_iter());
+        assert_eq!(bulk, single);
+        assert_eq!(bulk.shots(), 6);
+        bulk.record_many(&[]);
+        assert_eq!(bulk.shots(), 6);
+    }
+
+    #[test]
     fn bitstring_formatting_is_msb_first() {
         let h = ShotHistogram::new(4);
         assert_eq!(h.bitstring(0b0101), "0101");
@@ -175,6 +219,13 @@ mod tests {
         let pairs = h.to_bitstring_counts();
         assert_eq!(pairs[0], ("001".to_string(), 1));
         assert_eq!(pairs.last().unwrap(), &("111".to_string(), 3));
+    }
+
+    #[test]
+    fn sorted_counts_are_index_ordered() {
+        let mut h = ShotHistogram::new(4);
+        h.record_many(&[9, 1, 5, 1, 9, 9]);
+        assert_eq!(h.sorted_counts(), vec![(1, 2), (5, 1), (9, 3)]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::ShotHistogram;
 use circuit::Circuit;
-use dd::{DdPackage, DdSampler, StateDd};
+use dd::{CompiledSampler, DdPackage, StateDd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use statevector::{MemoryBudget, PrefixSampler, StateVector};
@@ -234,7 +234,12 @@ impl WeakSimulator {
     ///
     /// Returns [`RunError::InvalidCircuit`] for malformed circuits and
     /// [`RunError::MemoryOut`] when the dense backend exceeds its budget.
-    pub fn run(&mut self, circuit: &Circuit, shots: u64, seed: u64) -> Result<RunOutcome, RunError> {
+    pub fn run(
+        &mut self,
+        circuit: &Circuit,
+        shots: u64,
+        seed: u64,
+    ) -> Result<RunOutcome, RunError> {
         let strong_start = Instant::now();
         let state = self.strong(circuit)?;
         let strong_time = strong_start.elapsed();
@@ -253,24 +258,35 @@ impl WeakSimulator {
     /// Draws `shots` samples from an already strong-simulated state.
     ///
     /// Returns the histogram together with the precomputation time (prefix
-    /// sums or downstream probabilities) and the pure sampling time.
+    /// sums or sampler compilation) and the pure sampling time.
+    ///
+    /// The decision-diagram path compiles the state into a
+    /// [`CompiledSampler`] and draws the batch on every available worker
+    /// thread; the output is deterministic for a given `seed` regardless of
+    /// the thread count (see the `dd` crate docs for the seeding scheme).
     #[must_use]
-    pub fn sample(state: &StrongState, shots: u64, seed: u64) -> (ShotHistogram, Duration, Duration) {
-        let mut rng = StdRng::seed_from_u64(seed);
+    pub fn sample(
+        state: &StrongState,
+        shots: u64,
+        seed: u64,
+    ) -> (ShotHistogram, Duration, Duration) {
         match state {
             StrongState::DecisionDiagram { package, state } => {
                 let precompute_start = Instant::now();
-                let sampler = DdSampler::new(package, state);
+                let sampler = CompiledSampler::new(package, state);
                 let precompute_time = precompute_start.elapsed();
 
                 let sampling_start = Instant::now();
+                let samples = sampler.sample_many_parallel(
+                    seed,
+                    usize::try_from(shots).expect("shot count fits in usize"),
+                );
                 let mut histogram = ShotHistogram::new(state.num_qubits());
-                for _ in 0..shots {
-                    histogram.record(sampler.sample(package, &mut rng));
-                }
+                histogram.record_many(&samples);
                 (histogram, precompute_time, sampling_start.elapsed())
             }
             StrongState::StateVector(vector) => {
+                let mut rng = StdRng::seed_from_u64(seed);
                 let precompute_start = Instant::now();
                 let sampler = PrefixSampler::new(vector);
                 let precompute_time = precompute_start.elapsed();
@@ -316,7 +332,11 @@ mod tests {
                 .keys()
                 .all(|&k| k == 0 || k == 0b11111));
             let zero_freq = outcome.histogram.frequency(0);
-            assert!((zero_freq - 0.5).abs() < 0.02, "{} {zero_freq}", outcome.backend);
+            assert!(
+                (zero_freq - 0.5).abs() < 0.02,
+                "{} {zero_freq}",
+                outcome.backend
+            );
         }
         // The DD is much smaller than the dense vector.
         assert!(dd_outcome.representation_size < sv_outcome.representation_size);

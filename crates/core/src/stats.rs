@@ -121,7 +121,7 @@ pub fn total_variation_distance(
     assert!(histogram.shots() > 0, "cannot compare an empty histogram");
     let mut distance = 0.0;
     let mut covered = 0.0;
-    for (&outcome, _) in histogram.counts() {
+    for &outcome in histogram.counts().keys() {
         let p = probability(outcome);
         distance += (histogram.frequency(outcome) - p).abs();
         covered += p;
@@ -141,7 +141,7 @@ pub fn total_variation_distance(
 pub fn kl_divergence(histogram: &ShotHistogram, probability: impl Fn(u64) -> f64) -> f64 {
     assert!(histogram.shots() > 0, "cannot compare an empty histogram");
     let mut divergence = 0.0;
-    for (&outcome, _) in histogram.counts() {
+    for &outcome in histogram.counts().keys() {
         let freq = histogram.frequency(outcome);
         let p = probability(outcome);
         if freq > 0.0 {
@@ -281,7 +281,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let hist = ShotHistogram::from_samples(
             2,
-            (0..40_000).map(|_| if rng.gen::<f64>() < 0.4 { 0 } else { rng.gen_range(0..4u64) }),
+            (0..40_000).map(|_| {
+                if rng.gen::<f64>() < 0.4 {
+                    0
+                } else {
+                    rng.gen_range(0..4u64)
+                }
+            }),
         );
         let result = chi_square_test(&hist, |_| 0.25);
         assert!(!result.is_consistent(0.001), "p = {}", result.p_value);

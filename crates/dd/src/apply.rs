@@ -60,13 +60,8 @@ pub fn apply_operation(package: &mut DdPackage, state: StateDd, op: &Operation) 
             for (control, target) in [(*a, *b), (*b, *a), (*a, *b)] {
                 let mut all_controls: Vec<Qubit> = controls.clone();
                 all_controls.push(control);
-                let operator = OperatorDd::controlled_gate(
-                    package,
-                    n,
-                    OneQubitGate::X,
-                    target,
-                    &all_controls,
-                );
+                let operator =
+                    OperatorDd::controlled_gate(package, n, OneQubitGate::X, target, &all_controls);
                 current = StateDd::from_root(
                     matrix_vector_multiply(package, operator.root(), current.root()),
                     n,
@@ -78,8 +73,7 @@ pub fn apply_operation(package: &mut DdPackage, state: StateDd, op: &Operation) 
             permutation,
             controls,
         } => {
-            let operator =
-                OperatorDd::controlled_permutation(package, n, permutation, controls);
+            let operator = OperatorDd::controlled_permutation(package, n, permutation, controls);
             StateDd::from_root(
                 matrix_vector_multiply(package, operator.root(), state.root()),
                 n,

@@ -1,0 +1,483 @@
+//! The compiled flat-arena sampler: the DD sampling hot path reduced to a
+//! pure array walk, plus deterministic parallel shot batching.
+//!
+//! # Why compile?
+//!
+//! [`DdSampler`](crate::DdSampler) draws a sample by walking the decision
+//! diagram root-to-terminal, paying per level for
+//!
+//! * a [`DdPackage`] node lookup (one indirection into the node arena),
+//! * two complex-table reads to resolve the outgoing edge weights, and
+//! * up to two hash-map lookups for the children's downstream probabilities.
+//!
+//! All of that is invariant across shots, so [`CompiledSampler::new`] folds
+//! it into a one-time compilation pass: the subgraph reachable from the root
+//! is flattened into a contiguous arena of packed 24-byte node records, each
+//! holding the compact `[u32; 2]` child indices, the *precomputed*
+//! probability of taking the 0-branch (downstream mass already folded in, so
+//! both [`Normalization::LeftMost`](crate::Normalization) and
+//! [`Normalization::TwoNorm`](crate::Normalization) compile to the same
+//! representation), and the output bit contributed by the 1-branch.  A shot
+//! is then `num_qubits` iterations of: draw a uniform `f64`, compare against
+//! one `f64` load, OR one precomputed bit mask, follow one `u32` index.  No
+//! hashing, no package access, no recursion, no branches on the bit value —
+//! and at most one cache line touched per visited node, which is what
+//! dominates on million-node diagrams (a parallel-array layout would touch
+//! three).
+//!
+//! # Parallel shot batching
+//!
+//! [`CompiledSampler::sample_many_parallel`] splits the requested shots into
+//! fixed-size chunks of [`PARALLEL_CHUNK_SHOTS`] samples.  Chunk `i` is drawn
+//! by a dedicated [`SmallRng`] stream seeded from `(master_seed, i)` through
+//! SplitMix64, and every chunk writes into its own disjoint slice of the
+//! output vector — so the result is **bit-identical for a given master seed
+//! regardless of the number of worker threads** (chunks are merely
+//! distributed round-robin over workers; their content never depends on who
+//! runs them).  See the module docs of [`crate`] for the seeding scheme.
+
+use crate::edge::VectorNodeId;
+use crate::sample::downstream_probability;
+use crate::{DdPackage, StateDd};
+use mathkit::FxHashMap;
+use rand::rngs::SmallRng;
+use rand::{splitmix64, Rng, SeedableRng};
+
+/// Number of shots drawn per deterministic RNG chunk in
+/// [`CompiledSampler::sample_many_parallel`].
+///
+/// The value trades scheduling granularity against per-chunk seeding
+/// overhead; it is a fixed constant because changing it changes which RNG
+/// stream produces which shot (and therefore the sampled values for a given
+/// master seed).
+pub const PARALLEL_CHUNK_SHOTS: usize = 1024;
+
+/// Sentinel index marking the terminal (or an unreachable zero branch).
+const TERMINAL: u32 = u32::MAX;
+
+/// One compiled node: everything a traversal step needs, packed into 24
+/// bytes so a visited node costs (at most) one cache line instead of the
+/// three a parallel-array layout would touch.
+#[derive(Debug, Clone, Copy)]
+struct CompiledNode {
+    /// Probability of taking the 0-branch, downstream mass folded in.
+    p_zero: f64,
+    /// Compact indices of the 0/1 successors ([`TERMINAL`] ends the walk).
+    children: [u32; 2],
+    /// Output contribution of the 1-branch (`1 << var`).
+    one_bit: u64,
+}
+
+/// A weak-simulation sampler compiled into a flat struct-of-arrays arena.
+///
+/// Compilation snapshots the reachable part of the decision diagram, so the
+/// sampler stays valid even if the [`DdPackage`] is mutated or dropped
+/// afterwards — unlike [`DdSampler`](crate::DdSampler), no package reference
+/// is needed while sampling.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{Circuit, Qubit};
+/// use dd::{CompiledSampler, DdPackage};
+/// use rand::SeedableRng;
+///
+/// let mut ghz = Circuit::new(3);
+/// ghz.h(Qubit(0));
+/// ghz.cx(Qubit(0), Qubit(1));
+/// ghz.cx(Qubit(1), Qubit(2));
+///
+/// let mut package = DdPackage::new();
+/// let state = dd::simulate(&mut package, &ghz)?;
+/// let sampler = CompiledSampler::new(&package, &state);
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+/// let shot = sampler.sample(&mut rng);
+/// assert!(shot == 0 || shot == 0b111);
+///
+/// // Deterministic parallel batching: same master seed, same samples,
+/// // independent of the worker-thread count.
+/// let a = sampler.sample_many_parallel(11, 4096);
+/// let b = sampler.sample_many_parallel_with_threads(11, 4096, 3);
+/// assert_eq!(a, b);
+/// # Ok::<(), dd::ApplyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledSampler {
+    /// The flat arena, indexed by compact node id in breadth-first order.
+    nodes: Vec<CompiledNode>,
+    root: u32,
+    num_qubits: u16,
+}
+
+impl CompiledSampler {
+    /// Compiles the subgraph reachable from the state's root.
+    ///
+    /// Work and memory are linear in the number of reachable nodes.  The
+    /// package's normalization scheme is irrelevant: branch probabilities
+    /// are computed from edge weights *times* downstream mass, which is
+    /// exact for both schemes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is the zero vector (no probability mass to
+    /// sample) or has more than 64 qubits (samples are `u64` bitstrings).
+    #[must_use]
+    pub fn new(package: &DdPackage, state: &StateDd) -> Self {
+        let root_edge = state.root();
+        assert!(!root_edge.is_zero(), "cannot sample from the zero vector");
+        assert!(
+            state.num_qubits() <= 64,
+            "samples are u64 bitstrings; {} qubits do not fit",
+            state.num_qubits()
+        );
+
+        let mut downstream: FxHashMap<VectorNodeId, f64> = FxHashMap::default();
+        downstream_probability(package, root_edge.target, &mut downstream);
+
+        // Breadth-first discovery assigns compact indices root-first, so a
+        // traversal touches the arena roughly front to back.
+        let mut index_of: FxHashMap<VectorNodeId, u32> = FxHashMap::default();
+        let mut order: Vec<VectorNodeId> = Vec::new();
+        if !root_edge.target.is_terminal() {
+            index_of.insert(root_edge.target, 0);
+            order.push(root_edge.target);
+            let mut cursor = 0;
+            while cursor < order.len() {
+                let node = package.vnode(order[cursor]);
+                cursor += 1;
+                for child in node.children {
+                    if child.is_zero() || child.target.is_terminal() {
+                        continue;
+                    }
+                    if let std::collections::hash_map::Entry::Vacant(e) =
+                        index_of.entry(child.target)
+                    {
+                        // `< MAX`, not `<= MAX`: id u32::MAX is the TERMINAL
+                        // sentinel and must never name a real node.
+                        assert!(order.len() < u32::MAX as usize, "compiled arena overflow");
+                        let id = order.len() as u32;
+                        e.insert(id);
+                        order.push(child.target);
+                    }
+                }
+            }
+        }
+
+        let mut nodes = Vec::with_capacity(order.len());
+        for &id in &order {
+            let node = package.vnode(id);
+            let mut mass = [0.0f64; 2];
+            let mut child_idx = [TERMINAL; 2];
+            for bit in 0..2 {
+                let child = node.children[bit];
+                if child.is_zero() {
+                    continue;
+                }
+                let down = if child.target.is_terminal() {
+                    1.0
+                } else {
+                    downstream[&child.target]
+                };
+                mass[bit] = package.weight_value(child.weight).norm_sqr() * down;
+                if !child.target.is_terminal() {
+                    child_idx[bit] = index_of[&child.target];
+                }
+            }
+            let total = mass[0] + mass[1];
+            // A node with zero total mass is only reachable through a
+            // zero-probability branch, i.e. never during sampling; park it
+            // on the 0-branch.
+            nodes.push(CompiledNode {
+                p_zero: if total > 0.0 { mass[0] / total } else { 1.0 },
+                children: child_idx,
+                one_bit: 1u64 << node.var,
+            });
+        }
+
+        Self {
+            nodes,
+            root: if root_edge.target.is_terminal() {
+                TERMINAL
+            } else {
+                0
+            },
+            num_qubits: state.num_qubits(),
+        }
+    }
+
+    /// The number of qubits in each output sample.
+    #[must_use]
+    pub fn num_qubits(&self) -> u16 {
+        self.num_qubits
+    }
+
+    /// The number of nodes in the compiled arena.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Draws one basis-state sample: a pure array walk, `O(n)` per shot.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut index = 0u64;
+        let mut at = self.root;
+        while at != TERMINAL {
+            let node = &self.nodes[at as usize];
+            let one = u64::from(rng.gen::<f64>() >= node.p_zero);
+            index |= node.one_bit & one.wrapping_neg();
+            at = node.children[one as usize];
+        }
+        index
+    }
+
+    /// Draws `shots` samples sequentially from the given RNG.
+    #[must_use = "the samples are the result of the weak simulation"]
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, shots: usize) -> Vec<u64> {
+        (0..shots).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Draws `shots` samples using every available worker thread (see
+    /// [`rayon::current_num_threads`]).
+    ///
+    /// The output is bit-identical for a given `master_seed` regardless of
+    /// the thread count; see the module docs for the chunked seeding scheme.
+    #[must_use = "the samples are the result of the weak simulation"]
+    pub fn sample_many_parallel(&self, master_seed: u64, shots: usize) -> Vec<u64> {
+        self.sample_many_parallel_with_threads(master_seed, shots, rayon::current_num_threads())
+    }
+
+    /// [`sample_many_parallel`](Self::sample_many_parallel) with an explicit
+    /// worker count (primarily for tests and scaling measurements).
+    #[must_use = "the samples are the result of the weak simulation"]
+    pub fn sample_many_parallel_with_threads(
+        &self,
+        master_seed: u64,
+        shots: usize,
+        threads: usize,
+    ) -> Vec<u64> {
+        let threads = threads.max(1);
+        let mut out = vec![0u64; shots];
+
+        if threads == 1 || shots <= PARALLEL_CHUNK_SHOTS {
+            for (chunk_index, chunk) in out.chunks_mut(PARALLEL_CHUNK_SHOTS).enumerate() {
+                self.fill_chunk(master_seed, chunk_index, chunk);
+            }
+            return out;
+        }
+
+        // Round-robin the fixed-size chunks over the workers.  The
+        // assignment only decides *who* draws a chunk, never *what* it
+        // contains, so any distribution yields identical output.
+        let mut assignments: Vec<Vec<(usize, &mut [u64])>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (chunk_index, chunk) in out.chunks_mut(PARALLEL_CHUNK_SHOTS).enumerate() {
+            assignments[chunk_index % threads].push((chunk_index, chunk));
+        }
+        rayon::scope(|scope| {
+            for work in assignments {
+                scope.spawn(move || {
+                    for (chunk_index, chunk) in work {
+                        self.fill_chunk(master_seed, chunk_index, chunk);
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Draws one deterministic chunk: chunk `i` always uses the same
+    /// [`SmallRng`] stream derived from `(master_seed, i)`.
+    fn fill_chunk(&self, master_seed: u64, chunk_index: usize, chunk: &mut [u64]) {
+        let mut rng = SmallRng::seed_from_u64(chunk_stream_seed(master_seed, chunk_index as u64));
+        for slot in chunk {
+            *slot = self.sample(&mut rng);
+        }
+    }
+}
+
+/// Derives the RNG seed of parallel chunk `chunk_index` from the master
+/// seed: one SplitMix64 step over the pair, which decorrelates neighbouring
+/// chunk indices and master seeds.
+#[must_use]
+fn chunk_stream_seed(master_seed: u64, chunk_index: u64) -> u64 {
+    let mut state = master_seed ^ (chunk_index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DdSampler, Normalization};
+    use mathkit::Complex;
+    use rand::rngs::StdRng;
+
+    fn paper_example(package: &mut DdPackage) -> StateDd {
+        let a = Complex::new(0.0, -(3.0_f64 / 8.0).sqrt());
+        let b = Complex::from_real((1.0_f64 / 8.0).sqrt());
+        StateDd::from_amplitudes(
+            package,
+            &[
+                Complex::ZERO,
+                a,
+                Complex::ZERO,
+                a,
+                b,
+                Complex::ZERO,
+                Complex::ZERO,
+                b,
+            ],
+        )
+    }
+
+    #[test]
+    fn compiled_matches_exact_distribution() {
+        let mut p = DdPackage::new();
+        let s = paper_example(&mut p);
+        let sampler = CompiledSampler::new(&p, &s);
+        let mut rng = StdRng::seed_from_u64(2020);
+        let shots = 200_000;
+        let mut counts = [0u64; 8];
+        for _ in 0..shots {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        let expected = [0.0, 0.375, 0.0, 0.375, 0.125, 0.0, 0.0, 0.125];
+        for (i, &e) in expected.iter().enumerate() {
+            let freq = counts[i] as f64 / shots as f64;
+            assert!((freq - e).abs() < 0.01, "index {i}: {freq} vs {e}");
+            if e == 0.0 {
+                assert_eq!(counts[i], 0, "impossible outcome {i} was sampled");
+            }
+        }
+    }
+
+    #[test]
+    fn both_normalizations_compile_to_the_same_distribution() {
+        let shots = 100_000;
+        let mut freqs: Vec<[f64; 8]> = Vec::new();
+        for norm in [Normalization::TwoNorm, Normalization::LeftMost] {
+            let mut p = DdPackage::with_normalization(norm);
+            let s = paper_example(&mut p);
+            let sampler = CompiledSampler::new(&p, &s);
+            let samples = sampler.sample_many_parallel(7, shots);
+            let mut counts = [0u64; 8];
+            for s in samples {
+                counts[s as usize] += 1;
+            }
+            freqs.push(std::array::from_fn(|i| counts[i] as f64 / shots as f64));
+        }
+        #[allow(clippy::needless_range_loop)] // i indexes two parallel arrays
+        for i in 0..8 {
+            assert!(
+                (freqs[0][i] - freqs[1][i]).abs() < 0.01,
+                "index {i}: {} vs {}",
+                freqs[0][i],
+                freqs[1][i]
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_sampling_is_thread_count_invariant() {
+        let mut p = DdPackage::new();
+        let s = paper_example(&mut p);
+        let sampler = CompiledSampler::new(&p, &s);
+        // A shot count that is deliberately not a multiple of the chunk size.
+        let shots = 3 * PARALLEL_CHUNK_SHOTS + 17;
+        let reference = sampler.sample_many_parallel_with_threads(42, shots, 1);
+        for threads in [2, 3, 8] {
+            let run = sampler.sample_many_parallel_with_threads(42, shots, threads);
+            assert_eq!(reference, run, "thread count {threads} changed the samples");
+        }
+        assert_ne!(
+            reference,
+            sampler.sample_many_parallel_with_threads(43, shots, 1),
+            "different master seeds must give different samples"
+        );
+    }
+
+    #[test]
+    fn compiled_survives_package_mutation() {
+        let mut p = DdPackage::new();
+        let s = paper_example(&mut p);
+        let sampler = CompiledSampler::new(&p, &s);
+        // Fill the package with unrelated garbage; the compiled arena must
+        // not care.
+        for i in 0..100 {
+            let t = p.vector_terminal(Complex::from_real(f64::from(i) + 2.0));
+            let _ = p.make_vnode(0, t, t);
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let shot = sampler.sample(&mut rng);
+            assert!(matches!(shot, 1 | 3 | 4 | 7), "impossible outcome {shot}");
+        }
+    }
+
+    #[test]
+    fn basis_state_always_samples_itself() {
+        let mut p = DdPackage::new();
+        let s = StateDd::basis_state(&mut p, 6, 0b101101);
+        let sampler = CompiledSampler::new(&p, &s);
+        assert_eq!(sampler.num_qubits(), 6);
+        assert_eq!(sampler.node_count(), 6);
+        for shot in sampler.sample_many_parallel(9, 5000) {
+            assert_eq!(shot, 0b101101);
+        }
+    }
+
+    #[test]
+    fn agrees_with_dd_sampler_on_shared_seeded_histograms() {
+        let mut p = DdPackage::new();
+        let s = paper_example(&mut p);
+        let general = DdSampler::new(&p, &s);
+        let compiled = CompiledSampler::new(&p, &s);
+        let shots = 100_000;
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts_general = [0u64; 8];
+        for _ in 0..shots {
+            counts_general[general.sample(&p, &mut rng) as usize] += 1;
+        }
+        let mut counts_compiled = [0u64; 8];
+        for _ in 0..shots {
+            counts_compiled[compiled.sample(&mut rng) as usize] += 1;
+        }
+        for i in 0..8 {
+            let fg = counts_general[i] as f64 / shots as f64;
+            let fc = counts_compiled[i] as f64 / shots as f64;
+            assert!((fg - fc).abs() < 0.01, "index {i}: {fg} vs {fc}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn compiling_the_zero_vector_panics() {
+        let mut p = DdPackage::new();
+        let s = StateDd::from_amplitudes(&mut p, &[Complex::ZERO; 4]);
+        let _ = CompiledSampler::new(&p, &s);
+    }
+
+    #[test]
+    fn scalar_state_samples_the_empty_bitstring() {
+        let mut p = DdPackage::new();
+        let s = StateDd::basis_state(&mut p, 0, 0);
+        let sampler = CompiledSampler::new(&p, &s);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sampler.sample(&mut rng), 0);
+        assert_eq!(sampler.node_count(), 0);
+    }
+
+    #[test]
+    fn chunk_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for master in 0..4u64 {
+            for chunk in 0..1000u64 {
+                assert!(
+                    seen.insert(chunk_stream_seed(master, chunk)),
+                    "seed collision at master {master}, chunk {chunk}"
+                );
+            }
+        }
+    }
+}

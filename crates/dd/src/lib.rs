@@ -25,9 +25,47 @@
 //!   precomputing *downstream* (and *upstream*) probabilities in time linear
 //!   in the DD size and then drawing each sample with a single randomized
 //!   root-to-terminal traversal (`O(n)` per sample);
+//! * [`CompiledSampler`] — the production hot path: the same sampling
+//!   semantics compiled into a flat arena for several-fold higher shot
+//!   throughput, plus deterministic parallel shot batching;
 //! * [`Normalization`] — the standard left-most normalization and the
 //!   paper's proposed 2-norm normalization, under which the probability of
 //!   each branch can be read directly off the local edge weights.
+//!
+//! # The compiled-arena layout
+//!
+//! [`CompiledSampler::new`] flattens the subgraph reachable from the root
+//! into one contiguous array of packed 24-byte node records, indexed by a
+//! compact `u32` node id assigned in breadth-first discovery order (the root
+//! is id 0).  Each record holds:
+//!
+//! | field      | type       | meaning                                        |
+//! |------------|------------|------------------------------------------------|
+//! | `p_zero`   | `f64`      | probability of branching to the 0-successor, with each child's downstream probability mass already folded in |
+//! | `children` | `[u32; 2]` | compact ids of the 0/1 successors; `u32::MAX` marks the terminal (and unreachable zero branches) |
+//! | `one_bit`  | `u64`      | `1 << var`, OR-ed into the sample when the 1-branch is taken |
+//!
+//! The packing matters: a traversal's node visits are data-dependent random
+//! accesses, so on million-node diagrams the walk is cache-miss-bound and
+//! one 24-byte record costs a single cache line where parallel arrays would
+//! cost three.
+//!
+//! Folding the downstream mass into `p_zero` at compile time makes the
+//! representation normalization-agnostic: under
+//! [`Normalization::TwoNorm`] the downstream factors are all 1 and under
+//! [`Normalization::LeftMost`] they are not, but either way a shot reduces
+//! to one uniform draw, one `f64` compare, one masked OR and one `u32` hop
+//! per level — no hashing, no [`DdPackage`] access, no recursion.
+//!
+//! # The parallel seeding scheme
+//!
+//! [`CompiledSampler::sample_many_parallel`] partitions the output into
+//! fixed chunks of [`PARALLEL_CHUNK_SHOTS`] samples.  Chunk `i` is always
+//! drawn from a fresh xoshiro256++ ([`rand::rngs::SmallRng`]) stream seeded
+//! with `splitmix64(master_seed XOR (i + 1) * GOLDEN_GAMMA)`, and written to
+//! the `i`-th output slice.  Worker threads only decide *which* chunks they
+//! draw, never what the chunks contain, so for a fixed master seed the
+//! output is bit-identical whether the batch runs on 1 thread or 128.
 //!
 //! # Examples
 //!
@@ -55,6 +93,7 @@
 #![warn(missing_docs)]
 
 mod apply;
+mod compiled;
 mod edge;
 mod export;
 mod matrix;
@@ -66,12 +105,13 @@ mod sample;
 mod vector;
 
 pub use apply::{apply_circuit, apply_operation, simulate, ApplyError};
+pub use compiled::{CompiledSampler, PARALLEL_CHUNK_SHOTS};
 pub use edge::{MatrixEdge, MatrixNodeId, VectorEdge, VectorNodeId, WeightId};
 pub use export::to_dot;
-pub use ops::{add, inner_product, matrix_add, matrix_matrix_multiply, matrix_vector_multiply};
 pub use matrix::OperatorDd;
 pub use measure::{measure_all, measure_qubit};
 pub use node::{MatrixNode, VectorNode};
+pub use ops::{add, inner_product, matrix_add, matrix_matrix_multiply, matrix_vector_multiply};
 pub use package::{DdPackage, DdStats, Normalization};
 pub use sample::{DdSampler, EdgeProbabilities, NormalizedSampler};
 pub use vector::StateDd;

@@ -105,10 +105,8 @@ impl OperatorDd {
         identity_chain.push(package.matrix_terminal(Complex::ONE));
         for var in 0..num_qubits {
             let below = identity_chain[usize::from(var)];
-            identity_chain.push(package.make_mnode(
-                var,
-                [below, MatrixEdge::ZERO, MatrixEdge::ZERO, below],
-            ));
+            identity_chain
+                .push(package.make_mnode(var, [below, MatrixEdge::ZERO, MatrixEdge::ZERO, below]));
         }
 
         // mixed(level, a, b) builds `a * (I - P) + b * P` over levels 0..=level,
@@ -142,7 +140,11 @@ impl OperatorDd {
         let mut blocks = [MatrixEdge::ZERO; 4];
         for row in 0..2usize {
             for col in 0..2usize {
-                let delta = if row == col { Complex::ONE } else { Complex::ZERO };
+                let delta = if row == col {
+                    Complex::ONE
+                } else {
+                    Complex::ZERO
+                };
                 blocks[2 * row + col] = mixed(
                     package,
                     i32::from(target_level) - 1,
@@ -191,7 +193,10 @@ impl OperatorDd {
     ) -> Self {
         let register = permutation.qubits();
         for q in register.iter().chain(controls) {
-            assert!(q.index() < usize::from(num_qubits), "qubit {q} out of range");
+            assert!(
+                q.index() < usize::from(num_qubits),
+                "qubit {q} out of range"
+            );
         }
         for c in controls {
             assert!(
@@ -213,10 +218,8 @@ impl OperatorDd {
         identity_chain.push(package.matrix_terminal(Complex::ONE));
         for var in 0..num_qubits {
             let below = identity_chain[usize::from(var)];
-            identity_chain.push(package.make_mnode(
-                var,
-                [below, MatrixEdge::ZERO, MatrixEdge::ZERO, below],
-            ));
+            identity_chain
+                .push(package.make_mnode(var, [below, MatrixEdge::ZERO, MatrixEdge::ZERO, below]));
         }
 
         // Term 1: identity on the subspace where not all controls are 1,
@@ -283,7 +286,10 @@ impl OperatorDd {
     #[must_use]
     pub fn from_dense(package: &mut DdPackage, matrix: &[Vec<Complex>]) -> Self {
         let dim = matrix.len();
-        assert!(dim.is_power_of_two(), "matrix dimension must be a power of two");
+        assert!(
+            dim.is_power_of_two(),
+            "matrix dimension must be a power of two"
+        );
         assert!(
             matrix.iter().all(|row| row.len() == dim),
             "matrix must be square"
@@ -305,23 +311,15 @@ impl OperatorDd {
             let mut children = [MatrixEdge::ZERO; 4];
             for row in 0..2 {
                 for col in 0..2 {
-                    children[2 * row + col] = build(
-                        package,
-                        matrix,
-                        row0 + row * half,
-                        col0 + col * half,
-                        half,
-                    );
+                    children[2 * row + col] =
+                        build(package, matrix, row0 + row * half, col0 + col * half, half);
                 }
             }
             package.make_mnode(var, children)
         }
 
         let root = build(package, matrix, 0, 0, dim);
-        Self {
-            root,
-            num_qubits,
-        }
+        Self { root, num_qubits }
     }
 
     /// The matrix entry at (`row`, `col`), reconstructed from the path
@@ -380,6 +378,7 @@ mod tests {
         context: &str,
     ) {
         let dim = expected.len();
+        #[allow(clippy::needless_range_loop)] // row/col double as matrix indices
         for row in 0..dim {
             for col in 0..dim {
                 let got = op.entry(package, row as u64, col as u64);
@@ -410,12 +409,7 @@ mod tests {
         let mut p = DdPackage::new();
         let h = OperatorDd::controlled_gate(&mut p, 1, OneQubitGate::H, Qubit(0), &[]);
         let s = Complex::from_real(SQRT1_2);
-        assert_matrix_eq(
-            &p,
-            &h,
-            &[vec![s, s], vec![s, -s]],
-            "H",
-        );
+        assert_matrix_eq(&p, &h, &[vec![s, s], vec![s, -s]], "H");
     }
 
     #[test]
@@ -474,7 +468,11 @@ mod tests {
             &[Qubit(0), Qubit(1)],
         );
         for col in 0..8u64 {
-            let row = if col & 0b011 == 0b011 { col ^ 0b100 } else { col };
+            let row = if col & 0b011 == 0b011 {
+                col ^ 0b100
+            } else {
+                col
+            };
             assert!(
                 (ccx.entry(&p, row, col).re - 1.0).abs() < 1e-12,
                 "column {col}"

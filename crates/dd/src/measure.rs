@@ -151,7 +151,10 @@ mod tests {
         // Only one-hot outcomes appear, each about a third of the time.
         for (i, &count) in counts.iter().enumerate() {
             if [1, 2, 4].contains(&i) {
-                assert!((f64::from(count) / 3000.0 - 1.0 / 3.0).abs() < 0.05, "outcome {i}");
+                assert!(
+                    (f64::from(count) / 3000.0 - 1.0 / 3.0).abs() < 0.05,
+                    "outcome {i}"
+                );
             } else {
                 assert_eq!(count, 0, "impossible outcome {i} observed");
             }

@@ -52,10 +52,10 @@ pub fn add(package: &mut DdPackage, a: VectorEdge, b: VectorEdge) -> VectorEdge 
     let b_node = *package.vnode(b.target);
 
     let mut children = [VectorEdge::ZERO; 2];
-    for bit in 0..2 {
+    for (bit, child) in children.iter_mut().enumerate() {
         let left = package.scale_vedge(a_node.children[bit], wa);
         let right = package.scale_vedge(b_node.children[bit], wb);
-        children[bit] = add(package, left, right);
+        *child = add(package, left, right);
     }
     let result = package.make_vnode(var, children[0], children[1]);
     package.add_cache.insert(key, result);
@@ -93,10 +93,10 @@ pub fn matrix_add(package: &mut DdPackage, a: MatrixEdge, b: MatrixEdge) -> Matr
     let wb = package.weight_value(b.weight);
 
     let mut children = [MatrixEdge::ZERO; 4];
-    for i in 0..4 {
+    for (i, child) in children.iter_mut().enumerate() {
         let left = package.scale_medge(a_node.children[i], wa);
         let right = package.scale_medge(b_node.children[i], wb);
-        children[i] = matrix_add(package, left, right);
+        *child = matrix_add(package, left, right);
     }
     let result = package.make_mnode(a_node.var, children);
     package.madd_cache.insert(key, result);
@@ -108,11 +108,7 @@ pub fn matrix_add(package: &mut DdPackage, a: MatrixEdge, b: MatrixEdge) -> Matr
 ///
 /// The result weights are factored out of the recursion so the compute table
 /// can be keyed on node identities alone.
-pub fn matrix_vector_multiply(
-    package: &mut DdPackage,
-    m: MatrixEdge,
-    v: VectorEdge,
-) -> VectorEdge {
+pub fn matrix_vector_multiply(package: &mut DdPackage, m: MatrixEdge, v: VectorEdge) -> VectorEdge {
     if m.is_zero() || v.is_zero() {
         return VectorEdge::ZERO;
     }
@@ -148,6 +144,7 @@ fn multiply_nodes(package: &mut DdPackage, m: MatrixEdge, v: VectorEdge) -> Vect
     );
 
     let mut children = [VectorEdge::ZERO; 2];
+    #[allow(clippy::needless_range_loop)] // row also indexes m_node via 2*row+col
     for row in 0..2 {
         let mut acc = VectorEdge::ZERO;
         for col in 0..2 {
@@ -170,11 +167,7 @@ fn multiply_nodes(package: &mut DdPackage, m: MatrixEdge, v: VectorEdge) -> Vect
 }
 
 /// Multiplies two operator DDs (`a * b`), used to fuse gates.
-pub fn matrix_matrix_multiply(
-    package: &mut DdPackage,
-    a: MatrixEdge,
-    b: MatrixEdge,
-) -> MatrixEdge {
+pub fn matrix_matrix_multiply(package: &mut DdPackage, a: MatrixEdge, b: MatrixEdge) -> MatrixEdge {
     if a.is_zero() || b.is_zero() {
         return MatrixEdge::ZERO;
     }
@@ -355,8 +348,14 @@ mod tests {
         let mut p = DdPackage::new();
         // |0><0| + |1><1| over one qubit equals the identity.
         let one = p.matrix_terminal(Complex::ONE);
-        let proj0 = p.make_mnode(0, [one, MatrixEdge::ZERO, MatrixEdge::ZERO, MatrixEdge::ZERO]);
-        let proj1 = p.make_mnode(0, [MatrixEdge::ZERO, MatrixEdge::ZERO, MatrixEdge::ZERO, one]);
+        let proj0 = p.make_mnode(
+            0,
+            [one, MatrixEdge::ZERO, MatrixEdge::ZERO, MatrixEdge::ZERO],
+        );
+        let proj1 = p.make_mnode(
+            0,
+            [MatrixEdge::ZERO, MatrixEdge::ZERO, MatrixEdge::ZERO, one],
+        );
         let sum = matrix_add(&mut p, proj0, proj1);
         let identity = crate::OperatorDd::identity(&mut p, 1).root();
         assert_eq!(sum, identity);

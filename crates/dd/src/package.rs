@@ -289,9 +289,8 @@ impl DdPackage {
             id
         } else {
             self.stats.vector_unique_misses += 1;
-            let id = VectorNodeId(
-                u32::try_from(self.vnodes.len()).expect("vector node arena overflow"),
-            );
+            let id =
+                VectorNodeId(u32::try_from(self.vnodes.len()).expect("vector node arena overflow"));
             self.vnodes.push(node);
             self.vunique.insert(node, id);
             id
@@ -369,9 +368,8 @@ impl DdPackage {
         let id = if let Some(&id) = self.munique.get(&node) {
             id
         } else {
-            let id = MatrixNodeId(
-                u32::try_from(self.mnodes.len()).expect("matrix node arena overflow"),
-            );
+            let id =
+                MatrixNodeId(u32::try_from(self.mnodes.len()).expect("matrix node arena overflow"));
             self.mnodes.push(node);
             self.munique.insert(node, id);
             id

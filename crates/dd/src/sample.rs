@@ -247,7 +247,7 @@ impl EdgeProbabilities {
         }
 
         let mut branch = FxHashMap::default();
-        for (&id, _) in &downstream {
+        for &id in downstream.keys() {
             let node = package.vnode(id);
             let p: [f64; 2] = std::array::from_fn(|bit| {
                 let child = node.children[bit];
@@ -281,7 +281,11 @@ impl EdgeProbabilities {
 
 /// Computes downstream probabilities for every node reachable from `target`
 /// and stores them in `memo`; returns the value for `target`.
-fn downstream_probability(
+///
+/// Uses an explicit work stack instead of recursion, so diagrams whose depth
+/// equals the qubit count (e.g. basis states over tens of thousands of
+/// qubits) cannot overflow the call stack.
+pub(crate) fn downstream_probability(
     package: &DdPackage,
     target: VectorNodeId,
     memo: &mut FxHashMap<VectorNodeId, f64>,
@@ -292,17 +296,42 @@ fn downstream_probability(
     if let Some(&v) = memo.get(&target) {
         return v;
     }
-    let node = package.vnode(target);
-    let mut total = 0.0;
-    for child in node.children {
-        if child.is_zero() {
+    // Depth-first post-order over the DAG: a node stays on the stack until
+    // both non-terminal children are memoized, then its own mass is the
+    // weight-squared-weighted sum of theirs.
+    let mut stack: Vec<VectorNodeId> = vec![target];
+    while let Some(&id) = stack.last() {
+        if memo.contains_key(&id) {
+            stack.pop();
             continue;
         }
-        let w = package.weight_value(child.weight).norm_sqr();
-        total += w * downstream_probability(package, child.target, memo);
+        let node = package.vnode(id);
+        let mut children_ready = true;
+        for child in node.children {
+            if !child.is_zero() && !child.target.is_terminal() && !memo.contains_key(&child.target)
+            {
+                stack.push(child.target);
+                children_ready = false;
+            }
+        }
+        if children_ready {
+            let mut total = 0.0;
+            for child in node.children {
+                if child.is_zero() {
+                    continue;
+                }
+                let down = if child.target.is_terminal() {
+                    1.0
+                } else {
+                    memo[&child.target]
+                };
+                total += package.weight_value(child.weight).norm_sqr() * down;
+            }
+            memo.insert(id, total);
+            stack.pop();
+        }
     }
-    memo.insert(target, total);
-    total
+    memo[&target]
 }
 
 #[cfg(test)]
@@ -461,6 +490,24 @@ mod tests {
         }
         assert_eq!(sampler.num_qubits(), 6);
         assert_eq!(local.num_qubits(), 6);
+    }
+
+    #[test]
+    fn downstream_annotation_survives_very_deep_diagrams() {
+        // A chain diagram as deep as the recursion limit would allow and
+        // then some: the explicit-stack traversal must handle depths far
+        // beyond what the 2 MiB test-thread call stack could take.
+        let mut p = DdPackage::new();
+        let mut edge = p.vector_terminal(Complex::ONE);
+        let depth = 60_000u32;
+        for var in 0..depth {
+            let var = u16::try_from(var % u32::from(u16::MAX)).unwrap();
+            edge = p.make_vnode(var, edge, VectorEdge::ZERO);
+        }
+        let mut memo = FxHashMap::default();
+        let down = downstream_probability(&p, edge.target, &mut memo);
+        assert!((down - 1.0).abs() < 1e-9, "downstream {down}");
+        assert_eq!(memo.len(), depth as usize);
     }
 
     #[test]

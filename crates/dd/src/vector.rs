@@ -197,7 +197,11 @@ impl StateDd {
     /// The squared 2-norm of the state (1 for a valid quantum state).
     #[must_use]
     pub fn norm_sqr(&self, package: &DdPackage) -> f64 {
-        fn walk(package: &DdPackage, target: VectorNodeId, memo: &mut mathkit::FxHashMap<VectorNodeId, f64>) -> f64 {
+        fn walk(
+            package: &DdPackage,
+            target: VectorNodeId,
+            memo: &mut mathkit::FxHashMap<VectorNodeId, f64>,
+        ) -> f64 {
             if target.is_terminal() {
                 return 1.0;
             }
@@ -220,7 +224,8 @@ impl StateDd {
             return 0.0;
         }
         let mut memo = mathkit::FxHashMap::default();
-        package.weight_value(self.root.weight).norm_sqr() * walk(package, self.root.target, &mut memo)
+        package.weight_value(self.root.weight).norm_sqr()
+            * walk(package, self.root.target, &mut memo)
     }
 
     /// The number of decision-diagram nodes reachable from the root

@@ -290,6 +290,7 @@ impl Mul<Complex> for f64 {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }

@@ -120,9 +120,7 @@ mod tests {
     use std::hash::{BuildHasher, Hash};
 
     fn hash_one<T: Hash>(value: &T) -> u64 {
-        let mut h = FxBuildHasher::default().build_hasher();
-        value.hash(&mut h);
-        h.finish()
+        FxBuildHasher::default().hash_one(value)
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl Tolerance {
     /// Panics if `eps` is negative or not finite.
     #[must_use]
     pub fn new(eps: f64) -> Self {
-        assert!(eps.is_finite() && eps >= 0.0, "tolerance must be a non-negative finite number");
+        assert!(
+            eps.is_finite() && eps >= 0.0,
+            "tolerance must be a non-negative finite number"
+        );
         Self(eps)
     }
 

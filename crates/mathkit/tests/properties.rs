@@ -1,75 +1,105 @@
 //! Property-based tests of the numeric substrate.
+//!
+//! Written as seeded randomized tests (the offline build cannot fetch
+//! `proptest`): each property draws a few hundred random cases from a
+//! deterministic RNG, so failures reproduce exactly.
 
 use mathkit::{approx_eq_with, CTable, Complex, KahanSum, Tolerance};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    /// Complex multiplication is commutative and associative up to round-off,
-    /// and conjugation distributes over it.
-    #[test]
-    fn complex_field_axioms(a in (-1e3..1e3f64, -1e3..1e3f64),
-                            b in (-1e3..1e3f64, -1e3..1e3f64),
-                            c in (-1e3..1e3f64, -1e3..1e3f64)) {
-        let a = Complex::new(a.0, a.1);
-        let b = Complex::new(b.0, b.1);
-        let c = Complex::new(c.0, c.1);
-        prop_assert!((a * b - b * a).norm() < 1e-6);
-        prop_assert!(((a * b) * c - a * (b * c)).norm() < 1e-3);
-        prop_assert!((a * (b + c) - (a * b + a * c)).norm() < 1e-3);
-        prop_assert!(((a * b).conj() - a.conj() * b.conj()).norm() < 1e-6);
+const CASES: usize = 256;
+
+/// Complex multiplication is commutative and associative up to round-off,
+/// and conjugation distributes over it.
+#[test]
+fn complex_field_axioms() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..CASES {
+        let mut draw = || Complex::new(rng.gen_range(-1e3..1e3), rng.gen_range(-1e3..1e3));
+        let (a, b, c) = (draw(), draw(), draw());
+        assert!((a * b - b * a).norm() < 1e-6);
+        assert!(((a * b) * c - a * (b * c)).norm() < 1e-3);
+        assert!((a * (b + c) - (a * b + a * c)).norm() < 1e-3);
+        assert!(((a * b).conj() - a.conj() * b.conj()).norm() < 1e-6);
     }
+}
 
-    /// `norm_sqr` equals `z * conj(z)` and is preserved by phases.
-    #[test]
-    fn norms_behave(re in -1e3..1e3f64, im in -1e3..1e3f64, theta in 0.0..std::f64::consts::TAU) {
-        let z = Complex::new(re, im);
-        prop_assert!((z.norm_sqr() - (z * z.conj()).re).abs() < 1e-6);
+/// `norm_sqr` equals `z * conj(z)` and is preserved by phases.
+#[test]
+fn norms_behave() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for _ in 0..CASES {
+        let z = Complex::new(rng.gen_range(-1e3..1e3), rng.gen_range(-1e3..1e3));
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        assert!((z.norm_sqr() - (z * z.conj()).re).abs() < 1e-6);
         let rotated = z * Complex::phase(theta);
-        prop_assert!(approx_eq_with(z.norm_sqr(), rotated.norm_sqr(), 1e-6 * (1.0 + z.norm_sqr())));
+        assert!(approx_eq_with(
+            z.norm_sqr(),
+            rotated.norm_sqr(),
+            1e-6 * (1.0 + z.norm_sqr())
+        ));
     }
+}
 
-    /// Division inverts multiplication away from zero.
-    #[test]
-    fn division_inverts(re in 0.001..1e3f64, im in 0.001..1e3f64,
-                        wre in -1e3..1e3f64, wim in -1e3..1e3f64) {
-        let divisor = Complex::new(re, im);
-        let value = Complex::new(wre, wim);
+/// Division inverts multiplication away from zero.
+#[test]
+fn division_inverts() {
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for _ in 0..CASES {
+        let divisor = Complex::new(rng.gen_range(0.001..1e3), rng.gen_range(0.001..1e3));
+        let value = Complex::new(rng.gen_range(-1e3..1e3), rng.gen_range(-1e3..1e3));
         let back = (value / divisor) * divisor;
-        prop_assert!((back - value).norm() < 1e-6 * (1.0 + value.norm()));
+        assert!((back - value).norm() < 1e-6 * (1.0 + value.norm()));
     }
+}
 
-    /// The Kahan sum of shuffled values matches the exact rational total far
-    /// better than the naive order-dependent drift bound.
-    #[test]
-    fn kahan_sum_is_accurate(values in proptest::collection::vec(-1.0..1.0f64, 1..2000)) {
+/// The Kahan sum of split values matches the sum of the halves far better
+/// than the naive order-dependent drift bound.
+#[test]
+fn kahan_sum_is_accurate() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for _ in 0..64 {
+        let len = rng.gen_range(1..2000usize);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let compensated: KahanSum = values.iter().copied().collect();
         // Compare against summation in two halves, which would expose
         // catastrophic error accumulation if compensation were broken.
         let mid = values.len() / 2;
         let left: KahanSum = values[..mid].iter().copied().collect();
         let right: KahanSum = values[mid..].iter().copied().collect();
-        prop_assert!((compensated.value() - (left.value() + right.value())).abs() < 1e-9);
+        assert!((compensated.value() - (left.value() + right.value())).abs() < 1e-9);
     }
+}
 
-    /// Interning is idempotent and respects the tolerance: re-interning an
-    /// interned value (or anything within epsilon of it) returns the same id.
-    #[test]
-    fn ctable_interning_is_stable(values in proptest::collection::vec(-10.0..10.0f64, 1..200)) {
+/// Interning is idempotent and respects the tolerance: re-interning an
+/// interned value (or anything within epsilon of it) returns the same id.
+#[test]
+fn ctable_interning_is_stable() {
+    let mut rng = StdRng::seed_from_u64(0x7AB1E);
+    for _ in 0..64 {
+        let len = rng.gen_range(1..200usize);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(-10.0..10.0)).collect();
         let mut table = CTable::new();
         let ids: Vec<_> = values.iter().map(|&v| table.intern(v)).collect();
         for (&v, &id) in values.iter().zip(&ids) {
-            prop_assert_eq!(table.intern(v), id);
-            prop_assert_eq!(table.intern(v + 1e-12), id);
-            prop_assert!((table.value(id) - v).abs() <= 1e-10 + 1e-12);
+            assert_eq!(table.intern(v), id);
+            assert_eq!(table.intern(v + 1e-12), id);
+            assert!((table.value(id) - v).abs() <= 1e-10 + 1e-12);
         }
     }
+}
 
-    /// Distinct values far apart never collide in the table.
-    #[test]
-    fn ctable_separates_distinct_values(a in -10.0..10.0f64, delta in 0.001..10.0f64) {
+/// Distinct values far apart never collide in the table.
+#[test]
+fn ctable_separates_distinct_values() {
+    let mut rng = StdRng::seed_from_u64(0xFA4);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-10.0..10.0);
+        let delta = rng.gen_range(0.001..10.0);
         let mut table = CTable::with_tolerance(Tolerance::new(1e-10));
         let x = table.intern(a);
         let y = table.intern(a + delta);
-        prop_assert_ne!(x, y);
+        assert_ne!(x, y);
     }
 }

@@ -49,7 +49,9 @@ impl From<circuit::ValidateCircuitError> for SimulateError {
 
 /// Builds the bitmask with a 1 at every control qubit position.
 fn control_mask(controls: &[Qubit]) -> usize {
-    controls.iter().fold(0usize, |m, q| m | (1usize << q.index()))
+    controls
+        .iter()
+        .fold(0usize, |m, q| m | (1usize << q.index()))
 }
 
 /// Applies a single lowered [`Operation`] to the state in place.
@@ -359,7 +361,16 @@ mod tests {
         c.x(Qubit(0));
         c.cx(Qubit(2), Qubit(0));
         let s = simulate(&c).unwrap();
-        let expected = [0.0, 3.0 / 8.0, 0.0, 3.0 / 8.0, 1.0 / 8.0, 0.0, 0.0, 1.0 / 8.0];
+        let expected = [
+            0.0,
+            3.0 / 8.0,
+            0.0,
+            3.0 / 8.0,
+            1.0 / 8.0,
+            0.0,
+            0.0,
+            1.0 / 8.0,
+        ];
         for (i, &p) in expected.iter().enumerate() {
             assert!(
                 (s.probability(i as u64) - p).abs() < EPS,
@@ -397,7 +408,11 @@ mod tests {
     #[test]
     fn diagonal_gates_only_change_phases() {
         let mut c = Circuit::new(2);
-        c.h(Qubit(0)).h(Qubit(1)).t(Qubit(0)).s(Qubit(1)).cz(Qubit(0), Qubit(1));
+        c.h(Qubit(0))
+            .h(Qubit(1))
+            .t(Qubit(0))
+            .s(Qubit(1))
+            .cz(Qubit(0), Qubit(1));
         let s = simulate(&c).unwrap();
         for i in 0..4 {
             assert!((s.probability(i) - 0.25).abs() < EPS);

@@ -89,7 +89,10 @@ mod tests {
     fn state_vector_sizes() {
         assert_eq!(MemoryBudget::state_vector_bytes(0), 16);
         assert_eq!(MemoryBudget::state_vector_bytes(10), 16 * 1024);
-        assert_eq!(MemoryBudget::state_vector_bytes(32), 64 * 1024 * 1024 * 1024);
+        assert_eq!(
+            MemoryBudget::state_vector_bytes(32),
+            64 * 1024 * 1024 * 1024
+        );
     }
 
     #[test]

@@ -144,7 +144,16 @@ mod tests {
     #[test]
     fn prefix_sums_match_fig_3() {
         let sampler = PrefixSampler::new(&paper_example_state());
-        let expected = [0.0, 3.0 / 8.0, 3.0 / 8.0, 6.0 / 8.0, 7.0 / 8.0, 7.0 / 8.0, 7.0 / 8.0, 1.0];
+        let expected = [
+            0.0,
+            3.0 / 8.0,
+            3.0 / 8.0,
+            6.0 / 8.0,
+            7.0 / 8.0,
+            7.0 / 8.0,
+            7.0 / 8.0,
+            1.0,
+        ];
         for (i, &e) in expected.iter().enumerate() {
             assert!(
                 (sampler.prefix_sums()[i] - e).abs() < 1e-12,

@@ -275,10 +275,8 @@ mod tests {
 
     #[test]
     fn normalize_rescales() {
-        let mut s = StateVector::from_amplitudes(vec![
-            Complex::new(3.0, 0.0),
-            Complex::new(0.0, 4.0),
-        ]);
+        let mut s =
+            StateVector::from_amplitudes(vec![Complex::new(3.0, 0.0), Complex::new(0.0, 4.0)]);
         s.normalize();
         assert!((s.norm_sqr() - 1.0).abs() < 1e-15);
         assert!((s.probability(0) - 0.36).abs() < 1e-12);

@@ -34,7 +34,10 @@ fn main() -> Result<(), weaksim::RunError> {
             outcome.weak_time().as_secs_f64() * 1e3,
         );
         for (bits, count) in outcome.histogram.to_bitstring_counts() {
-            println!("  |{bits}> observed {count} times ({:.3})", count as f64 / shots as f64);
+            println!(
+                "  |{bits}> observed {count} times ({:.3})",
+                count as f64 / shots as f64
+            );
         }
         println!();
     }

@@ -25,10 +25,7 @@ fn main() -> Result<(), weaksim::RunError> {
     let strong = WeakSimulator::new(Backend::StateVector).strong(&circuit)?;
     println!("amplitudes and probabilities (Fig. 2):");
     for index in 0..8u64 {
-        println!(
-            "  |{index:03b}>  p = {:.4}",
-            strong.probability(index)
-        );
+        println!("  |{index:03b}>  p = {:.4}", strong.probability(index));
     }
 
     // Vector-based sampling (Fig. 3): prefix sums + binary search.

@@ -92,7 +92,10 @@ fn main() -> Result<(), weaksim::RunError> {
                 let f2 = gcd(half.saturating_sub(1), modulus);
                 for f in [f1, f2] {
                     if f > 1 && f < modulus {
-                        println!("  -> non-trivial factor: {f} (since {f} * {} = {modulus})", modulus / f);
+                        println!(
+                            "  -> non-trivial factor: {f} (since {f} * {} = {modulus})",
+                            modulus / f
+                        );
                         found = true;
                     }
                 }

@@ -50,7 +50,8 @@ fn main() -> Result<(), weaksim::RunError> {
     // Validate statistical indistinguishability against the exact
     // distribution (available from either strong simulation).
     for outcome in [&dd, &sv] {
-        let chi = stats::chi_square_test(&outcome.histogram, |index| outcome.state.probability(index));
+        let chi =
+            stats::chi_square_test(&outcome.histogram, |index| outcome.state.probability(index));
         let tvd = stats::total_variation_distance(&outcome.histogram, |index| {
             outcome.state.probability(index)
         });

@@ -106,9 +106,7 @@ fn running_example_agrees_and_matches_the_paper() {
         assert!((dense.probability(i as u64) - p).abs() < 1e-12);
     }
     // Fig. 4a's non-zero amplitudes.
-    assert!(
-        (dense.amplitude(1) - Complex::new(0.0, -(3.0_f64 / 8.0).sqrt())).norm() < 1e-12
-    );
+    assert!((dense.amplitude(1) - Complex::new(0.0, -(3.0_f64 / 8.0).sqrt())).norm() < 1e-12);
     assert!((dense.amplitude(4) - Complex::from_real((1.0_f64 / 8.0).sqrt())).norm() < 1e-12);
 }
 
@@ -135,7 +133,11 @@ fn qasm_round_trip_preserves_the_simulated_state() {
         .h(circuit::Qubit(0))
         .cx(circuit::Qubit(0), circuit::Qubit(1))
         .t(circuit::Qubit(2))
-        .cp(mathkit::Angle::pi_over(4), circuit::Qubit(1), circuit::Qubit(3))
+        .cp(
+            mathkit::Angle::pi_over(4),
+            circuit::Qubit(1),
+            circuit::Qubit(3),
+        )
         .swap(circuit::Qubit(2), circuit::Qubit(3))
         .rz(mathkit::Angle::Radians(0.8), circuit::Qubit(0));
     let text = circuit::qasm::to_qasm(&original).expect("exportable circuit");

@@ -37,7 +37,11 @@ fn ghz_states_use_two_nodes_per_level_below_the_root() {
     for n in [4u16, 8, 16, 32] {
         let mut package = DdPackage::new();
         let state = dd::simulate(&mut package, &algorithms::ghz(n)).unwrap();
-        assert_eq!(state.node_count(&package), 2 * usize::from(n) - 1, "ghz_{n}");
+        assert_eq!(
+            state.node_count(&package),
+            2 * usize::from(n) - 1,
+            "ghz_{n}"
+        );
     }
 }
 
@@ -51,7 +55,10 @@ fn shor_states_are_entangled_but_far_below_the_dense_size() {
     // Genuinely entangled: well above a product state...
     assert!(nodes > 4 * qubits, "only {nodes} nodes");
     // ...but exponentially below the dense representation.
-    assert!((nodes as u64) < (1u64 << spec.total_qubits()) / 4, "{nodes} nodes");
+    assert!(
+        (nodes as u64) < (1u64 << spec.total_qubits()) / 4,
+        "{nodes} nodes"
+    );
     assert!((state.norm_sqr(&package) - 1.0).abs() < 1e-6);
 }
 

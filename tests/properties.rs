@@ -1,41 +1,44 @@
 //! Property-based tests of the core data structures and invariants,
 //! exercising the decision-diagram package, the dense engine and the
 //! samplers with randomly generated circuits and states.
+//!
+//! Written as seeded randomized tests (the offline build cannot fetch
+//! `proptest`): every property draws its cases from a deterministic RNG, so
+//! failures reproduce exactly.
 
-use dd::{DdPackage, DdSampler, StateDd};
+use dd::{CompiledSampler, DdPackage, DdSampler, StateDd};
 use mathkit::Complex;
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a normalized amplitude vector over `n` qubits.
-fn normalized_amplitudes(num_qubits: u16) -> impl Strategy<Value = Vec<Complex>> {
+const CASES: usize = 64;
+
+/// Draws a normalized amplitude vector over `num_qubits` qubits.
+fn normalized_amplitudes(rng: &mut StdRng, num_qubits: u16) -> Vec<Complex> {
     let len = 1usize << num_qubits;
-    proptest::collection::vec((-1.0..1.0f64, -1.0..1.0f64), len).prop_filter_map(
-        "vector must not be numerically zero",
-        |pairs| {
-            let mut amps: Vec<Complex> = pairs.into_iter().map(|(re, im)| Complex::new(re, im)).collect();
-            let norm: f64 = amps.iter().map(Complex::norm_sqr).sum::<f64>().sqrt();
-            if norm < 1e-6 {
-                return None;
-            }
-            for a in &mut amps {
-                *a = *a / norm;
-            }
-            Some(amps)
-        },
-    )
+    loop {
+        let mut amps: Vec<Complex> = (0..len)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let norm: f64 = amps.iter().map(Complex::norm_sqr).sum::<f64>().sqrt();
+        if norm < 1e-6 {
+            continue; // numerically zero vector; redraw
+        }
+        for a in &mut amps {
+            *a = *a / norm;
+        }
+        return amps;
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Building a DD from amplitudes and reading the amplitudes back is the
-    /// identity, for both normalization schemes.
-    #[test]
-    fn dd_amplitude_round_trip(amps in normalized_amplitudes(4),
-                               use_leftmost in any::<bool>()) {
-        let normalization = if use_leftmost {
+/// Building a DD from amplitudes and reading the amplitudes back is the
+/// identity, for both normalization schemes.
+#[test]
+fn dd_amplitude_round_trip() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for case in 0..CASES {
+        let amps = normalized_amplitudes(&mut rng, 4);
+        let normalization = if case % 2 == 0 {
             dd::Normalization::LeftMost
         } else {
             dd::Normalization::TwoNorm
@@ -44,27 +47,35 @@ proptest! {
         let state = StateDd::from_amplitudes(&mut package, &amps);
         for (i, want) in amps.iter().enumerate() {
             let got = state.amplitude(&package, i as u64);
-            prop_assert!((got - *want).norm() < 1e-9, "index {i}: {got} vs {want}");
+            assert!((got - *want).norm() < 1e-9, "index {i}: {got} vs {want}");
         }
         // The norm is preserved as well.
-        prop_assert!((state.norm_sqr(&package) - 1.0).abs() < 1e-9);
+        assert!((state.norm_sqr(&package) - 1.0).abs() < 1e-9);
     }
+}
 
-    /// The DD of a state never has more nodes than the dense vector has
-    /// non-trivial prefixes (a loose but useful structural bound: at most
-    /// 2^n - 1 nodes for n qubits).
-    #[test]
-    fn dd_size_is_bounded(amps in normalized_amplitudes(4)) {
+/// The DD of a state never has more nodes than the dense vector has
+/// non-trivial prefixes (a loose but useful structural bound: at most
+/// 2^n - 1 nodes for n qubits).
+#[test]
+fn dd_size_is_bounded() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for _ in 0..CASES {
+        let amps = normalized_amplitudes(&mut rng, 4);
         let mut package = DdPackage::new();
         let state = StateDd::from_amplitudes(&mut package, &amps);
-        prop_assert!(state.node_count(&package) <= 15);
+        assert!(state.node_count(&package) <= 15);
     }
+}
 
-    /// Under the 2-norm normalization scheme every node's outgoing weights
-    /// have squared magnitudes summing to 1 (the invariant that enables
-    /// sampling straight from local edge weights).
-    #[test]
-    fn two_norm_invariant_holds(amps in normalized_amplitudes(4)) {
+/// Under the 2-norm normalization scheme every node's outgoing weights have
+/// squared magnitudes summing to 1 (the invariant that enables sampling
+/// straight from local edge weights).
+#[test]
+fn two_norm_invariant_holds() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for _ in 0..CASES {
+        let amps = normalized_amplitudes(&mut rng, 4);
         let mut package = DdPackage::new();
         let state = StateDd::from_amplitudes(&mut package, &amps);
         let sampler = DdSampler::new(&package, &state);
@@ -75,36 +86,49 @@ proptest! {
             if edge.is_zero() || edge.is_terminal() {
                 continue;
             }
-            prop_assert!((sampler.downstream(edge) - 1.0).abs() < 1e-9);
+            assert!((sampler.downstream(edge) - 1.0).abs() < 1e-9);
             let node = *package.vnode(edge.target);
-            let w0 = if node.children[0].is_zero() { 0.0 } else {
+            let w0 = if node.children[0].is_zero() {
+                0.0
+            } else {
                 package.weight_value(node.children[0].weight).norm_sqr()
             };
-            let w1 = if node.children[1].is_zero() { 0.0 } else {
+            let w1 = if node.children[1].is_zero() {
+                0.0
+            } else {
                 package.weight_value(node.children[1].weight).norm_sqr()
             };
-            prop_assert!((w0 + w1 - 1.0).abs() < 1e-9, "node weights {w0} + {w1}");
+            assert!((w0 + w1 - 1.0).abs() < 1e-9, "node weights {w0} + {w1}");
             stack.push(node.children[0]);
             stack.push(node.children[1]);
         }
     }
+}
 
-    /// Adding a state DD to itself doubles every amplitude.
-    #[test]
-    fn dd_addition_is_elementwise(amps in normalized_amplitudes(3)) {
+/// Adding a state DD to itself doubles every amplitude.
+#[test]
+fn dd_addition_is_elementwise() {
+    let mut rng = StdRng::seed_from_u64(104);
+    for _ in 0..CASES {
+        let amps = normalized_amplitudes(&mut rng, 3);
         let mut package = DdPackage::new();
         let state = StateDd::from_amplitudes(&mut package, &amps);
         let doubled = dd::add(&mut package, state.root(), state.root());
         let doubled = StateDd::from_root(doubled, 3);
         for (i, want) in amps.iter().enumerate() {
             let got = doubled.amplitude(&package, i as u64);
-            prop_assert!((got - *want * 2.0).norm() < 1e-9);
+            assert!((got - *want * 2.0).norm() < 1e-9);
         }
     }
+}
 
-    /// The DD and dense engines agree on random circuits.
-    #[test]
-    fn engines_agree_on_random_circuits(seed in 0u64..500, layers in 1u16..5) {
+/// The DD and dense engines agree on random circuits.
+#[test]
+fn engines_agree_on_random_circuits() {
+    let mut rng = StdRng::seed_from_u64(105);
+    for _ in 0..CASES {
+        let seed = rng.gen_range(0..500u64);
+        let layers = rng.gen_range(1..5u16);
         let circuit = algorithms::random_circuit(4, layers, seed);
         let dense = statevector::simulate(&circuit).unwrap();
         let mut package = DdPackage::new();
@@ -112,75 +136,106 @@ proptest! {
         for index in 0..16u64 {
             let a = dense.amplitude(index);
             let b = diagram.amplitude(&package, index);
-            prop_assert!((a - b).norm() < 1e-8, "index {index}: {a} vs {b}");
+            assert!((a - b).norm() < 1e-8, "index {index}: {a} vs {b}");
         }
     }
+}
 
-    /// The prefix-sum array is monotone and ends at the total probability
-    /// mass, and `locate` inverts it consistently.
-    #[test]
-    fn prefix_sums_are_monotone(amps in normalized_amplitudes(4), p_hat in 0.0..1.0f64) {
+/// The prefix-sum array is monotone and ends at the total probability mass,
+/// and `locate` inverts it consistently.
+#[test]
+fn prefix_sums_are_monotone() {
+    let mut rng = StdRng::seed_from_u64(106);
+    for _ in 0..CASES {
+        let amps = normalized_amplitudes(&mut rng, 4);
+        let p_hat = rng.gen_range(0.0..1.0);
         let dense = statevector::StateVector::from_amplitudes(amps);
         let sampler = statevector::PrefixSampler::new(&dense);
         let prefix = sampler.prefix_sums();
         for window in prefix.windows(2) {
-            prop_assert!(window[1] >= window[0] - 1e-12);
+            assert!(window[1] >= window[0] - 1e-12);
         }
-        prop_assert!((sampler.total_mass() - 1.0).abs() < 1e-9);
+        assert!((sampler.total_mass() - 1.0).abs() < 1e-9);
         let index = sampler.locate(p_hat);
-        prop_assert!(index < 16);
+        assert!(index < 16);
         // The located index is the first whose prefix exceeds p_hat.
-        prop_assert!(prefix[index as usize] > p_hat - 1e-12);
+        assert!(prefix[index as usize] > p_hat - 1e-12);
         if index > 0 {
-            prop_assert!(prefix[index as usize - 1] <= p_hat + 1e-12);
+            assert!(prefix[index as usize - 1] <= p_hat + 1e-12);
         }
     }
+}
 
-    /// Weak simulation never produces an outcome of probability zero, for
-    /// random states sampled by both samplers.
-    #[test]
-    fn samplers_never_emit_impossible_outcomes(amps in normalized_amplitudes(3), seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Weak simulation never produces an outcome of probability zero, for
+/// random states sampled by all three samplers.
+#[test]
+fn samplers_never_emit_impossible_outcomes() {
+    let mut rng = StdRng::seed_from_u64(107);
+    for _ in 0..CASES {
+        let amps = normalized_amplitudes(&mut rng, 3);
         // Dense sampler.
         let dense = statevector::StateVector::from_amplitudes(amps.clone());
         let prefix = statevector::PrefixSampler::new(&dense);
         for _ in 0..64 {
             let s = prefix.sample(&mut rng);
-            prop_assert!(dense.probability(s) > 0.0, "dense sampler produced impossible outcome {s}");
+            assert!(
+                dense.probability(s) > 0.0,
+                "dense sampler produced impossible outcome {s}"
+            );
         }
-        // DD sampler.
+        // DD samplers, interpreted and compiled.
         let mut package = DdPackage::new();
         let state = StateDd::from_amplitudes(&mut package, &amps);
         let sampler = DdSampler::new(&package, &state);
         for _ in 0..64 {
             let s = sampler.sample(&package, &mut rng);
-            prop_assert!(state.probability(&package, s) > 1e-12, "DD sampler produced impossible outcome {s}");
+            assert!(
+                state.probability(&package, s) > 1e-12,
+                "DD sampler produced impossible outcome {s}"
+            );
+        }
+        let compiled = CompiledSampler::new(&package, &state);
+        for _ in 0..64 {
+            let s = compiled.sample(&mut rng);
+            assert!(
+                state.probability(&package, s) > 1e-12,
+                "compiled sampler produced impossible outcome {s}"
+            );
         }
     }
+}
 
-    /// The QASM writer/parser round-trip preserves simulated states for
-    /// exportable circuits.
-    #[test]
-    fn qasm_round_trip_preserves_semantics(seed in 0u64..200) {
+/// The QASM writer/parser round-trip preserves simulated states for
+/// exportable circuits.
+#[test]
+fn qasm_round_trip_preserves_semantics() {
+    let mut rng = StdRng::seed_from_u64(108);
+    for _ in 0..CASES {
         // Only single-qubit gates and CX/CZ/CP/CCX/SWAP are exportable; the
         // random generator only emits those.
+        let seed = rng.gen_range(0..200u64);
         let circuit = algorithms::random_circuit(4, 3, seed);
         let text = circuit::qasm::to_qasm(&circuit).unwrap();
         let parsed = circuit::qasm::parse(&text).unwrap();
         let a = statevector::simulate(&circuit).unwrap();
         let b = statevector::simulate(&parsed).unwrap();
-        prop_assert!(a.fidelity(&b) > 1.0 - 1e-9);
+        assert!(a.fidelity(&b) > 1.0 - 1e-9);
     }
+}
 
-    /// Interned weights compare equal exactly when the complex values agree
-    /// within tolerance.
-    #[test]
-    fn weight_interning_respects_tolerance(re in -1.0..1.0f64, im in -1.0..1.0f64) {
+/// Interned weights compare equal exactly when the complex values agree
+/// within tolerance.
+#[test]
+fn weight_interning_respects_tolerance() {
+    let mut rng = StdRng::seed_from_u64(109);
+    for _ in 0..CASES {
+        let re = rng.gen_range(-1.0..1.0);
+        let im = rng.gen_range(-1.0..1.0);
         let mut package = DdPackage::new();
         let a = package.weight(Complex::new(re, im));
         let b = package.weight(Complex::new(re + 1e-13, im - 1e-13));
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
         let c = package.weight(Complex::new(re + 0.5, im));
-        prop_assert_ne!(a, c);
+        assert_ne!(a, c);
     }
 }

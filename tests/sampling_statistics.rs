@@ -2,8 +2,11 @@
 //! statistically indistinguishable from the exact output distribution of an
 //! error-free quantum computer, for both samplers.
 
+use dd::{CompiledSampler, DdPackage, DdSampler, NormalizedSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use weaksim::stats::{chi_square_test, total_variation_distance};
-use weaksim::{Backend, WeakSimulator};
+use weaksim::{Backend, ShotHistogram, WeakSimulator};
 
 const SHOTS: u64 = 100_000;
 const SIGNIFICANCE: f64 = 1e-4;
@@ -27,8 +30,7 @@ fn assert_statistically_indistinguishable(circuit: &circuit::Circuit, seed: u64)
         // The expected TVD of a faithful sampler grows with the support size:
         // roughly sqrt(2K / (pi * shots)) for K outcomes. Allow 1.5x that.
         let support = 1u64 << circuit.num_qubits();
-        let expected_noise =
-            (2.0 * support as f64 / (std::f64::consts::PI * SHOTS as f64)).sqrt();
+        let expected_noise = (2.0 * support as f64 / (std::f64::consts::PI * SHOTS as f64)).sqrt();
         let threshold = (1.5 * expected_noise).max(0.01);
         assert!(
             tvd < threshold,
@@ -37,7 +39,7 @@ fn assert_statistically_indistinguishable(circuit: &circuit::Circuit, seed: u64)
             circuit.name()
         );
         // No impossible outcome may ever be produced (error-free sampling).
-        for (&index, _) in outcome.histogram.counts() {
+        for &index in outcome.histogram.counts().keys() {
             assert!(
                 outcome.state.probability(index) > 0.0,
                 "{} produced impossible outcome {index:b}",
@@ -130,6 +132,105 @@ fn shor_counting_register_peaks_at_multiples_of_the_inverse_order() {
         fraction > 0.99,
         "only {fraction} of the shots landed on phase-estimation peaks"
     );
+}
+
+/// All three DD samplers — hash-lookup [`DdSampler`], local-weight
+/// [`NormalizedSampler`] and the flat-arena [`CompiledSampler`] — draw from
+/// the same distribution: each is chi-square-consistent with the exact state
+/// probabilities on GHZ, QFT and supremacy states.
+#[test]
+fn all_three_dd_samplers_draw_the_same_distribution() {
+    let circuits = [
+        algorithms::ghz(8),
+        algorithms::qft(6, true),
+        algorithms::supremacy(3, 3, 6, 7).0,
+    ];
+    for circuit in &circuits {
+        let mut package = DdPackage::new();
+        let state = dd::simulate(&mut package, circuit).expect("valid circuit");
+        let n = circuit.num_qubits();
+
+        let general = DdSampler::new(&package, &state);
+        let local = NormalizedSampler::new(&package, &state);
+        let compiled = CompiledSampler::new(&package, &state);
+
+        let mut rng = StdRng::seed_from_u64(40);
+        let general_hist = ShotHistogram::from_samples(
+            n,
+            general
+                .sample_many(&package, &mut rng, SHOTS as usize)
+                .into_iter(),
+        );
+        let mut rng = StdRng::seed_from_u64(41);
+        let local_hist = ShotHistogram::from_samples(
+            n,
+            local
+                .sample_many(&package, &mut rng, SHOTS as usize)
+                .into_iter(),
+        );
+        let compiled_hist = ShotHistogram::from_samples(
+            n,
+            compiled
+                .sample_many_parallel(42, SHOTS as usize)
+                .into_iter(),
+        );
+
+        for (name, hist) in [
+            ("DdSampler", &general_hist),
+            ("NormalizedSampler", &local_hist),
+            ("CompiledSampler", &compiled_hist),
+        ] {
+            let chi = chi_square_test(hist, |i| state.probability(&package, i));
+            assert!(
+                chi.is_consistent(SIGNIFICANCE),
+                "{name} on {} rejected: chi2 = {:.2}, dof = {}, p = {:.6}",
+                circuit.name(),
+                chi.statistic,
+                chi.degrees_of_freedom,
+                chi.p_value
+            );
+        }
+
+        // Pairwise the empirical frequencies agree within statistical noise.
+        for index in general_hist
+            .counts()
+            .keys()
+            .chain(compiled_hist.counts().keys())
+        {
+            let fg = general_hist.frequency(*index);
+            let fl = local_hist.frequency(*index);
+            let fc = compiled_hist.frequency(*index);
+            assert!((fg - fc).abs() < 0.02, "index {index}: {fg} vs {fc}");
+            assert!((fl - fc).abs() < 0.02, "index {index}: {fl} vs {fc}");
+        }
+    }
+}
+
+/// The parallel batch sampler is seed-deterministic independent of the
+/// worker-thread count — the contract that makes `WeakSimulator` runs
+/// reproducible on any machine.
+#[test]
+fn parallel_sampling_is_deterministic_across_thread_counts() {
+    let (circuit, _) = algorithms::supremacy(3, 3, 6, 7);
+    let mut package = DdPackage::new();
+    let state = dd::simulate(&mut package, &circuit).expect("valid circuit");
+    let compiled = CompiledSampler::new(&package, &state);
+
+    let shots = 3 * dd::PARALLEL_CHUNK_SHOTS + 511; // not a chunk multiple
+    let reference = compiled.sample_many_parallel_with_threads(2020, shots, 1);
+    for threads in [2, 8] {
+        assert_eq!(
+            reference,
+            compiled.sample_many_parallel_with_threads(2020, shots, threads),
+            "thread count {threads} changed the sampled values"
+        );
+    }
+    // And the high-level simulator path (which uses however many threads the
+    // machine has) reproduces the same histogram run-to-run.
+    let mut sim = WeakSimulator::new(Backend::DecisionDiagram);
+    let a = sim.run(&circuit, 10_000, 2020).unwrap();
+    let b = sim.run(&circuit, 10_000, 2020).unwrap();
+    assert_eq!(a.histogram, b.histogram);
 }
 
 #[test]
