@@ -11,7 +11,9 @@
 //!   (`jellium_AxA`; see `DESIGN.md` for the substitution notes),
 //! * [`supremacy`] — random grid circuits in the style of the Google
 //!   quantum-supremacy benchmarks (`supremacy_AxB_C`),
-//! * [`ghz`], [`w_state`], [`random_circuit`] — auxiliary workloads.
+//! * [`ghz`], [`w_state`], [`random_circuit`] — auxiliary workloads,
+//! * [`teleportation`] — the dynamic-circuit (mid-circuit measurement)
+//!   reference workload.
 //!
 //! Every generator is deterministic given its parameters (and seed, where
 //! randomness is involved), so experiments are reproducible.
@@ -30,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dynamic;
 mod entangle;
 mod grover;
 mod jellium;
@@ -38,6 +41,7 @@ mod random;
 mod shor;
 mod supremacy;
 
+pub use dynamic::teleportation;
 pub use entangle::{bell_pair, ghz, w_state};
 pub use grover::{grover, grover_with_iterations, GroverSpec};
 pub use jellium::{jellium, JelliumSpec};

@@ -148,7 +148,7 @@ fn append_inverse_qft(c: &mut Circuit, register: &[Qubit]) {
                 debug_assert!(controls.is_empty());
                 c.swap(register[a.index()], register[b.index()]);
             }
-            circuit::Operation::Permute { .. } => unreachable!("the QFT contains no permutations"),
+            other => unreachable!("the QFT contains no {other}"),
         }
     }
 }

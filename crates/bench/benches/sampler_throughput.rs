@@ -20,8 +20,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use statevector::PrefixSampler;
 use std::time::Instant;
+use weaksim::{simulate_trajectories_with_threads, Backend};
 
 const SHOTS: u64 = 10_000;
+
+/// Teleportation with mid-circuit measurement: the reference dynamic-circuit
+/// workload for the trajectory engine (three events, non-trivial suffix).
+fn trajectory_workload() -> circuit::Circuit {
+    algorithms::teleportation(1.2)
+}
 
 fn workloads() -> Vec<circuit::Circuit> {
     vec![
@@ -125,6 +132,34 @@ fn bench_per_sample(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-trajectory throughput of the dynamic-circuit engine on the
+/// teleportation workload, so regressions in the new path show up next to
+/// the static sampler numbers.
+fn bench_trajectories(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trajectory");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(SHOTS));
+
+    let circuit = trajectory_workload();
+    for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+        group.bench_with_input(
+            BenchmarkId::new("teleportation_shots", format!("{backend}")),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    simulate_trajectories_with_threads(backend, circuit, SHOTS, BENCH_SEED, 1)
+                        .expect("trajectory simulation succeeds")
+                        .histogram
+                        .shots()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Wall-clock throughput of each sampler on the 20-qubit supremacy state,
 /// recorded to `BENCH_sampler_throughput.json` (the acceptance baseline:
 /// compiled single-thread >= 3x `DdSampler`).
@@ -178,9 +213,26 @@ fn record_baseline_json(_c: &mut Criterion) {
             .sum()
     });
 
+    // The dynamic-circuit trajectory engine on the teleportation workload
+    // (single worker for a machine-independent per-shot number).
+    let trajectory_circuit = trajectory_workload();
+    let trajectory_shots = shots as u64;
+    let trajectory_seconds = time(&mut || {
+        simulate_trajectories_with_threads(
+            Backend::DecisionDiagram,
+            &trajectory_circuit,
+            trajectory_shots,
+            BENCH_SEED,
+            1,
+        )
+        .expect("trajectory simulation succeeds")
+        .histogram
+        .shots()
+    });
+
     let rate = |seconds: f64| shots as f64 / seconds;
     let json = format!(
-        "{{\n  \"benchmark\": \"{name}\",\n  \"qubits\": {qubits},\n  \"dd_nodes\": {nodes},\n  \"shots\": {shots},\n  \"threads\": {threads},\n  \"compile_seconds\": {compile_seconds:.6},\n  \"samplers\": {{\n    \"dd_sampler\": {{ \"seconds\": {dd:.6}, \"shots_per_second\": {dd_rate:.0} }},\n    \"normalized_sampler\": {{ \"seconds\": {nm:.6}, \"shots_per_second\": {nm_rate:.0} }},\n    \"compiled_sampler\": {{ \"seconds\": {cp:.6}, \"shots_per_second\": {cp_rate:.0} }},\n    \"compiled_parallel\": {{ \"seconds\": {pl:.6}, \"shots_per_second\": {pl_rate:.0} }}\n  }},\n  \"speedup_compiled_vs_dd_sampler\": {speedup:.2},\n  \"speedup_parallel_vs_dd_sampler\": {pspeedup:.2}\n}}\n",
+        "{{\n  \"benchmark\": \"{name}\",\n  \"qubits\": {qubits},\n  \"dd_nodes\": {nodes},\n  \"shots\": {shots},\n  \"threads\": {threads},\n  \"compile_seconds\": {compile_seconds:.6},\n  \"samplers\": {{\n    \"dd_sampler\": {{ \"seconds\": {dd:.6}, \"shots_per_second\": {dd_rate:.0} }},\n    \"normalized_sampler\": {{ \"seconds\": {nm:.6}, \"shots_per_second\": {nm_rate:.0} }},\n    \"compiled_sampler\": {{ \"seconds\": {cp:.6}, \"shots_per_second\": {cp_rate:.0} }},\n    \"compiled_parallel\": {{ \"seconds\": {pl:.6}, \"shots_per_second\": {pl_rate:.0} }}\n  }},\n  \"trajectory\": {{\n    \"benchmark\": \"{tname}\",\n    \"backend\": \"dd\",\n    \"shots\": {tshots},\n    \"seconds\": {tj:.6},\n    \"shots_per_second\": {tj_rate:.0}\n  }},\n  \"speedup_compiled_vs_dd_sampler\": {speedup:.2},\n  \"speedup_parallel_vs_dd_sampler\": {pspeedup:.2}\n}}\n",
         name = circuit.name(),
         qubits = circuit.num_qubits(),
         dd = dd_seconds,
@@ -191,6 +243,10 @@ fn record_baseline_json(_c: &mut Criterion) {
         cp_rate = rate(compiled_seconds),
         pl = parallel_seconds,
         pl_rate = rate(parallel_seconds),
+        tname = trajectory_circuit.name(),
+        tshots = trajectory_shots,
+        tj = trajectory_seconds,
+        tj_rate = trajectory_shots as f64 / trajectory_seconds,
         speedup = dd_seconds / compiled_seconds,
         pspeedup = dd_seconds / parallel_seconds,
     );
@@ -206,6 +262,7 @@ criterion_group!(
     benches,
     bench_precompute,
     bench_per_sample,
+    bench_trajectories,
     record_baseline_json
 );
 criterion_main!(benches);

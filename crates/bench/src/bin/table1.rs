@@ -108,7 +108,7 @@ fn validate(instance: &weaksim::experiment::BenchmarkInstance, shots: u64) {
         .expect("validated circuit");
     // Exact probabilities are only affordable for moderate qubit counts.
     if instance.circuit.num_qubits() <= 26 {
-        let chi = chi_square_test(&outcome.histogram, |i| outcome.state.probability(i));
+        let chi = chi_square_test(&outcome.histogram, |i| outcome.strong().probability(i));
         eprintln!(
             "  validation: chi2 = {:.1}, dof = {}, p = {:.4} -> {}",
             chi.statistic,

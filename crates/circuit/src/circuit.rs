@@ -6,9 +6,13 @@ use std::fmt;
 
 /// An ordered sequence of [`Operation`]s on a fixed number of qubits.
 ///
-/// All qubits start in `|0>`; the circuit is followed by a computational-
-/// basis measurement of every qubit (performed by the simulators, not
-/// represented as an operation).
+/// All qubits start in `|0>`.  A circuit without explicit
+/// [`Operation::Measure`] operations is followed by a computational-basis
+/// measurement of every qubit (performed by the simulators, not represented
+/// as an operation).  Circuits may also contain explicit measurements that
+/// record into a classical register of [`num_clbits`](Self::num_clbits)
+/// bits, and [`Operation::Reset`] operations; see [`is_dynamic`]
+/// (Self::is_dynamic) for how simulators route such circuits.
 ///
 /// # Examples
 ///
@@ -26,6 +30,7 @@ use std::fmt;
 pub struct Circuit {
     name: String,
     num_qubits: u16,
+    num_clbits: u16,
     ops: Vec<Operation>,
 }
 
@@ -49,6 +54,21 @@ pub enum ValidateCircuitError {
         /// The qubit that appears on both sides.
         qubit: Qubit,
     },
+    /// A measurement records into a classical bit index `>= num_clbits`.
+    ClbitOutOfRange {
+        /// Index of the offending operation.
+        op_index: usize,
+        /// The out-of-range classical bit.
+        cbit: u16,
+        /// Number of classical bits in the circuit.
+        num_clbits: u16,
+    },
+    /// The classical register is wider than the 64-bit records the
+    /// simulators produce (`1 << cbit` must fit a `u64`).
+    ClassicalRegisterTooWide {
+        /// The declared classical register width.
+        num_clbits: u16,
+    },
 }
 
 impl fmt::Display for ValidateCircuitError {
@@ -65,6 +85,18 @@ impl fmt::Display for ValidateCircuitError {
             ValidateCircuitError::ControlOverlapsTarget { op_index, qubit } => write!(
                 f,
                 "operation {op_index} uses {qubit} as both control and target"
+            ),
+            ValidateCircuitError::ClbitOutOfRange {
+                op_index,
+                cbit,
+                num_clbits,
+            } => write!(
+                f,
+                "operation {op_index} records into classical bit {cbit} but the circuit has only {num_clbits} classical bits"
+            ),
+            ValidateCircuitError::ClassicalRegisterTooWide { num_clbits } => write!(
+                f,
+                "classical register of {num_clbits} bits does not fit the 64-bit measurement records"
             ),
         }
     }
@@ -86,6 +118,7 @@ impl Circuit {
         Self {
             name: name.into(),
             num_qubits,
+            num_clbits: 0,
             ops: Vec::new(),
         }
     }
@@ -105,6 +138,21 @@ impl Circuit {
     #[must_use]
     pub fn num_qubits(&self) -> u16 {
         self.num_qubits
+    }
+
+    /// The number of classical bits (the size of the classical register that
+    /// [`Operation::Measure`] operations record into).
+    #[must_use]
+    pub fn num_clbits(&self) -> u16 {
+        self.num_clbits
+    }
+
+    /// Declares the classical register size explicitly (e.g. from a QASM
+    /// `creg` declaration).  The size never shrinks below what recorded
+    /// measurements already use.
+    pub fn set_num_clbits(&mut self, num_clbits: u16) -> &mut Self {
+        self.num_clbits = self.num_clbits.max(num_clbits);
+        self
     }
 
     /// The number of operations.
@@ -136,8 +184,10 @@ impl Circuit {
         self
     }
 
-    /// Appends all operations of `other` (qubit indices are kept as-is).
+    /// Appends all operations of `other` (qubit and classical-bit indices
+    /// are kept as-is; the classical register grows to cover `other`'s).
     pub fn extend_from(&mut self, other: &Circuit) -> &mut Self {
+        self.num_clbits = self.num_clbits.max(other.num_clbits);
         self.ops.extend_from_slice(&other.ops);
         self
     }
@@ -288,6 +338,91 @@ impl Circuit {
         })
     }
 
+    /// Appends a measurement of `qubit` into classical bit `cbit`, growing
+    /// the classical register to cover `cbit` if necessary.
+    pub fn measure(&mut self, qubit: Qubit, cbit: u16) -> &mut Self {
+        self.num_clbits = self.num_clbits.max(cbit.saturating_add(1));
+        self.push(Operation::Measure { qubit, cbit })
+    }
+
+    /// Appends a measurement of every qubit, qubit `k` into classical bit
+    /// `k` (the QASM `measure q -> c;` broadcast form).
+    pub fn measure_all(&mut self) -> &mut Self {
+        for q in 0..self.num_qubits {
+            self.measure(Qubit(q), q);
+        }
+        self
+    }
+
+    /// Appends a reset of `qubit` to `|0>`.
+    pub fn reset(&mut self, qubit: Qubit) -> &mut Self {
+        self.push(Operation::Reset { qubit })
+    }
+
+    /// Returns `true` if the circuit contains at least one
+    /// [`Operation::Measure`].
+    #[must_use]
+    pub fn has_measurements(&self) -> bool {
+        self.ops
+            .iter()
+            .any(|op| matches!(op, Operation::Measure { .. }))
+    }
+
+    /// Returns `true` if the circuit needs trajectory-style (per-shot)
+    /// simulation: it contains a [`Operation::Reset`] anywhere, or a
+    /// [`Operation::Measure`] that is followed by any non-measurement
+    /// operation.
+    ///
+    /// Circuits whose measurements all sit in one trailing block are *not*
+    /// dynamic: they are equivalent to a unitary circuit followed by one
+    /// terminal read-out, so simulators can route them through the fast
+    /// one-pass sampling path.
+    #[must_use]
+    pub fn is_dynamic(&self) -> bool {
+        let mut seen_measure = false;
+        for op in &self.ops {
+            match op {
+                Operation::Reset { .. } => return true,
+                Operation::Measure { .. } => seen_measure = true,
+                _ if seen_measure => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Splits a *non-dynamic* circuit into its unitary prefix and the
+    /// `(qubit, cbit)` pairs of the trailing measurement block.
+    ///
+    /// Returns `None` if the circuit [`is_dynamic`](Self::is_dynamic); for a
+    /// circuit without measurements the mapping is empty and the prefix is a
+    /// clone of the whole circuit.
+    #[must_use]
+    pub fn split_terminal_measurements(&self) -> Option<(Circuit, Vec<(Qubit, u16)>)> {
+        if self.is_dynamic() {
+            return None;
+        }
+        let prefix_len = self
+            .ops
+            .iter()
+            .position(|op| matches!(op, Operation::Measure { .. }))
+            .unwrap_or(self.ops.len());
+        let prefix = Circuit {
+            name: self.name.clone(),
+            num_qubits: self.num_qubits,
+            num_clbits: self.num_clbits,
+            ops: self.ops[..prefix_len].to_vec(),
+        };
+        let mapping = self.ops[prefix_len..]
+            .iter()
+            .map(|op| match op {
+                Operation::Measure { qubit, cbit } => (*qubit, *cbit),
+                other => unreachable!("non-measure op {other} after the terminal block"),
+            })
+            .collect();
+        Some((prefix, mapping))
+    }
+
     /// Checks that every operation only references qubits inside the circuit
     /// and never overlaps controls with targets.
     ///
@@ -295,6 +430,11 @@ impl Circuit {
     ///
     /// Returns the first violation found, identifying the operation index.
     pub fn validate(&self) -> Result<(), ValidateCircuitError> {
+        if self.num_clbits > 64 {
+            return Err(ValidateCircuitError::ClassicalRegisterTooWide {
+                num_clbits: self.num_clbits,
+            });
+        }
         for (op_index, op) in self.ops.iter().enumerate() {
             for q in op.support() {
                 if q.index() >= usize::from(self.num_qubits) {
@@ -314,6 +454,15 @@ impl Circuit {
                     });
                 }
             }
+            if let Operation::Measure { cbit, .. } = op {
+                if *cbit >= self.num_clbits {
+                    return Err(ValidateCircuitError::ClbitOutOfRange {
+                        op_index,
+                        cbit: *cbit,
+                        num_clbits: self.num_clbits,
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -329,7 +478,9 @@ impl Circuit {
     ///
     /// # Panics
     ///
-    /// Never panics: every operation in the alphabet has an inverse.
+    /// Panics if the circuit contains a non-unitary operation
+    /// ([`Operation::Measure`] or [`Operation::Reset`]): measurements and
+    /// resets have no inverse.
     #[must_use]
     pub fn adjoint(&self) -> Circuit {
         let mut out = Circuit::with_name(self.num_qubits, format!("{}_dg", self.name));
@@ -352,6 +503,9 @@ impl Circuit {
                     permutation: permutation.inverse(),
                     controls: controls.clone(),
                 },
+                Operation::Measure { .. } | Operation::Reset { .. } => {
+                    panic!("cannot invert the non-unitary operation '{op}'")
+                }
             };
             out.push(inverted);
         }
@@ -461,6 +615,114 @@ mod tests {
         assert_eq!(a.len(), 2);
         assert_eq!(a.iter().count(), 2);
         assert_eq!((&a).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn measure_grows_the_classical_register() {
+        let mut c = Circuit::new(3);
+        assert_eq!(c.num_clbits(), 0);
+        c.h(Qubit(0)).measure(Qubit(0), 2);
+        assert_eq!(c.num_clbits(), 3);
+        c.set_num_clbits(5);
+        assert_eq!(c.num_clbits(), 5);
+        c.set_num_clbits(1); // never shrinks
+        assert_eq!(c.num_clbits(), 5);
+        assert!(c.validate().is_ok());
+        assert!(c.has_measurements());
+    }
+
+    #[test]
+    fn measure_all_maps_qubit_k_to_clbit_k() {
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0)).measure_all();
+        assert_eq!(c.num_clbits(), 3);
+        assert_eq!(c.len(), 4);
+        match &c.operations()[2] {
+            Operation::Measure { qubit, cbit } => {
+                assert_eq!(*qubit, Qubit(1));
+                assert_eq!(*cbit, 1);
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_catches_clbit_out_of_range() {
+        let mut c = Circuit::new(2);
+        c.push(Operation::Measure {
+            qubit: Qubit(0),
+            cbit: 3,
+        });
+        assert!(matches!(
+            c.validate(),
+            Err(ValidateCircuitError::ClbitOutOfRange { cbit: 3, .. })
+        ));
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("classical bit 3"));
+    }
+
+    #[test]
+    fn validation_rejects_classical_registers_wider_than_64_bits() {
+        // Records are u64 bitstrings: `1 << cbit` must never overflow.
+        let mut c = Circuit::new(1);
+        c.measure(Qubit(0), 64);
+        assert!(matches!(
+            c.validate(),
+            Err(ValidateCircuitError::ClassicalRegisterTooWide { num_clbits: 65 })
+        ));
+        let mut ok = Circuit::new(1);
+        ok.measure(Qubit(0), 63);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn dynamic_detection_and_terminal_split() {
+        // No measurements at all: static, empty mapping, full prefix.
+        let mut unitary = Circuit::new(2);
+        unitary.h(Qubit(0)).cx(Qubit(0), Qubit(1));
+        assert!(!unitary.is_dynamic());
+        let (prefix, mapping) = unitary.split_terminal_measurements().unwrap();
+        assert_eq!(prefix.len(), 2);
+        assert!(mapping.is_empty());
+
+        // Trailing measurement block: static with a mapping.
+        let mut terminal = unitary.clone();
+        terminal.measure(Qubit(1), 0).measure(Qubit(0), 1);
+        assert!(!terminal.is_dynamic());
+        let (prefix, mapping) = terminal.split_terminal_measurements().unwrap();
+        assert_eq!(prefix.len(), 2);
+        assert_eq!(prefix.num_clbits(), 2);
+        assert_eq!(mapping, vec![(Qubit(1), 0), (Qubit(0), 1)]);
+
+        // A gate after a measurement makes the circuit dynamic.
+        let mut dynamic = Circuit::new(2);
+        dynamic.h(Qubit(0)).measure(Qubit(0), 0).x(Qubit(1));
+        assert!(dynamic.is_dynamic());
+        assert!(dynamic.split_terminal_measurements().is_none());
+
+        // A reset anywhere makes the circuit dynamic.
+        let mut with_reset = Circuit::new(1);
+        with_reset.h(Qubit(0)).reset(Qubit(0));
+        assert!(with_reset.is_dynamic());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot invert")]
+    fn adjoint_rejects_measurements() {
+        let mut c = Circuit::new(1);
+        c.h(Qubit(0)).measure(Qubit(0), 0);
+        let _ = c.adjoint();
+    }
+
+    #[test]
+    fn extend_from_merges_classical_registers() {
+        let mut a = Circuit::new(2);
+        a.h(Qubit(0));
+        let mut b = Circuit::new(2);
+        b.measure(Qubit(1), 4);
+        a.extend_from(&b);
+        assert_eq!(a.num_clbits(), 5);
+        assert!(a.validate().is_ok());
     }
 
     #[test]

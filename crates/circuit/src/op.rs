@@ -134,9 +134,15 @@ impl Permutation {
 
 /// A lowered circuit operation.
 ///
-/// Every operation optionally carries *positive controls*: the operation is
-/// applied to the targets only on the subspace where all control qubits are
-/// in state `|1>`.
+/// Every unitary operation optionally carries *positive controls*: the
+/// operation is applied to the targets only on the subspace where all
+/// control qubits are in state `|1>`.
+///
+/// [`Measure`](Operation::Measure) and [`Reset`](Operation::Reset) are the
+/// two *non-unitary* members of the alphabet.  They make circuits *dynamic*:
+/// the state evolution after one of them depends on a sampled outcome, so
+/// such circuits are simulated trajectory-by-trajectory (see the `weaksim`
+/// crate) instead of by a single strong-simulation pass.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Operation {
     /// A (multi-)controlled single-qubit unitary.
@@ -164,6 +170,19 @@ pub enum Operation {
         /// Positive control qubits (may be empty).
         controls: Vec<Qubit>,
     },
+    /// A computational-basis measurement of one qubit, recording the outcome
+    /// into a classical bit and collapsing the state.
+    Measure {
+        /// The measured qubit.
+        qubit: Qubit,
+        /// Index of the classical bit receiving the outcome.
+        cbit: u16,
+    },
+    /// A reset of one qubit to `|0>` (measure, then flip on outcome `1`).
+    Reset {
+        /// The qubit forced back to `|0>`.
+        qubit: Qubit,
+    },
 }
 
 impl Operation {
@@ -174,6 +193,7 @@ impl Operation {
             Operation::Unitary { target, .. } => vec![*target],
             Operation::Swap { a, b, .. } => vec![*a, *b],
             Operation::Permute { permutation, .. } => permutation.qubits().to_vec(),
+            Operation::Measure { qubit, .. } | Operation::Reset { qubit } => vec![*qubit],
         }
     }
 
@@ -184,7 +204,18 @@ impl Operation {
             Operation::Unitary { controls, .. }
             | Operation::Swap { controls, .. }
             | Operation::Permute { controls, .. } => controls,
+            Operation::Measure { .. } | Operation::Reset { .. } => &[],
         }
+    }
+
+    /// Returns `true` for the non-unitary operations ([`Measure`] and
+    /// [`Reset`]) that require trajectory-style simulation.
+    ///
+    /// [`Measure`]: Operation::Measure
+    /// [`Reset`]: Operation::Reset
+    #[must_use]
+    pub fn is_non_unitary(&self) -> bool {
+        matches!(self, Operation::Measure { .. } | Operation::Reset { .. })
     }
 
     /// All qubits touched by this operation (controls and targets).
@@ -237,6 +268,8 @@ impl fmt::Display for Operation {
                 permutation.qubits().len(),
                 controls(cs)
             ),
+            Operation::Measure { qubit, cbit } => write!(f, "measure {qubit} -> c[{cbit}]"),
+            Operation::Reset { qubit } => write!(f, "reset {qubit}"),
         }
     }
 }
@@ -297,6 +330,32 @@ mod tests {
         assert_eq!(swap.targets(), vec![Qubit(4), Qubit(1)]);
         assert_eq!(swap.max_qubit(), Some(Qubit(4)));
         assert!(!swap.is_controlled());
+    }
+
+    #[test]
+    fn measure_and_reset_accessors() {
+        let m = Operation::Measure {
+            qubit: Qubit(3),
+            cbit: 1,
+        };
+        assert_eq!(m.targets(), vec![Qubit(3)]);
+        assert!(m.controls().is_empty());
+        assert!(m.is_non_unitary());
+        assert!(!m.is_controlled());
+        assert_eq!(m.max_qubit(), Some(Qubit(3)));
+        assert_eq!(m.to_string(), "measure q[3] -> c[1]");
+
+        let r = Operation::Reset { qubit: Qubit(0) };
+        assert_eq!(r.targets(), vec![Qubit(0)]);
+        assert!(r.is_non_unitary());
+        assert_eq!(r.to_string(), "reset q[0]");
+
+        let u = Operation::Unitary {
+            gate: OneQubitGate::H,
+            target: Qubit(0),
+            controls: vec![],
+        };
+        assert!(!u.is_non_unitary());
     }
 
     #[test]

@@ -8,8 +8,13 @@
 //! * declarations: `qreg`, `creg`
 //! * gates: `id, x, y, z, h, s, sdg, t, tdg, sx, sxdg, p, u1, rx, ry, rz,
 //!   cx, cz, cp, cu1, swap, cswap, ccx`
-//! * `barrier` and `measure` statements are accepted and ignored (the
-//!   simulators measure every qubit at the end of the circuit)
+//! * non-unitary statements: `measure q[i] -> c[j];` (and the broadcast form
+//!   `measure q -> c;`) become [`Operation::Measure`](crate::Operation)
+//!   operations recording into the `creg`, and `reset q[i];` / `reset q;`
+//!   become [`Operation::Reset`](crate::Operation) operations — mid-circuit
+//!   placements are preserved, which is what makes dynamic circuits
+//!   (teleportation, measure-and-reset qubit reuse) expressible
+//! * `barrier` statements are accepted and ignored
 //!
 //! Basis-state [`Permutation`](crate::Permutation) operations have no QASM
 //! counterpart; exporting a circuit containing one returns
@@ -67,10 +72,37 @@ mod tests {
                 crate::Operation::Unitary { gate, .. } => gate.name().to_string(),
                 crate::Operation::Swap { .. } => "swap".into(),
                 crate::Operation::Permute { .. } => "permute".into(),
+                crate::Operation::Measure { .. } => "measure".into(),
+                crate::Operation::Reset { .. } => "reset".into(),
             })
             .collect();
         assert_eq!(names[0], "h");
         assert_eq!(names[9], "x"); // ccx parses as controlled x
+    }
+
+    #[test]
+    fn roundtrip_preserves_measure_and_reset() {
+        let mut c = Circuit::with_name(3, "dynamic_roundtrip");
+        c.h(Qubit(0))
+            .measure(Qubit(0), 2)
+            .reset(Qubit(0))
+            .h(Qubit(0))
+            .cx(Qubit(0), Qubit(1))
+            .measure(Qubit(1), 0)
+            .measure(Qubit(2), 1);
+        let text = super::to_qasm(&c).unwrap();
+        let parsed = super::parse(&text).unwrap();
+        assert_eq!(parsed.num_qubits(), c.num_qubits());
+        assert_eq!(parsed.num_clbits(), c.num_clbits());
+        assert_eq!(parsed.operations(), c.operations());
+        assert!(parsed.is_dynamic());
+        // A second round trip is a fixed point (modulo the `// name` header,
+        // which the parser does not recover).
+        let strip_name = |t: &str| t.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(
+            strip_name(&super::to_qasm(&parsed).unwrap()),
+            strip_name(&text)
+        );
     }
 
     #[test]

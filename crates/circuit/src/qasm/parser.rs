@@ -153,23 +153,40 @@ fn eval_expr(text: &str, line: usize) -> Result<f64, ParseQasmError> {
     Ok(value)
 }
 
-/// Parses a qubit operand of the form `name[index]`.
-fn parse_operand(token: &str, line: usize, register: &str) -> Result<Qubit, ParseQasmError> {
-    let token = token.trim();
+/// Splits a `name[index]` token into its name and bracketed index text,
+/// rejecting tokens where the brackets are missing or out of order.
+fn split_indexed(token: &str, line: usize) -> Result<(&str, &str), ParseQasmError> {
     let open = token
         .find('[')
         .ok_or_else(|| err(line, format!("expected indexed operand, got '{token}'")))?;
     let close = token
         .find(']')
+        .filter(|&close| close > open)
         .ok_or_else(|| err(line, format!("missing ']' in operand '{token}'")))?;
-    let name = &token[..open];
+    Ok((&token[..open], &token[open + 1..close]))
+}
+
+/// Parses a `name[size]` register declaration body.
+fn parse_declaration(rest: &str, line: usize, what: &str) -> Result<(String, u16), ParseQasmError> {
+    let (name, size_text) =
+        split_indexed(rest, line).map_err(|_| err(line, format!("malformed {what}")))?;
+    let size: u16 = size_text
+        .parse()
+        .map_err(|_| err(line, format!("invalid {what} size")))?;
+    Ok((name.trim().to_string(), size))
+}
+
+/// Parses a qubit operand of the form `name[index]`.
+fn parse_operand(token: &str, line: usize, register: &str) -> Result<Qubit, ParseQasmError> {
+    let token = token.trim();
+    let (name, index_text) = split_indexed(token, line)?;
     if name != register {
         return Err(err(
             line,
             format!("operand register '{name}' does not match declared register '{register}'"),
         ));
     }
-    let index: u16 = token[open + 1..close]
+    let index: u16 = index_text
         .parse()
         .map_err(|_| err(line, format!("invalid qubit index in '{token}'")))?;
     Ok(Qubit(index))
@@ -198,8 +215,11 @@ fn parse_operand(token: &str, line: usize, register: &str) -> Result<Qubit, Pars
 /// # Ok::<(), circuit::qasm::ParseQasmError>(())
 /// ```
 pub fn parse(source: &str) -> Result<Circuit, ParseQasmError> {
-    let mut circuit: Option<Circuit> = None;
-    let mut register = String::from("q");
+    let mut state = ParserState {
+        circuit: None,
+        register: String::from("q"),
+        creg: None,
+    };
 
     // Statements are ';'-terminated; track line numbers for diagnostics.
     let mut line_no = 1usize;
@@ -215,34 +235,71 @@ pub fn parse(source: &str) -> Result<Circuit, ParseQasmError> {
             if stmt.is_empty() {
                 continue;
             }
-            parse_statement(stmt, current_line, &mut circuit, &mut register)?;
+            parse_statement(stmt, current_line, &mut state)?;
         }
     }
 
-    circuit.ok_or_else(|| err(line_no, "no qreg declaration found"))
+    state
+        .circuit
+        .ok_or_else(|| err(line_no, "no qreg declaration found"))
 }
 
-fn parse_statement(
-    stmt: &str,
-    line: usize,
-    circuit: &mut Option<Circuit>,
-    register: &mut String,
-) -> Result<(), ParseQasmError> {
+/// Mutable parsing context threaded through the statements.
+struct ParserState {
+    circuit: Option<Circuit>,
+    /// The declared quantum register name.
+    register: String,
+    /// The declared classical register, if any: `(name, size)`.
+    creg: Option<(String, u16)>,
+}
+
+/// Parses a `name[index]` classical-bit operand against the declared creg.
+fn parse_cbit(token: &str, line: usize, creg: &(String, u16)) -> Result<u16, ParseQasmError> {
+    let token = token.trim();
+    let (name, size) = creg;
+    let (operand_name, index_text) = split_indexed(token, line).map_err(|_| {
+        err(
+            line,
+            format!("expected indexed classical operand, got '{token}'"),
+        )
+    })?;
+    if operand_name != name {
+        return Err(err(
+            line,
+            format!("classical register '{operand_name}' does not match declared creg '{name}'"),
+        ));
+    }
+    let index: u16 = index_text
+        .parse()
+        .map_err(|_| err(line, format!("invalid classical bit index in '{token}'")))?;
+    if index >= *size {
+        return Err(err(
+            line,
+            format!("classical bit index {index} outside creg {name}[{size}]"),
+        ));
+    }
+    Ok(index)
+}
+
+fn parse_statement(stmt: &str, line: usize, state: &mut ParserState) -> Result<(), ParseQasmError> {
     let (head, rest) = match stmt.find(|c: char| c.is_whitespace() || c == '(') {
         Some(pos) => (&stmt[..pos], stmt[pos..].trim_start()),
         None => (stmt, ""),
     };
 
+    // Disjoint borrows of the parser state, so statement handlers can read
+    // the register names while mutating the circuit without cloning.
+    let ParserState {
+        circuit: parsed_circuit,
+        register,
+        creg: parsed_creg,
+    } = state;
+
     match head {
-        "OPENQASM" | "include" | "barrier" | "creg" => Ok(()),
+        "OPENQASM" | "include" | "barrier" => Ok(()),
         "qreg" => {
-            let open = rest.find('[').ok_or_else(|| err(line, "malformed qreg"))?;
-            let close = rest.find(']').ok_or_else(|| err(line, "malformed qreg"))?;
-            let name = rest[..open].trim().to_string();
-            let size: u16 = rest[open + 1..close]
-                .parse()
-                .map_err(|_| err(line, "invalid qreg size"))?;
-            if let Some(existing) = circuit {
+            let (name, size) = parse_declaration(rest, line, "qreg")?;
+            if let Some(existing) = parsed_circuit {
                 return Err(err(
                     line,
                     format!(
@@ -252,14 +309,100 @@ fn parse_statement(
                 ));
             }
             *register = name;
-            *circuit = Some(Circuit::new(size));
+            let mut circuit = Circuit::new(size);
+            if let Some((_, creg_size)) = parsed_creg {
+                circuit.set_num_clbits(*creg_size);
+            }
+            *parsed_circuit = Some(circuit);
             Ok(())
         }
-        "measure" => Ok(()),
-        _ => {
-            let circuit = circuit
+        "creg" => {
+            let (name, size) = parse_declaration(rest, line, "creg")?;
+            if parsed_creg.is_some() {
+                return Err(err(line, "multiple creg declarations are not supported"));
+            }
+            if let Some(circuit) = parsed_circuit.as_mut() {
+                circuit.set_num_clbits(size);
+            }
+            *parsed_creg = Some((name, size));
+            Ok(())
+        }
+        "measure" => {
+            let (qubit_text, cbit_text) = rest
+                .split_once("->")
+                .ok_or_else(|| err(line, "measure statement requires 'qubit -> clbit'"))?;
+            let qubit_text = qubit_text.trim();
+            let cbit_text = cbit_text.trim();
+            let creg = parsed_creg
+                .as_ref()
+                .ok_or_else(|| err(line, "measure statement before creg declaration"))?;
+            let circuit = parsed_circuit
                 .as_mut()
-                .ok_or_else(|| err(line, "gate statement before qreg declaration"))?;
+                .ok_or_else(|| err(line, "statement before qreg declaration"))?;
+            if qubit_text.contains('[') {
+                let qubit = parse_operand(qubit_text, line, register)?;
+                let cbit = parse_cbit(cbit_text, line, creg)?;
+                circuit.measure(qubit, cbit);
+            } else {
+                // Broadcast form `measure q -> c;`: qubit k into clbit k.
+                if qubit_text != register {
+                    return Err(err(
+                        line,
+                        format!(
+                            "operand register '{qubit_text}' does not match declared register '{register}'"
+                        ),
+                    ));
+                }
+                if cbit_text != creg.0 {
+                    return Err(err(
+                        line,
+                        format!(
+                            "classical register '{cbit_text}' does not match declared creg '{}'",
+                            creg.0
+                        ),
+                    ));
+                }
+                if creg.1 < circuit.num_qubits() {
+                    return Err(err(
+                        line,
+                        format!(
+                            "broadcast measure needs creg size >= {} qubits, got {}",
+                            circuit.num_qubits(),
+                            creg.1
+                        ),
+                    ));
+                }
+                circuit.measure_all();
+            }
+            Ok(())
+        }
+        "reset" => {
+            let circuit = parsed_circuit
+                .as_mut()
+                .ok_or_else(|| err(line, "statement before qreg declaration"))?;
+            let target = rest.trim();
+            if target.contains('[') {
+                let qubit = parse_operand(target, line, register)?;
+                circuit.reset(qubit);
+            } else {
+                if target != register {
+                    return Err(err(
+                        line,
+                        format!(
+                            "operand register '{target}' does not match declared register '{register}'"
+                        ),
+                    ));
+                }
+                for q in 0..circuit.num_qubits() {
+                    circuit.reset(Qubit(q));
+                }
+            }
+            Ok(())
+        }
+        _ => {
+            let circuit = parsed_circuit
+                .as_mut()
+                .ok_or_else(|| err(line, "statement before qreg declaration"))?;
             parse_gate(stmt, line, circuit, register)
         }
     }
@@ -406,11 +549,103 @@ mod tests {
     use crate::Operation;
 
     #[test]
-    fn parses_bell_circuit() {
+    fn parses_bell_circuit_with_terminal_measurement() {
         let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\nmeasure q -> c;\n";
         let c = parse(src).unwrap();
         assert_eq!(c.num_qubits(), 2);
-        assert_eq!(c.len(), 2);
+        assert_eq!(c.num_clbits(), 2);
+        // h, cx, plus one broadcast measurement per qubit.
+        assert_eq!(c.len(), 4);
+        assert!(c.has_measurements());
+        assert!(!c.is_dynamic());
+        let (prefix, mapping) = c.split_terminal_measurements().unwrap();
+        assert_eq!(prefix.len(), 2);
+        assert_eq!(mapping, vec![(Qubit(0), 0), (Qubit(1), 1)]);
+    }
+
+    #[test]
+    fn parses_mid_circuit_measure_and_reset() {
+        let src = "qreg q[2];\ncreg c[2];\nh q[0];\nmeasure q[0] -> c[1];\nreset q[0];\nh q[0];\nmeasure q[0] -> c[0];\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.len(), 5);
+        assert!(c.is_dynamic());
+        assert_eq!(c.num_clbits(), 2);
+        match &c.operations()[1] {
+            Operation::Measure { qubit, cbit } => {
+                assert_eq!(*qubit, Qubit(0));
+                assert_eq!(*cbit, 1);
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+        assert!(matches!(
+            c.operations()[2],
+            Operation::Reset { qubit: Qubit(0) }
+        ));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn reset_broadcast_covers_every_qubit() {
+        let c = parse("qreg q[3]; reset q;").unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(c
+            .operations()
+            .iter()
+            .all(|op| matches!(op, Operation::Reset { .. })));
+    }
+
+    #[test]
+    fn creg_before_qreg_is_honoured() {
+        let c = parse("creg c[3]; qreg q[2]; measure q[1] -> c[2];").unwrap();
+        assert_eq!(c.num_clbits(), 3);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn measure_without_creg_is_rejected() {
+        let e = parse("qreg q[1]; measure q[0] -> c[0];").unwrap_err();
+        assert!(e.message.contains("before creg"));
+    }
+
+    #[test]
+    fn measure_rejects_out_of_range_clbit() {
+        let e = parse("qreg q[1]; creg c[1]; measure q[0] -> c[4];").unwrap_err();
+        assert!(e.message.contains("outside creg"));
+    }
+
+    #[test]
+    fn measure_rejects_mismatched_registers() {
+        let e = parse("qreg q[1]; creg c[1]; measure q[0] -> d[0];").unwrap_err();
+        assert!(e.message.contains("does not match declared creg"));
+        let e = parse("qreg q[2]; creg c[1]; measure q -> c;").unwrap_err();
+        assert!(e.message.contains("creg size"));
+    }
+
+    #[test]
+    fn duplicate_creg_is_rejected() {
+        let e = parse("qreg q[1]; creg c[1]; creg d[1];").unwrap_err();
+        assert!(e.message.contains("multiple creg"));
+    }
+
+    #[test]
+    fn out_of_order_brackets_error_instead_of_panicking() {
+        // `]` before `[` used to slice with start > end and panic.
+        for src in [
+            "creg c]1[4]; qreg q[2];",
+            "qreg q]1[4];",
+            "qreg q[2]; h q]0[;",
+            "qreg q[1]; creg c[1]; measure q[0] -> c]0[;",
+            "qreg q[2]; reset q]0[;",
+        ] {
+            let e = parse(src).unwrap_err();
+            assert!(
+                e.message.contains("malformed")
+                    || e.message.contains("missing ']'")
+                    || e.message.contains("expected indexed"),
+                "unexpected message for {src:?}: {}",
+                e.message
+            );
+        }
     }
 
     #[test]

@@ -55,6 +55,14 @@ fn gate_call(gate: &OneQubitGate) -> String {
 
 /// Serialises a circuit to OpenQASM 2.0 text.
 ///
+/// Explicit [`Operation::Measure`] and [`Operation::Reset`] operations are
+/// written in place (`measure q[i] -> c[j];` / `reset q[i];`), and a `creg`
+/// declaration is emitted whenever the circuit has classical bits.  A
+/// circuit without measurements is written as a pure gate sequence — the
+/// simulators of this workspace measure every qubit at the end implicitly,
+/// so the round trip [`parse`](super::parse)∘[`to_qasm`] preserves the
+/// operation list exactly.
+///
 /// # Errors
 ///
 /// Returns [`WriteQasmError::UnsupportedOperation`] for operations outside
@@ -77,7 +85,9 @@ pub fn to_qasm(circuit: &Circuit) -> Result<String, WriteQasmError> {
     let _ = writeln!(out, "OPENQASM 2.0;");
     let _ = writeln!(out, "include \"qelib1.inc\";");
     let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
-    let _ = writeln!(out, "creg c[{}];", circuit.num_qubits());
+    if circuit.num_clbits() > 0 {
+        let _ = writeln!(out, "creg c[{}];", circuit.num_clbits());
+    }
 
     for (op_index, op) in circuit.operations().iter().enumerate() {
         let unsupported = |description: &str| WriteQasmError::UnsupportedOperation {
@@ -154,9 +164,14 @@ pub fn to_qasm(circuit: &Circuit) -> Result<String, WriteQasmError> {
                     "basis-state permutations have no OpenQASM representation",
                 ))
             }
+            Operation::Measure { qubit, cbit } => {
+                let _ = writeln!(out, "measure {} -> c[{cbit}];", q(*qubit));
+            }
+            Operation::Reset { qubit } => {
+                let _ = writeln!(out, "reset {};", q(*qubit));
+            }
         }
     }
-    let _ = writeln!(out, "measure q -> c;");
     Ok(out)
 }
 
@@ -171,9 +186,27 @@ mod tests {
         let text = to_qasm(&c).unwrap();
         assert!(text.contains("OPENQASM 2.0;"));
         assert!(text.contains("qreg q[4];"));
-        assert!(text.contains("creg c[4];"));
         assert!(text.contains("// header_test"));
-        assert!(text.contains("measure q -> c;"));
+        // No measurements and no classical bits: no creg, no measure.
+        assert!(!text.contains("creg"));
+        assert!(!text.contains("measure"));
+    }
+
+    #[test]
+    fn measure_and_reset_are_emitted_in_place() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0))
+            .measure(Qubit(0), 1)
+            .reset(Qubit(0))
+            .h(Qubit(0))
+            .measure(Qubit(1), 0);
+        let text = to_qasm(&c).unwrap();
+        assert!(text.contains("creg c[2];"));
+        let h = text.find("h q[0];").unwrap();
+        let m = text.find("measure q[0] -> c[1];").unwrap();
+        let r = text.find("reset q[0];").unwrap();
+        assert!(h < m && m < r, "statements must appear in program order");
+        assert!(text.contains("measure q[1] -> c[0];"));
     }
 
     #[test]

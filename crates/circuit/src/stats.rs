@@ -56,6 +56,8 @@ impl CircuitStats {
                 Operation::Unitary { gate, .. } => gate.name().to_string(),
                 Operation::Swap { .. } => "swap".to_string(),
                 Operation::Permute { .. } => "permute".to_string(),
+                Operation::Measure { .. } => "measure".to_string(),
+                Operation::Reset { .. } => "reset".to_string(),
             };
             *stats.counts.entry(mnemonic).or_insert(0) += 1;
 
@@ -137,6 +139,20 @@ mod tests {
             c.h(Qubit(0));
         }
         assert_eq!(c.stats().depth, 5);
+    }
+
+    #[test]
+    fn measure_and_reset_are_counted() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0))
+            .measure(Qubit(0), 0)
+            .reset(Qubit(0))
+            .h(Qubit(0))
+            .measure(Qubit(0), 1);
+        let s = c.stats();
+        assert_eq!(s.counts["measure"], 2);
+        assert_eq!(s.counts["reset"], 1);
+        assert_eq!(s.depth, 5);
     }
 
     #[test]

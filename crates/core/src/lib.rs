@@ -8,12 +8,45 @@
 //!   ([`Backend::DecisionDiagram`] or [`Backend::StateVector`]) and draw
 //!   measurement samples that are statistically indistinguishable from an
 //!   error-free quantum computer;
+//! * [`trajectory`] — per-shot simulation of *dynamic* circuits
+//!   (mid-circuit measurement and reset), with prefix-tree caching on the
+//!   decision-diagram backend;
 //! * [`ShotHistogram`] — aggregated samples with bitstring formatting;
 //! * [`stats`] — chi-square goodness-of-fit and total-variation-distance
 //!   checks used to validate the "statistically indistinguishable" claim;
 //! * [`experiment`] — the harness that regenerates Table I of the paper
 //!   (per-benchmark representation sizes and sampling times for both
 //!   backends).
+//!
+//! # Static-vs-dynamic routing
+//!
+//! [`WeakSimulator::run`] classifies the circuit once
+//! ([`circuit::Circuit::is_dynamic`]):
+//!
+//! * a circuit whose only non-unitary content is a *trailing* block of
+//!   `measure` operations (or none at all) is **static**: it is strong-
+//!   simulated once and sampled with the one-pass batched sampler of the
+//!   paper, the trailing measurements reduced to a bit-relabelling of the
+//!   sampled strings — so dynamic-circuit support costs the classic hot
+//!   path nothing;
+//! * a circuit with a measurement followed by more gates, or any `reset`,
+//!   is **dynamic** and runs trajectory-by-trajectory: collapse at each
+//!   event, evolve the suffix, record classical bits.  The decision-diagram
+//!   engine caches evolved states, branch masses and compiled terminal
+//!   samplers per outcome prefix, so only the first shot down a given
+//!   prefix pays for decision-diagram arithmetic and sampler recompilation
+//!   of the changed suffix.
+//!
+//! # Trajectory seeding
+//!
+//! Every batched sampler in the workspace — the static
+//! [`dd::CompiledSampler`] batches and the dynamic trajectory engine —
+//! derives per-chunk RNG streams from the same scheme: shots are split into
+//! fixed chunks of [`dd::PARALLEL_CHUNK_SHOTS`], and chunk `i` seeds a
+//! dedicated xoshiro256++ generator with
+//! [`dd::chunk_stream_seed`]`(master_seed, i)` (one SplitMix64 step over
+//! the pair).  Worker threads only choose *which* chunks they run, so
+//! histograms are bit-identical for a given seed on 1 thread or 128.
 //!
 //! # Quick start
 //!
@@ -39,6 +72,10 @@ pub mod experiment;
 mod shots;
 mod simulator;
 pub mod stats;
+pub mod trajectory;
 
 pub use shots::ShotHistogram;
 pub use simulator::{Backend, RunError, RunOutcome, StrongState, WeakSimulator};
+pub use trajectory::{
+    simulate_trajectories, simulate_trajectories_with_threads, TrajectoryOutcome,
+};

@@ -71,6 +71,23 @@ impl ShotHistogram {
         self.shots += outcomes.len() as u64;
     }
 
+    /// Merges another histogram into this one (used to combine the
+    /// per-worker histograms of parallel trajectory simulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms record outcomes of different widths.
+    pub fn merge(&mut self, other: &ShotHistogram) {
+        assert_eq!(
+            self.num_qubits, other.num_qubits,
+            "cannot merge histograms of different outcome widths"
+        );
+        for (&outcome, &count) in &other.counts {
+            *self.counts.entry(outcome).or_insert(0) += count;
+        }
+        self.shots += other.shots;
+    }
+
     /// The number of qubits per outcome.
     #[must_use]
     pub fn num_qubits(&self) -> u16 {
@@ -200,6 +217,23 @@ mod tests {
         assert_eq!(bulk.shots(), 6);
         bulk.record_many(&[]);
         assert_eq!(bulk.shots(), 6);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_shots() {
+        let mut a = ShotHistogram::from_samples(2, [0, 1, 1].into_iter());
+        let b = ShotHistogram::from_samples(2, [1, 3].into_iter());
+        a.merge(&b);
+        assert_eq!(a.shots(), 5);
+        assert_eq!(a.count(1), 3);
+        assert_eq!(a.count(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different outcome widths")]
+    fn merge_rejects_mismatched_widths() {
+        let mut a = ShotHistogram::new(2);
+        a.merge(&ShotHistogram::new(3));
     }
 
     #[test]

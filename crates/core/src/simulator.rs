@@ -1,12 +1,29 @@
 //! The unified weak-simulation front end.
+//!
+//! # Static vs. dynamic routing
+//!
+//! [`WeakSimulator::run`] inspects the circuit once:
+//!
+//! * **Static** circuits (no mid-circuit measurement, no reset — see
+//!   [`Circuit::is_dynamic`]) go through strong simulation followed by the
+//!   one-pass batched sampler, exactly as in the paper.  A trailing block of
+//!   `measure` operations is allowed: it is split off and applied as a
+//!   qubit→classical-bit relabelling of the sampled bitstrings, so circuits
+//!   imported from QASM with a terminal `measure q -> c;` stay on the fast
+//!   path.
+//! * **Dynamic** circuits are handed to the [`trajectory`](crate::trajectory)
+//!   engine, which simulates shot-by-shot with collapse at each measurement
+//!   or reset, reusing the same SplitMix64 chunk-seeding scheme so the
+//!   result is seed-deterministic independent of the worker-thread count.
 
 use crate::ShotHistogram;
-use circuit::Circuit;
-use dd::{CompiledSampler, DdPackage, StateDd};
+use circuit::{Circuit, Qubit};
+use dd::{CompiledSampler, DdPackage, StateDd, PARALLEL_CHUNK_SHOTS};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use statevector::{MemoryBudget, PrefixSampler, StateVector};
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// The simulation backend used for strong simulation and sampling.
@@ -44,6 +61,14 @@ pub enum RunError {
         /// Bytes the amplitude array would need.
         required_bytes: u128,
     },
+    /// Strong simulation was requested for a dynamic circuit: the state
+    /// after a mid-circuit measurement or reset depends on sampled outcomes,
+    /// so there is no single final state.  Use [`WeakSimulator::run`], which
+    /// routes dynamic circuits through the trajectory engine.
+    DynamicCircuit {
+        /// Index of the first non-unitary operation.
+        op_index: usize,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -56,6 +81,10 @@ impl fmt::Display for RunError {
             } => write!(
                 f,
                 "memory out: a {num_qubits}-qubit dense state vector needs {required_bytes} bytes"
+            ),
+            RunError::DynamicCircuit { op_index } => write!(
+                f,
+                "operation {op_index} is a mid-circuit measurement/reset; strong simulation is undefined for dynamic circuits (use run, which simulates trajectories)"
             ),
         }
     }
@@ -75,6 +104,9 @@ impl From<statevector::SimulateError> for RunError {
                 num_qubits,
                 required_bytes,
             },
+            statevector::SimulateError::NonUnitaryOperation { op_index } => {
+                RunError::DynamicCircuit { op_index }
+            }
         }
     }
 }
@@ -83,12 +115,17 @@ impl From<dd::ApplyError> for RunError {
     fn from(e: dd::ApplyError) -> Self {
         match e {
             dd::ApplyError::InvalidCircuit(e) => RunError::InvalidCircuit(e),
+            dd::ApplyError::NonUnitaryOperation { op_index } => {
+                RunError::DynamicCircuit { op_index }
+            }
         }
     }
 }
 
 /// The result of strong simulation, kept so repeated sampling does not redo
-/// the expensive part.
+/// the expensive part — neither the strong simulation itself nor, for the
+/// decision-diagram backend, the sampler compilation (cached lazily in
+/// `compiled` on first use).
 #[derive(Debug)]
 pub enum StrongState {
     /// A decision-diagram state together with its owning package.
@@ -97,6 +134,11 @@ pub enum StrongState {
         package: Box<DdPackage>,
         /// The final state.
         state: StateDd,
+        /// The compiled sampler, built on the first [`WeakSimulator::sample`]
+        /// call and reused by every later one (compilation is the expensive
+        /// downstream-probability + arena pass, so it must happen once per
+        /// state, not once per call).
+        compiled: OnceLock<CompiledSampler>,
     },
     /// A dense state vector.
     StateVector(StateVector),
@@ -116,7 +158,9 @@ impl StrongState {
     #[must_use]
     pub fn probability(&self, index: u64) -> f64 {
         match self {
-            StrongState::DecisionDiagram { package, state } => state.probability(package, index),
+            StrongState::DecisionDiagram { package, state, .. } => {
+                state.probability(package, index)
+            }
             StrongState::StateVector(v) => v.probability(index),
         }
     }
@@ -126,7 +170,9 @@ impl StrongState {
     #[must_use]
     pub fn representation_size(&self) -> u128 {
         match self {
-            StrongState::DecisionDiagram { package, state } => state.node_count(package) as u128,
+            StrongState::DecisionDiagram { package, state, .. } => {
+                state.node_count(package) as u128
+            }
             StrongState::StateVector(v) => v.len() as u128,
         }
     }
@@ -137,19 +183,25 @@ impl StrongState {
 pub struct RunOutcome {
     /// The backend that produced this outcome.
     pub backend: Backend,
-    /// Aggregated measurement samples.
+    /// Aggregated samples: full-register measurements for circuits without
+    /// explicit `measure` operations, classical-register values otherwise.
     pub histogram: ShotHistogram,
-    /// Time spent on strong simulation (not reported in Table I, but useful).
+    /// Time spent on strong simulation (not reported in Table I, but useful;
+    /// zero for trajectory runs, where strong and weak simulation
+    /// interleave).
     pub strong_time: Duration,
-    /// Time spent on the sampling precomputation (prefix sums or downstream
-    /// probabilities).
+    /// Time spent on the sampling precomputation (prefix sums, downstream
+    /// probabilities or trajectory planning).
     pub precompute_time: Duration,
-    /// Time spent drawing the samples.
+    /// Time spent drawing the samples (for dynamic circuits: running the
+    /// trajectories).
     pub sampling_time: Duration,
-    /// Representation size (DD nodes or dense amplitudes).
+    /// Representation size (DD nodes or dense amplitudes; for trajectory
+    /// runs the peak over the cached per-trajectory states).
     pub representation_size: u128,
-    /// The final strong-simulation state, for follow-up queries.
-    pub state: StrongState,
+    /// The final strong-simulation state, for follow-up queries.  `None`
+    /// for dynamic circuits, whose final state differs per trajectory.
+    pub state: Option<StrongState>,
 }
 
 impl RunOutcome {
@@ -158,6 +210,19 @@ impl RunOutcome {
     #[must_use]
     pub fn weak_time(&self) -> Duration {
         self.precompute_time + self.sampling_time
+    }
+
+    /// The strong-simulation state of a static run.
+    ///
+    /// # Panics
+    ///
+    /// Panics for trajectory (dynamic-circuit) runs, which have no single
+    /// final state.
+    #[must_use]
+    pub fn strong(&self) -> &StrongState {
+        self.state
+            .as_ref()
+            .expect("dynamic-circuit runs have no single final state")
     }
 }
 
@@ -211,14 +276,20 @@ impl WeakSimulator {
     ///
     /// # Errors
     ///
-    /// Returns [`RunError::InvalidCircuit`] for malformed circuits and
-    /// [`RunError::MemoryOut`] when the dense backend exceeds its budget.
+    /// Returns [`RunError::InvalidCircuit`] for malformed circuits,
+    /// [`RunError::MemoryOut`] when the dense backend exceeds its budget and
+    /// [`RunError::DynamicCircuit`] for circuits containing mid-circuit
+    /// measurement or reset (their final state is trajectory-dependent).
     pub fn strong(&self, circuit: &Circuit) -> Result<StrongState, RunError> {
         match self.backend {
             Backend::DecisionDiagram => {
                 let mut package = Box::new(DdPackage::new());
                 let state = dd::simulate(&mut package, circuit)?;
-                Ok(StrongState::DecisionDiagram { package, state })
+                Ok(StrongState::DecisionDiagram {
+                    package,
+                    state,
+                    compiled: OnceLock::new(),
+                })
             }
             Backend::StateVector => {
                 let state = statevector::simulate_with_budget(circuit, self.memory_budget)?;
@@ -227,8 +298,15 @@ impl WeakSimulator {
         }
     }
 
-    /// Runs strong simulation followed by `shots` measurement samples drawn
-    /// with a deterministic RNG seeded by `seed`.
+    /// Runs weak simulation: `shots` measurement samples drawn with a
+    /// deterministic RNG seeded by `seed`.
+    ///
+    /// Static circuits (including those ending in a trailing `measure`
+    /// block) go through one strong simulation followed by batched sampling;
+    /// dynamic circuits (mid-circuit measurement or reset — see
+    /// [`Circuit::is_dynamic`]) are simulated trajectory-by-trajectory via
+    /// [`crate::trajectory`].  Either way the histogram is seed-deterministic
+    /// independent of the worker-thread count.
     ///
     /// # Errors
     ///
@@ -240,10 +318,60 @@ impl WeakSimulator {
         shots: u64,
         seed: u64,
     ) -> Result<RunOutcome, RunError> {
+        // Validate the *whole* circuit up front: the static path below only
+        // strong-simulates the unitary prefix, which would let a malformed
+        // trailing measurement block slip through unchecked.
+        circuit.validate().map_err(RunError::InvalidCircuit)?;
+
+        // Measure-free circuits — every classic benchmark — skip the
+        // prefix-splitting clone entirely.
+        if !circuit.is_dynamic() && !circuit.has_measurements() {
+            let strong_start = Instant::now();
+            let state = self.strong(circuit)?;
+            let strong_time = strong_start.elapsed();
+            let (histogram, precompute_time, sampling_time) =
+                Self::sample_with_record(&state, shots, seed, None);
+            return Ok(RunOutcome {
+                backend: self.backend,
+                representation_size: state.representation_size(),
+                histogram,
+                strong_time,
+                precompute_time,
+                sampling_time,
+                state: Some(state),
+            });
+        }
+
+        let Some((prefix, mapping)) = circuit.split_terminal_measurements() else {
+            let outcome = crate::trajectory::run_trajectories(
+                self.backend,
+                circuit,
+                shots,
+                seed,
+                rayon::current_num_threads(),
+                self.memory_budget,
+            )?;
+            return Ok(RunOutcome {
+                backend: self.backend,
+                representation_size: outcome.representation_size,
+                histogram: outcome.histogram,
+                strong_time: Duration::ZERO,
+                precompute_time: outcome.precompute_time,
+                sampling_time: outcome.sampling_time,
+                state: None,
+            });
+        };
+
         let strong_start = Instant::now();
-        let state = self.strong(circuit)?;
+        let state = self.strong(&prefix)?;
         let strong_time = strong_start.elapsed();
-        let (histogram, precompute_time, sampling_time) = Self::sample(&state, shots, seed);
+        let record = if mapping.is_empty() {
+            None
+        } else {
+            Some((mapping.as_slice(), circuit.num_clbits()))
+        };
+        let (histogram, precompute_time, sampling_time) =
+            Self::sample_with_record(&state, shots, seed, record);
         Ok(RunOutcome {
             backend: self.backend,
             representation_size: state.representation_size(),
@@ -251,38 +379,81 @@ impl WeakSimulator {
             strong_time,
             precompute_time,
             sampling_time,
-            state,
+            state: Some(state),
         })
     }
 
     /// Draws `shots` samples from an already strong-simulated state.
     ///
     /// Returns the histogram together with the precomputation time (prefix
-    /// sums or sampler compilation) and the pure sampling time.
+    /// sums or sampler compilation) and the pure sampling time.  On the
+    /// decision-diagram backend the compiled sampler is cached inside the
+    /// [`StrongState`], so only the first call on a state pays the
+    /// compilation; later calls report a (near-)zero precompute time.
     ///
-    /// The decision-diagram path compiles the state into a
-    /// [`CompiledSampler`] and draws the batch on every available worker
+    /// The decision-diagram path draws the batch on every available worker
     /// thread; the output is deterministic for a given `seed` regardless of
     /// the thread count (see the `dd` crate docs for the seeding scheme).
+    /// Shot counts are drawn in bounded batches, so any `u64` count works
+    /// even where `usize` is 32 bits.
     #[must_use]
     pub fn sample(
         state: &StrongState,
         shots: u64,
         seed: u64,
     ) -> (ShotHistogram, Duration, Duration) {
+        Self::sample_with_record(state, shots, seed, None)
+    }
+
+    /// [`sample`](Self::sample), optionally relabelling each sampled
+    /// bitstring through a trailing-measurement `(qubit, cbit)` mapping into
+    /// a `width`-bit classical record.
+    fn sample_with_record(
+        state: &StrongState,
+        shots: u64,
+        seed: u64,
+        record: Option<(&[(Qubit, u16)], u16)>,
+    ) -> (ShotHistogram, Duration, Duration) {
+        let width = record.map_or(state.num_qubits(), |(_, width)| width);
+        let mut histogram = ShotHistogram::new(width);
         match state {
-            StrongState::DecisionDiagram { package, state } => {
+            StrongState::DecisionDiagram {
+                package,
+                state,
+                compiled,
+            } => {
                 let precompute_start = Instant::now();
-                let sampler = CompiledSampler::new(package, state);
+                let sampler = compiled.get_or_init(|| CompiledSampler::new(package, state));
                 let precompute_time = precompute_start.elapsed();
 
+                // Draw in batches of a whole number of parallel chunks:
+                // stitching consecutive `sample_batch_parallel` calls with
+                // advancing chunk offsets reproduces one giant call exactly,
+                // while each allocation stays comfortably inside `usize`
+                // even on 32-bit targets.
+                const BATCH_CHUNKS: u64 = 1024;
+                let batch_shots = BATCH_CHUNKS * PARALLEL_CHUNK_SHOTS as u64;
+                let threads = rayon::current_num_threads();
                 let sampling_start = Instant::now();
-                let samples = sampler.sample_many_parallel(
-                    seed,
-                    usize::try_from(shots).expect("shot count fits in usize"),
-                );
-                let mut histogram = ShotHistogram::new(state.num_qubits());
-                histogram.record_many(&samples);
+                let mut drawn = 0u64;
+                while drawn < shots {
+                    let batch = (shots - drawn).min(batch_shots);
+                    let samples = sampler.sample_batch_parallel(
+                        seed,
+                        drawn / PARALLEL_CHUNK_SHOTS as u64,
+                        usize::try_from(batch).expect("batch bounded to fit usize"),
+                        threads,
+                    );
+                    match record {
+                        None => histogram.record_many(&samples),
+                        Some((mapping, _)) => {
+                            for sample in samples {
+                                histogram.record(map_terminal_record(sample, mapping));
+                            }
+                        }
+                    }
+                    drawn += batch;
+                }
                 (histogram, precompute_time, sampling_start.elapsed())
             }
             StrongState::StateVector(vector) => {
@@ -292,14 +463,31 @@ impl WeakSimulator {
                 let precompute_time = precompute_start.elapsed();
 
                 let sampling_start = Instant::now();
-                let mut histogram = ShotHistogram::new(vector.num_qubits());
                 for _ in 0..shots {
-                    histogram.record(sampler.sample(&mut rng));
+                    let sample = sampler.sample(&mut rng);
+                    match record {
+                        None => histogram.record(sample),
+                        Some((mapping, _)) => {
+                            histogram.record(map_terminal_record(sample, mapping));
+                        }
+                    }
                 }
                 (histogram, precompute_time, sampling_start.elapsed())
             }
         }
     }
+}
+
+/// Relabels a full-register sample through the trailing-measurement mapping:
+/// classical bit `c` receives the sampled value of qubit `q` for every
+/// `(q, c)` pair, later pairs overwriting earlier ones.
+fn map_terminal_record(sample: u64, mapping: &[(Qubit, u16)]) -> u64 {
+    let mut out = 0u64;
+    for &(qubit, cbit) in mapping {
+        let bit = ((sample >> qubit.0) & 1) as u8;
+        out = crate::trajectory::record_bit(out, cbit, bit);
+    }
+    out
 }
 
 impl Default for WeakSimulator {
@@ -375,7 +563,7 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.representation_size, 10); // product state: 1 node/qubit
         assert!(outcome.weak_time() >= outcome.sampling_time);
-        assert_eq!(outcome.state.num_qubits(), 10);
+        assert_eq!(outcome.strong().num_qubits(), 10);
         let sv = WeakSimulator::new(Backend::StateVector)
             .run(&circuit, 100, 7)
             .unwrap();
@@ -411,5 +599,135 @@ mod tests {
     fn backend_display_names() {
         assert_eq!(Backend::DecisionDiagram.to_string(), "DD-based");
         assert_eq!(Backend::StateVector.to_string(), "vector-based");
+    }
+
+    #[test]
+    fn repeated_sampling_reuses_the_compiled_sampler() {
+        let circuit = algorithms::ghz(8);
+        let state = WeakSimulator::new(Backend::DecisionDiagram)
+            .strong(&circuit)
+            .unwrap();
+        let (first_hist, _, _) = WeakSimulator::sample(&state, 2000, 5);
+        // The compiled sampler is now cached inside the state.
+        let StrongState::DecisionDiagram { compiled, .. } = &state else {
+            panic!("DD backend produced a non-DD state");
+        };
+        assert!(compiled.get().is_some(), "first sample call must compile");
+        let node_count = compiled.get().unwrap().node_count();
+        let (second_hist, _, _) = WeakSimulator::sample(&state, 2000, 5);
+        assert_eq!(first_hist, second_hist, "same seed, same samples");
+        assert_eq!(
+            compiled.get().unwrap().node_count(),
+            node_count,
+            "the cached sampler must be reused, not rebuilt"
+        );
+    }
+
+    #[test]
+    fn trailing_measurements_stay_on_the_static_path_and_relabel_bits() {
+        // GHZ with the measurement order swapped: c0 <- q1, c1 <- q0, and
+        // qubit 2 never read.  Records are 2 bits wide, only 00 and 11 occur.
+        let mut circuit = algorithms::ghz(3);
+        circuit.measure(Qubit(1), 0).measure(Qubit(0), 1);
+        assert!(!circuit.is_dynamic());
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let outcome = WeakSimulator::new(backend).run(&circuit, 4000, 9).unwrap();
+            assert_eq!(outcome.histogram.num_qubits(), 2);
+            assert!(outcome
+                .histogram
+                .counts()
+                .keys()
+                .all(|&k| k == 0 || k == 0b11));
+            assert!((outcome.histogram.frequency(0) - 0.5).abs() < 0.03);
+            // The static path keeps the pre-measurement strong state.
+            assert_eq!(outcome.strong().num_qubits(), 3);
+        }
+    }
+
+    #[test]
+    fn dynamic_circuits_route_through_the_trajectory_engine() {
+        let mut circuit = Circuit::new(2);
+        circuit
+            .h(Qubit(0))
+            .measure(Qubit(0), 0)
+            // Copy the collapsed value onto qubit 1, then read it out.
+            .cx(Qubit(0), Qubit(1))
+            .measure(Qubit(1), 1);
+        assert!(circuit.is_dynamic());
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let outcome = WeakSimulator::new(backend).run(&circuit, 4000, 21).unwrap();
+            assert!(outcome.state.is_none(), "trajectory runs keep no state");
+            // Both bits always agree: only records 00 and 11.
+            assert!(outcome
+                .histogram
+                .counts()
+                .keys()
+                .all(|&k| k == 0 || k == 0b11));
+            assert!((outcome.histogram.frequency(0b11) - 0.5).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn run_validates_the_trailing_measurement_block() {
+        // The static path strong-simulates only the unitary prefix; a bad
+        // qubit or clbit in the terminal measure block must still error
+        // instead of silently producing a zero bit.
+        let mut bad_qubit = Circuit::new(2);
+        bad_qubit.h(Qubit(0)).measure(Qubit(5), 0);
+        let mut bad_cbit = Circuit::new(2);
+        bad_cbit.h(Qubit(0)).push(circuit::Operation::Measure {
+            qubit: Qubit(0),
+            cbit: 7,
+        });
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            for circuit in [&bad_qubit, &bad_cbit] {
+                let result = WeakSimulator::new(backend).run(circuit, 10, 0);
+                assert!(
+                    matches!(result, Err(RunError::InvalidCircuit(_))),
+                    "{backend}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strong_rejects_dynamic_circuits() {
+        let mut circuit = Circuit::new(1);
+        circuit.h(Qubit(0)).reset(Qubit(0));
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let result = WeakSimulator::new(backend).strong(&circuit);
+            assert!(
+                matches!(result, Err(RunError::DynamicCircuit { op_index: 1 })),
+                "{backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_budget_applies_to_dynamic_vector_runs() {
+        let mut circuit = Circuit::new(18);
+        circuit.h(Qubit(0)).reset(Qubit(0));
+        let budget = MemoryBudget::from_bytes(1024);
+        let vector = WeakSimulator::new(Backend::StateVector)
+            .with_memory_budget(budget)
+            .run(&circuit, 10, 0);
+        assert!(matches!(vector, Err(RunError::MemoryOut { .. })));
+        let dd = WeakSimulator::new(Backend::DecisionDiagram)
+            .with_memory_budget(budget)
+            .run(&circuit, 10, 0);
+        assert!(dd.is_ok());
+    }
+
+    #[test]
+    fn terminal_record_mapping_overwrites_in_order() {
+        use super::map_terminal_record;
+        // q0 -> c0, then q1 -> c0: the later pair wins.
+        let mapping = [(Qubit(0), 0), (Qubit(1), 0)];
+        assert_eq!(map_terminal_record(0b01, &mapping), 0);
+        assert_eq!(map_terminal_record(0b10, &mapping), 1);
+        // Unmapped qubits are dropped.
+        let mapping = [(Qubit(2), 1)];
+        assert_eq!(map_terminal_record(0b100, &mapping), 0b10);
+        assert_eq!(map_terminal_record(0b011, &mapping), 0);
     }
 }

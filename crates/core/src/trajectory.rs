@@ -1,0 +1,834 @@
+//! Per-shot trajectory simulation of *dynamic* circuits — circuits with
+//! mid-circuit [`Operation::Measure`] / [`Operation::Reset`] operations,
+//! whose state evolution depends on sampled outcomes.
+//!
+//! # How a trajectory runs
+//!
+//! The circuit is split once into *segments* of unitary operations separated
+//! by non-unitary *events* (measurements and resets).  Each shot then walks
+//! the event list: at every event the engine computes the probability masses
+//! of the two outcomes from the projected subspaces, draws the outcome with
+//! the shot's RNG, collapses (and, for a reset, flips back to `|0>`), and
+//! applies the next unitary segment to the collapsed state.  Measurement
+//! outcomes are recorded into the classical register; circuits without any
+//! [`Operation::Measure`] report a terminal measurement of every qubit
+//! instead, exactly like static circuits.
+//!
+//! # Sharing work across shots (the decision-diagram backend)
+//!
+//! The reachable trajectories form a binary tree keyed by the outcome
+//! prefix.  The decision-diagram runner caches, per visited prefix, the
+//! evolved [`StateDd`], the branch masses of the next event, and — for the
+//! terminal read-out — a [`CompiledSampler`] compiled from the leaf state.
+//! A shot that follows an already-visited prefix therefore does **no**
+//! decision-diagram arithmetic at all: it is a sequence of cached-probability
+//! coin flips followed by one compiled-arena sample walk.  Only the suffix
+//! behind a first-visited outcome is simulated (and compiled) anew, which is
+//! what keeps repeated sampling cheap: the expensive work per distinct
+//! trajectory happens once, not once per shot.  The cache is capped at
+//! [`TRAJECTORY_CACHE_CAP`] prefixes; once the cap is reached, the
+//! remainder of such a trajectory falls back to transient (per-shot)
+//! evolution.
+//!
+//! The dense statevector runner keeps the shared unitary prefix (everything
+//! before the first event) as a base state and re-evolves a clone of it per
+//! shot, collapsing and renormalizing in place.
+//!
+//! # Determinism
+//!
+//! Shots are partitioned into fixed chunks of
+//! [`PARALLEL_CHUNK_SHOTS`](dd::PARALLEL_CHUNK_SHOTS) trajectories, and
+//! chunk `i` draws all its randomness from a dedicated
+//! [`SmallRng`] stream seeded with [`dd::chunk_stream_seed`]`(master_seed,
+//! i)` — the exact scheme of
+//! [`CompiledSampler::sample_many_parallel`](dd::CompiledSampler).  Worker
+//! threads only decide *which* chunks they run (round-robin), never what a
+//! chunk contains, and every outcome probability is a deterministic function
+//! of the outcome prefix, so the recorded classical bits are **bit-identical
+//! for a given master seed regardless of the thread count**.
+//!
+//! One caveat bounds that guarantee: each worker owns a private
+//! [`DdPackage`], and the package's complex-value table unifies values
+//! within its tolerance (`1e-10`) to the first-inserted representative.  If
+//! a circuit produces two *distinct* amplitudes closer than the tolerance
+//! along different outcome prefixes, workers that discover those prefixes in
+//! different orders can canonicalize to different representatives, shifting
+//! a branch probability by up to ~`1e-10` — and a uniform draw landing
+//! inside that sliver would record the opposite bit.  For circuits whose
+//! distinct amplitudes are separated by more than the tolerance (every
+//! workload in this repository), the bit-exact guarantee holds.
+
+use crate::simulator::{Backend, RunError};
+use crate::ShotHistogram;
+use circuit::{Circuit, Operation, Qubit};
+use dd::{
+    chunk_stream_seed, CompiledSampler, DdPackage, StateDd, VectorEdge, PARALLEL_CHUNK_SHOTS,
+};
+use mathkit::FxHashMap;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use statevector::{MemoryBudget, StateVector};
+use std::time::{Duration, Instant};
+
+/// Maximum number of outcome prefixes the decision-diagram runner caches
+/// (states, branch masses and compiled leaf samplers).  Trajectories beyond
+/// the cap are evolved transiently per shot.
+pub const TRAJECTORY_CACHE_CAP: usize = 4096;
+
+/// Allocated-node threshold above which a trajectory runner garbage-collects
+/// its package between shots, keeping only the cached prefix states alive.
+const GC_NODE_THRESHOLD: usize = 500_000;
+
+/// The result of a trajectory simulation.
+#[derive(Debug)]
+pub struct TrajectoryOutcome {
+    /// Aggregated per-shot records: classical-register values when the
+    /// circuit contains measurements, terminal full-register measurements
+    /// otherwise.
+    pub histogram: ShotHistogram,
+    /// Time spent building the trajectory plan and the shared prefix state.
+    pub precompute_time: Duration,
+    /// Time spent running the trajectories (including per-worker runner
+    /// construction, which re-derives the shared prefix in each worker's
+    /// private arena).
+    pub sampling_time: Duration,
+    /// Peak decision-diagram node count observed among cached trajectory
+    /// states (or the dense amplitude count for the statevector backend).
+    pub representation_size: u128,
+}
+
+/// A non-unitary event splitting two unitary segments.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Measure `qubit` into classical bit `cbit`.
+    Measure { qubit: Qubit, cbit: u16 },
+    /// Reset `qubit` to `|0>`.
+    Reset { qubit: Qubit },
+}
+
+impl Event {
+    fn qubit(self) -> Qubit {
+        match self {
+            Event::Measure { qubit, .. } | Event::Reset { qubit } => qubit,
+        }
+    }
+}
+
+/// Writes `bit` into position `cbit` of a classical record, overwriting any
+/// earlier value of that bit (shared by both runners and the terminal
+/// relabelling in the simulator front end).
+pub(crate) fn record_bit(record: u64, cbit: u16, bit: u8) -> u64 {
+    (record & !(1u64 << cbit)) | (u64::from(bit) << cbit)
+}
+
+/// The uncontrolled X used to flip a qubit back to `|0>` after a reset
+/// collapsed it to `|1>` (the measure-and-flip reset decomposition, shared
+/// by both runners).
+fn x_flip(qubit: Qubit) -> Operation {
+    Operation::Unitary {
+        gate: circuit::OneQubitGate::X,
+        target: qubit,
+        controls: Vec::new(),
+    }
+}
+
+/// What a shot reports into the histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RecordSource {
+    /// The classical register written by `Measure` events.
+    Classical,
+    /// A terminal measurement of every qubit (no `Measure` in the circuit).
+    FinalMeasurement,
+}
+
+/// The segmented form of a dynamic circuit, shared by every runner.
+#[derive(Debug)]
+struct TrajectoryPlan {
+    num_qubits: u16,
+    /// Bit width of the per-shot record.
+    record_width: u16,
+    record: RecordSource,
+    /// `events.len() + 1` unitary segments; `segments[i]` precedes
+    /// `events[i]`, the last segment is the tail after the final event.
+    segments: Vec<Vec<Operation>>,
+    events: Vec<Event>,
+}
+
+impl TrajectoryPlan {
+    fn new(circuit: &Circuit) -> Self {
+        let mut segments = vec![Vec::new()];
+        let mut events = Vec::new();
+        for op in circuit.operations() {
+            match op {
+                Operation::Measure { qubit, cbit } => {
+                    events.push(Event::Measure {
+                        qubit: *qubit,
+                        cbit: *cbit,
+                    });
+                    segments.push(Vec::new());
+                }
+                Operation::Reset { qubit } => {
+                    events.push(Event::Reset { qubit: *qubit });
+                    segments.push(Vec::new());
+                }
+                unitary => segments
+                    .last_mut()
+                    .expect("segments is never empty")
+                    .push(unitary.clone()),
+            }
+        }
+        let record = if circuit.has_measurements() {
+            RecordSource::Classical
+        } else {
+            RecordSource::FinalMeasurement
+        };
+        Self {
+            num_qubits: circuit.num_qubits(),
+            record_width: match record {
+                RecordSource::Classical => circuit.num_clbits(),
+                RecordSource::FinalMeasurement => circuit.num_qubits(),
+            },
+            record,
+            segments,
+            events,
+        }
+    }
+
+    /// Whether the unitary tail after the last event can affect the record.
+    /// Classical records are fixed once the last event has fired, so the
+    /// tail segment is skipped entirely.
+    fn tail_matters(&self) -> bool {
+        self.record == RecordSource::FinalMeasurement
+    }
+}
+
+/// One backend-specific trajectory runner, owned by a single worker thread.
+trait Runner {
+    /// Runs one trajectory, returning the shot's record.
+    fn run_shot(&mut self, rng: &mut SmallRng) -> u64;
+    /// Housekeeping between chunks (garbage collection).
+    fn end_of_chunk(&mut self) {}
+    /// Peak representation size observed so far.
+    fn representation_size(&self) -> u128;
+}
+
+/// A cached outcome-prefix node of the decision-diagram trajectory tree.
+#[derive(Debug)]
+struct CacheNode {
+    /// State after consuming the prefix and applying the following segment.
+    state: StateDd,
+    /// Branch masses of the next event's qubit, filled on first use.
+    masses: Option<[f64; 2]>,
+    /// Cache ids of the outcome-0 / outcome-1 children.
+    children: [Option<u32>; 2],
+    /// Compiled terminal sampler (leaves under `FinalMeasurement` only).
+    sampler: Option<CompiledSampler>,
+}
+
+impl CacheNode {
+    fn new(state: StateDd) -> Self {
+        Self {
+            state,
+            masses: None,
+            children: [None, None],
+            sampler: None,
+        }
+    }
+}
+
+/// The decision-diagram trajectory runner.
+struct DdRunner<'p> {
+    plan: &'p TrajectoryPlan,
+    package: DdPackage,
+    nodes: Vec<CacheNode>,
+    /// Compiled samplers for *off-cache* (transient) leaves, keyed by the
+    /// leaf state's root edge.  Compilation is deterministic, so memoizing
+    /// only changes cost, never sampled values — without it every off-cache
+    /// shot would pay a full `O(node count)` compilation for one sample.
+    /// Cleared on garbage collection (node ids are remapped) and when it
+    /// reaches [`TRAJECTORY_CACHE_CAP`] entries.
+    transient_samplers: FxHashMap<VectorEdge, CompiledSampler>,
+    peak_nodes: usize,
+}
+
+impl<'p> DdRunner<'p> {
+    fn new(plan: &'p TrajectoryPlan) -> Self {
+        let mut package = DdPackage::new();
+        let mut state = StateDd::zero_state(&mut package, plan.num_qubits);
+        for op in &plan.segments[0] {
+            state = dd::apply_operation(&mut package, state, op);
+        }
+        let peak_nodes = state.node_count(&package);
+        Self {
+            plan,
+            package,
+            nodes: vec![CacheNode::new(state)],
+            transient_samplers: FxHashMap::default(),
+            peak_nodes,
+        }
+    }
+
+    /// Evolves past `event` with the drawn `bit`: collapse, flip back for
+    /// resets, then apply the unitary segment that follows.  (For classical
+    /// records the caller breaks out before the final event's evolution, so
+    /// the irrelevant tail segment is never applied.)
+    fn evolve(&mut self, state: &StateDd, event: Event, bit: u8, next_segment: usize) -> StateDd {
+        let mut next = dd::collapse_qubit(&mut self.package, state, event.qubit(), bit);
+        if matches!(event, Event::Reset { .. }) && bit == 1 {
+            next = dd::apply_operation(&mut self.package, next, &x_flip(event.qubit()));
+        }
+        for op in &self.plan.segments[next_segment] {
+            next = dd::apply_operation(&mut self.package, next, op);
+        }
+        next
+    }
+}
+
+impl Runner for DdRunner<'_> {
+    fn run_shot(&mut self, rng: &mut SmallRng) -> u64 {
+        let mut record = 0u64;
+        // Cache node tracking the outcome prefix; `None` once off-cache.
+        let mut at: Option<u32> = Some(0);
+        let mut state = self.nodes[0].state;
+
+        for (k, &event) in self.plan.events.iter().enumerate() {
+            let masses = match at {
+                Some(id) => {
+                    let id = id as usize;
+                    if self.nodes[id].masses.is_none() {
+                        let m = dd::branch_masses(&mut self.package, &state, event.qubit());
+                        self.nodes[id].masses = Some(m);
+                    }
+                    self.nodes[id].masses.expect("just filled")
+                }
+                None => dd::branch_masses(&mut self.package, &state, event.qubit()),
+            };
+            let total = masses[0] + masses[1];
+            assert!(total > 0.0, "trajectory reached a zero-mass state");
+            let p_one = masses[1] / total;
+            let bit = u8::from(rng.gen::<f64>() < p_one);
+            if let Event::Measure { cbit, .. } = event {
+                record = record_bit(record, cbit, bit);
+            }
+
+            // A classical record is complete once the last event's bit is
+            // drawn: skip the collapse (and the useless leaf cache entry).
+            if k + 1 == self.plan.events.len() && !self.plan.tail_matters() {
+                break;
+            }
+
+            let cached_child = at.and_then(|id| self.nodes[id as usize].children[bit as usize]);
+            match cached_child {
+                Some(child) => {
+                    state = self.nodes[child as usize].state;
+                    at = Some(child);
+                }
+                None => {
+                    let next = self.evolve(&state, event, bit, k + 1);
+                    if let Some(parent) = at {
+                        if self.nodes.len() < TRAJECTORY_CACHE_CAP {
+                            let id =
+                                u32::try_from(self.nodes.len()).expect("cache cap fits in u32");
+                            self.peak_nodes = self.peak_nodes.max(next.node_count(&self.package));
+                            self.nodes.push(CacheNode::new(next));
+                            self.nodes[parent as usize].children[bit as usize] = Some(id);
+                            at = Some(id);
+                        } else {
+                            at = None;
+                        }
+                    }
+                    state = next;
+                }
+            }
+        }
+
+        match self.plan.record {
+            RecordSource::Classical => record,
+            RecordSource::FinalMeasurement => match at {
+                Some(id) => {
+                    let id = id as usize;
+                    if self.nodes[id].sampler.is_none() {
+                        self.nodes[id].sampler = Some(CompiledSampler::new(&self.package, &state));
+                    }
+                    self.nodes[id]
+                        .sampler
+                        .as_ref()
+                        .expect("just filled")
+                        .sample(rng)
+                }
+                None => {
+                    let root = state.root();
+                    if !self.transient_samplers.contains_key(&root) {
+                        if self.transient_samplers.len() >= TRAJECTORY_CACHE_CAP {
+                            self.transient_samplers.clear();
+                        }
+                        self.transient_samplers
+                            .insert(root, CompiledSampler::new(&self.package, &state));
+                    }
+                    self.transient_samplers[&root].sample(rng)
+                }
+            },
+        }
+    }
+
+    fn end_of_chunk(&mut self) {
+        // Transient (off-cache) trajectory states accumulate garbage in the
+        // arena; sweep it while only the cached prefix states are alive.
+        if self.package.allocated_vector_nodes() <= GC_NODE_THRESHOLD {
+            return;
+        }
+        let roots: Vec<_> = self.nodes.iter().map(|n| n.state.root()).collect();
+        let remapped = self.package.collect_garbage(&roots);
+        for (node, root) in self.nodes.iter_mut().zip(remapped) {
+            node.state = StateDd::from_root(root, node.state.num_qubits());
+        }
+        // Node ids were remapped, so the root-edge keys of the transient
+        // sampler memo no longer identify the same states.
+        self.transient_samplers.clear();
+    }
+
+    fn representation_size(&self) -> u128 {
+        self.peak_nodes as u128
+    }
+}
+
+/// The dense statevector trajectory runner.
+struct SvRunner<'p> {
+    plan: &'p TrajectoryPlan,
+    /// The shared unitary prefix (`segments[0]`) applied to `|0...0>`.
+    base: StateVector,
+    /// `base`'s squared norm, computed once: the first event of every shot
+    /// normalizes its outcome probabilities by it, and each collapse
+    /// renormalizes to exactly 1, so no per-event `O(2^n)` norm sweep is
+    /// needed.
+    base_norm_sqr: f64,
+    /// The per-shot working state, reset from `base` at the start of every
+    /// shot — one persistent allocation instead of a fresh `2^n` vector per
+    /// trajectory.
+    scratch: StateVector,
+}
+
+impl<'p> SvRunner<'p> {
+    fn new(plan: &'p TrajectoryPlan) -> Self {
+        let mut base = StateVector::zero_state(plan.num_qubits);
+        for op in &plan.segments[0] {
+            statevector::apply_operation(&mut base, op);
+        }
+        let base_norm_sqr = base.norm_sqr();
+        let scratch = base.clone();
+        Self {
+            plan,
+            base,
+            base_norm_sqr,
+            scratch,
+        }
+    }
+}
+
+/// Draws one terminal full-register sample by a linear scan of the
+/// amplitudes (thresholded against the state's actual norm, so drifted
+/// norms do not bias the draw).
+fn sample_state_once(state: &StateVector, rng: &mut SmallRng) -> u64 {
+    let threshold = rng.gen::<f64>() * state.norm_sqr();
+    let mut running = 0.0;
+    // The threshold uses the compensated norm while the scan accumulates
+    // naively, so rounding can leave `running` below the threshold after
+    // the full sweep; fall back to the last *possible* outcome, never to a
+    // zero-amplitude index.
+    let mut last_nonzero = 0u64;
+    for (i, amp) in state.amplitudes().iter().enumerate() {
+        let p = amp.norm_sqr();
+        if p > 0.0 {
+            last_nonzero = i as u64;
+        }
+        running += p;
+        if running > threshold {
+            return i as u64;
+        }
+    }
+    last_nonzero
+}
+
+impl Runner for SvRunner<'_> {
+    fn run_shot(&mut self, rng: &mut SmallRng) -> u64 {
+        self.scratch.copy_from(&self.base);
+        let state = &mut self.scratch;
+        let mut norm_sqr = self.base_norm_sqr;
+        let mut record = 0u64;
+        for (k, &event) in self.plan.events.iter().enumerate() {
+            let qubit = event.qubit().0;
+            let p_one = state.marginal_one_probability(qubit) / norm_sqr;
+            let bit = u8::from(rng.gen::<f64>() < p_one);
+            if let Event::Measure { cbit, .. } = event {
+                record = record_bit(record, cbit, bit);
+            }
+
+            // A classical record is complete once the last event's bit is
+            // drawn: skip the O(2^n) collapse whose result nobody reads.
+            if k + 1 == self.plan.events.len() && !self.plan.tail_matters() {
+                break;
+            }
+
+            state.collapse_qubit(qubit, bit);
+            norm_sqr = 1.0;
+            if matches!(event, Event::Reset { .. }) && bit == 1 {
+                statevector::apply_operation(state, &x_flip(event.qubit()));
+            }
+            for op in &self.plan.segments[k + 1] {
+                statevector::apply_operation(state, op);
+            }
+        }
+        match self.plan.record {
+            RecordSource::Classical => record,
+            RecordSource::FinalMeasurement => sample_state_once(&self.scratch, rng),
+        }
+    }
+
+    fn representation_size(&self) -> u128 {
+        self.base.len() as u128
+    }
+}
+
+/// Builds the backend-specific runner for one worker and runs its assigned
+/// chunks, returning the worker's histogram and peak representation size.
+/// Both the single-worker fast path and every spawned worker go through
+/// here, so the two paths cannot drift apart.
+fn run_worker(
+    backend: Backend,
+    plan: &TrajectoryPlan,
+    shots: u64,
+    seed: u64,
+    first: u64,
+    stride: u64,
+) -> (ShotHistogram, u128) {
+    match backend {
+        Backend::DecisionDiagram => {
+            let mut runner = DdRunner::new(plan);
+            let h = run_assigned_chunks(&mut runner, shots, seed, first, stride, plan.record_width);
+            (h, runner.representation_size())
+        }
+        Backend::StateVector => {
+            let mut runner = SvRunner::new(plan);
+            let h = run_assigned_chunks(&mut runner, shots, seed, first, stride, plan.record_width);
+            (h, runner.representation_size())
+        }
+    }
+}
+
+/// Runs all chunks assigned to one worker: chunk indices `first, first +
+/// stride, ...` below `total_chunks`, each drawn from its own
+/// [`chunk_stream_seed`]-derived RNG stream.
+fn run_assigned_chunks<R: Runner>(
+    runner: &mut R,
+    shots: u64,
+    seed: u64,
+    first: u64,
+    stride: u64,
+    record_width: u16,
+) -> ShotHistogram {
+    let chunk_len = PARALLEL_CHUNK_SHOTS as u64;
+    let total_chunks = shots.div_ceil(chunk_len);
+    let mut histogram = ShotHistogram::new(record_width);
+    let mut chunk_index = first;
+    while chunk_index < total_chunks {
+        let chunk_shots = chunk_len.min(shots - chunk_index * chunk_len);
+        let mut rng = SmallRng::seed_from_u64(chunk_stream_seed(seed, chunk_index));
+        for _ in 0..chunk_shots {
+            let record = runner.run_shot(&mut rng);
+            histogram.record(record);
+        }
+        runner.end_of_chunk();
+        chunk_index += stride;
+    }
+    histogram
+}
+
+/// Simulates `shots` trajectories of a dynamic circuit on `backend`, using
+/// every available worker thread (see [`rayon::current_num_threads`]).
+///
+/// The histogram records classical-register values when the circuit
+/// contains measurements, and terminal full-register measurements otherwise
+/// (e.g. for circuits that only contain resets).  The output is
+/// bit-identical for a given `seed` regardless of the thread count; see the
+/// [module docs](self) for the seeding scheme.
+///
+/// Static circuits are accepted too (the plan degenerates to one segment),
+/// but [`WeakSimulator::run`](crate::WeakSimulator::run) routes them through
+/// the cheaper one-pass compiled sampler instead.
+///
+/// # Errors
+///
+/// Returns [`RunError::InvalidCircuit`] for malformed circuits.  These
+/// entry points run with an unlimited memory budget; to enforce a budget on
+/// the dense backend (and get [`RunError::MemoryOut`] instead of an
+/// allocation failure), go through
+/// [`WeakSimulator::run`](crate::WeakSimulator::run) with
+/// [`with_memory_budget`](crate::WeakSimulator::with_memory_budget).
+pub fn simulate_trajectories(
+    backend: Backend,
+    circuit: &Circuit,
+    shots: u64,
+    seed: u64,
+) -> Result<TrajectoryOutcome, RunError> {
+    simulate_trajectories_with_threads(backend, circuit, shots, seed, rayon::current_num_threads())
+}
+
+/// [`simulate_trajectories`] with an explicit worker count (primarily for
+/// determinism tests and scaling measurements).
+///
+/// # Errors
+///
+/// See [`simulate_trajectories`].
+pub fn simulate_trajectories_with_threads(
+    backend: Backend,
+    circuit: &Circuit,
+    shots: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<TrajectoryOutcome, RunError> {
+    run_trajectories(
+        backend,
+        circuit,
+        shots,
+        seed,
+        threads,
+        MemoryBudget::unlimited(),
+    )
+}
+
+/// The full-parameter trajectory entry point used by [`WeakSimulator`]
+/// (crate-internal so the public surface stays small).
+pub(crate) fn run_trajectories(
+    backend: Backend,
+    circuit: &Circuit,
+    shots: u64,
+    seed: u64,
+    threads: usize,
+    budget: MemoryBudget,
+) -> Result<TrajectoryOutcome, RunError> {
+    circuit.validate().map_err(RunError::InvalidCircuit)?;
+
+    let chunk_len = PARALLEL_CHUNK_SHOTS as u64;
+    let total_chunks = shots.div_ceil(chunk_len);
+    let workers = threads
+        .max(1)
+        .min(usize::try_from(total_chunks).unwrap_or(usize::MAX))
+        .max(1);
+
+    if backend == Backend::StateVector {
+        // Each worker holds the shared base vector *plus* the per-shot clone
+        // it evolves, so peak concurrent allocation is two vectors per
+        // worker — account for all of them, not just one.
+        let required = MemoryBudget::state_vector_bytes(circuit.num_qubits()) * 2 * workers as u128;
+        if !budget.allows(required) {
+            return Err(RunError::MemoryOut {
+                num_qubits: circuit.num_qubits(),
+                required_bytes: required,
+            });
+        }
+    }
+
+    let precompute_start = Instant::now();
+    let plan = TrajectoryPlan::new(circuit);
+    let precompute_time = precompute_start.elapsed();
+
+    let sampling_start = Instant::now();
+    let (histogram, representation_size) = if workers == 1 {
+        run_worker(backend, &plan, shots, seed, 0, 1)
+    } else {
+        let mut slots: Vec<Option<(ShotHistogram, u128)>> = (0..workers).map(|_| None).collect();
+        rayon::scope(|scope| {
+            for (worker, slot) in slots.iter_mut().enumerate() {
+                let plan = &plan;
+                scope.spawn(move || {
+                    *slot = Some(run_worker(
+                        backend,
+                        plan,
+                        shots,
+                        seed,
+                        worker as u64,
+                        workers as u64,
+                    ));
+                });
+            }
+        });
+        let mut histogram = ShotHistogram::new(plan.record_width);
+        let mut size = 0u128;
+        for slot in slots {
+            let (h, s) = slot.expect("worker ran to completion");
+            histogram.merge(&h);
+            size = size.max(s);
+        }
+        (histogram, size)
+    };
+    let sampling_time = sampling_start.elapsed();
+
+    Ok(TrajectoryOutcome {
+        histogram,
+        precompute_time,
+        sampling_time,
+        representation_size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Measure a |+> qubit, reset it, re-prepare |+>, measure again: two
+    /// independent fair coins in c0/c1.
+    fn coin_reuse_circuit() -> Circuit {
+        let mut c = Circuit::with_name(1, "coin_reuse");
+        c.h(Qubit(0))
+            .measure(Qubit(0), 0)
+            .reset(Qubit(0))
+            .h(Qubit(0))
+            .measure(Qubit(0), 1);
+        c
+    }
+
+    #[test]
+    fn plan_segments_at_events() {
+        let plan = TrajectoryPlan::new(&coin_reuse_circuit());
+        assert_eq!(plan.events.len(), 3);
+        assert_eq!(plan.segments.len(), 4);
+        assert_eq!(plan.segments[0].len(), 1); // h
+        assert_eq!(plan.segments[1].len(), 0); // between measure and reset
+        assert_eq!(plan.segments[2].len(), 1); // h
+        assert!(plan.segments[3].is_empty()); // tail
+        assert_eq!(plan.record, RecordSource::Classical);
+        assert_eq!(plan.record_width, 2);
+    }
+
+    #[test]
+    fn measure_and_reset_reuse_gives_independent_coins() {
+        let shots = 8_000u64;
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let outcome = simulate_trajectories(backend, &coin_reuse_circuit(), shots, 11).unwrap();
+            assert_eq!(outcome.histogram.shots(), shots);
+            for value in 0..4u64 {
+                let freq = outcome.histogram.frequency(value);
+                assert!(
+                    (freq - 0.25).abs() < 0.03,
+                    "{backend}: record {value} frequency {freq}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_only_circuits_report_terminal_measurements() {
+        // Entangle two qubits, then reset qubit 0: the terminal measurement
+        // sees qubit 0 always 0 and qubit 1 uniform.
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).cx(Qubit(0), Qubit(1)).reset(Qubit(0));
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let outcome = simulate_trajectories(backend, &c, 4_000, 5).unwrap();
+            assert_eq!(outcome.histogram.num_qubits(), 2);
+            assert!(outcome.histogram.count(0b01) == 0);
+            assert!(outcome.histogram.count(0b11) == 0);
+            let f0 = outcome.histogram.frequency(0b00);
+            assert!((f0 - 0.5).abs() < 0.03, "{backend}: {f0}");
+        }
+    }
+
+    #[test]
+    fn trajectory_records_are_thread_count_invariant() {
+        // A classical-record circuit and a reset-only circuit (terminal
+        // full-register read-out through the cached/transient samplers).
+        let mut classical = Circuit::new(3);
+        classical
+            .h(Qubit(0))
+            .cx(Qubit(0), Qubit(1))
+            .measure(Qubit(0), 0)
+            .h(Qubit(2))
+            .cx(Qubit(2), Qubit(1))
+            .measure(Qubit(1), 1)
+            .measure(Qubit(2), 2);
+        let mut reset_only = Circuit::new(3);
+        reset_only
+            .h(Qubit(0))
+            .cx(Qubit(0), Qubit(1))
+            .reset(Qubit(0))
+            .h(Qubit(0))
+            .cx(Qubit(0), Qubit(2))
+            .reset(Qubit(2));
+        // Several chunks worth of shots so multiple workers get real work.
+        let shots = 3 * PARALLEL_CHUNK_SHOTS as u64 + 17;
+        for c in [&classical, &reset_only] {
+            for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+                let reference =
+                    simulate_trajectories_with_threads(backend, c, shots, 42, 1).unwrap();
+                for threads in [2, 8] {
+                    let run =
+                        simulate_trajectories_with_threads(backend, c, shots, 42, threads).unwrap();
+                    assert_eq!(
+                        reference.histogram,
+                        run.histogram,
+                        "{backend} on {}: thread count {threads} changed the records",
+                        c.name()
+                    );
+                }
+                let other = simulate_trajectories_with_threads(backend, c, shots, 43, 1).unwrap();
+                assert_ne!(
+                    reference.histogram,
+                    other.histogram,
+                    "{backend} on {}: different seeds must give different records",
+                    c.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_overflow_falls_back_to_transient_trajectories() {
+        // 13 coin-flip resets reach 2^13 = 8192 outcome prefixes — past
+        // TRAJECTORY_CACHE_CAP — so shots exercise the off-cache evolution
+        // and the transient terminal-sampler memo, and must still be
+        // thread-count invariant and produce the right distribution.
+        let mut c = Circuit::with_name(1, "coin_cascade");
+        for _ in 0..13 {
+            c.h(Qubit(0)).reset(Qubit(0));
+        }
+        c.h(Qubit(0));
+        let shots = 3 * PARALLEL_CHUNK_SHOTS as u64 + 100;
+
+        let reference =
+            simulate_trajectories_with_threads(Backend::DecisionDiagram, &c, shots, 6, 1).unwrap();
+        let threaded =
+            simulate_trajectories_with_threads(Backend::DecisionDiagram, &c, shots, 6, 4).unwrap();
+        assert_eq!(
+            reference.histogram, threaded.histogram,
+            "off-cache trajectories must stay thread-count invariant"
+        );
+        // The final H of a freshly reset qubit is a fair coin.
+        let f1 = reference.histogram.frequency(1);
+        assert!((f1 - 0.5).abs() < 0.03, "terminal P(1) = {f1}");
+    }
+
+    #[test]
+    fn backends_agree_on_a_dynamic_distribution() {
+        let c = coin_reuse_circuit();
+        let shots = 20_000u64;
+        let dd = simulate_trajectories(Backend::DecisionDiagram, &c, shots, 7).unwrap();
+        let sv = simulate_trajectories(Backend::StateVector, &c, shots, 7).unwrap();
+        for value in 0..4u64 {
+            assert!(
+                (dd.histogram.frequency(value) - sv.histogram.frequency(value)).abs() < 0.02,
+                "record {value}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_dynamic_circuits_are_rejected() {
+        let mut c = Circuit::new(1);
+        c.measure(Qubit(0), 0).h(Qubit(5));
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            assert!(matches!(
+                simulate_trajectories(backend, &c, 10, 0),
+                Err(RunError::InvalidCircuit(_))
+            ));
+        }
+    }
+}

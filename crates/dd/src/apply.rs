@@ -11,12 +11,23 @@ use std::fmt;
 pub enum ApplyError {
     /// The circuit failed validation.
     InvalidCircuit(circuit::ValidateCircuitError),
+    /// The circuit contains a non-unitary operation (measurement or reset).
+    /// Strong simulation produces a single state, which is not defined for
+    /// dynamic circuits; use the trajectory engine of the `weaksim` crate.
+    NonUnitaryOperation {
+        /// Index of the offending operation.
+        op_index: usize,
+    },
 }
 
 impl fmt::Display for ApplyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ApplyError::InvalidCircuit(e) => write!(f, "invalid circuit: {e}"),
+            ApplyError::NonUnitaryOperation { op_index } => write!(
+                f,
+                "operation {op_index} is non-unitary (measure/reset); strong simulation requires a unitary circuit — use trajectory simulation"
+            ),
         }
     }
 }
@@ -33,11 +44,19 @@ impl From<circuit::ValidateCircuitError> for ApplyError {
 /// gates (when the reachable set is much smaller).
 const GC_NODE_THRESHOLD: usize = 250_000;
 
-/// Applies one lowered operation to a state DD and returns the new state.
+/// Applies one lowered *unitary* operation to a state DD and returns the
+/// new state.
 ///
 /// Swap operations are decomposed into three CNOTs (picking up any controls
 /// on each of them); unitaries and permutations are converted to operator
 /// DDs and applied by matrix–vector multiplication.
+///
+/// # Panics
+///
+/// Panics on the non-unitary operations [`Operation::Measure`] and
+/// [`Operation::Reset`]: their effect depends on a sampled outcome, so they
+/// go through [`measure_qubit`](crate::measure_qubit) /
+/// [`reset_qubit`](crate::reset_qubit) instead.
 pub fn apply_operation(package: &mut DdPackage, state: StateDd, op: &Operation) -> StateDd {
     let n = state.num_qubits();
     match op {
@@ -79,6 +98,9 @@ pub fn apply_operation(package: &mut DdPackage, state: StateDd, op: &Operation) 
                 n,
             )
         }
+        Operation::Measure { .. } | Operation::Reset { .. } => {
+            panic!("non-unitary operation '{op}' cannot be applied as a gate; use measure_qubit/reset_qubit")
+        }
     }
 }
 
@@ -87,13 +109,18 @@ pub fn apply_operation(package: &mut DdPackage, state: StateDd, op: &Operation) 
 ///
 /// # Errors
 ///
-/// Returns [`ApplyError::InvalidCircuit`] if the circuit fails validation.
+/// Returns [`ApplyError::InvalidCircuit`] if the circuit fails validation
+/// and [`ApplyError::NonUnitaryOperation`] if it contains a measurement or
+/// reset (strong simulation is only defined for unitary circuits).
 pub fn apply_circuit(
     package: &mut DdPackage,
     state: StateDd,
     circuit: &Circuit,
 ) -> Result<StateDd, ApplyError> {
     circuit.validate()?;
+    if let Some(op_index) = circuit.iter().position(Operation::is_non_unitary) {
+        return Err(ApplyError::NonUnitaryOperation { op_index });
+    }
     let mut current = state;
     for op in circuit.operations() {
         current = apply_operation(package, current, op);
@@ -263,6 +290,17 @@ mod tests {
             simulate(&mut p, &c),
             Err(ApplyError::InvalidCircuit(_))
         ));
+    }
+
+    #[test]
+    fn dynamic_circuits_are_rejected_by_strong_simulation() {
+        let mut c = Circuit::new(1);
+        c.h(Qubit(0)).measure(Qubit(0), 0).x(Qubit(0));
+        let mut p = DdPackage::new();
+        assert_eq!(
+            simulate(&mut p, &c),
+            Err(ApplyError::NonUnitaryOperation { op_index: 1 })
+        );
     }
 
     #[test]

@@ -257,12 +257,32 @@ impl CompiledSampler {
         shots: usize,
         threads: usize,
     ) -> Vec<u64> {
+        self.sample_batch_parallel(master_seed, 0, shots, threads)
+    }
+
+    /// Draws one deterministic batch of a larger logical shot sequence.
+    ///
+    /// The batch covers global chunks `chunk_offset ..`, so splitting a huge
+    /// shot count into consecutive batches — every batch except the last
+    /// sized a multiple of [`PARALLEL_CHUNK_SHOTS`], with `chunk_offset`
+    /// advanced by the number of chunks already drawn — produces exactly the
+    /// same samples as one giant [`sample_many_parallel`] call.  This is how
+    /// the `weaksim` front end serves `u64` shot counts that do not fit a
+    /// single `usize` allocation (e.g. on 32-bit targets).
+    #[must_use = "the samples are the result of the weak simulation"]
+    pub fn sample_batch_parallel(
+        &self,
+        master_seed: u64,
+        chunk_offset: u64,
+        shots: usize,
+        threads: usize,
+    ) -> Vec<u64> {
         let threads = threads.max(1);
         let mut out = vec![0u64; shots];
 
         if threads == 1 || shots <= PARALLEL_CHUNK_SHOTS {
             for (chunk_index, chunk) in out.chunks_mut(PARALLEL_CHUNK_SHOTS).enumerate() {
-                self.fill_chunk(master_seed, chunk_index, chunk);
+                self.fill_chunk(master_seed, chunk_offset + chunk_index as u64, chunk);
             }
             return out;
         }
@@ -270,10 +290,10 @@ impl CompiledSampler {
         // Round-robin the fixed-size chunks over the workers.  The
         // assignment only decides *who* draws a chunk, never *what* it
         // contains, so any distribution yields identical output.
-        let mut assignments: Vec<Vec<(usize, &mut [u64])>> =
+        let mut assignments: Vec<Vec<(u64, &mut [u64])>> =
             (0..threads).map(|_| Vec::new()).collect();
         for (chunk_index, chunk) in out.chunks_mut(PARALLEL_CHUNK_SHOTS).enumerate() {
-            assignments[chunk_index % threads].push((chunk_index, chunk));
+            assignments[chunk_index % threads].push((chunk_offset + chunk_index as u64, chunk));
         }
         rayon::scope(|scope| {
             for work in assignments {
@@ -289,8 +309,8 @@ impl CompiledSampler {
 
     /// Draws one deterministic chunk: chunk `i` always uses the same
     /// [`SmallRng`] stream derived from `(master_seed, i)`.
-    fn fill_chunk(&self, master_seed: u64, chunk_index: usize, chunk: &mut [u64]) {
-        let mut rng = SmallRng::seed_from_u64(chunk_stream_seed(master_seed, chunk_index as u64));
+    fn fill_chunk(&self, master_seed: u64, chunk_index: u64, chunk: &mut [u64]) {
+        let mut rng = SmallRng::seed_from_u64(chunk_stream_seed(master_seed, chunk_index));
         for slot in chunk {
             *slot = self.sample(&mut rng);
         }
@@ -300,8 +320,15 @@ impl CompiledSampler {
 /// Derives the RNG seed of parallel chunk `chunk_index` from the master
 /// seed: one SplitMix64 step over the pair, which decorrelates neighbouring
 /// chunk indices and master seeds.
+///
+/// This is *the* seeding scheme of every deterministic batched sampler in
+/// the workspace: [`CompiledSampler::sample_many_parallel`] uses it for its
+/// fixed [`PARALLEL_CHUNK_SHOTS`]-shot chunks, and the trajectory engine of
+/// the `weaksim` crate reuses it so per-shot trajectory simulation of
+/// dynamic circuits is seed-deterministic independent of the thread count,
+/// too.
 #[must_use]
-fn chunk_stream_seed(master_seed: u64, chunk_index: u64) -> u64 {
+pub fn chunk_stream_seed(master_seed: u64, chunk_index: u64) -> u64 {
     let mut state = master_seed ^ (chunk_index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     splitmix64(&mut state)
 }
@@ -466,6 +493,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(sampler.sample(&mut rng), 0);
         assert_eq!(sampler.node_count(), 0);
+    }
+
+    #[test]
+    fn consecutive_batches_match_one_large_call() {
+        let mut p = DdPackage::new();
+        let s = paper_example(&mut p);
+        let sampler = CompiledSampler::new(&p, &s);
+        let shots = 5 * PARALLEL_CHUNK_SHOTS + 123;
+        let reference = sampler.sample_many_parallel_with_threads(7, shots, 2);
+        // Split at chunk boundaries: 2 chunks, then 3 chunks + remainder.
+        let first = sampler.sample_batch_parallel(7, 0, 2 * PARALLEL_CHUNK_SHOTS, 2);
+        let second = sampler.sample_batch_parallel(7, 2, 3 * PARALLEL_CHUNK_SHOTS + 123, 2);
+        let stitched: Vec<u64> = first.into_iter().chain(second).collect();
+        assert_eq!(reference, stitched);
     }
 
     #[test]

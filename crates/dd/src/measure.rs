@@ -1,9 +1,13 @@
 //! Destructive measurement (state collapse) on decision diagrams.
 //!
-//! Weak simulation never needs collapse — sampling is a read-only operation
-//! that can be repeated (Section IV-B of the paper).  Collapse is provided as
-//! a library extension for users who interleave measurements with further
-//! gates (e.g. iterative phase estimation or error-correction experiments).
+//! Weak simulation of *static* circuits never needs collapse — sampling is a
+//! read-only operation that can be repeated (Section IV-B of the paper).
+//! Collapse is the primitive behind trajectory simulation of *dynamic*
+//! circuits (mid-circuit [`circuit::Operation::Measure`] /
+//! [`circuit::Operation::Reset`], e.g. iterative phase estimation,
+//! teleportation or error-correction experiments): the trajectory engine in
+//! the `weaksim` crate draws an outcome from [`branch_masses`] and collapses
+//! with [`collapse_qubit`].
 
 use crate::edge::MatrixEdge;
 use crate::ops::matrix_vector_multiply;
@@ -12,9 +16,66 @@ use circuit::Qubit;
 use mathkit::Complex;
 use rand::Rng;
 
+/// The absolute probability masses of the two measurement outcomes of
+/// `qubit`: `[<psi|P_0|psi>, <psi|P_1|psi>]`, computed from the projected
+/// subspaces.
+///
+/// The masses are *not* normalized by the state's norm — callers drawing an
+/// outcome must divide by `masses[0] + masses[1]`, which keeps the draw
+/// correct even when the state's norm has drifted from 1.0 through
+/// floating-point error accumulated over many gates.
+///
+/// # Panics
+///
+/// Panics if `qubit` is outside the state.
+#[must_use]
+pub fn branch_masses(package: &mut DdPackage, state: &StateDd, qubit: Qubit) -> [f64; 2] {
+    assert!(
+        qubit.index() < usize::from(state.num_qubits()),
+        "qubit {qubit} outside the {}-qubit state",
+        state.num_qubits()
+    );
+    let zero = project(package, state, qubit, 0);
+    let one = project(package, state, qubit, 1);
+    [zero.norm_sqr(package), one.norm_sqr(package)]
+}
+
+/// Projects the state onto `qubit = outcome` and renormalizes the projection
+/// to unit norm (the post-measurement state of that outcome).
+///
+/// # Panics
+///
+/// Panics if `qubit` is outside the state or the projected subspace carries
+/// no probability mass (the outcome is impossible).
+#[must_use]
+pub fn collapse_qubit(
+    package: &mut DdPackage,
+    state: &StateDd,
+    qubit: Qubit,
+    outcome: u8,
+) -> StateDd {
+    assert!(
+        qubit.index() < usize::from(state.num_qubits()),
+        "qubit {qubit} outside the {}-qubit state",
+        state.num_qubits()
+    );
+    let projected = project(package, state, qubit, outcome);
+    let mass = projected.norm_sqr(package);
+    assert!(
+        mass > 0.0,
+        "measurement produced an outcome of probability zero"
+    );
+    let renormalized = package.scale_vedge(projected.root(), Complex::from_real(1.0 / mass.sqrt()));
+    StateDd::from_root(renormalized, state.num_qubits())
+}
+
 /// Measures a single qubit in the computational basis, collapsing the state.
 ///
 /// Returns the observed bit and the renormalized post-measurement state.
+/// The outcome probabilities are computed from the masses of *both*
+/// projected subspaces (normalized by their sum), and each branch is
+/// renormalized by its own projected mass — so the result is exact even for
+/// states whose norm has drifted away from 1.0.
 ///
 /// # Panics
 ///
@@ -25,33 +86,44 @@ pub fn measure_qubit<R: Rng + ?Sized>(
     qubit: Qubit,
     rng: &mut R,
 ) -> (u8, StateDd) {
-    assert!(
-        qubit.index() < usize::from(state.num_qubits()),
-        "qubit {qubit} outside the {}-qubit state",
-        state.num_qubits()
-    );
     assert!(!state.root().is_zero(), "cannot measure the zero vector");
-
-    let projected_one = project(package, state, qubit, 1);
-    let p_one = projected_one.norm_sqr(package);
+    let masses = branch_masses(package, state, qubit);
+    let total = masses[0] + masses[1];
+    assert!(total > 0.0, "cannot measure a state with zero total mass");
+    let p_one = masses[1] / total;
     let outcome = u8::from(rng.gen::<f64>() < p_one);
+    (outcome, collapse_qubit(package, state, qubit, outcome))
+}
 
-    let (projected, probability) = if outcome == 1 {
-        (projected_one, p_one)
-    } else {
-        (project(package, state, qubit, 0), 1.0 - p_one)
-    };
-    assert!(
-        probability > 0.0,
-        "measurement produced an outcome of probability zero"
+/// Resets a qubit to `|0>`: measures it, then flips it when the outcome was
+/// `1` (the standard measure-and-flip decomposition of the reset channel).
+///
+/// Returns the post-reset state; the sampled intermediate outcome is not
+/// reported (it is not observable through a classical register).
+///
+/// # Panics
+///
+/// Panics if `qubit` is outside the state or the state is the zero vector.
+pub fn reset_qubit<R: Rng + ?Sized>(
+    package: &mut DdPackage,
+    state: &StateDd,
+    qubit: Qubit,
+    rng: &mut R,
+) -> StateDd {
+    let (outcome, collapsed) = measure_qubit(package, state, qubit, rng);
+    if outcome == 0 {
+        return collapsed;
+    }
+    let flip = crate::matrix::OperatorDd::controlled_gate(
+        package,
+        collapsed.num_qubits(),
+        circuit::OneQubitGate::X,
+        qubit,
+        &[],
     );
-    let renormalized = package.scale_vedge(
-        projected.root(),
-        Complex::from_real(1.0 / probability.sqrt()),
-    );
-    (
-        outcome,
-        StateDd::from_root(renormalized, state.num_qubits()),
+    StateDd::from_root(
+        matrix_vector_multiply(package, flip.root(), collapsed.root()),
+        collapsed.num_qubits(),
     )
 }
 
@@ -158,6 +230,78 @@ mod tests {
             } else {
                 assert_eq!(count, 0, "impossible outcome {i} observed");
             }
+        }
+    }
+
+    #[test]
+    fn drifted_norm_states_measure_with_normalized_probabilities() {
+        // A state of squared norm 0.25: both outcomes carry equal *relative*
+        // probability, so the draw must behave exactly like the unit-norm
+        // state.  (Regression: the 0-branch used to be renormalized with
+        // `1 - p_one` where `p_one` was an absolute, unnormalized mass.)
+        let mut p = DdPackage::new();
+        let a = Complex::from_real(0.5 * mathkit::SQRT1_2);
+        let state = StateDd::from_amplitudes(&mut p, &[a, a]);
+        assert!((state.norm_sqr(&p) - 0.25).abs() < 1e-12);
+
+        let masses = branch_masses(&mut p, &state, Qubit(0));
+        assert!((masses[0] - 0.125).abs() < 1e-12);
+        assert!((masses[1] - 0.125).abs() < 1e-12);
+
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut counts = [0u32; 2];
+        for _ in 0..2000 {
+            let (bit, post) = measure_qubit(&mut p, &state, Qubit(0), &mut rng);
+            counts[usize::from(bit)] += 1;
+            // Either branch renormalizes to exactly unit norm.
+            assert!((post.norm_sqr(&p) - 1.0).abs() < 1e-12);
+        }
+        for &c in &counts {
+            assert!(
+                (f64::from(c) / 2000.0 - 0.5).abs() < 0.05,
+                "outcome frequencies must be 50/50, got {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn collapse_qubit_projects_and_renormalizes() {
+        let mut p = DdPackage::new();
+        let circuit = algorithms::ghz(3);
+        let state = crate::simulate(&mut p, &circuit).unwrap();
+        for outcome in [0u8, 1u8] {
+            let post = collapse_qubit(&mut p, &state, Qubit(1), outcome);
+            let expected = if outcome == 1 { 0b111 } else { 0 };
+            assert!((post.probability(&p, expected) - 1.0).abs() < 1e-12);
+            assert!((post.norm_sqr(&p) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability zero")]
+    fn collapsing_to_an_impossible_outcome_panics() {
+        let mut p = DdPackage::new();
+        let state = StateDd::basis_state(&mut p, 2, 0b00);
+        let _ = collapse_qubit(&mut p, &state, Qubit(0), 1);
+    }
+
+    #[test]
+    fn reset_forces_the_qubit_to_zero() {
+        let mut p = DdPackage::new();
+        let mut c = circuit::Circuit::new(2);
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(1));
+        let state = crate::simulate(&mut p, &c).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let post = reset_qubit(&mut p, &state, Qubit(0), &mut rng);
+            assert!((post.norm_sqr(&p) - 1.0).abs() < 1e-12);
+            // Qubit 0 is |0>; qubit 1 keeps the collapsed partner value.
+            let p0 = post.probability(&p, 0b00);
+            let p2 = post.probability(&p, 0b10);
+            assert!((p0 + p2 - 1.0).abs() < 1e-10);
+            assert!(post.probability(&p, 0b01) < 1e-12);
+            assert!(post.probability(&p, 0b11) < 1e-12);
         }
     }
 

@@ -21,6 +21,13 @@ pub enum SimulateError {
         /// Bytes allowed by the budget.
         budget_bytes: u64,
     },
+    /// The circuit contains a non-unitary operation (measurement or reset);
+    /// strong simulation into a single state is undefined for dynamic
+    /// circuits — use the trajectory engine of the `weaksim` crate.
+    NonUnitaryOperation {
+        /// Index of the offending operation.
+        op_index: usize,
+    },
 }
 
 impl fmt::Display for SimulateError {
@@ -34,6 +41,10 @@ impl fmt::Display for SimulateError {
             } => write!(
                 f,
                 "memory out: {num_qubits}-qubit state vector needs {required_bytes} bytes, budget is {budget_bytes}"
+            ),
+            SimulateError::NonUnitaryOperation { op_index } => write!(
+                f,
+                "operation {op_index} is non-unitary (measure/reset); strong simulation requires a unitary circuit — use trajectory simulation"
             ),
         }
     }
@@ -54,12 +65,16 @@ fn control_mask(controls: &[Qubit]) -> usize {
         .fold(0usize, |m, q| m | (1usize << q.index()))
 }
 
-/// Applies a single lowered [`Operation`] to the state in place.
+/// Applies a single lowered *unitary* [`Operation`] to the state in place.
 ///
 /// # Panics
 ///
-/// Panics if the operation references qubits outside the state.  Call
-/// [`Circuit::validate`] (or use [`simulate`]) to get a proper error instead.
+/// Panics if the operation references qubits outside the state (call
+/// [`Circuit::validate`] — or use [`simulate`] — to get a proper error
+/// instead), or on the non-unitary operations [`Operation::Measure`] and
+/// [`Operation::Reset`], whose effect depends on a sampled outcome (use
+/// [`StateVector::collapse_qubit`] and the trajectory engine of the
+/// `weaksim` crate).
 pub fn apply_operation(state: &mut StateVector, op: &Operation) {
     match op {
         Operation::Unitary {
@@ -72,6 +87,9 @@ pub fn apply_operation(state: &mut StateVector, op: &Operation) {
             permutation,
             controls,
         } => apply_controlled_permutation(state, permutation, controls),
+        Operation::Measure { .. } | Operation::Reset { .. } => {
+            panic!("non-unitary operation '{op}' cannot be applied as a gate; use collapse_qubit")
+        }
     }
 }
 
@@ -203,6 +221,9 @@ pub fn simulate_with_budget(
     budget: MemoryBudget,
 ) -> Result<StateVector, SimulateError> {
     circuit.validate()?;
+    if let Some(op_index) = circuit.iter().position(Operation::is_non_unitary) {
+        return Err(SimulateError::NonUnitaryOperation { op_index });
+    }
     let required = MemoryBudget::state_vector_bytes(circuit.num_qubits());
     if !budget.allows(required) {
         return Err(SimulateError::MemoryOut {
@@ -403,6 +424,16 @@ mod tests {
             simulate(&c),
             Err(SimulateError::InvalidCircuit(_))
         ));
+    }
+
+    #[test]
+    fn dynamic_circuits_are_rejected_by_strong_simulation() {
+        let mut c = Circuit::new(1);
+        c.h(Qubit(0)).reset(Qubit(0));
+        assert_eq!(
+            simulate(&c),
+            Err(SimulateError::NonUnitaryOperation { op_index: 1 })
+        );
     }
 
     #[test]

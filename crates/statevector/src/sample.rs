@@ -24,30 +24,45 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone)]
 pub struct LinearSampler {
     probabilities: Vec<f64>,
+    /// Total probability mass, summed once at construction.  Recomputing it
+    /// per shot would silently turn `sample_many` from `O(shots * 2^(n-1))`
+    /// average work into `O(shots * 3 * 2^(n-1))`.
+    total: f64,
+    /// Probability-array elements touched so far (construction + scans) —
+    /// the hook for the complexity regression test.
+    #[cfg(test)]
+    visits: std::cell::Cell<u64>,
 }
 
 impl LinearSampler {
     /// Builds the sampler from a state vector (stores only probabilities).
     #[must_use]
     pub fn new(state: &StateVector) -> Self {
-        Self {
-            probabilities: state.probabilities(),
-        }
+        Self::from_probabilities(state.probabilities())
     }
 
     /// Builds the sampler directly from a probability vector.
     #[must_use]
     pub fn from_probabilities(probabilities: Vec<f64>) -> Self {
-        Self { probabilities }
+        let total = probabilities.iter().sum();
+        #[cfg(test)]
+        let construction_visits = probabilities.len() as u64;
+        Self {
+            probabilities,
+            total,
+            #[cfg(test)]
+            visits: std::cell::Cell::new(construction_visits),
+        }
     }
 
     /// Draws one sample by scanning the probability array until the running
     /// sum exceeds a uniformly drawn threshold.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        let total: f64 = self.probabilities.iter().sum();
-        let threshold: f64 = rng.gen::<f64>() * total;
+        let threshold: f64 = rng.gen::<f64>() * self.total;
         let mut running = 0.0;
         for (i, &p) in self.probabilities.iter().enumerate() {
+            #[cfg(test)]
+            self.visits.set(self.visits.get() + 1);
             running += p;
             if running > threshold {
                 return i as u64;
@@ -154,5 +169,30 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(sampler.sample(&mut rng), 2);
         }
+    }
+
+    #[test]
+    fn linear_sampler_does_not_recompute_the_total_per_shot() {
+        // Complexity regression: `sample_many` must do `O(2^n)` work once
+        // (the constructor's total) plus an *average* of `2^(n-1)` scan
+        // steps per shot.  The old behaviour — recomputing `total` inside
+        // `sample` — adds a full `2^n` sweep per shot, pushing the count
+        // past `shots * 2^n` and tripping the bound below.
+        let len = 1u64 << 10;
+        let sampler = LinearSampler::from_probabilities(vec![1.0 / len as f64; len as usize]);
+        assert_eq!(sampler.visits.get(), len, "constructor sums once");
+
+        let shots = 200u64;
+        let mut rng = StdRng::seed_from_u64(17);
+        let samples = sampler.sample_many(&mut rng, shots as usize);
+        assert_eq!(samples.len(), shots as usize);
+
+        let visits = sampler.visits.get();
+        let budget = len + shots * (3 * len / 4);
+        assert!(
+            visits <= budget,
+            "sample_many visited {visits} elements, budget {budget}: \
+             the O(2^n) total recomputation is back in the per-shot path"
+        );
     }
 }

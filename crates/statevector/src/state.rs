@@ -208,6 +208,52 @@ impl StateVector {
         }
         sum.value()
     }
+
+    /// Overwrites this state with the contents of `other`, reusing the
+    /// existing allocation (the per-shot reset of trajectory simulation,
+    /// which would otherwise allocate a fresh `2^n` vector per shot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states have different qubit counts.
+    pub fn copy_from(&mut self, other: &StateVector) {
+        assert_eq!(
+            self.num_qubits, other.num_qubits,
+            "copy_from requires equal qubit counts"
+        );
+        self.amplitudes.copy_from_slice(&other.amplitudes);
+    }
+
+    /// Collapses `qubit` to `outcome` in place: zeroes the amplitudes of the
+    /// other subspace and renormalizes the surviving projection to unit norm
+    /// (the post-measurement state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range or the projected subspace carries
+    /// no probability mass (the outcome is impossible).
+    pub fn collapse_qubit(&mut self, qubit: u16, outcome: u8) {
+        assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
+        let mask = 1usize << qubit;
+        let keep_set = outcome != 0;
+        let mut mass = KahanSum::new();
+        for (i, amp) in self.amplitudes.iter_mut().enumerate() {
+            if (i & mask != 0) == keep_set {
+                mass.add(amp.norm_sqr());
+            } else {
+                *amp = Complex::ZERO;
+            }
+        }
+        let mass = mass.value();
+        assert!(
+            mass > 0.0,
+            "measurement produced an outcome of probability zero"
+        );
+        let scale = 1.0 / mass.sqrt();
+        for amp in &mut self.amplitudes {
+            *amp = *amp * scale;
+        }
+    }
 }
 
 impl fmt::Display for StateVector {
@@ -305,6 +351,40 @@ mod tests {
         ]);
         assert!((s.marginal_one_probability(0) - 0.5).abs() < 1e-12);
         assert!((s.marginal_one_probability(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapse_qubit_projects_and_renormalizes() {
+        let h = mathkit::SQRT1_2;
+        // Bell pair: collapsing either qubit collapses its partner.
+        for outcome in [0u8, 1u8] {
+            let mut s = StateVector::from_amplitudes(vec![
+                Complex::from_real(h),
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::from_real(h),
+            ]);
+            s.collapse_qubit(0, outcome);
+            let expected = if outcome == 1 { 3 } else { 0 };
+            assert!((s.probability(expected) - 1.0).abs() < 1e-12);
+            assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn collapse_renormalizes_drifted_norm_states() {
+        // Squared norm 0.25; collapse must still give a unit-norm state.
+        let mut s =
+            StateVector::from_amplitudes(vec![Complex::from_real(0.3), Complex::from_real(0.4)]);
+        s.collapse_qubit(0, 1);
+        assert!((s.probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability zero")]
+    fn collapsing_to_an_impossible_outcome_panics() {
+        let mut s = StateVector::basis_state(2, 0);
+        s.collapse_qubit(1, 1);
     }
 
     #[test]

@@ -50,10 +50,11 @@ fn main() -> Result<(), weaksim::RunError> {
     // Validate statistical indistinguishability against the exact
     // distribution (available from either strong simulation).
     for outcome in [&dd, &sv] {
-        let chi =
-            stats::chi_square_test(&outcome.histogram, |index| outcome.state.probability(index));
+        let chi = stats::chi_square_test(&outcome.histogram, |index| {
+            outcome.strong().probability(index)
+        });
         let tvd = stats::total_variation_distance(&outcome.histogram, |index| {
-            outcome.state.probability(index)
+            outcome.strong().probability(index)
         });
         println!(
             "{}: chi-square = {:.1} (dof {}), p = {:.3}, TVD = {:.4} -> {}",

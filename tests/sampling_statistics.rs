@@ -16,7 +16,7 @@ fn assert_statistically_indistinguishable(circuit: &circuit::Circuit, seed: u64)
         let outcome = WeakSimulator::new(backend)
             .run(circuit, SHOTS, seed)
             .expect("simulation succeeds");
-        let chi = chi_square_test(&outcome.histogram, |i| outcome.state.probability(i));
+        let chi = chi_square_test(&outcome.histogram, |i| outcome.strong().probability(i));
         assert!(
             chi.is_consistent(SIGNIFICANCE),
             "{} sampling of {} rejected: chi2 = {:.2}, dof = {}, p = {:.6}",
@@ -26,7 +26,7 @@ fn assert_statistically_indistinguishable(circuit: &circuit::Circuit, seed: u64)
             chi.degrees_of_freedom,
             chi.p_value
         );
-        let tvd = total_variation_distance(&outcome.histogram, |i| outcome.state.probability(i));
+        let tvd = total_variation_distance(&outcome.histogram, |i| outcome.strong().probability(i));
         // The expected TVD of a faithful sampler grows with the support size:
         // roughly sqrt(2K / (pi * shots)) for K outcomes. Allow 1.5x that.
         let support = 1u64 << circuit.num_qubits();
@@ -41,7 +41,7 @@ fn assert_statistically_indistinguishable(circuit: &circuit::Circuit, seed: u64)
         // No impossible outcome may ever be produced (error-free sampling).
         for &index in outcome.histogram.counts().keys() {
             assert!(
-                outcome.state.probability(index) > 0.0,
+                outcome.strong().probability(index) > 0.0,
                 "{} produced impossible outcome {index:b}",
                 backend
             );

@@ -1,0 +1,190 @@
+//! End-to-end tests of dynamic-circuit (trajectory) simulation: QASM-level
+//! teleportation, measure-and-reset qubit reuse, cross-backend agreement and
+//! thread-count-invariant determinism.
+
+use circuit::{qasm, Circuit, Qubit};
+use weaksim::{simulate_trajectories_with_threads, Backend, WeakSimulator};
+
+/// Quantum teleportation with mid-circuit measurement, expressed in the
+/// OpenQASM 2.0 subset.  Qubit 0 carries `ry(1.2)|0>`; after the two
+/// mid-circuit measurements the corrections are applied as CX/CZ from the
+/// *collapsed* qubits (equivalent to classically controlled X/Z), and the
+/// teleported state is read out of qubit 2 into `c[2]`.
+const TELEPORTATION_QASM: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+ry(1.2) q[0];
+h q[1];
+cx q[1],q[2];
+cx q[0],q[1];
+h q[0];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+cx q[1],q[2];
+cz q[0],q[2];
+measure q[2] -> c[2];
+"#;
+
+/// `P(c2 = 1)` for the teleported state `ry(1.2)|0>`: `sin^2(0.6)`.
+fn teleported_one_probability() -> f64 {
+    (0.6f64).sin().powi(2)
+}
+
+#[test]
+fn teleportation_qasm_parses_as_a_dynamic_circuit() {
+    let circuit = qasm::parse(TELEPORTATION_QASM).expect("teleportation QASM parses");
+    assert_eq!(circuit.num_qubits(), 3);
+    assert_eq!(circuit.num_clbits(), 3);
+    assert!(circuit.is_dynamic());
+    assert_eq!(circuit.len(), 10);
+    assert!(circuit.validate().is_ok());
+    // The QASM text is the same workload the bench and example use, so the
+    // three surfaces cannot silently drift apart.
+    assert_eq!(
+        circuit.operations(),
+        algorithms::teleportation(1.2).operations()
+    );
+}
+
+#[test]
+fn teleportation_distributions_match_on_both_backends() {
+    let circuit = qasm::parse(TELEPORTATION_QASM).unwrap();
+    let shots = 40_000u64;
+    let p_one = teleported_one_probability();
+
+    let mut histograms = Vec::new();
+    for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+        let outcome = WeakSimulator::new(backend)
+            .run(&circuit, shots, 77)
+            .unwrap();
+        assert_eq!(outcome.histogram.shots(), shots);
+        assert_eq!(outcome.histogram.num_qubits(), 3);
+
+        // The teleported qubit's marginal must match the prepared state,
+        // independent of the (uniform) correction bits c0/c1.
+        let observed_one: u64 = outcome
+            .histogram
+            .counts()
+            .iter()
+            .filter(|(&record, _)| record & 0b100 != 0)
+            .map(|(_, &count)| count)
+            .sum();
+        let freq = observed_one as f64 / shots as f64;
+        assert!(
+            (freq - p_one).abs() < 0.01,
+            "{backend}: teleported P(1) = {freq}, expected {p_one}"
+        );
+
+        // Each (c0, c1) correction pattern occurs a quarter of the time.
+        for pattern in 0..4u64 {
+            let count: u64 = outcome
+                .histogram
+                .counts()
+                .iter()
+                .filter(|(&record, _)| record & 0b11 == pattern)
+                .map(|(_, &count)| count)
+                .sum();
+            let freq = count as f64 / shots as f64;
+            assert!(
+                (freq - 0.25).abs() < 0.02,
+                "{backend}: correction pattern {pattern:02b} frequency {freq}"
+            );
+        }
+        histograms.push(outcome.histogram);
+    }
+
+    // The full 3-bit record distributions of the two backends agree.
+    for record in 0..8u64 {
+        let dd = histograms[0].frequency(record);
+        let sv = histograms[1].frequency(record);
+        assert!(
+            (dd - sv).abs() < 0.015,
+            "record {record:03b}: DD {dd} vs SV {sv}"
+        );
+    }
+}
+
+#[test]
+fn measure_and_reset_reuses_a_qubit_for_independent_coins() {
+    // One physical qubit produces three independent fair coins through
+    // measure-reset-reuse — the workload that motivates qubit reuse.
+    let mut circuit = Circuit::with_name(1, "coin_reuse_3");
+    for c in 0..3u16 {
+        if c > 0 {
+            circuit.reset(Qubit(0));
+        }
+        circuit.h(Qubit(0)).measure(Qubit(0), c);
+    }
+    assert!(circuit.is_dynamic());
+
+    let shots = 32_000u64;
+    for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+        let outcome = WeakSimulator::new(backend).run(&circuit, shots, 3).unwrap();
+        assert_eq!(outcome.histogram.distinct_outcomes(), 8);
+        for record in 0..8u64 {
+            let freq = outcome.histogram.frequency(record);
+            assert!(
+                (freq - 0.125).abs() < 0.01,
+                "{backend}: record {record:03b} frequency {freq}"
+            );
+        }
+    }
+}
+
+#[test]
+fn trajectories_are_deterministic_across_thread_counts() {
+    let circuit = qasm::parse(TELEPORTATION_QASM).unwrap();
+    // Enough shots for several 1024-shot chunks so every thread count
+    // exercises real work distribution.
+    let shots = 5 * 1024 + 311;
+    for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+        let reference =
+            simulate_trajectories_with_threads(backend, &circuit, shots, 2020, 1).unwrap();
+        for threads in [2, 8] {
+            let run = simulate_trajectories_with_threads(backend, &circuit, shots, 2020, threads)
+                .unwrap();
+            assert_eq!(
+                reference.histogram, run.histogram,
+                "{backend}: {threads} threads changed the classical records"
+            );
+        }
+    }
+}
+
+#[test]
+fn dynamic_circuits_roundtrip_through_qasm() {
+    let circuit = qasm::parse(TELEPORTATION_QASM).unwrap();
+    let written = qasm::to_qasm(&circuit).unwrap();
+    let reparsed = qasm::parse(&written).unwrap();
+    assert_eq!(reparsed.operations(), circuit.operations());
+    assert_eq!(reparsed.num_clbits(), circuit.num_clbits());
+
+    // The reparsed circuit simulates identically (same seed, same records).
+    let a = WeakSimulator::new(Backend::DecisionDiagram)
+        .run(&circuit, 2048, 5)
+        .unwrap();
+    let b = WeakSimulator::new(Backend::DecisionDiagram)
+        .run(&reparsed, 2048, 5)
+        .unwrap();
+    assert_eq!(a.histogram, b.histogram);
+}
+
+#[test]
+fn static_circuits_still_keep_their_strong_state() {
+    // A static circuit with a terminal measurement block keeps the fast
+    // path: the outcome exposes the strong state and a classical histogram.
+    let mut circuit = Circuit::new(2);
+    circuit.h(Qubit(0)).cx(Qubit(0), Qubit(1)).measure_all();
+    assert!(!circuit.is_dynamic());
+    let outcome = WeakSimulator::new(Backend::DecisionDiagram)
+        .run(&circuit, 1000, 1)
+        .unwrap();
+    assert!(outcome.state.is_some());
+    assert!(outcome
+        .histogram
+        .counts()
+        .keys()
+        .all(|&record| record == 0 || record == 0b11));
+}
