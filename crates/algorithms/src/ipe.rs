@@ -1,0 +1,108 @@
+//! Iterative phase estimation — the canonical classically-controlled
+//! qubit-reuse workload.
+
+use circuit::{Circuit, OneQubitGate, Qubit};
+use mathkit::Angle;
+
+/// Builds the single-ancilla iterative-phase-estimation circuit estimating
+/// the eigenphase of the phase gate `P(phase)` to `num_bits` binary digits.
+///
+/// Qubit 1 is prepared in `|1>`, the `e^{i*phase}` eigenstate of `P(phase)`.
+/// Round `j` (for `j = 0..num_bits`) reuses the single ancilla qubit 0:
+///
+/// 1. reset the ancilla (after the first round) and put it in `|+>`,
+/// 2. kick back the phase of `P(phase)^(2^(num_bits-1-j))` with a controlled
+///    phase gate,
+/// 3. rotate the already-extracted bits back out with classically
+///    conditioned phase corrections — one `if (c==v) p(-pi*v/2^j)` per
+///    possible register value `v` (OpenQASM 2.0 conditions compare the whole
+///    register, so the correction is enumerated per value),
+/// 4. measure the ancilla in the X basis into `c[j]`.
+///
+/// When `phase = 2*pi*m / 2^num_bits` for an integer `m`, every round is
+/// deterministic and the classical register ends holding exactly `m`
+/// (least-significant bit measured first).  The circuit uses 2 qubits,
+/// `num_bits` classical bits and `Θ(2^num_bits)` conditioned corrections.
+///
+/// # Panics
+///
+/// Panics if `num_bits` is 0 or greater than 16 (the conditioned-correction
+/// count grows as `2^num_bits`).
+///
+/// # Examples
+///
+/// ```
+/// let c = algorithms::ipe(3, 2.0 * std::f64::consts::PI * 5.0 / 8.0);
+/// assert_eq!(c.num_qubits(), 2);
+/// assert_eq!(c.num_clbits(), 3);
+/// assert!(c.is_dynamic());
+/// assert!(c.validate().is_ok());
+/// ```
+#[must_use]
+pub fn ipe(num_bits: u16, phase: f64) -> Circuit {
+    assert!(
+        (1..=16).contains(&num_bits),
+        "ipe supports 1..=16 bits, got {num_bits}"
+    );
+    let mut c = Circuit::with_name(2, format!("ipe_{num_bits}"));
+    c.set_num_clbits(num_bits);
+    // The |1> eigenstate of the phase gate.
+    c.x(Qubit(1));
+    for j in 0..num_bits {
+        if j > 0 {
+            c.reset(Qubit(0));
+        }
+        c.h(Qubit(0));
+        // Controlled-P(phase)^(2^e): phase gates compose by angle addition.
+        let exponent = num_bits - 1 - j;
+        c.cp(
+            Angle::Radians(phase * (1u64 << exponent) as f64),
+            Qubit(0),
+            Qubit(1),
+        );
+        // Feed-forward corrections: with bits m_0..m_{j-1} already in the
+        // register (value v), the kicked-back phase carries an extra
+        // pi*v/2^j that must be rotated away before the X-basis read-out.
+        for v in 1..(1u64 << j) {
+            let correction = -std::f64::consts::PI * v as f64 / (1u64 << j) as f64;
+            c.conditioned_gate(v, OneQubitGate::Phase(Angle::Radians(correction)), Qubit(0));
+        }
+        c.h(Qubit(0)).measure(Qubit(0), j);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipe_has_the_documented_shape() {
+        let c = ipe(3, 2.0 * std::f64::consts::PI * 3.0 / 8.0);
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.num_clbits(), 3);
+        assert!(c.is_dynamic());
+        assert!(c.validate().is_ok());
+        let stats = c.stats();
+        assert_eq!(stats.counts["measure"], 3);
+        assert_eq!(stats.counts["reset"], 2);
+        // 2^1 - 1 + 2^2 - 1 = 4 conditioned corrections.
+        assert_eq!(stats.counts["if p"], 4);
+    }
+
+    #[test]
+    fn ipe_survives_a_qasm_round_trip() {
+        let c = ipe(3, 2.0 * std::f64::consts::PI * 5.0 / 8.0);
+        let text = circuit::qasm::to_qasm(&c).unwrap();
+        assert!(text.contains("if (c=="));
+        let parsed = circuit::qasm::parse(&text).unwrap();
+        assert_eq!(parsed.operations(), c.operations());
+        assert_eq!(parsed.num_clbits(), c.num_clbits());
+    }
+
+    #[test]
+    #[should_panic(expected = "ipe supports 1..=16 bits")]
+    fn ipe_rejects_zero_bits() {
+        let _ = ipe(0, 1.0);
+    }
+}

@@ -13,7 +13,9 @@
 //!   quantum-supremacy benchmarks (`supremacy_AxB_C`),
 //! * [`ghz`], [`w_state`], [`random_circuit`] — auxiliary workloads,
 //! * [`teleportation`] — the dynamic-circuit (mid-circuit measurement)
-//!   reference workload.
+//!   reference workload,
+//! * [`ipe`] — single-ancilla iterative phase estimation, the
+//!   classically-controlled (`if (c==k)`) qubit-reuse reference workload.
 //!
 //! Every generator is deterministic given its parameters (and seed, where
 //! randomness is involved), so experiments are reproducible.
@@ -35,6 +37,7 @@
 mod dynamic;
 mod entangle;
 mod grover;
+mod ipe;
 mod jellium;
 mod qft;
 mod random;
@@ -44,6 +47,7 @@ mod supremacy;
 pub use dynamic::teleportation;
 pub use entangle::{bell_pair, ghz, w_state};
 pub use grover::{grover, grover_with_iterations, GroverSpec};
+pub use ipe::ipe;
 pub use jellium::{jellium, JelliumSpec};
 pub use qft::{inverse_qft, qft};
 pub use random::random_circuit;

@@ -30,6 +30,13 @@ fn trajectory_workload() -> circuit::Circuit {
     algorithms::teleportation(1.2)
 }
 
+/// Iterative phase estimation: the classically-controlled (`if (c==k)`)
+/// reference workload — measure/reset qubit reuse plus feed-forward phase
+/// corrections resolved against the per-shot classical record.
+fn ipe_workload() -> circuit::Circuit {
+    algorithms::ipe(3, 1.0)
+}
+
 fn workloads() -> Vec<circuit::Circuit> {
     vec![
         algorithms::qft(20, true),
@@ -142,20 +149,24 @@ fn bench_trajectories(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.throughput(Throughput::Elements(SHOTS));
 
-    let circuit = trajectory_workload();
-    for backend in [Backend::DecisionDiagram, Backend::StateVector] {
-        group.bench_with_input(
-            BenchmarkId::new("teleportation_shots", format!("{backend}")),
-            &circuit,
-            |b, circuit| {
-                b.iter(|| {
-                    simulate_trajectories_with_threads(backend, circuit, SHOTS, BENCH_SEED, 1)
-                        .expect("trajectory simulation succeeds")
-                        .histogram
-                        .shots()
-                });
-            },
-        );
+    for (name, circuit) in [
+        ("teleportation_shots", trajectory_workload()),
+        ("ipe_shots", ipe_workload()),
+    ] {
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{backend}")),
+                &circuit,
+                |b, circuit| {
+                    b.iter(|| {
+                        simulate_trajectories_with_threads(backend, circuit, SHOTS, BENCH_SEED, 1)
+                            .expect("trajectory simulation succeeds")
+                            .histogram
+                            .shots()
+                    });
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -213,26 +224,42 @@ fn record_baseline_json(_c: &mut Criterion) {
             .sum()
     });
 
-    // The dynamic-circuit trajectory engine on the teleportation workload
-    // (single worker for a machine-independent per-shot number).
-    let trajectory_circuit = trajectory_workload();
+    // The dynamic-circuit trajectory engine on the teleportation and the
+    // iterative-phase-estimation (classically-controlled) workloads: one
+    // single-worker run each for a machine-independent per-shot number, plus
+    // a run on every available worker so multi-thread scaling is *recorded*
+    // with the thread count that actually ran — not assumed from the bench
+    // configuration (on a 1-CPU box the parallel entry simply repeats the
+    // single-thread number with "threads": 1).
     let trajectory_shots = shots as u64;
-    let trajectory_seconds = time(&mut || {
-        simulate_trajectories_with_threads(
-            Backend::DecisionDiagram,
-            &trajectory_circuit,
-            trajectory_shots,
-            BENCH_SEED,
-            1,
+    let trajectory_entry = |circuit: &circuit::Circuit, workers: usize| -> String {
+        let seconds = time(&mut || {
+            simulate_trajectories_with_threads(
+                Backend::DecisionDiagram,
+                circuit,
+                trajectory_shots,
+                BENCH_SEED,
+                workers,
+            )
+            .expect("trajectory simulation succeeds")
+            .histogram
+            .shots()
+        });
+        format!(
+            "{{\n    \"benchmark\": \"{name}\",\n    \"backend\": \"dd\",\n    \"shots\": {trajectory_shots},\n    \"threads\": {workers},\n    \"seconds\": {seconds:.6},\n    \"shots_per_second\": {rate:.0}\n  }}",
+            name = circuit.name(),
+            rate = trajectory_shots as f64 / seconds,
         )
-        .expect("trajectory simulation succeeds")
-        .histogram
-        .shots()
-    });
+    };
+    let trajectory_circuit = trajectory_workload();
+    let ipe_circuit = ipe_workload();
+    let trajectory_json = trajectory_entry(&trajectory_circuit, 1);
+    let trajectory_parallel_json = trajectory_entry(&trajectory_circuit, threads);
+    let ipe_json = trajectory_entry(&ipe_circuit, 1);
 
     let rate = |seconds: f64| shots as f64 / seconds;
     let json = format!(
-        "{{\n  \"benchmark\": \"{name}\",\n  \"qubits\": {qubits},\n  \"dd_nodes\": {nodes},\n  \"shots\": {shots},\n  \"threads\": {threads},\n  \"compile_seconds\": {compile_seconds:.6},\n  \"samplers\": {{\n    \"dd_sampler\": {{ \"seconds\": {dd:.6}, \"shots_per_second\": {dd_rate:.0} }},\n    \"normalized_sampler\": {{ \"seconds\": {nm:.6}, \"shots_per_second\": {nm_rate:.0} }},\n    \"compiled_sampler\": {{ \"seconds\": {cp:.6}, \"shots_per_second\": {cp_rate:.0} }},\n    \"compiled_parallel\": {{ \"seconds\": {pl:.6}, \"shots_per_second\": {pl_rate:.0} }}\n  }},\n  \"trajectory\": {{\n    \"benchmark\": \"{tname}\",\n    \"backend\": \"dd\",\n    \"shots\": {tshots},\n    \"seconds\": {tj:.6},\n    \"shots_per_second\": {tj_rate:.0}\n  }},\n  \"speedup_compiled_vs_dd_sampler\": {speedup:.2},\n  \"speedup_parallel_vs_dd_sampler\": {pspeedup:.2}\n}}\n",
+        "{{\n  \"benchmark\": \"{name}\",\n  \"qubits\": {qubits},\n  \"dd_nodes\": {nodes},\n  \"shots\": {shots},\n  \"threads\": {threads},\n  \"compile_seconds\": {compile_seconds:.6},\n  \"samplers\": {{\n    \"dd_sampler\": {{ \"seconds\": {dd:.6}, \"shots_per_second\": {dd_rate:.0} }},\n    \"normalized_sampler\": {{ \"seconds\": {nm:.6}, \"shots_per_second\": {nm_rate:.0} }},\n    \"compiled_sampler\": {{ \"seconds\": {cp:.6}, \"shots_per_second\": {cp_rate:.0} }},\n    \"compiled_parallel\": {{ \"seconds\": {pl:.6}, \"shots_per_second\": {pl_rate:.0}, \"threads\": {threads} }}\n  }},\n  \"trajectory\": {trajectory_json},\n  \"trajectory_parallel\": {trajectory_parallel_json},\n  \"trajectory_ipe\": {ipe_json},\n  \"speedup_compiled_vs_dd_sampler\": {speedup:.2},\n  \"speedup_parallel_vs_dd_sampler\": {pspeedup:.2}\n}}\n",
         name = circuit.name(),
         qubits = circuit.num_qubits(),
         dd = dd_seconds,
@@ -243,10 +270,6 @@ fn record_baseline_json(_c: &mut Criterion) {
         cp_rate = rate(compiled_seconds),
         pl = parallel_seconds,
         pl_rate = rate(parallel_seconds),
-        tname = trajectory_circuit.name(),
-        tshots = trajectory_shots,
-        tj = trajectory_seconds,
-        tj_rate = trajectory_shots as f64 / trajectory_seconds,
         speedup = dd_seconds / compiled_seconds,
         pspeedup = dd_seconds / parallel_seconds,
     );

@@ -1,6 +1,6 @@
 //! The [`Circuit`] container and its builder methods.
 
-use crate::{CircuitStats, OneQubitGate, Operation, Permutation, Qubit};
+use crate::{CircuitStats, Condition, OneQubitGate, Operation, Permutation, Qubit};
 use mathkit::Angle;
 use std::fmt;
 
@@ -69,6 +69,24 @@ pub enum ValidateCircuitError {
         /// The declared classical register width.
         num_clbits: u16,
     },
+    /// A classical condition compares the register against a value that does
+    /// not fit in [`num_clbits`](Circuit::num_clbits) bits — the condition
+    /// could never be satisfied.
+    ConditionValueTooWide {
+        /// Index of the offending operation.
+        op_index: usize,
+        /// The compared value.
+        value: u64,
+        /// Number of classical bits in the circuit.
+        num_clbits: u16,
+    },
+    /// A [`Operation::Conditioned`] wraps something other than a unitary
+    /// gate operation (a measurement, reset or nested condition), which the
+    /// supported subset does not allow.
+    ConditionedNonGate {
+        /// Index of the offending operation.
+        op_index: usize,
+    },
 }
 
 impl fmt::Display for ValidateCircuitError {
@@ -97,6 +115,18 @@ impl fmt::Display for ValidateCircuitError {
             ValidateCircuitError::ClassicalRegisterTooWide { num_clbits } => write!(
                 f,
                 "classical register of {num_clbits} bits does not fit the 64-bit measurement records"
+            ),
+            ValidateCircuitError::ConditionValueTooWide {
+                op_index,
+                value,
+                num_clbits,
+            } => write!(
+                f,
+                "operation {op_index} compares the classical register against {value}, which does not fit in {num_clbits} classical bits"
+            ),
+            ValidateCircuitError::ConditionedNonGate { op_index } => write!(
+                f,
+                "operation {op_index} conditions a non-gate operation; only unitary gates can be classically conditioned"
             ),
         }
     }
@@ -359,6 +389,40 @@ impl Circuit {
         self.push(Operation::Reset { qubit })
     }
 
+    /// Appends `op` guarded by the classical condition `creg == value`
+    /// (QASM `if (c==value) gate;`): during trajectory simulation the
+    /// operation is applied only when the classical register currently holds
+    /// `value`.  The inner operation must be a unitary gate; see
+    /// [`validate`](Self::validate).
+    ///
+    /// Like [`measure`](Self::measure), this grows the classical register to
+    /// cover the compared value (at least one bit), so the circuit always
+    /// carries the `creg` its conditions read.
+    pub fn conditioned(&mut self, value: u64, op: Operation) -> &mut Self {
+        let width = u16::try_from(64 - value.leading_zeros())
+            .expect("width is at most 64")
+            .max(1);
+        self.num_clbits = self.num_clbits.max(width);
+        self.push(Operation::Conditioned {
+            condition: Condition::equals(value),
+            op: Box::new(op),
+        })
+    }
+
+    /// Appends a single-qubit gate guarded by `creg == value` — the common
+    /// case of classically-conditioned corrections (e.g. the phase feedback
+    /// of iterative phase estimation).
+    pub fn conditioned_gate(&mut self, value: u64, gate: OneQubitGate, target: Qubit) -> &mut Self {
+        self.conditioned(
+            value,
+            Operation::Unitary {
+                gate,
+                target,
+                controls: Vec::new(),
+            },
+        )
+    }
+
     /// Returns `true` if the circuit contains at least one
     /// [`Operation::Measure`].
     #[must_use]
@@ -369,9 +433,9 @@ impl Circuit {
     }
 
     /// Returns `true` if the circuit needs trajectory-style (per-shot)
-    /// simulation: it contains a [`Operation::Reset`] anywhere, or a
-    /// [`Operation::Measure`] that is followed by any non-measurement
-    /// operation.
+    /// simulation: it contains a [`Operation::Reset`] or
+    /// [`Operation::Conditioned`] anywhere, or a [`Operation::Measure`] that
+    /// is followed by any non-measurement operation.
     ///
     /// Circuits whose measurements all sit in one trailing block are *not*
     /// dynamic: they are equivalent to a unitary circuit followed by one
@@ -382,7 +446,7 @@ impl Circuit {
         let mut seen_measure = false;
         for op in &self.ops {
             match op {
-                Operation::Reset { .. } => return true,
+                Operation::Reset { .. } | Operation::Conditioned { .. } => return true,
                 Operation::Measure { .. } => seen_measure = true,
                 _ if seen_measure => return true,
                 _ => {}
@@ -454,14 +518,30 @@ impl Circuit {
                     });
                 }
             }
-            if let Operation::Measure { cbit, .. } = op {
-                if *cbit >= self.num_clbits {
+            match op {
+                Operation::Measure { cbit, .. } if *cbit >= self.num_clbits => {
                     return Err(ValidateCircuitError::ClbitOutOfRange {
                         op_index,
                         cbit: *cbit,
                         num_clbits: self.num_clbits,
                     });
                 }
+                Operation::Conditioned { condition, op } => {
+                    if op.is_non_unitary() || op.is_conditioned() {
+                        return Err(ValidateCircuitError::ConditionedNonGate { op_index });
+                    }
+                    // The register-width cap above guarantees the shift is
+                    // in range whenever num_clbits < 64; a full 64-bit
+                    // register admits every u64 value.
+                    if self.num_clbits < 64 && condition.value >> self.num_clbits != 0 {
+                        return Err(ValidateCircuitError::ConditionValueTooWide {
+                            op_index,
+                            value: condition.value,
+                            num_clbits: self.num_clbits,
+                        });
+                    }
+                }
+                _ => {}
             }
         }
         Ok(())
@@ -483,9 +563,8 @@ impl Circuit {
     /// resets have no inverse.
     #[must_use]
     pub fn adjoint(&self) -> Circuit {
-        let mut out = Circuit::with_name(self.num_qubits, format!("{}_dg", self.name));
-        for op in self.ops.iter().rev() {
-            let inverted = match op {
+        fn inverted(op: &Operation) -> Operation {
+            match op {
                 Operation::Unitary {
                     gate,
                     target,
@@ -503,11 +582,21 @@ impl Circuit {
                     permutation: permutation.inverse(),
                     controls: controls.clone(),
                 },
+                // A condition reads only the classical register, which no
+                // unitary circuit ever writes, so inverting the guarded gate
+                // under the same guard inverts the conditioned operation.
+                Operation::Conditioned { condition, op } => Operation::Conditioned {
+                    condition: *condition,
+                    op: Box::new(inverted(op)),
+                },
                 Operation::Measure { .. } | Operation::Reset { .. } => {
                     panic!("cannot invert the non-unitary operation '{op}'")
                 }
-            };
-            out.push(inverted);
+            }
+        }
+        let mut out = Circuit::with_name(self.num_qubits, format!("{}_dg", self.name));
+        for op in self.ops.iter().rev() {
+            out.push(inverted(op));
         }
         out
     }
@@ -704,6 +793,102 @@ mod tests {
         let mut with_reset = Circuit::new(1);
         with_reset.h(Qubit(0)).reset(Qubit(0));
         assert!(with_reset.is_dynamic());
+    }
+
+    #[test]
+    fn conditioned_gates_make_circuits_dynamic_and_validate() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0))
+            .measure(Qubit(0), 0)
+            .conditioned_gate(1, OneQubitGate::X, Qubit(1));
+        assert!(c.is_dynamic());
+        assert!(c.split_terminal_measurements().is_none());
+        assert!(c.validate().is_ok());
+        assert_eq!(c.stats().counts["if x"], 1);
+
+        // The builder grows the classical register to cover the compared
+        // value (and to at least one bit), like `measure` does for its cbit.
+        let mut growing = Circuit::new(1);
+        growing.conditioned_gate(0, OneQubitGate::X, Qubit(0));
+        assert_eq!(growing.num_clbits(), 1);
+        growing.conditioned_gate(5, OneQubitGate::X, Qubit(0));
+        assert_eq!(growing.num_clbits(), 3);
+        assert!(growing.validate().is_ok());
+
+        // A condition value wider than the classical register (reachable via
+        // raw `push`, never via the growing builder) can never fire.
+        let mut wide = Circuit::new(1);
+        wide.measure(Qubit(0), 0).push(Operation::Conditioned {
+            condition: Condition::equals(2),
+            op: Box::new(Operation::Unitary {
+                gate: OneQubitGate::X,
+                target: Qubit(0),
+                controls: vec![],
+            }),
+        });
+        assert!(matches!(
+            wide.validate(),
+            Err(ValidateCircuitError::ConditionValueTooWide {
+                value: 2,
+                num_clbits: 1,
+                ..
+            })
+        ));
+        let msg = wide.validate().unwrap_err().to_string();
+        assert!(msg.contains("does not fit in 1 classical bits"));
+
+        // Conditioned qubits still go through the range check.
+        let mut bad_qubit = Circuit::new(1);
+        bad_qubit.conditioned_gate(0, OneQubitGate::X, Qubit(7));
+        assert!(matches!(
+            bad_qubit.validate(),
+            Err(ValidateCircuitError::QubitOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn conditioned_non_gates_are_rejected() {
+        for inner in [
+            Operation::Measure {
+                qubit: Qubit(0),
+                cbit: 0,
+            },
+            Operation::Reset { qubit: Qubit(0) },
+            Operation::Conditioned {
+                condition: Condition::equals(0),
+                op: Box::new(Operation::Reset { qubit: Qubit(0) }),
+            },
+        ] {
+            let mut c = Circuit::new(1);
+            c.measure(Qubit(0), 0).conditioned(0, inner);
+            assert!(
+                matches!(
+                    c.validate(),
+                    Err(ValidateCircuitError::ConditionedNonGate { op_index: 1 })
+                ),
+                "{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn adjoint_inverts_conditioned_gates_under_the_same_guard() {
+        let mut c = Circuit::new(1);
+        c.conditioned_gate(1, OneQubitGate::S, Qubit(0));
+        let adj = c.adjoint();
+        match &adj.operations()[0] {
+            Operation::Conditioned { condition, op } => {
+                assert_eq!(condition.value, 1);
+                assert!(matches!(
+                    op.as_ref(),
+                    Operation::Unitary {
+                        gate: OneQubitGate::Sdg,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!   matrices.
 //! * [`Operation`] — the lowered operation set every engine must support:
 //!   (multi-)controlled single-qubit unitaries, (controlled) swaps and
-//!   (controlled) basis-state permutations on a register.  Permutations are
+//!   (controlled) basis-state permutations on a register, plus the dynamic
+//!   operations: measurements, resets and classically-conditioned gates
+//!   (a [`Condition`]-guarded unitary, QASM `if (c==k)`).  Permutations are
 //!   what keeps Shor's modular-exponentiation circuits self-contained (see
 //!   `DESIGN.md`).
 //! * [`Circuit`] — an ordered list of operations with convenience builder
@@ -42,7 +44,7 @@ mod stats;
 
 pub use crate::circuit::{Circuit, ValidateCircuitError};
 pub use gate::OneQubitGate;
-pub use op::{Operation, Permutation};
+pub use op::{Condition, Operation, Permutation};
 pub use stats::CircuitStats;
 
 /// A qubit index within a circuit.

@@ -132,6 +132,46 @@ impl Permutation {
     }
 }
 
+/// A classical equality condition guarding an operation: the full classical
+/// register compared against a constant, the semantics of OpenQASM 2.0
+/// `if (c==k) ...` statements.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::Condition;
+///
+/// let cond = Condition::equals(0b101);
+/// assert!(cond.is_satisfied_by(0b101));
+/// assert!(!cond.is_satisfied_by(0b001));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Condition {
+    /// The value the classical register must equal for the guarded operation
+    /// to fire.
+    pub value: u64,
+}
+
+impl Condition {
+    /// Creates the condition `creg == value`.
+    #[must_use]
+    pub fn equals(value: u64) -> Self {
+        Self { value }
+    }
+
+    /// Evaluates the condition against a classical-register record.
+    #[must_use]
+    pub fn is_satisfied_by(self, record: u64) -> bool {
+        record == self.value
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c=={}", self.value)
+    }
+}
+
 /// A lowered circuit operation.
 ///
 /// Every unitary operation optionally carries *positive controls*: the
@@ -143,6 +183,13 @@ impl Permutation {
 /// the state evolution after one of them depends on a sampled outcome, so
 /// such circuits are simulated trajectory-by-trajectory (see the `weaksim`
 /// crate) instead of by a single strong-simulation pass.
+///
+/// [`Conditioned`](Operation::Conditioned) wraps a unitary operation in a
+/// classical [`Condition`]: the inner operation is applied only when the
+/// classical register currently equals the compared value.  Conditioned
+/// operations also make a circuit dynamic — which gates fire depends on
+/// earlier measurement outcomes — even though each of them is unitary on the
+/// quantum state whenever it does fire.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Operation {
     /// A (multi-)controlled single-qubit unitary.
@@ -183,6 +230,17 @@ pub enum Operation {
         /// The qubit forced back to `|0>`.
         qubit: Qubit,
     },
+    /// A classically-conditioned unitary operation (QASM `if (c==k) gate;`):
+    /// `op` is applied only when the classical register equals
+    /// `condition.value`.  The inner operation must be unitary (never a
+    /// measurement, reset or another condition); [`Circuit::validate`]
+    /// (crate::Circuit::validate) enforces this.
+    Conditioned {
+        /// The classical guard.
+        condition: Condition,
+        /// The guarded unitary operation.
+        op: Box<Operation>,
+    },
 }
 
 impl Operation {
@@ -194,6 +252,7 @@ impl Operation {
             Operation::Swap { a, b, .. } => vec![*a, *b],
             Operation::Permute { permutation, .. } => permutation.qubits().to_vec(),
             Operation::Measure { qubit, .. } | Operation::Reset { qubit } => vec![*qubit],
+            Operation::Conditioned { op, .. } => op.targets(),
         }
     }
 
@@ -205,6 +264,7 @@ impl Operation {
             | Operation::Swap { controls, .. }
             | Operation::Permute { controls, .. } => controls,
             Operation::Measure { .. } | Operation::Reset { .. } => &[],
+            Operation::Conditioned { op, .. } => op.controls(),
         }
     }
 
@@ -216,6 +276,25 @@ impl Operation {
     #[must_use]
     pub fn is_non_unitary(&self) -> bool {
         matches!(self, Operation::Measure { .. } | Operation::Reset { .. })
+    }
+
+    /// Returns `true` for [`Conditioned`](Operation::Conditioned) operations,
+    /// whose effect depends on the classical register and which therefore
+    /// require trajectory-style simulation (like the non-unitary operations,
+    /// they have no meaning in a single strong-simulation pass).
+    #[must_use]
+    pub fn is_conditioned(&self) -> bool {
+        matches!(self, Operation::Conditioned { .. })
+    }
+
+    /// The classical guard of a [`Conditioned`](Operation::Conditioned)
+    /// operation, or `None` for unconditioned operations.
+    #[must_use]
+    pub fn condition(&self) -> Option<Condition> {
+        match self {
+            Operation::Conditioned { condition, .. } => Some(*condition),
+            _ => None,
+        }
     }
 
     /// All qubits touched by this operation (controls and targets).
@@ -270,6 +349,7 @@ impl fmt::Display for Operation {
             ),
             Operation::Measure { qubit, cbit } => write!(f, "measure {qubit} -> c[{cbit}]"),
             Operation::Reset { qubit } => write!(f, "reset {qubit}"),
+            Operation::Conditioned { condition, op } => write!(f, "if ({condition}) {op}"),
         }
     }
 }
@@ -356,6 +436,38 @@ mod tests {
             controls: vec![],
         };
         assert!(!u.is_non_unitary());
+    }
+
+    #[test]
+    fn conditioned_accessors_delegate_to_the_inner_operation() {
+        let op = Operation::Conditioned {
+            condition: Condition::equals(3),
+            op: Box::new(Operation::Unitary {
+                gate: OneQubitGate::X,
+                target: Qubit(2),
+                controls: vec![Qubit(0)],
+            }),
+        };
+        assert_eq!(op.targets(), vec![Qubit(2)]);
+        assert_eq!(op.controls(), &[Qubit(0)]);
+        assert_eq!(op.max_qubit(), Some(Qubit(2)));
+        assert!(op.is_conditioned());
+        assert!(!op.is_non_unitary());
+        assert_eq!(op.condition(), Some(Condition::equals(3)));
+        assert_eq!(op.to_string(), "if (c==3) x q[2] ctrl[q[0]]");
+
+        let plain = Operation::Reset { qubit: Qubit(0) };
+        assert!(!plain.is_conditioned());
+        assert_eq!(plain.condition(), None);
+    }
+
+    #[test]
+    fn condition_evaluates_whole_register_equality() {
+        let cond = Condition::equals(0b10);
+        assert!(cond.is_satisfied_by(0b10));
+        assert!(!cond.is_satisfied_by(0b11));
+        assert!(!cond.is_satisfied_by(0));
+        assert_eq!(cond.to_string(), "c==2");
     }
 
     #[test]

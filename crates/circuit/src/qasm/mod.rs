@@ -14,6 +14,12 @@
 //!   become [`Operation::Reset`](crate::Operation) operations — mid-circuit
 //!   placements are preserved, which is what makes dynamic circuits
 //!   (teleportation, measure-and-reset qubit reuse) expressible
+//! * classically-controlled gates: `if (c==k) gate ...;` becomes an
+//!   [`Operation::Conditioned`](crate::Operation) wrapping the gate, guarded
+//!   by the whole-register equality `c == k` — the feed-forward primitive
+//!   that makes iterative phase estimation expressible.  Only gate
+//!   statements can be conditioned (no `if` on `measure`/`reset`), and the
+//!   compared value must fit the declared `creg`
 //! * `barrier` statements are accepted and ignored
 //!
 //! Basis-state [`Permutation`](crate::Permutation) operations have no QASM
@@ -74,6 +80,7 @@ mod tests {
                 crate::Operation::Permute { .. } => "permute".into(),
                 crate::Operation::Measure { .. } => "measure".into(),
                 crate::Operation::Reset { .. } => "reset".into(),
+                crate::Operation::Conditioned { .. } => "if".into(),
             })
             .collect();
         assert_eq!(names[0], "h");
@@ -81,11 +88,12 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_preserves_measure_and_reset() {
+    fn roundtrip_preserves_measure_reset_and_conditions() {
         let mut c = Circuit::with_name(3, "dynamic_roundtrip");
         c.h(Qubit(0))
             .measure(Qubit(0), 2)
             .reset(Qubit(0))
+            .conditioned_gate(0b100, OneQubitGate::X, Qubit(0))
             .h(Qubit(0))
             .cx(Qubit(0), Qubit(1))
             .measure(Qubit(1), 0)
@@ -103,6 +111,20 @@ mod tests {
             strip_name(&super::to_qasm(&parsed).unwrap()),
             strip_name(&text)
         );
+    }
+
+    #[test]
+    fn conditioned_only_circuits_roundtrip_with_a_creg() {
+        // Regression: `conditioned` must grow the classical register, or a
+        // measure-free conditioned circuit would write an `if (c==0)` with
+        // no creg declaration and fail to parse back.
+        let mut c = Circuit::new(1);
+        c.conditioned_gate(0, OneQubitGate::X, Qubit(0));
+        let text = super::to_qasm(&c).unwrap();
+        assert!(text.contains("creg c[1];"));
+        let parsed = super::parse(&text).unwrap();
+        assert_eq!(parsed.operations(), c.operations());
+        assert_eq!(parsed.num_clbits(), 1);
     }
 
     #[test]

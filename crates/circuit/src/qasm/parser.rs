@@ -3,7 +3,7 @@
 //! The parser is a hand-written recursive-descent parser over a small token
 //! stream; it supports the statements listed in the [module docs](super).
 
-use crate::{Circuit, OneQubitGate, Qubit};
+use crate::{Circuit, Condition, OneQubitGate, Operation, Qubit};
 use mathkit::Angle;
 use std::fmt;
 
@@ -50,6 +50,19 @@ fn eval_expr(text: &str, line: usize) -> Result<f64, ParseQasmError> {
             }
         }
 
+        /// Rejects NaN and infinite intermediate results (e.g. `pi/0` or an
+        /// overflowing literal) so no garbage angle reaches a gate.
+        fn ensure_finite(&self, value: f64) -> Result<f64, ParseQasmError> {
+            if value.is_finite() {
+                Ok(value)
+            } else {
+                Err(err(
+                    self.line,
+                    "angle expression evaluates to a non-finite value",
+                ))
+            }
+        }
+
         fn parse_sum(&mut self) -> Result<f64, ParseQasmError> {
             let mut value = self.parse_product()?;
             loop {
@@ -63,7 +76,7 @@ fn eval_expr(text: &str, line: usize) -> Result<f64, ParseQasmError> {
                         self.chars.next();
                         value -= self.parse_product()?;
                     }
-                    _ => return Ok(value),
+                    _ => return self.ensure_finite(value),
                 }
             }
         }
@@ -81,7 +94,7 @@ fn eval_expr(text: &str, line: usize) -> Result<f64, ParseQasmError> {
                         self.chars.next();
                         value /= self.parse_atom()?;
                     }
-                    _ => return Ok(value),
+                    _ => return self.ensure_finite(value),
                 }
             }
         }
@@ -108,12 +121,35 @@ fn eval_expr(text: &str, line: usize) -> Result<f64, ParseQasmError> {
                 }
                 Some(c) if c.is_ascii_digit() || c == '.' => {
                     let mut num = String::new();
-                    while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == 'E' || *c == '-' && num.ends_with(['e', 'E']))
-                    {
-                        num.push(self.chars.next().expect("peeked"));
+                    let mut seen_dot = false;
+                    while let Some(&c) = self.chars.peek() {
+                        let in_exponent = num.contains(['e', 'E']);
+                        let take = c.is_ascii_digit()
+                            || c == 'e'
+                            || c == 'E'
+                            // A sign is part of the number only directly
+                            // after the exponent marker (`2e+3`, `2e-3`).
+                            || ((c == '-' || c == '+') && num.ends_with(['e', 'E']))
+                            || (c == '.' && !in_exponent);
+                        if !take {
+                            break;
+                        }
+                        if c == '.' {
+                            if seen_dot {
+                                return Err(err(
+                                    self.line,
+                                    format!("invalid number '{num}.': unexpected second '.'"),
+                                ));
+                            }
+                            seen_dot = true;
+                        }
+                        num.push(c);
+                        self.chars.next();
                     }
-                    num.parse::<f64>()
-                        .map_err(|_| err(self.line, format!("invalid number '{num}'")))
+                    let value = num
+                        .parse::<f64>()
+                        .map_err(|_| err(self.line, format!("invalid number '{num}'")))?;
+                    self.ensure_finite(value)
                 }
                 Some(c) if c.is_ascii_alphabetic() => {
                     let mut ident = String::new();
@@ -396,6 +432,77 @@ fn parse_statement(stmt: &str, line: usize, state: &mut ParserState) -> Result<(
                 for q in 0..circuit.num_qubits() {
                     circuit.reset(Qubit(q));
                 }
+            }
+            Ok(())
+        }
+        "if" => {
+            let creg = parsed_creg
+                .as_ref()
+                .ok_or_else(|| err(line, "if statement before creg declaration"))?;
+            let circuit = parsed_circuit
+                .as_mut()
+                .ok_or_else(|| err(line, "statement before qreg declaration"))?;
+            let rest = rest.trim_start();
+            let inner = rest
+                .strip_prefix('(')
+                .ok_or_else(|| err(line, "if statement requires a '(creg==value)' condition"))?;
+            let close = inner
+                .find(')')
+                .ok_or_else(|| err(line, "missing ')' in if condition"))?;
+            let (condition_text, guarded_stmt) = (&inner[..close], inner[close + 1..].trim());
+            let (name, value_text) = condition_text
+                .split_once("==")
+                .ok_or_else(|| err(line, "if condition must be of the form 'creg==value'"))?;
+            let (name, value_text) = (name.trim(), value_text.trim());
+            if name != creg.0 {
+                return Err(err(
+                    line,
+                    format!(
+                        "condition register '{name}' does not match declared creg '{}'",
+                        creg.0
+                    ),
+                ));
+            }
+            let value: u64 = value_text
+                .parse()
+                .map_err(|_| err(line, format!("invalid condition value '{value_text}'")))?;
+            if creg.1 < 64 && value >> creg.1 != 0 {
+                return Err(err(
+                    line,
+                    format!(
+                        "condition value {value} does not fit creg {}[{}]",
+                        creg.0, creg.1
+                    ),
+                ));
+            }
+            if guarded_stmt.is_empty() {
+                return Err(err(
+                    line,
+                    "if condition must be followed by a gate statement",
+                ));
+            }
+            let guarded_head = guarded_stmt
+                .split(|c: char| c.is_whitespace() || c == '(')
+                .next()
+                .unwrap_or("");
+            if matches!(
+                guarded_head,
+                "measure" | "reset" | "if" | "barrier" | "qreg" | "creg" | "OPENQASM" | "include"
+            ) {
+                return Err(err(
+                    line,
+                    format!("only gate statements can be conditioned, got '{guarded_head}'"),
+                ));
+            }
+            // Parse the guarded gate into a scratch circuit, then wrap what
+            // it appended in the condition.
+            let mut scratch = Circuit::new(circuit.num_qubits());
+            parse_gate(guarded_stmt, line, &mut scratch, register)?;
+            for op in scratch.operations() {
+                circuit.push(Operation::Conditioned {
+                    condition: Condition::equals(value),
+                    op: Box::new(op.clone()),
+                });
             }
             Ok(())
         }
@@ -726,5 +833,140 @@ mod tests {
     fn rejects_double_qreg() {
         let e = parse("qreg q[2]; qreg r[2];").unwrap_err();
         assert!(e.message.contains("multiple qreg"));
+    }
+
+    #[test]
+    fn scientific_notation_with_explicit_plus_exponent_parses() {
+        // Regression: the number lexer only admitted '-' after 'e'/'E', so
+        // `2e+3` lexed as `2e` and errored as an invalid number.
+        let c = parse("qreg q[1]; rz(2e+3) q[0]; rz(1E+2) q[0];").unwrap();
+        match &c.operations()[0] {
+            Operation::Unitary {
+                gate: OneQubitGate::Rz(a),
+                ..
+            } => assert!((a.radians() - 2e3).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &c.operations()[1] {
+            Operation::Unitary {
+                gate: OneQubitGate::Rz(a),
+                ..
+            } => assert!((a.radians() - 1e2).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!((eval_expr("2e+3", 0).unwrap() - 2000.0).abs() < 1e-9);
+        assert!((eval_expr("-1.5e+2", 0).unwrap() + 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_angle_expressions_are_rejected() {
+        // Regression: `pi/0` silently produced an infinite angle and built a
+        // garbage gate instead of erroring.
+        for src in [
+            "qreg q[1]; rz(pi/0) q[0];",
+            "qreg q[1]; p(0/0) q[0];",
+            "qreg q[1]; rx(1e308*10) q[0];",
+            "qreg q[1]; ry(1e999) q[0];",
+        ] {
+            let e = parse(src).unwrap_err();
+            assert!(
+                e.message.contains("non-finite"),
+                "unexpected message for {src:?}: {}",
+                e.message
+            );
+            assert_eq!(e.line, 1);
+        }
+        assert!(eval_expr("pi/0", 7).is_err());
+        assert_eq!(eval_expr("pi/0", 7).unwrap_err().line, 7);
+    }
+
+    #[test]
+    fn multi_dot_literals_are_rejected_with_a_clear_message() {
+        // Regression: `1.2.3` was consumed whole and surfaced as a confusing
+        // f64 parse failure.
+        let e = parse("qreg q[1]; rz(1.2.3) q[0];").unwrap_err();
+        assert!(
+            e.message.contains("unexpected second '.'"),
+            "unexpected message: {}",
+            e.message
+        );
+        // A dot inside the exponent is not part of the number either.
+        assert!(eval_expr("1e3.5", 0).is_err());
+        // Plain decimals still work.
+        assert!((eval_expr(".5", 0).unwrap() - 0.5).abs() < 1e-12);
+        assert!((eval_expr("1.25", 0).unwrap() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_classically_conditioned_gates() {
+        let src = "qreg q[2]; creg c[2];\nh q[0];\nmeasure q[0] -> c[0];\nif (c==1) x q[1];\nif(c==3)rz(pi/2) q[0];\nif (c == 2) cx q[0],q[1];";
+        let c = parse(src).unwrap();
+        assert_eq!(c.len(), 5);
+        assert!(c.is_dynamic());
+        assert!(c.validate().is_ok());
+        match &c.operations()[2] {
+            Operation::Conditioned { condition, op } => {
+                assert_eq!(condition.value, 1);
+                assert!(matches!(
+                    op.as_ref(),
+                    Operation::Unitary {
+                        gate: OneQubitGate::X,
+                        target: Qubit(1),
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.operations()[3].condition().unwrap().value, 3);
+        match &c.operations()[4] {
+            Operation::Conditioned { condition, op } => {
+                assert_eq!(condition.value, 2);
+                assert_eq!(op.controls(), &[Qubit(0)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_statement_requires_a_declared_matching_creg() {
+        let e = parse("qreg q[1]; if (c==0) x q[0];").unwrap_err();
+        assert!(e.message.contains("before creg"));
+        let e = parse("qreg q[1]; creg c[1]; if (d==0) x q[0];").unwrap_err();
+        assert!(e.message.contains("does not match declared creg"));
+        let e = parse("qreg q[1]; creg c[1]; if (c==5) x q[0];").unwrap_err();
+        assert!(e.message.contains("does not fit creg"));
+        let e = parse("qreg q[1]; creg c[1]; if (c==x) x q[0];").unwrap_err();
+        assert!(e.message.contains("invalid condition value"));
+        let e = parse("qreg q[1]; creg c[1]; if c==0 x q[0];").unwrap_err();
+        assert!(e.message.contains("requires a '(creg==value)'"));
+        let e = parse("qreg q[1]; creg c[1]; if (c==0;").unwrap_err();
+        assert!(e.message.contains("missing ')'"));
+        let e = parse("qreg q[1]; creg c[1]; if (c=0) x q[0];").unwrap_err();
+        assert!(e.message.contains("'creg==value'"));
+        let e = parse("qreg q[1]; creg c[1]; if (c==0);").unwrap_err();
+        assert!(e.message.contains("followed by a gate statement"));
+    }
+
+    #[test]
+    fn only_gate_statements_can_be_conditioned() {
+        for (src, head) in [
+            (
+                "qreg q[1]; creg c[1]; if (c==0) measure q[0] -> c[0];",
+                "measure",
+            ),
+            ("qreg q[1]; creg c[1]; if (c==0) reset q[0];", "reset"),
+            ("qreg q[1]; creg c[1]; if (c==0) if (c==0) x q[0];", "if"),
+            ("qreg q[1]; creg c[1]; if (c==0) barrier q;", "barrier"),
+        ] {
+            let e = parse(src).unwrap_err();
+            assert!(
+                e.message
+                    .contains("only gate statements can be conditioned")
+                    && e.message.contains(head),
+                "unexpected message for {src:?}: {}",
+                e.message
+            );
+        }
     }
 }

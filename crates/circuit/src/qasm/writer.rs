@@ -90,89 +90,87 @@ pub fn to_qasm(circuit: &Circuit) -> Result<String, WriteQasmError> {
     }
 
     for (op_index, op) in circuit.operations().iter().enumerate() {
-        let unsupported = |description: &str| WriteQasmError::UnsupportedOperation {
-            op_index,
-            description: description.to_string(),
-        };
-        match op {
-            Operation::Unitary {
-                gate,
-                target,
-                controls,
-            } => match controls.len() {
-                0 => {
-                    let _ = writeln!(out, "{} {};", gate_call(gate), q(*target));
-                }
-                1 => {
-                    let c = controls[0];
-                    match gate {
-                        OneQubitGate::X => {
-                            let _ = writeln!(out, "cx {},{};", q(c), q(*target));
-                        }
-                        OneQubitGate::Z => {
-                            let _ = writeln!(out, "cz {},{};", q(c), q(*target));
-                        }
-                        OneQubitGate::Phase(a) => {
-                            let _ = writeln!(out, "cp({}) {},{};", a.radians(), q(c), q(*target));
-                        }
-                        other => {
-                            return Err(unsupported(&format!(
-                                "controlled {} has no OpenQASM 2.0 form in the supported subset",
-                                other.name()
-                            )))
-                        }
-                    }
-                }
-                2 => match gate {
-                    OneQubitGate::X => {
-                        let _ = writeln!(
-                            out,
-                            "ccx {},{},{};",
-                            q(controls[0]),
-                            q(controls[1]),
-                            q(*target)
-                        );
+        let _ = writeln!(out, "{}", op_statement(op, op_index)?);
+    }
+    Ok(out)
+}
+
+/// Renders one operation as a `;`-terminated QASM statement, recursing into
+/// classically-conditioned operations (`if (c==k) gate ...;`).
+fn op_statement(op: &Operation, op_index: usize) -> Result<String, WriteQasmError> {
+    let unsupported = |description: &str| WriteQasmError::UnsupportedOperation {
+        op_index,
+        description: description.to_string(),
+    };
+    Ok(match op {
+        Operation::Unitary {
+            gate,
+            target,
+            controls,
+        } => match controls.len() {
+            0 => format!("{} {};", gate_call(gate), q(*target)),
+            1 => {
+                let c = controls[0];
+                match gate {
+                    OneQubitGate::X => format!("cx {},{};", q(c), q(*target)),
+                    OneQubitGate::Z => format!("cz {},{};", q(c), q(*target)),
+                    OneQubitGate::Phase(a) => {
+                        format!("cp({}) {},{};", a.radians(), q(c), q(*target))
                     }
                     other => {
                         return Err(unsupported(&format!(
-                            "doubly-controlled {} is not in the supported subset",
+                            "controlled {} has no OpenQASM 2.0 form in the supported subset",
                             other.name()
                         )))
                     }
-                },
-                n => {
+                }
+            }
+            2 => match gate {
+                OneQubitGate::X => {
+                    format!("ccx {},{},{};", q(controls[0]), q(controls[1]), q(*target))
+                }
+                other => {
                     return Err(unsupported(&format!(
-                        "gate with {n} controls is not expressible in OpenQASM 2.0 without ancillas"
+                        "doubly-controlled {} is not in the supported subset",
+                        other.name()
                     )))
                 }
             },
-            Operation::Swap { a, b, controls } => match controls.len() {
-                0 => {
-                    let _ = writeln!(out, "swap {},{};", q(*a), q(*b));
-                }
-                1 => {
-                    let _ = writeln!(out, "cswap {},{},{};", q(controls[0]), q(*a), q(*b));
-                }
-                n => {
-                    return Err(unsupported(&format!(
-                        "swap with {n} controls is not expressible in the supported subset"
-                    )))
-                }
-            },
-            Operation::Permute { .. } => {
-                return Err(unsupported(
-                    "basis-state permutations have no OpenQASM representation",
-                ))
+            n => {
+                return Err(unsupported(&format!(
+                    "gate with {n} controls is not expressible in OpenQASM 2.0 without ancillas"
+                )))
             }
-            Operation::Measure { qubit, cbit } => {
-                let _ = writeln!(out, "measure {} -> c[{cbit}];", q(*qubit));
+        },
+        Operation::Swap { a, b, controls } => match controls.len() {
+            0 => format!("swap {},{};", q(*a), q(*b)),
+            1 => format!("cswap {},{},{};", q(controls[0]), q(*a), q(*b)),
+            n => {
+                return Err(unsupported(&format!(
+                    "swap with {n} controls is not expressible in the supported subset"
+                )))
             }
-            Operation::Reset { qubit } => {
-                let _ = writeln!(out, "reset {};", q(*qubit));
-            }
+        },
+        Operation::Permute { .. } => {
+            return Err(unsupported(
+                "basis-state permutations have no OpenQASM representation",
+            ))
         }
-    }
-    Ok(out)
+        Operation::Measure { qubit, cbit } => format!("measure {} -> c[{cbit}];", q(*qubit)),
+        Operation::Reset { qubit } => format!("reset {};", q(*qubit)),
+        Operation::Conditioned { condition, op } => {
+            if op.is_non_unitary() || op.is_conditioned() {
+                return Err(unsupported(
+                    "only unitary gates can be classically conditioned in the supported subset",
+                ));
+            }
+            format!(
+                "if (c=={}) {}",
+                condition.value,
+                op_statement(op, op_index)?
+            )
+        }
+    })
 }
 
 #[cfg(test)]
@@ -227,6 +225,47 @@ mod tests {
         assert!(text.contains("swap q[0],q[1];"));
         assert!(text.contains("cswap q[2],q[0],q[1];"));
         assert!(text.contains("ccx q[0],q[1],q[2];"));
+    }
+
+    #[test]
+    fn conditioned_gates_are_emitted_with_an_if_prefix() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0))
+            .measure(Qubit(0), 0)
+            .conditioned_gate(1, OneQubitGate::X, Qubit(1))
+            .conditioned(
+                2,
+                Operation::Unitary {
+                    gate: OneQubitGate::Phase(Angle::Radians(0.25)),
+                    target: Qubit(1),
+                    controls: vec![Qubit(0)],
+                },
+            )
+            .measure(Qubit(1), 1);
+        let text = to_qasm(&c).unwrap();
+        assert!(text.contains("if (c==1) x q[1];"));
+        assert!(text.contains("if (c==2) cp(0.25) q[0],q[1];"));
+    }
+
+    #[test]
+    fn conditioned_non_gates_cannot_be_written() {
+        let mut c = Circuit::new(1);
+        c.conditioned(0, Operation::Reset { qubit: Qubit(0) });
+        assert!(matches!(
+            to_qasm(&c),
+            Err(WriteQasmError::UnsupportedOperation { op_index: 0, .. })
+        ));
+        // An inner gate outside the subset surfaces the inner error.
+        let mut c = Circuit::new(2);
+        c.conditioned(
+            0,
+            Operation::Unitary {
+                gate: OneQubitGate::H,
+                target: Qubit(1),
+                controls: vec![Qubit(0)],
+            },
+        );
+        assert!(to_qasm(&c).is_err());
     }
 
     #[test]

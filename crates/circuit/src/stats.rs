@@ -52,14 +52,7 @@ impl CircuitStats {
                 2 => stats.two_qubit_ops += 1,
                 _ => stats.multi_qubit_ops += 1,
             }
-            let mnemonic = match op {
-                Operation::Unitary { gate, .. } => gate.name().to_string(),
-                Operation::Swap { .. } => "swap".to_string(),
-                Operation::Permute { .. } => "permute".to_string(),
-                Operation::Measure { .. } => "measure".to_string(),
-                Operation::Reset { .. } => "reset".to_string(),
-            };
-            *stats.counts.entry(mnemonic).or_insert(0) += 1;
+            *stats.counts.entry(mnemonic(op)).or_insert(0) += 1;
 
             let layer = support
                 .iter()
@@ -75,6 +68,18 @@ impl CircuitStats {
             stats.depth = stats.depth.max(layer);
         }
         stats
+    }
+}
+
+/// The gate-count key of one operation (`"h"`, `"swap"`, `"if h"`, …).
+fn mnemonic(op: &Operation) -> String {
+    match op {
+        Operation::Unitary { gate, .. } => gate.name().to_string(),
+        Operation::Swap { .. } => "swap".to_string(),
+        Operation::Permute { .. } => "permute".to_string(),
+        Operation::Measure { .. } => "measure".to_string(),
+        Operation::Reset { .. } => "reset".to_string(),
+        Operation::Conditioned { op, .. } => format!("if {}", mnemonic(op)),
     }
 }
 

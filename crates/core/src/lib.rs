@@ -9,8 +9,9 @@
 //!   measurement samples that are statistically indistinguishable from an
 //!   error-free quantum computer;
 //! * [`trajectory`] — per-shot simulation of *dynamic* circuits
-//!   (mid-circuit measurement and reset), with prefix-tree caching on the
-//!   decision-diagram backend;
+//!   (mid-circuit measurement, reset and classically-controlled
+//!   `if (c==k)` gates), with prefix-tree caching on the decision-diagram
+//!   backend;
 //! * [`ShotHistogram`] — aggregated samples with bitstring formatting;
 //! * [`stats`] — chi-square goodness-of-fit and total-variation-distance
 //!   checks used to validate the "statistically indistinguishable" claim;
@@ -29,13 +30,15 @@
 //!   paper, the trailing measurements reduced to a bit-relabelling of the
 //!   sampled strings — so dynamic-circuit support costs the classic hot
 //!   path nothing;
-//! * a circuit with a measurement followed by more gates, or any `reset`,
-//!   is **dynamic** and runs trajectory-by-trajectory: collapse at each
-//!   event, evolve the suffix, record classical bits.  The decision-diagram
-//!   engine caches evolved states, branch masses and compiled terminal
-//!   samplers per outcome prefix, so only the first shot down a given
-//!   prefix pays for decision-diagram arithmetic and sampler recompilation
-//!   of the changed suffix.
+//! * a circuit with a measurement followed by more gates, any `reset`, or
+//!   any classically-conditioned gate is **dynamic** and runs
+//!   trajectory-by-trajectory: collapse at each event, evolve the suffix
+//!   (resolving `if (c==k)` guards against the shot's classical record),
+//!   record classical bits.  The decision-diagram engine caches evolved
+//!   states, branch masses and compiled terminal samplers per outcome
+//!   prefix, so only the first shot down a given prefix pays for
+//!   decision-diagram arithmetic and sampler recompilation of the changed
+//!   suffix.
 //!
 //! # Trajectory seeding
 //!

@@ -11,10 +11,13 @@
 //!   qubit→classical-bit relabelling of the sampled bitstrings, so circuits
 //!   imported from QASM with a terminal `measure q -> c;` stay on the fast
 //!   path.
-//! * **Dynamic** circuits are handed to the [`trajectory`](crate::trajectory)
-//!   engine, which simulates shot-by-shot with collapse at each measurement
-//!   or reset, reusing the same SplitMix64 chunk-seeding scheme so the
-//!   result is seed-deterministic independent of the worker-thread count.
+//! * **Dynamic** circuits — mid-circuit measurement, reset or
+//!   classically-conditioned gates (`if (c==k)` feed-forward) — are handed
+//!   to the [`trajectory`](crate::trajectory) engine, which simulates
+//!   shot-by-shot with collapse at each measurement or reset and resolves
+//!   each condition against the shot's classical record, reusing the same
+//!   SplitMix64 chunk-seeding scheme so the result is seed-deterministic
+//!   independent of the worker-thread count.
 
 use crate::ShotHistogram;
 use circuit::{Circuit, Qubit};
@@ -62,11 +65,12 @@ pub enum RunError {
         required_bytes: u128,
     },
     /// Strong simulation was requested for a dynamic circuit: the state
-    /// after a mid-circuit measurement or reset depends on sampled outcomes,
-    /// so there is no single final state.  Use [`WeakSimulator::run`], which
-    /// routes dynamic circuits through the trajectory engine.
+    /// after a mid-circuit measurement, reset or classically-conditioned
+    /// gate depends on sampled outcomes, so there is no single final state.
+    /// Use [`WeakSimulator::run`], which routes dynamic circuits through the
+    /// trajectory engine.
     DynamicCircuit {
-        /// Index of the first non-unitary operation.
+        /// Index of the first non-unitary or conditioned operation.
         op_index: usize,
     },
 }
@@ -84,7 +88,7 @@ impl fmt::Display for RunError {
             ),
             RunError::DynamicCircuit { op_index } => write!(
                 f,
-                "operation {op_index} is a mid-circuit measurement/reset; strong simulation is undefined for dynamic circuits (use run, which simulates trajectories)"
+                "operation {op_index} is a mid-circuit measurement/reset/conditioned gate; strong simulation is undefined for dynamic circuits (use run, which simulates trajectories)"
             ),
         }
     }

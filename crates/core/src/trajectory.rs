@@ -14,6 +14,14 @@
 //! [`Operation::Measure`] report a terminal measurement of every qubit
 //! instead, exactly like static circuits.
 //!
+//! Classically-conditioned gates ([`Operation::Conditioned`], QASM
+//! `if (c==k) gate;`) live *inside* the unitary segments: when a segment is
+//! applied, each conditioned gate fires only if the shot's classical record
+//! currently equals the compared value.  Because the record is a
+//! deterministic function of the outcome prefix, conditioned segments slot
+//! into the prefix-tree caching below unchanged — two shots reaching the
+//! same prefix node always resolved every condition identically.
+//!
 //! # Sharing work across shots (the decision-diagram backend)
 //!
 //! The reachable trajectories form a binary tree keyed by the outcome
@@ -132,6 +140,23 @@ fn x_flip(qubit: Qubit) -> Operation {
     }
 }
 
+/// Resolves what a segment entry applies under the shot's current classical
+/// record: a classically-conditioned operation fires only when the record
+/// equals the compared value, everything else fires unconditionally.
+///
+/// The record is a deterministic function of the outcome prefix (each
+/// `Measure` event writes its drawn bit), so on the decision-diagram path a
+/// cached prefix node always resolves its conditions the same way — caching
+/// evolved states per prefix stays sound with feed-forward in the segments.
+fn effective_op(op: &Operation, record: u64) -> Option<&Operation> {
+    match op {
+        Operation::Conditioned { condition, op } => {
+            condition.is_satisfied_by(record).then(|| op.as_ref())
+        }
+        other => Some(other),
+    }
+}
+
 /// What a shot reports into the histogram.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RecordSource {
@@ -171,10 +196,12 @@ impl TrajectoryPlan {
                     events.push(Event::Reset { qubit: *qubit });
                     segments.push(Vec::new());
                 }
-                unitary => segments
+                // Unitary gates, including classically-conditioned ones
+                // (resolved against the record at application time).
+                gate => segments
                     .last_mut()
                     .expect("segments is never empty")
-                    .push(unitary.clone()),
+                    .push(gate.clone()),
             }
         }
         let record = if circuit.has_measurements() {
@@ -255,7 +282,9 @@ impl<'p> DdRunner<'p> {
     fn new(plan: &'p TrajectoryPlan) -> Self {
         let mut package = DdPackage::new();
         let mut state = StateDd::zero_state(&mut package, plan.num_qubits);
-        for op in &plan.segments[0] {
+        // The classical record is all-zeros before the first event, so
+        // conditions in the shared leading segment resolve against 0.
+        for op in plan.segments[0].iter().filter_map(|op| effective_op(op, 0)) {
             state = dd::apply_operation(&mut package, state, op);
         }
         let peak_nodes = state.node_count(&package);
@@ -269,15 +298,27 @@ impl<'p> DdRunner<'p> {
     }
 
     /// Evolves past `event` with the drawn `bit`: collapse, flip back for
-    /// resets, then apply the unitary segment that follows.  (For classical
-    /// records the caller breaks out before the final event's evolution, so
-    /// the irrelevant tail segment is never applied.)
-    fn evolve(&mut self, state: &StateDd, event: Event, bit: u8, next_segment: usize) -> StateDd {
+    /// resets, then apply the unitary segment that follows, resolving
+    /// classical conditions against `record` (the classical register *after*
+    /// this event's bit was written).  (For classical records the caller
+    /// breaks out before the final event's evolution, so the irrelevant tail
+    /// segment is never applied.)
+    fn evolve(
+        &mut self,
+        state: &StateDd,
+        event: Event,
+        bit: u8,
+        next_segment: usize,
+        record: u64,
+    ) -> StateDd {
         let mut next = dd::collapse_qubit(&mut self.package, state, event.qubit(), bit);
         if matches!(event, Event::Reset { .. }) && bit == 1 {
             next = dd::apply_operation(&mut self.package, next, &x_flip(event.qubit()));
         }
-        for op in &self.plan.segments[next_segment] {
+        for op in self.plan.segments[next_segment]
+            .iter()
+            .filter_map(|op| effective_op(op, record))
+        {
             next = dd::apply_operation(&mut self.package, next, op);
         }
         next
@@ -324,7 +365,7 @@ impl Runner for DdRunner<'_> {
                     at = Some(child);
                 }
                 None => {
-                    let next = self.evolve(&state, event, bit, k + 1);
+                    let next = self.evolve(&state, event, bit, k + 1, record);
                     if let Some(parent) = at {
                         if self.nodes.len() < TRAJECTORY_CACHE_CAP {
                             let id =
@@ -411,7 +452,9 @@ struct SvRunner<'p> {
 impl<'p> SvRunner<'p> {
     fn new(plan: &'p TrajectoryPlan) -> Self {
         let mut base = StateVector::zero_state(plan.num_qubits);
-        for op in &plan.segments[0] {
+        // Conditions in the shared leading segment resolve against the
+        // all-zeros classical record, same as the DD runner.
+        for op in plan.segments[0].iter().filter_map(|op| effective_op(op, 0)) {
             statevector::apply_operation(&mut base, op);
         }
         let base_norm_sqr = base.norm_sqr();
@@ -474,7 +517,10 @@ impl Runner for SvRunner<'_> {
             if matches!(event, Event::Reset { .. }) && bit == 1 {
                 statevector::apply_operation(state, &x_flip(event.qubit()));
             }
-            for op in &self.plan.segments[k + 1] {
+            for op in self.plan.segments[k + 1]
+                .iter()
+                .filter_map(|op| effective_op(op, record))
+            {
                 statevector::apply_operation(state, op);
             }
         }
@@ -804,6 +850,94 @@ mod tests {
         // The final H of a freshly reset qubit is a fair coin.
         let f1 = reference.histogram.frequency(1);
         assert!((f1 - 0.5).abs() < 0.03, "terminal P(1) = {f1}");
+    }
+
+    #[test]
+    fn conditioned_gates_fire_only_on_matching_records() {
+        // h q0; measure q0 -> c0; if (c==1) x q1; measure q1 -> c1:
+        // a coherent copy through feed-forward, so c0 == c1 always.
+        let mut c = Circuit::with_name(2, "feed_forward_copy");
+        c.h(Qubit(0))
+            .measure(Qubit(0), 0)
+            .conditioned_gate(1, circuit::OneQubitGate::X, Qubit(1))
+            .measure(Qubit(1), 1);
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let outcome = simulate_trajectories(backend, &c, 6_000, 19).unwrap();
+            assert_eq!(outcome.histogram.count(0b01), 0, "{backend}");
+            assert_eq!(outcome.histogram.count(0b10), 0, "{backend}");
+            let f = outcome.histogram.frequency(0b11);
+            assert!((f - 0.5).abs() < 0.03, "{backend}: P(11) = {f}");
+        }
+    }
+
+    #[test]
+    fn conditions_compare_the_whole_register() {
+        // Two coins into c0/c1, then X on q2 only when the register equals
+        // exactly 0b10 — P(c2=1) = 1/4, and c2=1 only ever pairs with c=10.
+        let mut c = Circuit::with_name(3, "whole_register_guard");
+        c.h(Qubit(0))
+            .measure(Qubit(0), 0)
+            .h(Qubit(1))
+            .measure(Qubit(1), 1)
+            .conditioned_gate(0b10, circuit::OneQubitGate::X, Qubit(2))
+            .measure(Qubit(2), 2);
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let outcome = simulate_trajectories(backend, &c, 8_000, 23).unwrap();
+            for record in 0..8u64 {
+                let expected = match record {
+                    0b110 => 0.25,                 // guard fired
+                    0b000 | 0b001 | 0b011 => 0.25, // guard idle
+                    _ => 0.0,
+                };
+                let freq = outcome.histogram.frequency(record);
+                assert!(
+                    (freq - expected).abs() < 0.03,
+                    "{backend}: record {record:03b} frequency {freq}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conditioned_records_are_thread_count_invariant() {
+        // A deeper feed-forward circuit mixing measure, reset and multiple
+        // conditioned gates, run across thread counts.
+        let mut c = Circuit::with_name(2, "conditioned_invariance");
+        c.h(Qubit(0))
+            .measure(Qubit(0), 0)
+            .conditioned_gate(1, circuit::OneQubitGate::H, Qubit(1))
+            .reset(Qubit(0))
+            .h(Qubit(0))
+            .measure(Qubit(0), 1)
+            .conditioned_gate(0b11, circuit::OneQubitGate::X, Qubit(1))
+            .measure(Qubit(1), 2);
+        let shots = 3 * PARALLEL_CHUNK_SHOTS as u64 + 5;
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let reference = simulate_trajectories_with_threads(backend, &c, shots, 31, 1).unwrap();
+            for threads in [2, 8] {
+                let run =
+                    simulate_trajectories_with_threads(backend, &c, shots, 31, threads).unwrap();
+                assert_eq!(
+                    reference.histogram, run.histogram,
+                    "{backend}: {threads} threads changed the records"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conditioned_only_circuits_report_terminal_measurements() {
+        // No measurements at all: the record stays 0, so `if (c==0)` fires
+        // and `if (c==1)` never does; the terminal read-out sees |10>.
+        let mut c = Circuit::new(2);
+        c.conditioned_gate(0, circuit::OneQubitGate::X, Qubit(1))
+            .conditioned_gate(1, circuit::OneQubitGate::X, Qubit(0));
+        assert_eq!(c.num_clbits(), 1, "conditions grow the register");
+        assert!(c.is_dynamic());
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let outcome = simulate_trajectories(backend, &c, 200, 2).unwrap();
+            assert_eq!(outcome.histogram.count(0b10), 200, "{backend}");
+        }
     }
 
     #[test]

@@ -11,9 +11,10 @@ use std::fmt;
 pub enum ApplyError {
     /// The circuit failed validation.
     InvalidCircuit(circuit::ValidateCircuitError),
-    /// The circuit contains a non-unitary operation (measurement or reset).
-    /// Strong simulation produces a single state, which is not defined for
-    /// dynamic circuits; use the trajectory engine of the `weaksim` crate.
+    /// The circuit contains a non-unitary or classically-conditioned
+    /// operation (measurement, reset or `if (c==k)` gate).  Strong
+    /// simulation produces a single state, which is not defined for dynamic
+    /// circuits; use the trajectory engine of the `weaksim` crate.
     NonUnitaryOperation {
         /// Index of the offending operation.
         op_index: usize,
@@ -26,7 +27,7 @@ impl fmt::Display for ApplyError {
             ApplyError::InvalidCircuit(e) => write!(f, "invalid circuit: {e}"),
             ApplyError::NonUnitaryOperation { op_index } => write!(
                 f,
-                "operation {op_index} is non-unitary (measure/reset); strong simulation requires a unitary circuit — use trajectory simulation"
+                "operation {op_index} is non-unitary or classically conditioned (measure/reset/if); strong simulation requires a unitary circuit — use trajectory simulation"
             ),
         }
     }
@@ -101,6 +102,9 @@ pub fn apply_operation(package: &mut DdPackage, state: StateDd, op: &Operation) 
         Operation::Measure { .. } | Operation::Reset { .. } => {
             panic!("non-unitary operation '{op}' cannot be applied as a gate; use measure_qubit/reset_qubit")
         }
+        Operation::Conditioned { .. } => {
+            panic!("classically-conditioned operation '{op}' depends on the classical record; resolve the condition (trajectory engine) before applying")
+        }
     }
 }
 
@@ -110,15 +114,19 @@ pub fn apply_operation(package: &mut DdPackage, state: StateDd, op: &Operation) 
 /// # Errors
 ///
 /// Returns [`ApplyError::InvalidCircuit`] if the circuit fails validation
-/// and [`ApplyError::NonUnitaryOperation`] if it contains a measurement or
-/// reset (strong simulation is only defined for unitary circuits).
+/// and [`ApplyError::NonUnitaryOperation`] if it contains a measurement,
+/// reset or classically-conditioned gate (strong simulation is only defined
+/// for unconditionally unitary circuits).
 pub fn apply_circuit(
     package: &mut DdPackage,
     state: StateDd,
     circuit: &Circuit,
 ) -> Result<StateDd, ApplyError> {
     circuit.validate()?;
-    if let Some(op_index) = circuit.iter().position(Operation::is_non_unitary) {
+    if let Some(op_index) = circuit
+        .iter()
+        .position(|op| op.is_non_unitary() || op.is_conditioned())
+    {
         return Err(ApplyError::NonUnitaryOperation { op_index });
     }
     let mut current = state;

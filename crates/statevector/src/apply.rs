@@ -21,9 +21,10 @@ pub enum SimulateError {
         /// Bytes allowed by the budget.
         budget_bytes: u64,
     },
-    /// The circuit contains a non-unitary operation (measurement or reset);
-    /// strong simulation into a single state is undefined for dynamic
-    /// circuits — use the trajectory engine of the `weaksim` crate.
+    /// The circuit contains a non-unitary or classically-conditioned
+    /// operation (measurement, reset or `if (c==k)` gate); strong simulation
+    /// into a single state is undefined for dynamic circuits — use the
+    /// trajectory engine of the `weaksim` crate.
     NonUnitaryOperation {
         /// Index of the offending operation.
         op_index: usize,
@@ -44,7 +45,7 @@ impl fmt::Display for SimulateError {
             ),
             SimulateError::NonUnitaryOperation { op_index } => write!(
                 f,
-                "operation {op_index} is non-unitary (measure/reset); strong simulation requires a unitary circuit — use trajectory simulation"
+                "operation {op_index} is non-unitary or classically conditioned (measure/reset/if); strong simulation requires a unitary circuit — use trajectory simulation"
             ),
         }
     }
@@ -89,6 +90,9 @@ pub fn apply_operation(state: &mut StateVector, op: &Operation) {
         } => apply_controlled_permutation(state, permutation, controls),
         Operation::Measure { .. } | Operation::Reset { .. } => {
             panic!("non-unitary operation '{op}' cannot be applied as a gate; use collapse_qubit")
+        }
+        Operation::Conditioned { .. } => {
+            panic!("classically-conditioned operation '{op}' depends on the classical record; resolve the condition (trajectory engine) before applying")
         }
     }
 }
@@ -221,7 +225,10 @@ pub fn simulate_with_budget(
     budget: MemoryBudget,
 ) -> Result<StateVector, SimulateError> {
     circuit.validate()?;
-    if let Some(op_index) = circuit.iter().position(Operation::is_non_unitary) {
+    if let Some(op_index) = circuit
+        .iter()
+        .position(|op| op.is_non_unitary() || op.is_conditioned())
+    {
         return Err(SimulateError::NonUnitaryOperation { op_index });
     }
     let required = MemoryBudget::state_vector_bytes(circuit.num_qubits());

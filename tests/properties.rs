@@ -223,6 +223,107 @@ fn qasm_round_trip_preserves_semantics() {
     }
 }
 
+/// The QASM writer/parser round-trip is the structural identity on random
+/// *dynamic* circuits mixing gates with `creg`-recorded measurements,
+/// resets and classically-conditioned (`if (c==k)`) gates.
+#[test]
+fn qasm_round_trip_preserves_dynamic_circuits() {
+    use circuit::{Circuit, OneQubitGate, Operation, Qubit};
+    use mathkit::Angle;
+
+    let mut rng = StdRng::seed_from_u64(110);
+    for case in 0..CASES {
+        let num_qubits = rng.gen_range(1..=4u16);
+        let num_clbits = rng.gen_range(1..=4u16);
+        let mut c = Circuit::with_name(num_qubits, format!("dynamic_case_{case}"));
+        c.set_num_clbits(num_clbits);
+
+        let random_qubit = |rng: &mut StdRng| Qubit(rng.gen_range(0..num_qubits));
+        let random_gate = |rng: &mut StdRng| -> Operation {
+            let target = Qubit(rng.gen_range(0..num_qubits));
+            match rng.gen_range(0..6) {
+                0 => Operation::Unitary {
+                    gate: OneQubitGate::H,
+                    target,
+                    controls: vec![],
+                },
+                1 => Operation::Unitary {
+                    gate: OneQubitGate::Rz(Angle::Radians(rng.gen_range(-3.2..3.2))),
+                    target,
+                    controls: vec![],
+                },
+                2 => Operation::Unitary {
+                    gate: OneQubitGate::Phase(Angle::Radians(rng.gen_range(-3.2..3.2))),
+                    target,
+                    controls: vec![],
+                },
+                3 => Operation::Unitary {
+                    gate: OneQubitGate::T,
+                    target,
+                    controls: vec![],
+                },
+                4 if num_qubits >= 2 => {
+                    let mut control = Qubit(rng.gen_range(0..num_qubits));
+                    while control == target {
+                        control = Qubit(rng.gen_range(0..num_qubits));
+                    }
+                    Operation::Unitary {
+                        gate: if rng.gen_bool(0.5) {
+                            OneQubitGate::X
+                        } else {
+                            OneQubitGate::Z
+                        },
+                        target,
+                        controls: vec![control],
+                    }
+                }
+                _ => Operation::Unitary {
+                    gate: OneQubitGate::X,
+                    target,
+                    controls: vec![],
+                },
+            }
+        };
+
+        for _ in 0..rng.gen_range(1..=20usize) {
+            match rng.gen_range(0..8) {
+                0 => {
+                    let q = random_qubit(&mut rng);
+                    let cbit = rng.gen_range(0..num_clbits);
+                    c.measure(q, cbit);
+                }
+                1 => {
+                    let q = random_qubit(&mut rng);
+                    c.reset(q);
+                }
+                2 | 3 => {
+                    let value = rng.gen_range(0..(1u64 << num_clbits));
+                    let gate = random_gate(&mut rng);
+                    c.conditioned(value, gate);
+                }
+                _ => {
+                    let gate = random_gate(&mut rng);
+                    c.push(gate);
+                }
+            }
+        }
+        c.validate().expect("generated circuit is valid");
+
+        let text = circuit::qasm::to_qasm(&c).expect("dynamic circuit exports");
+        let parsed = circuit::qasm::parse(&text).expect("written QASM parses back");
+        assert_eq!(parsed.operations(), c.operations(), "case {case}:\n{text}");
+        assert_eq!(parsed.num_clbits(), c.num_clbits());
+        assert_eq!(parsed.num_qubits(), c.num_qubits());
+
+        // A second write is a fixed point (modulo the `// name` header).
+        let strip_name = |t: &str| t.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(
+            strip_name(&circuit::qasm::to_qasm(&parsed).unwrap()),
+            strip_name(&text)
+        );
+    }
+}
+
 /// Interned weights compare equal exactly when the complex values agree
 /// within tolerance.
 #[test]

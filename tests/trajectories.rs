@@ -1,9 +1,10 @@
 //! End-to-end tests of dynamic-circuit (trajectory) simulation: QASM-level
-//! teleportation, measure-and-reset qubit reuse, cross-backend agreement and
-//! thread-count-invariant determinism.
+//! teleportation, measure-and-reset qubit reuse, classically-controlled
+//! feed-forward (`if (c==k)`, iterative phase estimation), cross-backend
+//! agreement and thread-count-invariant determinism.
 
 use circuit::{qasm, Circuit, Qubit};
-use weaksim::{simulate_trajectories_with_threads, Backend, WeakSimulator};
+use weaksim::{simulate_trajectories_with_threads, stats, Backend, WeakSimulator};
 
 /// Quantum teleportation with mid-circuit measurement, expressed in the
 /// OpenQASM 2.0 subset.  Qubit 0 carries `ry(1.2)|0>`; after the two
@@ -169,6 +170,120 @@ fn dynamic_circuits_roundtrip_through_qasm() {
         .run(&reparsed, 2048, 5)
         .unwrap();
     assert_eq!(a.histogram, b.histogram);
+}
+
+#[test]
+fn iterative_phase_estimation_recovers_the_phase_from_qasm() {
+    // 3-bit IPE of phase 2*pi*5/8, driven from the QASM text (with
+    // `if (c==k)` feed-forward) rather than the generated circuit, so the
+    // whole parser -> trajectory-engine pipeline is under test.  For an
+    // exact 3-bit phase the read-out is deterministic: c = 5 every shot.
+    let m = 5u64;
+    let phase = 2.0 * std::f64::consts::PI * m as f64 / 8.0;
+    let generated = algorithms::ipe(3, phase);
+    let text = qasm::to_qasm(&generated).expect("ipe exports to QASM");
+    assert!(text.contains("if (c=="));
+    let circuit = qasm::parse(&text).expect("ipe QASM parses");
+    assert_eq!(circuit.operations(), generated.operations());
+    assert!(circuit.is_dynamic());
+
+    let shots = 20_000u64;
+    let mut histograms = Vec::new();
+    for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+        let outcome = WeakSimulator::new(backend)
+            .run(&circuit, shots, 41)
+            .unwrap();
+        assert_eq!(
+            outcome.histogram.count(m),
+            shots,
+            "{backend}: exact phases must be recovered deterministically"
+        );
+        histograms.push(outcome.histogram);
+    }
+    assert_eq!(histograms[0], histograms[1]);
+
+    // A phase *between* the 3-bit grid points spreads the distribution; the
+    // two backends must still agree on it.
+    let rough = qasm::parse(&qasm::to_qasm(&algorithms::ipe(3, 1.0)).unwrap()).unwrap();
+    let dd = WeakSimulator::new(Backend::DecisionDiagram)
+        .run(&rough, shots, 42)
+        .unwrap();
+    let sv = WeakSimulator::new(Backend::StateVector)
+        .run(&rough, shots, 42)
+        .unwrap();
+    for record in 0..8u64 {
+        let (a, b) = (
+            dd.histogram.frequency(record),
+            sv.histogram.frequency(record),
+        );
+        assert!((a - b).abs() < 0.02, "record {record}: DD {a} vs SV {b}");
+    }
+    // The most likely estimate is the closest grid point:
+    // 1.0 / (2*pi) * 8 = 1.27..., so c = 1.
+    let top = dd
+        .histogram
+        .counts()
+        .iter()
+        .max_by_key(|(_, &count)| count)
+        .map(|(&record, _)| record);
+    assert_eq!(top, Some(1));
+}
+
+#[test]
+fn conditioned_circuit_matches_the_analytic_distribution() {
+    // h q0; measure q0 -> c0; if (c==1) h q1; measure q1 -> c1.
+    // Analytically: P(00) = 1/2, P(01) = P(11) = 1/4, P(10) = 0.
+    let src = "qreg q[2]; creg c[2];\nh q[0];\nmeasure q[0] -> c[0];\nif (c==1) h q[1];\nmeasure q[1] -> c[1];";
+    let circuit = qasm::parse(src).unwrap();
+    assert!(circuit.is_dynamic());
+    let expected = |record: u64| match record {
+        0b00 => 0.5,
+        0b01 | 0b11 => 0.25,
+        _ => 0.0,
+    };
+    let shots = 30_000u64;
+    let mut histograms = Vec::new();
+    for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+        let outcome = WeakSimulator::new(backend)
+            .run(&circuit, shots, 97)
+            .unwrap();
+        // Chi-square goodness of fit against the analytic distribution: the
+        // samples must be statistically indistinguishable from the ideal
+        // feed-forward device.
+        let result = stats::chi_square_test(&outcome.histogram, expected);
+        assert!(
+            result.is_consistent(0.001),
+            "{backend}: chi-square p-value {} too small",
+            result.p_value
+        );
+        histograms.push(outcome.histogram);
+    }
+    // And the two backends agree with each other.
+    for record in 0..4u64 {
+        let (a, b) = (
+            histograms[0].frequency(record),
+            histograms[1].frequency(record),
+        );
+        assert!((a - b).abs() < 0.015, "record {record:02b}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn conditioned_trajectories_are_thread_count_invariant() {
+    let circuit = algorithms::ipe(3, 1.0);
+    let shots = 4 * 1024 + 99;
+    for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+        let reference =
+            simulate_trajectories_with_threads(backend, &circuit, shots, 1234, 1).unwrap();
+        for threads in [2, 8] {
+            let run = simulate_trajectories_with_threads(backend, &circuit, shots, 1234, threads)
+                .unwrap();
+            assert_eq!(
+                reference.histogram, run.histogram,
+                "{backend}: {threads} threads changed the feed-forward records"
+            );
+        }
+    }
 }
 
 #[test]
