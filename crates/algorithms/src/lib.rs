@@ -15,7 +15,10 @@
 //! * [`teleportation`] — the dynamic-circuit (mid-circuit measurement)
 //!   reference workload,
 //! * [`ipe`] — single-ancilla iterative phase estimation, the
-//!   classically-controlled (`if (c==k)`) qubit-reuse reference workload.
+//!   classically-controlled (`if (c==k)`) qubit-reuse reference workload,
+//! * [`hardware_noise`], [`teleportation_noise_sweep`], [`ipe_noise_sweep`]
+//!   — reference noise models and error-rate sweeps for noisy-hardware
+//!   emulation through the trajectory engine.
 //!
 //! Every generator is deterministic given its parameters (and seed, where
 //! randomness is involved), so experiments are reproducible.
@@ -39,6 +42,7 @@ mod entangle;
 mod grover;
 mod ipe;
 mod jellium;
+mod noisy;
 mod qft;
 mod random;
 mod shor;
@@ -49,6 +53,7 @@ pub use entangle::{bell_pair, ghz, w_state};
 pub use grover::{grover, grover_with_iterations, GroverSpec};
 pub use ipe::ipe;
 pub use jellium::{jellium, JelliumSpec};
+pub use noisy::{hardware_noise, ipe_noise_sweep, teleportation_noise_sweep};
 pub use qft::{inverse_qft, qft};
 pub use random::random_circuit;
 pub use shor::{shor, ShorSpec};

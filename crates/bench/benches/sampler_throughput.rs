@@ -20,7 +20,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use statevector::PrefixSampler;
 use std::time::Instant;
-use weaksim::{simulate_trajectories_with_threads, Backend};
+use weaksim::{
+    simulate_noisy_trajectories_with_threads, simulate_trajectories_with_threads, Backend,
+};
 
 const SHOTS: u64 = 10_000;
 
@@ -35,6 +37,16 @@ fn trajectory_workload() -> circuit::Circuit {
 /// corrections resolved against the per-shot classical record.
 fn ipe_workload() -> circuit::Circuit {
     algorithms::ipe(3, 1.0)
+}
+
+/// The noisy reference workload: teleportation under the uniform hardware
+/// model at a realistic 1% error rate (depolarizing gate noise + bit-flip
+/// read-out error), realized per shot by stochastic Kraus insertion.
+fn noisy_workload() -> (circuit::Circuit, circuit::NoiseModel) {
+    (
+        algorithms::teleportation(1.2),
+        algorithms::hardware_noise(0.01),
+    )
 }
 
 fn workloads() -> Vec<circuit::Circuit> {
@@ -168,6 +180,26 @@ fn bench_trajectories(c: &mut Criterion) {
             );
         }
     }
+
+    // The stochastic-noise path: every shot draws a Kraus branch per noise
+    // site on top of the measurement draws.
+    let (noisy_circuit, noise) = noisy_workload();
+    for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+        group.bench_with_input(
+            BenchmarkId::new("noisy_teleportation_shots", format!("{backend}")),
+            &(&noisy_circuit, &noise),
+            |b, (circuit, noise)| {
+                b.iter(|| {
+                    simulate_noisy_trajectories_with_threads(
+                        backend, circuit, noise, SHOTS, BENCH_SEED, 1,
+                    )
+                    .expect("noisy trajectory simulation succeeds")
+                    .histogram
+                    .shots()
+                });
+            },
+        );
+    }
     group.finish();
 }
 
@@ -232,34 +264,52 @@ fn record_baseline_json(_c: &mut Criterion) {
     // configuration (on a 1-CPU box the parallel entry simply repeats the
     // single-thread number with "threads": 1).
     let trajectory_shots = shots as u64;
-    let trajectory_entry = |circuit: &circuit::Circuit, workers: usize| -> String {
+    let trajectory_entry = |circuit: &circuit::Circuit,
+                            noise: Option<&circuit::NoiseModel>,
+                            workers: usize|
+     -> String {
         let seconds = time(&mut || {
-            simulate_trajectories_with_threads(
-                Backend::DecisionDiagram,
-                circuit,
-                trajectory_shots,
-                BENCH_SEED,
-                workers,
-            )
+            match noise {
+                None => simulate_trajectories_with_threads(
+                    Backend::DecisionDiagram,
+                    circuit,
+                    trajectory_shots,
+                    BENCH_SEED,
+                    workers,
+                ),
+                Some(noise) => simulate_noisy_trajectories_with_threads(
+                    Backend::DecisionDiagram,
+                    circuit,
+                    noise,
+                    trajectory_shots,
+                    BENCH_SEED,
+                    workers,
+                ),
+            }
             .expect("trajectory simulation succeeds")
             .histogram
             .shots()
         });
+        let name = match noise {
+            None => circuit.name().to_string(),
+            Some(_) => format!("{}_noisy", circuit.name()),
+        };
         format!(
             "{{\n    \"benchmark\": \"{name}\",\n    \"backend\": \"dd\",\n    \"shots\": {trajectory_shots},\n    \"threads\": {workers},\n    \"seconds\": {seconds:.6},\n    \"shots_per_second\": {rate:.0}\n  }}",
-            name = circuit.name(),
             rate = trajectory_shots as f64 / seconds,
         )
     };
     let trajectory_circuit = trajectory_workload();
     let ipe_circuit = ipe_workload();
-    let trajectory_json = trajectory_entry(&trajectory_circuit, 1);
-    let trajectory_parallel_json = trajectory_entry(&trajectory_circuit, threads);
-    let ipe_json = trajectory_entry(&ipe_circuit, 1);
+    let (noisy_circuit, noise_model) = noisy_workload();
+    let trajectory_json = trajectory_entry(&trajectory_circuit, None, 1);
+    let trajectory_parallel_json = trajectory_entry(&trajectory_circuit, None, threads);
+    let ipe_json = trajectory_entry(&ipe_circuit, None, 1);
+    let noisy_json = trajectory_entry(&noisy_circuit, Some(&noise_model), 1);
 
     let rate = |seconds: f64| shots as f64 / seconds;
     let json = format!(
-        "{{\n  \"benchmark\": \"{name}\",\n  \"qubits\": {qubits},\n  \"dd_nodes\": {nodes},\n  \"shots\": {shots},\n  \"threads\": {threads},\n  \"compile_seconds\": {compile_seconds:.6},\n  \"samplers\": {{\n    \"dd_sampler\": {{ \"seconds\": {dd:.6}, \"shots_per_second\": {dd_rate:.0} }},\n    \"normalized_sampler\": {{ \"seconds\": {nm:.6}, \"shots_per_second\": {nm_rate:.0} }},\n    \"compiled_sampler\": {{ \"seconds\": {cp:.6}, \"shots_per_second\": {cp_rate:.0} }},\n    \"compiled_parallel\": {{ \"seconds\": {pl:.6}, \"shots_per_second\": {pl_rate:.0}, \"threads\": {threads} }}\n  }},\n  \"trajectory\": {trajectory_json},\n  \"trajectory_parallel\": {trajectory_parallel_json},\n  \"trajectory_ipe\": {ipe_json},\n  \"speedup_compiled_vs_dd_sampler\": {speedup:.2},\n  \"speedup_parallel_vs_dd_sampler\": {pspeedup:.2}\n}}\n",
+        "{{\n  \"benchmark\": \"{name}\",\n  \"qubits\": {qubits},\n  \"dd_nodes\": {nodes},\n  \"shots\": {shots},\n  \"threads\": {threads},\n  \"compile_seconds\": {compile_seconds:.6},\n  \"samplers\": {{\n    \"dd_sampler\": {{ \"seconds\": {dd:.6}, \"shots_per_second\": {dd_rate:.0} }},\n    \"normalized_sampler\": {{ \"seconds\": {nm:.6}, \"shots_per_second\": {nm_rate:.0} }},\n    \"compiled_sampler\": {{ \"seconds\": {cp:.6}, \"shots_per_second\": {cp_rate:.0} }},\n    \"compiled_parallel\": {{ \"seconds\": {pl:.6}, \"shots_per_second\": {pl_rate:.0}, \"threads\": {threads} }}\n  }},\n  \"trajectory\": {trajectory_json},\n  \"trajectory_parallel\": {trajectory_parallel_json},\n  \"trajectory_ipe\": {ipe_json},\n  \"trajectory_noisy\": {noisy_json},\n  \"speedup_compiled_vs_dd_sampler\": {speedup:.2},\n  \"speedup_parallel_vs_dd_sampler\": {pspeedup:.2}\n}}\n",
         name = circuit.name(),
         qubits = circuit.num_qubits(),
         dd = dd_seconds,

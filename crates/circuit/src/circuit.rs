@@ -80,10 +80,10 @@ pub enum ValidateCircuitError {
         /// Number of classical bits in the circuit.
         num_clbits: u16,
     },
-    /// A [`Operation::Conditioned`] wraps something other than a unitary
-    /// gate operation (a measurement, reset or nested condition), which the
-    /// supported subset does not allow.
-    ConditionedNonGate {
+    /// A [`Operation::Conditioned`] wraps another conditioned operation;
+    /// nested classical conditions are not supported (OpenQASM 2.0 has no
+    /// syntax for them either).
+    NestedCondition {
         /// Index of the offending operation.
         op_index: usize,
     },
@@ -124,9 +124,9 @@ impl fmt::Display for ValidateCircuitError {
                 f,
                 "operation {op_index} compares the classical register against {value}, which does not fit in {num_clbits} classical bits"
             ),
-            ValidateCircuitError::ConditionedNonGate { op_index } => write!(
+            ValidateCircuitError::NestedCondition { op_index } => write!(
                 f,
-                "operation {op_index} conditions a non-gate operation; only unitary gates can be classically conditioned"
+                "operation {op_index} nests one classical condition inside another; conditions cannot be nested"
             ),
         }
     }
@@ -392,17 +392,22 @@ impl Circuit {
     /// Appends `op` guarded by the classical condition `creg == value`
     /// (QASM `if (c==value) gate;`): during trajectory simulation the
     /// operation is applied only when the classical register currently holds
-    /// `value`.  The inner operation must be a unitary gate; see
-    /// [`validate`](Self::validate).
+    /// `value`.  The inner operation may be a unitary gate, a
+    /// [`Measure`](Operation::Measure) or a [`Reset`](Operation::Reset) —
+    /// anything but another condition; see [`validate`](Self::validate).
     ///
     /// Like [`measure`](Self::measure), this grows the classical register to
-    /// cover the compared value (at least one bit), so the circuit always
-    /// carries the `creg` its conditions read.
+    /// cover the compared value (at least one bit) and, for a conditioned
+    /// measurement, its recorded classical bit — so the circuit always
+    /// carries the `creg` its conditions read and write.
     pub fn conditioned(&mut self, value: u64, op: Operation) -> &mut Self {
         let width = u16::try_from(64 - value.leading_zeros())
             .expect("width is at most 64")
             .max(1);
         self.num_clbits = self.num_clbits.max(width);
+        if let Operation::Measure { cbit, .. } = op {
+            self.num_clbits = self.num_clbits.max(cbit.saturating_add(1));
+        }
         self.push(Operation::Conditioned {
             condition: Condition::equals(value),
             op: Box::new(op),
@@ -424,12 +429,18 @@ impl Circuit {
     }
 
     /// Returns `true` if the circuit contains at least one
-    /// [`Operation::Measure`].
+    /// [`Operation::Measure`], standalone or under a classical condition
+    /// (`if (c==k) measure ...;`) — either kind writes the classical
+    /// register.
     #[must_use]
     pub fn has_measurements(&self) -> bool {
-        self.ops
-            .iter()
-            .any(|op| matches!(op, Operation::Measure { .. }))
+        self.ops.iter().any(|op| {
+            let inner = match op {
+                Operation::Conditioned { op, .. } => op.as_ref(),
+                other => other,
+            };
+            matches!(inner, Operation::Measure { .. })
+        })
     }
 
     /// Returns `true` if the circuit needs trajectory-style (per-shot)
@@ -518,30 +529,35 @@ impl Circuit {
                     });
                 }
             }
-            match op {
-                Operation::Measure { cbit, .. } if *cbit >= self.num_clbits => {
+            if let Operation::Conditioned { condition, op } = op {
+                if op.is_conditioned() {
+                    return Err(ValidateCircuitError::NestedCondition { op_index });
+                }
+                // The register-width cap above guarantees the shift is in
+                // range whenever num_clbits < 64; a full 64-bit register
+                // admits every u64 value.
+                if self.num_clbits < 64 && condition.value >> self.num_clbits != 0 {
+                    return Err(ValidateCircuitError::ConditionValueTooWide {
+                        op_index,
+                        value: condition.value,
+                        num_clbits: self.num_clbits,
+                    });
+                }
+            }
+            // Classical-bit range checks apply to measurements whether they
+            // stand alone or sit under a classical guard.
+            let inner = match op {
+                Operation::Conditioned { op, .. } => op.as_ref(),
+                other => other,
+            };
+            if let Operation::Measure { cbit, .. } = inner {
+                if *cbit >= self.num_clbits {
                     return Err(ValidateCircuitError::ClbitOutOfRange {
                         op_index,
                         cbit: *cbit,
                         num_clbits: self.num_clbits,
                     });
                 }
-                Operation::Conditioned { condition, op } => {
-                    if op.is_non_unitary() || op.is_conditioned() {
-                        return Err(ValidateCircuitError::ConditionedNonGate { op_index });
-                    }
-                    // The register-width cap above guarantees the shift is
-                    // in range whenever num_clbits < 64; a full 64-bit
-                    // register admits every u64 value.
-                    if self.num_clbits < 64 && condition.value >> self.num_clbits != 0 {
-                        return Err(ValidateCircuitError::ConditionValueTooWide {
-                            op_index,
-                            value: condition.value,
-                            num_clbits: self.num_clbits,
-                        });
-                    }
-                }
-                _ => {}
             }
         }
         Ok(())
@@ -847,28 +863,56 @@ mod tests {
     }
 
     #[test]
-    fn conditioned_non_gates_are_rejected() {
-        for inner in [
-            Operation::Measure {
-                qubit: Qubit(0),
-                cbit: 0,
-            },
-            Operation::Reset { qubit: Qubit(0) },
+    fn conditioned_measure_and_reset_validate_but_nesting_is_rejected() {
+        // `if (c==k) measure;` and `if (c==k) reset;` are part of the
+        // OpenQASM 2.0 subset and validate fine.
+        let mut c = Circuit::new(1);
+        c.measure(Qubit(0), 0)
+            .conditioned(
+                1,
+                Operation::Measure {
+                    qubit: Qubit(0),
+                    cbit: 1,
+                },
+            )
+            .conditioned(0, Operation::Reset { qubit: Qubit(0) });
+        assert_eq!(c.num_clbits(), 2, "conditioned measure grows the creg");
+        assert!(c.validate().is_ok(), "{c}");
+        assert!(c.has_measurements());
+        assert_eq!(c.stats().counts["if measure"], 1);
+        assert_eq!(c.stats().counts["if reset"], 1);
+
+        // Nested conditions stay outside the subset.
+        let mut nested = Circuit::new(1);
+        nested.measure(Qubit(0), 0).conditioned(
+            0,
             Operation::Conditioned {
                 condition: Condition::equals(0),
                 op: Box::new(Operation::Reset { qubit: Qubit(0) }),
             },
-        ] {
-            let mut c = Circuit::new(1);
-            c.measure(Qubit(0), 0).conditioned(0, inner);
-            assert!(
-                matches!(
-                    c.validate(),
-                    Err(ValidateCircuitError::ConditionedNonGate { op_index: 1 })
-                ),
-                "{c}"
-            );
-        }
+        );
+        assert!(
+            matches!(
+                nested.validate(),
+                Err(ValidateCircuitError::NestedCondition { op_index: 1 })
+            ),
+            "{nested}"
+        );
+
+        // A conditioned measurement's classical bit is still range-checked
+        // (reachable via raw `push`, never via the growing builder).
+        let mut wide = Circuit::new(1);
+        wide.measure(Qubit(0), 0).push(Operation::Conditioned {
+            condition: Condition::equals(0),
+            op: Box::new(Operation::Measure {
+                qubit: Qubit(0),
+                cbit: 9,
+            }),
+        });
+        assert!(matches!(
+            wide.validate(),
+            Err(ValidateCircuitError::ClbitOutOfRange { cbit: 9, .. })
+        ));
     }
 
     #[test]

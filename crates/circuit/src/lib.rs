@@ -18,6 +18,10 @@
 //!   methods (`h`, `cx`, `mcx`, `cp`, …) and validation.
 //! * [`qasm`] — an OpenQASM 2.0 subset writer and parser so circuits can be
 //!   exchanged with other toolchains.
+//! * [`NoiseModel`] / [`NoiseChannel`] — descriptions of stochastic noise
+//!   (depolarizing, bit/phase flip, amplitude damping) attached to gate
+//!   sites, qubits and read-outs, realized per shot by the trajectory
+//!   engine for noisy-hardware emulation.
 //! * [`CircuitStats`] — gate counts and depth, used by reports.
 //!
 //! # Examples
@@ -38,12 +42,14 @@
 
 mod circuit;
 mod gate;
+mod noise;
 mod op;
 pub mod qasm;
 mod stats;
 
 pub use crate::circuit::{Circuit, ValidateCircuitError};
 pub use gate::OneQubitGate;
+pub use noise::{NoiseChannel, NoiseModel, NoiseModelError};
 pub use op::{Condition, Operation, Permutation};
 pub use stats::CircuitStats;
 

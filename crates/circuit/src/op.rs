@@ -184,12 +184,13 @@ impl fmt::Display for Condition {
 /// such circuits are simulated trajectory-by-trajectory (see the `weaksim`
 /// crate) instead of by a single strong-simulation pass.
 ///
-/// [`Conditioned`](Operation::Conditioned) wraps a unitary operation in a
-/// classical [`Condition`]: the inner operation is applied only when the
-/// classical register currently equals the compared value.  Conditioned
-/// operations also make a circuit dynamic — which gates fire depends on
-/// earlier measurement outcomes — even though each of them is unitary on the
-/// quantum state whenever it does fire.
+/// [`Conditioned`](Operation::Conditioned) wraps an operation in a classical
+/// [`Condition`]: the inner operation is applied only when the classical
+/// register currently equals the compared value.  The inner operation may be
+/// a unitary gate or one of the non-unitary operations (`if (c==k) measure`
+/// and `if (c==k) reset` are legal OpenQASM 2.0), but never another
+/// condition.  Conditioned operations also make a circuit dynamic — which
+/// operations fire depends on earlier measurement outcomes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Operation {
     /// A (multi-)controlled single-qubit unitary.
@@ -230,15 +231,15 @@ pub enum Operation {
         /// The qubit forced back to `|0>`.
         qubit: Qubit,
     },
-    /// A classically-conditioned unitary operation (QASM `if (c==k) gate;`):
-    /// `op` is applied only when the classical register equals
-    /// `condition.value`.  The inner operation must be unitary (never a
-    /// measurement, reset or another condition); [`Circuit::validate`]
-    /// (crate::Circuit::validate) enforces this.
+    /// A classically-conditioned operation (QASM `if (c==k) gate;`, `if
+    /// (c==k) measure ...;` or `if (c==k) reset ...;`): `op` is applied only
+    /// when the classical register equals `condition.value`.  The inner
+    /// operation may be any non-conditioned operation; [`Circuit::validate`]
+    /// (crate::Circuit::validate) rejects nested conditions.
     Conditioned {
         /// The classical guard.
         condition: Condition,
-        /// The guarded unitary operation.
+        /// The guarded operation (never itself conditioned).
         op: Box<Operation>,
     },
 }

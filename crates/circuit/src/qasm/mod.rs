@@ -14,12 +14,17 @@
 //!   become [`Operation::Reset`](crate::Operation) operations — mid-circuit
 //!   placements are preserved, which is what makes dynamic circuits
 //!   (teleportation, measure-and-reset qubit reuse) expressible
-//! * classically-controlled gates: `if (c==k) gate ...;` becomes an
-//!   [`Operation::Conditioned`](crate::Operation) wrapping the gate, guarded
-//!   by the whole-register equality `c == k` — the feed-forward primitive
-//!   that makes iterative phase estimation expressible.  Only gate
-//!   statements can be conditioned (no `if` on `measure`/`reset`), and the
-//!   compared value must fit the declared `creg`
+//! * classically-controlled statements: `if (c==k) gate ...;`, `if (c==k)
+//!   measure ...;` and `if (c==k) reset ...;` become an
+//!   [`Operation::Conditioned`](crate::Operation) wrapping the statement's
+//!   operation, guarded by the whole-register equality `c == k` — the
+//!   feed-forward primitives that make iterative phase estimation and
+//!   conditional read-out/discard expressible.  Conditions cannot be nested,
+//!   the compared value must fit the declared `creg`, and the broadcast
+//!   `if (c==k) measure q -> c;` is rejected (its per-qubit expansion would
+//!   let an earlier guarded measure rewrite the compared register, breaking
+//!   the spec's condition-once statement semantics; broadcast `reset` is
+//!   accepted — resets never write the register)
 //! * `barrier` statements are accepted and ignored
 //!
 //! Basis-state [`Permutation`](crate::Permutation) operations have no QASM
@@ -106,6 +111,35 @@ mod tests {
         assert!(parsed.is_dynamic());
         // A second round trip is a fixed point (modulo the `// name` header,
         // which the parser does not recover).
+        let strip_name = |t: &str| t.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(
+            strip_name(&super::to_qasm(&parsed).unwrap()),
+            strip_name(&text)
+        );
+    }
+
+    #[test]
+    fn roundtrip_preserves_conditioned_measure_and_reset() {
+        // `if (c==k) measure;` / `if (c==k) reset;` — the QASM 2.0 forms the
+        // subset previously rejected — survive write → parse → write.
+        let mut c = Circuit::with_name(2, "conditioned_events");
+        c.h(Qubit(0))
+            .measure(Qubit(0), 0)
+            .conditioned(1, crate::Operation::Reset { qubit: Qubit(0) })
+            .conditioned(
+                1,
+                crate::Operation::Measure {
+                    qubit: Qubit(1),
+                    cbit: 1,
+                },
+            )
+            .measure(Qubit(0), 1);
+        let text = super::to_qasm(&c).unwrap();
+        assert!(text.contains("if (c==1) reset q[0];"));
+        assert!(text.contains("if (c==1) measure q[1] -> c[1];"));
+        let parsed = super::parse(&text).unwrap();
+        assert_eq!(parsed.operations(), c.operations());
+        assert_eq!(parsed.num_clbits(), c.num_clbits());
         let strip_name = |t: &str| t.lines().skip(1).collect::<Vec<_>>().join("\n");
         assert_eq!(
             strip_name(&super::to_qasm(&parsed).unwrap()),

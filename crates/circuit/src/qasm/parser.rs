@@ -317,6 +317,85 @@ fn parse_cbit(token: &str, line: usize, creg: &(String, u16)) -> Result<u16, Par
     Ok(index)
 }
 
+/// Parses the operand part of a `measure` statement (`q[i] -> c[j]` or the
+/// broadcast `q -> c`) into [`Operation::Measure`] operations, checking both
+/// operands against the declared registers.
+fn parse_measure_ops(
+    rest: &str,
+    line: usize,
+    register: &str,
+    creg: &(String, u16),
+    num_qubits: u16,
+) -> Result<Vec<Operation>, ParseQasmError> {
+    let (qubit_text, cbit_text) = rest
+        .split_once("->")
+        .ok_or_else(|| err(line, "measure statement requires 'qubit -> clbit'"))?;
+    let qubit_text = qubit_text.trim();
+    let cbit_text = cbit_text.trim();
+    if qubit_text.contains('[') {
+        let qubit = parse_operand(qubit_text, line, register)?;
+        let cbit = parse_cbit(cbit_text, line, creg)?;
+        return Ok(vec![Operation::Measure { qubit, cbit }]);
+    }
+    // Broadcast form `measure q -> c;`: qubit k into clbit k.
+    if qubit_text != register {
+        return Err(err(
+            line,
+            format!(
+                "operand register '{qubit_text}' does not match declared register '{register}'"
+            ),
+        ));
+    }
+    if cbit_text != creg.0 {
+        return Err(err(
+            line,
+            format!(
+                "classical register '{cbit_text}' does not match declared creg '{}'",
+                creg.0
+            ),
+        ));
+    }
+    if creg.1 < num_qubits {
+        return Err(err(
+            line,
+            format!(
+                "broadcast measure needs creg size >= {num_qubits} qubits, got {}",
+                creg.1
+            ),
+        ));
+    }
+    Ok((0..num_qubits)
+        .map(|q| Operation::Measure {
+            qubit: Qubit(q),
+            cbit: q,
+        })
+        .collect())
+}
+
+/// Parses the operand part of a `reset` statement (`q[i]` or the broadcast
+/// `q`) into [`Operation::Reset`] operations.
+fn parse_reset_ops(
+    rest: &str,
+    line: usize,
+    register: &str,
+    num_qubits: u16,
+) -> Result<Vec<Operation>, ParseQasmError> {
+    let target = rest.trim();
+    if target.contains('[') {
+        let qubit = parse_operand(target, line, register)?;
+        return Ok(vec![Operation::Reset { qubit }]);
+    }
+    if target != register {
+        return Err(err(
+            line,
+            format!("operand register '{target}' does not match declared register '{register}'"),
+        ));
+    }
+    Ok((0..num_qubits)
+        .map(|q| Operation::Reset { qubit: Qubit(q) })
+        .collect())
+}
+
 fn parse_statement(stmt: &str, line: usize, state: &mut ParserState) -> Result<(), ParseQasmError> {
     let (head, rest) = match stmt.find(|c: char| c.is_whitespace() || c == '(') {
         Some(pos) => (&stmt[..pos], stmt[pos..].trim_start()),
@@ -364,51 +443,14 @@ fn parse_statement(stmt: &str, line: usize, state: &mut ParserState) -> Result<(
             Ok(())
         }
         "measure" => {
-            let (qubit_text, cbit_text) = rest
-                .split_once("->")
-                .ok_or_else(|| err(line, "measure statement requires 'qubit -> clbit'"))?;
-            let qubit_text = qubit_text.trim();
-            let cbit_text = cbit_text.trim();
             let creg = parsed_creg
                 .as_ref()
                 .ok_or_else(|| err(line, "measure statement before creg declaration"))?;
             let circuit = parsed_circuit
                 .as_mut()
                 .ok_or_else(|| err(line, "statement before qreg declaration"))?;
-            if qubit_text.contains('[') {
-                let qubit = parse_operand(qubit_text, line, register)?;
-                let cbit = parse_cbit(cbit_text, line, creg)?;
-                circuit.measure(qubit, cbit);
-            } else {
-                // Broadcast form `measure q -> c;`: qubit k into clbit k.
-                if qubit_text != register {
-                    return Err(err(
-                        line,
-                        format!(
-                            "operand register '{qubit_text}' does not match declared register '{register}'"
-                        ),
-                    ));
-                }
-                if cbit_text != creg.0 {
-                    return Err(err(
-                        line,
-                        format!(
-                            "classical register '{cbit_text}' does not match declared creg '{}'",
-                            creg.0
-                        ),
-                    ));
-                }
-                if creg.1 < circuit.num_qubits() {
-                    return Err(err(
-                        line,
-                        format!(
-                            "broadcast measure needs creg size >= {} qubits, got {}",
-                            circuit.num_qubits(),
-                            creg.1
-                        ),
-                    ));
-                }
-                circuit.measure_all();
+            for op in parse_measure_ops(rest, line, register, creg, circuit.num_qubits())? {
+                circuit.push(op);
             }
             Ok(())
         }
@@ -416,22 +458,8 @@ fn parse_statement(stmt: &str, line: usize, state: &mut ParserState) -> Result<(
             let circuit = parsed_circuit
                 .as_mut()
                 .ok_or_else(|| err(line, "statement before qreg declaration"))?;
-            let target = rest.trim();
-            if target.contains('[') {
-                let qubit = parse_operand(target, line, register)?;
-                circuit.reset(qubit);
-            } else {
-                if target != register {
-                    return Err(err(
-                        line,
-                        format!(
-                            "operand register '{target}' does not match declared register '{register}'"
-                        ),
-                    ));
-                }
-                for q in 0..circuit.num_qubits() {
-                    circuit.reset(Qubit(q));
-                }
+            for op in parse_reset_ops(rest, line, register, circuit.num_qubits())? {
+                circuit.push(op);
             }
             Ok(())
         }
@@ -487,21 +515,55 @@ fn parse_statement(stmt: &str, line: usize, state: &mut ParserState) -> Result<(
                 .unwrap_or("");
             if matches!(
                 guarded_head,
-                "measure" | "reset" | "if" | "barrier" | "qreg" | "creg" | "OPENQASM" | "include"
+                "if" | "barrier" | "qreg" | "creg" | "OPENQASM" | "include"
             ) {
                 return Err(err(
                     line,
-                    format!("only gate statements can be conditioned, got '{guarded_head}'"),
+                    format!(
+                        "only gate, measure and reset statements can be conditioned, got '{guarded_head}'"
+                    ),
                 ));
             }
-            // Parse the guarded gate into a scratch circuit, then wrap what
-            // it appended in the condition.
-            let mut scratch = Circuit::new(circuit.num_qubits());
-            parse_gate(guarded_stmt, line, &mut scratch, register)?;
-            for op in scratch.operations() {
+            // Parse the guarded statement (a gate, a measure or a reset),
+            // then wrap every operation it produced in the condition.
+            //
+            // The per-operation guards re-evaluate against the *current*
+            // register, which matches OpenQASM 2.0's condition-once-per-
+            // statement semantics for everything we expand — except a
+            // broadcast measure, where an earlier guarded measure could
+            // rewrite the compared register and disable the rest of the
+            // expansion.  (Broadcast resets are fine: resets never write the
+            // register, so the guard cannot change mid-expansion.)
+            let guarded_ops: Vec<Operation> = match guarded_head {
+                "measure" => {
+                    let guarded_rest = guarded_stmt["measure".len()..].trim_start();
+                    let is_broadcast = guarded_rest
+                        .split_once("->")
+                        .is_some_and(|(qubit_text, _)| !qubit_text.contains('['));
+                    if is_broadcast {
+                        return Err(err(
+                            line,
+                            "broadcast measure cannot be conditioned: an earlier guarded \
+                             measure would rewrite the compared register; condition each \
+                             'measure q[i] -> c[j]' individually",
+                        ));
+                    }
+                    parse_measure_ops(guarded_rest, line, register, creg, circuit.num_qubits())?
+                }
+                "reset" => {
+                    let guarded_rest = guarded_stmt["reset".len()..].trim_start();
+                    parse_reset_ops(guarded_rest, line, register, circuit.num_qubits())?
+                }
+                _ => {
+                    let mut scratch = Circuit::new(circuit.num_qubits());
+                    parse_gate(guarded_stmt, line, &mut scratch, register)?;
+                    scratch.operations().to_vec()
+                }
+            };
+            for op in guarded_ops {
                 circuit.push(Operation::Conditioned {
                     condition: Condition::equals(value),
-                    op: Box::new(op.clone()),
+                    op: Box::new(op),
                 });
             }
             Ok(())
@@ -949,20 +1011,86 @@ mod tests {
     }
 
     #[test]
-    fn only_gate_statements_can_be_conditioned() {
+    fn parses_conditioned_measure_and_reset() {
+        let src = "qreg q[2]; creg c[2];\nh q[0];\nmeasure q[0] -> c[0];\nif (c==1) reset q[0];\nif (c==1) measure q[1] -> c[1];";
+        let c = parse(src).unwrap();
+        assert_eq!(c.len(), 4);
+        assert!(c.is_dynamic());
+        assert!(c.validate().is_ok());
+        match &c.operations()[2] {
+            Operation::Conditioned { condition, op } => {
+                assert_eq!(condition.value, 1);
+                assert!(matches!(op.as_ref(), Operation::Reset { qubit: Qubit(0) }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &c.operations()[3] {
+            Operation::Conditioned { condition, op } => {
+                assert_eq!(condition.value, 1);
+                assert!(matches!(
+                    op.as_ref(),
+                    Operation::Measure {
+                        qubit: Qubit(1),
+                        cbit: 1
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conditioned_broadcast_reset_expands_per_qubit() {
+        // Resets never write the register, so guarding each qubit's reset
+        // individually is exactly the condition-once statement semantics.
+        let c = parse("qreg q[2]; creg c[2]; if (c==0) reset q;").unwrap();
+        assert_eq!(c.len(), 2);
+        for (i, op) in c.operations().iter().enumerate() {
+            let Operation::Conditioned { op, .. } = op else {
+                panic!("op {i} is not conditioned: {op}");
+            };
+            assert!(matches!(op.as_ref(), Operation::Reset { .. }));
+        }
+    }
+
+    #[test]
+    fn conditioned_broadcast_measure_is_rejected() {
+        // An earlier guarded measure of the expansion would rewrite the
+        // compared register and disable the later ones, diverging from the
+        // spec's evaluate-the-condition-once semantics — so the form errors
+        // instead of silently changing meaning.
+        let e = parse("qreg q[2]; creg c[2]; if (c==3) measure q -> c;").unwrap_err();
+        assert!(
+            e.message
+                .contains("broadcast measure cannot be conditioned"),
+            "unexpected message: {}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn conditioned_measure_checks_its_operands() {
+        let e = parse("qreg q[1]; creg c[1]; if (c==0) measure q[0] -> c[4];").unwrap_err();
+        assert!(e.message.contains("outside creg"));
+        let e = parse("qreg q[1]; creg c[1]; if (c==0) measure q[0] -> d[0];").unwrap_err();
+        assert!(e.message.contains("does not match declared creg"));
+        let e = parse("qreg q[1]; creg c[1]; if (c==0) reset r[0];").unwrap_err();
+        assert!(e.message.contains("does not match declared register"));
+        let e = parse("qreg q[1]; creg c[1]; if (c==0) measure q[0];").unwrap_err();
+        assert!(e.message.contains("requires 'qubit -> clbit'"));
+    }
+
+    #[test]
+    fn declarations_and_nested_ifs_cannot_be_conditioned() {
         for (src, head) in [
-            (
-                "qreg q[1]; creg c[1]; if (c==0) measure q[0] -> c[0];",
-                "measure",
-            ),
-            ("qreg q[1]; creg c[1]; if (c==0) reset q[0];", "reset"),
             ("qreg q[1]; creg c[1]; if (c==0) if (c==0) x q[0];", "if"),
             ("qreg q[1]; creg c[1]; if (c==0) barrier q;", "barrier"),
+            ("qreg q[1]; creg c[1]; if (c==0) creg d[1];", "creg"),
         ] {
             let e = parse(src).unwrap_err();
             assert!(
                 e.message
-                    .contains("only gate statements can be conditioned")
+                    .contains("only gate, measure and reset statements can be conditioned")
                     && e.message.contains(head),
                 "unexpected message for {src:?}: {}",
                 e.message

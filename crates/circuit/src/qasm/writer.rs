@@ -67,8 +67,10 @@ fn gate_call(gate: &OneQubitGate) -> String {
 ///
 /// Returns [`WriteQasmError::UnsupportedOperation`] for operations outside
 /// the QASM subset: basis-state permutations, gates with three or more
-/// controls, and controlled gates whose base gate has no standard controlled
-/// form (anything other than `X`, `Z`, phase and swap).
+/// controls, controlled gates whose base gate has no standard controlled
+/// form (anything other than `X`, `Z`, phase and swap), and nested classical
+/// conditions.  Conditioned gates, measurements and resets are written as
+/// `if (c==k) ...;` statements.
 ///
 /// # Examples
 ///
@@ -159,9 +161,9 @@ fn op_statement(op: &Operation, op_index: usize) -> Result<String, WriteQasmErro
         Operation::Measure { qubit, cbit } => format!("measure {} -> c[{cbit}];", q(*qubit)),
         Operation::Reset { qubit } => format!("reset {};", q(*qubit)),
         Operation::Conditioned { condition, op } => {
-            if op.is_non_unitary() || op.is_conditioned() {
+            if op.is_conditioned() {
                 return Err(unsupported(
-                    "only unitary gates can be classically conditioned in the supported subset",
+                    "nested classical conditions have no OpenQASM 2.0 form",
                 ));
             }
             format!(
@@ -248,9 +250,35 @@ mod tests {
     }
 
     #[test]
-    fn conditioned_non_gates_cannot_be_written() {
+    fn conditioned_measure_and_reset_are_emitted_with_an_if_prefix() {
         let mut c = Circuit::new(1);
-        c.conditioned(0, Operation::Reset { qubit: Qubit(0) });
+        c.h(Qubit(0))
+            .measure(Qubit(0), 0)
+            .conditioned(1, Operation::Reset { qubit: Qubit(0) })
+            .conditioned(
+                0,
+                Operation::Measure {
+                    qubit: Qubit(0),
+                    cbit: 1,
+                },
+            );
+        let text = to_qasm(&c).unwrap();
+        assert!(text.contains("if (c==1) reset q[0];"));
+        assert!(text.contains("if (c==0) measure q[0] -> c[1];"));
+        assert!(text.contains("creg c[2];"));
+    }
+
+    #[test]
+    fn unwritable_conditioned_operations_error() {
+        // Nested conditions have no QASM syntax.
+        let mut c = Circuit::new(1);
+        c.conditioned(
+            0,
+            Operation::Conditioned {
+                condition: crate::Condition::equals(1),
+                op: Box::new(Operation::Reset { qubit: Qubit(0) }),
+            },
+        );
         assert!(matches!(
             to_qasm(&c),
             Err(WriteQasmError::UnsupportedOperation { op_index: 0, .. })

@@ -10,8 +10,10 @@
 //!   error-free quantum computer;
 //! * [`trajectory`] — per-shot simulation of *dynamic* circuits
 //!   (mid-circuit measurement, reset and classically-controlled
-//!   `if (c==k)` gates), with prefix-tree caching on the decision-diagram
-//!   backend;
+//!   `if (c==k)` gates/measures/resets), optionally under a stochastic
+//!   [`circuit::NoiseModel`] (noisy-hardware emulation by per-shot Kraus
+//!   branch insertion), with decision-prefix-tree caching on the
+//!   decision-diagram backend;
 //! * [`ShotHistogram`] — aggregated samples with bitstring formatting;
 //! * [`stats`] — chi-square goodness-of-fit and total-variation-distance
 //!   checks used to validate the "statistically indistinguishable" claim;
@@ -80,5 +82,6 @@ pub mod trajectory;
 pub use shots::ShotHistogram;
 pub use simulator::{Backend, RunError, RunOutcome, StrongState, WeakSimulator};
 pub use trajectory::{
-    simulate_trajectories, simulate_trajectories_with_threads, TrajectoryOutcome,
+    simulate_noisy_trajectories, simulate_noisy_trajectories_with_threads, simulate_trajectories,
+    simulate_trajectories_with_threads, TrajectoryOutcome,
 };

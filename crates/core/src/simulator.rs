@@ -20,7 +20,7 @@
 //!   independent of the worker-thread count.
 
 use crate::ShotHistogram;
-use circuit::{Circuit, Qubit};
+use circuit::{Circuit, NoiseModel, Qubit};
 use dd::{CompiledSampler, DdPackage, StateDd, PARALLEL_CHUNK_SHOTS};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -73,6 +73,9 @@ pub enum RunError {
         /// Index of the first non-unitary or conditioned operation.
         op_index: usize,
     },
+    /// The attached noise model is malformed: a channel parameter outside
+    /// `[0, 1]`, or a qubit-specific channel on a qubit outside the circuit.
+    InvalidNoise(circuit::NoiseModelError),
 }
 
 impl fmt::Display for RunError {
@@ -90,6 +93,7 @@ impl fmt::Display for RunError {
                 f,
                 "operation {op_index} is a mid-circuit measurement/reset/conditioned gate; strong simulation is undefined for dynamic circuits (use run, which simulates trajectories)"
             ),
+            RunError::InvalidNoise(e) => write!(f, "invalid noise model: {e}"),
         }
     }
 }
@@ -231,7 +235,7 @@ impl RunOutcome {
 }
 
 /// A weak simulator: strong simulation followed by measurement sampling on
-/// the chosen [`Backend`].
+/// the chosen [`Backend`], optionally under a stochastic noise model.
 ///
 /// # Examples
 ///
@@ -244,20 +248,36 @@ impl RunOutcome {
 /// assert_eq!(outcome.histogram.shots(), 500);
 /// # Ok::<(), weaksim::RunError>(())
 /// ```
-#[derive(Debug, Clone, Copy)]
+///
+/// Emulating noisy hardware:
+///
+/// ```
+/// use circuit::{NoiseChannel, NoiseModel};
+/// use weaksim::{Backend, WeakSimulator};
+///
+/// let circuit = algorithms::ghz(3);
+/// let noise = NoiseModel::new().with_gate_noise(NoiseChannel::depolarizing(0.02));
+/// let mut sim = WeakSimulator::new(Backend::DecisionDiagram).with_noise(noise);
+/// let outcome = sim.run(&circuit, 500, 1)?;
+/// assert!(outcome.state.is_none(), "noisy runs have no single final state");
+/// # Ok::<(), weaksim::RunError>(())
+/// ```
+#[derive(Debug, Clone)]
 pub struct WeakSimulator {
     backend: Backend,
     memory_budget: MemoryBudget,
+    noise: Option<NoiseModel>,
 }
 
 impl WeakSimulator {
     /// Creates a simulator for the given backend with an unlimited memory
-    /// budget.
+    /// budget and no noise.
     #[must_use]
     pub fn new(backend: Backend) -> Self {
         Self {
             backend,
             memory_budget: MemoryBudget::unlimited(),
+            noise: None,
         }
     }
 
@@ -270,13 +290,36 @@ impl WeakSimulator {
         self
     }
 
+    /// Attaches a stochastic noise model: every [`run`](Self::run) realizes
+    /// the model's channels per shot through the trajectory engine (a noisy
+    /// circuit is dynamic by definition — its evolution depends on sampled
+    /// noise choices — even when the circuit itself is static).
+    ///
+    /// A model without any non-trivial channel changes nothing: static
+    /// circuits keep the one-pass sampling fast path.
+    #[must_use]
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
     /// The backend of this simulator.
     #[must_use]
     pub fn backend(&self) -> Backend {
         self.backend
     }
 
+    /// The attached noise model, if any.
+    #[must_use]
+    pub fn noise(&self) -> Option<&NoiseModel> {
+        self.noise.as_ref()
+    }
+
     /// Runs strong simulation only.
+    ///
+    /// Any attached noise model is ignored: strong simulation produces the
+    /// single *ideal* final state, which a stochastic channel does not have
+    /// (use [`run`](Self::run), which realizes noise per trajectory).
     ///
     /// # Errors
     ///
@@ -309,12 +352,17 @@ impl WeakSimulator {
     /// block) go through one strong simulation followed by batched sampling;
     /// dynamic circuits (mid-circuit measurement or reset — see
     /// [`Circuit::is_dynamic`]) are simulated trajectory-by-trajectory via
-    /// [`crate::trajectory`].  Either way the histogram is seed-deterministic
-    /// independent of the worker-thread count.
+    /// [`crate::trajectory`].  When a [noise model](Self::with_noise) with
+    /// at least one non-trivial channel is attached, *every* circuit runs
+    /// through the trajectory engine — noisy circuits are dynamic by
+    /// definition, their evolution depends on the sampled noise choices.
+    /// Either way the histogram is seed-deterministic independent of the
+    /// worker-thread count.
     ///
     /// # Errors
     ///
-    /// Returns [`RunError::InvalidCircuit`] for malformed circuits and
+    /// Returns [`RunError::InvalidCircuit`] for malformed circuits,
+    /// [`RunError::InvalidNoise`] for malformed noise models and
     /// [`RunError::MemoryOut`] when the dense backend exceeds its budget.
     pub fn run(
         &mut self,
@@ -322,14 +370,21 @@ impl WeakSimulator {
         shots: u64,
         seed: u64,
     ) -> Result<RunOutcome, RunError> {
-        // Validate the *whole* circuit up front: the static path below only
-        // strong-simulates the unitary prefix, which would let a malformed
-        // trailing measurement block slip through unchecked.
+        // Validate the *whole* circuit (and noise model) up front: the
+        // static path below only strong-simulates the unitary prefix, which
+        // would let a malformed trailing measurement block slip through
+        // unchecked.
         circuit.validate().map_err(RunError::InvalidCircuit)?;
+        if let Some(model) = &self.noise {
+            model
+                .validate_for(circuit.num_qubits())
+                .map_err(RunError::InvalidNoise)?;
+        }
+        let noise = self.noise.as_ref().filter(|model| model.has_noise());
 
-        // Measure-free circuits — every classic benchmark — skip the
-        // prefix-splitting clone entirely.
-        if !circuit.is_dynamic() && !circuit.has_measurements() {
+        // Measure-free noiseless circuits — every classic benchmark — skip
+        // the prefix-splitting clone entirely.
+        if noise.is_none() && !circuit.is_dynamic() && !circuit.has_measurements() {
             let strong_start = Instant::now();
             let state = self.strong(circuit)?;
             let strong_time = strong_start.elapsed();
@@ -346,10 +401,18 @@ impl WeakSimulator {
             });
         }
 
-        let Some((prefix, mapping)) = circuit.split_terminal_measurements() else {
+        let terminal_split = if noise.is_none() {
+            circuit.split_terminal_measurements()
+        } else {
+            // Noisy runs always take the trajectory engine: even a trailing
+            // measurement block needs its per-shot noise realization.
+            None
+        };
+        let Some((prefix, mapping)) = terminal_split else {
             let outcome = crate::trajectory::run_trajectories(
                 self.backend,
                 circuit,
+                noise,
                 shots,
                 seed,
                 rayon::current_num_threads(),

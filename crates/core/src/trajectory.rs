@@ -1,74 +1,99 @@
 //! Per-shot trajectory simulation of *dynamic* circuits — circuits with
 //! mid-circuit [`Operation::Measure`] / [`Operation::Reset`] operations,
-//! whose state evolution depends on sampled outcomes.
+//! whose state evolution depends on sampled outcomes — optionally under a
+//! stochastic [`NoiseModel`] (noisy-hardware emulation).
 //!
 //! # How a trajectory runs
 //!
 //! The circuit is split once into *segments* of unitary operations separated
-//! by non-unitary *events* (measurements and resets).  Each shot then walks
-//! the event list: at every event the engine computes the probability masses
-//! of the two outcomes from the projected subspaces, draws the outcome with
-//! the shot's RNG, collapses (and, for a reset, flips back to `|0>`), and
-//! applies the next unitary segment to the collapsed state.  Measurement
-//! outcomes are recorded into the classical register; circuits without any
-//! [`Operation::Measure`] report a terminal measurement of every qubit
-//! instead, exactly like static circuits.
+//! by non-unitary *events*: measurements, resets and — when a noise model is
+//! attached — stochastic noise sites.  Each shot then walks the event list:
+//! at every event the engine draws a *decision* with the shot's RNG (the
+//! measured bit, or the Kraus branch of a noise channel), applies the
+//! decision to the state (collapse, Pauli error, amplitude decay), and
+//! applies the next unitary segment.  Measurement outcomes are recorded into
+//! the classical register; circuits without any [`Operation::Measure`]
+//! report a terminal measurement of every qubit instead, exactly like
+//! static circuits.
 //!
 //! Classically-conditioned gates ([`Operation::Conditioned`], QASM
 //! `if (c==k) gate;`) live *inside* the unitary segments: when a segment is
 //! applied, each conditioned gate fires only if the shot's classical record
-//! currently equals the compared value.  Because the record is a
-//! deterministic function of the outcome prefix, conditioned segments slot
-//! into the prefix-tree caching below unchanged — two shots reaching the
-//! same prefix node always resolved every condition identically.
+//! currently equals the compared value.  Conditioned *measurements* and
+//! *resets* (`if (c==k) measure/reset`) are events carrying the guard: when
+//! the guard is unsatisfied the event records the dedicated `SKIPPED`
+//! decision — no RNG draw, no collapse — which is itself a deterministic
+//! function of the outcome prefix, so both forms slot into the caching
+//! below unchanged.
+//!
+//! # Noise insertion
+//!
+//! A [`NoiseModel`] attaches single-qubit channels to gate sites (after
+//! every unitary operation, per touched qubit), to specific qubits, and to
+//! read-outs (before each measurement).  The trajectory plan expands those
+//! attachment points into explicit [`EventKind::Noise`] events.  Pauli
+//! channels (bit flip, phase flip, depolarizing) draw their branch from
+//! fixed probabilities; amplitude damping draws its decay branch from
+//! `gamma * P(qubit = 1)` like a generalized measurement, decays via
+//! collapse-and-flip and keeps via the `K0 = diag(1, sqrt(1-gamma))`
+//! primitive of each backend.  Channels with zero strength insert no events
+//! at all, so a `p = 0` model is **bit-identical** to the noiseless run.
+//! Noise attached to a conditioned gate inherits the gate's guard: an idle
+//! wire is noiseless.
 //!
 //! # Sharing work across shots (the decision-diagram backend)
 //!
-//! The reachable trajectories form a binary tree keyed by the outcome
-//! prefix.  The decision-diagram runner caches, per visited prefix, the
-//! evolved [`StateDd`], the branch masses of the next event, and — for the
-//! terminal read-out — a [`CompiledSampler`] compiled from the leaf state.
-//! A shot that follows an already-visited prefix therefore does **no**
-//! decision-diagram arithmetic at all: it is a sequence of cached-probability
-//! coin flips followed by one compiled-arena sample walk.  Only the suffix
-//! behind a first-visited outcome is simulated (and compiled) anew, which is
-//! what keeps repeated sampling cheap: the expensive work per distinct
-//! trajectory happens once, not once per shot.  The cache is capped at
-//! [`TRAJECTORY_CACHE_CAP`] prefixes; once the cap is reached, the
-//! remainder of such a trajectory falls back to transient (per-shot)
-//! evolution.
+//! The reachable trajectories form a tree keyed by the per-shot **decision
+//! sequence** — measurement outcomes and noise-branch choices interleaved in
+//! plan order (plus the `SKIPPED` marker for guarded events that did not
+//! fire).  The decision-diagram runner caches, per visited decision prefix,
+//! the evolved [`StateDd`], the outcome masses of the next event, and — for
+//! the terminal read-out — a [`CompiledSampler`] compiled from the leaf
+//! state.  A shot that follows an already-visited prefix therefore does
+//! **no** decision-diagram arithmetic at all: it is a sequence of
+//! cached-probability draws followed by one compiled-arena sample walk.
+//! Only the suffix behind a first-visited decision is simulated (and
+//! compiled) anew, which is what keeps repeated sampling cheap: the
+//! expensive work per distinct trajectory happens once, not once per shot.
+//! Keying on the full decision sequence (not just measurement outcomes) is
+//! what keeps the cache sound under noise: two shots reaching the same node
+//! have made identical noise choices, so they hold identical states.  The
+//! cache is capped at [`TRAJECTORY_CACHE_CAP`] prefixes; once the cap is
+//! reached, the remainder of such a trajectory falls back to transient
+//! (per-shot) evolution.
 //!
 //! The dense statevector runner keeps the shared unitary prefix (everything
 //! before the first event) as a base state and re-evolves a clone of it per
-//! shot, collapsing and renormalizing in place.
+//! shot, collapsing, damping and renormalizing in place.
 //!
 //! # Determinism
 //!
 //! Shots are partitioned into fixed chunks of
 //! [`PARALLEL_CHUNK_SHOTS`](dd::PARALLEL_CHUNK_SHOTS) trajectories, and
-//! chunk `i` draws all its randomness from a dedicated
-//! [`SmallRng`] stream seeded with [`dd::chunk_stream_seed`]`(master_seed,
-//! i)` — the exact scheme of
+//! chunk `i` draws all its randomness — measurement outcomes *and* noise
+//! choices — from a dedicated [`SmallRng`] stream seeded with
+//! [`dd::chunk_stream_seed`]`(master_seed, i)` — the exact scheme of
 //! [`CompiledSampler::sample_many_parallel`](dd::CompiledSampler).  Worker
 //! threads only decide *which* chunks they run (round-robin), never what a
-//! chunk contains, and every outcome probability is a deterministic function
-//! of the outcome prefix, so the recorded classical bits are **bit-identical
-//! for a given master seed regardless of the thread count**.
+//! chunk contains, and every decision probability is a deterministic
+//! function of the decision prefix, so the recorded classical bits are
+//! **bit-identical for a given master seed regardless of the thread count**
+//! — noisy histograms included.
 //!
 //! One caveat bounds that guarantee: each worker owns a private
 //! [`DdPackage`], and the package's complex-value table unifies values
 //! within its tolerance (`1e-10`) to the first-inserted representative.  If
 //! a circuit produces two *distinct* amplitudes closer than the tolerance
-//! along different outcome prefixes, workers that discover those prefixes in
-//! different orders can canonicalize to different representatives, shifting
-//! a branch probability by up to ~`1e-10` — and a uniform draw landing
-//! inside that sliver would record the opposite bit.  For circuits whose
-//! distinct amplitudes are separated by more than the tolerance (every
-//! workload in this repository), the bit-exact guarantee holds.
+//! along different decision prefixes, workers that discover those prefixes
+//! in different orders can canonicalize to different representatives,
+//! shifting a branch probability by up to ~`1e-10` — and a uniform draw
+//! landing inside that sliver would record the opposite bit.  For circuits
+//! whose distinct amplitudes are separated by more than the tolerance
+//! (every workload in this repository), the bit-exact guarantee holds.
 
 use crate::simulator::{Backend, RunError};
 use crate::ShotHistogram;
-use circuit::{Circuit, Operation, Qubit};
+use circuit::{Circuit, Condition, NoiseChannel, NoiseModel, Operation, Qubit};
 use dd::{
     chunk_stream_seed, CompiledSampler, DdPackage, StateDd, VectorEdge, PARALLEL_CHUNK_SHOTS,
 };
@@ -78,14 +103,24 @@ use rand::{Rng, SeedableRng};
 use statevector::{MemoryBudget, StateVector};
 use std::time::{Duration, Instant};
 
-/// Maximum number of outcome prefixes the decision-diagram runner caches
-/// (states, branch masses and compiled leaf samplers).  Trajectories beyond
+/// Maximum number of decision prefixes the decision-diagram runner caches
+/// (states, outcome masses and compiled leaf samplers).  Trajectories beyond
 /// the cap are evolved transiently per shot.
 pub const TRAJECTORY_CACHE_CAP: usize = 4096;
 
 /// Allocated-node threshold above which a trajectory runner garbage-collects
 /// its package between shots, keeping only the cached prefix states alive.
 const GC_NODE_THRESHOLD: usize = 500_000;
+
+/// The decision recorded when a guarded event's condition was unsatisfied:
+/// the event did not fire, so no RNG draw was consumed and the state passed
+/// through unchanged.  Sits one past the widest real branch fan-out
+/// (depolarizing: branches 0..=3).
+const SKIPPED: u8 = 4;
+
+/// Number of decision slots per cached prefix node: up to four Kraus
+/// branches plus [`SKIPPED`].
+const MAX_DECISIONS: usize = 5;
 
 /// The result of a trajectory simulation.
 #[derive(Debug)]
@@ -105,20 +140,51 @@ pub struct TrajectoryOutcome {
     pub representation_size: u128,
 }
 
-/// A non-unitary event splitting two unitary segments.
+/// What a non-unitary event does to the state.
 #[derive(Debug, Clone, Copy)]
-enum Event {
+enum EventKind {
     /// Measure `qubit` into classical bit `cbit`.
     Measure { qubit: Qubit, cbit: u16 },
     /// Reset `qubit` to `|0>`.
     Reset { qubit: Qubit },
+    /// A stochastic noise site: realize one Kraus branch of `channel` on
+    /// `qubit`.
+    Noise { qubit: Qubit, channel: NoiseChannel },
+}
+
+impl EventKind {
+    fn qubit(self) -> Qubit {
+        match self {
+            EventKind::Measure { qubit, .. }
+            | EventKind::Reset { qubit }
+            | EventKind::Noise { qubit, .. } => qubit,
+        }
+    }
+
+    /// Whether drawing this event's decision needs `P(qubit = 1)` (and
+    /// therefore, on the decision-diagram backend, the projected branch
+    /// masses).  Pauli noise draws from fixed probabilities instead.
+    fn needs_state_probability(self) -> bool {
+        match self {
+            EventKind::Measure { .. } | EventKind::Reset { .. } => true,
+            EventKind::Noise { channel, .. } => !channel.is_state_independent(),
+        }
+    }
+}
+
+/// A non-unitary event splitting two unitary segments, optionally guarded by
+/// a classical condition (`if (c==k) measure/reset;`, or noise inherited
+/// from a conditioned gate site).
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    kind: EventKind,
+    condition: Option<Condition>,
 }
 
 impl Event {
-    fn qubit(self) -> Qubit {
-        match self {
-            Event::Measure { qubit, .. } | Event::Reset { qubit } => qubit,
-        }
+    /// Whether the event fires under the shot's current classical record.
+    fn fires(&self, record: u64) -> bool {
+        self.condition.is_none_or(|c| c.is_satisfied_by(record))
     }
 }
 
@@ -129,12 +195,21 @@ pub(crate) fn record_bit(record: u64, cbit: u16, bit: u8) -> u64 {
     (record & !(1u64 << cbit)) | (u64::from(bit) << cbit)
 }
 
-/// The uncontrolled X used to flip a qubit back to `|0>` after a reset
-/// collapsed it to `|1>` (the measure-and-flip reset decomposition, shared
-/// by both runners).
+/// The uncontrolled X used to flip a qubit back to `|0>` after a reset (or
+/// an amplitude-damping decay) collapsed it to `|1>` (the measure-and-flip
+/// decomposition, shared by both runners).
 fn x_flip(qubit: Qubit) -> Operation {
     Operation::Unitary {
         gate: circuit::OneQubitGate::X,
+        target: qubit,
+        controls: Vec::new(),
+    }
+}
+
+/// The uncontrolled Pauli error applied by a noise branch.
+fn pauli_error(gate: circuit::OneQubitGate, qubit: Qubit) -> Operation {
+    Operation::Unitary {
+        gate,
         target: qubit,
         controls: Vec::new(),
     }
@@ -144,16 +219,58 @@ fn x_flip(qubit: Qubit) -> Operation {
 /// record: a classically-conditioned operation fires only when the record
 /// equals the compared value, everything else fires unconditionally.
 ///
-/// The record is a deterministic function of the outcome prefix (each
-/// `Measure` event writes its drawn bit), so on the decision-diagram path a
-/// cached prefix node always resolves its conditions the same way — caching
-/// evolved states per prefix stays sound with feed-forward in the segments.
+/// The record is a deterministic function of the decision prefix (each
+/// firing `Measure` event writes its drawn bit), so on the decision-diagram
+/// path a cached prefix node always resolves its conditions the same way —
+/// caching evolved states per prefix stays sound with feed-forward in the
+/// segments.
 fn effective_op(op: &Operation, record: u64) -> Option<&Operation> {
     match op {
         Operation::Conditioned { condition, op } => {
             condition.is_satisfied_by(record).then(|| op.as_ref())
         }
         other => Some(other),
+    }
+}
+
+/// Draws the decision index for a *firing* event: the measured bit for
+/// measure/reset events, the Kraus-branch index for noise events.  `p_one`
+/// is `P(qubit = 1)` of the event's qubit, consulted only by the
+/// state-dependent draws (measure, reset, amplitude damping) — callers pass
+/// any value for Pauli noise, which never reads it.
+///
+/// Error branches occupy the *low* end of the unit interval, mirroring the
+/// `r < p_one` convention of measurement draws, so the mapping from uniform
+/// variates to decisions is identical on both backends.
+fn draw_decision(kind: EventKind, p_one: f64, rng: &mut SmallRng) -> u8 {
+    match kind {
+        EventKind::Measure { .. } | EventKind::Reset { .. } => u8::from(rng.gen::<f64>() < p_one),
+        EventKind::Noise { channel, .. } => match channel.branch_probabilities() {
+            // State-dependent channel: amplitude damping decays with
+            // probability gamma * P(qubit = 1).
+            None => {
+                let NoiseChannel::AmplitudeDamping { gamma } = channel else {
+                    unreachable!("only amplitude damping is state-dependent")
+                };
+                u8::from(rng.gen::<f64>() < gamma * p_one)
+            }
+            Some(probs) => {
+                let r = rng.gen::<f64>();
+                let mut acc = 0.0;
+                for (branch, &p) in probs
+                    .iter()
+                    .enumerate()
+                    .take(channel.branch_count())
+                    .skip(1)
+                {
+                    acc += p;
+                    if r < acc {
+                        return u8::try_from(branch).expect("at most 4 branches");
+                    }
+                }
+                0
+            }
+        },
     }
 }
 
@@ -180,28 +297,82 @@ struct TrajectoryPlan {
 }
 
 impl TrajectoryPlan {
-    fn new(circuit: &Circuit) -> Self {
+    fn new(circuit: &Circuit, noise: Option<&NoiseModel>) -> Self {
         let mut segments = vec![Vec::new()];
         let mut events = Vec::new();
+        fn push_event(events: &mut Vec<Event>, segments: &mut Vec<Vec<Operation>>, e: Event) {
+            events.push(e);
+            segments.push(Vec::new());
+        }
         for op in circuit.operations() {
-            match op {
+            // A conditioned measure/reset is an event carrying the guard; a
+            // conditioned gate stays in the segment (resolved at application
+            // time) and its noise sites inherit the guard.
+            let (condition, inner) = match op {
+                Operation::Conditioned { condition, op } => (Some(*condition), op.as_ref()),
+                other => (None, other),
+            };
+            match inner {
                 Operation::Measure { qubit, cbit } => {
-                    events.push(Event::Measure {
-                        qubit: *qubit,
-                        cbit: *cbit,
-                    });
-                    segments.push(Vec::new());
+                    if let Some(noise) = noise {
+                        for channel in noise.channels_before_measurement(*qubit) {
+                            push_event(
+                                &mut events,
+                                &mut segments,
+                                Event {
+                                    kind: EventKind::Noise {
+                                        qubit: *qubit,
+                                        channel,
+                                    },
+                                    condition,
+                                },
+                            );
+                        }
+                    }
+                    push_event(
+                        &mut events,
+                        &mut segments,
+                        Event {
+                            kind: EventKind::Measure {
+                                qubit: *qubit,
+                                cbit: *cbit,
+                            },
+                            condition,
+                        },
+                    );
                 }
                 Operation::Reset { qubit } => {
-                    events.push(Event::Reset { qubit: *qubit });
-                    segments.push(Vec::new());
+                    push_event(
+                        &mut events,
+                        &mut segments,
+                        Event {
+                            kind: EventKind::Reset { qubit: *qubit },
+                            condition,
+                        },
+                    );
                 }
                 // Unitary gates, including classically-conditioned ones
                 // (resolved against the record at application time).
-                gate => segments
-                    .last_mut()
-                    .expect("segments is never empty")
-                    .push(gate.clone()),
+                _gate => {
+                    segments
+                        .last_mut()
+                        .expect("segments is never empty")
+                        .push(op.clone());
+                    if let Some(noise) = noise {
+                        for qubit in inner.support() {
+                            for channel in noise.channels_after_gate(qubit) {
+                                push_event(
+                                    &mut events,
+                                    &mut segments,
+                                    Event {
+                                        kind: EventKind::Noise { qubit, channel },
+                                        condition,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
             }
         }
         let record = if circuit.has_measurements() {
@@ -239,15 +410,17 @@ trait Runner {
     fn representation_size(&self) -> u128;
 }
 
-/// A cached outcome-prefix node of the decision-diagram trajectory tree.
+/// A cached decision-prefix node of the decision-diagram trajectory tree.
 #[derive(Debug)]
 struct CacheNode {
     /// State after consuming the prefix and applying the following segment.
     state: StateDd,
-    /// Branch masses of the next event's qubit, filled on first use.
+    /// Projected masses of the next event's qubit, filled on first use by
+    /// events that draw from the state (measure, reset, amplitude damping).
     masses: Option<[f64; 2]>,
-    /// Cache ids of the outcome-0 / outcome-1 children.
-    children: [Option<u32>; 2],
+    /// Cache ids of the child reached by each decision (the measured bit,
+    /// the Kraus branch, or [`SKIPPED`]).
+    children: [Option<u32>; MAX_DECISIONS],
     /// Compiled terminal sampler (leaves under `FinalMeasurement` only).
     sampler: Option<CompiledSampler>,
 }
@@ -257,7 +430,7 @@ impl CacheNode {
         Self {
             state,
             masses: None,
-            children: [None, None],
+            children: [None; MAX_DECISIONS],
             sampler: None,
         }
     }
@@ -297,24 +470,74 @@ impl<'p> DdRunner<'p> {
         }
     }
 
-    /// Evolves past `event` with the drawn `bit`: collapse, flip back for
-    /// resets, then apply the unitary segment that follows, resolving
-    /// classical conditions against `record` (the classical register *after*
-    /// this event's bit was written).  (For classical records the caller
-    /// breaks out before the final event's evolution, so the irrelevant tail
-    /// segment is never applied.)
+    /// The projected masses of `qubit` at the current position — cached on
+    /// the prefix node when the shot is on-cache, recomputed otherwise.
+    fn masses(&mut self, at: Option<u32>, state: &StateDd, qubit: Qubit) -> [f64; 2] {
+        match at {
+            Some(id) => {
+                let id = id as usize;
+                if self.nodes[id].masses.is_none() {
+                    let m = dd::branch_masses(&mut self.package, state, qubit);
+                    self.nodes[id].masses = Some(m);
+                }
+                self.nodes[id].masses.expect("just filled")
+            }
+            None => dd::branch_masses(&mut self.package, state, qubit),
+        }
+    }
+
+    /// Evolves past `event` with the drawn `decision`: collapse / error /
+    /// decay (nothing for [`SKIPPED`]), then apply the unitary segment that
+    /// follows, resolving classical conditions against `record` (the
+    /// classical register *after* this event's bit, if any, was written).
+    /// (For classical records the caller breaks out before the final event's
+    /// evolution, so the irrelevant tail segment is never applied.)
     fn evolve(
         &mut self,
         state: &StateDd,
         event: Event,
-        bit: u8,
+        decision: u8,
         next_segment: usize,
         record: u64,
     ) -> StateDd {
-        let mut next = dd::collapse_qubit(&mut self.package, state, event.qubit(), bit);
-        if matches!(event, Event::Reset { .. }) && bit == 1 {
-            next = dd::apply_operation(&mut self.package, next, &x_flip(event.qubit()));
-        }
+        let mut next = if decision == SKIPPED {
+            *state
+        } else {
+            match event.kind {
+                EventKind::Measure { qubit, .. } => {
+                    dd::collapse_qubit(&mut self.package, state, qubit, decision)
+                }
+                EventKind::Reset { qubit } => {
+                    let mut collapsed =
+                        dd::collapse_qubit(&mut self.package, state, qubit, decision);
+                    if decision == 1 {
+                        collapsed =
+                            dd::apply_operation(&mut self.package, collapsed, &x_flip(qubit));
+                    }
+                    collapsed
+                }
+                EventKind::Noise { qubit, channel } => match channel {
+                    NoiseChannel::AmplitudeDamping { gamma } => {
+                        if decision == 0 {
+                            dd::amplitude_damp_keep(&mut self.package, state, qubit, gamma)
+                        } else {
+                            // Decay: collapse to |1>, then flip to |0> —
+                            // K1 = sqrt(gamma) |0><1| up to normalization.
+                            let collapsed = dd::collapse_qubit(&mut self.package, state, qubit, 1);
+                            dd::apply_operation(&mut self.package, collapsed, &x_flip(qubit))
+                        }
+                    }
+                    _ => match channel.branch_gate(decision) {
+                        None => *state,
+                        Some(gate) => dd::apply_operation(
+                            &mut self.package,
+                            *state,
+                            &pauli_error(gate, qubit),
+                        ),
+                    },
+                },
+            }
+        };
         for op in self.plan.segments[next_segment]
             .iter()
             .filter_map(|op| effective_op(op, record))
@@ -328,28 +551,28 @@ impl<'p> DdRunner<'p> {
 impl Runner for DdRunner<'_> {
     fn run_shot(&mut self, rng: &mut SmallRng) -> u64 {
         let mut record = 0u64;
-        // Cache node tracking the outcome prefix; `None` once off-cache.
+        // Cache node tracking the decision prefix; `None` once off-cache.
         let mut at: Option<u32> = Some(0);
         let mut state = self.nodes[0].state;
 
         for (k, &event) in self.plan.events.iter().enumerate() {
-            let masses = match at {
-                Some(id) => {
-                    let id = id as usize;
-                    if self.nodes[id].masses.is_none() {
-                        let m = dd::branch_masses(&mut self.package, &state, event.qubit());
-                        self.nodes[id].masses = Some(m);
-                    }
-                    self.nodes[id].masses.expect("just filled")
-                }
-                None => dd::branch_masses(&mut self.package, &state, event.qubit()),
+            let decision = if event.fires(record) {
+                let p_one = if event.kind.needs_state_probability() {
+                    let masses = self.masses(at, &state, event.kind.qubit());
+                    let total = masses[0] + masses[1];
+                    assert!(total > 0.0, "trajectory reached a zero-mass state");
+                    masses[1] / total
+                } else {
+                    0.0
+                };
+                draw_decision(event.kind, p_one, rng)
+            } else {
+                SKIPPED
             };
-            let total = masses[0] + masses[1];
-            assert!(total > 0.0, "trajectory reached a zero-mass state");
-            let p_one = masses[1] / total;
-            let bit = u8::from(rng.gen::<f64>() < p_one);
-            if let Event::Measure { cbit, .. } = event {
-                record = record_bit(record, cbit, bit);
+            if let EventKind::Measure { cbit, .. } = event.kind {
+                if decision != SKIPPED {
+                    record = record_bit(record, cbit, decision);
+                }
             }
 
             // A classical record is complete once the last event's bit is
@@ -358,21 +581,22 @@ impl Runner for DdRunner<'_> {
                 break;
             }
 
-            let cached_child = at.and_then(|id| self.nodes[id as usize].children[bit as usize]);
+            let cached_child =
+                at.and_then(|id| self.nodes[id as usize].children[decision as usize]);
             match cached_child {
                 Some(child) => {
                     state = self.nodes[child as usize].state;
                     at = Some(child);
                 }
                 None => {
-                    let next = self.evolve(&state, event, bit, k + 1, record);
+                    let next = self.evolve(&state, event, decision, k + 1, record);
                     if let Some(parent) = at {
                         if self.nodes.len() < TRAJECTORY_CACHE_CAP {
                             let id =
                                 u32::try_from(self.nodes.len()).expect("cache cap fits in u32");
                             self.peak_nodes = self.peak_nodes.max(next.node_count(&self.package));
                             self.nodes.push(CacheNode::new(next));
-                            self.nodes[parent as usize].children[bit as usize] = Some(id);
+                            self.nodes[parent as usize].children[decision as usize] = Some(id);
                             at = Some(id);
                         } else {
                             at = None;
@@ -438,10 +662,10 @@ struct SvRunner<'p> {
     plan: &'p TrajectoryPlan,
     /// The shared unitary prefix (`segments[0]`) applied to `|0...0>`.
     base: StateVector,
-    /// `base`'s squared norm, computed once: the first event of every shot
-    /// normalizes its outcome probabilities by it, and each collapse
-    /// renormalizes to exactly 1, so no per-event `O(2^n)` norm sweep is
-    /// needed.
+    /// `base`'s squared norm, computed once: the first state-dependent event
+    /// of every shot normalizes its outcome probabilities by it, and each
+    /// collapse or damping renormalizes to exactly 1, so no per-event
+    /// `O(2^n)` norm sweep is needed.
     base_norm_sqr: f64,
     /// The per-shot working state, reset from `base` at the start of every
     /// shot — one persistent allocation instead of a fresh `2^n` vector per
@@ -499,11 +723,21 @@ impl Runner for SvRunner<'_> {
         let mut norm_sqr = self.base_norm_sqr;
         let mut record = 0u64;
         for (k, &event) in self.plan.events.iter().enumerate() {
-            let qubit = event.qubit().0;
-            let p_one = state.marginal_one_probability(qubit) / norm_sqr;
-            let bit = u8::from(rng.gen::<f64>() < p_one);
-            if let Event::Measure { cbit, .. } = event {
-                record = record_bit(record, cbit, bit);
+            let qubit = event.kind.qubit().0;
+            let decision = if event.fires(record) {
+                let p_one = if event.kind.needs_state_probability() {
+                    state.marginal_one_probability(qubit) / norm_sqr
+                } else {
+                    0.0
+                };
+                draw_decision(event.kind, p_one, rng)
+            } else {
+                SKIPPED
+            };
+            if let EventKind::Measure { cbit, .. } = event.kind {
+                if decision != SKIPPED {
+                    record = record_bit(record, cbit, decision);
+                }
             }
 
             // A classical record is complete once the last event's bit is
@@ -512,10 +746,39 @@ impl Runner for SvRunner<'_> {
                 break;
             }
 
-            state.collapse_qubit(qubit, bit);
-            norm_sqr = 1.0;
-            if matches!(event, Event::Reset { .. }) && bit == 1 {
-                statevector::apply_operation(state, &x_flip(event.qubit()));
+            if decision != SKIPPED {
+                match event.kind {
+                    EventKind::Measure { .. } => {
+                        state.collapse_qubit(qubit, decision);
+                        norm_sqr = 1.0;
+                    }
+                    EventKind::Reset { .. } => {
+                        state.collapse_qubit(qubit, decision);
+                        norm_sqr = 1.0;
+                        if decision == 1 {
+                            statevector::apply_operation(state, &x_flip(event.kind.qubit()));
+                        }
+                    }
+                    EventKind::Noise { channel, .. } => match channel {
+                        NoiseChannel::AmplitudeDamping { gamma } => {
+                            if decision == 0 {
+                                state.damp_qubit_keep(qubit, gamma);
+                            } else {
+                                state.collapse_qubit(qubit, 1);
+                                statevector::apply_operation(state, &x_flip(event.kind.qubit()));
+                            }
+                            norm_sqr = 1.0;
+                        }
+                        _ => {
+                            if let Some(gate) = channel.branch_gate(decision) {
+                                statevector::apply_operation(
+                                    state,
+                                    &pauli_error(gate, event.kind.qubit()),
+                                );
+                            }
+                        }
+                    },
+                }
             }
             for op in self.plan.segments[k + 1]
                 .iter()
@@ -635,6 +898,63 @@ pub fn simulate_trajectories_with_threads(
     run_trajectories(
         backend,
         circuit,
+        None,
+        shots,
+        seed,
+        threads,
+        MemoryBudget::unlimited(),
+    )
+}
+
+/// Simulates `shots` noisy trajectories of `circuit` under `noise` — every
+/// shot realizes each noise site as a random Kraus branch — on every
+/// available worker thread.
+///
+/// Noisy histograms are seed-deterministic and bit-identical across thread
+/// counts, exactly like noiseless trajectory runs; a model whose channels
+/// all have zero strength produces output bit-identical to
+/// [`simulate_trajectories`] with the same seed.
+///
+/// # Errors
+///
+/// Returns [`RunError::InvalidCircuit`] for malformed circuits and
+/// [`RunError::InvalidNoise`] for malformed noise models (a parameter
+/// outside `[0, 1]`, or a qubit-specific channel outside the circuit).
+pub fn simulate_noisy_trajectories(
+    backend: Backend,
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    shots: u64,
+    seed: u64,
+) -> Result<TrajectoryOutcome, RunError> {
+    simulate_noisy_trajectories_with_threads(
+        backend,
+        circuit,
+        noise,
+        shots,
+        seed,
+        rayon::current_num_threads(),
+    )
+}
+
+/// [`simulate_noisy_trajectories`] with an explicit worker count (primarily
+/// for determinism tests and scaling measurements).
+///
+/// # Errors
+///
+/// See [`simulate_noisy_trajectories`].
+pub fn simulate_noisy_trajectories_with_threads(
+    backend: Backend,
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    shots: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<TrajectoryOutcome, RunError> {
+    run_trajectories(
+        backend,
+        circuit,
+        Some(noise),
         shots,
         seed,
         threads,
@@ -647,12 +967,18 @@ pub fn simulate_trajectories_with_threads(
 pub(crate) fn run_trajectories(
     backend: Backend,
     circuit: &Circuit,
+    noise: Option<&NoiseModel>,
     shots: u64,
     seed: u64,
     threads: usize,
     budget: MemoryBudget,
 ) -> Result<TrajectoryOutcome, RunError> {
     circuit.validate().map_err(RunError::InvalidCircuit)?;
+    if let Some(model) = noise {
+        model
+            .validate_for(circuit.num_qubits())
+            .map_err(RunError::InvalidNoise)?;
+    }
 
     let chunk_len = PARALLEL_CHUNK_SHOTS as u64;
     let total_chunks = shots.div_ceil(chunk_len);
@@ -675,7 +1001,7 @@ pub(crate) fn run_trajectories(
     }
 
     let precompute_start = Instant::now();
-    let plan = TrajectoryPlan::new(circuit);
+    let plan = TrajectoryPlan::new(circuit, noise);
     let precompute_time = precompute_start.elapsed();
 
     let sampling_start = Instant::now();
@@ -735,7 +1061,7 @@ mod tests {
 
     #[test]
     fn plan_segments_at_events() {
-        let plan = TrajectoryPlan::new(&coin_reuse_circuit());
+        let plan = TrajectoryPlan::new(&coin_reuse_circuit(), None);
         assert_eq!(plan.events.len(), 3);
         assert_eq!(plan.segments.len(), 4);
         assert_eq!(plan.segments[0].len(), 1); // h
@@ -744,6 +1070,61 @@ mod tests {
         assert!(plan.segments[3].is_empty()); // tail
         assert_eq!(plan.record, RecordSource::Classical);
         assert_eq!(plan.record_width, 2);
+    }
+
+    #[test]
+    fn plan_inserts_noise_sites_per_touched_qubit() {
+        // h q0; cx q0,q1; measure q0 -> c0 under gate depolarizing noise and
+        // read-out bit flips: one site after h (q0), two after cx (q1 target
+        // then q0 control — support order), one before the measure.
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).cx(Qubit(0), Qubit(1)).measure(Qubit(0), 0);
+        let model = NoiseModel::new()
+            .with_gate_noise(NoiseChannel::depolarizing(0.1))
+            .with_measurement_noise(NoiseChannel::bit_flip(0.05));
+        let plan = TrajectoryPlan::new(&c, Some(&model));
+        let kinds: Vec<(Qubit, bool)> = plan
+            .events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Noise { qubit, channel } => (qubit, channel.is_state_independent()),
+                EventKind::Measure { qubit, .. } => (qubit, false),
+                EventKind::Reset { qubit } => (qubit, false),
+            })
+            .collect();
+        assert_eq!(plan.events.len(), 5, "{kinds:?}");
+        assert!(matches!(
+            plan.events[0].kind,
+            EventKind::Noise {
+                qubit: Qubit(0),
+                channel: NoiseChannel::Depolarizing { .. }
+            }
+        ));
+        assert!(matches!(
+            plan.events[1].kind,
+            EventKind::Noise {
+                qubit: Qubit(1),
+                ..
+            }
+        ));
+        assert!(matches!(
+            plan.events[2].kind,
+            EventKind::Noise {
+                qubit: Qubit(0),
+                ..
+            }
+        ));
+        assert!(matches!(
+            plan.events[3].kind,
+            EventKind::Noise {
+                qubit: Qubit(0),
+                channel: NoiseChannel::BitFlip { .. }
+            }
+        ));
+        assert!(matches!(plan.events[4].kind, EventKind::Measure { .. }));
+        // Zero-strength models insert nothing: the plan is the noiseless one.
+        let silent = NoiseModel::new().with_gate_noise(NoiseChannel::depolarizing(0.0));
+        assert_eq!(TrajectoryPlan::new(&c, Some(&silent)).events.len(), 1);
     }
 
     #[test]
@@ -871,6 +1252,52 @@ mod tests {
     }
 
     #[test]
+    fn conditioned_resets_fire_only_on_matching_records() {
+        // h q0; measure -> c0; reset q0; x q0 (q0 is now |1>);
+        // if (c==1) reset q0; measure -> c1.
+        // c0 = 0: guard idle, c1 = 1 (record 10).  c0 = 1: guard fires,
+        // c1 = 0 (record 01).  Records 00 and 11 are impossible.
+        let mut c = Circuit::with_name(1, "conditioned_reset");
+        c.h(Qubit(0))
+            .measure(Qubit(0), 0)
+            .reset(Qubit(0))
+            .x(Qubit(0))
+            .conditioned(1, Operation::Reset { qubit: Qubit(0) })
+            .measure(Qubit(0), 1);
+        assert!(c.validate().is_ok());
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let outcome = simulate_trajectories(backend, &c, 6_000, 29).unwrap();
+            assert_eq!(outcome.histogram.count(0b00), 0, "{backend}");
+            assert_eq!(outcome.histogram.count(0b11), 0, "{backend}");
+            let f = outcome.histogram.frequency(0b01);
+            assert!((f - 0.5).abs() < 0.03, "{backend}: P(01) = {f}");
+        }
+    }
+
+    #[test]
+    fn conditioned_measurements_fire_only_on_matching_records() {
+        // h q0; measure q0 -> c0; x q1; if (c==1) measure q1 -> c1:
+        // c0 = 1 records c1 = 1 (record 11); c0 = 0 skips the read-out and
+        // c1 stays 0 (record 00).
+        let mut c = Circuit::with_name(2, "conditioned_measure");
+        c.h(Qubit(0)).measure(Qubit(0), 0).x(Qubit(1)).conditioned(
+            1,
+            Operation::Measure {
+                qubit: Qubit(1),
+                cbit: 1,
+            },
+        );
+        assert!(c.has_measurements());
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let outcome = simulate_trajectories(backend, &c, 6_000, 31).unwrap();
+            assert_eq!(outcome.histogram.count(0b01), 0, "{backend}");
+            assert_eq!(outcome.histogram.count(0b10), 0, "{backend}");
+            let f = outcome.histogram.frequency(0b11);
+            assert!((f - 0.5).abs() < 0.03, "{backend}: P(11) = {f}");
+        }
+    }
+
+    #[test]
     fn conditions_compare_the_whole_register() {
         // Two coins into c0/c1, then X on q2 only when the register equals
         // exactly 0b10 — P(c2=1) = 1/4, and c2=1 only ever pairs with c=10.
@@ -900,8 +1327,8 @@ mod tests {
 
     #[test]
     fn conditioned_records_are_thread_count_invariant() {
-        // A deeper feed-forward circuit mixing measure, reset and multiple
-        // conditioned gates, run across thread counts.
+        // A deeper feed-forward circuit mixing measure, reset, conditioned
+        // gates and a conditioned reset, run across thread counts.
         let mut c = Circuit::with_name(2, "conditioned_invariance");
         c.h(Qubit(0))
             .measure(Qubit(0), 0)
@@ -909,7 +1336,8 @@ mod tests {
             .reset(Qubit(0))
             .h(Qubit(0))
             .measure(Qubit(0), 1)
-            .conditioned_gate(0b11, circuit::OneQubitGate::X, Qubit(1))
+            .conditioned(0b11, Operation::Reset { qubit: Qubit(1) })
+            .conditioned_gate(0b01, circuit::OneQubitGate::X, Qubit(1))
             .measure(Qubit(1), 2);
         let shots = 3 * PARALLEL_CHUNK_SHOTS as u64 + 5;
         for backend in [Backend::DecisionDiagram, Backend::StateVector] {
@@ -951,6 +1379,98 @@ mod tests {
                 (dd.histogram.frequency(value) - sv.histogram.frequency(value)).abs() < 0.02,
                 "record {value}"
             );
+        }
+    }
+
+    #[test]
+    fn deterministic_bit_flips_invert_the_record() {
+        // A bit-flip channel with p = 1 after the only gate deterministically
+        // inverts the measured bit on both backends.
+        let mut c = Circuit::new(1);
+        c.x(Qubit(0)).measure(Qubit(0), 0);
+        let model = NoiseModel::new().with_gate_noise(NoiseChannel::bit_flip(1.0));
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let outcome = simulate_noisy_trajectories(backend, &c, &model, 500, 3).unwrap();
+            assert_eq!(outcome.histogram.count(0), 500, "{backend}");
+        }
+    }
+
+    #[test]
+    fn readout_noise_only_affects_measurements() {
+        // Read-out flips attach to the measure, not to gates: a circuit with
+        // no measurement sees no noise events from measurement channels.
+        let mut c = Circuit::new(1);
+        c.x(Qubit(0)).reset(Qubit(0));
+        let model = NoiseModel::new().with_measurement_noise(NoiseChannel::bit_flip(1.0));
+        let plan = TrajectoryPlan::new(&c, Some(&model));
+        assert_eq!(plan.events.len(), 1, "reset alone gains no read-out site");
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let outcome = simulate_noisy_trajectories(backend, &c, &model, 300, 9).unwrap();
+            // Terminal read-out of the reset qubit: always 0.
+            assert_eq!(outcome.histogram.count(0), 300, "{backend}");
+        }
+    }
+
+    #[test]
+    fn noise_on_conditioned_gates_inherits_the_guard() {
+        // h q0; measure -> c0; if (c==1) x q1 (with p=1 bit-flip gate noise);
+        // measure q1 -> c1.  When the guard fires, the X *and its noise* both
+        // fire: q1 flips to 1 then back to 0 — so c1 is always 0.  If the
+        // noise ran unconditionally, the c0 = 0 half would see a bare flip
+        // and record c1 = 1.
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0))
+            .measure(Qubit(0), 0)
+            .conditioned_gate(1, circuit::OneQubitGate::X, Qubit(1))
+            .measure(Qubit(1), 1);
+        let model = NoiseModel::new().with_gate_noise(NoiseChannel::bit_flip(1.0));
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let outcome = simulate_noisy_trajectories(backend, &c, &model, 2_000, 17).unwrap();
+            for record in [0b10u64, 0b11] {
+                assert_eq!(
+                    outcome.histogram.count(record),
+                    0,
+                    "{backend}: c1 must stay 0, got record {record:02b}"
+                );
+            }
+            let f = outcome.histogram.frequency(0b01);
+            assert!((f - 0.5).abs() < 0.04, "{backend}: P(01) = {f}");
+        }
+    }
+
+    #[test]
+    fn amplitude_damping_decays_the_excited_state() {
+        // |1> under amplitude damping with gamma = 1 always decays to |0>.
+        let mut c = Circuit::new(1);
+        c.x(Qubit(0)).measure(Qubit(0), 0);
+        let model = NoiseModel::new().with_gate_noise(NoiseChannel::amplitude_damping(1.0));
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let outcome = simulate_noisy_trajectories(backend, &c, &model, 400, 21).unwrap();
+            assert_eq!(outcome.histogram.count(0), 400, "{backend}");
+        }
+        // ... and with gamma = 0 it never decays.
+        let ideal = NoiseModel::new().with_gate_noise(NoiseChannel::amplitude_damping(0.0));
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            let outcome = simulate_noisy_trajectories(backend, &c, &ideal, 400, 21).unwrap();
+            assert_eq!(outcome.histogram.count(1), 400, "{backend}");
+        }
+    }
+
+    #[test]
+    fn invalid_noise_models_are_rejected() {
+        let mut c = Circuit::new(1);
+        c.h(Qubit(0)).measure(Qubit(0), 0);
+        let bad_param = NoiseModel::new().with_gate_noise(NoiseChannel::depolarizing(1.5));
+        let bad_qubit = NoiseModel::new().with_qubit_noise(Qubit(9), NoiseChannel::bit_flip(0.1));
+        for backend in [Backend::DecisionDiagram, Backend::StateVector] {
+            assert!(matches!(
+                simulate_noisy_trajectories(backend, &c, &bad_param, 10, 0),
+                Err(RunError::InvalidNoise(_))
+            ));
+            assert!(matches!(
+                simulate_noisy_trajectories(backend, &c, &bad_qubit, 10, 0),
+                Err(RunError::InvalidNoise(_))
+            ));
         }
     }
 

@@ -109,7 +109,9 @@ pub use compiled::{chunk_stream_seed, CompiledSampler, PARALLEL_CHUNK_SHOTS};
 pub use edge::{MatrixEdge, MatrixNodeId, VectorEdge, VectorNodeId, WeightId};
 pub use export::to_dot;
 pub use matrix::OperatorDd;
-pub use measure::{branch_masses, collapse_qubit, measure_all, measure_qubit, reset_qubit};
+pub use measure::{
+    amplitude_damp_keep, branch_masses, collapse_qubit, measure_all, measure_qubit, reset_qubit,
+};
 pub use node::{MatrixNode, VectorNode};
 pub use ops::{add, inner_product, matrix_add, matrix_matrix_multiply, matrix_vector_multiply};
 pub use package::{DdPackage, DdStats, Normalization};

@@ -127,6 +127,62 @@ pub fn reset_qubit<R: Rng + ?Sized>(
     )
 }
 
+/// Applies the amplitude-damping *no-decay* Kraus operator
+/// `K0 = diag(1, sqrt(1 - gamma))` to `qubit` and renormalizes the result to
+/// unit norm — the post-channel state of the branch in which the qubit did
+/// **not** relax.
+///
+/// The decay branch (`K1 = sqrt(gamma) |0><1|`) needs no primitive of its
+/// own: up to normalization it is [`collapse_qubit`] to outcome `1` followed
+/// by an `X` flip, exactly the reset decomposition.  The trajectory engine
+/// draws the branch from `gamma * P(qubit = 1)` (via [`branch_masses`]) and
+/// realizes it with these two primitives.
+///
+/// # Panics
+///
+/// Panics if `qubit` is outside the state, `gamma` is not a probability, or
+/// the no-decay branch carries no mass (only possible for `gamma = 1` on a
+/// pure `|1>` qubit — a branch the engine then never draws).
+#[must_use]
+pub fn amplitude_damp_keep(
+    package: &mut DdPackage,
+    state: &StateDd,
+    qubit: Qubit,
+    gamma: f64,
+) -> StateDd {
+    assert!(
+        qubit.index() < usize::from(state.num_qubits()),
+        "qubit {qubit} outside the {}-qubit state",
+        state.num_qubits()
+    );
+    assert!(
+        (0.0..=1.0).contains(&gamma),
+        "damping parameter {gamma} is not a probability"
+    );
+    let n = state.num_qubits();
+    let keep = Complex::from_real((1.0 - gamma).sqrt());
+    // Build diag(1, sqrt(1-gamma)) on `qubit`, identity elsewhere (same
+    // bottom-up construction as the measurement projector below).
+    let mut edge = package.matrix_terminal(Complex::ONE);
+    for var in 0..n {
+        let children = if usize::from(var) == qubit.index() {
+            let damped_one = package.scale_medge(edge, keep);
+            [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, damped_one]
+        } else {
+            [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, edge]
+        };
+        edge = package.make_mnode(var, children);
+    }
+    let damped = StateDd::from_root(matrix_vector_multiply(package, edge, state.root()), n);
+    let mass = damped.norm_sqr(package);
+    assert!(
+        mass > 0.0,
+        "amplitude-damping no-decay branch has zero mass"
+    );
+    let renormalized = package.scale_vedge(damped.root(), Complex::from_real(1.0 / mass.sqrt()));
+    StateDd::from_root(renormalized, n)
+}
+
 /// Measures every qubit, collapsing the state to a computational basis state.
 ///
 /// Returns the observed bitstring (qubit `k` at bit `k`) and the collapsed
@@ -303,6 +359,41 @@ mod tests {
             assert!(post.probability(&p, 0b01) < 1e-12);
             assert!(post.probability(&p, 0b11) < 1e-12);
         }
+    }
+
+    #[test]
+    fn amplitude_damp_keep_scales_the_one_branch() {
+        // On (|0> + |1>)/sqrt(2) with gamma = 0.36, K0 gives
+        // (|0> + 0.8 |1>)/sqrt(1.64): P(1) = 0.64/1.64.
+        let mut p = DdPackage::new();
+        let a = Complex::from_real(mathkit::SQRT1_2);
+        let state = StateDd::from_amplitudes(&mut p, &[a, a]);
+        let kept = amplitude_damp_keep(&mut p, &state, Qubit(0), 0.36);
+        assert!((kept.norm_sqr(&p) - 1.0).abs() < 1e-12);
+        assert!((kept.probability(&p, 1) - 0.64 / 1.64).abs() < 1e-12);
+        assert!((kept.probability(&p, 0) - 1.0 / 1.64).abs() < 1e-12);
+
+        // gamma = 0 is the identity; a |0> qubit never changes.
+        let zero = StateDd::basis_state(&mut p, 2, 0b00);
+        let kept = amplitude_damp_keep(&mut p, &zero, Qubit(1), 0.9);
+        assert!((kept.probability(&p, 0b00) - 1.0).abs() < 1e-12);
+
+        // Entangled case: damping qubit 0 of a Bell pair reweights the
+        // correlated |11> component.
+        let h = Complex::from_real(mathkit::SQRT1_2);
+        let bell = StateDd::from_amplitudes(&mut p, &[h, Complex::ZERO, Complex::ZERO, h]);
+        let kept = amplitude_damp_keep(&mut p, &bell, Qubit(0), 0.5);
+        // Masses: |00> keeps 1/2, |11> keeps (1-0.5)/2 = 1/4; renormalized.
+        assert!((kept.probability(&p, 0b00) - (0.5 / 0.75)).abs() < 1e-12);
+        assert!((kept.probability(&p, 0b11) - (0.25 / 0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero mass")]
+    fn fully_damping_a_pure_one_keep_branch_panics() {
+        let mut p = DdPackage::new();
+        let state = StateDd::basis_state(&mut p, 1, 1);
+        let _ = amplitude_damp_keep(&mut p, &state, Qubit(0), 1.0);
     }
 
     #[test]

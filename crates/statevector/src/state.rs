@@ -254,6 +254,42 @@ impl StateVector {
             *amp = *amp * scale;
         }
     }
+
+    /// Applies the amplitude-damping *no-decay* Kraus operator
+    /// `K0 = diag(1, sqrt(1 - gamma))` to `qubit` in place and renormalizes
+    /// to unit norm — the post-channel state of the branch in which the
+    /// qubit did not relax.  (The decay branch is [`collapse_qubit`]
+    /// (Self::collapse_qubit) to `1` followed by an `X` flip.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range, `gamma` is not a probability, or
+    /// the no-decay branch carries no mass.
+    pub fn damp_qubit_keep(&mut self, qubit: u16, gamma: f64) {
+        assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
+        assert!(
+            (0.0..=1.0).contains(&gamma),
+            "damping parameter {gamma} is not a probability"
+        );
+        let mask = 1usize << qubit;
+        let keep = (1.0 - gamma).sqrt();
+        let mut mass = KahanSum::new();
+        for (i, amp) in self.amplitudes.iter_mut().enumerate() {
+            if i & mask != 0 {
+                *amp = *amp * keep;
+            }
+            mass.add(amp.norm_sqr());
+        }
+        let mass = mass.value();
+        assert!(
+            mass > 0.0,
+            "amplitude-damping no-decay branch has zero mass"
+        );
+        let scale = 1.0 / mass.sqrt();
+        for amp in &mut self.amplitudes {
+            *amp = *amp * scale;
+        }
+    }
 }
 
 impl fmt::Display for StateVector {
@@ -385,6 +421,35 @@ mod tests {
     fn collapsing_to_an_impossible_outcome_panics() {
         let mut s = StateVector::basis_state(2, 0);
         s.collapse_qubit(1, 1);
+    }
+
+    #[test]
+    fn damp_qubit_keep_scales_the_one_branch_and_renormalizes() {
+        let h = mathkit::SQRT1_2;
+        // (|0> + |1>)/sqrt(2), gamma = 0.36: K0 -> (|0> + 0.8|1>)/sqrt(1.64).
+        let mut s =
+            StateVector::from_amplitudes(vec![Complex::from_real(h), Complex::from_real(h)]);
+        s.damp_qubit_keep(0, 0.36);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        assert!((s.probability(1) - 0.64 / 1.64).abs() < 1e-12);
+
+        // Entangled case mirrors the decision-diagram primitive.
+        let mut bell = StateVector::from_amplitudes(vec![
+            Complex::from_real(h),
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::from_real(h),
+        ]);
+        bell.damp_qubit_keep(0, 0.5);
+        assert!((bell.probability(0b00) - 0.5 / 0.75).abs() < 1e-12);
+        assert!((bell.probability(0b11) - 0.25 / 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero mass")]
+    fn fully_damping_a_pure_one_keep_branch_panics() {
+        let mut s = StateVector::basis_state(1, 1);
+        s.damp_qubit_keep(0, 1.0);
     }
 
     #[test]

@@ -225,7 +225,8 @@ fn qasm_round_trip_preserves_semantics() {
 
 /// The QASM writer/parser round-trip is the structural identity on random
 /// *dynamic* circuits mixing gates with `creg`-recorded measurements,
-/// resets and classically-conditioned (`if (c==k)`) gates.
+/// resets and classically-conditioned (`if (c==k)`) gates, measurements and
+/// resets.
 #[test]
 fn qasm_round_trip_preserves_dynamic_circuits() {
     use circuit::{Circuit, OneQubitGate, Operation, Qubit};
@@ -286,7 +287,7 @@ fn qasm_round_trip_preserves_dynamic_circuits() {
         };
 
         for _ in 0..rng.gen_range(1..=20usize) {
-            match rng.gen_range(0..8) {
+            match rng.gen_range(0..10) {
                 0 => {
                     let q = random_qubit(&mut rng);
                     let cbit = rng.gen_range(0..num_clbits);
@@ -300,6 +301,17 @@ fn qasm_round_trip_preserves_dynamic_circuits() {
                     let value = rng.gen_range(0..(1u64 << num_clbits));
                     let gate = random_gate(&mut rng);
                     c.conditioned(value, gate);
+                }
+                4 => {
+                    let value = rng.gen_range(0..(1u64 << num_clbits));
+                    let qubit = random_qubit(&mut rng);
+                    let cbit = rng.gen_range(0..num_clbits);
+                    c.conditioned(value, Operation::Measure { qubit, cbit });
+                }
+                5 => {
+                    let value = rng.gen_range(0..(1u64 << num_clbits));
+                    let qubit = random_qubit(&mut rng);
+                    c.conditioned(value, Operation::Reset { qubit });
                 }
                 _ => {
                     let gate = random_gate(&mut rng);
