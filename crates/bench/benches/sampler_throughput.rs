@@ -49,6 +49,18 @@ fn noisy_workload() -> (circuit::Circuit, circuit::NoiseModel) {
     )
 }
 
+/// The deep-noisy workload: a supremacy-style circuit where *every* gate
+/// site is a stochastic noise event, so most error shots overflow the
+/// trajectory prefix cache and exercise the off-cache transient path — the
+/// construction-machinery-bound regime the PR 4 follow-ups flagged as
+/// "measure before optimizing".
+fn deep_noisy_workload() -> (circuit::Circuit, circuit::NoiseModel) {
+    (
+        algorithms::supremacy(3, 3, 6, BENCH_SEED).0,
+        algorithms::hardware_noise(0.005),
+    )
+}
+
 fn workloads() -> Vec<circuit::Circuit> {
     vec![
         algorithms::qft(20, true),
@@ -200,19 +212,51 @@ fn bench_trajectories(c: &mut Criterion) {
             },
         );
     }
+
+    // The deep-noisy off-cache path (decision-diagram backend only: the
+    // interesting cost is the DD construction machinery behind transient
+    // trajectory suffixes).  Fewer shots — each one is a full supremacy
+    // evolution when it falls off the prefix cache.
+    let (deep_circuit, deep_noise) = deep_noisy_workload();
+    group.bench_with_input(
+        BenchmarkId::new("noisy_deep_supremacy_shots", "DD-based"),
+        &(&deep_circuit, &deep_noise),
+        |b, (circuit, noise)| {
+            b.iter(|| {
+                simulate_noisy_trajectories_with_threads(
+                    Backend::DecisionDiagram,
+                    circuit,
+                    noise,
+                    SHOTS / 5,
+                    BENCH_SEED,
+                    1,
+                )
+                .expect("deep noisy trajectory simulation succeeds")
+                .histogram
+                .shots()
+            });
+        },
+    );
     group.finish();
 }
 
 /// Wall-clock throughput of each sampler on the 20-qubit supremacy state,
 /// recorded to `BENCH_sampler_throughput.json` (the acceptance baseline:
-/// compiled single-thread >= 3x `DdSampler`).
+/// compiled single-thread >= 3x `DdSampler`), together with the
+/// construction phase (strong simulation into the DD package) and the
+/// package's table statistics (`"construction"` / `"dd_stats"` keys — CI
+/// greps for both, so construction performance cannot silently drop out of
+/// the artifact).
 fn record_baseline_json(_c: &mut Criterion) {
     let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
     let shots: usize = if quick { 20_000 } else { 200_000 };
 
     let (circuit, _) = algorithms::supremacy(4, 5, 10, BENCH_SEED);
     let mut package = DdPackage::new();
+    let construction_start = Instant::now();
     let state = dd::simulate(&mut package, &circuit).expect("valid circuit");
+    let construction_seconds = construction_start.elapsed().as_secs_f64();
+    let construction_stats = package.stats();
     let nodes = state.node_count(&package);
 
     let compile_start = Instant::now();
@@ -263,9 +307,10 @@ fn record_baseline_json(_c: &mut Criterion) {
     // with the thread count that actually ran — not assumed from the bench
     // configuration (on a 1-CPU box the parallel entry simply repeats the
     // single-thread number with "threads": 1).
-    let trajectory_shots = shots as u64;
     let trajectory_entry = |circuit: &circuit::Circuit,
                             noise: Option<&circuit::NoiseModel>,
+                            suffix: &str,
+                            trajectory_shots: u64,
                             workers: usize|
      -> String {
         let seconds = time(&mut || {
@@ -290,26 +335,67 @@ fn record_baseline_json(_c: &mut Criterion) {
             .histogram
             .shots()
         });
-        let name = match noise {
-            None => circuit.name().to_string(),
-            Some(_) => format!("{}_noisy", circuit.name()),
-        };
+        let name = format!("{}{suffix}", circuit.name());
         format!(
             "{{\n    \"benchmark\": \"{name}\",\n    \"backend\": \"dd\",\n    \"shots\": {trajectory_shots},\n    \"threads\": {workers},\n    \"seconds\": {seconds:.6},\n    \"shots_per_second\": {rate:.0}\n  }}",
             rate = trajectory_shots as f64 / seconds,
         )
     };
+    let trajectory_shots = shots as u64;
     let trajectory_circuit = trajectory_workload();
     let ipe_circuit = ipe_workload();
     let (noisy_circuit, noise_model) = noisy_workload();
-    let trajectory_json = trajectory_entry(&trajectory_circuit, None, 1);
-    let trajectory_parallel_json = trajectory_entry(&trajectory_circuit, None, threads);
-    let ipe_json = trajectory_entry(&ipe_circuit, None, 1);
-    let noisy_json = trajectory_entry(&noisy_circuit, Some(&noise_model), 1);
+    let (deep_circuit, deep_noise) = deep_noisy_workload();
+    let trajectory_json = trajectory_entry(&trajectory_circuit, None, "", trajectory_shots, 1);
+    let trajectory_parallel_json =
+        trajectory_entry(&trajectory_circuit, None, "", trajectory_shots, threads);
+    let ipe_json = trajectory_entry(&ipe_circuit, None, "", trajectory_shots, 1);
+    let noisy_json = trajectory_entry(
+        &noisy_circuit,
+        Some(&noise_model),
+        "_noisy",
+        trajectory_shots,
+        1,
+    );
+    // Deep noisy supremacy: each off-cache shot is a full circuit evolution,
+    // so the entry runs a tenth of the shots (still thousands of transient
+    // trajectories).
+    let deep_json = trajectory_entry(
+        &deep_circuit,
+        Some(&deep_noise),
+        "_noisy_deep",
+        trajectory_shots / 10,
+        1,
+    );
+
+    let cache_json = |c: dd::CacheCounters| -> String {
+        format!(
+            "{{ \"hits\": {}, \"misses\": {}, \"evictions\": {} }}",
+            c.hits, c.misses, c.evictions
+        )
+    };
+    let construction_json = format!(
+        "{{\n    \"seconds\": {construction_seconds:.6},\n    \"nodes\": {nodes},\n    \"vector_unique_hit_rate\": {vu:.4},\n    \"compute_hit_rate\": {ch:.4}\n  }}",
+        vu = construction_stats.vector_unique_hit_rate(),
+        ch = construction_stats.compute_hit_rate(),
+    );
+    let dd_stats_json = format!(
+        "{{\n    \"vector_unique_hits\": {vuh},\n    \"vector_unique_misses\": {vum},\n    \"matrix_unique_hits\": {muh},\n    \"matrix_unique_misses\": {mum},\n    \"add_cache\": {add},\n    \"mv_cache\": {mv},\n    \"madd_cache\": {madd},\n    \"mm_cache\": {mm},\n    \"operator_cache\": {op},\n    \"garbage_collections\": {gcs}\n  }}",
+        vuh = construction_stats.vector_unique_hits,
+        vum = construction_stats.vector_unique_misses,
+        muh = construction_stats.matrix_unique_hits,
+        mum = construction_stats.matrix_unique_misses,
+        add = cache_json(construction_stats.add_cache),
+        mv = cache_json(construction_stats.mv_cache),
+        madd = cache_json(construction_stats.madd_cache),
+        mm = cache_json(construction_stats.mm_cache),
+        op = cache_json(construction_stats.operator_cache),
+        gcs = construction_stats.garbage_collections,
+    );
 
     let rate = |seconds: f64| shots as f64 / seconds;
     let json = format!(
-        "{{\n  \"benchmark\": \"{name}\",\n  \"qubits\": {qubits},\n  \"dd_nodes\": {nodes},\n  \"shots\": {shots},\n  \"threads\": {threads},\n  \"compile_seconds\": {compile_seconds:.6},\n  \"samplers\": {{\n    \"dd_sampler\": {{ \"seconds\": {dd:.6}, \"shots_per_second\": {dd_rate:.0} }},\n    \"normalized_sampler\": {{ \"seconds\": {nm:.6}, \"shots_per_second\": {nm_rate:.0} }},\n    \"compiled_sampler\": {{ \"seconds\": {cp:.6}, \"shots_per_second\": {cp_rate:.0} }},\n    \"compiled_parallel\": {{ \"seconds\": {pl:.6}, \"shots_per_second\": {pl_rate:.0}, \"threads\": {threads} }}\n  }},\n  \"trajectory\": {trajectory_json},\n  \"trajectory_parallel\": {trajectory_parallel_json},\n  \"trajectory_ipe\": {ipe_json},\n  \"trajectory_noisy\": {noisy_json},\n  \"speedup_compiled_vs_dd_sampler\": {speedup:.2},\n  \"speedup_parallel_vs_dd_sampler\": {pspeedup:.2}\n}}\n",
+        "{{\n  \"benchmark\": \"{name}\",\n  \"qubits\": {qubits},\n  \"dd_nodes\": {nodes},\n  \"shots\": {shots},\n  \"threads\": {threads},\n  \"construction\": {construction_json},\n  \"dd_stats\": {dd_stats_json},\n  \"compile_seconds\": {compile_seconds:.6},\n  \"samplers\": {{\n    \"dd_sampler\": {{ \"seconds\": {dd:.6}, \"shots_per_second\": {dd_rate:.0} }},\n    \"normalized_sampler\": {{ \"seconds\": {nm:.6}, \"shots_per_second\": {nm_rate:.0} }},\n    \"compiled_sampler\": {{ \"seconds\": {cp:.6}, \"shots_per_second\": {cp_rate:.0} }},\n    \"compiled_parallel\": {{ \"seconds\": {pl:.6}, \"shots_per_second\": {pl_rate:.0}, \"threads\": {threads} }}\n  }},\n  \"trajectory\": {trajectory_json},\n  \"trajectory_parallel\": {trajectory_parallel_json},\n  \"trajectory_ipe\": {ipe_json},\n  \"trajectory_noisy\": {noisy_json},\n  \"trajectory_noisy_deep\": {deep_json},\n  \"speedup_compiled_vs_dd_sampler\": {speedup:.2},\n  \"speedup_parallel_vs_dd_sampler\": {pspeedup:.2}\n}}\n",
         name = circuit.name(),
         qubits = circuit.num_qubits(),
         dd = dd_seconds,

@@ -1,0 +1,85 @@
+//! Distribution-equivalence tests for the retired interpreted samplers.
+//!
+//! `DdSampler` and `NormalizedSampler` are kept only for benchmarking
+//! comparisons (behind the `comparison-samplers` feature the bench crate
+//! enables), so this is where their statistical equivalence to the
+//! production `CompiledSampler` is asserted: all three must be
+//! chi-square-consistent with the exact state probabilities and pairwise
+//! agree within statistical noise.
+
+use dd::{CompiledSampler, DdPackage, DdSampler, NormalizedSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use weaksim::stats::chi_square_test;
+use weaksim::ShotHistogram;
+
+const SHOTS: u64 = 100_000;
+const SIGNIFICANCE: f64 = 1e-4;
+
+#[test]
+fn all_three_dd_samplers_draw_the_same_distribution() {
+    let circuits = [
+        algorithms::ghz(8),
+        algorithms::qft(6, true),
+        algorithms::supremacy(3, 3, 6, 7).0,
+    ];
+    for circuit in &circuits {
+        let mut package = DdPackage::new();
+        let state = dd::simulate(&mut package, circuit).expect("valid circuit");
+        let n = circuit.num_qubits();
+
+        let general = DdSampler::new(&package, &state);
+        let local = NormalizedSampler::new(&package, &state);
+        let compiled = CompiledSampler::new(&package, &state);
+
+        let mut rng = StdRng::seed_from_u64(40);
+        let general_hist = ShotHistogram::from_samples(
+            n,
+            general
+                .sample_many(&package, &mut rng, SHOTS as usize)
+                .into_iter(),
+        );
+        let mut rng = StdRng::seed_from_u64(41);
+        let local_hist = ShotHistogram::from_samples(
+            n,
+            local
+                .sample_many(&package, &mut rng, SHOTS as usize)
+                .into_iter(),
+        );
+        let compiled_hist = ShotHistogram::from_samples(
+            n,
+            compiled
+                .sample_many_parallel(42, SHOTS as usize)
+                .into_iter(),
+        );
+
+        for (name, hist) in [
+            ("DdSampler", &general_hist),
+            ("NormalizedSampler", &local_hist),
+            ("CompiledSampler", &compiled_hist),
+        ] {
+            let chi = chi_square_test(hist, |i| state.probability(&package, i));
+            assert!(
+                chi.is_consistent(SIGNIFICANCE),
+                "{name} on {} rejected: chi2 = {:.2}, dof = {}, p = {:.6}",
+                circuit.name(),
+                chi.statistic,
+                chi.degrees_of_freedom,
+                chi.p_value
+            );
+        }
+
+        // Pairwise the empirical frequencies agree within statistical noise.
+        for index in general_hist
+            .counts()
+            .keys()
+            .chain(compiled_hist.counts().keys())
+        {
+            let fg = general_hist.frequency(*index);
+            let fl = local_hist.frequency(*index);
+            let fc = compiled_hist.frequency(*index);
+            assert!((fg - fc).abs() < 0.02, "index {index}: {fg} vs {fc}");
+            assert!((fl - fc).abs() < 0.02, "index {index}: {fl} vs {fc}");
+        }
+    }
+}

@@ -141,6 +141,9 @@ pub struct Table1Row {
     pub dd_strong_time: Duration,
     /// Number of samples drawn.
     pub shots: u64,
+    /// Package table statistics of the DD run: unique-table sharing rate and
+    /// compute-cache hit/miss/eviction counters (see [`dd::DdStats`]).
+    pub dd_stats: Option<dd::DdStats>,
 }
 
 impl Table1Row {
@@ -188,27 +191,45 @@ pub fn run_table1_row(
         dd_time: dd_outcome.weak_time(),
         dd_strong_time: dd_outcome.strong_time,
         shots,
+        dd_stats: dd_outcome.dd_stats,
     })
 }
 
-/// Renders measured rows in the layout of Table I.
+/// Renders measured rows in the layout of Table I, extended with the DD
+/// package's table statistics (node-sharing and compute-cache hit rates of
+/// the construction phase).
 #[must_use]
 pub fn format_table(rows: &[Table1Row]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<22} {:>6} | {:>14} {:>12} | {:>12} {:>10} {:>12}",
-        "benchmark", "qubits", "vec size", "vec t [s]", "DD size", "DD t [s]", "DD strong [s]"
+        "{:<22} {:>6} | {:>14} {:>12} | {:>12} {:>10} {:>12} {:>8} {:>8}",
+        "benchmark",
+        "qubits",
+        "vec size",
+        "vec t [s]",
+        "DD size",
+        "DD t [s]",
+        "DD strong [s]",
+        "uniq%",
+        "cache%"
     );
-    let _ = writeln!(out, "{}", "-".repeat(100));
+    let _ = writeln!(out, "{}", "-".repeat(118));
     for row in rows {
         let vector_time = match row.vector_time {
             Some(t) => format!("{:.2}", t.as_secs_f64()),
             None => "MO".to_string(),
         };
+        let (unique_rate, cache_rate) = match &row.dd_stats {
+            Some(stats) => (
+                format!("{:.1}", 100.0 * stats.vector_unique_hit_rate()),
+                format!("{:.1}", 100.0 * stats.compute_hit_rate()),
+            ),
+            None => ("-".to_string(), "-".to_string()),
+        };
         let _ = writeln!(
             out,
-            "{:<22} {:>6} | {:>14} {:>12} | {:>12} {:>10.2} {:>12.2}",
+            "{:<22} {:>6} | {:>14} {:>12} | {:>12} {:>10.2} {:>12.2} {:>8} {:>8}",
             row.name,
             row.qubits,
             format!("2^{}", row.qubits),
@@ -216,6 +237,8 @@ pub fn format_table(rows: &[Table1Row]) -> String {
             format!("{} ~2^{:.1}", row.dd_size, row.dd_size_log2()),
             row.dd_time.as_secs_f64(),
             row.dd_strong_time.as_secs_f64(),
+            unique_rate,
+            cache_rate,
         );
     }
     out

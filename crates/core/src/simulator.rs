@@ -21,7 +21,7 @@
 
 use crate::ShotHistogram;
 use circuit::{Circuit, NoiseModel, Qubit};
-use dd::{CompiledSampler, DdPackage, StateDd, PARALLEL_CHUNK_SHOTS};
+use dd::{CompiledSampler, DdPackage, DdStats, StateDd, PARALLEL_CHUNK_SHOTS};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use statevector::{MemoryBudget, PrefixSampler, StateVector};
@@ -184,6 +184,16 @@ impl StrongState {
             StrongState::StateVector(v) => v.len() as u128,
         }
     }
+
+    /// The owning package's table statistics (unique-table and compute-cache
+    /// hit/miss/eviction counters); `None` for the dense backend.
+    #[must_use]
+    pub fn dd_stats(&self) -> Option<DdStats> {
+        match self {
+            StrongState::DecisionDiagram { package, .. } => Some(package.stats()),
+            StrongState::StateVector(_) => None,
+        }
+    }
 }
 
 /// Timing and output of one weak-simulation run.
@@ -207,6 +217,10 @@ pub struct RunOutcome {
     /// Representation size (DD nodes or dense amplitudes; for trajectory
     /// runs the peak over the cached per-trajectory states).
     pub representation_size: u128,
+    /// Decision-diagram package statistics — unique-table and compute-cache
+    /// hit/miss/eviction counters — for DD-backend runs (for trajectory
+    /// runs: summed over all worker packages); `None` on the dense backend.
+    pub dd_stats: Option<DdStats>,
     /// The final strong-simulation state, for follow-up queries.  `None`
     /// for dynamic circuits, whose final state differs per trajectory.
     pub state: Option<StrongState>,
@@ -393,6 +407,7 @@ impl WeakSimulator {
             return Ok(RunOutcome {
                 backend: self.backend,
                 representation_size: state.representation_size(),
+                dd_stats: state.dd_stats(),
                 histogram,
                 strong_time,
                 precompute_time,
@@ -421,6 +436,7 @@ impl WeakSimulator {
             return Ok(RunOutcome {
                 backend: self.backend,
                 representation_size: outcome.representation_size,
+                dd_stats: outcome.dd_stats,
                 histogram: outcome.histogram,
                 strong_time: Duration::ZERO,
                 precompute_time: outcome.precompute_time,
@@ -442,6 +458,7 @@ impl WeakSimulator {
         Ok(RunOutcome {
             backend: self.backend,
             representation_size: state.representation_size(),
+            dd_stats: state.dd_stats(),
             histogram,
             strong_time,
             precompute_time,

@@ -95,7 +95,8 @@ use crate::simulator::{Backend, RunError};
 use crate::ShotHistogram;
 use circuit::{Circuit, Condition, NoiseChannel, NoiseModel, Operation, Qubit};
 use dd::{
-    chunk_stream_seed, CompiledSampler, DdPackage, StateDd, VectorEdge, PARALLEL_CHUNK_SHOTS,
+    chunk_stream_seed, CompiledSampler, DdPackage, DdStats, StateDd, VectorEdge,
+    PARALLEL_CHUNK_SHOTS,
 };
 use mathkit::FxHashMap;
 use rand::rngs::SmallRng;
@@ -138,6 +139,10 @@ pub struct TrajectoryOutcome {
     /// Peak decision-diagram node count observed among cached trajectory
     /// states (or the dense amplitude count for the statevector backend).
     pub representation_size: u128,
+    /// Aggregated decision-diagram package statistics (unique-table and
+    /// compute-cache hit/miss/eviction counters summed over all workers);
+    /// `None` for the statevector backend.
+    pub dd_stats: Option<DdStats>,
 }
 
 /// What a non-unitary event does to the state.
@@ -179,9 +184,37 @@ impl EventKind {
 struct Event {
     kind: EventKind,
     condition: Option<Condition>,
+    /// Precomputed cumulative error-branch thresholds of a state-independent
+    /// channel: branch `i` (1-based) fires when `r < thresholds[i - 1]` and
+    /// no earlier threshold matched; branch 0 otherwise.  `None` when the
+    /// draw depends on the state (measure, reset, amplitude damping).
+    ///
+    /// Precomputing this at planning time keeps the per-shot hot loop free
+    /// of the channel match and probability summation — the draw is three
+    /// float compares.
+    thresholds: Option<[f64; 3]>,
 }
 
 impl Event {
+    fn new(kind: EventKind, condition: Option<Condition>) -> Self {
+        let thresholds = match kind {
+            // The running sums replicate the former per-draw accumulation
+            // bit-for-bit, so recorded histograms are unchanged.
+            EventKind::Noise { channel, .. } => channel.branch_probabilities().map(|p| {
+                let t1 = p[1];
+                let t2 = t1 + p[2];
+                let t3 = t2 + p[3];
+                [t1, t2, t3]
+            }),
+            _ => None,
+        };
+        Self {
+            kind,
+            condition,
+            thresholds,
+        }
+    }
+
     /// Whether the event fires under the shot's current classical record.
     fn fires(&self, record: u64) -> bool {
         self.condition.is_none_or(|c| c.is_satisfied_by(record))
@@ -241,36 +274,32 @@ fn effective_op(op: &Operation, record: u64) -> Option<&Operation> {
 ///
 /// Error branches occupy the *low* end of the unit interval, mirroring the
 /// `r < p_one` convention of measurement draws, so the mapping from uniform
-/// variates to decisions is identical on both backends.
-fn draw_decision(kind: EventKind, p_one: f64, rng: &mut SmallRng) -> u8 {
-    match kind {
+/// variates to decisions is identical on both backends.  State-independent
+/// channels draw against the thresholds precomputed in [`Event::new`] —
+/// three float compares, no per-shot probability summation.
+fn draw_decision(event: Event, p_one: f64, rng: &mut SmallRng) -> u8 {
+    if let Some(t) = event.thresholds {
+        let r = rng.gen::<f64>();
+        return if r < t[0] {
+            1
+        } else if r < t[1] {
+            2
+        } else if r < t[2] {
+            3
+        } else {
+            0
+        };
+    }
+    match event.kind {
         EventKind::Measure { .. } | EventKind::Reset { .. } => u8::from(rng.gen::<f64>() < p_one),
-        EventKind::Noise { channel, .. } => match channel.branch_probabilities() {
-            // State-dependent channel: amplitude damping decays with
-            // probability gamma * P(qubit = 1).
-            None => {
-                let NoiseChannel::AmplitudeDamping { gamma } = channel else {
-                    unreachable!("only amplitude damping is state-dependent")
-                };
-                u8::from(rng.gen::<f64>() < gamma * p_one)
-            }
-            Some(probs) => {
-                let r = rng.gen::<f64>();
-                let mut acc = 0.0;
-                for (branch, &p) in probs
-                    .iter()
-                    .enumerate()
-                    .take(channel.branch_count())
-                    .skip(1)
-                {
-                    acc += p;
-                    if r < acc {
-                        return u8::try_from(branch).expect("at most 4 branches");
-                    }
-                }
-                0
-            }
-        },
+        // State-dependent channel: amplitude damping decays with
+        // probability gamma * P(qubit = 1).
+        EventKind::Noise { channel, .. } => {
+            let NoiseChannel::AmplitudeDamping { gamma } = channel else {
+                unreachable!("only amplitude damping is state-dependent")
+            };
+            u8::from(rng.gen::<f64>() < gamma * p_one)
+        }
     }
 }
 
@@ -319,36 +348,33 @@ impl TrajectoryPlan {
                             push_event(
                                 &mut events,
                                 &mut segments,
-                                Event {
-                                    kind: EventKind::Noise {
+                                Event::new(
+                                    EventKind::Noise {
                                         qubit: *qubit,
                                         channel,
                                     },
                                     condition,
-                                },
+                                ),
                             );
                         }
                     }
                     push_event(
                         &mut events,
                         &mut segments,
-                        Event {
-                            kind: EventKind::Measure {
+                        Event::new(
+                            EventKind::Measure {
                                 qubit: *qubit,
                                 cbit: *cbit,
                             },
                             condition,
-                        },
+                        ),
                     );
                 }
                 Operation::Reset { qubit } => {
                     push_event(
                         &mut events,
                         &mut segments,
-                        Event {
-                            kind: EventKind::Reset { qubit: *qubit },
-                            condition,
-                        },
+                        Event::new(EventKind::Reset { qubit: *qubit }, condition),
                     );
                 }
                 // Unitary gates, including classically-conditioned ones
@@ -364,10 +390,7 @@ impl TrajectoryPlan {
                                 push_event(
                                     &mut events,
                                     &mut segments,
-                                    Event {
-                                        kind: EventKind::Noise { qubit, channel },
-                                        condition,
-                                    },
+                                    Event::new(EventKind::Noise { qubit, channel }, condition),
                                 );
                             }
                         }
@@ -408,6 +431,10 @@ trait Runner {
     fn end_of_chunk(&mut self) {}
     /// Peak representation size observed so far.
     fn representation_size(&self) -> u128;
+    /// Package table statistics (decision-diagram backend only).
+    fn dd_stats(&self) -> Option<DdStats> {
+        None
+    }
 }
 
 /// A cached decision-prefix node of the decision-diagram trajectory tree.
@@ -565,7 +592,7 @@ impl Runner for DdRunner<'_> {
                 } else {
                     0.0
                 };
-                draw_decision(event.kind, p_one, rng)
+                draw_decision(event, p_one, rng)
             } else {
                 SKIPPED
             };
@@ -655,6 +682,10 @@ impl Runner for DdRunner<'_> {
     fn representation_size(&self) -> u128 {
         self.peak_nodes as u128
     }
+
+    fn dd_stats(&self) -> Option<DdStats> {
+        Some(self.package.stats())
+    }
 }
 
 /// The dense statevector trajectory runner.
@@ -730,7 +761,7 @@ impl Runner for SvRunner<'_> {
                 } else {
                     0.0
                 };
-                draw_decision(event.kind, p_one, rng)
+                draw_decision(event, p_one, rng)
             } else {
                 SKIPPED
             };
@@ -809,17 +840,17 @@ fn run_worker(
     seed: u64,
     first: u64,
     stride: u64,
-) -> (ShotHistogram, u128) {
+) -> (ShotHistogram, u128, Option<DdStats>) {
     match backend {
         Backend::DecisionDiagram => {
             let mut runner = DdRunner::new(plan);
             let h = run_assigned_chunks(&mut runner, shots, seed, first, stride, plan.record_width);
-            (h, runner.representation_size())
+            (h, runner.representation_size(), runner.dd_stats())
         }
         Backend::StateVector => {
             let mut runner = SvRunner::new(plan);
             let h = run_assigned_chunks(&mut runner, shots, seed, first, stride, plan.record_width);
-            (h, runner.representation_size())
+            (h, runner.representation_size(), runner.dd_stats())
         }
     }
 }
@@ -1005,10 +1036,11 @@ pub(crate) fn run_trajectories(
     let precompute_time = precompute_start.elapsed();
 
     let sampling_start = Instant::now();
-    let (histogram, representation_size) = if workers == 1 {
+    let (histogram, representation_size, dd_stats) = if workers == 1 {
         run_worker(backend, &plan, shots, seed, 0, 1)
     } else {
-        let mut slots: Vec<Option<(ShotHistogram, u128)>> = (0..workers).map(|_| None).collect();
+        let mut slots: Vec<Option<(ShotHistogram, u128, Option<DdStats>)>> =
+            (0..workers).map(|_| None).collect();
         rayon::scope(|scope| {
             for (worker, slot) in slots.iter_mut().enumerate() {
                 let plan = &plan;
@@ -1026,12 +1058,16 @@ pub(crate) fn run_trajectories(
         });
         let mut histogram = ShotHistogram::new(plan.record_width);
         let mut size = 0u128;
+        let mut dd_stats: Option<DdStats> = None;
         for slot in slots {
-            let (h, s) = slot.expect("worker ran to completion");
+            let (h, s, stats) = slot.expect("worker ran to completion");
             histogram.merge(&h);
             size = size.max(s);
+            if let Some(stats) = stats {
+                dd_stats.get_or_insert_with(DdStats::default).merge(&stats);
+            }
         }
-        (histogram, size)
+        (histogram, size, dd_stats)
     };
     let sampling_time = sampling_start.elapsed();
 
@@ -1040,6 +1076,7 @@ pub(crate) fn run_trajectories(
         precompute_time,
         sampling_time,
         representation_size,
+        dd_stats,
     })
 }
 

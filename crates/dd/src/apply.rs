@@ -1,7 +1,9 @@
 //! Strong simulation of circuits on decision diagrams.
 
+use crate::edge::MatrixEdge;
 use crate::matrix::OperatorDd;
 use crate::ops::matrix_vector_multiply;
+use crate::package::OperatorKey;
 use crate::{DdPackage, StateDd};
 use circuit::{Circuit, OneQubitGate, Operation, Qubit};
 use std::fmt;
@@ -45,12 +47,30 @@ impl From<circuit::ValidateCircuitError> for ApplyError {
 /// gates (when the reachable set is much smaller).
 const GC_NODE_THRESHOLD: usize = 250_000;
 
+/// The operator DD of a (multi-)controlled single-qubit gate, memoized in
+/// the package's operator cache: repeated gates — ubiquitous in supremacy
+/// layers, IPE repetitions and trajectory replays — reuse the previously
+/// built diagram instead of re-running the node-level construction.
+fn cached_controlled_gate(
+    package: &mut DdPackage,
+    num_qubits: u16,
+    gate: OneQubitGate,
+    target: Qubit,
+    controls: &[Qubit],
+) -> MatrixEdge {
+    package.cached_operator(
+        OperatorKey::gate(num_qubits, gate, target, controls),
+        |package| OperatorDd::controlled_gate(package, num_qubits, gate, target, controls).root(),
+    )
+}
+
 /// Applies one lowered *unitary* operation to a state DD and returns the
 /// new state.
 ///
 /// Swap operations are decomposed into three CNOTs (picking up any controls
 /// on each of them); unitaries and permutations are converted to operator
-/// DDs and applied by matrix–vector multiplication.
+/// DDs — memoized per (gate, target/control layout) in the package — and
+/// applied by matrix–vector multiplication.
 ///
 /// # Panics
 ///
@@ -66,11 +86,8 @@ pub fn apply_operation(package: &mut DdPackage, state: StateDd, op: &Operation) 
             target,
             controls,
         } => {
-            let operator = OperatorDd::controlled_gate(package, n, *gate, *target, controls);
-            StateDd::from_root(
-                matrix_vector_multiply(package, operator.root(), state.root()),
-                n,
-            )
+            let operator = cached_controlled_gate(package, n, *gate, *target, controls);
+            StateDd::from_root(matrix_vector_multiply(package, operator, state.root()), n)
         }
         Operation::Swap { a, b, controls } => {
             if a == b {
@@ -81,9 +98,9 @@ pub fn apply_operation(package: &mut DdPackage, state: StateDd, op: &Operation) 
                 let mut all_controls: Vec<Qubit> = controls.clone();
                 all_controls.push(control);
                 let operator =
-                    OperatorDd::controlled_gate(package, n, OneQubitGate::X, target, &all_controls);
+                    cached_controlled_gate(package, n, OneQubitGate::X, target, &all_controls);
                 current = StateDd::from_root(
-                    matrix_vector_multiply(package, operator.root(), current.root()),
+                    matrix_vector_multiply(package, operator, current.root()),
                     n,
                 );
             }

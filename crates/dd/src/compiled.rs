@@ -37,9 +37,7 @@
 //! runs them).  See the module docs of [`crate`] for the seeding scheme.
 
 use crate::edge::VectorNodeId;
-use crate::sample::downstream_probability;
 use crate::{DdPackage, StateDd};
-use mathkit::FxHashMap;
 use rand::rngs::SmallRng;
 use rand::{splitmix64, Rng, SeedableRng};
 
@@ -113,10 +111,15 @@ pub struct CompiledSampler {
 impl CompiledSampler {
     /// Compiles the subgraph reachable from the state's root.
     ///
-    /// Work and memory are linear in the number of reachable nodes.  The
-    /// package's normalization scheme is irrelevant: branch probabilities
-    /// are computed from edge weights *times* downstream mass, which is
-    /// exact for both schemes.
+    /// Work is linear in the number of reachable nodes plus one `u32` per
+    /// *allocated* arena slot (a single dense discovery array — memset-cheap
+    /// even for arenas holding millions of garbage nodes); every other side
+    /// table is sized by the reachable set and indexed by compact id, so on
+    /// million-node diagrams no hash map is touched at all — the former
+    /// hash-map-memoized passes dominated the compile time.  The package's
+    /// normalization scheme is irrelevant: branch probabilities are computed
+    /// from edge weights *times* downstream mass, which is exact for both
+    /// schemes.
     ///
     /// # Panics
     ///
@@ -132,15 +135,14 @@ impl CompiledSampler {
             state.num_qubits()
         );
 
-        let mut downstream: FxHashMap<VectorNodeId, f64> = FxHashMap::default();
-        downstream_probability(package, root_edge.target, &mut downstream);
-
+        let arena = package.allocated_vector_nodes();
         // Breadth-first discovery assigns compact indices root-first, so a
-        // traversal touches the arena roughly front to back.
-        let mut index_of: FxHashMap<VectorNodeId, u32> = FxHashMap::default();
+        // traversal touches the arena roughly front to back.  `index_of` is
+        // the only arena-sized allocation of the compile.
+        let mut index_of = vec![TERMINAL; arena];
         let mut order: Vec<VectorNodeId> = Vec::new();
         if !root_edge.target.is_terminal() {
-            index_of.insert(root_edge.target, 0);
+            index_of[root_edge.target.index()] = 0;
             order.push(root_edge.target);
             let mut cursor = 0;
             while cursor < order.len() {
@@ -150,18 +152,22 @@ impl CompiledSampler {
                     if child.is_zero() || child.target.is_terminal() {
                         continue;
                     }
-                    if let std::collections::hash_map::Entry::Vacant(e) =
-                        index_of.entry(child.target)
-                    {
+                    if index_of[child.target.index()] == TERMINAL {
                         // `< MAX`, not `<= MAX`: id u32::MAX is the TERMINAL
                         // sentinel and must never name a real node.
                         assert!(order.len() < u32::MAX as usize, "compiled arena overflow");
-                        let id = order.len() as u32;
-                        e.insert(id);
+                        index_of[child.target.index()] = order.len() as u32;
                         order.push(child.target);
                     }
                 }
             }
+        }
+
+        // Downstream probability per *compact* id (NaN = not yet computed;
+        // downstream masses are finite by construction).
+        let mut downstream = vec![f64::NAN; order.len()];
+        if !root_edge.target.is_terminal() {
+            downstream_compact(package, &order, &index_of, &mut downstream);
         }
 
         let mut nodes = Vec::with_capacity(order.len());
@@ -177,11 +183,11 @@ impl CompiledSampler {
                 let down = if child.target.is_terminal() {
                     1.0
                 } else {
-                    downstream[&child.target]
+                    downstream[index_of[child.target.index()] as usize]
                 };
                 mass[bit] = package.weight_value(child.weight).norm_sqr() * down;
                 if !child.target.is_terminal() {
-                    child_idx[bit] = index_of[&child.target];
+                    child_idx[bit] = index_of[child.target.index()];
                 }
             }
             let total = mass[0] + mass[1];
@@ -317,6 +323,59 @@ impl CompiledSampler {
     }
 }
 
+/// Computes downstream probabilities for every discovered node into a dense
+/// array indexed by *compact* id (`NaN` = unvisited); `index_of` translates
+/// arena slots to compact ids (every reachable node is already discovered).
+///
+/// Uses an explicit work stack instead of recursion, so diagrams whose depth
+/// equals the qubit count (e.g. basis states over tens of thousands of
+/// qubits) cannot overflow the call stack.
+fn downstream_compact(
+    package: &DdPackage,
+    order: &[VectorNodeId],
+    index_of: &[u32],
+    memo: &mut [f64],
+) {
+    // Depth-first post-order over the DAG: a node stays on the stack until
+    // both non-terminal children are memoized, then its own mass is the
+    // weight-squared-weighted sum of theirs.  Compact id 0 is the root.
+    let mut stack: Vec<u32> = vec![0];
+    while let Some(&compact) = stack.last() {
+        if !memo[compact as usize].is_nan() {
+            stack.pop();
+            continue;
+        }
+        let node = package.vnode(order[compact as usize]);
+        let mut children_ready = true;
+        for child in node.children {
+            if child.is_zero() || child.target.is_terminal() {
+                continue;
+            }
+            let child_compact = index_of[child.target.index()];
+            if memo[child_compact as usize].is_nan() {
+                stack.push(child_compact);
+                children_ready = false;
+            }
+        }
+        if children_ready {
+            let mut total = 0.0;
+            for child in node.children {
+                if child.is_zero() {
+                    continue;
+                }
+                let down = if child.target.is_terminal() {
+                    1.0
+                } else {
+                    memo[index_of[child.target.index()] as usize]
+                };
+                total += package.weight_value(child.weight).norm_sqr() * down;
+            }
+            memo[compact as usize] = total;
+            stack.pop();
+        }
+    }
+}
+
 /// Derives the RNG seed of parallel chunk `chunk_index` from the master
 /// seed: one SplitMix64 step over the pair, which decorrelates neighbouring
 /// chunk indices and master seeds.
@@ -336,7 +395,9 @@ pub fn chunk_stream_seed(master_seed: u64, chunk_index: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DdSampler, Normalization};
+    #[cfg(feature = "comparison-samplers")]
+    use crate::DdSampler;
+    use crate::Normalization;
     use mathkit::Complex;
     use rand::rngs::StdRng;
 
@@ -454,6 +515,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "comparison-samplers")]
     #[test]
     fn agrees_with_dd_sampler_on_shared_seeded_histograms() {
         let mut p = DdPackage::new();

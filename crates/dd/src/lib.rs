@@ -20,14 +20,14 @@
 //! * [`OperatorDd`] — an operator (matrix) decision diagram used to apply
 //!   gates by matrix–vector multiplication;
 //! * [`apply_circuit`]/[`simulate`] — strong simulation of a
-//!   [`circuit::Circuit`] into a [`StateDd`];
-//! * [`DdSampler`] — the paper's contribution: weak simulation by
-//!   precomputing *downstream* (and *upstream*) probabilities in time linear
-//!   in the DD size and then drawing each sample with a single randomized
-//!   root-to-terminal traversal (`O(n)` per sample);
-//! * [`CompiledSampler`] — the production hot path: the same sampling
-//!   semantics compiled into a flat arena for several-fold higher shot
-//!   throughput, plus deterministic parallel shot batching;
+//!   [`circuit::Circuit`] into a [`StateDd`], with gate-DD memoization
+//!   keyed on (gate, target/control layout) in the package;
+//! * [`CompiledSampler`] — the production sampling hot path: the paper's
+//!   single-path weak simulation compiled into a flat arena for several-fold
+//!   higher shot throughput, plus deterministic parallel shot batching
+//!   (the interpreted reference samplers `DdSampler`/`NormalizedSampler`
+//!   are behind the `comparison-samplers` feature, enabled only by the
+//!   bench crate);
 //! * [`Normalization`] — the standard left-most normalization and the
 //!   paper's proposed 2-norm normalization, under which the probability of
 //!   each branch can be read directly off the local edge weights.
@@ -71,7 +71,7 @@
 //!
 //! ```
 //! use circuit::{Circuit, Qubit};
-//! use dd::{DdPackage, DdSampler};
+//! use dd::{CompiledSampler, DdPackage};
 //! use rand::SeedableRng;
 //!
 //! let mut bell = Circuit::new(2);
@@ -82,9 +82,9 @@
 //! let state = dd::simulate(&mut package, &bell)?;
 //! assert_eq!(state.node_count(&package), 3);
 //!
-//! let sampler = DdSampler::new(&package, &state);
+//! let sampler = CompiledSampler::new(&package, &state);
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-//! let shot = sampler.sample(&package, &mut rng);
+//! let shot = sampler.sample(&mut rng);
 //! assert!(shot == 0 || shot == 3);
 //! # Ok::<(), dd::ApplyError>(())
 //! ```
@@ -114,6 +114,11 @@ pub use measure::{
 };
 pub use node::{MatrixNode, VectorNode};
 pub use ops::{add, inner_product, matrix_add, matrix_matrix_multiply, matrix_vector_multiply};
-pub use package::{DdPackage, DdStats, Normalization};
-pub use sample::{DdSampler, EdgeProbabilities, NormalizedSampler};
+pub use package::{
+    CacheCounters, DdPackage, DdStats, Normalization, ADD_CACHE_ENTRIES, MADD_CACHE_ENTRIES,
+    MM_CACHE_ENTRIES, MV_CACHE_ENTRIES,
+};
+pub use sample::EdgeProbabilities;
+#[cfg(feature = "comparison-samplers")]
+pub use sample::{DdSampler, NormalizedSampler};
 pub use vector::StateDd;

@@ -11,7 +11,8 @@
 
 use crate::edge::MatrixEdge;
 use crate::ops::matrix_vector_multiply;
-use crate::{DdPackage, DdSampler, StateDd};
+use crate::package::OperatorKey;
+use crate::{CompiledSampler, DdPackage, StateDd};
 use circuit::Qubit;
 use mathkit::Complex;
 use rand::Rng;
@@ -160,19 +161,23 @@ pub fn amplitude_damp_keep(
         "damping parameter {gamma} is not a probability"
     );
     let n = state.num_qubits();
-    let keep = Complex::from_real((1.0 - gamma).sqrt());
     // Build diag(1, sqrt(1-gamma)) on `qubit`, identity elsewhere (same
-    // bottom-up construction as the measurement projector below).
-    let mut edge = package.matrix_terminal(Complex::ONE);
-    for var in 0..n {
-        let children = if usize::from(var) == qubit.index() {
-            let damped_one = package.scale_medge(edge, keep);
-            [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, damped_one]
-        } else {
-            [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, edge]
-        };
-        edge = package.make_mnode(var, children);
-    }
+    // bottom-up construction as the measurement projector below), memoized
+    // per (qubit, gamma) — trajectory replays reuse the operator.
+    let edge = package.cached_operator(OperatorKey::damp_keep(n, qubit, gamma), |package| {
+        let keep = Complex::from_real((1.0 - gamma).sqrt());
+        let mut edge = package.matrix_terminal(Complex::ONE);
+        for var in 0..n {
+            let children = if usize::from(var) == qubit.index() {
+                let damped_one = package.scale_medge(edge, keep);
+                [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, damped_one]
+            } else {
+                [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, edge]
+            };
+            edge = package.make_mnode(var, children);
+        }
+        edge
+    });
     let damped = StateDd::from_root(matrix_vector_multiply(package, edge, state.root()), n);
     let mass = damped.norm_sqr(package);
     assert!(
@@ -186,7 +191,10 @@ pub fn amplitude_damp_keep(
 /// Measures every qubit, collapsing the state to a computational basis state.
 ///
 /// Returns the observed bitstring (qubit `k` at bit `k`) and the collapsed
-/// state.
+/// state.  The sample is drawn through a freshly compiled
+/// [`CompiledSampler`] (one linear pass over the reachable diagram); callers
+/// that draw many shots from an *unchanged* state should compile the sampler
+/// themselves and reuse it.
 ///
 /// # Panics
 ///
@@ -196,8 +204,8 @@ pub fn measure_all<R: Rng + ?Sized>(
     state: &StateDd,
     rng: &mut R,
 ) -> (u64, StateDd) {
-    let sampler = DdSampler::new(package, state);
-    let outcome = sampler.sample(package, rng);
+    let sampler = CompiledSampler::new(package, state);
+    let outcome = sampler.sample(rng);
     let collapsed = StateDd::basis_state(package, state.num_qubits(), outcome);
     (outcome, collapsed)
 }
@@ -206,18 +214,23 @@ pub fn measure_all<R: Rng + ?Sized>(
 /// (without renormalizing).
 fn project(package: &mut DdPackage, state: &StateDd, qubit: Qubit, bit: u8) -> StateDd {
     let n = state.num_qubits();
-    // Build the diagonal projector |bit><bit| on `qubit`, identity elsewhere.
-    let mut edge = package.matrix_terminal(Complex::ONE);
-    for var in 0..n {
-        let children = if usize::from(var) == qubit.index() {
-            let mut c = [MatrixEdge::ZERO; 4];
-            c[usize::from(2 * bit + bit)] = edge;
-            c
-        } else {
-            [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, edge]
-        };
-        edge = package.make_mnode(var, children);
-    }
+    // The diagonal projector |bit><bit| on `qubit`, identity elsewhere —
+    // memoized per (qubit, bit): branch-mass queries and collapses in
+    // trajectory loops hit the same projectors over and over.
+    let edge = package.cached_operator(OperatorKey::projector(n, qubit, bit), |package| {
+        let mut edge = package.matrix_terminal(Complex::ONE);
+        for var in 0..n {
+            let children = if usize::from(var) == qubit.index() {
+                let mut c = [MatrixEdge::ZERO; 4];
+                c[usize::from(2 * bit + bit)] = edge;
+                c
+            } else {
+                [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, edge]
+            };
+            edge = package.make_mnode(var, children);
+        }
+        edge
+    });
     StateDd::from_root(matrix_vector_multiply(package, edge, state.root()), n)
 }
 

@@ -30,11 +30,9 @@ pub fn add(package: &mut DdPackage, a: VectorEdge, b: VectorEdge) -> VectorEdge 
     } else {
         (b, a)
     };
-    if let Some(&cached) = package.add_cache.get(&key) {
-        package.note_compute_hit();
+    if let Some(cached) = package.add_cache.lookup(key) {
         return cached;
     }
-    package.note_compute_miss();
 
     let var = package
         .vedge_var(a)
@@ -80,11 +78,9 @@ pub fn matrix_add(package: &mut DdPackage, a: MatrixEdge, b: MatrixEdge) -> Matr
     } else {
         (b, a)
     };
-    if let Some(&cached) = package.madd_cache.get(&key) {
-        package.note_compute_hit();
+    if let Some(cached) = package.madd_cache.lookup(key) {
         return cached;
     }
-    package.note_compute_miss();
 
     let a_node = *package.mnode(a.target);
     let b_node = *package.mnode(b.target);
@@ -128,12 +124,21 @@ fn multiply_nodes(package: &mut DdPackage, m: MatrixEdge, v: VectorEdge) -> Vect
         "operator and state DDs must span the same qubits"
     );
 
+    // Identity shortcut: gate operators are identity chains everywhere
+    // outside the gate cone, so most of a multiply recursion would just
+    // reconstruct `v` node by node.  Returning the sub-vector directly
+    // removes that entire region from the compute working set.
+    if package.is_identity_mnode(m.target) {
+        return VectorEdge {
+            target: v.target,
+            weight: crate::edge::WeightId::ONE,
+        };
+    }
+
     let key = (m.target, v.target);
-    if let Some(&cached) = package.mv_cache.get(&key) {
-        package.note_compute_hit();
+    if let Some(cached) = package.mv_cache.lookup(key) {
         return cached;
     }
-    package.note_compute_miss();
 
     let m_node = *package.mnode(m.target);
     let v_node = *package.vnode(v.target);
@@ -182,12 +187,25 @@ fn multiply_matrix_nodes(package: &mut DdPackage, a: MatrixEdge, b: MatrixEdge) 
     }
     debug_assert!(!a.is_terminal() && !b.is_terminal());
 
+    // Identity shortcuts: `I * b = b`, `a * I = a` (sub-diagrams, weights
+    // applied by the caller).
+    if package.is_identity_mnode(a.target) {
+        return MatrixEdge {
+            target: b.target,
+            weight: crate::edge::WeightId::ONE,
+        };
+    }
+    if package.is_identity_mnode(b.target) {
+        return MatrixEdge {
+            target: a.target,
+            weight: crate::edge::WeightId::ONE,
+        };
+    }
+
     let key = (a.target, b.target);
-    if let Some(&cached) = package.mm_cache.get(&key) {
-        package.note_compute_hit();
+    if let Some(cached) = package.mm_cache.lookup(key) {
         return cached;
     }
-    package.note_compute_miss();
 
     let a_node = *package.mnode(a.target);
     let b_node = *package.mnode(b.target);

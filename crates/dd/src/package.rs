@@ -1,9 +1,62 @@
-//! The decision-diagram package: arenas, unique tables, compute tables and
+//! The decision-diagram package: arenas, unique tables, compute caches and
 //! normalization.
+//!
+//! # Hot-path table design
+//!
+//! Everything the construction hot path touches is a purpose-built table
+//! rather than a general-purpose hash map:
+//!
+//! * **Unique tables** ([`UniqueTable`], one per node arena) are
+//!   open-addressing tables of `(hash, node id)` slots.  The node payload
+//!   lives only in the arena; a probe compares the precomputed 64-bit hash
+//!   first and dereferences the arena only on a hash match, so the 2–4-child
+//!   node struct is hashed exactly once per `make_vnode`/`make_mnode` call.
+//!   Entries are never deleted — garbage collection rebuilds the table from
+//!   the compacted arena in one linear pass instead of churning tombstones —
+//!   so probe chains stay short and the table is always tombstone-free.
+//!
+//! * **Compute caches** (`add`/`mv`/`madd`/`mm`, see [`ComputeCache`]) are
+//!   bounded, direct-mapped and *lossy*: a colliding insert simply
+//!   overwrites the previous entry.  Losing an entry only costs a
+//!   recomputation, never correctness, and in exchange the caches have
+//!   - **bounded memory**, independent of circuit depth: each cache starts
+//!     at [`COMPUTE_CACHE_MIN_ENTRIES`] slots (allocated lazily on first
+//!     use, so throwaway packages cost nothing) and doubles under eviction
+//!     pressure up to its fixed maximum — the sizing knobs
+//!     [`ADD_CACHE_ENTRIES`], [`MV_CACHE_ENTRIES`], [`MADD_CACHE_ENTRIES`]
+//!     and [`MM_CACHE_ENTRIES`], or
+//!     [`set_compute_cache_capacity`](DdPackage::set_compute_cache_capacity)
+//!     at runtime (`0` disables caching, the reference configuration for
+//!     testing that lossiness never changes results),
+//!   - **O(1) lookup/insert** with exactly one slot probed, and
+//!   - **O(1) clearing**: every entry carries a *generation stamp*, and
+//!     [`clear_compute_tables`](DdPackage::clear_compute_tables) (also
+//!     called by garbage collection) just bumps the package generation so
+//!     all stale entries miss on their stamp.  Deep noisy trajectory
+//!     circuits can clear between shots for free.
+//!
+//! * The **operator cache** memoizes whole gate/projector decision diagrams
+//!   keyed by `(operation kind, parameters, target/control layout, register
+//!   width)` — see [`DdPackage::cached_operator`].  Repeated gates
+//!   (supremacy layers, IPE repetitions, every off-cache trajectory replay)
+//!   reuse the previously built [`MatrixEdge`] instead of re-running the
+//!   node-level construction.  The cache is cleared whenever the matrix
+//!   arena is dropped (garbage collection) and capped at a fixed number of
+//!   distinct operators.
+//!
+//! * Matrix nodes that form **identity chains** are flagged at creation;
+//!   the multiply recursions in `ops.rs` shortcut through them (`I·v = v`,
+//!   `I·B = B`, `A·I = A`) instead of descending, which removes the
+//!   below-target part of every gate cone — the bulk of a naive gate
+//!   apply — from the compute working set entirely.
+//!
+//! All per-table hit/miss/eviction counters are reported through
+//! [`DdStats`].
 
 use crate::edge::{MatrixEdge, MatrixNodeId, VectorEdge, VectorNodeId, WeightId};
 use crate::node::{MatrixNode, VectorNode};
-use mathkit::{CTable, Complex, FxHashMap, FxHashSet, Tolerance};
+use circuit::{OneQubitGate, Qubit};
+use mathkit::{hash_mix, CTable, Complex, FxHashMap, FxHashSet, Tolerance};
 
 /// The edge-weight normalization scheme applied when creating vector nodes.
 ///
@@ -25,7 +78,63 @@ pub enum Normalization {
     TwoNorm,
 }
 
-/// Occupancy counters of a [`DdPackage`], used in experiment reports.
+// ---------------------------------------------------------------------------
+// Sizing knobs for the bounded compute caches.
+// ---------------------------------------------------------------------------
+
+/// Maximum entries of the vector-addition compute cache (power of two).
+/// Caches start at [`COMPUTE_CACHE_MIN_ENTRIES`] and double — clearing on
+/// each growth step, losing only cached work — whenever eviction pressure
+/// shows the working set does not fit, so small packages stay small while
+/// million-node builds get the full capacity.
+pub const ADD_CACHE_ENTRIES: usize = 1 << 21;
+/// Maximum entries of the matrix–vector multiplication compute cache
+/// (power of two); see [`ADD_CACHE_ENTRIES`] for the growth policy.
+pub const MV_CACHE_ENTRIES: usize = 1 << 21;
+/// Maximum entries of the matrix-addition compute cache (power of two).
+pub const MADD_CACHE_ENTRIES: usize = 1 << 14;
+/// Maximum entries of the matrix–matrix multiplication compute cache
+/// (power of two).
+pub const MM_CACHE_ENTRIES: usize = 1 << 14;
+/// Initial allocation of every compute cache (power of two).
+pub const COMPUTE_CACHE_MIN_ENTRIES: usize = 1 << 14;
+/// Maximum number of distinct operator DDs memoized by
+/// [`DdPackage::cached_operator`]; the cache is wholesale-cleared when full.
+const OPERATOR_CACHE_CAP: usize = 4096;
+
+/// Hit/miss/eviction counters of one bounded lookup table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or a stale/colliding entry).
+    pub misses: u64,
+    /// Live entries overwritten by a colliding insert (lossy caches) or
+    /// dropped by a wholesale clear-on-full (the operator cache).
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Hits as a fraction of all lookups (0.0 when no lookups happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn add(&mut self, other: &CacheCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+}
+
+/// Occupancy and per-table hit/miss/eviction statistics of a [`DdPackage`],
+/// used in experiment reports and the benchmark JSON.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DdStats {
     /// Vector nodes currently stored in the arena (including garbage).
@@ -38,16 +147,494 @@ pub struct DdStats {
     pub vector_unique_hits: u64,
     /// Misses (insertions) in the vector unique table.
     pub vector_unique_misses: u64,
-    /// Hits in the add/multiply compute tables.
-    pub compute_hits: u64,
-    /// Misses in the add/multiply compute tables.
-    pub compute_misses: u64,
+    /// Hits in the matrix unique table.
+    pub matrix_unique_hits: u64,
+    /// Misses (insertions) in the matrix unique table.
+    pub matrix_unique_misses: u64,
+    /// Vector-addition compute-cache counters.
+    pub add_cache: CacheCounters,
+    /// Matrix–vector multiplication compute-cache counters.
+    pub mv_cache: CacheCounters,
+    /// Matrix-addition compute-cache counters.
+    pub madd_cache: CacheCounters,
+    /// Matrix–matrix multiplication compute-cache counters.
+    pub mm_cache: CacheCounters,
+    /// Memoized gate/projector operator-DD cache counters.
+    pub operator_cache: CacheCounters,
     /// Number of garbage collections performed.
     pub garbage_collections: u64,
 }
 
+impl DdStats {
+    /// Total hits across the four node-level compute caches.
+    #[must_use]
+    pub fn compute_hits(&self) -> u64 {
+        self.add_cache.hits + self.mv_cache.hits + self.madd_cache.hits + self.mm_cache.hits
+    }
+
+    /// Total misses across the four node-level compute caches.
+    #[must_use]
+    pub fn compute_misses(&self) -> u64 {
+        self.add_cache.misses + self.mv_cache.misses + self.madd_cache.misses + self.mm_cache.misses
+    }
+
+    /// Total lossy evictions across the four node-level compute caches.
+    #[must_use]
+    pub fn compute_evictions(&self) -> u64 {
+        self.add_cache.evictions
+            + self.mv_cache.evictions
+            + self.madd_cache.evictions
+            + self.mm_cache.evictions
+    }
+
+    /// Hit rate over all four compute caches combined.
+    #[must_use]
+    pub fn compute_hit_rate(&self) -> f64 {
+        let total = self.compute_hits() + self.compute_misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.compute_hits() as f64 / total as f64
+        }
+    }
+
+    /// Hit rate of the vector unique table (node-sharing rate).
+    #[must_use]
+    pub fn vector_unique_hit_rate(&self) -> f64 {
+        let total = self.vector_unique_hits + self.vector_unique_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.vector_unique_hits as f64 / total as f64
+        }
+    }
+
+    /// Folds another package's statistics into this one: counters are
+    /// summed, occupancy figures take the maximum (the natural aggregation
+    /// across the per-worker packages of a parallel trajectory run).
+    pub fn merge(&mut self, other: &DdStats) {
+        self.vector_nodes = self.vector_nodes.max(other.vector_nodes);
+        self.matrix_nodes = self.matrix_nodes.max(other.matrix_nodes);
+        self.interned_values = self.interned_values.max(other.interned_values);
+        self.vector_unique_hits += other.vector_unique_hits;
+        self.vector_unique_misses += other.vector_unique_misses;
+        self.matrix_unique_hits += other.matrix_unique_hits;
+        self.matrix_unique_misses += other.matrix_unique_misses;
+        self.add_cache.add(&other.add_cache);
+        self.mv_cache.add(&other.mv_cache);
+        self.madd_cache.add(&other.madd_cache);
+        self.mm_cache.add(&other.mm_cache);
+        self.operator_cache.add(&other.operator_cache);
+        self.garbage_collections += other.garbage_collections;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Open-addressing unique tables.
+// ---------------------------------------------------------------------------
+
+/// Sentinel marking an empty unique-table slot (the terminal sentinel
+/// `u32::MAX` is never a valid arena id, so it can double as "empty").
+const UNIQUE_EMPTY: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct UniqueSlot {
+    hash: u64,
+    id: u32,
+}
+
+const EMPTY_SLOT: UniqueSlot = UniqueSlot {
+    hash: 0,
+    id: UNIQUE_EMPTY,
+};
+
+/// An open-addressing `(hash, arena id)` table with linear probing and no
+/// deletion.  The node payload stays in the arena; the caller supplies an
+/// equality predicate over arena ids, which is only consulted when the
+/// stored 64-bit hash matches — so node structs are hashed once per lookup
+/// and compared only on probable hits.
+#[derive(Debug)]
+struct UniqueTable {
+    slots: Vec<UniqueSlot>,
+    len: usize,
+}
+
+impl UniqueTable {
+    fn new() -> Self {
+        Self::with_slots(1 << 12)
+    }
+
+    fn with_slots(slots: usize) -> Self {
+        let slots = slots.next_power_of_two().max(16);
+        Self {
+            slots: vec![EMPTY_SLOT; slots],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot.id == UNIQUE_EMPTY {
+                return None;
+            }
+            if slot.hash == hash && eq(slot.id) {
+                return Some(slot.id);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts an id the caller has verified to be absent.
+    fn insert(&mut self, hash: u64, id: u32) {
+        // Grow at 3/4 load so probe chains stay short.
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        Self::place(&mut self.slots, UniqueSlot { hash, id });
+        self.len += 1;
+    }
+
+    fn place(slots: &mut [UniqueSlot], slot: UniqueSlot) {
+        let mask = slots.len() - 1;
+        let mut i = (slot.hash as usize) & mask;
+        while slots[i].id != UNIQUE_EMPTY {
+            i = (i + 1) & mask;
+        }
+        slots[i] = slot;
+    }
+
+    fn grow(&mut self) {
+        let mut new_slots = vec![EMPTY_SLOT; self.slots.len() * 2];
+        for slot in &self.slots {
+            if slot.id != UNIQUE_EMPTY {
+                Self::place(&mut new_slots, *slot);
+            }
+        }
+        self.slots = new_slots;
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill(EMPTY_SLOT);
+        self.len = 0;
+    }
+}
+
+/// Hashes a vector node payload (once, by field folding).
+#[inline]
+fn vnode_hash(node: &VectorNode) -> u64 {
+    let mut h = hash_mix(0, u64::from(node.var));
+    for child in node.children {
+        h = hash_mix(h, vedge_word(child));
+    }
+    // Final avalanche so low slot bits depend on every field.
+    hash_mix(h, 0x9E37_79B9_7F4A_7C15)
+}
+
+/// Hashes a matrix node payload.
+#[inline]
+fn mnode_hash(node: &MatrixNode) -> u64 {
+    let mut h = hash_mix(0, u64::from(node.var));
+    for child in node.children {
+        h = hash_mix(h, medge_word(child));
+    }
+    hash_mix(h, 0x9E37_79B9_7F4A_7C15)
+}
+
+/// Packs a vector edge into a pair of mixable words folded to one.
+#[inline]
+fn vedge_word(e: VectorEdge) -> u64 {
+    let w = ((e.weight.re.index() as u64) << 32) | e.weight.im.index() as u64;
+    hash_mix(u64::from(e.target.0), w)
+}
+
+/// Packs a matrix edge into one mixable word.
+#[inline]
+fn medge_word(e: MatrixEdge) -> u64 {
+    let w = ((e.weight.re.index() as u64) << 32) | e.weight.im.index() as u64;
+    hash_mix(u64::from(e.target.0), w)
+}
+
+// ---------------------------------------------------------------------------
+// Bounded, lossy compute caches.
+// ---------------------------------------------------------------------------
+
+/// A key type usable in a [`ComputeCache`]: exact equality plus a cheap
+/// precomputed hash.
+pub(crate) trait CacheKey: Copy + PartialEq {
+    fn key_hash(&self) -> u64;
+}
+
+impl CacheKey for (VectorEdge, VectorEdge) {
+    #[inline]
+    fn key_hash(&self) -> u64 {
+        hash_mix(vedge_word(self.0), vedge_word(self.1))
+    }
+}
+
+impl CacheKey for (MatrixEdge, MatrixEdge) {
+    #[inline]
+    fn key_hash(&self) -> u64 {
+        hash_mix(medge_word(self.0), medge_word(self.1))
+    }
+}
+
+impl CacheKey for (MatrixNodeId, VectorNodeId) {
+    #[inline]
+    fn key_hash(&self) -> u64 {
+        hash_mix(u64::from(self.0 .0), u64::from(self.1 .0))
+    }
+}
+
+impl CacheKey for (MatrixNodeId, MatrixNodeId) {
+    #[inline]
+    fn key_hash(&self) -> u64 {
+        hash_mix(u64::from(self.0 .0), u64::from(self.1 .0))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry<K, V> {
+    /// Generation stamp; an entry is live only when it equals the cache's
+    /// current generation, which is what makes `clear` O(1).
+    stamp: u32,
+    key: K,
+    value: V,
+}
+
+/// A bounded direct-mapped lossy cache with generation-stamped entries.
+///
+/// Memory is bounded by the configured maximum capacity regardless of how
+/// many distinct keys are inserted; a colliding insert overwrites (lossy).
+/// The backing storage is allocated lazily on the first insert (starting at
+/// [`COMPUTE_CACHE_MIN_ENTRIES`]) and doubles — dropping its contents,
+/// which only costs recomputation — whenever the evictions since the last
+/// growth step exceed the current size, i.e. when the working set visibly
+/// does not fit.  Cheap throwaway packages therefore never pay for the full
+/// capacity, while million-node builds grow to the maximum within a few
+/// generations.
+#[derive(Debug)]
+pub(crate) struct ComputeCache<K, V> {
+    entries: Vec<CacheEntry<K, V>>,
+    capacity: usize,
+    max_capacity: usize,
+    generation: u32,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    evictions_since_grow: u64,
+    /// Placeholder key/value pair used to initialize the lazy allocation
+    /// (never observable: stamp 0 is below every live generation).
+    dummy: (K, V),
+}
+
+impl<K: CacheKey, V: Copy> ComputeCache<K, V> {
+    fn new(max_capacity: usize, dummy: (K, V)) -> Self {
+        debug_assert!(max_capacity == 0 || max_capacity.is_power_of_two());
+        Self {
+            entries: Vec::new(),
+            capacity: max_capacity.min(COMPUTE_CACHE_MIN_ENTRIES),
+            max_capacity,
+            generation: 1,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            evictions_since_grow: 0,
+            dummy,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn lookup(&mut self, key: K) -> Option<V> {
+        if self.entries.is_empty() {
+            self.misses += 1;
+            return None;
+        }
+        let slot = (key.key_hash() as usize) & (self.entries.len() - 1);
+        let entry = &self.entries[slot];
+        if entry.stamp == self.generation && entry.key == key {
+            self.hits += 1;
+            Some(entry.value)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.is_empty() {
+            self.allocate();
+        } else if self.evictions_since_grow > self.entries.len() as u64
+            && self.capacity < self.max_capacity
+        {
+            // The working set visibly exceeds the table: double it.  The old
+            // entries are dropped (lossy — recomputation, not correctness).
+            self.capacity *= 2;
+            self.allocate();
+        }
+        let slot = (key.key_hash() as usize) & (self.entries.len() - 1);
+        let entry = &mut self.entries[slot];
+        if entry.stamp == self.generation && entry.key != key {
+            self.evictions += 1;
+            self.evictions_since_grow += 1;
+        }
+        *entry = CacheEntry {
+            stamp: self.generation,
+            key,
+            value,
+        };
+    }
+
+    fn allocate(&mut self) {
+        let dummy = CacheEntry {
+            stamp: 0,
+            key: self.dummy.0,
+            value: self.dummy.1,
+        };
+        self.entries = vec![dummy; self.capacity];
+        self.evictions_since_grow = 0;
+    }
+
+    /// O(1) clear: stale entries are invalidated by bumping the generation.
+    fn clear(&mut self) {
+        if self.generation == u32::MAX {
+            // Generation wrap: hard-reset the stamps once every 2^32 clears.
+            for entry in &mut self.entries {
+                entry.stamp = 0;
+            }
+            self.generation = 0;
+        }
+        self.generation += 1;
+    }
+
+    /// Resizes (and clears) the cache; 0 disables caching entirely.
+    fn set_capacity(&mut self, capacity: usize) {
+        self.max_capacity = if capacity == 0 {
+            0
+        } else {
+            capacity.next_power_of_two()
+        };
+        self.capacity = self.max_capacity.min(COMPUTE_CACHE_MIN_ENTRIES);
+        self.entries = Vec::new();
+    }
+
+    fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator-DD memo keys.
+// ---------------------------------------------------------------------------
+
+/// Memo key identifying one operator-DD construction: a (controlled) gate,
+/// a measurement projector or an amplitude-damping no-decay operator, on a
+/// specific target/control layout over a specific register width.
+///
+/// Angle parameters are keyed by the bit pattern of their radian value, so
+/// two angles that produce identical matrices share an entry while any
+/// numerically distinct angle gets its own.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct OperatorKey {
+    kind: u8,
+    params: [u64; 3],
+    target: u16,
+    controls: Vec<u16>,
+    num_qubits: u16,
+}
+
+impl OperatorKey {
+    /// Key for a (multi-)controlled single-qubit gate.
+    pub(crate) fn gate(
+        num_qubits: u16,
+        gate: OneQubitGate,
+        target: Qubit,
+        controls: &[Qubit],
+    ) -> Self {
+        let (kind, params) = gate_fingerprint(gate);
+        Self {
+            kind,
+            params,
+            target: target.0,
+            controls: controls.iter().map(|q| q.0).collect(),
+            num_qubits,
+        }
+    }
+
+    /// Key for the diagonal projector `|bit><bit|` on `qubit`.
+    pub(crate) fn projector(num_qubits: u16, qubit: Qubit, bit: u8) -> Self {
+        Self {
+            kind: 32 + bit,
+            params: [0; 3],
+            target: qubit.0,
+            controls: Vec::new(),
+            num_qubits,
+        }
+    }
+
+    /// Key for the amplitude-damping no-decay operator
+    /// `diag(1, sqrt(1 - gamma))` on `qubit`.
+    pub(crate) fn damp_keep(num_qubits: u16, qubit: Qubit, gamma: f64) -> Self {
+        Self {
+            kind: 40,
+            params: [gamma.to_bits(), 0, 0],
+            target: qubit.0,
+            controls: Vec::new(),
+            num_qubits,
+        }
+    }
+}
+
+/// Discriminant + parameter fingerprint of a gate (exact for the fixed
+/// alphabet, bit-pattern of the radian value for parametrized gates).
+fn gate_fingerprint(gate: OneQubitGate) -> (u8, [u64; 3]) {
+    use OneQubitGate as G;
+    match gate {
+        G::I => (0, [0; 3]),
+        G::X => (1, [0; 3]),
+        G::Y => (2, [0; 3]),
+        G::Z => (3, [0; 3]),
+        G::H => (4, [0; 3]),
+        G::S => (5, [0; 3]),
+        G::Sdg => (6, [0; 3]),
+        G::T => (7, [0; 3]),
+        G::Tdg => (8, [0; 3]),
+        G::SqrtX => (9, [0; 3]),
+        G::SqrtXdg => (10, [0; 3]),
+        G::SqrtY => (11, [0; 3]),
+        G::SqrtYdg => (12, [0; 3]),
+        G::Phase(a) => (13, [a.radians().to_bits(), 0, 0]),
+        G::Rx(a) => (14, [a.radians().to_bits(), 0, 0]),
+        G::Ry(a) => (15, [a.radians().to_bits(), 0, 0]),
+        G::Rz(a) => (16, [a.radians().to_bits(), 0, 0]),
+        G::U { theta, phi, lambda } => (
+            17,
+            [
+                theta.radians().to_bits(),
+                phi.radians().to_bits(),
+                lambda.radians().to_bits(),
+            ],
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The package.
+// ---------------------------------------------------------------------------
+
 /// The arena owning every decision-diagram node together with the canonical
-/// complex-value table, the unique tables and the compute tables.
+/// complex-value table, the unique tables and the compute caches.
 ///
 /// All decision diagrams ([`StateDd`](crate::StateDd),
 /// [`OperatorDd`](crate::OperatorDd)) are plain edge handles into a package;
@@ -66,15 +653,29 @@ pub struct DdStats {
 pub struct DdPackage {
     vnodes: Vec<VectorNode>,
     mnodes: Vec<MatrixNode>,
-    vunique: FxHashMap<VectorNode, VectorNodeId>,
-    munique: FxHashMap<MatrixNode, MatrixNodeId>,
+    /// `midentity[i]` marks matrix node `i` as an identity chain: the exact
+    /// identity operator over levels `0..=var`.  Multiplications shortcut
+    /// through these nodes without descending (see `ops.rs`), which removes
+    /// the below-target part of every gate cone from the compute working
+    /// set.
+    midentity: Vec<bool>,
+    vunique: UniqueTable,
+    munique: UniqueTable,
     ctable: CTable,
     normalization: Normalization,
-    pub(crate) add_cache: FxHashMap<(VectorEdge, VectorEdge), VectorEdge>,
-    pub(crate) mv_cache: FxHashMap<(MatrixNodeId, VectorNodeId), VectorEdge>,
-    pub(crate) madd_cache: FxHashMap<(MatrixEdge, MatrixEdge), MatrixEdge>,
-    pub(crate) mm_cache: FxHashMap<(MatrixNodeId, MatrixNodeId), MatrixEdge>,
-    stats: DdStats,
+    pub(crate) add_cache: ComputeCache<(VectorEdge, VectorEdge), VectorEdge>,
+    pub(crate) mv_cache: ComputeCache<(MatrixNodeId, VectorNodeId), VectorEdge>,
+    pub(crate) madd_cache: ComputeCache<(MatrixEdge, MatrixEdge), MatrixEdge>,
+    pub(crate) mm_cache: ComputeCache<(MatrixNodeId, MatrixNodeId), MatrixEdge>,
+    operator_cache: FxHashMap<OperatorKey, MatrixEdge>,
+    vunique_hits: u64,
+    vunique_misses: u64,
+    munique_hits: u64,
+    munique_misses: u64,
+    operator_hits: u64,
+    operator_misses: u64,
+    operator_evictions: u64,
+    garbage_collections: u64,
 }
 
 impl DdPackage {
@@ -95,18 +696,31 @@ impl DdPackage {
     /// Creates a package with explicit normalization and interning tolerance.
     #[must_use]
     pub fn with_settings(normalization: Normalization, tolerance: Tolerance) -> Self {
+        let vv_dummy = (VectorEdge::ZERO, VectorEdge::ZERO);
+        let mm_dummy = (MatrixEdge::ZERO, MatrixEdge::ZERO);
+        let mv_id_dummy = (MatrixNodeId::TERMINAL, VectorNodeId::TERMINAL);
+        let mm_id_dummy = (MatrixNodeId::TERMINAL, MatrixNodeId::TERMINAL);
         Self {
             vnodes: Vec::new(),
             mnodes: Vec::new(),
-            vunique: FxHashMap::default(),
-            munique: FxHashMap::default(),
+            midentity: Vec::new(),
+            vunique: UniqueTable::new(),
+            munique: UniqueTable::new(),
             ctable: CTable::with_tolerance(tolerance),
             normalization,
-            add_cache: FxHashMap::default(),
-            mv_cache: FxHashMap::default(),
-            madd_cache: FxHashMap::default(),
-            mm_cache: FxHashMap::default(),
-            stats: DdStats::default(),
+            add_cache: ComputeCache::new(ADD_CACHE_ENTRIES, (vv_dummy, VectorEdge::ZERO)),
+            mv_cache: ComputeCache::new(MV_CACHE_ENTRIES, (mv_id_dummy, VectorEdge::ZERO)),
+            madd_cache: ComputeCache::new(MADD_CACHE_ENTRIES, (mm_dummy, MatrixEdge::ZERO)),
+            mm_cache: ComputeCache::new(MM_CACHE_ENTRIES, (mm_id_dummy, MatrixEdge::ZERO)),
+            operator_cache: FxHashMap::default(),
+            vunique_hits: 0,
+            vunique_misses: 0,
+            munique_hits: 0,
+            munique_misses: 0,
+            operator_hits: 0,
+            operator_misses: 0,
+            operator_evictions: 0,
+            garbage_collections: 0,
         }
     }
 
@@ -116,14 +730,39 @@ impl DdPackage {
         self.normalization
     }
 
-    /// Current occupancy statistics.
+    /// Resizes all four node-level compute caches to `entries` slots each
+    /// (rounded up to a power of two); `0` disables compute caching
+    /// entirely, which is useful as a reference configuration when testing
+    /// that lossy evictions never change results.  Resizing clears the
+    /// caches.
+    pub fn set_compute_cache_capacity(&mut self, entries: usize) {
+        self.add_cache.set_capacity(entries);
+        self.mv_cache.set_capacity(entries);
+        self.madd_cache.set_capacity(entries);
+        self.mm_cache.set_capacity(entries);
+    }
+
+    /// Current occupancy and hit/miss statistics.
     #[must_use]
     pub fn stats(&self) -> DdStats {
         DdStats {
             vector_nodes: self.vnodes.len(),
             matrix_nodes: self.mnodes.len(),
             interned_values: self.ctable.len(),
-            ..self.stats
+            vector_unique_hits: self.vunique_hits,
+            vector_unique_misses: self.vunique_misses,
+            matrix_unique_hits: self.munique_hits,
+            matrix_unique_misses: self.munique_misses,
+            add_cache: self.add_cache.counters(),
+            mv_cache: self.mv_cache.counters(),
+            madd_cache: self.madd_cache.counters(),
+            mm_cache: self.mm_cache.counters(),
+            operator_cache: CacheCounters {
+                hits: self.operator_hits,
+                misses: self.operator_misses,
+                evictions: self.operator_evictions,
+            },
+            garbage_collections: self.garbage_collections,
         }
     }
 
@@ -284,16 +923,21 @@ impl DdPackage {
             var,
             children: [zero_edge, one_edge],
         };
-        let id = if let Some(&id) = self.vunique.get(&node) {
-            self.stats.vector_unique_hits += 1;
-            id
-        } else {
-            self.stats.vector_unique_misses += 1;
-            let id =
-                VectorNodeId(u32::try_from(self.vnodes.len()).expect("vector node arena overflow"));
-            self.vnodes.push(node);
-            self.vunique.insert(node, id);
-            id
+        let hash = vnode_hash(&node);
+        let vnodes = &self.vnodes;
+        let id = match self.vunique.find(hash, |id| vnodes[id as usize] == node) {
+            Some(id) => {
+                self.vunique_hits += 1;
+                VectorNodeId(id)
+            }
+            None => {
+                self.vunique_misses += 1;
+                let id = u32::try_from(self.vnodes.len()).expect("vector node arena overflow");
+                assert!(id != UNIQUE_EMPTY, "vector node arena overflow");
+                self.vnodes.push(node);
+                self.vunique.insert(hash, id);
+                VectorNodeId(id)
+            }
         };
         VectorEdge {
             target: id,
@@ -334,16 +978,12 @@ impl DdPackage {
     /// Matrix nodes always use left-most normalization (the 2-norm scheme is
     /// specific to sampling from state DDs).
     pub fn make_mnode(&mut self, var: u16, children: [MatrixEdge; 4]) -> MatrixEdge {
-        let weights: Vec<Complex> = children
-            .iter()
-            .map(|e| {
-                if e.is_zero() {
-                    Complex::ZERO
-                } else {
-                    self.weight_value(e.weight)
-                }
-            })
-            .collect();
+        let mut weights = [Complex::ZERO; 4];
+        for (w, e) in weights.iter_mut().zip(&children) {
+            if !e.is_zero() {
+                *w = self.weight_value(e.weight);
+            }
+        }
         let Some(factor) = weights.iter().copied().find(|w| !w.is_zero()) else {
             return MatrixEdge::ZERO;
         };
@@ -365,14 +1005,22 @@ impl DdPackage {
             var,
             children: normalized,
         };
-        let id = if let Some(&id) = self.munique.get(&node) {
-            id
-        } else {
-            let id =
-                MatrixNodeId(u32::try_from(self.mnodes.len()).expect("matrix node arena overflow"));
-            self.mnodes.push(node);
-            self.munique.insert(node, id);
-            id
+        let hash = mnode_hash(&node);
+        let mnodes = &self.mnodes;
+        let id = match self.munique.find(hash, |id| mnodes[id as usize] == node) {
+            Some(id) => {
+                self.munique_hits += 1;
+                MatrixNodeId(id)
+            }
+            None => {
+                self.munique_misses += 1;
+                let id = u32::try_from(self.mnodes.len()).expect("matrix node arena overflow");
+                assert!(id != UNIQUE_EMPTY, "matrix node arena overflow");
+                self.midentity.push(self.is_identity_node(&node));
+                self.mnodes.push(node);
+                self.munique.insert(hash, id);
+                MatrixNodeId(id)
+            }
         };
         MatrixEdge {
             target: id,
@@ -380,23 +1028,62 @@ impl DdPackage {
         }
     }
 
-    // ----- compute-table statistics --------------------------------------
-
-    pub(crate) fn note_compute_hit(&mut self) {
-        self.stats.compute_hits += 1;
+    /// Whether `node` is an exact identity chain: diagonal blocks equal with
+    /// weight one, off-diagonal blocks zero, and the shared child either the
+    /// terminal or itself an identity chain one level down.
+    fn is_identity_node(&self, node: &MatrixNode) -> bool {
+        let diag = node.children[0];
+        node.children[1].is_zero()
+            && node.children[2].is_zero()
+            && node.children[3] == diag
+            && diag.weight.is_one()
+            && (diag.target.is_terminal() || self.midentity[diag.target.index()])
     }
 
-    pub(crate) fn note_compute_miss(&mut self) {
-        self.stats.compute_misses += 1;
+    /// Whether the matrix node `id` represents the exact identity operator
+    /// over its levels (the terminal does not count — callers handle the
+    /// terminal separately).
+    #[inline]
+    pub(crate) fn is_identity_mnode(&self, id: MatrixNodeId) -> bool {
+        !id.is_terminal() && self.midentity[id.index()]
     }
 
-    /// Clears the add/multiply compute tables (the unique tables and nodes
-    /// are untouched).
+    // ----- operator memoization ------------------------------------------
+
+    /// Returns the memoized operator DD for `key`, building it with `build`
+    /// on the first request.  Reuse is sound because matrix nodes are only
+    /// ever dropped wholesale (by garbage collection, which clears this
+    /// cache too).
+    pub(crate) fn cached_operator(
+        &mut self,
+        key: OperatorKey,
+        build: impl FnOnce(&mut Self) -> MatrixEdge,
+    ) -> MatrixEdge {
+        if let Some(&edge) = self.operator_cache.get(&key) {
+            self.operator_hits += 1;
+            return edge;
+        }
+        self.operator_misses += 1;
+        let edge = build(self);
+        if self.operator_cache.len() >= OPERATOR_CACHE_CAP {
+            self.operator_evictions += self.operator_cache.len() as u64;
+            self.operator_cache.clear();
+        }
+        self.operator_cache.insert(key, edge);
+        edge
+    }
+
+    // ----- compute-table maintenance --------------------------------------
+
+    /// Clears the add/multiply compute caches and the operator memo (the
+    /// unique tables and nodes are untouched).  O(1) for the node-level
+    /// caches: each just bumps its generation stamp.
     pub fn clear_compute_tables(&mut self) {
         self.add_cache.clear();
         self.mv_cache.clear();
         self.madd_cache.clear();
         self.mm_cache.clear();
+        self.operator_cache.clear();
     }
 
     // ----- garbage collection --------------------------------------------
@@ -458,69 +1145,165 @@ impl DdPackage {
     /// Reclaims every node not reachable from the given root edges and
     /// returns the updated roots.
     ///
-    /// Garbage collection compacts both arenas, rebuilds the unique tables
-    /// and clears the compute tables (which may refer to collected nodes).
-    /// Any [`VectorEdge`]/[`MatrixEdge`] not passed as a root is invalidated;
-    /// the returned vector contains the remapped root edges in the same
-    /// order as the input.
+    /// Garbage collection compacts the vector arena, rebuilds the unique
+    /// table from the compacted arena (no per-entry map rewrites), drops the
+    /// matrix arena, clears the compute caches and the operator memo (both
+    /// may refer to collected nodes) and — new since the bounded-cache
+    /// overhaul — rebuilds the canonical complex-value table so interned
+    /// weights unreachable from the surviving arena are dropped too, keeping
+    /// the value table from growing monotonically over long runs.
+    ///
+    /// Any [`VectorEdge`]/[`MatrixEdge`]/[`WeightId`] not reachable from a
+    /// root is invalidated; the returned vector contains the remapped root
+    /// edges in the same order as the input.
     pub fn collect_garbage(&mut self, roots: &[VectorEdge]) -> Vec<VectorEdge> {
-        self.stats.garbage_collections += 1;
+        self.garbage_collections += 1;
 
-        // Map old ids to new ids, visiting children before parents.
-        let mut remap: FxHashMap<VectorNodeId, VectorNodeId> = FxHashMap::default();
-        let mut new_nodes: Vec<VectorNode> = Vec::new();
+        let old_nodes = std::mem::take(&mut self.vnodes);
+        let fresh = CTable::with_tolerance(self.ctable.tolerance());
+        let old_ctable = std::mem::replace(&mut self.ctable, fresh);
 
-        // Depth-first post-order rewrite.
-        fn rewrite(
-            package_nodes: &[VectorNode],
-            id: VectorNodeId,
-            remap: &mut FxHashMap<VectorNodeId, VectorNodeId>,
-            new_nodes: &mut Vec<VectorNode>,
-        ) -> VectorNodeId {
-            if id.is_terminal() {
-                return id;
-            }
-            if let Some(&mapped) = remap.get(&id) {
-                return mapped;
-            }
-            let node = package_nodes[id.index()];
-            let mut children = node.children;
-            for child in &mut children {
-                if !child.is_zero() {
-                    child.target = rewrite(package_nodes, child.target, remap, new_nodes);
-                }
-            }
-            let new_id = VectorNodeId(u32::try_from(new_nodes.len()).expect("arena overflow"));
-            new_nodes.push(VectorNode {
-                var: node.var,
-                children,
-            });
-            remap.insert(id, new_id);
-            new_id
-        }
+        let mut state = GcState {
+            old_nodes: &old_nodes,
+            old_ctable: &old_ctable,
+            new_ctable: &mut self.ctable,
+            node_remap: FxHashMap::default(),
+            weight_remap: FxHashMap::default(),
+            new_nodes: Vec::new(),
+            table: UniqueTable::new(),
+        };
 
         let mut new_roots = Vec::with_capacity(roots.len());
         for root in roots {
-            let mut updated = *root;
-            if !updated.is_zero() {
-                updated.target = rewrite(&self.vnodes, updated.target, &mut remap, &mut new_nodes);
+            if root.is_zero() {
+                new_roots.push(VectorEdge::ZERO);
+                continue;
             }
-            new_roots.push(updated);
+            let target = if root.target.is_terminal() {
+                VectorNodeId::TERMINAL
+            } else {
+                state.rewrite(root.target.0)
+            };
+            let weight = state.remap_weight(root.weight);
+            new_roots.push(if weight.is_zero() {
+                VectorEdge::ZERO
+            } else {
+                VectorEdge { target, weight }
+            });
         }
 
+        let GcState {
+            new_nodes, table, ..
+        } = state;
         self.vnodes = new_nodes;
-        self.vunique = self
-            .vnodes
-            .iter()
-            .enumerate()
-            .map(|(i, node)| (*node, VectorNodeId(i as u32)))
-            .collect();
+        self.vunique = table;
 
-        // Matrix nodes are cheap to rebuild per gate; drop them all.
+        // Matrix nodes are cheap to rebuild per gate; drop them all, along
+        // with every cache that may point at collected nodes.
         self.mnodes.clear();
+        self.midentity.clear();
         self.munique.clear();
         self.clear_compute_tables();
         new_roots
+    }
+}
+
+/// Working state of one garbage-collection pass: rewrites the reachable
+/// sub-DAG bottom-up into a fresh arena, re-interning every surviving edge
+/// weight into a fresh value table and re-deduplicating nodes through a
+/// fresh unique table (weight re-interning can merge representatives, which
+/// can in turn make two previously distinct nodes equal).
+struct GcState<'a> {
+    old_nodes: &'a [VectorNode],
+    old_ctable: &'a CTable,
+    new_ctable: &'a mut CTable,
+    node_remap: FxHashMap<u32, VectorNodeId>,
+    weight_remap: FxHashMap<WeightId, WeightId>,
+    new_nodes: Vec<VectorNode>,
+    table: UniqueTable,
+}
+
+impl GcState<'_> {
+    fn remap_weight(&mut self, weight: WeightId) -> WeightId {
+        if let Some(&mapped) = self.weight_remap.get(&weight) {
+            return mapped;
+        }
+        let value = self.old_ctable.complex(weight.re, weight.im);
+        let (re, im) = self.new_ctable.intern_complex(value);
+        let mapped = WeightId { re, im };
+        self.weight_remap.insert(weight, mapped);
+        mapped
+    }
+
+    /// Rewrites the sub-DAG under old node `id` into the fresh arena and
+    /// returns its new id.
+    ///
+    /// Uses an explicit work stack instead of recursion (depth-first
+    /// post-order: a node stays on the stack until both non-terminal
+    /// children are remapped), so diagrams whose depth equals the qubit
+    /// count — e.g. chain states over tens of thousands of qubits — cannot
+    /// overflow the call stack during garbage collection.
+    fn rewrite(&mut self, id: u32) -> VectorNodeId {
+        let mut stack: Vec<u32> = vec![id];
+        while let Some(&top) = stack.last() {
+            if self.node_remap.contains_key(&top) {
+                stack.pop();
+                continue;
+            }
+            let node = self.old_nodes[top as usize];
+            let mut children_ready = true;
+            for child in node.children {
+                if !child.is_zero()
+                    && !child.target.is_terminal()
+                    && !self.node_remap.contains_key(&child.target.0)
+                {
+                    stack.push(child.target.0);
+                    children_ready = false;
+                }
+            }
+            if !children_ready {
+                continue;
+            }
+
+            let mut children = [VectorEdge::ZERO; 2];
+            for (slot, child) in children.iter_mut().zip(node.children) {
+                if child.is_zero() {
+                    continue;
+                }
+                let target = if child.target.is_terminal() {
+                    VectorNodeId::TERMINAL
+                } else {
+                    self.node_remap[&child.target.0]
+                };
+                let weight = self.remap_weight(child.weight);
+                *slot = if weight.is_zero() {
+                    VectorEdge::ZERO
+                } else {
+                    VectorEdge { target, weight }
+                };
+            }
+            let new_node = VectorNode {
+                var: node.var,
+                children,
+            };
+            let hash = vnode_hash(&new_node);
+            let new_nodes = &self.new_nodes;
+            let new_id = match self
+                .table
+                .find(hash, |nid| new_nodes[nid as usize] == new_node)
+            {
+                Some(nid) => VectorNodeId(nid),
+                None => {
+                    let nid = u32::try_from(self.new_nodes.len()).expect("arena overflow");
+                    self.new_nodes.push(new_node);
+                    self.table.insert(hash, nid);
+                    VectorNodeId(nid)
+                }
+            };
+            self.node_remap.insert(top, new_id);
+            stack.pop();
+        }
+        self.node_remap[&id]
     }
 }
 
@@ -575,6 +1358,33 @@ mod tests {
         let mut p = DdPackage::new();
         let e = p.make_vnode(2, VectorEdge::ZERO, VectorEdge::ZERO);
         assert!(e.is_zero());
+    }
+
+    #[test]
+    fn unique_table_survives_growth() {
+        // Insert far more distinct nodes than the initial table size and
+        // verify every one is still found (exercises open-addressing growth
+        // and probe-chain correctness).
+        // Weights 1.0, 1.001, ... are spaced far beyond the interning
+        // tolerance even after normalization, so every node is distinct and
+        // exactly reproducible.
+        let weight = |i: usize| Complex::from_real(1.0 + i as f64 * 1e-3);
+        let mut p = DdPackage::new();
+        let t = p.vector_terminal(Complex::ONE);
+        let mut edges = Vec::new();
+        for i in 0..20_000 {
+            let w = p.scale_vedge(t, weight(i));
+            edges.push(p.make_vnode(0, w, t));
+        }
+        assert_eq!(p.allocated_vector_nodes(), 20_000);
+        // Re-creating each node hits the unique table instead of allocating.
+        for (i, edge) in edges.iter().enumerate() {
+            let w = p.scale_vedge(t, weight(i));
+            let again = p.make_vnode(0, w, t);
+            assert_eq!(again.target, edge.target, "node {i} not shared");
+        }
+        assert_eq!(p.allocated_vector_nodes(), 20_000);
+        assert_eq!(p.stats().vector_unique_hits, 20_000);
     }
 
     #[test]
@@ -634,6 +1444,9 @@ mod tests {
         assert_eq!(a.target, b.target);
         assert!((p.weight_value(a.weight).re - 0.5).abs() < 1e-12);
         assert!(p.make_mnode(1, [MatrixEdge::ZERO; 4]).is_zero());
+        let s = p.stats();
+        assert_eq!(s.matrix_unique_hits, 1);
+        assert_eq!(s.matrix_unique_misses, 1);
     }
 
     #[test]
@@ -645,6 +1458,37 @@ mod tests {
         assert_eq!(s.vector_nodes, 1);
         assert!(s.interned_values >= 2);
         assert_eq!(s.vector_unique_misses, 1);
+    }
+
+    #[test]
+    fn compute_cache_is_lossy_and_generation_cleared() {
+        let mut p = DdPackage::new();
+        let t = p.vector_terminal(Complex::ONE);
+        let a = p.make_vnode(0, t, VectorEdge::ZERO);
+        let b = p.make_vnode(0, VectorEdge::ZERO, t);
+        let key = (a, b);
+        assert_eq!(p.add_cache.lookup(key), None);
+        p.add_cache.insert(key, a);
+        assert_eq!(p.add_cache.lookup(key), Some(a));
+        // O(1) clear invalidates by generation stamp.
+        p.clear_compute_tables();
+        assert_eq!(p.add_cache.lookup(key), None);
+        // Re-inserting after the clear works.
+        p.add_cache.insert(key, b);
+        assert_eq!(p.add_cache.lookup(key), Some(b));
+        let counters = p.add_cache.counters();
+        assert_eq!(counters.hits, 2);
+        assert_eq!(counters.misses, 2);
+    }
+
+    #[test]
+    fn compute_cache_capacity_zero_disables_caching() {
+        let mut p = DdPackage::new();
+        p.set_compute_cache_capacity(0);
+        let t = p.vector_terminal(Complex::ONE);
+        let a = p.make_vnode(0, t, VectorEdge::ZERO);
+        p.add_cache.insert((a, a), a);
+        assert_eq!(p.add_cache.lookup((a, a)), None);
     }
 
     #[test]
@@ -678,5 +1522,114 @@ mod tests {
         assert_eq!(top.var, 1);
         assert_eq!(p.vnode(top.children[0].target).var, 0);
         assert_eq!(p.stats().garbage_collections, 1);
+    }
+
+    #[test]
+    fn garbage_collection_drops_unreachable_interned_weights() {
+        let mut p = DdPackage::new();
+        let t = p.vector_terminal(Complex::ONE);
+        let h = p.scale_vedge(t, Complex::from_real(SQRT1_2));
+        let keep = p.make_vnode(0, h, h);
+        // A pile of garbage nodes with distinct weights bloats the table.
+        for i in 0..5_000 {
+            let w = p.scale_vedge(t, Complex::from_real(2.0 + f64::from(i) * 1e-3));
+            let _ = p.make_vnode(0, w, t);
+        }
+        let before = p.stats().interned_values;
+        assert!(before > 5_000, "value table should have grown: {before}");
+        let roots = p.collect_garbage(&[keep]);
+        let after = p.stats().interned_values;
+        assert!(
+            after < 10,
+            "value table must shrink to the surviving weights, got {after}"
+        );
+        // The kept state still reads back correctly.
+        let node = p.vnode(roots[0].target);
+        let w0 = p.weight_value(node.children[0].weight);
+        let w1 = p.weight_value(node.children[1].weight);
+        assert!((w0 - w1).norm() < 1e-12);
+        assert!(
+            (p.weight_value(roots[0].weight).norm() - 1.0).abs() < 1e-9,
+            "kept root stays normalized"
+        );
+    }
+
+    #[test]
+    fn garbage_collection_survives_very_deep_diagrams() {
+        // A chain diagram far deeper than the call stack could take if the
+        // GC rewrite were recursive (the sampler-side traversals are
+        // explicitly iterative for the same reason).
+        let mut p = DdPackage::new();
+        let mut edge = p.vector_terminal(Complex::ONE);
+        let depth = 60_000u32;
+        for var in 0..depth {
+            let var = u16::try_from(var % u32::from(u16::MAX)).unwrap();
+            edge = p.make_vnode(var, edge, VectorEdge::ZERO);
+        }
+        let _garbage = p.make_vnode(0, edge, edge);
+        let roots = p.collect_garbage(&[edge]);
+        assert_eq!(p.allocated_vector_nodes(), depth as usize);
+        assert_eq!(p.reachable_vector_nodes(roots[0]), depth as usize);
+    }
+
+    #[test]
+    fn unique_table_rebuild_after_gc_still_shares() {
+        let mut p = DdPackage::new();
+        let t = p.vector_terminal(Complex::ONE);
+        let keep = p.make_vnode(0, t, VectorEdge::ZERO);
+        let _garbage = p.make_vnode(0, t, t);
+        let roots = p.collect_garbage(&[keep]);
+        // Re-creating the kept node after GC must find it, not duplicate it.
+        let t = p.vector_terminal(Complex::ONE);
+        let again = p.make_vnode(0, t, VectorEdge::ZERO);
+        assert_eq!(again.target, roots[0].target);
+        assert_eq!(p.allocated_vector_nodes(), 1);
+    }
+
+    #[test]
+    fn operator_cache_memoizes_gate_builds() {
+        let mut p = DdPackage::new();
+        let key = OperatorKey::gate(2, OneQubitGate::H, Qubit(0), &[]);
+        let mut builds = 0;
+        let a = p.cached_operator(key.clone(), |p| {
+            builds += 1;
+            crate::OperatorDd::controlled_gate(p, 2, OneQubitGate::H, Qubit(0), &[]).root()
+        });
+        let b = p.cached_operator(key, |p| {
+            builds += 1;
+            crate::OperatorDd::controlled_gate(p, 2, OneQubitGate::H, Qubit(0), &[]).root()
+        });
+        assert_eq!(a, b);
+        assert_eq!(builds, 1, "second request must be served from the memo");
+        let s = p.stats();
+        assert_eq!(s.operator_cache.hits, 1);
+        assert_eq!(s.operator_cache.misses, 1);
+        // Distinct layouts get distinct entries.
+        let key2 = OperatorKey::gate(2, OneQubitGate::H, Qubit(1), &[]);
+        let c = p.cached_operator(key2, |p| {
+            crate::OperatorDd::controlled_gate(p, 2, OneQubitGate::H, Qubit(1), &[]).root()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn operator_cache_is_cleared_by_gc() {
+        let mut p = DdPackage::new();
+        let key = OperatorKey::gate(1, OneQubitGate::X, Qubit(0), &[]);
+        let _ = p.cached_operator(key.clone(), |p| {
+            crate::OperatorDd::controlled_gate(p, 1, OneQubitGate::X, Qubit(0), &[]).root()
+        });
+        let t = p.vector_terminal(Complex::ONE);
+        let keep = p.make_vnode(0, t, VectorEdge::ZERO);
+        let _ = p.collect_garbage(&[keep]);
+        // The matrix arena is gone; the memo must rebuild, not return a
+        // dangling edge.
+        let mut rebuilt = false;
+        let edge = p.cached_operator(key, |p| {
+            rebuilt = true;
+            crate::OperatorDd::controlled_gate(p, 1, OneQubitGate::X, Qubit(0), &[]).root()
+        });
+        assert!(rebuilt, "memo must be cleared by garbage collection");
+        assert!(!edge.is_zero());
     }
 }

@@ -11,11 +11,21 @@
 //! node) are also computed; they are not needed for sampling but annotate
 //! the per-edge probabilities shown in Fig. 4c of the paper and are exposed
 //! through [`EdgeProbabilities`].
+//!
+//! The interpreted samplers [`DdSampler`] and [`NormalizedSampler`] are
+//! retired from production code paths (everything samples through
+//! [`CompiledSampler`](crate::CompiledSampler) now) and only compiled when
+//! the `comparison-samplers` feature is enabled — the bench crate turns it
+//! on for throughput comparisons and the normalization ablation.
 
-use crate::edge::{VectorEdge, VectorNodeId};
+#[cfg(feature = "comparison-samplers")]
+use crate::edge::VectorEdge;
+use crate::edge::VectorNodeId;
+#[cfg(feature = "comparison-samplers")]
 use crate::package::Normalization;
 use crate::{DdPackage, StateDd};
 use mathkit::FxHashMap;
+#[cfg(feature = "comparison-samplers")]
 use rand::Rng;
 
 /// A weak-simulation sampler over a state decision diagram.
@@ -42,6 +52,7 @@ use rand::Rng;
 /// }
 /// # Ok::<(), dd::ApplyError>(())
 /// ```
+#[cfg(feature = "comparison-samplers")]
 #[derive(Debug, Clone)]
 pub struct DdSampler {
     root: VectorEdge,
@@ -49,6 +60,7 @@ pub struct DdSampler {
     downstream: FxHashMap<VectorNodeId, f64>,
 }
 
+#[cfg(feature = "comparison-samplers")]
 impl DdSampler {
     /// Precomputes the downstream probabilities of every node reachable from
     /// the state's root (a depth-first traversal linear in the DD size).
@@ -127,12 +139,14 @@ impl DdSampler {
 /// (Section IV-C): under that scheme the squared magnitudes of the two
 /// outgoing edge weights already sum to one at every node, so no downstream
 /// probabilities need to be looked up during the traversal.
+#[cfg(feature = "comparison-samplers")]
 #[derive(Debug, Clone, Copy)]
 pub struct NormalizedSampler {
     root: VectorEdge,
     num_qubits: u16,
 }
 
+#[cfg(feature = "comparison-samplers")]
 impl NormalizedSampler {
     /// Creates the sampler.
     ///
@@ -337,8 +351,11 @@ pub(crate) fn downstream_probability(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::edge::VectorEdge;
     use mathkit::Complex;
+    #[cfg(feature = "comparison-samplers")]
     use rand::rngs::StdRng;
+    #[cfg(feature = "comparison-samplers")]
     use rand::SeedableRng;
 
     fn paper_example(package: &mut DdPackage) -> StateDd {
@@ -359,6 +376,7 @@ mod tests {
         )
     }
 
+    #[cfg(feature = "comparison-samplers")]
     #[test]
     fn downstream_of_root_is_total_probability() {
         let mut p = DdPackage::new();
@@ -410,6 +428,7 @@ mod tests {
         assert!((level_mass - 1.0).abs() < 1e-12);
     }
 
+    #[cfg(feature = "comparison-samplers")]
     #[test]
     fn samples_match_the_exact_distribution() {
         let mut p = DdPackage::new();
@@ -434,6 +453,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "comparison-samplers")]
     #[test]
     fn normalized_sampler_agrees_with_general_sampler() {
         let mut p = DdPackage::new();
@@ -457,6 +477,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "comparison-samplers")]
     #[test]
     #[should_panic(expected = "2-norm normalization")]
     fn normalized_sampler_rejects_leftmost_normalization() {
@@ -465,6 +486,7 @@ mod tests {
         let _ = NormalizedSampler::new(&p, &s);
     }
 
+    #[cfg(feature = "comparison-samplers")]
     #[test]
     #[should_panic(expected = "zero vector")]
     fn sampling_the_zero_vector_panics() {
@@ -475,6 +497,7 @@ mod tests {
         let _ = sampler.sample(&p, &mut rng);
     }
 
+    #[cfg(feature = "comparison-samplers")]
     #[test]
     fn basis_state_always_samples_itself() {
         let mut p = DdPackage::new();
@@ -510,6 +533,7 @@ mod tests {
         assert_eq!(memo.len(), depth as usize);
     }
 
+    #[cfg(feature = "comparison-samplers")]
     #[test]
     fn downstream_is_one_under_two_norm_normalization() {
         // Under the proposed normalization every node's downstream

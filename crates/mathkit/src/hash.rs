@@ -101,6 +101,19 @@ pub fn hash_u64(x: u64) -> u64 {
     x.rotate_left(5).wrapping_mul(SEED)
 }
 
+/// Folds one word into a running Fx hash state (the stateful form of
+/// [`hash_u64`], identical to the internal mixing step of [`FxHasher`]).
+///
+/// This is the building block for hashing small packed structs by hand —
+/// e.g. decision-diagram node payloads and compute-table keys — without
+/// going through the `Hasher` trait machinery: start from `0` (or any
+/// constant) and fold each field in order.
+#[inline]
+#[must_use]
+pub fn hash_mix(state: u64, word: u64) -> u64 {
+    (state.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
 /// Hashes an `f64` by its bit pattern after normalising `-0.0` to `+0.0`.
 ///
 /// Interned complex values are compared by tolerance before hashing, so two
