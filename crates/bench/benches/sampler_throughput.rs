@@ -136,7 +136,7 @@ fn bench_per_sample(c: &mut Criterion) {
             },
         );
 
-        let compiled = CompiledSampler::new(&package, &state);
+        let compiled = CompiledSampler::new(&package, &state).expect("compiles");
         group.bench_with_input(
             BenchmarkId::new("compiled_arena_walk", circuit.name()),
             &compiled,
@@ -260,7 +260,7 @@ fn record_baseline_json(_c: &mut Criterion) {
     let nodes = state.node_count(&package);
 
     let compile_start = Instant::now();
-    let compiled = CompiledSampler::new(&package, &state);
+    let compiled = CompiledSampler::new(&package, &state).expect("compiles");
     let compile_seconds = compile_start.elapsed().as_secs_f64();
 
     let dd_sampler = DdSampler::new(&package, &state);

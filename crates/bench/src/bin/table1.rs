@@ -10,22 +10,29 @@
 //!   --shots N                    samples per benchmark (default: 1000000)
 //!   --budget-gib G               memory budget for the dense backend
 //!                                (default: 32, the paper's machine)
+//!   --dd-node-budget N           cap live DD nodes for the DD backend;
+//!                                exceeding it prints an `MO` cell
+//!   --dd-timeout-secs S          per-row wall-clock deadline for the DD
+//!                                backend; exceeding it prints a `TO` cell
 //!   --validate                   additionally run a chi-square check of the
 //!                                DD samples against the exact distribution
 //! ```
 //!
 //! The vector-based column reports `MO` when the dense amplitude array would
-//! not fit the budget, mirroring the paper's presentation.
+//! not fit the budget, mirroring the paper's presentation.  With a DD budget
+//! or deadline configured, governed DD aborts likewise become `MO`/`TO`
+//! cells instead of aborting the whole table.
 
 use statevector::MemoryBudget;
 use weaksim::experiment::{format_table, run_table1_row, table1_benchmarks, BenchmarkScale};
 use weaksim::stats::chi_square_test;
-use weaksim::{Backend, WeakSimulator};
+use weaksim::{Backend, RunGovernor, WeakSimulator};
 
 struct Options {
     scale: BenchmarkScale,
     shots: u64,
     budget: MemoryBudget,
+    dd_governor: RunGovernor,
     validate: bool,
 }
 
@@ -34,6 +41,7 @@ fn parse_options() -> Options {
         scale: BenchmarkScale::Reduced,
         shots: 1_000_000,
         budget: MemoryBudget::from_gib(32),
+        dd_governor: RunGovernor::unlimited(),
         validate: false,
     };
     let mut args = std::env::args().skip(1);
@@ -61,6 +69,19 @@ fn parse_options() -> Options {
                     options.budget = MemoryBudget::from_gib(gib);
                 }
             }
+            "--dd-node-budget" => {
+                if let Some(nodes) = args.next().and_then(|a| a.parse().ok()) {
+                    options.dd_governor = options.dd_governor.clone().with_node_budget(nodes);
+                }
+            }
+            "--dd-timeout-secs" => {
+                if let Some(secs) = args.next().and_then(|a| a.parse().ok()) {
+                    options.dd_governor = options
+                        .dd_governor
+                        .clone()
+                        .with_timeout(std::time::Duration::from_secs_f64(secs));
+                }
+            }
             "--validate" => options.validate = true,
             other => eprintln!("ignoring unknown argument '{other}'"),
         }
@@ -86,9 +107,17 @@ fn main() {
             instance.name,
             instance.circuit.num_qubits()
         );
-        match run_table1_row(instance, options.shots, options.budget, 2020) {
+        match run_table1_row(
+            instance,
+            options.shots,
+            options.budget,
+            &options.dd_governor,
+            2020,
+        ) {
             Ok(row) => {
-                if options.validate {
+                if let Some(cell) = row.dd_failure_cell() {
+                    eprintln!("  DD backend for {}: {cell}", instance.name);
+                } else if options.validate {
                     validate(instance, options.shots.min(200_000));
                 }
                 rows.push(row);
@@ -99,7 +128,9 @@ fn main() {
 
     println!("{}", format_table(&rows));
     println!("(vector `t` = prefix-sum construction + sampling; DD `t` = downstream precomputation + sampling;");
-    println!(" `MO` = the dense amplitude array exceeds the memory budget, as in the paper)");
+    println!(
+        " `MO`/`TO` = memory budget exceeded / deadline hit for that backend, as in the paper)"
+    );
 }
 
 fn validate(instance: &weaksim::experiment::BenchmarkInstance, shots: u64) {

@@ -46,7 +46,8 @@ pub fn sample_prepared(
     shots: u64,
     seed: u64,
 ) -> weaksim::ShotHistogram {
-    let (histogram, _, _) = WeakSimulator::sample(state, shots, seed);
+    let (histogram, _, _) = WeakSimulator::sample(state, shots, seed)
+        .unwrap_or_else(|e| panic!("sampling a prepared benchmark state failed: {e}"));
     histogram
 }
 

@@ -30,7 +30,7 @@ fn all_three_dd_samplers_draw_the_same_distribution() {
 
         let general = DdSampler::new(&package, &state);
         let local = NormalizedSampler::new(&package, &state);
-        let compiled = CompiledSampler::new(&package, &state);
+        let compiled = CompiledSampler::new(&package, &state).expect("compiles");
 
         let mut rng = StdRng::seed_from_u64(40);
         let general_hist = ShotHistogram::from_samples(

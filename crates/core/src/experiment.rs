@@ -8,7 +8,7 @@
 //! [`run_table1_row`] measures one row, and [`format_table`] renders the
 //! result in the layout of the paper.
 
-use crate::{Backend, RunError, WeakSimulator};
+use crate::{Backend, RunError, RunGovernor, WeakSimulator};
 use circuit::Circuit;
 use statevector::MemoryBudget;
 use std::fmt::Write as _;
@@ -131,14 +131,19 @@ pub struct Table1Row {
     /// Prefix-sum construction plus sampling time for the vector-based
     /// method, or `None` on memory-out ("MO" in the paper).
     pub vector_time: Option<Duration>,
-    /// Number of nodes of the final state decision diagram.
-    pub dd_size: u128,
+    /// Number of nodes of the final state decision diagram, or `None` when
+    /// the governed DD run was aborted (see [`dd_failure`](Self::dd_failure)).
+    pub dd_size: Option<u128>,
     /// Sampler-compilation (flat-arena + downstream-probability) plus
-    /// sampling time for the DD-based method.
-    pub dd_time: Duration,
+    /// sampling time for the DD-based method; `None` on a governed abort.
+    pub dd_time: Option<Duration>,
     /// Strong-simulation time for the DD backend (not part of Table I, but
-    /// reported for transparency).
-    pub dd_strong_time: Duration,
+    /// reported for transparency); `None` on a governed abort.
+    pub dd_strong_time: Option<Duration>,
+    /// The governed failure that aborted the DD run, if any: memory-out
+    /// ("MO"), deadline ("TO") or cancellation ("CA").  Mirrors how the
+    /// paper reports vector-backend memory-outs — a cell, not an error.
+    pub dd_failure: Option<RunError>,
     /// Number of samples drawn.
     pub shots: u64,
     /// Package table statistics of the DD run: unique-table sharing rate and
@@ -147,30 +152,70 @@ pub struct Table1Row {
 }
 
 impl Table1Row {
-    /// `log2` of the DD size, matching the `~ 2^x` annotation of the paper.
+    /// `log2` of the DD size, matching the `~ 2^x` annotation of the paper;
+    /// `None` when the governed DD run was aborted.
     #[must_use]
-    pub fn dd_size_log2(&self) -> f64 {
-        (self.dd_size as f64).log2()
+    pub fn dd_size_log2(&self) -> Option<f64> {
+        self.dd_size.map(|size| (size as f64).log2())
+    }
+
+    /// The Table I cell reporting the aborted DD run: `"MO"` for a
+    /// node/byte budget abort, `"TO"` for a deadline abort, `"CA"` for a
+    /// cancellation; `None` when the run completed.
+    #[must_use]
+    pub fn dd_failure_cell(&self) -> Option<&'static str> {
+        match self.dd_failure {
+            Some(RunError::DdMemoryOut(_)) => Some("MO"),
+            Some(RunError::Deadline(_)) => Some("TO"),
+            Some(RunError::Cancelled(_)) => Some("CA"),
+            _ => None,
+        }
     }
 }
 
 /// Measures one benchmark with both samplers.
 ///
+/// The DD-based run is governed by `dd_governor` (armed fresh for this row):
+/// a benchmark whose diagram blows the node/byte budget or whose
+/// construction outlives the timeout is reported as an "MO"/"TO" cell —
+/// exactly how the paper reports vector-backend memory-outs — instead of
+/// aborting the whole table.
+///
 /// # Errors
 ///
 /// Returns an error only if the circuit itself is invalid; a vector-backend
-/// memory-out is reported in the row (as in the paper), not as an error.
+/// memory-out and a governed DD abort are both reported in the row, not as
+/// errors.
 pub fn run_table1_row(
     instance: &BenchmarkInstance,
     shots: u64,
     budget: MemoryBudget,
+    dd_governor: &RunGovernor,
     seed: u64,
 ) -> Result<Table1Row, RunError> {
     let qubits = instance.circuit.num_qubits();
 
-    // DD-based run (always possible).
-    let dd_outcome =
-        WeakSimulator::new(Backend::DecisionDiagram).run(&instance.circuit, shots, seed)?;
+    // DD-based run; under a limited governor it can abort with MO/TO/CA,
+    // which becomes a reported cell rather than a fatal error.
+    let (dd_size, dd_time, dd_strong_time, dd_stats, dd_failure) =
+        match WeakSimulator::new(Backend::DecisionDiagram)
+            .with_governor(dd_governor.clone())
+            .run(&instance.circuit, shots, seed)
+        {
+            Ok(outcome) => (
+                Some(outcome.representation_size),
+                Some(outcome.weak_time()),
+                Some(outcome.strong_time),
+                outcome.dd_stats,
+                None,
+            ),
+            Err(
+                failure @ (RunError::DdMemoryOut(_)
+                | RunError::Deadline(_)
+                | RunError::Cancelled(_)),
+            ) => (None, None, None, None, Some(failure)),
+            Err(other) => return Err(other),
+        };
 
     // Vector-based run, which may hit the memory budget.
     let vector_time = match WeakSimulator::new(Backend::StateVector)
@@ -187,11 +232,12 @@ pub fn run_table1_row(
         qubits,
         vector_size: 1u128 << qubits,
         vector_time,
-        dd_size: dd_outcome.representation_size,
-        dd_time: dd_outcome.weak_time(),
-        dd_strong_time: dd_outcome.strong_time,
+        dd_size,
+        dd_time,
+        dd_strong_time,
+        dd_failure,
         shots,
-        dd_stats: dd_outcome.dd_stats,
+        dd_stats,
     })
 }
 
@@ -227,16 +273,30 @@ pub fn format_table(rows: &[Table1Row]) -> String {
             ),
             None => ("-".to_string(), "-".to_string()),
         };
+        // A governed DD abort renders as its MO/TO/CA cell in the time
+        // column, mirroring the paper's treatment of vector memory-outs.
+        let (dd_size, dd_time, dd_strong) = match (row.dd_size, row.dd_time, row.dd_strong_time) {
+            (Some(size), Some(time), Some(strong)) => (
+                format!("{} ~2^{:.1}", size, (size as f64).log2()),
+                format!("{:.2}", time.as_secs_f64()),
+                format!("{:.2}", strong.as_secs_f64()),
+            ),
+            _ => (
+                "-".to_string(),
+                row.dd_failure_cell().unwrap_or("-").to_string(),
+                "-".to_string(),
+            ),
+        };
         let _ = writeln!(
             out,
-            "{:<22} {:>6} | {:>14} {:>12} | {:>12} {:>10.2} {:>12.2} {:>8} {:>8}",
+            "{:<22} {:>6} | {:>14} {:>12} | {:>12} {:>10} {:>12} {:>8} {:>8}",
             row.name,
             row.qubits,
             format!("2^{}", row.qubits),
             vector_time,
-            format!("{} ~2^{:.1}", row.dd_size, row.dd_size_log2()),
-            row.dd_time.as_secs_f64(),
-            row.dd_strong_time.as_secs_f64(),
+            dd_size,
+            dd_time,
+            dd_strong,
             unique_rate,
             cache_rate,
         );
@@ -298,13 +358,22 @@ mod tests {
             name: "qft_8".into(),
             circuit: algorithms::qft(8, true),
         };
-        let row = run_table1_row(&instance, 2_000, MemoryBudget::unlimited(), 1).expect("row runs");
+        let row = run_table1_row(
+            &instance,
+            2_000,
+            MemoryBudget::unlimited(),
+            &RunGovernor::unlimited(),
+            1,
+        )
+        .expect("row runs");
         assert_eq!(row.qubits, 8);
         assert_eq!(row.vector_size, 256);
-        assert_eq!(row.dd_size, 8); // product state
+        assert_eq!(row.dd_size, Some(8)); // product state
         assert!(row.vector_time.is_some());
+        assert!(row.dd_failure.is_none());
         assert_eq!(row.shots, 2_000);
-        assert!((row.dd_size_log2() - 3.0).abs() < 1e-9);
+        let log2 = row.dd_size_log2().expect("dd column present");
+        assert!((log2 - 3.0).abs() < 1e-9);
     }
 
     #[test]
@@ -313,11 +382,38 @@ mod tests {
             name: "qft_16".into(),
             circuit: algorithms::qft(16, true),
         };
-        let row = run_table1_row(&instance, 100, MemoryBudget::from_bytes(64), 1).expect("row");
+        let row = run_table1_row(
+            &instance,
+            100,
+            MemoryBudget::from_bytes(64),
+            &RunGovernor::unlimited(),
+            1,
+        )
+        .expect("row");
         assert!(row.vector_time.is_none());
-        assert!(row.dd_size > 0);
+        assert!(row.dd_size.expect("dd column present") > 0);
         let table = format_table(&[row]);
         assert!(table.contains("MO"));
+    }
+
+    #[test]
+    fn dd_budget_abort_renders_as_mo_cell() {
+        let instance = BenchmarkInstance {
+            name: "qft_12".into(),
+            circuit: algorithms::qft(12, true),
+        };
+        let governor = RunGovernor::unlimited().with_node_budget(4);
+        let row = run_table1_row(&instance, 100, MemoryBudget::unlimited(), &governor, 1)
+            .expect("governed abort becomes row data, not an error");
+        assert!(row.dd_size.is_none());
+        assert!(row.dd_time.is_none());
+        assert_eq!(row.dd_failure_cell(), Some("MO"));
+        assert!(matches!(row.dd_failure, Some(RunError::DdMemoryOut(_))));
+        let table = format_table(&[row]);
+        assert!(
+            table.contains("MO"),
+            "table should print the MO cell:\n{table}"
+        );
     }
 
     #[test]
@@ -326,7 +422,14 @@ mod tests {
             name: "ghz_4".into(),
             circuit: algorithms::ghz(4),
         };
-        let row = run_table1_row(&instance, 100, MemoryBudget::unlimited(), 0).unwrap();
+        let row = run_table1_row(
+            &instance,
+            100,
+            MemoryBudget::unlimited(),
+            &RunGovernor::unlimited(),
+            0,
+        )
+        .unwrap();
         let text = format_table(&[row.clone(), row]);
         assert_eq!(text.lines().count(), 4);
         assert!(text.contains("ghz_4"));

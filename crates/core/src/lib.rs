@@ -14,6 +14,12 @@
 //!   [`circuit::NoiseModel`] (noisy-hardware emulation by per-shot Kraus
 //!   branch insertion), with decision-prefix-tree caching on the
 //!   decision-diagram backend;
+//! * [`govern`] — run governance: attach a [`RunGovernor`] (node/byte
+//!   budgets, a per-run timeout, a shareable [`dd::CancelToken`]) with
+//!   [`WeakSimulator::with_governor`].  Static runs that hit a limit fail
+//!   with a typed [`RunError`]; interrupted trajectory runs degrade
+//!   gracefully, returning the completed shots plus an
+//!   [`Interruption`] reason;
 //! * [`ShotHistogram`] — aggregated samples with bitstring formatting;
 //! * [`stats`] — chi-square goodness-of-fit and total-variation-distance
 //!   checks used to validate the "statistically indistinguishable" claim;
@@ -72,13 +78,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod experiment;
+pub mod govern;
 mod shots;
 mod simulator;
 pub mod stats;
 pub mod trajectory;
 
+pub use dd::{CancelToken, DdError};
+pub use govern::{Interruption, RunGovernor};
 pub use shots::ShotHistogram;
 pub use simulator::{Backend, RunError, RunOutcome, StrongState, WeakSimulator};
 pub use trajectory::{

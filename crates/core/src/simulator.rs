@@ -19,9 +19,10 @@
 //!   SplitMix64 chunk-seeding scheme so the result is seed-deterministic
 //!   independent of the worker-thread count.
 
+use crate::govern::{Interruption, RunGovernor};
 use crate::ShotHistogram;
 use circuit::{Circuit, NoiseModel, Qubit};
-use dd::{CompiledSampler, DdPackage, DdStats, StateDd, PARALLEL_CHUNK_SHOTS};
+use dd::{CompiledSampler, DdError, DdPackage, DdStats, StateDd, PARALLEL_CHUNK_SHOTS};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use statevector::{MemoryBudget, PrefixSampler, StateVector};
@@ -76,6 +77,18 @@ pub enum RunError {
     /// The attached noise model is malformed: a channel parameter outside
     /// `[0, 1]`, or a qubit-specific channel on a qubit outside the circuit.
     InvalidNoise(circuit::NoiseModelError),
+    /// The decision-diagram package exceeded its governed node/byte budget —
+    /// after garbage collection and cache shrinking failed to relieve the
+    /// pressure — or a node arena overflowed.  This is the "MO" of Table I
+    /// for the DD backend; the carried [`DdError`] holds the structured
+    /// report (live nodes, approximate bytes, op index reached).
+    DdMemoryOut(DdError),
+    /// The run's governed wall-clock deadline expired (the "TO" of a
+    /// timeout-limited Table I run).
+    Deadline(DdError),
+    /// The run was cancelled through its
+    /// [`CancelToken`](dd::CancelToken).
+    Cancelled(DdError),
 }
 
 impl fmt::Display for RunError {
@@ -94,11 +107,37 @@ impl fmt::Display for RunError {
                 "operation {op_index} is a mid-circuit measurement/reset/conditioned gate; strong simulation is undefined for dynamic circuits (use run, which simulates trajectories)"
             ),
             RunError::InvalidNoise(e) => write!(f, "invalid noise model: {e}"),
+            RunError::DdMemoryOut(e) | RunError::Deadline(e) | RunError::Cancelled(e) => {
+                write!(f, "{e}")
+            }
         }
     }
 }
 
-impl std::error::Error for RunError {}
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::DdMemoryOut(e) | RunError::Deadline(e) | RunError::Cancelled(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DdError> for RunError {
+    fn from(e: DdError) -> Self {
+        match e {
+            DdError::Deadline { .. } => RunError::Deadline(e),
+            DdError::Cancelled { .. } => RunError::Cancelled(e),
+            DdError::MemoryOut { .. } | DdError::ArenaOverflow { .. } => RunError::DdMemoryOut(e),
+            // The front end validates circuits up front and routes dynamic
+            // ones through the trajectory engine, so these two cannot escape
+            // it; map them to the dynamic-circuit error they describe.
+            DdError::NonUnitaryOperation { .. } | DdError::ConditionedOperation { .. } => {
+                RunError::DynamicCircuit { op_index: 0 }
+            }
+        }
+    }
+}
 
 impl From<statevector::SimulateError> for RunError {
     fn from(e: statevector::SimulateError) -> Self {
@@ -126,6 +165,7 @@ impl From<dd::ApplyError> for RunError {
             dd::ApplyError::NonUnitaryOperation { op_index } => {
                 RunError::DynamicCircuit { op_index }
             }
+            dd::ApplyError::Dd(e) => RunError::from(e),
         }
     }
 }
@@ -224,6 +264,11 @@ pub struct RunOutcome {
     /// The final strong-simulation state, for follow-up queries.  `None`
     /// for dynamic circuits, whose final state differs per trajectory.
     pub state: Option<StrongState>,
+    /// Set when a governed trajectory run was interrupted (budget, deadline
+    /// or cancellation): the histogram then holds only the shots completed
+    /// before the interruption.  Always `None` for static runs, which fail
+    /// with a [`RunError`] instead — they have no partial result to keep.
+    pub interruption: Option<Interruption>,
 }
 
 impl RunOutcome {
@@ -242,6 +287,8 @@ impl RunOutcome {
     /// final state.
     #[must_use]
     pub fn strong(&self) -> &StrongState {
+        // The panic is this accessor's documented contract.
+        #[allow(clippy::expect_used)]
         self.state
             .as_ref()
             .expect("dynamic-circuit runs have no single final state")
@@ -281,26 +328,62 @@ pub struct WeakSimulator {
     backend: Backend,
     memory_budget: MemoryBudget,
     noise: Option<NoiseModel>,
+    governor: RunGovernor,
+    threads: Option<usize>,
 }
 
 impl WeakSimulator {
     /// Creates a simulator for the given backend with an unlimited memory
-    /// budget and no noise.
+    /// budget, no noise and an unlimited run governor.
     #[must_use]
     pub fn new(backend: Backend) -> Self {
         Self {
             backend,
             memory_budget: MemoryBudget::unlimited(),
             noise: None,
+            governor: RunGovernor::unlimited(),
+            threads: None,
         }
     }
 
-    /// Restricts the dense-vector backend to the given memory budget
-    /// (decision diagrams are never budgeted; they grow with the state's
-    /// structure, not with `2^n`).
+    /// Restricts the dense-vector backend to the given memory budget.
+    /// Decision diagrams grow with the state's structure, not with `2^n`, so
+    /// this up-front check never applies to them; to bound *their* memory
+    /// use a [`RunGovernor`] node/byte budget instead
+    /// (see [`with_governor`](Self::with_governor)).
     #[must_use]
     pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
         self.memory_budget = budget;
+        self
+    }
+
+    /// Attaches a [`RunGovernor`]: every subsequent run (and
+    /// [`strong`](Self::strong) call) is armed with its node/byte budgets,
+    /// gets the full timeout from the moment it starts, and honours the
+    /// attached cancellation token.  Static runs that hit a limit fail with
+    /// [`RunError::DdMemoryOut`] / [`RunError::Deadline`] /
+    /// [`RunError::Cancelled`]; interrupted *trajectory* runs instead return
+    /// the completed shots with [`RunOutcome::interruption`] set.
+    #[must_use]
+    pub fn with_governor(mut self, governor: RunGovernor) -> Self {
+        self.governor = governor;
+        self
+    }
+
+    /// The attached run governor specification.
+    #[must_use]
+    pub fn governor(&self) -> &RunGovernor {
+        &self.governor
+    }
+
+    /// Overrides the worker-thread count used for trajectory runs (default:
+    /// the rayon pool size).  Histograms are bit-identical across thread
+    /// counts for completed runs; `threads == 1` additionally makes
+    /// *interrupted* runs deterministic, because a single worker's stop
+    /// point does not depend on cross-worker timing.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 
@@ -341,10 +424,14 @@ impl WeakSimulator {
     /// [`RunError::MemoryOut`] when the dense backend exceeds its budget and
     /// [`RunError::DynamicCircuit`] for circuits containing mid-circuit
     /// measurement or reset (their final state is trajectory-dependent).
+    /// Under a limited [governor](Self::with_governor), the decision-diagram
+    /// backend can additionally fail with [`RunError::DdMemoryOut`],
+    /// [`RunError::Deadline`] or [`RunError::Cancelled`].
     pub fn strong(&self, circuit: &Circuit) -> Result<StrongState, RunError> {
         match self.backend {
             Backend::DecisionDiagram => {
                 let mut package = Box::new(DdPackage::new());
+                package.set_governor(self.governor.arm());
                 let state = dd::simulate(&mut package, circuit)?;
                 Ok(StrongState::DecisionDiagram {
                     package,
@@ -378,6 +465,12 @@ impl WeakSimulator {
     /// Returns [`RunError::InvalidCircuit`] for malformed circuits,
     /// [`RunError::InvalidNoise`] for malformed noise models and
     /// [`RunError::MemoryOut`] when the dense backend exceeds its budget.
+    /// Under a limited [governor](Self::with_governor), a *static* run that
+    /// hits a limit fails with [`RunError::DdMemoryOut`],
+    /// [`RunError::Deadline`] or [`RunError::Cancelled`]; an interrupted
+    /// *trajectory* run instead returns `Ok` with
+    /// [`RunOutcome::interruption`] set and the completed shots in the
+    /// histogram.
     pub fn run(
         &mut self,
         circuit: &Circuit,
@@ -403,7 +496,7 @@ impl WeakSimulator {
             let state = self.strong(circuit)?;
             let strong_time = strong_start.elapsed();
             let (histogram, precompute_time, sampling_time) =
-                Self::sample_with_record(&state, shots, seed, None);
+                Self::sample_with_record(&state, shots, seed, None)?;
             return Ok(RunOutcome {
                 backend: self.backend,
                 representation_size: state.representation_size(),
@@ -413,6 +506,7 @@ impl WeakSimulator {
                 precompute_time,
                 sampling_time,
                 state: Some(state),
+                interruption: None,
             });
         }
 
@@ -430,8 +524,9 @@ impl WeakSimulator {
                 noise,
                 shots,
                 seed,
-                rayon::current_num_threads(),
+                self.threads.unwrap_or_else(rayon::current_num_threads),
                 self.memory_budget,
+                &self.governor,
             )?;
             return Ok(RunOutcome {
                 backend: self.backend,
@@ -442,6 +537,7 @@ impl WeakSimulator {
                 precompute_time: outcome.precompute_time,
                 sampling_time: outcome.sampling_time,
                 state: None,
+                interruption: outcome.interruption,
             });
         };
 
@@ -454,7 +550,7 @@ impl WeakSimulator {
             Some((mapping.as_slice(), circuit.num_clbits()))
         };
         let (histogram, precompute_time, sampling_time) =
-            Self::sample_with_record(&state, shots, seed, record);
+            Self::sample_with_record(&state, shots, seed, record)?;
         Ok(RunOutcome {
             backend: self.backend,
             representation_size: state.representation_size(),
@@ -464,6 +560,7 @@ impl WeakSimulator {
             precompute_time,
             sampling_time,
             state: Some(state),
+            interruption: None,
         })
     }
 
@@ -480,12 +577,19 @@ impl WeakSimulator {
     /// the thread count (see the `dd` crate docs for the seeding scheme).
     /// Shot counts are drawn in bounded batches, so any `u64` count works
     /// even where `usize` is 32 bits.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Sampler compilation runs under the governor of the package that
+    /// produced `state`: on a governed state it can fail with
+    /// [`RunError::Deadline`] or [`RunError::Cancelled`] (compilation
+    /// allocates no decision-diagram nodes, so budgets cannot trip here).
+    /// Ungoverned states never fail.
     pub fn sample(
         state: &StrongState,
         shots: u64,
         seed: u64,
-    ) -> (ShotHistogram, Duration, Duration) {
+    ) -> Result<(ShotHistogram, Duration, Duration), RunError> {
         Self::sample_with_record(state, shots, seed, None)
     }
 
@@ -497,7 +601,7 @@ impl WeakSimulator {
         shots: u64,
         seed: u64,
         record: Option<(&[(Qubit, u16)], u16)>,
-    ) -> (ShotHistogram, Duration, Duration) {
+    ) -> Result<(ShotHistogram, Duration, Duration), RunError> {
         let width = record.map_or(state.num_qubits(), |(_, width)| width);
         let mut histogram = ShotHistogram::new(width);
         match state {
@@ -507,7 +611,16 @@ impl WeakSimulator {
                 compiled,
             } => {
                 let precompute_start = Instant::now();
-                let sampler = compiled.get_or_init(|| CompiledSampler::new(package, state));
+                // Compilation is fallible (governed), so compute first and
+                // only then fill the cell; a racing thread's result is
+                // identical, so whichever lands is fine.
+                let sampler = match compiled.get() {
+                    Some(sampler) => sampler,
+                    None => {
+                        let built = CompiledSampler::new(package, state)?;
+                        compiled.get_or_init(|| built)
+                    }
+                };
                 let precompute_time = precompute_start.elapsed();
 
                 // Draw in batches of a whole number of parallel chunks:
@@ -522,10 +635,14 @@ impl WeakSimulator {
                 let mut drawn = 0u64;
                 while drawn < shots {
                     let batch = (shots - drawn).min(batch_shots);
+                    // Infallible: `batch` is capped at BATCH_CHUNKS whole
+                    // parallel chunks, well inside usize on every target.
+                    #[allow(clippy::expect_used)]
+                    let batch_len = usize::try_from(batch).expect("batch bounded to fit usize");
                     let samples = sampler.sample_batch_parallel(
                         seed,
                         drawn / PARALLEL_CHUNK_SHOTS as u64,
-                        usize::try_from(batch).expect("batch bounded to fit usize"),
+                        batch_len,
                         threads,
                     );
                     match record {
@@ -538,7 +655,7 @@ impl WeakSimulator {
                     }
                     drawn += batch;
                 }
-                (histogram, precompute_time, sampling_start.elapsed())
+                Ok((histogram, precompute_time, sampling_start.elapsed()))
             }
             StrongState::StateVector(vector) => {
                 let mut rng = StdRng::seed_from_u64(seed);
@@ -556,7 +673,7 @@ impl WeakSimulator {
                         }
                     }
                 }
-                (histogram, precompute_time, sampling_start.elapsed())
+                Ok((histogram, precompute_time, sampling_start.elapsed()))
             }
         }
     }
@@ -691,14 +808,14 @@ mod tests {
         let state = WeakSimulator::new(Backend::DecisionDiagram)
             .strong(&circuit)
             .unwrap();
-        let (first_hist, _, _) = WeakSimulator::sample(&state, 2000, 5);
+        let (first_hist, _, _) = WeakSimulator::sample(&state, 2000, 5).unwrap();
         // The compiled sampler is now cached inside the state.
         let StrongState::DecisionDiagram { compiled, .. } = &state else {
             panic!("DD backend produced a non-DD state");
         };
         assert!(compiled.get().is_some(), "first sample call must compile");
         let node_count = compiled.get().unwrap().node_count();
-        let (second_hist, _, _) = WeakSimulator::sample(&state, 2000, 5);
+        let (second_hist, _, _) = WeakSimulator::sample(&state, 2000, 5).unwrap();
         assert_eq!(first_hist, second_hist, "same seed, same samples");
         assert_eq!(
             compiled.get().unwrap().node_count(),

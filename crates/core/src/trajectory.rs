@@ -90,18 +90,34 @@
 //! landing inside that sliver would record the opposite bit.  For circuits
 //! whose distinct amplitudes are separated by more than the tolerance
 //! (every workload in this repository), the bit-exact guarantee holds.
+//!
+//! # Governance and interruption
+//!
+//! Runs launched through [`WeakSimulator`](crate::WeakSimulator) with a
+//! limited [`RunGovernor`](crate::RunGovernor) are governed end to end:
+//! every worker package checks its node/byte budget at allocation sites and
+//! the deadline/token at amortized checkpoints, and every worker —
+//! including the dense statevector backend, whose per-shot arithmetic is
+//! otherwise ungoverned — probes the deadline and the cancellation token at
+//! chunk boundaries.  An interrupted run is *not* an error: the merged
+//! histogram keeps every completed shot and
+//! [`TrajectoryOutcome::interruption`] carries the typed reason, so callers
+//! can distinguish "finished", "out of budget after N shots" and
+//! "cancelled after N shots" without losing the work already done.
 
+use crate::govern::{Interruption, RunGovernor};
 use crate::simulator::{Backend, RunError};
 use crate::ShotHistogram;
 use circuit::{Circuit, Condition, NoiseChannel, NoiseModel, Operation, Qubit};
 use dd::{
-    chunk_stream_seed, CompiledSampler, DdPackage, DdStats, StateDd, VectorEdge,
+    chunk_stream_seed, CompiledSampler, DdError, DdPackage, DdStats, Governor, StateDd, VectorEdge,
     PARALLEL_CHUNK_SHOTS,
 };
 use mathkit::FxHashMap;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use statevector::{MemoryBudget, StateVector};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Maximum number of decision prefixes the decision-diagram runner caches
@@ -143,6 +159,10 @@ pub struct TrajectoryOutcome {
     /// compute-cache hit/miss/eviction counters summed over all workers);
     /// `None` for the statevector backend.
     pub dd_stats: Option<DdStats>,
+    /// Set when a governed run was interrupted (budget, deadline or
+    /// cancellation): the histogram then holds only the shots that completed
+    /// before the interruption.  `None` for runs that finished every shot.
+    pub interruption: Option<Interruption>,
 }
 
 /// What a non-unitary event does to the state.
@@ -380,6 +400,9 @@ impl TrajectoryPlan {
                 // Unitary gates, including classically-conditioned ones
                 // (resolved against the record at application time).
                 _gate => {
+                    // Infallible: `segments` starts with one element and
+                    // only ever grows.
+                    #[allow(clippy::expect_used)]
                     segments
                         .last_mut()
                         .expect("segments is never empty")
@@ -425,8 +448,10 @@ impl TrajectoryPlan {
 
 /// One backend-specific trajectory runner, owned by a single worker thread.
 trait Runner {
-    /// Runs one trajectory, returning the shot's record.
-    fn run_shot(&mut self, rng: &mut SmallRng) -> u64;
+    /// Runs one trajectory, returning the shot's record — or the governed
+    /// failure that interrupted it (budget, deadline, cancellation).  A
+    /// failed shot records nothing; the runner remains usable.
+    fn run_shot(&mut self, rng: &mut SmallRng) -> Result<u64, DdError>;
     /// Housekeeping between chunks (garbage collection).
     fn end_of_chunk(&mut self) {}
     /// Peak representation size observed so far.
@@ -479,35 +504,45 @@ struct DdRunner<'p> {
 }
 
 impl<'p> DdRunner<'p> {
-    fn new(plan: &'p TrajectoryPlan) -> Self {
+    /// Builds the worker's package (under `governor`) and the shared prefix
+    /// state.  Fails when the governor interrupts the prefix construction —
+    /// before any shot has run.
+    fn new(plan: &'p TrajectoryPlan, governor: Governor) -> Result<Self, DdError> {
         let mut package = DdPackage::new();
-        let mut state = StateDd::zero_state(&mut package, plan.num_qubits);
+        package.set_governor(governor);
+        let mut state = StateDd::zero_state(&mut package, plan.num_qubits)?;
         // The classical record is all-zeros before the first event, so
         // conditions in the shared leading segment resolve against 0.
         for op in plan.segments[0].iter().filter_map(|op| effective_op(op, 0)) {
-            state = dd::apply_operation(&mut package, state, op);
+            state = dd::apply_operation(&mut package, state, op)?;
         }
         let peak_nodes = state.node_count(&package);
-        Self {
+        Ok(Self {
             plan,
             package,
             nodes: vec![CacheNode::new(state)],
             transient_samplers: FxHashMap::default(),
             peak_nodes,
-        }
+        })
     }
 
     /// The projected masses of `qubit` at the current position — cached on
     /// the prefix node when the shot is on-cache, recomputed otherwise.
-    fn masses(&mut self, at: Option<u32>, state: &StateDd, qubit: Qubit) -> [f64; 2] {
+    fn masses(
+        &mut self,
+        at: Option<u32>,
+        state: &StateDd,
+        qubit: Qubit,
+    ) -> Result<[f64; 2], DdError> {
         match at {
             Some(id) => {
                 let id = id as usize;
-                if self.nodes[id].masses.is_none() {
-                    let m = dd::branch_masses(&mut self.package, state, qubit);
-                    self.nodes[id].masses = Some(m);
+                if let Some(m) = self.nodes[id].masses {
+                    return Ok(m);
                 }
-                self.nodes[id].masses.expect("just filled")
+                let m = dd::branch_masses(&mut self.package, state, qubit)?;
+                self.nodes[id].masses = Some(m);
+                Ok(m)
             }
             None => dd::branch_masses(&mut self.package, state, qubit),
         }
@@ -526,32 +561,32 @@ impl<'p> DdRunner<'p> {
         decision: u8,
         next_segment: usize,
         record: u64,
-    ) -> StateDd {
+    ) -> Result<StateDd, DdError> {
         let mut next = if decision == SKIPPED {
             *state
         } else {
             match event.kind {
                 EventKind::Measure { qubit, .. } => {
-                    dd::collapse_qubit(&mut self.package, state, qubit, decision)
+                    dd::collapse_qubit(&mut self.package, state, qubit, decision)?
                 }
                 EventKind::Reset { qubit } => {
                     let mut collapsed =
-                        dd::collapse_qubit(&mut self.package, state, qubit, decision);
+                        dd::collapse_qubit(&mut self.package, state, qubit, decision)?;
                     if decision == 1 {
                         collapsed =
-                            dd::apply_operation(&mut self.package, collapsed, &x_flip(qubit));
+                            dd::apply_operation(&mut self.package, collapsed, &x_flip(qubit))?;
                     }
                     collapsed
                 }
                 EventKind::Noise { qubit, channel } => match channel {
                     NoiseChannel::AmplitudeDamping { gamma } => {
                         if decision == 0 {
-                            dd::amplitude_damp_keep(&mut self.package, state, qubit, gamma)
+                            dd::amplitude_damp_keep(&mut self.package, state, qubit, gamma)?
                         } else {
                             // Decay: collapse to |1>, then flip to |0> —
                             // K1 = sqrt(gamma) |0><1| up to normalization.
-                            let collapsed = dd::collapse_qubit(&mut self.package, state, qubit, 1);
-                            dd::apply_operation(&mut self.package, collapsed, &x_flip(qubit))
+                            let collapsed = dd::collapse_qubit(&mut self.package, state, qubit, 1)?;
+                            dd::apply_operation(&mut self.package, collapsed, &x_flip(qubit))?
                         }
                     }
                     _ => match channel.branch_gate(decision) {
@@ -560,7 +595,7 @@ impl<'p> DdRunner<'p> {
                             &mut self.package,
                             *state,
                             &pauli_error(gate, qubit),
-                        ),
+                        )?,
                     },
                 },
             }
@@ -569,14 +604,14 @@ impl<'p> DdRunner<'p> {
             .iter()
             .filter_map(|op| effective_op(op, record))
         {
-            next = dd::apply_operation(&mut self.package, next, op);
+            next = dd::apply_operation(&mut self.package, next, op)?;
         }
-        next
+        Ok(next)
     }
 }
 
 impl Runner for DdRunner<'_> {
-    fn run_shot(&mut self, rng: &mut SmallRng) -> u64 {
+    fn run_shot(&mut self, rng: &mut SmallRng) -> Result<u64, DdError> {
         let mut record = 0u64;
         // Cache node tracking the decision prefix; `None` once off-cache.
         let mut at: Option<u32> = Some(0);
@@ -585,7 +620,7 @@ impl Runner for DdRunner<'_> {
         for (k, &event) in self.plan.events.iter().enumerate() {
             let decision = if event.fires(record) {
                 let p_one = if event.kind.needs_state_probability() {
-                    let masses = self.masses(at, &state, event.kind.qubit());
+                    let masses = self.masses(at, &state, event.kind.qubit())?;
                     let total = masses[0] + masses[1];
                     assert!(total > 0.0, "trajectory reached a zero-mass state");
                     masses[1] / total
@@ -616,9 +651,12 @@ impl Runner for DdRunner<'_> {
                     at = Some(child);
                 }
                 None => {
-                    let next = self.evolve(&state, event, decision, k + 1, record);
+                    let next = self.evolve(&state, event, decision, k + 1, record)?;
                     if let Some(parent) = at {
                         if self.nodes.len() < TRAJECTORY_CACHE_CAP {
+                            // Infallible: the cache is capped at
+                            // TRAJECTORY_CACHE_CAP (4096) entries.
+                            #[allow(clippy::expect_used)]
                             let id =
                                 u32::try_from(self.nodes.len()).expect("cache cap fits in u32");
                             self.peak_nodes = self.peak_nodes.max(next.node_count(&self.package));
@@ -635,18 +673,17 @@ impl Runner for DdRunner<'_> {
         }
 
         match self.plan.record {
-            RecordSource::Classical => record,
+            RecordSource::Classical => Ok(record),
             RecordSource::FinalMeasurement => match at {
                 Some(id) => {
                     let id = id as usize;
-                    if self.nodes[id].sampler.is_none() {
-                        self.nodes[id].sampler = Some(CompiledSampler::new(&self.package, &state));
+                    if let Some(sampler) = &self.nodes[id].sampler {
+                        return Ok(sampler.sample(rng));
                     }
-                    self.nodes[id]
-                        .sampler
-                        .as_ref()
-                        .expect("just filled")
-                        .sample(rng)
+                    let sampler = CompiledSampler::new(&self.package, &state)?;
+                    let sample = sampler.sample(rng);
+                    self.nodes[id].sampler = Some(sampler);
+                    Ok(sample)
                 }
                 None => {
                     let root = state.root();
@@ -654,10 +691,10 @@ impl Runner for DdRunner<'_> {
                         if self.transient_samplers.len() >= TRAJECTORY_CACHE_CAP {
                             self.transient_samplers.clear();
                         }
-                        self.transient_samplers
-                            .insert(root, CompiledSampler::new(&self.package, &state));
+                        let sampler = CompiledSampler::new(&self.package, &state)?;
+                        self.transient_samplers.insert(root, sampler);
                     }
-                    self.transient_samplers[&root].sample(rng)
+                    Ok(self.transient_samplers[&root].sample(rng))
                 }
             },
         }
@@ -748,7 +785,9 @@ fn sample_state_once(state: &StateVector, rng: &mut SmallRng) -> u64 {
 }
 
 impl Runner for SvRunner<'_> {
-    fn run_shot(&mut self, rng: &mut SmallRng) -> u64 {
+    // Dense evolution is infallible (memory is pre-checked up front);
+    // deadline and cancellation are honoured at chunk boundaries instead.
+    fn run_shot(&mut self, rng: &mut SmallRng) -> Result<u64, DdError> {
         self.scratch.copy_from(&self.base);
         let state = &mut self.scratch;
         let mut norm_sqr = self.base_norm_sqr;
@@ -819,8 +858,8 @@ impl Runner for SvRunner<'_> {
             }
         }
         match self.plan.record {
-            RecordSource::Classical => record,
-            RecordSource::FinalMeasurement => sample_state_once(&self.scratch, rng),
+            RecordSource::Classical => Ok(record),
+            RecordSource::FinalMeasurement => Ok(sample_state_once(&self.scratch, rng)),
         }
     }
 
@@ -829,10 +868,21 @@ impl Runner for SvRunner<'_> {
     }
 }
 
+/// One worker's partial result: its histogram, peak representation size,
+/// package statistics, completed-shot count, and the governed failure that
+/// stopped it early, if any.
+type WorkerResult = (ShotHistogram, u128, Option<DdStats>, u64, Option<DdError>);
+
 /// Builds the backend-specific runner for one worker and runs its assigned
 /// chunks, returning the worker's histogram and peak representation size.
 /// Both the single-worker fast path and every spawned worker go through
 /// here, so the two paths cannot drift apart.
+///
+/// `governor` is this worker's armed governor clone (fresh checkpoint
+/// counter, shared deadline and token); `stop` is the run-wide flag a
+/// failing worker raises so its peers wind down at their next chunk
+/// boundary instead of burning the remaining budget.
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
     backend: Backend,
     plan: &TrajectoryPlan,
@@ -840,17 +890,55 @@ fn run_worker(
     seed: u64,
     first: u64,
     stride: u64,
-) -> (ShotHistogram, u128, Option<DdStats>) {
+    governor: &Governor,
+    stop: &AtomicBool,
+) -> WorkerResult {
     match backend {
         Backend::DecisionDiagram => {
-            let mut runner = DdRunner::new(plan);
-            let h = run_assigned_chunks(&mut runner, shots, seed, first, stride, plan.record_width);
-            (h, runner.representation_size(), runner.dd_stats())
+            let mut runner = match DdRunner::new(plan, governor.clone()) {
+                Ok(runner) => runner,
+                Err(e) => {
+                    stop.store(true, Ordering::Relaxed);
+                    return (ShotHistogram::new(plan.record_width), 0, None, 0, Some(e));
+                }
+            };
+            let (h, completed, error) = run_assigned_chunks(
+                &mut runner,
+                shots,
+                seed,
+                first,
+                stride,
+                plan.record_width,
+                governor,
+                stop,
+            );
+            (
+                h,
+                runner.representation_size(),
+                runner.dd_stats(),
+                completed,
+                error,
+            )
         }
         Backend::StateVector => {
             let mut runner = SvRunner::new(plan);
-            let h = run_assigned_chunks(&mut runner, shots, seed, first, stride, plan.record_width);
-            (h, runner.representation_size(), runner.dd_stats())
+            let (h, completed, error) = run_assigned_chunks(
+                &mut runner,
+                shots,
+                seed,
+                first,
+                stride,
+                plan.record_width,
+                governor,
+                stop,
+            );
+            (
+                h,
+                runner.representation_size(),
+                runner.dd_stats(),
+                completed,
+                error,
+            )
         }
     }
 }
@@ -858,6 +946,12 @@ fn run_worker(
 /// Runs all chunks assigned to one worker: chunk indices `first, first +
 /// stride, ...` below `total_chunks`, each drawn from its own
 /// [`chunk_stream_seed`]-derived RNG stream.
+///
+/// Every chunk boundary probes the deadline and the cancellation token
+/// directly (so even backends whose per-shot work is ungoverned — the dense
+/// runner — honour them) and the run-wide `stop` flag.  A shot interrupted
+/// mid-flight records nothing: the histogram holds completed shots only.
+#[allow(clippy::too_many_arguments)]
 fn run_assigned_chunks<R: Runner>(
     runner: &mut R,
     shots: u64,
@@ -865,22 +959,43 @@ fn run_assigned_chunks<R: Runner>(
     first: u64,
     stride: u64,
     record_width: u16,
-) -> ShotHistogram {
+    governor: &Governor,
+    stop: &AtomicBool,
+) -> (ShotHistogram, u64, Option<DdError>) {
     let chunk_len = PARALLEL_CHUNK_SHOTS as u64;
     let total_chunks = shots.div_ceil(chunk_len);
     let mut histogram = ShotHistogram::new(record_width);
+    let mut completed = 0u64;
+    let mut error = None;
     let mut chunk_index = first;
-    while chunk_index < total_chunks {
+    'chunks: while chunk_index < total_chunks {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if let Err(e) = governor.check_now() {
+            stop.store(true, Ordering::Relaxed);
+            error = Some(e);
+            break;
+        }
         let chunk_shots = chunk_len.min(shots - chunk_index * chunk_len);
         let mut rng = SmallRng::seed_from_u64(chunk_stream_seed(seed, chunk_index));
         for _ in 0..chunk_shots {
-            let record = runner.run_shot(&mut rng);
-            histogram.record(record);
+            match runner.run_shot(&mut rng) {
+                Ok(record) => {
+                    histogram.record(record);
+                    completed += 1;
+                }
+                Err(e) => {
+                    stop.store(true, Ordering::Relaxed);
+                    error = Some(e);
+                    break 'chunks;
+                }
+            }
         }
         runner.end_of_chunk();
         chunk_index += stride;
     }
-    histogram
+    (histogram, completed, error)
 }
 
 /// Simulates `shots` trajectories of a dynamic circuit on `backend`, using
@@ -934,6 +1049,7 @@ pub fn simulate_trajectories_with_threads(
         seed,
         threads,
         MemoryBudget::unlimited(),
+        &RunGovernor::unlimited(),
     )
 }
 
@@ -990,11 +1106,19 @@ pub fn simulate_noisy_trajectories_with_threads(
         seed,
         threads,
         MemoryBudget::unlimited(),
+        &RunGovernor::unlimited(),
     )
 }
 
 /// The full-parameter trajectory entry point used by [`WeakSimulator`]
 /// (crate-internal so the public surface stays small).
+///
+/// The governor is armed once here — every worker gets a clone sharing the
+/// deadline and the cancellation token.  When a worker is interrupted it
+/// raises a run-wide stop flag; the merged outcome then carries an
+/// [`Interruption`] with the total completed shots, rather than an error —
+/// partial histograms are real results.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_trajectories(
     backend: Backend,
     circuit: &Circuit,
@@ -1003,6 +1127,7 @@ pub(crate) fn run_trajectories(
     seed: u64,
     threads: usize,
     budget: MemoryBudget,
+    governor: &RunGovernor,
 ) -> Result<TrajectoryOutcome, RunError> {
     circuit.validate().map_err(RunError::InvalidCircuit)?;
     if let Some(model) = noise {
@@ -1035,15 +1160,18 @@ pub(crate) fn run_trajectories(
     let plan = TrajectoryPlan::new(circuit, noise);
     let precompute_time = precompute_start.elapsed();
 
+    let armed = governor.arm();
+    let stop = AtomicBool::new(false);
     let sampling_start = Instant::now();
-    let (histogram, representation_size, dd_stats) = if workers == 1 {
-        run_worker(backend, &plan, shots, seed, 0, 1)
+    let (histogram, representation_size, dd_stats, completed_shots, error) = if workers == 1 {
+        run_worker(backend, &plan, shots, seed, 0, 1, &armed, &stop)
     } else {
-        let mut slots: Vec<Option<(ShotHistogram, u128, Option<DdStats>)>> =
-            (0..workers).map(|_| None).collect();
+        let mut slots: Vec<Option<WorkerResult>> = (0..workers).map(|_| None).collect();
         rayon::scope(|scope| {
             for (worker, slot) in slots.iter_mut().enumerate() {
                 let plan = &plan;
+                let armed = &armed;
+                let stop = &stop;
                 scope.spawn(move || {
                     *slot = Some(run_worker(
                         backend,
@@ -1052,6 +1180,8 @@ pub(crate) fn run_trajectories(
                         seed,
                         worker as u64,
                         workers as u64,
+                        armed,
+                        stop,
                     ));
                 });
             }
@@ -1059,15 +1189,27 @@ pub(crate) fn run_trajectories(
         let mut histogram = ShotHistogram::new(plan.record_width);
         let mut size = 0u128;
         let mut dd_stats: Option<DdStats> = None;
+        let mut completed = 0u64;
+        let mut error: Option<DdError> = None;
         for slot in slots {
-            let (h, s, stats) = slot.expect("worker ran to completion");
+            // Infallible: rayon::scope joins every spawned worker before
+            // returning, so each slot has been filled.
+            #[allow(clippy::expect_used)]
+            let (h, s, stats, c, e) = slot.expect("worker ran to completion");
             histogram.merge(&h);
             size = size.max(s);
+            completed += c;
             if let Some(stats) = stats {
                 dd_stats.get_or_insert_with(DdStats::default).merge(&stats);
             }
+            // Keep the lowest-indexed worker's failure: with a shared cause
+            // (one deadline, one token) every reason is equivalent, and this
+            // choice is independent of thread scheduling.
+            if error.is_none() {
+                error = e;
+            }
         }
-        (histogram, size, dd_stats)
+        (histogram, size, dd_stats, completed, error)
     };
     let sampling_time = sampling_start.elapsed();
 
@@ -1077,6 +1219,10 @@ pub(crate) fn run_trajectories(
         sampling_time,
         representation_size,
         dd_stats,
+        interruption: error.map(|reason| Interruption {
+            reason,
+            completed_shots,
+        }),
     })
 }
 

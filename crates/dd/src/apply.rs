@@ -1,6 +1,7 @@
 //! Strong simulation of circuits on decision diagrams.
 
 use crate::edge::MatrixEdge;
+use crate::govern::DdError;
 use crate::matrix::OperatorDd;
 use crate::ops::matrix_vector_multiply;
 use crate::package::OperatorKey;
@@ -21,6 +22,11 @@ pub enum ApplyError {
         /// Index of the offending operation.
         op_index: usize,
     },
+    /// The decision-diagram engine was interrupted: the governor's node/byte
+    /// budget was exhausted (after garbage collection and cache shrinking
+    /// failed to relieve the pressure), its deadline passed, its cancellation
+    /// token fired, or a node arena overflowed.
+    Dd(DdError),
 }
 
 impl fmt::Display for ApplyError {
@@ -31,15 +37,29 @@ impl fmt::Display for ApplyError {
                 f,
                 "operation {op_index} is non-unitary or classically conditioned (measure/reset/if); strong simulation requires a unitary circuit — use trajectory simulation"
             ),
+            ApplyError::Dd(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for ApplyError {}
+impl std::error::Error for ApplyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApplyError::Dd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<circuit::ValidateCircuitError> for ApplyError {
     fn from(e: circuit::ValidateCircuitError) -> Self {
         ApplyError::InvalidCircuit(e)
+    }
+}
+
+impl From<DdError> for ApplyError {
+    fn from(e: DdError) -> Self {
+        ApplyError::Dd(e)
     }
 }
 
@@ -57,10 +77,12 @@ fn cached_controlled_gate(
     gate: OneQubitGate,
     target: Qubit,
     controls: &[Qubit],
-) -> MatrixEdge {
+) -> Result<MatrixEdge, DdError> {
     package.cached_operator(
         OperatorKey::gate(num_qubits, gate, target, controls),
-        |package| OperatorDd::controlled_gate(package, num_qubits, gate, target, controls).root(),
+        |package| {
+            Ok(OperatorDd::controlled_gate(package, num_qubits, gate, target, controls)?.root())
+        },
     )
 }
 
@@ -72,13 +94,21 @@ fn cached_controlled_gate(
 /// DDs — memoized per (gate, target/control layout) in the package — and
 /// applied by matrix–vector multiplication.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on the non-unitary operations [`Operation::Measure`] and
-/// [`Operation::Reset`]: their effect depends on a sampled outcome, so they
-/// go through [`measure_qubit`](crate::measure_qubit) /
-/// [`reset_qubit`](crate::reset_qubit) instead.
-pub fn apply_operation(package: &mut DdPackage, state: StateDd, op: &Operation) -> StateDd {
+/// Fails with a [`DdError`] when the package's governor interrupts the run
+/// or a node arena overflows.  The non-unitary operations
+/// [`Operation::Measure`] and [`Operation::Reset`] fail with
+/// [`DdError::NonUnitaryOperation`]: their effect depends on a sampled
+/// outcome, so they go through [`measure_qubit`](crate::measure_qubit) /
+/// [`reset_qubit`](crate::reset_qubit) instead.  Classically-conditioned
+/// operations fail with [`DdError::ConditionedOperation`]; the trajectory
+/// engine resolves conditions against the classical record before applying.
+pub fn apply_operation(
+    package: &mut DdPackage,
+    state: StateDd,
+    op: &Operation,
+) -> Result<StateDd, DdError> {
     let n = state.num_qubits();
     match op {
         Operation::Unitary {
@@ -86,54 +116,64 @@ pub fn apply_operation(package: &mut DdPackage, state: StateDd, op: &Operation) 
             target,
             controls,
         } => {
-            let operator = cached_controlled_gate(package, n, *gate, *target, controls);
-            StateDd::from_root(matrix_vector_multiply(package, operator, state.root()), n)
+            let operator = cached_controlled_gate(package, n, *gate, *target, controls)?;
+            Ok(StateDd::from_root(
+                matrix_vector_multiply(package, operator, state.root())?,
+                n,
+            ))
         }
         Operation::Swap { a, b, controls } => {
             if a == b {
-                return state;
+                return Ok(state);
             }
             let mut current = state;
             for (control, target) in [(*a, *b), (*b, *a), (*a, *b)] {
                 let mut all_controls: Vec<Qubit> = controls.clone();
                 all_controls.push(control);
                 let operator =
-                    cached_controlled_gate(package, n, OneQubitGate::X, target, &all_controls);
+                    cached_controlled_gate(package, n, OneQubitGate::X, target, &all_controls)?;
                 current = StateDd::from_root(
-                    matrix_vector_multiply(package, operator, current.root()),
+                    matrix_vector_multiply(package, operator, current.root())?,
                     n,
                 );
             }
-            current
+            Ok(current)
         }
         Operation::Permute {
             permutation,
             controls,
         } => {
-            let operator = OperatorDd::controlled_permutation(package, n, permutation, controls);
-            StateDd::from_root(
-                matrix_vector_multiply(package, operator.root(), state.root()),
+            let operator = OperatorDd::controlled_permutation(package, n, permutation, controls)?;
+            Ok(StateDd::from_root(
+                matrix_vector_multiply(package, operator.root(), state.root())?,
                 n,
-            )
+            ))
         }
         Operation::Measure { .. } | Operation::Reset { .. } => {
-            panic!("non-unitary operation '{op}' cannot be applied as a gate; use measure_qubit/reset_qubit")
+            Err(DdError::NonUnitaryOperation { op: op.to_string() })
         }
-        Operation::Conditioned { .. } => {
-            panic!("classically-conditioned operation '{op}' depends on the classical record; resolve the condition (trajectory engine) before applying")
-        }
+        Operation::Conditioned { .. } => Err(DdError::ConditionedOperation { op: op.to_string() }),
     }
 }
 
 /// Applies every operation of `circuit` to `state`, collecting garbage
 /// between gates when the arena grows far beyond the reachable state.
 ///
+/// Budget pressure degrades gracefully before failing: when a gate hits the
+/// governor's node/byte budget, the package collects garbage (keeping only
+/// the current state), shrinks the compute caches back to their minimum
+/// footprint and retries the gate once.  Only persistent pressure surfaces
+/// as [`DdError::MemoryOut`], stamped with the index of the operation that
+/// could not complete.
+///
 /// # Errors
 ///
-/// Returns [`ApplyError::InvalidCircuit`] if the circuit fails validation
-/// and [`ApplyError::NonUnitaryOperation`] if it contains a measurement,
-/// reset or classically-conditioned gate (strong simulation is only defined
-/// for unconditionally unitary circuits).
+/// Returns [`ApplyError::InvalidCircuit`] if the circuit fails validation,
+/// [`ApplyError::NonUnitaryOperation`] if it contains a measurement, reset
+/// or classically-conditioned gate (strong simulation is only defined for
+/// unconditionally unitary circuits), and [`ApplyError::Dd`] when the
+/// governor interrupts the run (budget, deadline or cancellation) or a node
+/// arena overflows.
 pub fn apply_circuit(
     package: &mut DdPackage,
     state: StateDd,
@@ -147,8 +187,22 @@ pub fn apply_circuit(
         return Err(ApplyError::NonUnitaryOperation { op_index });
     }
     let mut current = state;
-    for op in circuit.operations() {
-        current = apply_operation(package, current, op);
+    for (op_index, op) in circuit.iter().enumerate() {
+        current = match apply_operation(package, current, op) {
+            Ok(next) => next,
+            Err(DdError::MemoryOut { .. }) => {
+                // Degrade before failing: drop everything not reachable from
+                // the current state, shrink the compute caches, and retry the
+                // gate once.  The state edge survives the collection, so the
+                // retry recomputes exactly the same diagram.
+                let roots = package.collect_garbage(&[current.root()]);
+                let retry_state = StateDd::from_root(roots[0], current.num_qubits());
+                package.shrink_compute_caches();
+                apply_operation(package, retry_state, op)
+                    .map_err(|e| ApplyError::Dd(e.with_op_index(op_index)))?
+            }
+            Err(e) => return Err(ApplyError::Dd(e.with_op_index(op_index))),
+        };
         if package.allocated_vector_nodes() > GC_NODE_THRESHOLD {
             let reachable = current.node_count(package);
             if package.allocated_vector_nodes() > 4 * reachable {
@@ -164,7 +218,8 @@ pub fn apply_circuit(
 ///
 /// # Errors
 ///
-/// Returns [`ApplyError::InvalidCircuit`] if the circuit fails validation.
+/// Returns [`ApplyError::InvalidCircuit`] if the circuit fails validation
+/// and [`ApplyError::Dd`] when the package's governor interrupts the run.
 ///
 /// # Examples
 ///
@@ -182,7 +237,7 @@ pub fn apply_circuit(
 /// # Ok::<(), dd::ApplyError>(())
 /// ```
 pub fn simulate(package: &mut DdPackage, circuit: &Circuit) -> Result<StateDd, ApplyError> {
-    let state = StateDd::zero_state(package, circuit.num_qubits());
+    let state = StateDd::zero_state(package, circuit.num_qubits())?;
     apply_circuit(package, state, circuit)
 }
 
@@ -326,6 +381,42 @@ mod tests {
             simulate(&mut p, &c),
             Err(ApplyError::NonUnitaryOperation { op_index: 1 })
         );
+    }
+
+    #[test]
+    fn applying_a_measurement_as_a_gate_errors_instead_of_panicking() {
+        let mut p = DdPackage::new();
+        let state = StateDd::zero_state(&mut p, 1).unwrap();
+        let mut c = Circuit::new(1);
+        c.measure(Qubit(0), 0);
+        let err = apply_operation(&mut p, state, &c.operations()[0]).unwrap_err();
+        assert!(matches!(err, DdError::NonUnitaryOperation { .. }), "{err}");
+        // The package stays fully usable after the rejected call.
+        let mut bell = Circuit::new(2);
+        bell.h(Qubit(0)).cx(Qubit(0), Qubit(1));
+        let s = simulate(&mut p, &bell).unwrap();
+        assert!((s.probability(&p, 0b11) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn applying_a_reset_as_a_gate_errors_instead_of_panicking() {
+        let mut p = DdPackage::new();
+        let state = StateDd::zero_state(&mut p, 1).unwrap();
+        let mut c = Circuit::new(1);
+        c.reset(Qubit(0));
+        let err = apply_operation(&mut p, state, &c.operations()[0]).unwrap_err();
+        assert!(matches!(err, DdError::NonUnitaryOperation { .. }), "{err}");
+    }
+
+    #[test]
+    fn applying_a_conditioned_gate_errors_instead_of_panicking() {
+        let mut p = DdPackage::new();
+        let state = StateDd::zero_state(&mut p, 1).unwrap();
+        let mut c = Circuit::new(1);
+        c.measure(Qubit(0), 0)
+            .conditioned_gate(1, OneQubitGate::X, Qubit(0));
+        let err = apply_operation(&mut p, state, &c.operations()[1]).unwrap_err();
+        assert!(matches!(err, DdError::ConditionedOperation { .. }), "{err}");
     }
 
     #[test]

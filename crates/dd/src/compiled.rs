@@ -37,6 +37,7 @@
 //! runs them).  See the module docs of [`crate`] for the seeding scheme.
 
 use crate::edge::VectorNodeId;
+use crate::govern::DdError;
 use crate::{DdPackage, StateDd};
 use rand::rngs::SmallRng;
 use rand::{splitmix64, Rng, SeedableRng};
@@ -87,7 +88,7 @@ struct CompiledNode {
 ///
 /// let mut package = DdPackage::new();
 /// let state = dd::simulate(&mut package, &ghz)?;
-/// let sampler = CompiledSampler::new(&package, &state);
+/// let sampler = CompiledSampler::new(&package, &state)?;
 ///
 /// let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
 /// let shot = sampler.sample(&mut rng);
@@ -98,7 +99,7 @@ struct CompiledNode {
 /// let a = sampler.sample_many_parallel(11, 4096);
 /// let b = sampler.sample_many_parallel_with_threads(11, 4096, 3);
 /// assert_eq!(a, b);
-/// # Ok::<(), dd::ApplyError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct CompiledSampler {
@@ -121,12 +122,18 @@ impl CompiledSampler {
     /// from edge weights *times* downstream mass, which is exact for both
     /// schemes.
     ///
+    /// # Errors
+    ///
+    /// Fails with a [`DdError`] when the package's governor interrupts the
+    /// compilation (deadline or cancellation — the compile allocates no DD
+    /// nodes, so node/byte budgets cannot trip here) or the reachable set
+    /// exceeds the compact `u32` id space.
+    ///
     /// # Panics
     ///
     /// Panics if the state is the zero vector (no probability mass to
     /// sample) or has more than 64 qubits (samples are `u64` bitstrings).
-    #[must_use]
-    pub fn new(package: &DdPackage, state: &StateDd) -> Self {
+    pub fn new(package: &DdPackage, state: &StateDd) -> Result<Self, DdError> {
         let root_edge = state.root();
         assert!(!root_edge.is_zero(), "cannot sample from the zero vector");
         assert!(
@@ -146,6 +153,7 @@ impl CompiledSampler {
             order.push(root_edge.target);
             let mut cursor = 0;
             while cursor < order.len() {
+                package.governor().checkpoint()?;
                 let node = package.vnode(order[cursor]);
                 cursor += 1;
                 for child in node.children {
@@ -155,7 +163,9 @@ impl CompiledSampler {
                     if index_of[child.target.index()] == TERMINAL {
                         // `< MAX`, not `<= MAX`: id u32::MAX is the TERMINAL
                         // sentinel and must never name a real node.
-                        assert!(order.len() < u32::MAX as usize, "compiled arena overflow");
+                        if order.len() >= u32::MAX as usize {
+                            return Err(DdError::ArenaOverflow { arena: "compiled" });
+                        }
                         index_of[child.target.index()] = order.len() as u32;
                         order.push(child.target);
                     }
@@ -172,6 +182,7 @@ impl CompiledSampler {
 
         let mut nodes = Vec::with_capacity(order.len());
         for &id in &order {
+            package.governor().checkpoint()?;
             let node = package.vnode(id);
             let mut mass = [0.0f64; 2];
             let mut child_idx = [TERMINAL; 2];
@@ -201,7 +212,7 @@ impl CompiledSampler {
             });
         }
 
-        Self {
+        Ok(Self {
             nodes,
             root: if root_edge.target.is_terminal() {
                 TERMINAL
@@ -209,7 +220,7 @@ impl CompiledSampler {
                 0
             },
             num_qubits: state.num_qubits(),
-        }
+        })
     }
 
     /// The number of qubits in each output sample.
@@ -417,13 +428,14 @@ mod tests {
                 b,
             ],
         )
+        .unwrap()
     }
 
     #[test]
     fn compiled_matches_exact_distribution() {
         let mut p = DdPackage::new();
         let s = paper_example(&mut p);
-        let sampler = CompiledSampler::new(&p, &s);
+        let sampler = CompiledSampler::new(&p, &s).unwrap();
         let mut rng = StdRng::seed_from_u64(2020);
         let shots = 200_000;
         let mut counts = [0u64; 8];
@@ -447,7 +459,7 @@ mod tests {
         for norm in [Normalization::TwoNorm, Normalization::LeftMost] {
             let mut p = DdPackage::with_normalization(norm);
             let s = paper_example(&mut p);
-            let sampler = CompiledSampler::new(&p, &s);
+            let sampler = CompiledSampler::new(&p, &s).unwrap();
             let samples = sampler.sample_many_parallel(7, shots);
             let mut counts = [0u64; 8];
             for s in samples {
@@ -470,7 +482,7 @@ mod tests {
     fn parallel_sampling_is_thread_count_invariant() {
         let mut p = DdPackage::new();
         let s = paper_example(&mut p);
-        let sampler = CompiledSampler::new(&p, &s);
+        let sampler = CompiledSampler::new(&p, &s).unwrap();
         // A shot count that is deliberately not a multiple of the chunk size.
         let shots = 3 * PARALLEL_CHUNK_SHOTS + 17;
         let reference = sampler.sample_many_parallel_with_threads(42, shots, 1);
@@ -489,7 +501,7 @@ mod tests {
     fn compiled_survives_package_mutation() {
         let mut p = DdPackage::new();
         let s = paper_example(&mut p);
-        let sampler = CompiledSampler::new(&p, &s);
+        let sampler = CompiledSampler::new(&p, &s).unwrap();
         // Fill the package with unrelated garbage; the compiled arena must
         // not care.
         for i in 0..100 {
@@ -506,8 +518,8 @@ mod tests {
     #[test]
     fn basis_state_always_samples_itself() {
         let mut p = DdPackage::new();
-        let s = StateDd::basis_state(&mut p, 6, 0b101101);
-        let sampler = CompiledSampler::new(&p, &s);
+        let s = StateDd::basis_state(&mut p, 6, 0b101101).unwrap();
+        let sampler = CompiledSampler::new(&p, &s).unwrap();
         assert_eq!(sampler.num_qubits(), 6);
         assert_eq!(sampler.node_count(), 6);
         for shot in sampler.sample_many_parallel(9, 5000) {
@@ -521,7 +533,7 @@ mod tests {
         let mut p = DdPackage::new();
         let s = paper_example(&mut p);
         let general = DdSampler::new(&p, &s);
-        let compiled = CompiledSampler::new(&p, &s);
+        let compiled = CompiledSampler::new(&p, &s).unwrap();
         let shots = 100_000;
         let mut rng = StdRng::seed_from_u64(99);
         let mut counts_general = [0u64; 8];
@@ -543,15 +555,15 @@ mod tests {
     #[should_panic(expected = "zero vector")]
     fn compiling_the_zero_vector_panics() {
         let mut p = DdPackage::new();
-        let s = StateDd::from_amplitudes(&mut p, &[Complex::ZERO; 4]);
+        let s = StateDd::from_amplitudes(&mut p, &[Complex::ZERO; 4]).unwrap();
         let _ = CompiledSampler::new(&p, &s);
     }
 
     #[test]
     fn scalar_state_samples_the_empty_bitstring() {
         let mut p = DdPackage::new();
-        let s = StateDd::basis_state(&mut p, 0, 0);
-        let sampler = CompiledSampler::new(&p, &s);
+        let s = StateDd::basis_state(&mut p, 0, 0).unwrap();
+        let sampler = CompiledSampler::new(&p, &s).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(sampler.sample(&mut rng), 0);
         assert_eq!(sampler.node_count(), 0);
@@ -561,7 +573,7 @@ mod tests {
     fn consecutive_batches_match_one_large_call() {
         let mut p = DdPackage::new();
         let s = paper_example(&mut p);
-        let sampler = CompiledSampler::new(&p, &s);
+        let sampler = CompiledSampler::new(&p, &s).unwrap();
         let shots = 5 * PARALLEL_CHUNK_SHOTS + 123;
         let reference = sampler.sample_many_parallel_with_threads(7, shots, 2);
         // Split at chunk boundaries: 2 chunks, then 3 chunks + remainder.

@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 /// use dd::{DdPackage, StateDd};
 ///
 /// let mut package = DdPackage::new();
-/// let state = StateDd::basis_state(&mut package, 2, 0b10);
+/// let state = StateDd::basis_state(&mut package, 2, 0b10).unwrap();
 /// let dot = dd::to_dot(&package, &state, None);
 /// assert!(dot.starts_with("digraph"));
 /// assert!(dot.contains("q1"));
@@ -119,7 +119,7 @@ mod tests {
     #[test]
     fn dot_output_contains_all_levels() {
         let mut p = DdPackage::new();
-        let s = StateDd::zero_state(&mut p, 3);
+        let s = StateDd::zero_state(&mut p, 3).unwrap();
         let dot = to_dot(&p, &s, None);
         assert!(dot.contains("q0"));
         assert!(dot.contains("q1"));
@@ -145,7 +145,8 @@ mod tests {
                 Complex::ZERO,
                 b,
             ],
-        );
+        )
+        .unwrap();
         let probs = EdgeProbabilities::new(&p, &s);
         let dot = to_dot(&p, &s, Some(&probs));
         assert!(dot.contains("p=0.750"));
@@ -155,7 +156,7 @@ mod tests {
     #[test]
     fn zero_children_render_as_zero_stubs() {
         let mut p = DdPackage::new();
-        let s = StateDd::basis_state(&mut p, 2, 0b01);
+        let s = StateDd::basis_state(&mut p, 2, 0b01).unwrap();
         let dot = to_dot(&p, &s, None);
         assert!(dot.contains("zero_"));
     }

@@ -82,20 +82,30 @@
 //! let state = dd::simulate(&mut package, &bell)?;
 //! assert_eq!(state.node_count(&package), 3);
 //!
-//! let sampler = CompiledSampler::new(&package, &state);
+//! let sampler = CompiledSampler::new(&package, &state)?;
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(11);
 //! let shot = sampler.sample(&mut rng);
 //! assert!(shot == 0 || shot == 3);
-//! # Ok::<(), dd::ApplyError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Resource governance
+//!
+//! Every long-running phase — node construction, gate application, sampler
+//! compilation — is budgeted, deadlined and cancellable through a
+//! [`Governor`] installed with [`DdPackage::set_governor`]; failures surface
+//! as typed [`DdError`]s rather than panics.  See the [`govern`](crate::govern)
+//! module docs for the amortized-check scheme and the degradation policy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod apply;
 mod compiled;
 mod edge;
 mod export;
+pub mod govern;
 mod matrix;
 mod measure;
 mod node;
@@ -108,6 +118,9 @@ pub use apply::{apply_circuit, apply_operation, simulate, ApplyError};
 pub use compiled::{chunk_stream_seed, CompiledSampler, PARALLEL_CHUNK_SHOTS};
 pub use edge::{MatrixEdge, MatrixNodeId, VectorEdge, VectorNodeId, WeightId};
 pub use export::to_dot;
+pub use govern::{CancelToken, DdError, Governor, DEFAULT_CHECK_INTERVAL};
+#[cfg(feature = "fault-inject")]
+pub use govern::{FaultPlan, InjectedFault};
 pub use matrix::OperatorDd;
 pub use measure::{
     amplitude_damp_keep, branch_masses, collapse_qubit, measure_all, measure_qubit, reset_qubit,

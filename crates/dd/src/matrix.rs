@@ -1,6 +1,7 @@
 //! Operator (matrix) decision diagrams and gate constructors.
 
 use crate::edge::{MatrixEdge, VectorEdge};
+use crate::govern::DdError;
 use crate::ops::matrix_add;
 use crate::DdPackage;
 use circuit::{OneQubitGate, Permutation, Qubit};
@@ -19,7 +20,8 @@ use mathkit::Complex;
 /// use dd::{DdPackage, OperatorDd};
 ///
 /// let mut package = DdPackage::new();
-/// let cnot = OperatorDd::controlled_gate(&mut package, 2, OneQubitGate::X, Qubit(1), &[Qubit(0)]);
+/// let cnot = OperatorDd::controlled_gate(&mut package, 2, OneQubitGate::X, Qubit(1), &[Qubit(0)])
+///     .unwrap();
 /// // CNOT maps |01> (control q0 = 1) to |11>.
 /// assert_eq!(cnot.entry(&package, 0b11, 0b01).re, 1.0);
 /// assert_eq!(cnot.entry(&package, 0b01, 0b01).re, 0.0);
@@ -50,16 +52,20 @@ impl OperatorDd {
     }
 
     /// The identity operator on `num_qubits` qubits.
-    #[must_use]
-    pub fn identity(package: &mut DdPackage, num_qubits: u16) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`DdError`] when the package's governor interrupts the
+    /// run or a node arena overflows.
+    pub fn identity(package: &mut DdPackage, num_qubits: u16) -> Result<Self, DdError> {
         let mut edge = package.matrix_terminal(Complex::ONE);
         for var in 0..num_qubits {
-            edge = package.make_mnode(var, [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, edge]);
+            edge = package.make_mnode(var, [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, edge])?;
         }
-        Self {
+        Ok(Self {
             root: edge,
             num_qubits,
-        }
+        })
     }
 
     /// Builds the operator for a (multi-)controlled single-qubit gate.
@@ -69,18 +75,22 @@ impl OperatorDd {
     /// combination `delta_rc * (I - P) + u_rc * P` where `P` projects onto
     /// "all lower controls are 1".
     ///
+    /// # Errors
+    ///
+    /// Fails with a [`DdError`] when the package's governor interrupts the
+    /// run or a node arena overflows.
+    ///
     /// # Panics
     ///
     /// Panics if the target coincides with a control or any qubit is out of
     /// range.
-    #[must_use]
     pub fn controlled_gate(
         package: &mut DdPackage,
         num_qubits: u16,
         gate: OneQubitGate,
         target: Qubit,
         controls: &[Qubit],
-    ) -> Self {
+    ) -> Result<Self, DdError> {
         assert!(
             target.index() < usize::from(num_qubits),
             "target {target} out of range"
@@ -106,7 +116,7 @@ impl OperatorDd {
         for var in 0..num_qubits {
             let below = identity_chain[usize::from(var)];
             identity_chain
-                .push(package.make_mnode(var, [below, MatrixEdge::ZERO, MatrixEdge::ZERO, below]));
+                .push(package.make_mnode(var, [below, MatrixEdge::ZERO, MatrixEdge::ZERO, below])?);
         }
 
         // mixed(level, a, b) builds `a * (I - P) + b * P` over levels 0..=level,
@@ -118,12 +128,12 @@ impl OperatorDd {
             b: Complex,
             is_control: &[bool],
             identity_chain: &[MatrixEdge],
-        ) -> MatrixEdge {
+        ) -> Result<MatrixEdge, DdError> {
             if level < 0 {
-                return package.matrix_terminal(b);
+                return Ok(package.matrix_terminal(b));
             }
             let var = level as u16;
-            let below = mixed(package, level - 1, a, b, is_control, identity_chain);
+            let below = mixed(package, level - 1, a, b, is_control, identity_chain)?;
             if is_control[level as usize] {
                 let id_below = identity_chain[level as usize];
                 let zero_branch = package.scale_medge(id_below, a);
@@ -152,26 +162,26 @@ impl OperatorDd {
                     u[row][col],
                     &is_control,
                     &identity_chain,
-                );
+                )?;
             }
         }
-        let mut edge = package.make_mnode(target_level, blocks);
+        let mut edge = package.make_mnode(target_level, blocks)?;
 
         // Levels above the target: controls gate the operator, other qubits
         // pass it through diagonally.
         for var in (target_level + 1)..num_qubits {
             edge = if is_control[usize::from(var)] {
                 let id_below = identity_chain[usize::from(var)];
-                package.make_mnode(var, [id_below, MatrixEdge::ZERO, MatrixEdge::ZERO, edge])
+                package.make_mnode(var, [id_below, MatrixEdge::ZERO, MatrixEdge::ZERO, edge])?
             } else {
-                package.make_mnode(var, [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, edge])
+                package.make_mnode(var, [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, edge])?
             };
         }
 
-        Self {
+        Ok(Self {
             root: edge,
             num_qubits,
-        }
+        })
     }
 
     /// Builds the operator for a (multi-)controlled basis-state permutation.
@@ -181,16 +191,20 @@ impl OperatorDd {
     /// is assembled as `(I - P (x) I_R) + sum_v P (x) |perm(v)><v|_R`, one
     /// simple chain DD per register value, combined with [`matrix_add`].
     ///
+    /// # Errors
+    ///
+    /// Fails with a [`DdError`] when the package's governor interrupts the
+    /// run or a node arena overflows.
+    ///
     /// # Panics
     ///
     /// Panics if register or control qubits are out of range or overlap.
-    #[must_use]
     pub fn controlled_permutation(
         package: &mut DdPackage,
         num_qubits: u16,
         permutation: &Permutation,
         controls: &[Qubit],
-    ) -> Self {
+    ) -> Result<Self, DdError> {
         let register = permutation.qubits();
         for q in register.iter().chain(controls) {
             assert!(
@@ -219,7 +233,7 @@ impl OperatorDd {
         for var in 0..num_qubits {
             let below = identity_chain[usize::from(var)];
             identity_chain
-                .push(package.make_mnode(var, [below, MatrixEdge::ZERO, MatrixEdge::ZERO, below]));
+                .push(package.make_mnode(var, [below, MatrixEdge::ZERO, MatrixEdge::ZERO, below])?);
         }
 
         // Term 1: identity on the subspace where not all controls are 1,
@@ -231,12 +245,12 @@ impl OperatorDd {
             level: i32,
             is_control: &[bool],
             identity_chain: &[MatrixEdge],
-        ) -> MatrixEdge {
+        ) -> Result<MatrixEdge, DdError> {
             if level < 0 {
-                return MatrixEdge::ZERO;
+                return Ok(MatrixEdge::ZERO);
             }
             let var = level as u16;
-            let below = not_all_controls(package, level - 1, is_control, identity_chain);
+            let below = not_all_controls(package, level - 1, is_control, identity_chain)?;
             if is_control[level as usize] {
                 let id_below = identity_chain[level as usize];
                 package.make_mnode(var, [id_below, MatrixEdge::ZERO, MatrixEdge::ZERO, below])
@@ -249,7 +263,7 @@ impl OperatorDd {
             i32::from(num_qubits) - 1,
             &is_control,
             &identity_chain,
-        );
+        )?;
 
         // One chain per register value v: P (x) |perm(v)><v| (x) I elsewhere.
         for (value, &mapped) in permutation.mapping().iter().enumerate() {
@@ -266,25 +280,29 @@ impl OperatorDd {
                 } else {
                     [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, edge]
                 };
-                edge = package.make_mnode(var, children);
+                edge = package.make_mnode(var, children)?;
             }
-            total = matrix_add(package, total, edge);
+            total = matrix_add(package, total, edge)?;
         }
 
-        Self {
+        Ok(Self {
             root: total,
             num_qubits,
-        }
+        })
     }
 
     /// Builds an operator DD from a dense row-major matrix of size
     /// `2^n x 2^n` (intended for tests and very small operators).
     ///
+    /// # Errors
+    ///
+    /// Fails with a [`DdError`] when the package's governor interrupts the
+    /// run or a node arena overflows.
+    ///
     /// # Panics
     ///
     /// Panics if the matrix is not square with a power-of-two dimension.
-    #[must_use]
-    pub fn from_dense(package: &mut DdPackage, matrix: &[Vec<Complex>]) -> Self {
+    pub fn from_dense(package: &mut DdPackage, matrix: &[Vec<Complex>]) -> Result<Self, DdError> {
         let dim = matrix.len();
         assert!(
             dim.is_power_of_two(),
@@ -302,9 +320,9 @@ impl OperatorDd {
             row0: usize,
             col0: usize,
             size: usize,
-        ) -> MatrixEdge {
+        ) -> Result<MatrixEdge, DdError> {
             if size == 1 {
-                return package.matrix_terminal(matrix[row0][col0]);
+                return Ok(package.matrix_terminal(matrix[row0][col0]));
             }
             let half = size / 2;
             let var = (size.trailing_zeros() - 1) as u16;
@@ -312,14 +330,14 @@ impl OperatorDd {
             for row in 0..2 {
                 for col in 0..2 {
                     children[2 * row + col] =
-                        build(package, matrix, row0 + row * half, col0 + col * half, half);
+                        build(package, matrix, row0 + row * half, col0 + col * half, half)?;
                 }
             }
             package.make_mnode(var, children)
         }
 
-        let root = build(package, matrix, 0, 0, dim);
-        Self { root, num_qubits }
+        let root = build(package, matrix, 0, 0, dim)?;
+        Ok(Self { root, num_qubits })
     }
 
     /// The matrix entry at (`row`, `col`), reconstructed from the path
@@ -354,8 +372,12 @@ impl OperatorDd {
     }
 
     /// Applies the operator to a state, returning the resulting state edge.
-    #[must_use]
-    pub fn apply(&self, package: &mut DdPackage, state: VectorEdge) -> VectorEdge {
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`DdError`] when the package's governor interrupts the
+    /// run or a node arena overflows.
+    pub fn apply(&self, package: &mut DdPackage, state: VectorEdge) -> Result<VectorEdge, DdError> {
         crate::ops::matrix_vector_multiply(package, self.root, state)
     }
 
@@ -394,7 +416,7 @@ mod tests {
     #[test]
     fn identity_has_one_node_per_level() {
         let mut p = DdPackage::new();
-        let id = OperatorDd::identity(&mut p, 4);
+        let id = OperatorDd::identity(&mut p, 4).unwrap();
         assert_eq!(id.node_count(&p), 4);
         for i in 0..16u64 {
             for j in 0..16u64 {
@@ -407,7 +429,7 @@ mod tests {
     #[test]
     fn single_qubit_gate_on_one_qubit() {
         let mut p = DdPackage::new();
-        let h = OperatorDd::controlled_gate(&mut p, 1, OneQubitGate::H, Qubit(0), &[]);
+        let h = OperatorDd::controlled_gate(&mut p, 1, OneQubitGate::H, Qubit(0), &[]).unwrap();
         let s = Complex::from_real(SQRT1_2);
         assert_matrix_eq(&p, &h, &[vec![s, s], vec![s, -s]], "H");
     }
@@ -416,7 +438,7 @@ mod tests {
     fn uncontrolled_gate_embeds_in_larger_register() {
         let mut p = DdPackage::new();
         // X on qubit 1 of a 2-qubit register: |ab> -> |a XOR 1, b> with qubit 1 as MSB.
-        let x1 = OperatorDd::controlled_gate(&mut p, 2, OneQubitGate::X, Qubit(1), &[]);
+        let x1 = OperatorDd::controlled_gate(&mut p, 2, OneQubitGate::X, Qubit(1), &[]).unwrap();
         for col in 0..4u64 {
             let row = col ^ 0b10;
             assert!((x1.entry(&p, row, col).re - 1.0).abs() < 1e-12);
@@ -428,7 +450,8 @@ mod tests {
     fn cnot_with_control_below_target() {
         let mut p = DdPackage::new();
         // Control on qubit 0, target on qubit 1.
-        let cnot = OperatorDd::controlled_gate(&mut p, 2, OneQubitGate::X, Qubit(1), &[Qubit(0)]);
+        let cnot =
+            OperatorDd::controlled_gate(&mut p, 2, OneQubitGate::X, Qubit(1), &[Qubit(0)]).unwrap();
         let one = Complex::ONE;
         let zero = Complex::ZERO;
         // Basis order |q1 q0>: 00, 01, 10, 11 -> indices 0..3.
@@ -445,7 +468,8 @@ mod tests {
     fn cnot_with_control_above_target() {
         let mut p = DdPackage::new();
         // Control on qubit 1, target on qubit 0.
-        let cnot = OperatorDd::controlled_gate(&mut p, 2, OneQubitGate::X, Qubit(0), &[Qubit(1)]);
+        let cnot =
+            OperatorDd::controlled_gate(&mut p, 2, OneQubitGate::X, Qubit(0), &[Qubit(1)]).unwrap();
         let one = Complex::ONE;
         let zero = Complex::ZERO;
         let expected = vec![
@@ -466,7 +490,8 @@ mod tests {
             OneQubitGate::X,
             Qubit(2),
             &[Qubit(0), Qubit(1)],
-        );
+        )
+        .unwrap();
         for col in 0..8u64 {
             let row = if col & 0b011 == 0b011 {
                 col ^ 0b100
@@ -490,7 +515,8 @@ mod tests {
             OneQubitGate::Phase(mathkit::Angle::Radians(theta)),
             Qubit(1),
             &[Qubit(0)],
-        );
+        )
+        .unwrap();
         for col in 0..4u64 {
             let expected = if col == 3 {
                 Complex::phase(theta)
@@ -509,7 +535,7 @@ mod tests {
             vec![Complex::new(1.0, 0.0), Complex::new(0.0, 1.0)],
             vec![Complex::new(0.5, 0.5), Complex::new(-1.0, 0.0)],
         ];
-        let op = OperatorDd::from_dense(&mut p, &m);
+        let op = OperatorDd::from_dense(&mut p, &m).unwrap();
         assert_matrix_eq(&p, &op, &m, "dense 2x2");
     }
 
@@ -518,7 +544,7 @@ mod tests {
         let mut p = DdPackage::new();
         // Increment modulo 4 on qubits 0..1.
         let perm = Permutation::new(vec![Qubit(0), Qubit(1)], vec![1, 2, 3, 0]).unwrap();
-        let op = OperatorDd::controlled_permutation(&mut p, 2, &perm, &[]);
+        let op = OperatorDd::controlled_permutation(&mut p, 2, &perm, &[]).unwrap();
         for col in 0..4u64 {
             let row = (col + 1) % 4;
             assert!((op.entry(&p, row, col).re - 1.0).abs() < 1e-12, "col {col}");
@@ -534,7 +560,7 @@ mod tests {
     fn controlled_permutation_acts_only_when_control_is_one() {
         let mut p = DdPackage::new();
         let perm = Permutation::new(vec![Qubit(0), Qubit(1)], vec![1, 2, 3, 0]).unwrap();
-        let op = OperatorDd::controlled_permutation(&mut p, 3, &perm, &[Qubit(2)]);
+        let op = OperatorDd::controlled_permutation(&mut p, 3, &perm, &[Qubit(2)]).unwrap();
         // Control q2 = 0: identity on the low bits.
         for col in 0..4u64 {
             assert!((op.entry(&p, col, col).re - 1.0).abs() < 1e-12);
@@ -552,7 +578,7 @@ mod tests {
         // Swap the values of qubits 0 and 2 expressed as a permutation of the
         // register [q0, q2]: value bits (b0, b1) -> (b1, b0).
         let perm = Permutation::new(vec![Qubit(0), Qubit(2)], vec![0, 2, 1, 3]).unwrap();
-        let op = OperatorDd::controlled_permutation(&mut p, 3, &perm, &[]);
+        let op = OperatorDd::controlled_permutation(&mut p, 3, &perm, &[]).unwrap();
         for col in 0..8u64 {
             let b0 = col & 1;
             let b2 = (col >> 2) & 1;

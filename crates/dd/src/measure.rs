@@ -10,6 +10,7 @@
 //! with [`collapse_qubit`].
 
 use crate::edge::MatrixEdge;
+use crate::govern::DdError;
 use crate::ops::matrix_vector_multiply;
 use crate::package::OperatorKey;
 use crate::{CompiledSampler, DdPackage, StateDd};
@@ -26,48 +27,60 @@ use rand::Rng;
 /// correct even when the state's norm has drifted from 1.0 through
 /// floating-point error accumulated over many gates.
 ///
+/// # Errors
+///
+/// Fails with a [`DdError`] when the package's governor interrupts the run
+/// or a node arena overflows.
+///
 /// # Panics
 ///
 /// Panics if `qubit` is outside the state.
-#[must_use]
-pub fn branch_masses(package: &mut DdPackage, state: &StateDd, qubit: Qubit) -> [f64; 2] {
+pub fn branch_masses(
+    package: &mut DdPackage,
+    state: &StateDd,
+    qubit: Qubit,
+) -> Result<[f64; 2], DdError> {
     assert!(
         qubit.index() < usize::from(state.num_qubits()),
         "qubit {qubit} outside the {}-qubit state",
         state.num_qubits()
     );
-    let zero = project(package, state, qubit, 0);
-    let one = project(package, state, qubit, 1);
-    [zero.norm_sqr(package), one.norm_sqr(package)]
+    let zero = project(package, state, qubit, 0)?;
+    let one = project(package, state, qubit, 1)?;
+    Ok([zero.norm_sqr(package), one.norm_sqr(package)])
 }
 
 /// Projects the state onto `qubit = outcome` and renormalizes the projection
 /// to unit norm (the post-measurement state of that outcome).
 ///
+/// # Errors
+///
+/// Fails with a [`DdError`] when the package's governor interrupts the run
+/// or a node arena overflows.
+///
 /// # Panics
 ///
 /// Panics if `qubit` is outside the state or the projected subspace carries
 /// no probability mass (the outcome is impossible).
-#[must_use]
 pub fn collapse_qubit(
     package: &mut DdPackage,
     state: &StateDd,
     qubit: Qubit,
     outcome: u8,
-) -> StateDd {
+) -> Result<StateDd, DdError> {
     assert!(
         qubit.index() < usize::from(state.num_qubits()),
         "qubit {qubit} outside the {}-qubit state",
         state.num_qubits()
     );
-    let projected = project(package, state, qubit, outcome);
+    let projected = project(package, state, qubit, outcome)?;
     let mass = projected.norm_sqr(package);
     assert!(
         mass > 0.0,
         "measurement produced an outcome of probability zero"
     );
     let renormalized = package.scale_vedge(projected.root(), Complex::from_real(1.0 / mass.sqrt()));
-    StateDd::from_root(renormalized, state.num_qubits())
+    Ok(StateDd::from_root(renormalized, state.num_qubits()))
 }
 
 /// Measures a single qubit in the computational basis, collapsing the state.
@@ -78,6 +91,11 @@ pub fn collapse_qubit(
 /// renormalized by its own projected mass — so the result is exact even for
 /// states whose norm has drifted away from 1.0.
 ///
+/// # Errors
+///
+/// Fails with a [`DdError`] when the package's governor interrupts the run
+/// or a node arena overflows.
+///
 /// # Panics
 ///
 /// Panics if `qubit` is outside the state or the state is the zero vector.
@@ -86,14 +104,14 @@ pub fn measure_qubit<R: Rng + ?Sized>(
     state: &StateDd,
     qubit: Qubit,
     rng: &mut R,
-) -> (u8, StateDd) {
+) -> Result<(u8, StateDd), DdError> {
     assert!(!state.root().is_zero(), "cannot measure the zero vector");
-    let masses = branch_masses(package, state, qubit);
+    let masses = branch_masses(package, state, qubit)?;
     let total = masses[0] + masses[1];
     assert!(total > 0.0, "cannot measure a state with zero total mass");
     let p_one = masses[1] / total;
     let outcome = u8::from(rng.gen::<f64>() < p_one);
-    (outcome, collapse_qubit(package, state, qubit, outcome))
+    Ok((outcome, collapse_qubit(package, state, qubit, outcome)?))
 }
 
 /// Resets a qubit to `|0>`: measures it, then flips it when the outcome was
@@ -101,6 +119,11 @@ pub fn measure_qubit<R: Rng + ?Sized>(
 ///
 /// Returns the post-reset state; the sampled intermediate outcome is not
 /// reported (it is not observable through a classical register).
+///
+/// # Errors
+///
+/// Fails with a [`DdError`] when the package's governor interrupts the run
+/// or a node arena overflows.
 ///
 /// # Panics
 ///
@@ -110,10 +133,10 @@ pub fn reset_qubit<R: Rng + ?Sized>(
     state: &StateDd,
     qubit: Qubit,
     rng: &mut R,
-) -> StateDd {
-    let (outcome, collapsed) = measure_qubit(package, state, qubit, rng);
+) -> Result<StateDd, DdError> {
+    let (outcome, collapsed) = measure_qubit(package, state, qubit, rng)?;
     if outcome == 0 {
-        return collapsed;
+        return Ok(collapsed);
     }
     let flip = crate::matrix::OperatorDd::controlled_gate(
         package,
@@ -121,11 +144,11 @@ pub fn reset_qubit<R: Rng + ?Sized>(
         circuit::OneQubitGate::X,
         qubit,
         &[],
-    );
-    StateDd::from_root(
-        matrix_vector_multiply(package, flip.root(), collapsed.root()),
+    )?;
+    Ok(StateDd::from_root(
+        matrix_vector_multiply(package, flip.root(), collapsed.root())?,
         collapsed.num_qubits(),
-    )
+    ))
 }
 
 /// Applies the amplitude-damping *no-decay* Kraus operator
@@ -139,18 +162,22 @@ pub fn reset_qubit<R: Rng + ?Sized>(
 /// draws the branch from `gamma * P(qubit = 1)` (via [`branch_masses`]) and
 /// realizes it with these two primitives.
 ///
+/// # Errors
+///
+/// Fails with a [`DdError`] when the package's governor interrupts the run
+/// or a node arena overflows.
+///
 /// # Panics
 ///
 /// Panics if `qubit` is outside the state, `gamma` is not a probability, or
 /// the no-decay branch carries no mass (only possible for `gamma = 1` on a
 /// pure `|1>` qubit — a branch the engine then never draws).
-#[must_use]
 pub fn amplitude_damp_keep(
     package: &mut DdPackage,
     state: &StateDd,
     qubit: Qubit,
     gamma: f64,
-) -> StateDd {
+) -> Result<StateDd, DdError> {
     assert!(
         qubit.index() < usize::from(state.num_qubits()),
         "qubit {qubit} outside the {}-qubit state",
@@ -174,18 +201,18 @@ pub fn amplitude_damp_keep(
             } else {
                 [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, edge]
             };
-            edge = package.make_mnode(var, children);
+            edge = package.make_mnode(var, children)?;
         }
-        edge
-    });
-    let damped = StateDd::from_root(matrix_vector_multiply(package, edge, state.root()), n);
+        Ok(edge)
+    })?;
+    let damped = StateDd::from_root(matrix_vector_multiply(package, edge, state.root())?, n);
     let mass = damped.norm_sqr(package);
     assert!(
         mass > 0.0,
         "amplitude-damping no-decay branch has zero mass"
     );
     let renormalized = package.scale_vedge(damped.root(), Complex::from_real(1.0 / mass.sqrt()));
-    StateDd::from_root(renormalized, n)
+    Ok(StateDd::from_root(renormalized, n))
 }
 
 /// Measures every qubit, collapsing the state to a computational basis state.
@@ -196,6 +223,11 @@ pub fn amplitude_damp_keep(
 /// that draw many shots from an *unchanged* state should compile the sampler
 /// themselves and reuse it.
 ///
+/// # Errors
+///
+/// Fails with a [`DdError`] when the package's governor interrupts the run
+/// or a node arena overflows.
+///
 /// # Panics
 ///
 /// Panics if the state is the zero vector.
@@ -203,16 +235,21 @@ pub fn measure_all<R: Rng + ?Sized>(
     package: &mut DdPackage,
     state: &StateDd,
     rng: &mut R,
-) -> (u64, StateDd) {
-    let sampler = CompiledSampler::new(package, state);
+) -> Result<(u64, StateDd), DdError> {
+    let sampler = CompiledSampler::new(package, state)?;
     let outcome = sampler.sample(rng);
-    let collapsed = StateDd::basis_state(package, state.num_qubits(), outcome);
-    (outcome, collapsed)
+    let collapsed = StateDd::basis_state(package, state.num_qubits(), outcome)?;
+    Ok((outcome, collapsed))
 }
 
 /// Projects the state onto the subspace where `qubit` has value `bit`
 /// (without renormalizing).
-fn project(package: &mut DdPackage, state: &StateDd, qubit: Qubit, bit: u8) -> StateDd {
+fn project(
+    package: &mut DdPackage,
+    state: &StateDd,
+    qubit: Qubit,
+    bit: u8,
+) -> Result<StateDd, DdError> {
     let n = state.num_qubits();
     // The diagonal projector |bit><bit| on `qubit`, identity elsewhere —
     // memoized per (qubit, bit): branch-mass queries and collapses in
@@ -227,11 +264,14 @@ fn project(package: &mut DdPackage, state: &StateDd, qubit: Qubit, bit: u8) -> S
             } else {
                 [edge, MatrixEdge::ZERO, MatrixEdge::ZERO, edge]
             };
-            edge = package.make_mnode(var, children);
+            edge = package.make_mnode(var, children)?;
         }
-        edge
-    });
-    StateDd::from_root(matrix_vector_multiply(package, edge, state.root()), n)
+        Ok(edge)
+    })?;
+    Ok(StateDd::from_root(
+        matrix_vector_multiply(package, edge, state.root())?,
+        n,
+    ))
 }
 
 #[cfg(test)]
@@ -243,10 +283,10 @@ mod tests {
     #[test]
     fn measuring_a_basis_state_is_deterministic() {
         let mut p = DdPackage::new();
-        let state = StateDd::basis_state(&mut p, 4, 0b1010);
+        let state = StateDd::basis_state(&mut p, 4, 0b1010).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         for q in 0..4u16 {
-            let (bit, post) = measure_qubit(&mut p, &state, Qubit(q), &mut rng);
+            let (bit, post) = measure_qubit(&mut p, &state, Qubit(q), &mut rng).unwrap();
             assert_eq!(u64::from(bit), (0b1010 >> q) & 1);
             assert!((post.norm_sqr(&p) - 1.0).abs() < 1e-12);
         }
@@ -267,7 +307,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut saw = [false, false];
         for _ in 0..20 {
-            let (bit, post) = measure_qubit(&mut p, &state, Qubit(2), &mut rng);
+            let (bit, post) = measure_qubit(&mut p, &state, Qubit(2), &mut rng).unwrap();
             saw[usize::from(bit)] = true;
             // After measuring one qubit of a GHZ state all qubits agree.
             let expected = if bit == 1 { 0b1111 } else { 0 };
@@ -285,7 +325,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let mut counts = [0u32; 8];
         for _ in 0..3000 {
-            let (outcome, collapsed) = measure_all(&mut p, &state, &mut rng);
+            let (outcome, collapsed) = measure_all(&mut p, &state, &mut rng).unwrap();
             counts[outcome as usize] += 1;
             assert!((collapsed.probability(&p, outcome) - 1.0).abs() < 1e-12);
         }
@@ -310,17 +350,17 @@ mod tests {
         // `1 - p_one` where `p_one` was an absolute, unnormalized mass.)
         let mut p = DdPackage::new();
         let a = Complex::from_real(0.5 * mathkit::SQRT1_2);
-        let state = StateDd::from_amplitudes(&mut p, &[a, a]);
+        let state = StateDd::from_amplitudes(&mut p, &[a, a]).unwrap();
         assert!((state.norm_sqr(&p) - 0.25).abs() < 1e-12);
 
-        let masses = branch_masses(&mut p, &state, Qubit(0));
+        let masses = branch_masses(&mut p, &state, Qubit(0)).unwrap();
         assert!((masses[0] - 0.125).abs() < 1e-12);
         assert!((masses[1] - 0.125).abs() < 1e-12);
 
         let mut rng = StdRng::seed_from_u64(13);
         let mut counts = [0u32; 2];
         for _ in 0..2000 {
-            let (bit, post) = measure_qubit(&mut p, &state, Qubit(0), &mut rng);
+            let (bit, post) = measure_qubit(&mut p, &state, Qubit(0), &mut rng).unwrap();
             counts[usize::from(bit)] += 1;
             // Either branch renormalizes to exactly unit norm.
             assert!((post.norm_sqr(&p) - 1.0).abs() < 1e-12);
@@ -339,7 +379,7 @@ mod tests {
         let circuit = algorithms::ghz(3);
         let state = crate::simulate(&mut p, &circuit).unwrap();
         for outcome in [0u8, 1u8] {
-            let post = collapse_qubit(&mut p, &state, Qubit(1), outcome);
+            let post = collapse_qubit(&mut p, &state, Qubit(1), outcome).unwrap();
             let expected = if outcome == 1 { 0b111 } else { 0 };
             assert!((post.probability(&p, expected) - 1.0).abs() < 1e-12);
             assert!((post.norm_sqr(&p) - 1.0).abs() < 1e-12);
@@ -350,7 +390,7 @@ mod tests {
     #[should_panic(expected = "probability zero")]
     fn collapsing_to_an_impossible_outcome_panics() {
         let mut p = DdPackage::new();
-        let state = StateDd::basis_state(&mut p, 2, 0b00);
+        let state = StateDd::basis_state(&mut p, 2, 0b00).unwrap();
         let _ = collapse_qubit(&mut p, &state, Qubit(0), 1);
     }
 
@@ -363,7 +403,7 @@ mod tests {
         let state = crate::simulate(&mut p, &c).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10 {
-            let post = reset_qubit(&mut p, &state, Qubit(0), &mut rng);
+            let post = reset_qubit(&mut p, &state, Qubit(0), &mut rng).unwrap();
             assert!((post.norm_sqr(&p) - 1.0).abs() < 1e-12);
             // Qubit 0 is |0>; qubit 1 keeps the collapsed partner value.
             let p0 = post.probability(&p, 0b00);
@@ -380,22 +420,22 @@ mod tests {
         // (|0> + 0.8 |1>)/sqrt(1.64): P(1) = 0.64/1.64.
         let mut p = DdPackage::new();
         let a = Complex::from_real(mathkit::SQRT1_2);
-        let state = StateDd::from_amplitudes(&mut p, &[a, a]);
-        let kept = amplitude_damp_keep(&mut p, &state, Qubit(0), 0.36);
+        let state = StateDd::from_amplitudes(&mut p, &[a, a]).unwrap();
+        let kept = amplitude_damp_keep(&mut p, &state, Qubit(0), 0.36).unwrap();
         assert!((kept.norm_sqr(&p) - 1.0).abs() < 1e-12);
         assert!((kept.probability(&p, 1) - 0.64 / 1.64).abs() < 1e-12);
         assert!((kept.probability(&p, 0) - 1.0 / 1.64).abs() < 1e-12);
 
         // gamma = 0 is the identity; a |0> qubit never changes.
-        let zero = StateDd::basis_state(&mut p, 2, 0b00);
-        let kept = amplitude_damp_keep(&mut p, &zero, Qubit(1), 0.9);
+        let zero = StateDd::basis_state(&mut p, 2, 0b00).unwrap();
+        let kept = amplitude_damp_keep(&mut p, &zero, Qubit(1), 0.9).unwrap();
         assert!((kept.probability(&p, 0b00) - 1.0).abs() < 1e-12);
 
         // Entangled case: damping qubit 0 of a Bell pair reweights the
         // correlated |11> component.
         let h = Complex::from_real(mathkit::SQRT1_2);
-        let bell = StateDd::from_amplitudes(&mut p, &[h, Complex::ZERO, Complex::ZERO, h]);
-        let kept = amplitude_damp_keep(&mut p, &bell, Qubit(0), 0.5);
+        let bell = StateDd::from_amplitudes(&mut p, &[h, Complex::ZERO, Complex::ZERO, h]).unwrap();
+        let kept = amplitude_damp_keep(&mut p, &bell, Qubit(0), 0.5).unwrap();
         // Masses: |00> keeps 1/2, |11> keeps (1-0.5)/2 = 1/4; renormalized.
         assert!((kept.probability(&p, 0b00) - (0.5 / 0.75)).abs() < 1e-12);
         assert!((kept.probability(&p, 0b11) - (0.25 / 0.75)).abs() < 1e-12);
@@ -405,7 +445,7 @@ mod tests {
     #[should_panic(expected = "zero mass")]
     fn fully_damping_a_pure_one_keep_branch_panics() {
         let mut p = DdPackage::new();
-        let state = StateDd::basis_state(&mut p, 1, 1);
+        let state = StateDd::basis_state(&mut p, 1, 1).unwrap();
         let _ = amplitude_damp_keep(&mut p, &state, Qubit(0), 1.0);
     }
 
@@ -413,7 +453,7 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn measuring_a_missing_qubit_panics() {
         let mut p = DdPackage::new();
-        let state = StateDd::zero_state(&mut p, 2);
+        let state = StateDd::zero_state(&mut p, 2).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let _ = measure_qubit(&mut p, &state, Qubit(5), &mut rng);
     }

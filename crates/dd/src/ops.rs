@@ -2,6 +2,7 @@
 //! matrix–vector and matrix–matrix multiplication.
 
 use crate::edge::{MatrixEdge, VectorEdge};
+use crate::govern::DdError;
 use crate::DdPackage;
 use mathkit::Complex;
 
@@ -11,16 +12,21 @@ use mathkit::Complex;
 /// Both edges must be rooted at the same variable level (or be terminal /
 /// zero edges); this is always the case for DDs built over the same number
 /// of qubits.
-pub fn add(package: &mut DdPackage, a: VectorEdge, b: VectorEdge) -> VectorEdge {
+///
+/// # Errors
+///
+/// Fails with a [`DdError`] when the package's governor interrupts the run
+/// or a node arena overflows.
+pub fn add(package: &mut DdPackage, a: VectorEdge, b: VectorEdge) -> Result<VectorEdge, DdError> {
     if a.is_zero() {
-        return b;
+        return Ok(b);
     }
     if b.is_zero() {
-        return a;
+        return Ok(a);
     }
     if a.is_terminal() && b.is_terminal() {
         let value = package.weight_value(a.weight) + package.weight_value(b.weight);
-        return package.vector_terminal(value);
+        return Ok(package.vector_terminal(value));
     }
 
     // Addition is commutative; canonicalize the key order to double the
@@ -31,9 +37,11 @@ pub fn add(package: &mut DdPackage, a: VectorEdge, b: VectorEdge) -> VectorEdge 
         (b, a)
     };
     if let Some(cached) = package.add_cache.lookup(key) {
-        return cached;
+        return Ok(cached);
     }
 
+    // One of the edges is non-terminal here, so a variable always exists.
+    #[allow(clippy::expect_used)]
     let var = package
         .vedge_var(a)
         .or_else(|| package.vedge_var(b))
@@ -53,24 +61,33 @@ pub fn add(package: &mut DdPackage, a: VectorEdge, b: VectorEdge) -> VectorEdge 
     for (bit, child) in children.iter_mut().enumerate() {
         let left = package.scale_vedge(a_node.children[bit], wa);
         let right = package.scale_vedge(b_node.children[bit], wb);
-        *child = add(package, left, right);
+        *child = add(package, left, right)?;
     }
-    let result = package.make_vnode(var, children[0], children[1]);
+    let result = package.make_vnode(var, children[0], children[1])?;
     package.add_cache.insert(key, result);
-    result
+    Ok(result)
 }
 
 /// Adds two operator DDs (`a + b`).
-pub fn matrix_add(package: &mut DdPackage, a: MatrixEdge, b: MatrixEdge) -> MatrixEdge {
+///
+/// # Errors
+///
+/// Fails with a [`DdError`] when the package's governor interrupts the run
+/// or a node arena overflows.
+pub fn matrix_add(
+    package: &mut DdPackage,
+    a: MatrixEdge,
+    b: MatrixEdge,
+) -> Result<MatrixEdge, DdError> {
     if a.is_zero() {
-        return b;
+        return Ok(b);
     }
     if b.is_zero() {
-        return a;
+        return Ok(a);
     }
     if a.is_terminal() && b.is_terminal() {
         let value = package.weight_value(a.weight) + package.weight_value(b.weight);
-        return package.matrix_terminal(value);
+        return Ok(package.matrix_terminal(value));
     }
 
     let key = if (a.target, a.weight) <= (b.target, b.weight) {
@@ -79,7 +96,7 @@ pub fn matrix_add(package: &mut DdPackage, a: MatrixEdge, b: MatrixEdge) -> Matr
         (b, a)
     };
     if let Some(cached) = package.madd_cache.lookup(key) {
-        return cached;
+        return Ok(cached);
     }
 
     let a_node = *package.mnode(a.target);
@@ -92,11 +109,11 @@ pub fn matrix_add(package: &mut DdPackage, a: MatrixEdge, b: MatrixEdge) -> Matr
     for (i, child) in children.iter_mut().enumerate() {
         let left = package.scale_medge(a_node.children[i], wa);
         let right = package.scale_medge(b_node.children[i], wb);
-        *child = matrix_add(package, left, right);
+        *child = matrix_add(package, left, right)?;
     }
-    let result = package.make_mnode(a_node.var, children);
+    let result = package.make_mnode(a_node.var, children)?;
     package.madd_cache.insert(key, result);
-    result
+    Ok(result)
 }
 
 /// Multiplies an operator DD by a state DD (`m * v`), the core of
@@ -104,20 +121,33 @@ pub fn matrix_add(package: &mut DdPackage, a: MatrixEdge, b: MatrixEdge) -> Matr
 ///
 /// The result weights are factored out of the recursion so the compute table
 /// can be keyed on node identities alone.
-pub fn matrix_vector_multiply(package: &mut DdPackage, m: MatrixEdge, v: VectorEdge) -> VectorEdge {
+///
+/// # Errors
+///
+/// Fails with a [`DdError`] when the package's governor interrupts the run
+/// or a node arena overflows.
+pub fn matrix_vector_multiply(
+    package: &mut DdPackage,
+    m: MatrixEdge,
+    v: VectorEdge,
+) -> Result<VectorEdge, DdError> {
     if m.is_zero() || v.is_zero() {
-        return VectorEdge::ZERO;
+        return Ok(VectorEdge::ZERO);
     }
     let factor = package.weight_value(m.weight) * package.weight_value(v.weight);
-    let normalized = multiply_nodes(package, m, v);
-    package.scale_vedge(normalized, factor)
+    let normalized = multiply_nodes(package, m, v)?;
+    Ok(package.scale_vedge(normalized, factor))
 }
 
 /// Multiplies the sub-diagrams below `m.target` and `v.target`, ignoring the
 /// incoming weights (they are applied by the caller).
-fn multiply_nodes(package: &mut DdPackage, m: MatrixEdge, v: VectorEdge) -> VectorEdge {
+fn multiply_nodes(
+    package: &mut DdPackage,
+    m: MatrixEdge,
+    v: VectorEdge,
+) -> Result<VectorEdge, DdError> {
     if m.is_terminal() && v.is_terminal() {
-        return VectorEdge::ONE;
+        return Ok(VectorEdge::ONE);
     }
     debug_assert!(
         !m.is_terminal() && !v.is_terminal(),
@@ -129,15 +159,15 @@ fn multiply_nodes(package: &mut DdPackage, m: MatrixEdge, v: VectorEdge) -> Vect
     // reconstruct `v` node by node.  Returning the sub-vector directly
     // removes that entire region from the compute working set.
     if package.is_identity_mnode(m.target) {
-        return VectorEdge {
+        return Ok(VectorEdge {
             target: v.target,
             weight: crate::edge::WeightId::ONE,
-        };
+        });
     }
 
     let key = (m.target, v.target);
     if let Some(cached) = package.mv_cache.lookup(key) {
-        return cached;
+        return Ok(cached);
     }
 
     let m_node = *package.mnode(m.target);
@@ -158,53 +188,66 @@ fn multiply_nodes(package: &mut DdPackage, m: MatrixEdge, v: VectorEdge) -> Vect
             if m_child.is_zero() || v_child.is_zero() {
                 continue;
             }
-            let sub = multiply_nodes(package, m_child, v_child);
+            let sub = multiply_nodes(package, m_child, v_child)?;
             let factor =
                 package.weight_value(m_child.weight) * package.weight_value(v_child.weight);
             let term = package.scale_vedge(sub, factor);
-            acc = add(package, acc, term);
+            acc = add(package, acc, term)?;
         }
         children[row] = acc;
     }
-    let result = package.make_vnode(m_node.var, children[0], children[1]);
+    let result = package.make_vnode(m_node.var, children[0], children[1])?;
     package.mv_cache.insert(key, result);
-    result
+    Ok(result)
 }
 
 /// Multiplies two operator DDs (`a * b`), used to fuse gates.
-pub fn matrix_matrix_multiply(package: &mut DdPackage, a: MatrixEdge, b: MatrixEdge) -> MatrixEdge {
+///
+/// # Errors
+///
+/// Fails with a [`DdError`] when the package's governor interrupts the run
+/// or a node arena overflows.
+pub fn matrix_matrix_multiply(
+    package: &mut DdPackage,
+    a: MatrixEdge,
+    b: MatrixEdge,
+) -> Result<MatrixEdge, DdError> {
     if a.is_zero() || b.is_zero() {
-        return MatrixEdge::ZERO;
+        return Ok(MatrixEdge::ZERO);
     }
     let factor = package.weight_value(a.weight) * package.weight_value(b.weight);
-    let normalized = multiply_matrix_nodes(package, a, b);
-    package.scale_medge(normalized, factor)
+    let normalized = multiply_matrix_nodes(package, a, b)?;
+    Ok(package.scale_medge(normalized, factor))
 }
 
-fn multiply_matrix_nodes(package: &mut DdPackage, a: MatrixEdge, b: MatrixEdge) -> MatrixEdge {
+fn multiply_matrix_nodes(
+    package: &mut DdPackage,
+    a: MatrixEdge,
+    b: MatrixEdge,
+) -> Result<MatrixEdge, DdError> {
     if a.is_terminal() && b.is_terminal() {
-        return MatrixEdge::ONE;
+        return Ok(MatrixEdge::ONE);
     }
     debug_assert!(!a.is_terminal() && !b.is_terminal());
 
     // Identity shortcuts: `I * b = b`, `a * I = a` (sub-diagrams, weights
     // applied by the caller).
     if package.is_identity_mnode(a.target) {
-        return MatrixEdge {
+        return Ok(MatrixEdge {
             target: b.target,
             weight: crate::edge::WeightId::ONE,
-        };
+        });
     }
     if package.is_identity_mnode(b.target) {
-        return MatrixEdge {
+        return Ok(MatrixEdge {
             target: a.target,
             weight: crate::edge::WeightId::ONE,
-        };
+        });
     }
 
     let key = (a.target, b.target);
     if let Some(cached) = package.mm_cache.lookup(key) {
-        return cached;
+        return Ok(cached);
     }
 
     let a_node = *package.mnode(a.target);
@@ -221,18 +264,18 @@ fn multiply_matrix_nodes(package: &mut DdPackage, a: MatrixEdge, b: MatrixEdge) 
                 if a_child.is_zero() || b_child.is_zero() {
                     continue;
                 }
-                let sub = multiply_matrix_nodes(package, a_child, b_child);
+                let sub = multiply_matrix_nodes(package, a_child, b_child)?;
                 let factor =
                     package.weight_value(a_child.weight) * package.weight_value(b_child.weight);
                 let term = package.scale_medge(sub, factor);
-                acc = matrix_add(package, acc, term);
+                acc = matrix_add(package, acc, term)?;
             }
             children[2 * row + col] = acc;
         }
     }
-    let result = package.make_mnode(a_node.var, children);
+    let result = package.make_mnode(a_node.var, children)?;
     package.mm_cache.insert(key, result);
-    result
+    Ok(result)
 }
 
 /// The inner product `<a|b>` of two state DDs over the same qubits.
@@ -265,7 +308,7 @@ mod tests {
     use mathkit::SQRT1_2;
 
     fn from_amps(package: &mut DdPackage, amps: &[Complex]) -> VectorEdge {
-        StateDd::from_amplitudes(package, amps).root()
+        StateDd::from_amplitudes(package, amps).unwrap().root()
     }
 
     fn to_amps(package: &DdPackage, edge: VectorEdge, n: u16) -> Vec<Complex> {
@@ -293,7 +336,7 @@ mod tests {
                 Complex::new(0.0, -1.0),
             ],
         );
-        let sum = add(&mut p, a, b);
+        let sum = add(&mut p, a, b).unwrap();
         let amps = to_amps(&p, sum, 2);
         let expected = [
             Complex::from_real(1.5),
@@ -310,8 +353,8 @@ mod tests {
     fn add_with_zero_is_identity() {
         let mut p = DdPackage::new();
         let a = from_amps(&mut p, &[Complex::ONE, Complex::ZERO]);
-        assert_eq!(add(&mut p, a, VectorEdge::ZERO), a);
-        assert_eq!(add(&mut p, VectorEdge::ZERO, a), a);
+        assert_eq!(add(&mut p, a, VectorEdge::ZERO).unwrap(), a);
+        assert_eq!(add(&mut p, VectorEdge::ZERO, a).unwrap(), a);
     }
 
     #[test]
@@ -319,15 +362,15 @@ mod tests {
         let mut p = DdPackage::new();
         let a = from_amps(&mut p, &[Complex::ONE, Complex::from_real(2.0)]);
         let b = from_amps(&mut p, &[Complex::from_real(3.0), Complex::from_real(-1.0)]);
-        let ab = add(&mut p, a, b);
-        let ba = add(&mut p, b, a);
+        let ab = add(&mut p, a, b).unwrap();
+        let ba = add(&mut p, b, a).unwrap();
         assert_eq!(ab, ba);
     }
 
     #[test]
     fn identity_matrix_multiplication_preserves_state() {
         let mut p = DdPackage::new();
-        let identity = crate::OperatorDd::identity(&mut p, 2);
+        let identity = crate::OperatorDd::identity(&mut p, 2).unwrap();
         let amps = [
             Complex::from_real(0.5),
             Complex::new(0.0, 0.5),
@@ -335,7 +378,7 @@ mod tests {
             Complex::new(0.0, -0.5),
         ];
         let v = from_amps(&mut p, &amps);
-        let result = matrix_vector_multiply(&mut p, identity.root(), v);
+        let result = matrix_vector_multiply(&mut p, identity.root(), v).unwrap();
         let out = to_amps(&p, result, 2);
         for (got, want) in out.iter().zip(amps.iter()) {
             assert!((*got - *want).norm() < 1e-12);
@@ -345,8 +388,8 @@ mod tests {
     #[test]
     fn inner_product_of_orthogonal_states_is_zero() {
         let mut p = DdPackage::new();
-        let zero = StateDd::basis_state(&mut p, 2, 0).root();
-        let three = StateDd::basis_state(&mut p, 2, 3).root();
+        let zero = StateDd::basis_state(&mut p, 2, 0).unwrap().root();
+        let three = StateDd::basis_state(&mut p, 2, 3).unwrap().root();
         assert!(inner_product(&mut p, zero, three).norm() < 1e-12);
         assert!((inner_product(&mut p, zero, zero) - Complex::ONE).norm() < 1e-12);
     }
@@ -366,16 +409,20 @@ mod tests {
         let mut p = DdPackage::new();
         // |0><0| + |1><1| over one qubit equals the identity.
         let one = p.matrix_terminal(Complex::ONE);
-        let proj0 = p.make_mnode(
-            0,
-            [one, MatrixEdge::ZERO, MatrixEdge::ZERO, MatrixEdge::ZERO],
-        );
-        let proj1 = p.make_mnode(
-            0,
-            [MatrixEdge::ZERO, MatrixEdge::ZERO, MatrixEdge::ZERO, one],
-        );
-        let sum = matrix_add(&mut p, proj0, proj1);
-        let identity = crate::OperatorDd::identity(&mut p, 1).root();
+        let proj0 = p
+            .make_mnode(
+                0,
+                [one, MatrixEdge::ZERO, MatrixEdge::ZERO, MatrixEdge::ZERO],
+            )
+            .unwrap();
+        let proj1 = p
+            .make_mnode(
+                0,
+                [MatrixEdge::ZERO, MatrixEdge::ZERO, MatrixEdge::ZERO, one],
+            )
+            .unwrap();
+        let sum = matrix_add(&mut p, proj0, proj1).unwrap();
+        let identity = crate::OperatorDd::identity(&mut p, 1).unwrap().root();
         assert_eq!(sum, identity);
     }
 
@@ -384,9 +431,11 @@ mod tests {
         let mut p = DdPackage::new();
         // X * X = I on one qubit.
         let one = p.matrix_terminal(Complex::ONE);
-        let x = p.make_mnode(0, [MatrixEdge::ZERO, one, one, MatrixEdge::ZERO]);
-        let xx = matrix_matrix_multiply(&mut p, x, x);
-        let identity = crate::OperatorDd::identity(&mut p, 1).root();
+        let x = p
+            .make_mnode(0, [MatrixEdge::ZERO, one, one, MatrixEdge::ZERO])
+            .unwrap();
+        let xx = matrix_matrix_multiply(&mut p, x, x).unwrap();
+        let identity = crate::OperatorDd::identity(&mut p, 1).unwrap().root();
         assert_eq!(xx, identity);
     }
 }

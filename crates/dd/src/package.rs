@@ -54,9 +54,11 @@
 //! [`DdStats`].
 
 use crate::edge::{MatrixEdge, MatrixNodeId, VectorEdge, VectorNodeId, WeightId};
+use crate::govern::{DdError, Governor};
 use crate::node::{MatrixNode, VectorNode};
 use circuit::{OneQubitGate, Qubit};
 use mathkit::{hash_mix, CTable, Complex, FxHashMap, FxHashSet, Tolerance};
+use std::mem::size_of;
 
 /// The edge-weight normalization scheme applied when creating vector nodes.
 ///
@@ -514,6 +516,20 @@ impl<K: CacheKey, V: Copy> ComputeCache<K, V> {
         self.generation += 1;
     }
 
+    /// Frees the backing storage and resets the growth state to the minimum
+    /// capacity (the configured maximum is unchanged), so the cache re-grows
+    /// on demand.  Used when degrading under memory pressure.
+    fn shrink(&mut self) {
+        self.capacity = self.max_capacity.min(COMPUTE_CACHE_MIN_ENTRIES);
+        self.entries = Vec::new();
+        self.evictions_since_grow = 0;
+    }
+
+    /// Bytes held by the backing storage right now.
+    fn allocated_bytes(&self) -> usize {
+        self.entries.len() * size_of::<CacheEntry<K, V>>()
+    }
+
     /// Resizes (and clears) the cache; 0 disables caching entirely.
     fn set_capacity(&mut self, capacity: usize) {
         self.max_capacity = if capacity == 0 {
@@ -646,7 +662,7 @@ fn gate_fingerprint(gate: OneQubitGate) -> (u8, [u64; 3]) {
 /// use dd::{DdPackage, Normalization};
 ///
 /// let mut package = DdPackage::with_normalization(Normalization::LeftMost);
-/// let state = dd::StateDd::zero_state(&mut package, 3);
+/// let state = dd::StateDd::zero_state(&mut package, 3).unwrap();
 /// assert_eq!(state.node_count(&package), 3);
 /// ```
 #[derive(Debug)]
@@ -676,6 +692,9 @@ pub struct DdPackage {
     operator_misses: u64,
     operator_evictions: u64,
     garbage_collections: u64,
+    /// Budgets / deadline / cancellation for every make-node call; the
+    /// default is unlimited, which short-circuits to a single branch.
+    governor: Governor,
 }
 
 impl DdPackage {
@@ -721,7 +740,22 @@ impl DdPackage {
             operator_misses: 0,
             operator_evictions: 0,
             garbage_collections: 0,
+            governor: Governor::unlimited(),
         }
+    }
+
+    /// Installs a [`Governor`] checked by every subsequent make-node call
+    /// (see the [`govern`](crate::govern) module docs for the amortization
+    /// scheme).  Replacing the governor mid-run is allowed; the default is
+    /// [`Governor::unlimited`].
+    pub fn set_governor(&mut self, governor: Governor) {
+        self.governor = governor;
+    }
+
+    /// The governor currently installed on this package.
+    #[must_use]
+    pub fn governor(&self) -> &Governor {
+        &self.governor
     }
 
     /// The normalization scheme used for vector nodes.
@@ -740,6 +774,34 @@ impl DdPackage {
         self.mv_cache.set_capacity(entries);
         self.madd_cache.set_capacity(entries);
         self.mm_cache.set_capacity(entries);
+    }
+
+    /// Frees the compute caches' backing storage and resets their growth
+    /// state to the minimum footprint (their configured maxima are kept, so
+    /// they re-grow on demand).  Part of the graceful-degradation path:
+    /// under budget pressure the caches are shrunk before the run fails.
+    pub fn shrink_compute_caches(&mut self) {
+        self.add_cache.shrink();
+        self.mv_cache.shrink();
+        self.madd_cache.shrink();
+        self.mm_cache.shrink();
+    }
+
+    /// Approximate bytes held by the package right now: node arenas, unique
+    /// tables and compute caches (the interned-value table and operator memo
+    /// are comparatively small and not counted).  This is the figure the
+    /// governor's byte budget is checked against.
+    #[must_use]
+    pub fn approx_allocated_bytes(&self) -> u64 {
+        let vnodes = self.vnodes.len() * size_of::<VectorNode>();
+        let mnodes = self.mnodes.len() * (size_of::<MatrixNode>() + size_of::<bool>());
+        let tables =
+            (self.vunique.slots.len() + self.munique.slots.len()) * size_of::<UniqueSlot>();
+        let caches = self.add_cache.allocated_bytes()
+            + self.mv_cache.allocated_bytes()
+            + self.madd_cache.allocated_bytes()
+            + self.mm_cache.allocated_bytes();
+        (vnodes + mnodes + tables + caches) as u64
     }
 
     /// Current occupancy and hit/miss statistics.
@@ -884,7 +946,20 @@ impl DdPackage {
     /// The successors' weights are normalized according to the package's
     /// [`Normalization`]; the factor pulled out is returned as the weight of
     /// the resulting edge.
-    pub fn make_vnode(&mut self, var: u16, zero: VectorEdge, one: VectorEdge) -> VectorEdge {
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`DdError`] when the installed [`Governor`] interrupts
+    /// the run (budget, deadline, cancellation) or the arena outgrows the
+    /// `u32` id space; with the default unlimited governor only the latter
+    /// is possible.
+    pub fn make_vnode(
+        &mut self,
+        var: u16,
+        zero: VectorEdge,
+        one: VectorEdge,
+    ) -> Result<VectorEdge, DdError> {
+        self.governor.checkpoint()?;
         let w0 = if zero.is_zero() {
             Complex::ZERO
         } else {
@@ -896,7 +971,7 @@ impl DdPackage {
             self.weight_value(one.weight)
         };
         if w0.is_zero() && w1.is_zero() {
-            return VectorEdge::ZERO;
+            return Ok(VectorEdge::ZERO);
         }
 
         let factor = match self.normalization {
@@ -932,17 +1007,27 @@ impl DdPackage {
             }
             None => {
                 self.vunique_misses += 1;
-                let id = u32::try_from(self.vnodes.len()).expect("vector node arena overflow");
-                assert!(id != UNIQUE_EMPTY, "vector node arena overflow");
+                // A miss is the only place the arena grows, so budget
+                // arithmetic runs here (two compares) rather than per call.
+                if self.governor.is_limited() {
+                    self.governor.check_budget(
+                        (self.vnodes.len() + self.mnodes.len() + 1) as u64,
+                        self.approx_allocated_bytes(),
+                    )?;
+                }
+                let id = u32::try_from(self.vnodes.len())
+                    .ok()
+                    .filter(|&id| id != UNIQUE_EMPTY)
+                    .ok_or(DdError::ArenaOverflow { arena: "vector" })?;
                 self.vnodes.push(node);
                 self.vunique.insert(hash, id);
                 VectorNodeId(id)
             }
         };
-        VectorEdge {
+        Ok(VectorEdge {
             target: id,
             weight: self.weight(factor),
-        }
+        })
     }
 
     fn canonical_child(&mut self, child: VectorEdge, normalized_weight: Complex) -> VectorEdge {
@@ -977,7 +1062,18 @@ impl DdPackage {
     ///
     /// Matrix nodes always use left-most normalization (the 2-norm scheme is
     /// specific to sampling from state DDs).
-    pub fn make_mnode(&mut self, var: u16, children: [MatrixEdge; 4]) -> MatrixEdge {
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`DdError`] when the installed [`Governor`] interrupts
+    /// the run or the arena outgrows the `u32` id space; see
+    /// [`make_vnode`](DdPackage::make_vnode).
+    pub fn make_mnode(
+        &mut self,
+        var: u16,
+        children: [MatrixEdge; 4],
+    ) -> Result<MatrixEdge, DdError> {
+        self.governor.checkpoint()?;
         let mut weights = [Complex::ZERO; 4];
         for (w, e) in weights.iter_mut().zip(&children) {
             if !e.is_zero() {
@@ -985,7 +1081,7 @@ impl DdPackage {
             }
         }
         let Some(factor) = weights.iter().copied().find(|w| !w.is_zero()) else {
-            return MatrixEdge::ZERO;
+            return Ok(MatrixEdge::ZERO);
         };
 
         let mut normalized = [MatrixEdge::ZERO; 4];
@@ -1014,18 +1110,26 @@ impl DdPackage {
             }
             None => {
                 self.munique_misses += 1;
-                let id = u32::try_from(self.mnodes.len()).expect("matrix node arena overflow");
-                assert!(id != UNIQUE_EMPTY, "matrix node arena overflow");
+                if self.governor.is_limited() {
+                    self.governor.check_budget(
+                        (self.vnodes.len() + self.mnodes.len() + 1) as u64,
+                        self.approx_allocated_bytes(),
+                    )?;
+                }
+                let id = u32::try_from(self.mnodes.len())
+                    .ok()
+                    .filter(|&id| id != UNIQUE_EMPTY)
+                    .ok_or(DdError::ArenaOverflow { arena: "matrix" })?;
                 self.midentity.push(self.is_identity_node(&node));
                 self.mnodes.push(node);
                 self.munique.insert(hash, id);
                 MatrixNodeId(id)
             }
         };
-        MatrixEdge {
+        Ok(MatrixEdge {
             target: id,
             weight: self.weight(factor),
-        }
+        })
     }
 
     /// Whether `node` is an exact identity chain: diagonal blocks equal with
@@ -1057,20 +1161,22 @@ impl DdPackage {
     pub(crate) fn cached_operator(
         &mut self,
         key: OperatorKey,
-        build: impl FnOnce(&mut Self) -> MatrixEdge,
-    ) -> MatrixEdge {
+        build: impl FnOnce(&mut Self) -> Result<MatrixEdge, DdError>,
+    ) -> Result<MatrixEdge, DdError> {
         if let Some(&edge) = self.operator_cache.get(&key) {
             self.operator_hits += 1;
-            return edge;
+            return Ok(edge);
         }
         self.operator_misses += 1;
-        let edge = build(self);
+        // An interrupted build inserts nothing, so the memo only ever holds
+        // results of completed constructions.
+        let edge = build(self)?;
         if self.operator_cache.len() >= OPERATOR_CACHE_CAP {
             self.operator_evictions += self.operator_cache.len() as u64;
             self.operator_cache.clear();
         }
         self.operator_cache.insert(key, edge);
-        edge
+        Ok(edge)
     }
 
     // ----- compute-table maintenance --------------------------------------
@@ -1294,6 +1400,9 @@ impl GcState<'_> {
             {
                 Some(nid) => VectorNodeId(nid),
                 None => {
+                    // Infallible: the compacted arena only ever shrinks, and
+                    // the input arena already fit in the u32 id space.
+                    #[allow(clippy::expect_used)]
                     let nid = u32::try_from(self.new_nodes.len()).expect("arena overflow");
                     self.new_nodes.push(new_node);
                     self.table.insert(hash, nid);
@@ -1347,8 +1456,8 @@ mod tests {
     fn make_vnode_shares_identical_nodes() {
         let mut p = DdPackage::new();
         let t = p.vector_terminal(Complex::ONE);
-        let a = p.make_vnode(0, t, t);
-        let b = p.make_vnode(0, t, t);
+        let a = p.make_vnode(0, t, t).unwrap();
+        let b = p.make_vnode(0, t, t).unwrap();
         assert_eq!(a.target, b.target);
         assert_eq!(p.allocated_vector_nodes(), 1);
     }
@@ -1356,7 +1465,7 @@ mod tests {
     #[test]
     fn make_vnode_zero_children_give_zero_edge() {
         let mut p = DdPackage::new();
-        let e = p.make_vnode(2, VectorEdge::ZERO, VectorEdge::ZERO);
+        let e = p.make_vnode(2, VectorEdge::ZERO, VectorEdge::ZERO).unwrap();
         assert!(e.is_zero());
     }
 
@@ -1374,13 +1483,13 @@ mod tests {
         let mut edges = Vec::new();
         for i in 0..20_000 {
             let w = p.scale_vedge(t, weight(i));
-            edges.push(p.make_vnode(0, w, t));
+            edges.push(p.make_vnode(0, w, t).unwrap());
         }
         assert_eq!(p.allocated_vector_nodes(), 20_000);
         // Re-creating each node hits the unique table instead of allocating.
         for (i, edge) in edges.iter().enumerate() {
             let w = p.scale_vedge(t, weight(i));
-            let again = p.make_vnode(0, w, t);
+            let again = p.make_vnode(0, w, t).unwrap();
             assert_eq!(again.target, edge.target, "node {i} not shared");
         }
         assert_eq!(p.allocated_vector_nodes(), 20_000);
@@ -1393,7 +1502,7 @@ mod tests {
         let t = p.vector_terminal(Complex::ONE);
         let a = p.scale_vedge(t, Complex::new(3.0, 0.0));
         let b = p.scale_vedge(t, Complex::new(0.0, 4.0));
-        let edge = p.make_vnode(0, a, b);
+        let edge = p.make_vnode(0, a, b).unwrap();
         let node = p.vnode(edge.target);
         let w0 = p.weight_value(node.children[0].weight);
         let w1 = p.weight_value(node.children[1].weight);
@@ -1410,7 +1519,7 @@ mod tests {
         let t = p.vector_terminal(Complex::ONE);
         let a = p.scale_vedge(t, Complex::from_real(SQRT1_2));
         let b = p.scale_vedge(t, Complex::from_real(-SQRT1_2));
-        let edge = p.make_vnode(0, a, b);
+        let edge = p.make_vnode(0, a, b).unwrap();
         let node = p.vnode(edge.target);
         assert!(node.children[0].weight.is_one());
         let w1 = p.weight_value(node.children[1].weight);
@@ -1427,8 +1536,8 @@ mod tests {
             let b1 = p.scale_vedge(t, Complex::from_real(2.0));
             let a2 = p.scale_vedge(t, Complex::new(0.0, 3.0));
             let b2 = p.scale_vedge(t, Complex::new(0.0, 6.0));
-            let e1 = p.make_vnode(0, a1, b1);
-            let e2 = p.make_vnode(0, a2, b2);
+            let e1 = p.make_vnode(0, a1, b1).unwrap();
+            let e2 = p.make_vnode(0, a2, b2).unwrap();
             assert_eq!(e1.target, e2.target, "normalization {norm:?}");
         }
     }
@@ -1438,12 +1547,16 @@ mod tests {
         let mut p = DdPackage::new();
         let one = p.matrix_terminal(Complex::ONE);
         let half = p.matrix_terminal(Complex::from_real(0.5));
-        let a = p.make_mnode(0, [half, MatrixEdge::ZERO, MatrixEdge::ZERO, half]);
-        let b = p.make_mnode(0, [one, MatrixEdge::ZERO, MatrixEdge::ZERO, one]);
+        let a = p
+            .make_mnode(0, [half, MatrixEdge::ZERO, MatrixEdge::ZERO, half])
+            .unwrap();
+        let b = p
+            .make_mnode(0, [one, MatrixEdge::ZERO, MatrixEdge::ZERO, one])
+            .unwrap();
         // Both are scalar multiples of the identity block, so they share a node.
         assert_eq!(a.target, b.target);
         assert!((p.weight_value(a.weight).re - 0.5).abs() < 1e-12);
-        assert!(p.make_mnode(1, [MatrixEdge::ZERO; 4]).is_zero());
+        assert!(p.make_mnode(1, [MatrixEdge::ZERO; 4]).unwrap().is_zero());
         let s = p.stats();
         assert_eq!(s.matrix_unique_hits, 1);
         assert_eq!(s.matrix_unique_misses, 1);
@@ -1453,7 +1566,7 @@ mod tests {
     fn stats_report_counts() {
         let mut p = DdPackage::new();
         let t = p.vector_terminal(Complex::ONE);
-        let _ = p.make_vnode(0, t, VectorEdge::ZERO);
+        let _ = p.make_vnode(0, t, VectorEdge::ZERO).unwrap();
         let s = p.stats();
         assert_eq!(s.vector_nodes, 1);
         assert!(s.interned_values >= 2);
@@ -1464,8 +1577,8 @@ mod tests {
     fn compute_cache_is_lossy_and_generation_cleared() {
         let mut p = DdPackage::new();
         let t = p.vector_terminal(Complex::ONE);
-        let a = p.make_vnode(0, t, VectorEdge::ZERO);
-        let b = p.make_vnode(0, VectorEdge::ZERO, t);
+        let a = p.make_vnode(0, t, VectorEdge::ZERO).unwrap();
+        let b = p.make_vnode(0, VectorEdge::ZERO, t).unwrap();
         let key = (a, b);
         assert_eq!(p.add_cache.lookup(key), None);
         p.add_cache.insert(key, a);
@@ -1486,7 +1599,7 @@ mod tests {
         let mut p = DdPackage::new();
         p.set_compute_cache_capacity(0);
         let t = p.vector_terminal(Complex::ONE);
-        let a = p.make_vnode(0, t, VectorEdge::ZERO);
+        let a = p.make_vnode(0, t, VectorEdge::ZERO).unwrap();
         p.add_cache.insert((a, a), a);
         assert_eq!(p.add_cache.lookup((a, a)), None);
     }
@@ -1495,10 +1608,10 @@ mod tests {
     fn reachable_count_ignores_garbage() {
         let mut p = DdPackage::new();
         let t = p.vector_terminal(Complex::ONE);
-        let keep = p.make_vnode(0, t, VectorEdge::ZERO);
-        let keep = p.make_vnode(1, keep, VectorEdge::ZERO);
+        let keep = p.make_vnode(0, t, VectorEdge::ZERO).unwrap();
+        let keep = p.make_vnode(1, keep, VectorEdge::ZERO).unwrap();
         // Create garbage.
-        let _ = p.make_vnode(0, t, t);
+        let _ = p.make_vnode(0, t, t).unwrap();
         assert_eq!(p.allocated_vector_nodes(), 3);
         assert_eq!(p.reachable_vector_nodes(keep), 2);
     }
@@ -1507,11 +1620,11 @@ mod tests {
     fn garbage_collection_compacts_and_remaps() {
         let mut p = DdPackage::new();
         let t = p.vector_terminal(Complex::ONE);
-        let keep = p.make_vnode(0, t, VectorEdge::ZERO);
-        let keep = p.make_vnode(1, keep, t);
+        let keep = p.make_vnode(0, t, VectorEdge::ZERO).unwrap();
+        let keep = p.make_vnode(1, keep, t).unwrap();
         for i in 0..10 {
             let x = p.scale_vedge(t, Complex::from_real(f64::from(i) + 2.0));
-            let _ = p.make_vnode(0, x, t);
+            let _ = p.make_vnode(0, x, t).unwrap();
         }
         assert!(p.allocated_vector_nodes() > 2);
         let roots = p.collect_garbage(&[keep]);
@@ -1529,11 +1642,11 @@ mod tests {
         let mut p = DdPackage::new();
         let t = p.vector_terminal(Complex::ONE);
         let h = p.scale_vedge(t, Complex::from_real(SQRT1_2));
-        let keep = p.make_vnode(0, h, h);
+        let keep = p.make_vnode(0, h, h).unwrap();
         // A pile of garbage nodes with distinct weights bloats the table.
         for i in 0..5_000 {
             let w = p.scale_vedge(t, Complex::from_real(2.0 + f64::from(i) * 1e-3));
-            let _ = p.make_vnode(0, w, t);
+            let _ = p.make_vnode(0, w, t).unwrap();
         }
         let before = p.stats().interned_values;
         assert!(before > 5_000, "value table should have grown: {before}");
@@ -1564,9 +1677,9 @@ mod tests {
         let depth = 60_000u32;
         for var in 0..depth {
             let var = u16::try_from(var % u32::from(u16::MAX)).unwrap();
-            edge = p.make_vnode(var, edge, VectorEdge::ZERO);
+            edge = p.make_vnode(var, edge, VectorEdge::ZERO).unwrap();
         }
-        let _garbage = p.make_vnode(0, edge, edge);
+        let _garbage = p.make_vnode(0, edge, edge).unwrap();
         let roots = p.collect_garbage(&[edge]);
         assert_eq!(p.allocated_vector_nodes(), depth as usize);
         assert_eq!(p.reachable_vector_nodes(roots[0]), depth as usize);
@@ -1576,12 +1689,12 @@ mod tests {
     fn unique_table_rebuild_after_gc_still_shares() {
         let mut p = DdPackage::new();
         let t = p.vector_terminal(Complex::ONE);
-        let keep = p.make_vnode(0, t, VectorEdge::ZERO);
-        let _garbage = p.make_vnode(0, t, t);
+        let keep = p.make_vnode(0, t, VectorEdge::ZERO).unwrap();
+        let _garbage = p.make_vnode(0, t, t).unwrap();
         let roots = p.collect_garbage(&[keep]);
         // Re-creating the kept node after GC must find it, not duplicate it.
         let t = p.vector_terminal(Complex::ONE);
-        let again = p.make_vnode(0, t, VectorEdge::ZERO);
+        let again = p.make_vnode(0, t, VectorEdge::ZERO).unwrap();
         assert_eq!(again.target, roots[0].target);
         assert_eq!(p.allocated_vector_nodes(), 1);
     }
@@ -1591,14 +1704,24 @@ mod tests {
         let mut p = DdPackage::new();
         let key = OperatorKey::gate(2, OneQubitGate::H, Qubit(0), &[]);
         let mut builds = 0;
-        let a = p.cached_operator(key.clone(), |p| {
-            builds += 1;
-            crate::OperatorDd::controlled_gate(p, 2, OneQubitGate::H, Qubit(0), &[]).root()
-        });
-        let b = p.cached_operator(key, |p| {
-            builds += 1;
-            crate::OperatorDd::controlled_gate(p, 2, OneQubitGate::H, Qubit(0), &[]).root()
-        });
+        let a = p
+            .cached_operator(key.clone(), |p| {
+                builds += 1;
+                Ok(
+                    crate::OperatorDd::controlled_gate(p, 2, OneQubitGate::H, Qubit(0), &[])?
+                        .root(),
+                )
+            })
+            .unwrap();
+        let b = p
+            .cached_operator(key, |p| {
+                builds += 1;
+                Ok(
+                    crate::OperatorDd::controlled_gate(p, 2, OneQubitGate::H, Qubit(0), &[])?
+                        .root(),
+                )
+            })
+            .unwrap();
         assert_eq!(a, b);
         assert_eq!(builds, 1, "second request must be served from the memo");
         let s = p.stats();
@@ -1606,9 +1729,14 @@ mod tests {
         assert_eq!(s.operator_cache.misses, 1);
         // Distinct layouts get distinct entries.
         let key2 = OperatorKey::gate(2, OneQubitGate::H, Qubit(1), &[]);
-        let c = p.cached_operator(key2, |p| {
-            crate::OperatorDd::controlled_gate(p, 2, OneQubitGate::H, Qubit(1), &[]).root()
-        });
+        let c = p
+            .cached_operator(key2, |p| {
+                Ok(
+                    crate::OperatorDd::controlled_gate(p, 2, OneQubitGate::H, Qubit(1), &[])?
+                        .root(),
+                )
+            })
+            .unwrap();
         assert_ne!(a, c);
     }
 
@@ -1616,19 +1744,29 @@ mod tests {
     fn operator_cache_is_cleared_by_gc() {
         let mut p = DdPackage::new();
         let key = OperatorKey::gate(1, OneQubitGate::X, Qubit(0), &[]);
-        let _ = p.cached_operator(key.clone(), |p| {
-            crate::OperatorDd::controlled_gate(p, 1, OneQubitGate::X, Qubit(0), &[]).root()
-        });
+        let _ = p
+            .cached_operator(key.clone(), |p| {
+                Ok(
+                    crate::OperatorDd::controlled_gate(p, 1, OneQubitGate::X, Qubit(0), &[])?
+                        .root(),
+                )
+            })
+            .unwrap();
         let t = p.vector_terminal(Complex::ONE);
-        let keep = p.make_vnode(0, t, VectorEdge::ZERO);
+        let keep = p.make_vnode(0, t, VectorEdge::ZERO).unwrap();
         let _ = p.collect_garbage(&[keep]);
         // The matrix arena is gone; the memo must rebuild, not return a
         // dangling edge.
         let mut rebuilt = false;
-        let edge = p.cached_operator(key, |p| {
-            rebuilt = true;
-            crate::OperatorDd::controlled_gate(p, 1, OneQubitGate::X, Qubit(0), &[]).root()
-        });
+        let edge = p
+            .cached_operator(key, |p| {
+                rebuilt = true;
+                Ok(
+                    crate::OperatorDd::controlled_gate(p, 1, OneQubitGate::X, Qubit(0), &[])?
+                        .root(),
+                )
+            })
+            .unwrap();
         assert!(rebuilt, "memo must be cleared by garbage collection");
         assert!(!edge.is_zero());
     }

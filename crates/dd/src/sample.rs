@@ -374,6 +374,7 @@ mod tests {
                 b,
             ],
         )
+        .unwrap()
     }
 
     #[cfg(feature = "comparison-samplers")]
@@ -491,7 +492,7 @@ mod tests {
     #[should_panic(expected = "zero vector")]
     fn sampling_the_zero_vector_panics() {
         let mut p = DdPackage::new();
-        let s = StateDd::from_amplitudes(&mut p, &[Complex::ZERO; 4]);
+        let s = StateDd::from_amplitudes(&mut p, &[Complex::ZERO; 4]).unwrap();
         let sampler = DdSampler::new(&p, &s);
         let mut rng = StdRng::seed_from_u64(0);
         let _ = sampler.sample(&p, &mut rng);
@@ -501,7 +502,7 @@ mod tests {
     #[test]
     fn basis_state_always_samples_itself() {
         let mut p = DdPackage::new();
-        let s = StateDd::basis_state(&mut p, 6, 0b101101);
+        let s = StateDd::basis_state(&mut p, 6, 0b101101).unwrap();
         let sampler = DdSampler::new(&p, &s);
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..50 {
@@ -525,7 +526,7 @@ mod tests {
         let depth = 60_000u32;
         for var in 0..depth {
             let var = u16::try_from(var % u32::from(u16::MAX)).unwrap();
-            edge = p.make_vnode(var, edge, VectorEdge::ZERO);
+            edge = p.make_vnode(var, edge, VectorEdge::ZERO).unwrap();
         }
         let mut memo = FxHashMap::default();
         let down = downstream_probability(&p, edge.target, &mut memo);

@@ -1,6 +1,7 @@
 //! State (vector) decision diagrams.
 
 use crate::edge::{VectorEdge, VectorNodeId};
+use crate::govern::DdError;
 use crate::DdPackage;
 use mathkit::{Complex, KahanSum};
 
@@ -15,7 +16,7 @@ use mathkit::{Complex, KahanSum};
 /// use dd::{DdPackage, StateDd};
 ///
 /// let mut package = DdPackage::new();
-/// let state = StateDd::basis_state(&mut package, 3, 0b101);
+/// let state = StateDd::basis_state(&mut package, 3, 0b101).unwrap();
 /// assert_eq!(state.amplitude(&package, 0b101).re, 1.0);
 /// assert_eq!(state.amplitude(&package, 0b000).re, 0.0);
 /// ```
@@ -46,18 +47,30 @@ impl StateDd {
     }
 
     /// Builds the all-zeros basis state `|0...0>`.
-    #[must_use]
-    pub fn zero_state(package: &mut DdPackage, num_qubits: u16) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`DdError`] when the package's governor interrupts the
+    /// run or a node arena overflows.
+    pub fn zero_state(package: &mut DdPackage, num_qubits: u16) -> Result<Self, DdError> {
         Self::basis_state(package, num_qubits, 0)
     }
 
     /// Builds the computational basis state `|index>`.
     ///
+    /// # Errors
+    ///
+    /// Fails with a [`DdError`] when the package's governor interrupts the
+    /// run or a node arena overflows.
+    ///
     /// # Panics
     ///
     /// Panics if `index` has bits above `num_qubits`.
-    #[must_use]
-    pub fn basis_state(package: &mut DdPackage, num_qubits: u16, index: u64) -> Self {
+    pub fn basis_state(
+        package: &mut DdPackage,
+        num_qubits: u16,
+        index: u64,
+    ) -> Result<Self, DdError> {
         assert!(
             num_qubits == 64 || index < (1u64 << num_qubits),
             "basis index {index} out of range for {num_qubits} qubits"
@@ -66,25 +79,32 @@ impl StateDd {
         for var in 0..num_qubits {
             let bit = (index >> var) & 1;
             edge = if bit == 0 {
-                package.make_vnode(var, edge, VectorEdge::ZERO)
+                package.make_vnode(var, edge, VectorEdge::ZERO)?
             } else {
-                package.make_vnode(var, VectorEdge::ZERO, edge)
+                package.make_vnode(var, VectorEdge::ZERO, edge)?
             };
         }
-        Self {
+        Ok(Self {
             root: edge,
             num_qubits,
-        }
+        })
     }
 
     /// Builds a decision diagram from an explicit amplitude vector (length
     /// must be a power of two).
     ///
+    /// # Errors
+    ///
+    /// Fails with a [`DdError`] when the package's governor interrupts the
+    /// run or a node arena overflows.
+    ///
     /// # Panics
     ///
     /// Panics if the length of `amplitudes` is not a power of two.
-    #[must_use]
-    pub fn from_amplitudes(package: &mut DdPackage, amplitudes: &[Complex]) -> Self {
+    pub fn from_amplitudes(
+        package: &mut DdPackage,
+        amplitudes: &[Complex],
+    ) -> Result<Self, DdError> {
         assert!(
             amplitudes.len().is_power_of_two(),
             "amplitude vector length must be a power of two, got {}",
@@ -92,19 +112,19 @@ impl StateDd {
         );
         let num_qubits = amplitudes.len().trailing_zeros() as u16;
 
-        fn build(package: &mut DdPackage, amps: &[Complex]) -> VectorEdge {
+        fn build(package: &mut DdPackage, amps: &[Complex]) -> Result<VectorEdge, DdError> {
             if amps.len() == 1 {
-                return package.vector_terminal(amps[0]);
+                return Ok(package.vector_terminal(amps[0]));
             }
             let half = amps.len() / 2;
-            let zero = build(package, &amps[..half]);
-            let one = build(package, &amps[half..]);
+            let zero = build(package, &amps[..half])?;
+            let one = build(package, &amps[half..])?;
             let var = (amps.len().trailing_zeros() - 1) as u16;
             package.make_vnode(var, zero, one)
         }
 
-        let root = build(package, amplitudes);
-        Self { root, num_qubits }
+        let root = build(package, amplitudes)?;
+        Ok(Self { root, num_qubits })
     }
 
     /// The amplitude of basis state `index`, reconstructed by multiplying the
@@ -177,7 +197,11 @@ impl StateDd {
             }
             let factor = factor * package.weight_value(edge.weight);
             if edge.is_terminal() {
-                out[usize::try_from(prefix).expect("index fits")] = factor;
+                // Infallible: the ≤30-qubit guard bounds the prefix well
+                // below usize::MAX.
+                #[allow(clippy::expect_used)]
+                let index = usize::try_from(prefix).expect("index fits");
+                out[index] = factor;
                 return;
             }
             let node = package.vnode(edge.target);
@@ -244,7 +268,7 @@ mod tests {
     #[test]
     fn zero_state_has_one_node_per_qubit() {
         let mut p = DdPackage::new();
-        let s = StateDd::zero_state(&mut p, 5);
+        let s = StateDd::zero_state(&mut p, 5).unwrap();
         assert_eq!(s.node_count(&p), 5);
         assert_eq!(s.amplitude(&p, 0), Complex::ONE);
         assert_eq!(s.amplitude(&p, 7), Complex::ZERO);
@@ -254,7 +278,7 @@ mod tests {
     #[test]
     fn basis_state_amplitudes() {
         let mut p = DdPackage::new();
-        let s = StateDd::basis_state(&mut p, 4, 0b1010);
+        let s = StateDd::basis_state(&mut p, 4, 0b1010).unwrap();
         for i in 0..16 {
             let expected = if i == 0b1010 { 1.0 } else { 0.0 };
             assert_eq!(s.probability(&p, i), expected, "index {i}");
@@ -274,7 +298,7 @@ mod tests {
             Complex::new(-0.1, -0.4),
             Complex::new(0.3, 0.3),
         ];
-        let s = StateDd::from_amplitudes(&mut p, &amps);
+        let s = StateDd::from_amplitudes(&mut p, &amps).unwrap();
         let back = s.to_amplitudes(&p);
         for (got, want) in back.iter().zip(amps.iter()) {
             assert!((*got - *want).norm() < 1e-10, "{got} vs {want}");
@@ -299,7 +323,7 @@ mod tests {
             Complex::ZERO,
             b,
         ];
-        let s = StateDd::from_amplitudes(&mut p, &amps);
+        let s = StateDd::from_amplitudes(&mut p, &amps).unwrap();
         assert_eq!(s.node_count(&p), 5);
         // Example 9: the amplitude of |111> is reconstructed from the path.
         assert!((s.amplitude(&p, 0b111) - b).norm() < 1e-12);
@@ -316,7 +340,7 @@ mod tests {
         let amps: Vec<Complex> = (0..1usize << n)
             .map(|_| Complex::from_real(SQRT1_2.powi(n as i32)))
             .collect();
-        let s = StateDd::from_amplitudes(&mut p, &amps);
+        let s = StateDd::from_amplitudes(&mut p, &amps).unwrap();
         assert_eq!(s.node_count(&p), n);
         assert!((s.norm_sqr(&p) - 1.0).abs() < 1e-12);
     }
@@ -330,14 +354,14 @@ mod tests {
         let mut amps = vec![Complex::ZERO; 1 << n];
         amps[0] = Complex::from_real(SQRT1_2);
         amps[(1 << n) - 1] = Complex::from_real(SQRT1_2);
-        let s = StateDd::from_amplitudes(&mut p, &amps);
+        let s = StateDd::from_amplitudes(&mut p, &amps).unwrap();
         assert_eq!(s.node_count(&p), 2 * n - 1);
     }
 
     #[test]
     fn zero_vector_is_the_zero_edge() {
         let mut p = DdPackage::new();
-        let s = StateDd::from_amplitudes(&mut p, &[Complex::ZERO; 4]);
+        let s = StateDd::from_amplitudes(&mut p, &[Complex::ZERO; 4]).unwrap();
         assert!(s.root().is_zero());
         assert_eq!(s.norm_sqr(&p), 0.0);
         assert_eq!(s.node_count(&p), 0);
@@ -348,7 +372,7 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn amplitude_index_out_of_range_panics() {
         let mut p = DdPackage::new();
-        let s = StateDd::zero_state(&mut p, 2);
+        let s = StateDd::zero_state(&mut p, 2).unwrap();
         let _ = s.amplitude(&p, 4);
     }
 
@@ -363,8 +387,8 @@ mod tests {
         ];
         let mut left = DdPackage::with_normalization(Normalization::LeftMost);
         let mut norm = DdPackage::with_normalization(Normalization::TwoNorm);
-        let a = StateDd::from_amplitudes(&mut left, &amps);
-        let b = StateDd::from_amplitudes(&mut norm, &amps);
+        let a = StateDd::from_amplitudes(&mut left, &amps).unwrap();
+        let b = StateDd::from_amplitudes(&mut norm, &amps).unwrap();
         for i in 0..4 {
             assert!(
                 (a.amplitude(&left, i) - b.amplitude(&norm, i)).norm() < 1e-12,

@@ -125,7 +125,7 @@ fn measurement_collapse_composes_with_further_gates() {
     let mut package = DdPackage::new();
     let state = dd::simulate(&mut package, &algorithms::bell_pair()).unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(21);
-    let (bit, collapsed) = dd::measure_qubit(&mut package, &state, Qubit(0), &mut rng);
+    let (bit, collapsed) = dd::measure_qubit(&mut package, &state, Qubit(0), &mut rng).unwrap();
 
     let mut follow_up = circuit::Circuit::new(2);
     follow_up.h(Qubit(1));

@@ -82,18 +82,18 @@ fn soak_interleaved_applies_measures_and_gcs_keep_sharing_canonical() {
         let mut rng = StdRng::seed_from_u64(1000 + seed);
         let circuit = random_dyadic_circuit(5, 40, seed);
         let mut package = DdPackage::new();
-        let mut state = StateDd::zero_state(&mut package, 5);
+        let mut state = StateDd::zero_state(&mut package, 5).unwrap();
         let mut applied: Vec<circuit::Operation> = Vec::new();
 
         for op in circuit.operations() {
-            state = dd::apply_operation(&mut package, state, op);
+            state = dd::apply_operation(&mut package, state, op).unwrap();
             applied.push(op.clone());
 
             match rng.gen_range(0..10u8) {
                 // Mid-run measurement draw (read-only: branch masses only).
                 0 => {
                     let q = Qubit(rng.gen_range(0..5));
-                    let masses = dd::branch_masses(&mut package, &state, q);
+                    let masses = dd::branch_masses(&mut package, &state, q).unwrap();
                     let total = masses[0] + masses[1];
                     assert!(
                         (total - 1.0).abs() < 1e-9,
@@ -117,9 +117,9 @@ fn soak_interleaved_applies_measures_and_gcs_keep_sharing_canonical() {
         // Canonical sharing: replaying the same prefix in the same package
         // reaches the *identical* root edge (equal vectors => equal ids),
         // even though the unique table grew and was rebuilt by GCs.
-        let mut replay = StateDd::zero_state(&mut package, 5);
+        let mut replay = StateDd::zero_state(&mut package, 5).unwrap();
         for op in &applied {
-            replay = dd::apply_operation(&mut package, replay, op);
+            replay = dd::apply_operation(&mut package, replay, op).unwrap();
         }
         assert_eq!(
             replay.root(),
@@ -162,9 +162,9 @@ fn soak_lossy_caches_never_change_results() {
         let mut state_b = reference;
         for q in 0..5u16 {
             let (bit_a, next_a) =
-                dd::measure_qubit(&mut cached_pkg, &state_a, Qubit(q), &mut rng_a);
+                dd::measure_qubit(&mut cached_pkg, &state_a, Qubit(q), &mut rng_a).unwrap();
             let (bit_b, next_b) =
-                dd::measure_qubit(&mut reference_pkg, &state_b, Qubit(q), &mut rng_b);
+                dd::measure_qubit(&mut reference_pkg, &state_b, Qubit(q), &mut rng_b).unwrap();
             assert_eq!(
                 bit_a, bit_b,
                 "seed {seed}: measurement of qubit {q} diverged"
@@ -192,14 +192,14 @@ fn gc_of_a_large_discarded_state_shrinks_the_value_table() {
         c.h(Qubit(3));
         c
     };
-    let zero4 = StateDd::zero_state(&mut package, 4);
+    let zero4 = StateDd::zero_state(&mut package, 4).unwrap();
     let keep = dd::apply_circuit(&mut package, zero4, &keep_circuit).expect("valid circuit");
     let keep_amps = keep.to_amplitudes(&package);
 
     // Discarded bulk: a random 8-qubit rotation-rich state with thousands
     // of distinct amplitudes, dropped on the floor.
     let bulk_circuit = algorithms::random_circuit(8, 6, 99);
-    let zero8 = StateDd::zero_state(&mut package, 8);
+    let zero8 = StateDd::zero_state(&mut package, 8).unwrap();
     let _bulk = dd::apply_circuit(&mut package, zero8, &bulk_circuit).expect("valid circuit");
 
     let before = package.stats();
@@ -276,7 +276,7 @@ fn measure_all_samples_and_collapses_consistently() {
     let mut rng = StdRng::seed_from_u64(33);
     let mut seen = [false; 2];
     for _ in 0..40 {
-        let (outcome, collapsed) = dd::measure_all(&mut package, &state, &mut rng);
+        let (outcome, collapsed) = dd::measure_all(&mut package, &state, &mut rng).unwrap();
         assert!(
             outcome == 0 || outcome == 0b111,
             "GHZ measurement produced impossible outcome {outcome:03b}"

@@ -44,7 +44,7 @@ fn dd_amplitude_round_trip() {
             dd::Normalization::TwoNorm
         };
         let mut package = DdPackage::with_normalization(normalization);
-        let state = StateDd::from_amplitudes(&mut package, &amps);
+        let state = StateDd::from_amplitudes(&mut package, &amps).unwrap();
         for (i, want) in amps.iter().enumerate() {
             let got = state.amplitude(&package, i as u64);
             assert!((got - *want).norm() < 1e-9, "index {i}: {got} vs {want}");
@@ -63,7 +63,7 @@ fn dd_size_is_bounded() {
     for _ in 0..CASES {
         let amps = normalized_amplitudes(&mut rng, 4);
         let mut package = DdPackage::new();
-        let state = StateDd::from_amplitudes(&mut package, &amps);
+        let state = StateDd::from_amplitudes(&mut package, &amps).unwrap();
         assert!(state.node_count(&package) <= 15);
     }
 }
@@ -77,7 +77,7 @@ fn two_norm_invariant_holds() {
     for _ in 0..CASES {
         let amps = normalized_amplitudes(&mut rng, 4);
         let mut package = DdPackage::new();
-        let state = StateDd::from_amplitudes(&mut package, &amps);
+        let state = StateDd::from_amplitudes(&mut package, &amps).unwrap();
         let probs = EdgeProbabilities::new(&package, &state);
         // Downstream probability of every reachable node is 1 under this
         // normalization.
@@ -112,8 +112,8 @@ fn dd_addition_is_elementwise() {
     for _ in 0..CASES {
         let amps = normalized_amplitudes(&mut rng, 3);
         let mut package = DdPackage::new();
-        let state = StateDd::from_amplitudes(&mut package, &amps);
-        let doubled = dd::add(&mut package, state.root(), state.root());
+        let state = StateDd::from_amplitudes(&mut package, &amps).unwrap();
+        let doubled = dd::add(&mut package, state.root(), state.root()).unwrap();
         let doubled = StateDd::from_root(doubled, 3);
         for (i, want) in amps.iter().enumerate() {
             let got = doubled.amplitude(&package, i as u64);
@@ -187,8 +187,8 @@ fn samplers_never_emit_impossible_outcomes() {
         }
         // The compiled DD sampler.
         let mut package = DdPackage::new();
-        let state = StateDd::from_amplitudes(&mut package, &amps);
-        let compiled = CompiledSampler::new(&package, &state);
+        let state = StateDd::from_amplitudes(&mut package, &amps).unwrap();
+        let compiled = CompiledSampler::new(&package, &state).expect("compiles");
         for _ in 0..64 {
             let s = compiled.sample(&mut rng);
             assert!(

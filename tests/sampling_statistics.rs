@@ -149,7 +149,7 @@ fn compiled_sampler_draws_the_exact_distribution() {
         let state = dd::simulate(&mut package, circuit).expect("valid circuit");
         let n = circuit.num_qubits();
 
-        let compiled = CompiledSampler::new(&package, &state);
+        let compiled = CompiledSampler::new(&package, &state).expect("compiles");
         let compiled_hist = ShotHistogram::from_samples(
             n,
             compiled
@@ -177,7 +177,7 @@ fn parallel_sampling_is_deterministic_across_thread_counts() {
     let (circuit, _) = algorithms::supremacy(3, 3, 6, 7);
     let mut package = DdPackage::new();
     let state = dd::simulate(&mut package, &circuit).expect("valid circuit");
-    let compiled = CompiledSampler::new(&package, &state);
+    let compiled = CompiledSampler::new(&package, &state).expect("compiles");
 
     let shots = 3 * dd::PARALLEL_CHUNK_SHOTS + 511; // not a chunk multiple
     let reference = compiled.sample_many_parallel_with_threads(2020, shots, 1);
