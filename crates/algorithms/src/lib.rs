@@ -16,6 +16,9 @@
 //!   reference workload,
 //! * [`ipe`] — single-ancilla iterative phase estimation, the
 //!   classically-controlled (`if (c==k)`) qubit-reuse reference workload,
+//! * [`stabilizer_cycle`] — repetition-code syndrome-extraction rounds,
+//!   the fully-Clifford dynamic workload for the stabilizer-tableau
+//!   engine (scales to thousands of qubits),
 //! * [`hardware_noise`], [`teleportation_noise_sweep`], [`ipe_noise_sweep`]
 //!   — reference noise models and error-rate sweeps for noisy-hardware
 //!   emulation through the trajectory engine.
@@ -46,6 +49,7 @@ mod noisy;
 mod qft;
 mod random;
 mod shor;
+mod stabilizer;
 mod supremacy;
 
 pub use dynamic::teleportation;
@@ -57,6 +61,7 @@ pub use noisy::{hardware_noise, ipe_noise_sweep, teleportation_noise_sweep};
 pub use qft::{inverse_qft, qft};
 pub use random::random_circuit;
 pub use shor::{shor, ShorSpec};
+pub use stabilizer::stabilizer_cycle;
 pub use supremacy::{supremacy, SupremacySpec};
 
 /// Returns the running example of the paper (Figs. 2–4): a 3-qubit circuit

@@ -22,6 +22,7 @@ use statevector::PrefixSampler;
 use std::time::Instant;
 use weaksim::{
     simulate_noisy_trajectories_with_threads, simulate_trajectories_with_threads, Backend,
+    WeakSimulator,
 };
 
 const SHOTS: u64 = 10_000;
@@ -246,7 +247,8 @@ fn bench_trajectories(c: &mut Criterion) {
 /// construction phase (strong simulation into the DD package) and the
 /// package's table statistics (`"construction"` / `"dd_stats"` keys — CI
 /// greps for both, so construction performance cannot silently drop out of
-/// the artifact).
+/// the artifact), plus the Clifford-router entries (`"tableau_ghz"` /
+/// `"routed_supremacy"`, also grepped by CI).
 fn record_baseline_json(_c: &mut Criterion) {
     let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
     let shots: usize = if quick { 20_000 } else { 200_000 };
@@ -368,6 +370,32 @@ fn record_baseline_json(_c: &mut Criterion) {
         1,
     );
 
+    // Clifford-router entries.  `tableau_ghz` runs a thousand-qubit GHZ
+    // entirely on the stabilizer-tableau engine — a register no dense
+    // backend can even allocate — and `routed_supremacy` runs a dense
+    // workload *through* the router, so the cost of the routing decision
+    // (classify, attempt to stitch, fall back) stays visible next to the
+    // unrouted numbers.
+    let router_entry = |circuit: &circuit::Circuit, router_shots: u64, workers: usize| -> String {
+        let mut sim = WeakSimulator::new(Backend::DecisionDiagram).with_clifford_router();
+        let mut route = String::new();
+        let seconds = time(&mut || {
+            let outcome = sim
+                .run(circuit, router_shots, BENCH_SEED)
+                .expect("routed run succeeds");
+            route = outcome.route.to_string();
+            outcome.histogram.shots()
+        });
+        format!(
+            "{{\n    \"benchmark\": \"{name}\",\n    \"route\": \"{route}\",\n    \"shots\": {router_shots},\n    \"threads\": {workers},\n    \"seconds\": {seconds:.6},\n    \"shots_per_second\": {rate:.0}\n  }}",
+            name = circuit.name(),
+            rate = router_shots as f64 / seconds,
+        )
+    };
+    let ghz_circuit = algorithms::ghz(1000);
+    let tableau_json = router_entry(&ghz_circuit, trajectory_shots, 1);
+    let routed_json = router_entry(&deep_circuit, trajectory_shots, threads);
+
     let cache_json = |c: dd::CacheCounters| -> String {
         format!(
             "{{ \"hits\": {}, \"misses\": {}, \"evictions\": {} }}",
@@ -395,7 +423,7 @@ fn record_baseline_json(_c: &mut Criterion) {
 
     let rate = |seconds: f64| shots as f64 / seconds;
     let json = format!(
-        "{{\n  \"benchmark\": \"{name}\",\n  \"qubits\": {qubits},\n  \"dd_nodes\": {nodes},\n  \"shots\": {shots},\n  \"threads\": {threads},\n  \"construction\": {construction_json},\n  \"dd_stats\": {dd_stats_json},\n  \"compile_seconds\": {compile_seconds:.6},\n  \"samplers\": {{\n    \"dd_sampler\": {{ \"seconds\": {dd:.6}, \"shots_per_second\": {dd_rate:.0} }},\n    \"normalized_sampler\": {{ \"seconds\": {nm:.6}, \"shots_per_second\": {nm_rate:.0} }},\n    \"compiled_sampler\": {{ \"seconds\": {cp:.6}, \"shots_per_second\": {cp_rate:.0} }},\n    \"compiled_parallel\": {{ \"seconds\": {pl:.6}, \"shots_per_second\": {pl_rate:.0}, \"threads\": {threads} }}\n  }},\n  \"trajectory\": {trajectory_json},\n  \"trajectory_parallel\": {trajectory_parallel_json},\n  \"trajectory_ipe\": {ipe_json},\n  \"trajectory_noisy\": {noisy_json},\n  \"trajectory_noisy_deep\": {deep_json},\n  \"speedup_compiled_vs_dd_sampler\": {speedup:.2},\n  \"speedup_parallel_vs_dd_sampler\": {pspeedup:.2}\n}}\n",
+        "{{\n  \"benchmark\": \"{name}\",\n  \"qubits\": {qubits},\n  \"dd_nodes\": {nodes},\n  \"shots\": {shots},\n  \"threads\": {threads},\n  \"construction\": {construction_json},\n  \"dd_stats\": {dd_stats_json},\n  \"compile_seconds\": {compile_seconds:.6},\n  \"samplers\": {{\n    \"dd_sampler\": {{ \"seconds\": {dd:.6}, \"shots_per_second\": {dd_rate:.0} }},\n    \"normalized_sampler\": {{ \"seconds\": {nm:.6}, \"shots_per_second\": {nm_rate:.0} }},\n    \"compiled_sampler\": {{ \"seconds\": {cp:.6}, \"shots_per_second\": {cp_rate:.0} }},\n    \"compiled_parallel\": {{ \"seconds\": {pl:.6}, \"shots_per_second\": {pl_rate:.0}, \"threads\": {threads} }}\n  }},\n  \"trajectory\": {trajectory_json},\n  \"trajectory_parallel\": {trajectory_parallel_json},\n  \"trajectory_ipe\": {ipe_json},\n  \"trajectory_noisy\": {noisy_json},\n  \"trajectory_noisy_deep\": {deep_json},\n  \"tableau_ghz\": {tableau_json},\n  \"routed_supremacy\": {routed_json},\n  \"speedup_compiled_vs_dd_sampler\": {speedup:.2},\n  \"speedup_parallel_vs_dd_sampler\": {pspeedup:.2}\n}}\n",
         name = circuit.name(),
         qubits = circuit.num_qubits(),
         dd = dd_seconds,

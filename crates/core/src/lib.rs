@@ -14,6 +14,13 @@
 //!   [`circuit::NoiseModel`] (noisy-hardware emulation by per-shot Kraus
 //!   branch insertion), with decision-prefix-tree caching on the
 //!   decision-diagram backend;
+//! * [`router`] — the opt-in segmented Clifford router
+//!   ([`WeakSimulator::with_clifford_router`]): fully-Clifford circuits
+//!   (see [`circuit::Circuit::clifford_segments`]) execute on the
+//!   polynomial-time stabilizer-tableau engine (`tableau` crate) at
+//!   thousands of qubits, Clifford prefixes ending in a basis state are
+//!   stitched into the dense backend, and [`RunOutcome::route`] reports
+//!   which engine executed each segment;
 //! * [`govern`] — run governance: attach a [`RunGovernor`] (node/byte
 //!   budgets, a per-run timeout, a shareable [`dd::CancelToken`]) with
 //!   [`WeakSimulator::with_governor`].  Static runs that hit a limit fail
@@ -80,8 +87,10 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod backend;
 pub mod experiment;
 pub mod govern;
+pub mod router;
 mod shots;
 mod simulator;
 pub mod stats;
@@ -89,6 +98,7 @@ pub mod trajectory;
 
 pub use dd::{CancelToken, DdError};
 pub use govern::{Interruption, RunGovernor};
+pub use router::{EngineKind, RouteSegment, RunRoute};
 pub use shots::ShotHistogram;
 pub use simulator::{Backend, RunError, RunOutcome, StrongState, WeakSimulator};
 pub use trajectory::{

@@ -20,12 +20,11 @@
 //!   independent of the worker-thread count.
 
 use crate::govern::{Interruption, RunGovernor};
+use crate::router::{Routed, RunRoute};
 use crate::ShotHistogram;
 use circuit::{Circuit, NoiseModel, Qubit};
-use dd::{CompiledSampler, DdError, DdPackage, DdStats, StateDd, PARALLEL_CHUNK_SHOTS};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use statevector::{MemoryBudget, PrefixSampler, StateVector};
+use dd::{CompiledSampler, DdError, DdPackage, DdStats, StateDd};
+use statevector::{MemoryBudget, StateVector};
 use std::fmt;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
@@ -193,6 +192,15 @@ pub enum StrongState {
 }
 
 impl StrongState {
+    /// The backend that produced (and can sample) this state.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        match self {
+            StrongState::DecisionDiagram { .. } => Backend::DecisionDiagram,
+            StrongState::StateVector(_) => Backend::StateVector,
+        }
+    }
+
     /// The number of qubits of the state.
     #[must_use]
     pub fn num_qubits(&self) -> u16 {
@@ -269,6 +277,11 @@ pub struct RunOutcome {
     /// before the interruption.  Always `None` for static runs, which fail
     /// with a [`RunError`] instead — they have no partial result to keep.
     pub interruption: Option<Interruption>,
+    /// Which engine executed each contiguous segment of the circuit.
+    /// Unrouted runs (the default) report a single segment on the configured
+    /// backend; runs under [`WeakSimulator::with_clifford_router`] may report
+    /// a tableau-only route or a tableau-prefix + dense-suffix stitch.
+    pub route: RunRoute,
 }
 
 impl RunOutcome {
@@ -330,6 +343,7 @@ pub struct WeakSimulator {
     noise: Option<NoiseModel>,
     governor: RunGovernor,
     threads: Option<usize>,
+    clifford_router: bool,
 }
 
 impl WeakSimulator {
@@ -343,7 +357,26 @@ impl WeakSimulator {
             noise: None,
             governor: RunGovernor::unlimited(),
             threads: None,
+            clifford_router: false,
         }
+    }
+
+    /// Enables the segmented Clifford router (see [`crate::router`]):
+    /// noiseless [`run`](Self::run) calls then execute fully-Clifford
+    /// circuits on the polynomial-time stabilizer-tableau engine, fold a
+    /// basis-state Clifford prefix into the dense backend where cheap, and
+    /// fall back to whole-circuit dense execution otherwise.
+    /// [`RunOutcome::route`] reports which engine(s) executed each segment.
+    ///
+    /// Routing never changes the sampled distribution, but tableau-routed
+    /// outcomes carry no dense [`RunOutcome::state`] (calling
+    /// [`RunOutcome::strong`] on them panics) and report the stabilizer
+    /// generator count as their representation size.  Runs with an effective
+    /// [noise model](Self::with_noise) bypass the router entirely.
+    #[must_use]
+    pub fn with_clifford_router(mut self) -> Self {
+        self.clifford_router = true;
+        self
     }
 
     /// Restricts the dense-vector backend to the given memory budget.
@@ -428,22 +461,9 @@ impl WeakSimulator {
     /// backend can additionally fail with [`RunError::DdMemoryOut`],
     /// [`RunError::Deadline`] or [`RunError::Cancelled`].
     pub fn strong(&self, circuit: &Circuit) -> Result<StrongState, RunError> {
-        match self.backend {
-            Backend::DecisionDiagram => {
-                let mut package = Box::new(DdPackage::new());
-                package.set_governor(self.governor.arm());
-                let state = dd::simulate(&mut package, circuit)?;
-                Ok(StrongState::DecisionDiagram {
-                    package,
-                    state,
-                    compiled: OnceLock::new(),
-                })
-            }
-            Backend::StateVector => {
-                let state = statevector::simulate_with_budget(circuit, self.memory_budget)?;
-                Ok(StrongState::StateVector(state))
-            }
-        }
+        self.backend
+            .engine()
+            .strong(circuit, self.memory_budget, &self.governor)
     }
 
     /// Runs weak simulation: `shots` measurement samples drawn with a
@@ -487,6 +507,36 @@ impl WeakSimulator {
                 .validate_for(circuit.num_qubits())
                 .map_err(RunError::InvalidNoise)?;
         }
+        let noise_free = !self.noise.as_ref().is_some_and(|model| model.has_noise());
+
+        if self.clifford_router && noise_free {
+            match crate::router::route(circuit, self.backend, shots, seed)? {
+                Routed::Tableau(outcome) => return Ok(*outcome),
+                Routed::Stitched { stitched, route } => {
+                    return self.run_dense(&stitched, shots, seed, route);
+                }
+                Routed::Dense => {}
+            }
+        }
+        self.run_dense(
+            circuit,
+            shots,
+            seed,
+            RunRoute::dense(self.backend, circuit.len()),
+        )
+    }
+
+    /// The dense (non-tableau) execution path shared by unrouted, stitched
+    /// and fallback runs: the pre-router body of [`run`](Self::run).  The
+    /// caller has already validated `circuit` (stitched circuits are valid
+    /// by construction) and chosen the `route` to report.
+    fn run_dense(
+        &self,
+        circuit: &Circuit,
+        shots: u64,
+        seed: u64,
+        route: RunRoute,
+    ) -> Result<RunOutcome, RunError> {
         let noise = self.noise.as_ref().filter(|model| model.has_noise());
 
         // Measure-free noiseless circuits — every classic benchmark — skip
@@ -507,6 +557,7 @@ impl WeakSimulator {
                 sampling_time,
                 state: Some(state),
                 interruption: None,
+                route,
             });
         }
 
@@ -538,6 +589,7 @@ impl WeakSimulator {
                 sampling_time: outcome.sampling_time,
                 state: None,
                 interruption: outcome.interruption,
+                route,
             });
         };
 
@@ -561,6 +613,7 @@ impl WeakSimulator {
             sampling_time,
             state: Some(state),
             interruption: None,
+            route,
         })
     }
 
@@ -602,87 +655,17 @@ impl WeakSimulator {
         seed: u64,
         record: Option<(&[(Qubit, u16)], u16)>,
     ) -> Result<(ShotHistogram, Duration, Duration), RunError> {
-        let width = record.map_or(state.num_qubits(), |(_, width)| width);
-        let mut histogram = ShotHistogram::new(width);
-        match state {
-            StrongState::DecisionDiagram {
-                package,
-                state,
-                compiled,
-            } => {
-                let precompute_start = Instant::now();
-                // Compilation is fallible (governed), so compute first and
-                // only then fill the cell; a racing thread's result is
-                // identical, so whichever lands is fine.
-                let sampler = match compiled.get() {
-                    Some(sampler) => sampler,
-                    None => {
-                        let built = CompiledSampler::new(package, state)?;
-                        compiled.get_or_init(|| built)
-                    }
-                };
-                let precompute_time = precompute_start.elapsed();
-
-                // Draw in batches of a whole number of parallel chunks:
-                // stitching consecutive `sample_batch_parallel` calls with
-                // advancing chunk offsets reproduces one giant call exactly,
-                // while each allocation stays comfortably inside `usize`
-                // even on 32-bit targets.
-                const BATCH_CHUNKS: u64 = 1024;
-                let batch_shots = BATCH_CHUNKS * PARALLEL_CHUNK_SHOTS as u64;
-                let threads = rayon::current_num_threads();
-                let sampling_start = Instant::now();
-                let mut drawn = 0u64;
-                while drawn < shots {
-                    let batch = (shots - drawn).min(batch_shots);
-                    // Infallible: `batch` is capped at BATCH_CHUNKS whole
-                    // parallel chunks, well inside usize on every target.
-                    #[allow(clippy::expect_used)]
-                    let batch_len = usize::try_from(batch).expect("batch bounded to fit usize");
-                    let samples = sampler.sample_batch_parallel(
-                        seed,
-                        drawn / PARALLEL_CHUNK_SHOTS as u64,
-                        batch_len,
-                        threads,
-                    );
-                    match record {
-                        None => histogram.record_many(&samples),
-                        Some((mapping, _)) => {
-                            for sample in samples {
-                                histogram.record(map_terminal_record(sample, mapping));
-                            }
-                        }
-                    }
-                    drawn += batch;
-                }
-                Ok((histogram, precompute_time, sampling_start.elapsed()))
-            }
-            StrongState::StateVector(vector) => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let precompute_start = Instant::now();
-                let sampler = PrefixSampler::new(vector);
-                let precompute_time = precompute_start.elapsed();
-
-                let sampling_start = Instant::now();
-                for _ in 0..shots {
-                    let sample = sampler.sample(&mut rng);
-                    match record {
-                        None => histogram.record(sample),
-                        Some((mapping, _)) => {
-                            histogram.record(map_terminal_record(sample, mapping));
-                        }
-                    }
-                }
-                Ok((histogram, precompute_time, sampling_start.elapsed()))
-            }
-        }
+        state
+            .backend()
+            .engine()
+            .sample_with_record(state, shots, seed, record)
     }
 }
 
 /// Relabels a full-register sample through the trailing-measurement mapping:
 /// classical bit `c` receives the sampled value of qubit `q` for every
 /// `(q, c)` pair, later pairs overwriting earlier ones.
-fn map_terminal_record(sample: u64, mapping: &[(Qubit, u16)]) -> u64 {
+pub(crate) fn map_terminal_record(sample: u64, mapping: &[(Qubit, u16)]) -> u64 {
     let mut out = 0u64;
     for &(qubit, cbit) in mapping {
         let bit = ((sample >> qubit.0) & 1) as u8;

@@ -105,6 +105,7 @@
 //! can distinguish "finished", "out of budget after N shots" and
 //! "cancelled after N shots" without losing the work already done.
 
+use crate::backend::TrajectoryRunner;
 use crate::govern::{Interruption, RunGovernor};
 use crate::simulator::{Backend, RunError};
 use crate::ShotHistogram;
@@ -167,7 +168,7 @@ pub struct TrajectoryOutcome {
 
 /// What a non-unitary event does to the state.
 #[derive(Debug, Clone, Copy)]
-enum EventKind {
+pub(crate) enum EventKind {
     /// Measure `qubit` into classical bit `cbit`.
     Measure { qubit: Qubit, cbit: u16 },
     /// Reset `qubit` to `|0>`.
@@ -201,7 +202,7 @@ impl EventKind {
 /// a classical condition (`if (c==k) measure/reset;`, or noise inherited
 /// from a conditioned gate site).
 #[derive(Debug, Clone, Copy)]
-struct Event {
+pub(crate) struct Event {
     kind: EventKind,
     condition: Option<Condition>,
     /// Precomputed cumulative error-branch thresholds of a state-independent
@@ -334,7 +335,7 @@ enum RecordSource {
 
 /// The segmented form of a dynamic circuit, shared by every runner.
 #[derive(Debug)]
-struct TrajectoryPlan {
+pub(crate) struct TrajectoryPlan {
     num_qubits: u16,
     /// Bit width of the per-shot record.
     record_width: u16,
@@ -446,19 +447,48 @@ impl TrajectoryPlan {
     }
 }
 
-/// One backend-specific trajectory runner, owned by a single worker thread.
-trait Runner {
-    /// Runs one trajectory, returning the shot's record — or the governed
-    /// failure that interrupted it (budget, deadline, cancellation).  A
-    /// failed shot records nothing; the runner remains usable.
-    fn run_shot(&mut self, rng: &mut SmallRng) -> Result<u64, DdError>;
-    /// Housekeeping between chunks (garbage collection).
-    fn end_of_chunk(&mut self) {}
-    /// Peak representation size observed so far.
-    fn representation_size(&self) -> u128;
-    /// Package table statistics (decision-diagram backend only).
-    fn dd_stats(&self) -> Option<DdStats> {
-        None
+/// Runs one trajectory through `runner` — the single shot loop shared by
+/// every engine: walk the event list, draw a decision per firing event
+/// (consulting the runner for `P(qubit = 1)` where the draw is
+/// state-dependent), record measured bits into the classical record, advance
+/// the runner past the event, and read out the terminal record.  Returns the
+/// shot's record — or the governed failure that interrupted it (budget,
+/// deadline, cancellation).  A failed shot records nothing; the runner
+/// remains usable.
+fn run_shot(
+    runner: &mut dyn TrajectoryRunner,
+    plan: &TrajectoryPlan,
+    rng: &mut SmallRng,
+) -> Result<u64, DdError> {
+    runner.begin_shot();
+    let mut record = 0u64;
+    for (k, &event) in plan.events.iter().enumerate() {
+        let decision = if event.fires(record) {
+            let p_one = if event.kind.needs_state_probability() {
+                runner.p_one(event.kind.qubit())?
+            } else {
+                0.0
+            };
+            draw_decision(event, p_one, rng)
+        } else {
+            SKIPPED
+        };
+        if let EventKind::Measure { cbit, .. } = event.kind {
+            if decision != SKIPPED {
+                record = record_bit(record, cbit, decision);
+            }
+        }
+
+        // A classical record is complete once the last event's bit is drawn:
+        // skip the collapse (and any caching) whose result nobody reads.
+        if k + 1 == plan.events.len() && !plan.tail_matters() {
+            break;
+        }
+        runner.advance(k, event, decision, record)?;
+    }
+    match plan.record {
+        RecordSource::Classical => Ok(record),
+        RecordSource::FinalMeasurement => runner.terminal_sample(rng),
     }
 }
 
@@ -489,10 +519,15 @@ impl CacheNode {
 }
 
 /// The decision-diagram trajectory runner.
-struct DdRunner<'p> {
+pub(crate) struct DdRunner<'p> {
     plan: &'p TrajectoryPlan,
     package: DdPackage,
     nodes: Vec<CacheNode>,
+    /// Cache node tracking the current shot's decision prefix; `None` once
+    /// the shot has fallen off the cache.
+    at: Option<u32>,
+    /// The current shot's evolved state.
+    state: StateDd,
     /// Compiled samplers for *off-cache* (transient) leaves, keyed by the
     /// leaf state's root edge.  Compilation is deterministic, so memoizing
     /// only changes cost, never sampled values — without it every off-cache
@@ -507,7 +542,7 @@ impl<'p> DdRunner<'p> {
     /// Builds the worker's package (under `governor`) and the shared prefix
     /// state.  Fails when the governor interrupts the prefix construction —
     /// before any shot has run.
-    fn new(plan: &'p TrajectoryPlan, governor: Governor) -> Result<Self, DdError> {
+    pub(crate) fn new(plan: &'p TrajectoryPlan, governor: Governor) -> Result<Self, DdError> {
         let mut package = DdPackage::new();
         package.set_governor(governor);
         let mut state = StateDd::zero_state(&mut package, plan.num_qubits)?;
@@ -521,6 +556,8 @@ impl<'p> DdRunner<'p> {
             plan,
             package,
             nodes: vec![CacheNode::new(state)],
+            at: Some(0),
+            state,
             transient_samplers: FxHashMap::default(),
             peak_nodes,
         })
@@ -610,93 +647,81 @@ impl<'p> DdRunner<'p> {
     }
 }
 
-impl Runner for DdRunner<'_> {
-    fn run_shot(&mut self, rng: &mut SmallRng) -> Result<u64, DdError> {
-        let mut record = 0u64;
-        // Cache node tracking the decision prefix; `None` once off-cache.
-        let mut at: Option<u32> = Some(0);
-        let mut state = self.nodes[0].state;
+impl TrajectoryRunner for DdRunner<'_> {
+    fn begin_shot(&mut self) {
+        self.at = Some(0);
+        self.state = self.nodes[0].state;
+    }
 
-        for (k, &event) in self.plan.events.iter().enumerate() {
-            let decision = if event.fires(record) {
-                let p_one = if event.kind.needs_state_probability() {
-                    let masses = self.masses(at, &state, event.kind.qubit())?;
-                    let total = masses[0] + masses[1];
-                    assert!(total > 0.0, "trajectory reached a zero-mass state");
-                    masses[1] / total
-                } else {
-                    0.0
-                };
-                draw_decision(event, p_one, rng)
-            } else {
-                SKIPPED
-            };
-            if let EventKind::Measure { cbit, .. } = event.kind {
-                if decision != SKIPPED {
-                    record = record_bit(record, cbit, decision);
-                }
+    fn p_one(&mut self, qubit: Qubit) -> Result<f64, DdError> {
+        let state = self.state;
+        let masses = self.masses(self.at, &state, qubit)?;
+        let total = masses[0] + masses[1];
+        assert!(total > 0.0, "trajectory reached a zero-mass state");
+        Ok(masses[1] / total)
+    }
+
+    fn advance(
+        &mut self,
+        k: usize,
+        event: Event,
+        decision: u8,
+        record: u64,
+    ) -> Result<(), DdError> {
+        let cached_child = self
+            .at
+            .and_then(|id| self.nodes[id as usize].children[decision as usize]);
+        match cached_child {
+            Some(child) => {
+                self.state = self.nodes[child as usize].state;
+                self.at = Some(child);
             }
-
-            // A classical record is complete once the last event's bit is
-            // drawn: skip the collapse (and the useless leaf cache entry).
-            if k + 1 == self.plan.events.len() && !self.plan.tail_matters() {
-                break;
-            }
-
-            let cached_child =
-                at.and_then(|id| self.nodes[id as usize].children[decision as usize]);
-            match cached_child {
-                Some(child) => {
-                    state = self.nodes[child as usize].state;
-                    at = Some(child);
-                }
-                None => {
-                    let next = self.evolve(&state, event, decision, k + 1, record)?;
-                    if let Some(parent) = at {
-                        if self.nodes.len() < TRAJECTORY_CACHE_CAP {
-                            // Infallible: the cache is capped at
-                            // TRAJECTORY_CACHE_CAP (4096) entries.
-                            #[allow(clippy::expect_used)]
-                            let id =
-                                u32::try_from(self.nodes.len()).expect("cache cap fits in u32");
-                            self.peak_nodes = self.peak_nodes.max(next.node_count(&self.package));
-                            self.nodes.push(CacheNode::new(next));
-                            self.nodes[parent as usize].children[decision as usize] = Some(id);
-                            at = Some(id);
-                        } else {
-                            at = None;
-                        }
+            None => {
+                let state = self.state;
+                let next = self.evolve(&state, event, decision, k + 1, record)?;
+                if let Some(parent) = self.at {
+                    if self.nodes.len() < TRAJECTORY_CACHE_CAP {
+                        // Infallible: the cache is capped at
+                        // TRAJECTORY_CACHE_CAP (4096) entries.
+                        #[allow(clippy::expect_used)]
+                        let id = u32::try_from(self.nodes.len()).expect("cache cap fits in u32");
+                        self.peak_nodes = self.peak_nodes.max(next.node_count(&self.package));
+                        self.nodes.push(CacheNode::new(next));
+                        self.nodes[parent as usize].children[decision as usize] = Some(id);
+                        self.at = Some(id);
+                    } else {
+                        self.at = None;
                     }
-                    state = next;
                 }
+                self.state = next;
             }
         }
+        Ok(())
+    }
 
-        match self.plan.record {
-            RecordSource::Classical => Ok(record),
-            RecordSource::FinalMeasurement => match at {
-                Some(id) => {
-                    let id = id as usize;
-                    if let Some(sampler) = &self.nodes[id].sampler {
-                        return Ok(sampler.sample(rng));
-                    }
-                    let sampler = CompiledSampler::new(&self.package, &state)?;
-                    let sample = sampler.sample(rng);
-                    self.nodes[id].sampler = Some(sampler);
-                    Ok(sample)
+    fn terminal_sample(&mut self, rng: &mut SmallRng) -> Result<u64, DdError> {
+        match self.at {
+            Some(id) => {
+                let id = id as usize;
+                if let Some(sampler) = &self.nodes[id].sampler {
+                    return Ok(sampler.sample(rng));
                 }
-                None => {
-                    let root = state.root();
-                    if !self.transient_samplers.contains_key(&root) {
-                        if self.transient_samplers.len() >= TRAJECTORY_CACHE_CAP {
-                            self.transient_samplers.clear();
-                        }
-                        let sampler = CompiledSampler::new(&self.package, &state)?;
-                        self.transient_samplers.insert(root, sampler);
+                let sampler = CompiledSampler::new(&self.package, &self.state)?;
+                let sample = sampler.sample(rng);
+                self.nodes[id].sampler = Some(sampler);
+                Ok(sample)
+            }
+            None => {
+                let root = self.state.root();
+                if !self.transient_samplers.contains_key(&root) {
+                    if self.transient_samplers.len() >= TRAJECTORY_CACHE_CAP {
+                        self.transient_samplers.clear();
                     }
-                    Ok(self.transient_samplers[&root].sample(rng))
+                    let sampler = CompiledSampler::new(&self.package, &self.state)?;
+                    self.transient_samplers.insert(root, sampler);
                 }
-            },
+                Ok(self.transient_samplers[&root].sample(rng))
+            }
         }
     }
 
@@ -726,7 +751,7 @@ impl Runner for DdRunner<'_> {
 }
 
 /// The dense statevector trajectory runner.
-struct SvRunner<'p> {
+pub(crate) struct SvRunner<'p> {
     plan: &'p TrajectoryPlan,
     /// The shared unitary prefix (`segments[0]`) applied to `|0...0>`.
     base: StateVector,
@@ -739,10 +764,13 @@ struct SvRunner<'p> {
     /// shot — one persistent allocation instead of a fresh `2^n` vector per
     /// trajectory.
     scratch: StateVector,
+    /// `scratch`'s squared norm (drops to exactly 1 after the first collapse
+    /// or damping of a shot).
+    norm_sqr: f64,
 }
 
 impl<'p> SvRunner<'p> {
-    fn new(plan: &'p TrajectoryPlan) -> Self {
+    pub(crate) fn new(plan: &'p TrajectoryPlan) -> Self {
         let mut base = StateVector::zero_state(plan.num_qubits);
         // Conditions in the shared leading segment resolve against the
         // all-zeros classical record, same as the DD runner.
@@ -756,6 +784,7 @@ impl<'p> SvRunner<'p> {
             base,
             base_norm_sqr,
             scratch,
+            norm_sqr: base_norm_sqr,
         }
     }
 }
@@ -784,83 +813,77 @@ fn sample_state_once(state: &StateVector, rng: &mut SmallRng) -> u64 {
     last_nonzero
 }
 
-impl Runner for SvRunner<'_> {
+impl TrajectoryRunner for SvRunner<'_> {
     // Dense evolution is infallible (memory is pre-checked up front);
     // deadline and cancellation are honoured at chunk boundaries instead.
-    fn run_shot(&mut self, rng: &mut SmallRng) -> Result<u64, DdError> {
+    fn begin_shot(&mut self) {
         self.scratch.copy_from(&self.base);
-        let state = &mut self.scratch;
-        let mut norm_sqr = self.base_norm_sqr;
-        let mut record = 0u64;
-        for (k, &event) in self.plan.events.iter().enumerate() {
-            let qubit = event.kind.qubit().0;
-            let decision = if event.fires(record) {
-                let p_one = if event.kind.needs_state_probability() {
-                    state.marginal_one_probability(qubit) / norm_sqr
-                } else {
-                    0.0
-                };
-                draw_decision(event, p_one, rng)
-            } else {
-                SKIPPED
-            };
-            if let EventKind::Measure { cbit, .. } = event.kind {
-                if decision != SKIPPED {
-                    record = record_bit(record, cbit, decision);
-                }
-            }
+        self.norm_sqr = self.base_norm_sqr;
+    }
 
-            // A classical record is complete once the last event's bit is
-            // drawn: skip the O(2^n) collapse whose result nobody reads.
-            if k + 1 == self.plan.events.len() && !self.plan.tail_matters() {
-                break;
-            }
+    fn p_one(&mut self, qubit: Qubit) -> Result<f64, DdError> {
+        Ok(self.scratch.marginal_one_probability(qubit.0) / self.norm_sqr)
+    }
 
-            if decision != SKIPPED {
-                match event.kind {
-                    EventKind::Measure { .. } => {
-                        state.collapse_qubit(qubit, decision);
-                        norm_sqr = 1.0;
-                    }
-                    EventKind::Reset { .. } => {
-                        state.collapse_qubit(qubit, decision);
-                        norm_sqr = 1.0;
-                        if decision == 1 {
-                            statevector::apply_operation(state, &x_flip(event.kind.qubit()));
-                        }
-                    }
-                    EventKind::Noise { channel, .. } => match channel {
-                        NoiseChannel::AmplitudeDamping { gamma } => {
-                            if decision == 0 {
-                                state.damp_qubit_keep(qubit, gamma);
-                            } else {
-                                state.collapse_qubit(qubit, 1);
-                                statevector::apply_operation(state, &x_flip(event.kind.qubit()));
-                            }
-                            norm_sqr = 1.0;
-                        }
-                        _ => {
-                            if let Some(gate) = channel.branch_gate(decision) {
-                                statevector::apply_operation(
-                                    state,
-                                    &pauli_error(gate, event.kind.qubit()),
-                                );
-                            }
-                        }
-                    },
+    fn advance(
+        &mut self,
+        k: usize,
+        event: Event,
+        decision: u8,
+        record: u64,
+    ) -> Result<(), DdError> {
+        let qubit = event.kind.qubit().0;
+        if decision != SKIPPED {
+            match event.kind {
+                EventKind::Measure { .. } => {
+                    self.scratch.collapse_qubit(qubit, decision);
+                    self.norm_sqr = 1.0;
                 }
-            }
-            for op in self.plan.segments[k + 1]
-                .iter()
-                .filter_map(|op| effective_op(op, record))
-            {
-                statevector::apply_operation(state, op);
+                EventKind::Reset { .. } => {
+                    self.scratch.collapse_qubit(qubit, decision);
+                    self.norm_sqr = 1.0;
+                    if decision == 1 {
+                        statevector::apply_operation(
+                            &mut self.scratch,
+                            &x_flip(event.kind.qubit()),
+                        );
+                    }
+                }
+                EventKind::Noise { channel, .. } => match channel {
+                    NoiseChannel::AmplitudeDamping { gamma } => {
+                        if decision == 0 {
+                            self.scratch.damp_qubit_keep(qubit, gamma);
+                        } else {
+                            self.scratch.collapse_qubit(qubit, 1);
+                            statevector::apply_operation(
+                                &mut self.scratch,
+                                &x_flip(event.kind.qubit()),
+                            );
+                        }
+                        self.norm_sqr = 1.0;
+                    }
+                    _ => {
+                        if let Some(gate) = channel.branch_gate(decision) {
+                            statevector::apply_operation(
+                                &mut self.scratch,
+                                &pauli_error(gate, event.kind.qubit()),
+                            );
+                        }
+                    }
+                },
             }
         }
-        match self.plan.record {
-            RecordSource::Classical => Ok(record),
-            RecordSource::FinalMeasurement => Ok(sample_state_once(&self.scratch, rng)),
+        for op in self.plan.segments[k + 1]
+            .iter()
+            .filter_map(|op| effective_op(op, record))
+        {
+            statevector::apply_operation(&mut self.scratch, op);
         }
+        Ok(())
+    }
+
+    fn terminal_sample(&mut self, rng: &mut SmallRng) -> Result<u64, DdError> {
+        Ok(sample_state_once(&self.scratch, rng))
     }
 
     fn representation_size(&self) -> u128 {
@@ -893,54 +916,30 @@ fn run_worker(
     governor: &Governor,
     stop: &AtomicBool,
 ) -> WorkerResult {
-    match backend {
-        Backend::DecisionDiagram => {
-            let mut runner = match DdRunner::new(plan, governor.clone()) {
-                Ok(runner) => runner,
-                Err(e) => {
-                    stop.store(true, Ordering::Relaxed);
-                    return (ShotHistogram::new(plan.record_width), 0, None, 0, Some(e));
-                }
-            };
-            let (h, completed, error) = run_assigned_chunks(
-                &mut runner,
-                shots,
-                seed,
-                first,
-                stride,
-                plan.record_width,
-                governor,
-                stop,
-            );
-            (
-                h,
-                runner.representation_size(),
-                runner.dd_stats(),
-                completed,
-                error,
-            )
+    let mut runner = match backend.engine().trajectory_runner(plan, governor.clone()) {
+        Ok(runner) => runner,
+        Err(e) => {
+            stop.store(true, Ordering::Relaxed);
+            return (ShotHistogram::new(plan.record_width), 0, None, 0, Some(e));
         }
-        Backend::StateVector => {
-            let mut runner = SvRunner::new(plan);
-            let (h, completed, error) = run_assigned_chunks(
-                &mut runner,
-                shots,
-                seed,
-                first,
-                stride,
-                plan.record_width,
-                governor,
-                stop,
-            );
-            (
-                h,
-                runner.representation_size(),
-                runner.dd_stats(),
-                completed,
-                error,
-            )
-        }
-    }
+    };
+    let (h, completed, error) = run_assigned_chunks(
+        runner.as_mut(),
+        plan,
+        shots,
+        seed,
+        first,
+        stride,
+        governor,
+        stop,
+    );
+    (
+        h,
+        runner.representation_size(),
+        runner.dd_stats(),
+        completed,
+        error,
+    )
 }
 
 /// Runs all chunks assigned to one worker: chunk indices `first, first +
@@ -952,19 +951,19 @@ fn run_worker(
 /// runner — honour them) and the run-wide `stop` flag.  A shot interrupted
 /// mid-flight records nothing: the histogram holds completed shots only.
 #[allow(clippy::too_many_arguments)]
-fn run_assigned_chunks<R: Runner>(
-    runner: &mut R,
+fn run_assigned_chunks(
+    runner: &mut dyn TrajectoryRunner,
+    plan: &TrajectoryPlan,
     shots: u64,
     seed: u64,
     first: u64,
     stride: u64,
-    record_width: u16,
     governor: &Governor,
     stop: &AtomicBool,
 ) -> (ShotHistogram, u64, Option<DdError>) {
     let chunk_len = PARALLEL_CHUNK_SHOTS as u64;
     let total_chunks = shots.div_ceil(chunk_len);
-    let mut histogram = ShotHistogram::new(record_width);
+    let mut histogram = ShotHistogram::new(plan.record_width);
     let mut completed = 0u64;
     let mut error = None;
     let mut chunk_index = first;
@@ -980,7 +979,7 @@ fn run_assigned_chunks<R: Runner>(
         let chunk_shots = chunk_len.min(shots - chunk_index * chunk_len);
         let mut rng = SmallRng::seed_from_u64(chunk_stream_seed(seed, chunk_index));
         for _ in 0..chunk_shots {
-            match runner.run_shot(&mut rng) {
+            match run_shot(runner, plan, &mut rng) {
                 Ok(record) => {
                     histogram.record(record);
                     completed += 1;
@@ -1143,18 +1142,9 @@ pub(crate) fn run_trajectories(
         .min(usize::try_from(total_chunks).unwrap_or(usize::MAX))
         .max(1);
 
-    if backend == Backend::StateVector {
-        // Each worker holds the shared base vector *plus* the per-shot clone
-        // it evolves, so peak concurrent allocation is two vectors per
-        // worker — account for all of them, not just one.
-        let required = MemoryBudget::state_vector_bytes(circuit.num_qubits()) * 2 * workers as u128;
-        if !budget.allows(required) {
-            return Err(RunError::MemoryOut {
-                num_qubits: circuit.num_qubits(),
-                required_bytes: required,
-            });
-        }
-    }
+    backend
+        .engine()
+        .check_trajectory_memory(circuit.num_qubits(), workers, budget)?;
 
     let precompute_start = Instant::now();
     let plan = TrajectoryPlan::new(circuit, noise);

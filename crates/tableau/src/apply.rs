@@ -1,0 +1,597 @@
+//! Lowering [`circuit::Operation`]s onto the tableau primitives.
+//!
+//! Named Clifford gates map directly onto [`Tableau`] methods.  Everything
+//! else — `sqrt(X)`-family gates, parametric rotations at multiples of
+//! `pi/2`, generic `U` gates on the grid — is resolved by **matrix
+//! matching**: the gate's 2×2 unitary is canonicalized up to global phase
+//! and looked up in a table of the 24 single-qubit Clifford classes, built
+//! once by breadth-first closure of the `{H, S}` generators.  Controlled
+//! gates are matched against the sixteen matrices `i^k P` (`k` in `0..4`,
+//! `P` a Pauli); the phase becomes an `S^k` on the control and the Pauli a
+//! `CX`/`CY`/`CZ`.  Matching is exact within [`mathkit::DEFAULT_TOLERANCE`],
+//! so the lowering can never silently approximate a non-Clifford gate.
+
+use crate::state::Tableau;
+use circuit::{Circuit, Operation};
+use mathkit::{Complex, DEFAULT_TOLERANCE};
+use rand::RngCore;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Error lowering an operation onto the stabilizer formalism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableauError {
+    /// The operation is outside the Clifford gate set the tableau engine
+    /// implements (see the crate docs for the exact alphabet).
+    NotClifford {
+        /// Position of the operation in the circuit (0 for single-operation
+        /// application).
+        op_index: usize,
+        /// Rendered form of the offending operation.
+        op: String,
+    },
+    /// The operation addresses a qubit beyond the tableau register.
+    QubitOutOfRange {
+        /// Position of the operation in the circuit.
+        op_index: usize,
+        /// The out-of-range qubit index.
+        qubit: usize,
+        /// The tableau register width.
+        num_qubits: usize,
+    },
+}
+
+impl fmt::Display for TableauError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableauError::NotClifford { op_index, op } => {
+                write!(f, "operation {op_index} (`{op}`) is not Clifford")
+            }
+            TableauError::QubitOutOfRange {
+                op_index,
+                qubit,
+                num_qubits,
+            } => write!(
+                f,
+                "operation {op_index} addresses qubit {qubit} of a {num_qubits}-qubit tableau"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TableauError {}
+
+/// The tableau primitives a single-qubit Clifford class lowers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Prim {
+    H,
+    S,
+}
+
+/// Quantized canonical form of a 2×2 unitary, global phase removed: the
+/// lookup key of the Clifford class table.
+fn canonical_key(m: &[[Complex; 2]; 2]) -> Option<[i64; 8]> {
+    // Rotate by the conjugate phase of the first entry of non-negligible
+    // magnitude, making it real positive; quantize at 1e6 (entries of
+    // canonicalized Cliffords are separated by ~0.2, tolerances are 1e-10).
+    let flat = [m[0][0], m[0][1], m[1][0], m[1][1]];
+    let lead = flat.iter().find(|c| c.norm() > 0.25)?;
+    let rot = lead.conj() * (1.0 / lead.norm());
+    let mut key = [0i64; 8];
+    for (i, c) in flat.iter().enumerate() {
+        let r = *c * rot;
+        // `f64 as i64` saturates; entries are in [-1, 1] so this is exact.
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            key[2 * i] = (r.re * 1e6).round() as i64;
+            key[2 * i + 1] = (r.im * 1e6).round() as i64;
+        }
+    }
+    Some(key)
+}
+
+fn mat_mul(a: &[[Complex; 2]; 2], b: &[[Complex; 2]; 2]) -> [[Complex; 2]; 2] {
+    let mut out = [[Complex::ZERO; 2]; 2];
+    for (r, row) in out.iter_mut().enumerate() {
+        for (c, entry) in row.iter_mut().enumerate() {
+            *entry = a[r][0] * b[0][c] + a[r][1] * b[1][c];
+        }
+    }
+    out
+}
+
+/// The 24 single-qubit Clifford classes as canonical keys, each mapped to a
+/// shortest `{H, S}` word realizing it (applied left-to-right in time).
+fn clifford_table() -> &'static HashMap<[i64; 8], Vec<Prim>> {
+    static TABLE: OnceLock<HashMap<[i64; 8], Vec<Prim>>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let h_mat = circuit::OneQubitGate::H.matrix();
+        let s_mat = circuit::OneQubitGate::S.matrix();
+        let identity = circuit::OneQubitGate::I.matrix();
+        let mut table = HashMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        if let Some(key) = canonical_key(&identity) {
+            table.insert(key, Vec::new());
+            queue.push_back((identity, Vec::new()));
+        }
+        // BFS over left-multiplication: appending a primitive to the word
+        // applies it after the existing ones, i.e. multiplies on the left.
+        // First-in-first-out order guarantees each class gets a shortest word.
+        while let Some((mat, word)) = queue.pop_front() {
+            for (prim, gen) in [(Prim::H, &h_mat), (Prim::S, &s_mat)] {
+                let next = mat_mul(gen, &mat);
+                let Some(key) = canonical_key(&next) else {
+                    continue;
+                };
+                if let std::collections::hash_map::Entry::Vacant(entry) = table.entry(key) {
+                    let mut next_word = word.clone();
+                    next_word.push(prim);
+                    entry.insert(next_word.clone());
+                    queue.push_back((next, next_word));
+                }
+            }
+        }
+        table
+    })
+}
+
+/// Applies an uncontrolled single-qubit gate, or reports `None` if it is
+/// outside the Clifford group.
+fn apply_one_qubit(tab: &mut Tableau, gate: &circuit::OneQubitGate, q: usize) -> Option<()> {
+    use circuit::OneQubitGate as G;
+    // Fast path: named gates with a dedicated tableau update.
+    match gate {
+        G::I => return Some(()),
+        G::X => {
+            tab.x(q);
+            return Some(());
+        }
+        G::Y => {
+            tab.y(q);
+            return Some(());
+        }
+        G::Z => {
+            tab.z(q);
+            return Some(());
+        }
+        G::H => {
+            tab.h(q);
+            return Some(());
+        }
+        G::S => {
+            tab.s(q);
+            return Some(());
+        }
+        G::Sdg => {
+            tab.sdg(q);
+            return Some(());
+        }
+        G::T | G::Tdg => return None,
+        _ => {}
+    }
+    let word = clifford_table().get(&canonical_key(&gate.matrix())?)?;
+    for prim in word {
+        match prim {
+            Prim::H => tab.h(q),
+            Prim::S => tab.s(q),
+        }
+    }
+    Some(())
+}
+
+/// Matches `m` exactly (not up to phase — the phase of the base matrix is
+/// observable under control) against `i^k P` and returns `(k, P)`.
+fn as_phased_pauli(m: &[[Complex; 2]; 2]) -> Option<(u32, circuit::OneQubitGate)> {
+    use circuit::OneQubitGate as G;
+    for pauli in [G::I, G::X, G::Y, G::Z] {
+        let p = pauli.matrix();
+        for k in 0u32..4 {
+            let phase = match k {
+                0 => Complex::ONE,
+                1 => Complex::I,
+                2 => -Complex::ONE,
+                _ => -Complex::I,
+            };
+            let matches = (0..2)
+                .all(|r| (0..2).all(|c| (p[r][c] * phase).approx_eq(&m[r][c], DEFAULT_TOLERANCE)));
+            if matches {
+                return Some((k, pauli));
+            }
+        }
+    }
+    None
+}
+
+/// Applies a singly-controlled gate whose base matrix is `i^k P`.
+fn apply_controlled(
+    tab: &mut Tableau,
+    gate: &circuit::OneQubitGate,
+    control: usize,
+    target: usize,
+) -> Option<()> {
+    use circuit::OneQubitGate as G;
+    let (k, pauli) = as_phased_pauli(&gate.matrix())?;
+    // The i^k phase of the base gate acts as S^k on the control.
+    match k {
+        0 => {}
+        1 => tab.s(control),
+        2 => tab.z(control),
+        _ => tab.sdg(control),
+    }
+    match pauli {
+        G::I => {}
+        G::X => tab.cx(control, target),
+        G::Z => tab.cz(control, target),
+        G::Y => {
+            // C-Y = (I (x) S) C-X (I (x) S†): conjugating the target by S
+            // turns X into Y.
+            tab.sdg(target);
+            tab.cx(control, target);
+            tab.s(target);
+        }
+        _ => return None,
+    }
+    Some(())
+}
+
+fn check_range(op: &Operation, op_index: usize, num_qubits: usize) -> Result<(), TableauError> {
+    for q in op.support() {
+        if q.index() >= num_qubits {
+            return Err(TableauError::QubitOutOfRange {
+                op_index,
+                qubit: q.index(),
+                num_qubits,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Applies one operation to the tableau, updating the classical `record`
+/// for measurements and reading it for conditioned operations.  `op_index`
+/// is only used in error reports.
+///
+/// # Errors
+///
+/// [`TableauError::NotClifford`] if the operation is outside the stabilizer
+/// alphabet, [`TableauError::QubitOutOfRange`] if it addresses a qubit the
+/// tableau does not have.
+pub fn apply_operation<R: RngCore + ?Sized>(
+    tab: &mut Tableau,
+    op: &Operation,
+    op_index: usize,
+    record: &mut u64,
+    rng: &mut R,
+) -> Result<(), TableauError> {
+    check_range(op, op_index, tab.num_qubits())?;
+    let not_clifford = || TableauError::NotClifford {
+        op_index,
+        op: op.to_string(),
+    };
+    match op {
+        Operation::Unitary {
+            gate,
+            target,
+            controls,
+        } => match controls.as_slice() {
+            [] => apply_one_qubit(tab, gate, target.index()).ok_or_else(not_clifford),
+            [control] => apply_controlled(tab, gate, control.index(), target.index())
+                .ok_or_else(not_clifford),
+            _ => Err(not_clifford()),
+        },
+        Operation::Swap { a, b, controls } => {
+            if controls.is_empty() {
+                tab.swap(a.index(), b.index());
+                Ok(())
+            } else {
+                Err(not_clifford())
+            }
+        }
+        Operation::Permute { .. } => Err(not_clifford()),
+        Operation::Measure { qubit, cbit } => {
+            let outcome = tab.measure(qubit.index(), rng);
+            *record = (*record & !(1u64 << cbit)) | (u64::from(outcome) << cbit);
+            Ok(())
+        }
+        Operation::Reset { qubit } => {
+            tab.reset(qubit.index(), rng);
+            Ok(())
+        }
+        Operation::Conditioned { condition, op } => {
+            if condition.is_satisfied_by(*record) {
+                apply_operation(tab, op, op_index, record, rng)
+            } else {
+                // Still classify: a skipped non-Clifford operation must fail
+                // identically on every shot, not depend on the record.
+                if op.is_clifford() {
+                    Ok(())
+                } else {
+                    Err(not_clifford())
+                }
+            }
+        }
+    }
+}
+
+/// Applies every operation of `circuit` to `tab` in order, starting from
+/// classical record `0`, and returns the final record.
+///
+/// # Errors
+///
+/// The first [`TableauError`] encountered; the tableau is left in the state
+/// reached so far.
+pub fn apply_circuit<R: RngCore + ?Sized>(
+    tab: &mut Tableau,
+    circuit: &Circuit,
+    rng: &mut R,
+) -> Result<u64, TableauError> {
+    let mut record = 0u64;
+    for (op_index, op) in circuit.iter().enumerate() {
+        apply_operation(tab, op, op_index, &mut record, rng)?;
+    }
+    Ok(record)
+}
+
+/// Runs `circuit` from the all-zeros state and returns the final tableau
+/// and classical record.
+///
+/// # Errors
+///
+/// See [`apply_circuit`].
+pub fn simulate<R: RngCore + ?Sized>(
+    circuit: &Circuit,
+    rng: &mut R,
+) -> Result<(Tableau, u64), TableauError> {
+    let mut tab = Tableau::zero_state(usize::from(circuit.num_qubits()).max(1));
+    let record = apply_circuit(&mut tab, circuit, rng)?;
+    Ok((tab, record))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::{Circuit, OneQubitGate, Qubit};
+    use mathkit::Angle;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clifford_table_has_24_classes() {
+        assert_eq!(clifford_table().len(), 24);
+        // Longest {H, S} word needed is small (the Cayley graph of the
+        // 1-qubit Clifford group over {H, S} has diameter <= 7).
+        assert!(clifford_table().values().all(|w| w.len() <= 7));
+    }
+
+    /// Applies `ops` to dense 2x2 matrices and compares (up to global
+    /// phase) against the tableau lowering, by checking measurement
+    /// statistics in the Z and X bases match on a 1-qubit register.
+    fn dense_column(gate: OneQubitGate, basis: OneQubitGate) -> (f64, f64) {
+        // Probability of outcome 0 after `basis`-change . gate |0>.
+        let g = gate.matrix();
+        let b = basis.matrix();
+        let m = mat_mul(&b, &g);
+        (m[0][0].norm_sqr(), m[1][0].norm_sqr())
+    }
+
+    fn tableau_outcome_probability(gate: OneQubitGate, basis: OneQubitGate) -> f64 {
+        let mut zeros = 0u32;
+        let shots = 2000;
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..shots {
+            let mut tab = Tableau::zero_state(1);
+            apply_one_qubit(&mut tab, &gate, 0).expect("gate must be Clifford");
+            apply_one_qubit(&mut tab, &basis, 0).expect("basis change must be Clifford");
+            if !tab.measure(0, &mut rng) {
+                zeros += 1;
+            }
+        }
+        f64::from(zeros) / f64::from(shots)
+    }
+
+    #[test]
+    fn matrix_matched_gates_agree_with_dense_statistics() {
+        let gates = [
+            OneQubitGate::SqrtX,
+            OneQubitGate::SqrtXdg,
+            OneQubitGate::SqrtY,
+            OneQubitGate::SqrtYdg,
+            OneQubitGate::Rx(Angle::pi_over(2)),
+            OneQubitGate::Ry(Angle::pi_over(2)),
+            OneQubitGate::Rz(Angle::pi_over(2)),
+            OneQubitGate::Phase(Angle::pi_over(2)),
+            OneQubitGate::Rz(Angle::radians_value(-std::f64::consts::FRAC_PI_2)),
+            OneQubitGate::U {
+                theta: Angle::pi_over(2),
+                phi: Angle::pi_over(1),
+                lambda: Angle::pi_over(2),
+            },
+        ];
+        for gate in gates {
+            for basis in [OneQubitGate::I, OneQubitGate::H] {
+                let (p0, _) = dense_column(gate, basis);
+                let observed = tableau_outcome_probability(gate, basis);
+                assert!(
+                    (observed - p0).abs() < 0.05,
+                    "{gate:?} in basis {basis:?}: dense {p0}, tableau {observed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_clifford_gates_are_rejected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for gate in [
+            OneQubitGate::T,
+            OneQubitGate::Tdg,
+            OneQubitGate::Rz(Angle::pi_over(4)),
+            OneQubitGate::Rx(Angle::radians_value(0.3)),
+        ] {
+            let mut circ = Circuit::new(1);
+            circ.gate(gate, Qubit(0));
+            let err = simulate(&circ, &mut rng).unwrap_err();
+            assert!(
+                matches!(err, TableauError::NotClifford { op_index: 0, .. }),
+                "{gate:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn controlled_paulis_and_phase_equivalents() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        // CX via the generic controlled path on |1, 0>: flips the target.
+        let mut circ = Circuit::new(2);
+        circ.x(Qubit(0));
+        circ.cx(Qubit(0), Qubit(1));
+        let (mut tab, _) = simulate(&circ, &mut rng).expect("clifford");
+        assert_eq!(tab.as_basis_state(), Some(vec![0b11]));
+
+        // Controlled-Rz(pi) = C-(-iZ) = S†(control) . CZ: diagonal, so
+        // check it in the Hadamard frame where CZ acts as CX.
+        let mut a = Circuit::new(2);
+        a.x(Qubit(0));
+        a.h(Qubit(1));
+        a.push(Operation::Unitary {
+            gate: OneQubitGate::Rz(Angle::pi_over(1)),
+            target: Qubit(1),
+            controls: vec![Qubit(0)],
+        });
+        a.h(Qubit(1));
+        let (mut tab_a, _) = simulate(&a, &mut rng).expect("clifford");
+        // Rz(pi) = -iZ on the target: H Z H = X flips qubit 1.
+        assert_eq!(tab_a.as_basis_state(), Some(vec![0b11]));
+
+        // CY on |1, 0>: target flips (phase is unobservable in Z basis).
+        let mut c = Circuit::new(2);
+        c.x(Qubit(0));
+        c.push(Operation::Unitary {
+            gate: OneQubitGate::Y,
+            target: Qubit(1),
+            controls: vec![Qubit(0)],
+        });
+        let (mut tab_c, _) = simulate(&c, &mut rng).expect("clifford");
+        assert_eq!(tab_c.as_basis_state(), Some(vec![0b11]));
+
+        // CS is not Clifford.
+        let mut bad = Circuit::new(2);
+        bad.push(Operation::Unitary {
+            gate: OneQubitGate::S,
+            target: Qubit(1),
+            controls: vec![Qubit(0)],
+        });
+        assert!(matches!(
+            simulate(&bad, &mut rng),
+            Err(TableauError::NotClifford { .. })
+        ));
+    }
+
+    #[test]
+    fn cy_phase_is_observable_in_bell_interference() {
+        // Verify the S^k-on-control bookkeeping: (H on control) CY
+        // (H on control) distinguishes CY from S(control).CX only through
+        // the relative phase; compare against dense statevector.
+        use statevector::StateVector;
+        let mut circ = Circuit::new(2);
+        circ.h(Qubit(0));
+        circ.push(Operation::Unitary {
+            gate: OneQubitGate::Y,
+            target: Qubit(1),
+            controls: vec![Qubit(0)],
+        });
+        circ.h(Qubit(0));
+        let mut sv = StateVector::zero_state(2);
+        for op in circ.iter() {
+            statevector::apply_operation(&mut sv, op);
+        }
+        let dense: Vec<f64> = (0..4).map(|i| sv.probability(i)).collect();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 4];
+        let shots = 4000;
+        for _ in 0..shots {
+            let (tab, _) = simulate(&circ, &mut rng).expect("clifford");
+            counts[usize::try_from(tab.measurement_sampler().sample_u64(&mut rng))
+                .expect("2-qubit outcome")] += 1;
+        }
+        for i in 0..4 {
+            let f = f64::from(counts[i]) / f64::from(shots);
+            assert!(
+                (f - dense[i]).abs() < 0.04,
+                "outcome {i}: dense {} tableau {f}",
+                dense[i]
+            );
+        }
+    }
+
+    #[test]
+    fn measurement_record_and_conditioning() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        // Measure |1> into c0; conditioned X on c==1 flips qubit 1.
+        let mut circ = Circuit::new(2);
+        circ.x(Qubit(0));
+        circ.measure(Qubit(0), 0);
+        circ.push(Operation::Conditioned {
+            condition: circuit::Condition::equals(1),
+            op: Box::new(Operation::Unitary {
+                gate: OneQubitGate::X,
+                target: Qubit(1),
+                controls: vec![],
+            }),
+        });
+        circ.measure(Qubit(1), 1);
+        let (_, record) = simulate(&circ, &mut rng).expect("clifford");
+        assert_eq!(record, 0b11);
+
+        // An unsatisfied condition skips the gate.
+        let mut skip = Circuit::new(2);
+        skip.measure(Qubit(0), 0);
+        skip.push(Operation::Conditioned {
+            condition: circuit::Condition::equals(1),
+            op: Box::new(Operation::Unitary {
+                gate: OneQubitGate::X,
+                target: Qubit(1),
+                controls: vec![],
+            }),
+        });
+        skip.measure(Qubit(1), 1);
+        let (_, record) = simulate(&skip, &mut rng).expect("clifford");
+        assert_eq!(record, 0);
+
+        // A skipped non-Clifford gate still fails classification.
+        let mut bad = Circuit::new(1);
+        bad.push(Operation::Conditioned {
+            condition: circuit::Condition::equals(1),
+            op: Box::new(Operation::Unitary {
+                gate: OneQubitGate::T,
+                target: Qubit(0),
+                controls: vec![],
+            }),
+        });
+        assert!(matches!(
+            simulate(&bad, &mut rng),
+            Err(TableauError::NotClifford { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_is_reported_not_panicked() {
+        let mut tab = Tableau::zero_state(2);
+        let op = Operation::Unitary {
+            gate: OneQubitGate::H,
+            target: Qubit(5),
+            controls: vec![],
+        };
+        let mut record = 0;
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(
+            apply_operation(&mut tab, &op, 3, &mut record, &mut rng),
+            Err(TableauError::QubitOutOfRange {
+                op_index: 3,
+                qubit: 5,
+                num_qubits: 2
+            })
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Gottesman–Knill stabilizer-tableau simulation of Clifford circuits.
+//!
+//! By the Gottesman–Knill theorem, circuits built from the Clifford gate set
+//! are classically simulable in polynomial time: an `n`-qubit stabilizer
+//! state is represented not by `2^n` amplitudes but by the `n` Pauli
+//! generators of its stabilizer group, and every Clifford gate updates those
+//! generators in `O(n)` bit operations.  This crate implements the CHP-style
+//! tableau of Aaronson and Gottesman (*"Improved simulation of stabilizer
+//! circuits"*): `2n` generator rows — `n` destabilizers plus `n` stabilizers
+//! — stored as bit-packed X/Z matrices with a sign bit per row, so a
+//! thousand-qubit Clifford circuit fits in a few hundred kilobytes and runs
+//! in microseconds.
+//!
+//! # The Clifford gate set
+//!
+//! [`apply_operation`] accepts exactly the operations
+//! [`circuit::Operation::is_clifford`] admits:
+//!
+//! * every single-qubit gate in the Clifford group: `I`, `X`, `Y`, `Z`,
+//!   `H`, `S`, `Sdg`, `SqrtX`, `SqrtXdg`, `SqrtY`, `SqrtYdg`, and the
+//!   parametric gates `Phase`/`Rx`/`Ry`/`Rz`/`U` whose angles are integer
+//!   multiples of `pi/2` (each is resolved to a product of the tableau's
+//!   `H`/`S` primitives by matrix matching against the 24 single-qubit
+//!   Clifford classes, so e.g. `rz(pi/2)` runs as `S` up to global phase);
+//! * singly-controlled Paulis up to a power-of-`i` phase: `CX`, `CY`, `CZ`
+//!   and phase-equivalents like controlled-`Rz(pi)` (the `i^k` factor
+//!   becomes an `S^k` on the control);
+//! * uncontrolled `SWAP`;
+//! * computational-basis [`Measure`](circuit::Operation::Measure) and
+//!   [`Reset`](circuit::Operation::Reset), plus classically-
+//!   [`Conditioned`](circuit::Operation::Conditioned) forms of all of the
+//!   above, resolved against the shot's classical record.
+//!
+//! Anything else — `T`, non-dyadic rotations, multi-controlled gates,
+//! permutations, amplitude damping — fails with
+//! [`TableauError::NotClifford`]; callers (the `weaksim` router) fall back
+//! to a dense backend.
+//!
+//! # Measurement semantics
+//!
+//! Measuring qubit `q` follows the CHP rules ([`Tableau::measure`]):
+//!
+//! * if some stabilizer generator anticommutes with `Z_q` (its X-bit at `q`
+//!   is set — equivalently, the symplectic rank test finds `Z_q` outside
+//!   the stabilizer span), the outcome is **random**: a fair bit is drawn,
+//!   the anticommuting generator is replaced by `±Z_q`, and every other
+//!   anticommuting row is multiplied by the replaced generator;
+//! * otherwise the outcome is **deterministic**: `±Z_q` lies in the
+//!   stabilizer group, and its sign — reconstructed in the scratch row from
+//!   the destabilizer decomposition — is the outcome, with no state change.
+//!
+//! [`Tableau::reset`] is measure-then-flip, and Pauli noise channels
+//! (bit/phase flip, depolarizing) are realized as **frame flips**
+//! ([`Tableau::apply_noise`]): a sampled `X`/`Y`/`Z` only toggles `O(n)`
+//! row signs, so noisy stabilizer trajectories stay polynomial.
+//!
+//! # Sampling and the stitching contract
+//!
+//! Terminal full-register sampling goes through
+//! [`Tableau::measurement_sampler`]: the support of a stabilizer state in
+//! the computational basis is an affine subspace `c XOR span(B)` over which
+//! the outcome distribution is *uniform*, so the sampler extracts one
+//! reference outcome `c` (a forced-zero CHP measurement sweep on a clone)
+//! and a basis `B` of the X-row space of the stabilizer generators once,
+//! after which every shot is `|B|` coin flips and word-XORs — independent
+//! of circuit depth.
+//!
+//! The router's **stitching contract** is [`Tableau::as_basis_state`]: when
+//! a Clifford prefix leaves the register in a computational basis state
+//! `|b>` (no stabilizer generator carries an X bit), the method returns
+//! `b`, and the dense backend resumes from `|b>` — bit-for-bit the state
+//! the tableau ended in.  A prefix ending in superposition returns `None`
+//! and the router re-runs the whole circuit densely instead; the tableau
+//! result is never approximated into the dense engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use circuit::{Circuit, Qubit};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! // A 500-qubit GHZ state: far beyond dense simulation, instant here.
+//! let mut ghz = Circuit::new(500);
+//! ghz.h(Qubit(0));
+//! for q in 1..500 {
+//!     ghz.cx(Qubit(q - 1), Qubit(q));
+//! }
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let (tab, _record) = tableau::simulate(&ghz, &mut rng)?;
+//! let sampler = tab.measurement_sampler();
+//! let shot = sampler.sample_words(&mut rng);
+//! // All 500 bits agree: the outcome is all-zeros or all-ones.
+//! let all_zeros = shot.iter().all(|&w| w == 0);
+//! let all_ones = shot[..7].iter().all(|&w| w == u64::MAX) && shot[7] == (1u64 << 52) - 1;
+//! assert!(all_zeros || all_ones);
+//! # Ok::<(), tableau::TableauError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod apply;
+mod sample;
+mod state;
+
+pub use apply::{apply_circuit, apply_operation, simulate, TableauError};
+pub use sample::MeasurementSampler;
+pub use state::{Pauli, Tableau};
