@@ -248,7 +248,9 @@ fn bench_trajectories(c: &mut Criterion) {
 /// package's table statistics (`"construction"` / `"dd_stats"` keys — CI
 /// greps for both, so construction performance cannot silently drop out of
 /// the artifact), plus the Clifford-router entries (`"tableau_ghz"` /
-/// `"routed_supremacy"`, also grepped by CI).
+/// `"routed_supremacy"`, also grepped by CI) and the `"artifact_cache"`
+/// entry (cold-vs-warm cost of the same request through an
+/// [`weaksim::ArtifactCache`], also grepped by CI).
 fn record_baseline_json(_c: &mut Criterion) {
     let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
     let shots: usize = if quick { 20_000 } else { 200_000 };
@@ -396,6 +398,43 @@ fn record_baseline_json(_c: &mut Criterion) {
     let tableau_json = router_entry(&ghz_circuit, trajectory_shots, 1);
     let routed_json = router_entry(&deep_circuit, trajectory_shots, threads);
 
+    // Artifact-cache entry: the same supremacy request served cold (miss:
+    // strong simulation + sampler compilation + sampling) and then warm
+    // (hit: sampling only) through one `ArtifactCache`, demonstrating the
+    // pay-once contract on the headline workload.  Both draws use the same
+    // seed, so the histograms are bit-identical — asserted here, not just
+    // claimed.
+    let artifact_cache_json = {
+        let cache = weaksim::ArtifactCache::unbounded();
+        let mut sim = WeakSimulator::new(Backend::DecisionDiagram).with_cache(&cache);
+        let request_shots = shots as u64;
+        let cold_start = Instant::now();
+        let cold = sim
+            .run(&circuit, request_shots, BENCH_SEED)
+            .expect("cold cached run succeeds");
+        let cold_seconds = cold_start.elapsed().as_secs_f64();
+        assert_eq!(cold.cache, Some(weaksim::CacheOutcome::Miss));
+        let warm_start = Instant::now();
+        let warm = sim
+            .run(&circuit, request_shots, BENCH_SEED)
+            .expect("warm cached run succeeds");
+        let warm_seconds = warm_start.elapsed().as_secs_f64();
+        assert_eq!(warm.cache, Some(weaksim::CacheOutcome::Hit));
+        assert_eq!(
+            warm.histogram, cold.histogram,
+            "warm request must be bit-identical to the cold one"
+        );
+        let stats = cache.stats();
+        format!(
+            "{{\n    \"benchmark\": \"{name}\",\n    \"shots\": {request_shots},\n    \"cold_seconds\": {cold_seconds:.6},\n    \"warm_seconds\": {warm_seconds:.6},\n    \"warm_speedup\": {speedup:.2},\n    \"hits\": {hits},\n    \"misses\": {misses},\n    \"cached_bytes\": {bytes}\n  }}",
+            name = circuit.name(),
+            speedup = cold_seconds / warm_seconds,
+            hits = stats.hits,
+            misses = stats.misses,
+            bytes = stats.bytes,
+        )
+    };
+
     let cache_json = |c: dd::CacheCounters| -> String {
         format!(
             "{{ \"hits\": {}, \"misses\": {}, \"evictions\": {} }}",
@@ -423,7 +462,7 @@ fn record_baseline_json(_c: &mut Criterion) {
 
     let rate = |seconds: f64| shots as f64 / seconds;
     let json = format!(
-        "{{\n  \"benchmark\": \"{name}\",\n  \"qubits\": {qubits},\n  \"dd_nodes\": {nodes},\n  \"shots\": {shots},\n  \"threads\": {threads},\n  \"construction\": {construction_json},\n  \"dd_stats\": {dd_stats_json},\n  \"compile_seconds\": {compile_seconds:.6},\n  \"samplers\": {{\n    \"dd_sampler\": {{ \"seconds\": {dd:.6}, \"shots_per_second\": {dd_rate:.0} }},\n    \"normalized_sampler\": {{ \"seconds\": {nm:.6}, \"shots_per_second\": {nm_rate:.0} }},\n    \"compiled_sampler\": {{ \"seconds\": {cp:.6}, \"shots_per_second\": {cp_rate:.0} }},\n    \"compiled_parallel\": {{ \"seconds\": {pl:.6}, \"shots_per_second\": {pl_rate:.0}, \"threads\": {threads} }}\n  }},\n  \"trajectory\": {trajectory_json},\n  \"trajectory_parallel\": {trajectory_parallel_json},\n  \"trajectory_ipe\": {ipe_json},\n  \"trajectory_noisy\": {noisy_json},\n  \"trajectory_noisy_deep\": {deep_json},\n  \"tableau_ghz\": {tableau_json},\n  \"routed_supremacy\": {routed_json},\n  \"speedup_compiled_vs_dd_sampler\": {speedup:.2},\n  \"speedup_parallel_vs_dd_sampler\": {pspeedup:.2}\n}}\n",
+        "{{\n  \"benchmark\": \"{name}\",\n  \"qubits\": {qubits},\n  \"dd_nodes\": {nodes},\n  \"shots\": {shots},\n  \"threads\": {threads},\n  \"construction\": {construction_json},\n  \"dd_stats\": {dd_stats_json},\n  \"compile_seconds\": {compile_seconds:.6},\n  \"samplers\": {{\n    \"dd_sampler\": {{ \"seconds\": {dd:.6}, \"shots_per_second\": {dd_rate:.0} }},\n    \"normalized_sampler\": {{ \"seconds\": {nm:.6}, \"shots_per_second\": {nm_rate:.0} }},\n    \"compiled_sampler\": {{ \"seconds\": {cp:.6}, \"shots_per_second\": {cp_rate:.0} }},\n    \"compiled_parallel\": {{ \"seconds\": {pl:.6}, \"shots_per_second\": {pl_rate:.0}, \"threads\": {threads} }}\n  }},\n  \"trajectory\": {trajectory_json},\n  \"trajectory_parallel\": {trajectory_parallel_json},\n  \"trajectory_ipe\": {ipe_json},\n  \"trajectory_noisy\": {noisy_json},\n  \"trajectory_noisy_deep\": {deep_json},\n  \"tableau_ghz\": {tableau_json},\n  \"routed_supremacy\": {routed_json},\n  \"artifact_cache\": {artifact_cache_json},\n  \"speedup_compiled_vs_dd_sampler\": {speedup:.2},\n  \"speedup_parallel_vs_dd_sampler\": {pspeedup:.2}\n}}\n",
         name = circuit.name(),
         qubits = circuit.num_qubits(),
         dd = dd_seconds,

@@ -16,6 +16,9 @@
 //!   `DESIGN.md`).
 //! * [`Circuit`] — an ordered list of operations with convenience builder
 //!   methods (`h`, `cx`, `mcx`, `cp`, …) and validation.
+//! * [`Circuit::fingerprint`] / [`NoiseModel::fingerprint`] — canonical
+//!   128-bit hashes of the IR (gate angles as exact `f64` bit patterns,
+//!   names excluded), used as artifact-cache keys by the `weaksim` crate.
 //! * [`qasm`] — an OpenQASM 2.0 subset writer and parser so circuits can be
 //!   exchanged with other toolchains.
 //! * [`NoiseModel`] / [`NoiseChannel`] — descriptions of stochastic noise
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod circuit;
+mod fingerprint;
 mod gate;
 mod noise;
 mod op;

@@ -339,6 +339,12 @@ impl NoiseModel {
         self.measurement.iter().copied().filter(|c| !c.is_trivial())
     }
 
+    /// The three channel sections (gate-wide, per-qubit, read-out) in
+    /// insertion order, for the fingerprint fold.
+    pub(crate) fn sections(&self) -> (&[NoiseChannel], &[(Qubit, NoiseChannel)], &[NoiseChannel]) {
+        (&self.gate, &self.qubit, &self.measurement)
+    }
+
     /// Checks every channel parameter and every qubit reference against a
     /// circuit of `num_qubits` qubits.
     ///

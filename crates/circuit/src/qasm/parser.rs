@@ -630,8 +630,14 @@ fn parse_gate(
     };
 
     match name {
-        "id" => expect(1),
-        "x" | "y" | "z" | "h" | "s" | "sdg" | "t" | "tdg" | "sx" | "sxdg" => {
+        "id" => {
+            expect(1)?;
+            // Preserved, not dropped: the round trip must keep the operation
+            // list (and hence the fingerprint) exactly.
+            circuit.gate(OneQubitGate::I, operands[0]);
+            Ok(())
+        }
+        "x" | "y" | "z" | "h" | "s" | "sdg" | "t" | "tdg" | "sx" | "sxdg" | "sy" | "sydg" => {
             expect(1)?;
             let gate = match name {
                 "x" => OneQubitGate::X,
@@ -643,7 +649,9 @@ fn parse_gate(
                 "t" => OneQubitGate::T,
                 "tdg" => OneQubitGate::Tdg,
                 "sx" => OneQubitGate::SqrtX,
-                _ => OneQubitGate::SqrtXdg,
+                "sxdg" => OneQubitGate::SqrtXdg,
+                "sy" => OneQubitGate::SqrtY,
+                _ => OneQubitGate::SqrtYdg,
             };
             circuit.gate(gate, operands[0]);
             Ok(())

@@ -37,6 +37,12 @@ fn q(qubit: Qubit) -> String {
     format!("q[{}]", qubit.index())
 }
 
+/// Renders a gate call with **round-trip-exact** angles: Rust's default
+/// `f64` formatting is shortest-round-trip (the emitted decimal parses back
+/// to the identical bit pattern), so a write→parse cycle preserves every
+/// angle bit-for-bit and [`Circuit::fingerprint`] is a fixed point of the
+/// QASM round trip — the property the artifact cache keys rely on (see the
+/// `qasm_fingerprint_roundtrip` integration test).
 fn gate_call(gate: &OneQubitGate) -> String {
     match gate {
         OneQubitGate::Phase(a) => format!("p({})", a.radians()),
@@ -61,7 +67,9 @@ fn gate_call(gate: &OneQubitGate) -> String {
 /// circuit without measurements is written as a pure gate sequence — the
 /// simulators of this workspace measure every qubit at the end implicitly,
 /// so the round trip [`parse`](super::parse)∘[`to_qasm`] preserves the
-/// operation list exactly.
+/// operation list exactly.  Gate angles are emitted with shortest-round-trip
+/// `f64` precision, so the round trip also preserves every angle bit
+/// pattern and hence the circuit's [`Circuit::fingerprint`].
 ///
 /// # Errors
 ///

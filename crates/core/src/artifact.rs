@@ -1,0 +1,637 @@
+//! Immutable, shareable simulation artifacts and the cross-run cache that
+//! serves them.
+//!
+//! The paper's weak-simulation contract is *pay once, sample cheap*: strong
+//! simulation of `supremacy_4x5_10` costs around a minute, after which 200k
+//! shots cost ~0.13 s.  This module makes the expensive part reusable
+//! across runs, simulators and threads:
+//!
+//! * [`SimArtifact`] — everything a request needs *after* strong
+//!   simulation, detached from the machinery that built it: a prepared
+//!   sampler (compiled decision-diagram arena, dense prefix sums, or
+//!   stabilizer affine-subspace basis), the trailing-measurement
+//!   relabelling, the executed [`RunRoute`] and the representation-size /
+//!   [`DdStats`] snapshot.  Artifacts are immutable, `Send + Sync` and
+//!   `'static`, so an `Arc<SimArtifact>` can be sampled concurrently by any
+//!   number of tenants.
+//! * [`ArtifactCache`] — a bounded, fingerprint-keyed, byte-budgeted LRU
+//!   store of `Arc<SimArtifact>`s.  Attach one to a simulator with
+//!   [`WeakSimulator::with_cache`](crate::WeakSimulator::with_cache): every
+//!   eligible `run` first consults the cache, and a hit skips strong
+//!   simulation *and* sampler compilation entirely.
+//!
+//! # Reproducibility
+//!
+//! [`SimArtifact::sample`] draws with exactly the RNG scheme of the engine
+//! that would have produced the shots uncached — chunked SplitMix64 streams
+//! for the decision-diagram and tableau paths, one sequential `StdRng` for
+//! the dense path — so a cached histogram is **bit-identical** to the
+//! uncached run with the same seed, and two tenants sampling one shared
+//! artifact with different seeds draw independent, individually
+//! reproducible shot streams.
+//!
+//! # Keys
+//!
+//! Cache keys are the request fingerprint
+//! ([`WeakSimulator::request_fingerprint`](crate::WeakSimulator::request_fingerprint)):
+//! [`Circuit::fingerprint`](circuit::Circuit::fingerprint) extended with
+//! the backend choice, the router flag and the attached noise model.  Any
+//! bit of drift — an angle's last mantissa bit, a creg relabelling, a noise
+//! parameter — produces a different key and a rebuild.
+
+use crate::govern::RunGovernor;
+use crate::router::{map_terminal_words, RunRoute};
+use crate::simulator::{map_terminal_record, Backend, RunError, StrongState};
+use crate::ShotHistogram;
+use circuit::Qubit;
+use dd::{chunk_stream_seed, CompiledSampler, DdStats, PARALLEL_CHUNK_SHOTS};
+use rand::rngs::{SmallRng, StdRng};
+use rand::SeedableRng;
+use statevector::PrefixSampler;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use tableau::MeasurementSampler;
+
+/// The prepared sampler inside a [`SimArtifact`]: one variant per engine,
+/// each fully detached from the package/state that built it.
+#[derive(Debug, Clone)]
+pub enum PreparedSampler {
+    /// A compiled decision-diagram arena (owned; survives its package).
+    DecisionDiagram(CompiledSampler),
+    /// Dense prefix sums over `2^n` amplitudes.
+    StateVector(PrefixSampler),
+    /// The affine-subspace sampler of a stabilizer state.
+    Tableau(MeasurementSampler),
+}
+
+impl PreparedSampler {
+    /// Heap bytes held by the sampler itself.
+    fn heap_bytes(&self) -> usize {
+        match self {
+            PreparedSampler::DecisionDiagram(s) => s.arena_bytes(),
+            PreparedSampler::StateVector(s) => s.heap_bytes(),
+            PreparedSampler::Tableau(s) => s.heap_bytes(),
+        }
+    }
+}
+
+/// An immutable, reusable weak-simulation artifact: the complete output of
+/// the expensive phase of a run (strong simulation + sampler preparation),
+/// detached from every borrowed resource so it can outlive its builder and
+/// be shared across threads and runs.
+///
+/// Obtain artifacts through an [`ArtifactCache`] attached with
+/// [`WeakSimulator::with_cache`](crate::WeakSimulator::with_cache); sample
+/// them (concurrently, if desired) with [`SimArtifact::sample`].
+#[derive(Debug)]
+pub struct SimArtifact {
+    sampler: PreparedSampler,
+    /// Trailing-measurement relabelling `(qubit, cbit)`; empty means the
+    /// full register is histogrammed directly.
+    mapping: Vec<(Qubit, u16)>,
+    num_qubits: u16,
+    /// Classical-record width used when `mapping` is non-empty.
+    record_width: u16,
+    backend: Backend,
+    route: RunRoute,
+    dd_stats: Option<DdStats>,
+    representation_size: u128,
+    build_strong_time: Duration,
+    build_precompute_time: Duration,
+}
+
+impl SimArtifact {
+    /// Builds an artifact from a dense strong state by compiling the
+    /// backend's prepared sampler and snapshotting the run metadata; the
+    /// caller may drop `state` (and with it the DD package) afterwards.
+    pub(crate) fn from_dense(
+        state: &StrongState,
+        mapping: Vec<(Qubit, u16)>,
+        record_width: u16,
+        route: RunRoute,
+        build_strong_time: Duration,
+    ) -> Result<Self, RunError> {
+        let precompute_start = Instant::now();
+        let sampler = match state {
+            StrongState::DecisionDiagram { package, state } => {
+                PreparedSampler::DecisionDiagram(CompiledSampler::new(package, state)?)
+            }
+            StrongState::StateVector(vector) => {
+                PreparedSampler::StateVector(PrefixSampler::new(vector))
+            }
+        };
+        Ok(Self {
+            sampler,
+            mapping,
+            num_qubits: state.num_qubits(),
+            record_width,
+            backend: state.backend(),
+            route,
+            dd_stats: state.dd_stats(),
+            representation_size: state.representation_size(),
+            build_strong_time,
+            build_precompute_time: precompute_start.elapsed(),
+        })
+    }
+
+    /// Builds an artifact around a prepared tableau sampler (the router's
+    /// static fully-Clifford path).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_tableau(
+        sampler: MeasurementSampler,
+        mapping: Vec<(Qubit, u16)>,
+        num_qubits: u16,
+        record_width: u16,
+        backend: Backend,
+        route: RunRoute,
+        build_strong_time: Duration,
+        build_precompute_time: Duration,
+    ) -> Self {
+        // The stabilizer generator count, as reported by the router.
+        let representation_size = 2 * usize::from(num_qubits).max(1) as u128;
+        Self {
+            sampler: PreparedSampler::Tableau(sampler),
+            mapping,
+            num_qubits,
+            record_width,
+            backend,
+            route,
+            dd_stats: None,
+            representation_size,
+            build_strong_time,
+            build_precompute_time,
+        }
+    }
+
+    /// The prepared sampler.
+    #[must_use]
+    pub fn sampler(&self) -> &PreparedSampler {
+        &self.sampler
+    }
+
+    /// The register width in qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> u16 {
+        self.num_qubits
+    }
+
+    /// The backend the artifact was prepared for (reported in cached
+    /// outcomes; tableau-routed artifacts report the configured dense
+    /// backend, like the router does).
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The route the preparing run executed (and every cached run reports).
+    #[must_use]
+    pub fn route(&self) -> &RunRoute {
+        &self.route
+    }
+
+    /// The decision-diagram statistics snapshot taken at build time, if the
+    /// artifact came from the DD engine.
+    #[must_use]
+    pub fn dd_stats(&self) -> Option<DdStats> {
+        self.dd_stats
+    }
+
+    /// Representation size of the strong state the artifact was compiled
+    /// from (DD nodes, dense amplitudes, or stabilizer generators).
+    #[must_use]
+    pub fn representation_size(&self) -> u128 {
+        self.representation_size
+    }
+
+    /// Wall-clock time the build spent in strong simulation.
+    #[must_use]
+    pub fn build_strong_time(&self) -> Duration {
+        self.build_strong_time
+    }
+
+    /// Wall-clock time the build spent preparing the sampler (compilation,
+    /// prefix sums, or the tableau's measurement sweep).
+    #[must_use]
+    pub fn build_precompute_time(&self) -> Duration {
+        self.build_precompute_time
+    }
+
+    /// Approximate heap bytes retained by this artifact — what the cache
+    /// charges against its byte budget.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.sampler.heap_bytes()
+            + self.mapping.len() * std::mem::size_of::<(Qubit, u16)>()
+            + self.route.segments.len() * std::mem::size_of::<crate::router::RouteSegment>()
+    }
+
+    /// Draws `shots` seed-deterministic samples.
+    ///
+    /// The RNG scheme matches the engine that built the artifact exactly —
+    /// chunked SplitMix64 streams (thread-count independent) for the
+    /// decision-diagram and tableau paths, one sequential `StdRng` for the
+    /// dense path — so the histogram is bit-identical to the uncached run
+    /// with the same seed.  `&self` only: any number of threads may sample
+    /// one shared artifact concurrently, each with its own seed stream.
+    #[must_use]
+    pub fn sample(&self, shots: u64, seed: u64) -> ShotHistogram {
+        let width = if self.mapping.is_empty() {
+            self.num_qubits
+        } else {
+            self.record_width
+        };
+        let mut histogram = ShotHistogram::new(width);
+        match &self.sampler {
+            PreparedSampler::DecisionDiagram(sampler) => {
+                // Whole parallel chunks per batch, advancing chunk offsets:
+                // stitching consecutive calls reproduces one giant
+                // `sample_many_parallel` call exactly (the DD engine's
+                // scheme, verbatim).
+                const BATCH_CHUNKS: u64 = 1024;
+                let batch_shots = BATCH_CHUNKS * PARALLEL_CHUNK_SHOTS as u64;
+                let threads = rayon::current_num_threads();
+                let mut drawn = 0u64;
+                while drawn < shots {
+                    let batch = (shots - drawn).min(batch_shots);
+                    // Infallible: `batch` is capped at BATCH_CHUNKS whole
+                    // parallel chunks, well inside usize on every target.
+                    #[allow(clippy::expect_used)]
+                    let batch_len = usize::try_from(batch).expect("batch bounded to fit usize");
+                    let samples = sampler.sample_batch_parallel(
+                        seed,
+                        drawn / PARALLEL_CHUNK_SHOTS as u64,
+                        batch_len,
+                        threads,
+                    );
+                    if self.mapping.is_empty() {
+                        histogram.record_many(&samples);
+                    } else {
+                        for sample in samples {
+                            histogram.record(map_terminal_record(sample, &self.mapping));
+                        }
+                    }
+                    drawn += batch;
+                }
+            }
+            PreparedSampler::StateVector(sampler) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                for _ in 0..shots {
+                    let sample = sampler.sample(&mut rng);
+                    if self.mapping.is_empty() {
+                        histogram.record(sample);
+                    } else {
+                        histogram.record(map_terminal_record(sample, &self.mapping));
+                    }
+                }
+            }
+            PreparedSampler::Tableau(sampler) => {
+                // The router's chunk-seeded draw loop, inlined (sampling
+                // from a prepared tableau sampler is infallible).
+                let chunk_len = PARALLEL_CHUNK_SHOTS as u64;
+                let total_chunks = shots.div_ceil(chunk_len);
+                if self.mapping.is_empty() {
+                    for chunk_index in 0..total_chunks {
+                        let chunk_shots = chunk_len.min(shots - chunk_index * chunk_len);
+                        let mut rng = SmallRng::seed_from_u64(chunk_stream_seed(seed, chunk_index));
+                        for _ in 0..chunk_shots {
+                            histogram.record(sampler.sample_u64(&mut rng));
+                        }
+                    }
+                } else {
+                    let mut buf = vec![0u64; sampler.num_qubits().div_ceil(64)];
+                    for chunk_index in 0..total_chunks {
+                        let chunk_shots = chunk_len.min(shots - chunk_index * chunk_len);
+                        let mut rng = SmallRng::seed_from_u64(chunk_stream_seed(seed, chunk_index));
+                        for _ in 0..chunk_shots {
+                            sampler.sample_into(&mut buf, &mut rng);
+                            histogram.record(map_terminal_words(&buf, &self.mapping));
+                        }
+                    }
+                }
+            }
+        }
+        histogram
+    }
+}
+
+/// Whether a cached run was served from the cache or had to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The artifact was found in the cache: no strong simulation ran.
+    Hit,
+    /// The artifact was built by this run and inserted for the next one.
+    Miss,
+}
+
+/// A counters-and-occupancy snapshot of an [`ArtifactCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found their artifact.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Artifacts inserted (including oversized ones that were not retained).
+    pub insertions: u64,
+    /// Artifacts evicted to make room under the byte budget.
+    pub evictions: u64,
+    /// Artifacts currently retained.
+    pub entries: usize,
+    /// Bytes currently retained.
+    pub bytes: u64,
+}
+
+/// One retained artifact.
+#[derive(Debug)]
+struct CacheEntry {
+    key: [u64; 2],
+    artifact: Arc<SimArtifact>,
+    bytes: u64,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: Vec<CacheEntry>,
+    byte_budget: Option<u64>,
+    bytes: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl CacheInner {
+    /// Evicts least-recently-used entries until at least `needed` bytes fit
+    /// under `budget`.
+    fn evict_to_fit(&mut self, needed: u64, budget: u64) {
+        while self.bytes + needed > budget && !self.entries.is_empty() {
+            let mut lru = 0;
+            for (i, entry) in self.entries.iter().enumerate() {
+                if entry.last_used < self.entries[lru].last_used {
+                    lru = i;
+                }
+            }
+            let evicted = self.entries.swap_remove(lru);
+            self.bytes -= evicted.bytes;
+            self.evictions += 1;
+        }
+    }
+}
+
+/// A bounded, fingerprint-keyed store of [`Arc<SimArtifact>`]s shared
+/// across runs (and across simulator clones — the handle is cheaply
+/// cloneable and internally synchronized).
+///
+/// Retention is LRU under an optional byte budget, following the bounded
+/// compute-cache idiom of the DD package: inserting over budget first
+/// evicts least-recently-used entries, and an artifact larger than the
+/// whole budget is served to its requester but not retained.  An
+/// [`unbounded`](ArtifactCache::unbounded) cache never evicts.
+///
+/// # Examples
+///
+/// ```
+/// use weaksim::{ArtifactCache, Backend, CacheOutcome, WeakSimulator};
+///
+/// let circuit = algorithms::w_state(6);
+/// let cache = ArtifactCache::unbounded();
+/// let mut sim = WeakSimulator::new(Backend::DecisionDiagram).with_cache(&cache);
+/// let cold = sim.run(&circuit, 1000, 7)?;
+/// assert_eq!(cold.cache, Some(CacheOutcome::Miss));
+/// let warm = sim.run(&circuit, 1000, 7)?;
+/// assert_eq!(warm.cache, Some(CacheOutcome::Hit));
+/// assert_eq!(cold.histogram, warm.histogram); // same seed: bit-identical
+/// assert_eq!(cache.stats().hits, 1);
+/// # Ok::<(), weaksim::RunError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ArtifactCache {
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+impl ArtifactCache {
+    /// A cache with no byte budget: nothing is ever evicted.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// A cache that retains at most `bytes` of artifact heap.
+    #[must_use]
+    pub fn with_byte_budget(bytes: u64) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(CacheInner {
+                byte_budget: Some(bytes),
+                ..CacheInner::default()
+            })),
+        }
+    }
+
+    /// A cache bounded by the governor's byte budget (unbounded when the
+    /// governor has none), so retained artifacts live under the same
+    /// ceiling the governor enforces on package footprints.
+    #[must_use]
+    pub fn governed(governor: &RunGovernor) -> Self {
+        match governor.byte_budget() {
+            Some(bytes) => Self::with_byte_budget(bytes),
+            None => Self::unbounded(),
+        }
+    }
+
+    /// The artifact stored under `key`, bumping its recency; counts a hit
+    /// or miss either way.
+    #[must_use]
+    pub fn get(&self, key: [u64; 2]) -> Option<Arc<SimArtifact>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.iter_mut().find(|entry| entry.key == key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let artifact = Arc::clone(&entry.artifact);
+                inner.hits += 1;
+                Some(artifact)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `artifact` under `key` and returns the shared handle.
+    ///
+    /// Replaces any existing entry for the key (two simulators racing on
+    /// the same miss both insert; last wins, both handles stay valid).
+    /// Under a byte budget, least-recently-used entries are evicted until
+    /// the newcomer fits; an artifact larger than the whole budget is
+    /// returned without being retained.
+    pub fn insert(&self, key: [u64; 2], artifact: SimArtifact) -> Arc<SimArtifact> {
+        let bytes = artifact.heap_bytes() as u64;
+        let artifact = Arc::new(artifact);
+        let mut inner = self.lock();
+        inner.insertions += 1;
+        if let Some(existing) = inner.entries.iter().position(|entry| entry.key == key) {
+            let removed = inner.entries.swap_remove(existing);
+            inner.bytes -= removed.bytes;
+        }
+        if let Some(budget) = inner.byte_budget {
+            if bytes > budget {
+                return Arc::clone(&artifact);
+            }
+            inner.evict_to_fit(bytes, budget);
+        }
+        inner.tick += 1;
+        let last_used = inner.tick;
+        inner.bytes += bytes;
+        inner.entries.push(CacheEntry {
+            key,
+            artifact: Arc::clone(&artifact),
+            bytes,
+            last_used,
+        });
+        artifact
+    }
+
+    /// A snapshot of the hit/miss/insertion/eviction counters and the
+    /// current occupancy.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            entries: inner.entries.len(),
+            bytes: inner.bytes,
+        }
+    }
+
+    /// Number of retained artifacts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether the cache holds no artifacts.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every retained artifact (outstanding `Arc` handles stay
+    /// valid); counters are kept.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.entries.clear();
+        inner.bytes = 0;
+    }
+
+    /// Locks the store.  A poisoned mutex is recovered, not propagated: the
+    /// cache holds no invariants a panicking tenant could half-update into
+    /// unsoundness (worst case is a stale counter), and a cache must never
+    /// take down the simulators sharing it.
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal artifact for cache-mechanics tests (the simulator-level
+    /// integration lives in the workspace `artifact_cache` test).
+    fn tiny_artifact(n: u16) -> SimArtifact {
+        let circuit = algorithms::ghz(n);
+        let state = crate::WeakSimulator::new(Backend::DecisionDiagram)
+            .strong(&circuit)
+            .unwrap();
+        SimArtifact::from_dense(
+            &state,
+            Vec::new(),
+            0,
+            RunRoute::dense(Backend::DecisionDiagram, circuit.len()),
+            Duration::ZERO,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn artifacts_are_shareable_across_threads() {
+        fn assert_shareable<T: Send + Sync + 'static>() {}
+        assert_shareable::<SimArtifact>();
+        assert_shareable::<ArtifactCache>();
+    }
+
+    #[test]
+    fn get_and_insert_track_counters() {
+        let cache = ArtifactCache::unbounded();
+        let key = [1, 2];
+        assert!(cache.get(key).is_none());
+        let handle = cache.insert(key, tiny_artifact(4));
+        let again = cache.get(key).expect("inserted artifact is retained");
+        assert!(Arc::ptr_eq(&handle, &again));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let one = tiny_artifact(4).heap_bytes() as u64;
+        // Room for two artifacts, not three.
+        let cache = ArtifactCache::with_byte_budget(one * 2 + one / 2);
+        cache.insert([1, 0], tiny_artifact(4));
+        cache.insert([2, 0], tiny_artifact(4));
+        assert_eq!(cache.len(), 2);
+        // Touch key 1 so key 2 is the LRU victim.
+        assert!(cache.get([1, 0]).is_some());
+        cache.insert([3, 0], tiny_artifact(4));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get([1, 0]).is_some(), "recently used entry survives");
+        assert!(cache.get([2, 0]).is_none(), "LRU entry was evicted");
+        assert!(cache.get([3, 0]).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.stats().bytes <= one * 2 + one / 2);
+    }
+
+    #[test]
+    fn oversized_artifacts_are_served_but_not_retained() {
+        let cache = ArtifactCache::with_byte_budget(1);
+        let handle = cache.insert([9, 9], tiny_artifact(4));
+        assert_eq!(handle.num_qubits(), 4);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_handles_alive() {
+        let cache = ArtifactCache::unbounded();
+        let handle = cache.insert([5, 5], tiny_artifact(4));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().bytes, 0);
+        // The outstanding handle still samples fine.
+        assert_eq!(handle.sample(100, 3).shots(), 100);
+    }
+
+    #[test]
+    fn governed_cache_adopts_the_byte_budget() {
+        let governor = RunGovernor::unlimited().with_byte_budget(10);
+        let cache = ArtifactCache::governed(&governor);
+        cache.insert([1, 1], tiny_artifact(4)); // far over 10 bytes
+        assert!(cache.is_empty(), "governed budget applies to artifacts");
+        let unbounded = ArtifactCache::governed(&RunGovernor::unlimited());
+        unbounded.insert([1, 1], tiny_artifact(4));
+        assert_eq!(unbounded.len(), 1);
+    }
+}

@@ -21,7 +21,6 @@ use dd::{CompiledSampler, DdError, DdPackage, DdStats, Governor, PARALLEL_CHUNK_
 use rand::rngs::{SmallRng, StdRng};
 use rand::SeedableRng;
 use statevector::{MemoryBudget, PrefixSampler};
-use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// A strong-simulation engine: everything [`WeakSimulator`] needs from a
@@ -142,11 +141,7 @@ impl Engine for DdEngine {
         let mut package = Box::new(DdPackage::new());
         package.set_governor(governor.arm());
         let state = dd::simulate(&mut package, circuit)?;
-        Ok(StrongState::DecisionDiagram {
-            package,
-            state,
-            compiled: OnceLock::new(),
-        })
+        Ok(StrongState::DecisionDiagram { package, state })
     }
 
     fn sample_with_record(
@@ -158,25 +153,14 @@ impl Engine for DdEngine {
     ) -> Result<(ShotHistogram, Duration, Duration), RunError> {
         let width = record.map_or(strong.num_qubits(), |(_, width)| width);
         let mut histogram = ShotHistogram::new(width);
-        let StrongState::DecisionDiagram {
-            package,
-            state,
-            compiled,
-        } = strong
-        else {
+        let StrongState::DecisionDiagram { package, state } = strong else {
             unreachable!("sampling is dispatched through StrongState::backend")
         };
         let precompute_start = Instant::now();
-        // Compilation is fallible (governed), so compute first and only then
-        // fill the cell; a racing thread's result is identical, so whichever
-        // lands is fine.
-        let sampler = match compiled.get() {
-            Some(sampler) => sampler,
-            None => {
-                let built = CompiledSampler::new(package, state)?;
-                compiled.get_or_init(|| built)
-            }
-        };
+        // Compiled per call: cross-call reuse is the artifact layer's job
+        // (`SimArtifact` / `ArtifactCache` own the long-lived arena), so the
+        // strong state no longer carries a lazily-filled sampler cell.
+        let sampler = CompiledSampler::new(package, state)?;
         let precompute_time = precompute_start.elapsed();
 
         // Draw in batches of a whole number of parallel chunks: stitching

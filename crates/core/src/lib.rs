@@ -21,6 +21,13 @@
 //!   thousands of qubits, Clifford prefixes ending in a basis state are
 //!   stitched into the dense backend, and [`RunOutcome::route`] reports
 //!   which engine executed each segment;
+//! * [`artifact`] — the pay-once layer: [`SimArtifact`] is a self-contained,
+//!   `Arc`-shared snapshot of everything a request needs *after* strong
+//!   simulation (a compiled DD sampler, dense prefix sums or a tableau
+//!   measurement sampler, plus route and stats), and [`ArtifactCache`] is a
+//!   bounded, fingerprint-keyed store ([`circuit::Circuit::fingerprint`])
+//!   that lets [`WeakSimulator::with_cache`] serve warm requests without
+//!   re-simulating — same seed, bit-identical histogram;
 //! * [`govern`] — run governance: attach a [`RunGovernor`] (node/byte
 //!   budgets, a per-run timeout, a shareable [`dd::CancelToken`]) with
 //!   [`WeakSimulator::with_governor`].  Static runs that hit a limit fail
@@ -87,6 +94,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod artifact;
 mod backend;
 pub mod experiment;
 pub mod govern;
@@ -96,6 +104,7 @@ mod simulator;
 pub mod stats;
 pub mod trajectory;
 
+pub use artifact::{ArtifactCache, CacheOutcome, CacheStats, PreparedSampler, SimArtifact};
 pub use dd::{CancelToken, DdError};
 pub use govern::{Interruption, RunGovernor};
 pub use router::{EngineKind, RouteSegment, RunRoute};

@@ -145,29 +145,33 @@ pub(crate) enum Routed {
     Dense,
 }
 
-/// Decides and (for fully-Clifford circuits) executes the route.  `circuit`
-/// has already been validated; `backend` is the dense engine that handles
-/// whatever the tableau does not.
-pub(crate) fn route(
-    circuit: &Circuit,
-    backend: Backend,
-    shots: u64,
-    seed: u64,
-) -> Result<Routed, RunError> {
+/// The routing *decision* alone, with no execution attached — shared by the
+/// executing [`route`] and the artifact-preparing cached path, so a cached
+/// run builds exactly the artifact its uncached twin would have used.
+pub(crate) enum RoutePlan {
+    /// Fully Clifford: execute (or prepare a sampler) on the tableau engine.
+    FullyClifford,
+    /// A Clifford prefix was folded into basis-state preparations; run
+    /// `stitched` on the dense backend and report `route`.
+    Stitched {
+        /// The remainder circuit, prefixed with `X` preparations.
+        stitched: Circuit,
+        /// The two-segment route to surface in the outcome.
+        route: RunRoute,
+    },
+    /// No tableau-eligible segment: run the original circuit densely.
+    Dense,
+}
+
+/// Decides the route for a validated circuit (pure: no simulation runs).
+pub(crate) fn route_plan(circuit: &Circuit, backend: Backend) -> RoutePlan {
     let segments = circuit.clifford_segments();
     if segments.is_fully_clifford() {
-        // `Operation::is_clifford` guarantees the tableau accepts every
-        // operation it classifies as Clifford, so this cannot fail — but the
-        // classification is the only wall between the engines, so a defect
-        // degrades to correct-but-slower dense execution instead of an error.
-        return Ok(match run_tableau(circuit, backend, shots, seed) {
-            Ok(outcome) => Routed::Tableau(Box::new(outcome)),
-            Err(_) => Routed::Dense,
-        });
+        return RoutePlan::FullyClifford;
     }
     if segments.prefix_len > 0 {
         if let Some(stitched) = stitch_prefix(circuit, segments.prefix_len) {
-            return Ok(Routed::Stitched {
+            return RoutePlan::Stitched {
                 stitched,
                 route: RunRoute {
                     segments: vec![
@@ -181,10 +185,73 @@ pub(crate) fn route(
                         },
                     ],
                 },
-            });
+            };
         }
     }
-    Ok(Routed::Dense)
+    RoutePlan::Dense
+}
+
+/// Decides and (for fully-Clifford circuits) executes the route.  `circuit`
+/// has already been validated; `backend` is the dense engine that handles
+/// whatever the tableau does not.
+pub(crate) fn route(
+    circuit: &Circuit,
+    backend: Backend,
+    shots: u64,
+    seed: u64,
+) -> Result<Routed, RunError> {
+    Ok(match route_plan(circuit, backend) {
+        // `Operation::is_clifford` guarantees the tableau accepts every
+        // operation it classifies as Clifford, so this cannot fail — but the
+        // classification is the only wall between the engines, so a defect
+        // degrades to correct-but-slower dense execution instead of an error.
+        RoutePlan::FullyClifford => match run_tableau(circuit, backend, shots, seed) {
+            Ok(outcome) => Routed::Tableau(Box::new(outcome)),
+            Err(_) => Routed::Dense,
+        },
+        RoutePlan::Stitched { stitched, route } => Routed::Stitched { stitched, route },
+        RoutePlan::Dense => Routed::Dense,
+    })
+}
+
+/// Prepares a reusable [`SimArtifact`](crate::SimArtifact) for a *static*
+/// fully-Clifford circuit: the evolution + sampler-construction preamble of
+/// [`run_tableau`], with the sampling loop left to the artifact.  Returns
+/// `None` when the tableau rejects an operation, mirroring [`route`]'s
+/// degrade-to-dense fallback.
+pub(crate) fn prepare_tableau_artifact(
+    circuit: &Circuit,
+    backend: Backend,
+) -> Option<crate::SimArtifact> {
+    debug_assert!(!circuit.is_dynamic(), "cached runs are static-only");
+    let (prefix, mapping) = match circuit.split_terminal_measurements() {
+        Some((prefix, mapping)) => (prefix, mapping),
+        None => return None,
+    };
+    let route = RunRoute {
+        segments: vec![RouteSegment {
+            engine: EngineKind::Tableau,
+            ops: circuit.len(),
+        }],
+    };
+    let strong_start = Instant::now();
+    // The RNG is never consulted: the prefix is measure-free.
+    let mut rng = SmallRng::seed_from_u64(0);
+    let (tab, _record) = tableau::simulate(&prefix, &mut rng).ok()?;
+    let strong_time = strong_start.elapsed();
+    let precompute_start = Instant::now();
+    let sampler = tab.measurement_sampler();
+    let precompute_time = precompute_start.elapsed();
+    Some(crate::SimArtifact::from_tableau(
+        sampler,
+        mapping,
+        circuit.num_qubits(),
+        circuit.num_clbits(),
+        backend,
+        route,
+        strong_time,
+        precompute_time,
+    ))
 }
 
 /// Evolves the leading `prefix_len` Clifford operations on a tableau and, if
@@ -193,7 +260,7 @@ pub(crate) fn route(
 /// basis-state injection of the stitching contract).  Returns `None` when
 /// the prefix contains non-unitary operations (their outcome belongs to the
 /// shot, not the plan) or ends in superposition.
-fn stitch_prefix(circuit: &Circuit, prefix_len: usize) -> Option<Circuit> {
+pub(crate) fn stitch_prefix(circuit: &Circuit, prefix_len: usize) -> Option<Circuit> {
     let ops = circuit.operations();
     if ops[..prefix_len].iter().any(|op| {
         matches!(
@@ -251,7 +318,7 @@ fn draw_chunked(
 /// trailing-measurement mapping (the packed-words analogue of the
 /// simulator's `map_terminal_record`, needed because tableau registers can
 /// exceed 64 qubits).
-fn map_terminal_words(sample: &[u64], mapping: &[(Qubit, u16)]) -> u64 {
+pub(crate) fn map_terminal_words(sample: &[u64], mapping: &[(Qubit, u16)]) -> u64 {
     let mut out = 0u64;
     for &(qubit, cbit) in mapping {
         let q = usize::from(qubit.0);
@@ -336,6 +403,7 @@ fn run_tableau(
             state: None,
             interruption: None,
             route,
+            cache: None,
         });
     }
 
@@ -373,6 +441,7 @@ fn run_tableau(
         state: None,
         interruption: None,
         route,
+        cache: None,
     })
 }
 

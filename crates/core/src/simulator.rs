@@ -19,14 +19,15 @@
 //!   SplitMix64 chunk-seeding scheme so the result is seed-deterministic
 //!   independent of the worker-thread count.
 
+use crate::artifact::{ArtifactCache, CacheOutcome, SimArtifact};
 use crate::govern::{Interruption, RunGovernor};
-use crate::router::{Routed, RunRoute};
+use crate::router::{RoutePlan, Routed, RunRoute};
 use crate::ShotHistogram;
 use circuit::{Circuit, NoiseModel, Qubit};
-use dd::{CompiledSampler, DdError, DdPackage, DdStats, StateDd};
+use dd::{DdError, DdPackage, DdStats, StateDd};
+use mathkit::hash_mix;
 use statevector::{MemoryBudget, StateVector};
 use std::fmt;
-use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// The simulation backend used for strong simulation and sampling.
@@ -170,9 +171,13 @@ impl From<dd::ApplyError> for RunError {
 }
 
 /// The result of strong simulation, kept so repeated sampling does not redo
-/// the expensive part — neither the strong simulation itself nor, for the
-/// decision-diagram backend, the sampler compilation (cached lazily in
-/// `compiled` on first use).
+/// the simulation itself.
+///
+/// Cross-call reuse of the *compiled sampler* lives one layer up: a
+/// [`SimArtifact`] detaches the sampler from the package entirely and an
+/// [`ArtifactCache`] shares it across runs, so the strong state carries no
+/// lazily-filled sampler cell — each direct [`WeakSimulator::sample`] call
+/// compiles afresh.
 #[derive(Debug)]
 pub enum StrongState {
     /// A decision-diagram state together with its owning package.
@@ -181,11 +186,6 @@ pub enum StrongState {
         package: Box<DdPackage>,
         /// The final state.
         state: StateDd,
-        /// The compiled sampler, built on the first [`WeakSimulator::sample`]
-        /// call and reused by every later one (compilation is the expensive
-        /// downstream-probability + arena pass, so it must happen once per
-        /// state, not once per call).
-        compiled: OnceLock<CompiledSampler>,
     },
     /// A dense state vector.
     StateVector(StateVector),
@@ -282,6 +282,12 @@ pub struct RunOutcome {
     /// backend; runs under [`WeakSimulator::with_clifford_router`] may report
     /// a tableau-only route or a tableau-prefix + dense-suffix stitch.
     pub route: RunRoute,
+    /// Whether an attached [`ArtifactCache`] served this run
+    /// ([`CacheOutcome::Hit`]: no strong simulation ran) or was populated by
+    /// it ([`CacheOutcome::Miss`]).  `None` when no cache was consulted — no
+    /// cache attached, or the request was cache-ineligible (noisy or
+    /// dynamic).
+    pub cache: Option<CacheOutcome>,
 }
 
 impl RunOutcome {
@@ -297,7 +303,9 @@ impl RunOutcome {
     /// # Panics
     ///
     /// Panics for trajectory (dynamic-circuit) runs, which have no single
-    /// final state.
+    /// final state, and for cache *hits*, which skip strong simulation
+    /// entirely (check [`RunOutcome::cache`], or query the shared
+    /// [`SimArtifact`] instead).
     #[must_use]
     pub fn strong(&self) -> &StrongState {
         // The panic is this accessor's documented contract.
@@ -344,6 +352,7 @@ pub struct WeakSimulator {
     governor: RunGovernor,
     threads: Option<usize>,
     clifford_router: bool,
+    cache: Option<ArtifactCache>,
 }
 
 impl WeakSimulator {
@@ -358,7 +367,25 @@ impl WeakSimulator {
             governor: RunGovernor::unlimited(),
             threads: None,
             clifford_router: false,
+            cache: None,
         }
+    }
+
+    /// Attaches an [`ArtifactCache`]: noise-free static [`run`](Self::run)
+    /// requests are then served through shared [`SimArtifact`]s — a warm
+    /// request skips strong simulation and sampler preparation entirely and
+    /// pays only the per-shot sampling cost, with a histogram bit-identical
+    /// to the uncached run for the same seed.  [`RunOutcome::cache`] reports
+    /// whether the artifact was found or built.
+    ///
+    /// The handle is shared: clone one cache into many simulators (or hand
+    /// it to many threads) and they serve each other's requests.  Noisy and
+    /// dynamic requests bypass the cache — their per-shot evolution has no
+    /// reusable prepared sampler.
+    #[must_use]
+    pub fn with_cache(mut self, cache: &ArtifactCache) -> Self {
+        self.cache = Some(cache.clone());
+        self
     }
 
     /// Enables the segmented Clifford router (see [`crate::router`]):
@@ -509,6 +536,16 @@ impl WeakSimulator {
         }
         let noise_free = !self.noise.as_ref().is_some_and(|model| model.has_noise());
 
+        // Cache-eligible requests — noise-free and static — are served
+        // through the artifact layer when a cache is attached.  Noisy and
+        // dynamic circuits fall through: their per-shot evolution has no
+        // reusable prepared sampler.
+        if noise_free && !circuit.is_dynamic() {
+            if let Some(cache) = self.cache.clone() {
+                return self.run_cached(&cache, circuit, shots, seed);
+            }
+        }
+
         if self.clifford_router && noise_free {
             match crate::router::route(circuit, self.backend, shots, seed)? {
                 Routed::Tableau(outcome) => return Ok(*outcome),
@@ -524,6 +561,143 @@ impl WeakSimulator {
             seed,
             RunRoute::dense(self.backend, circuit.len()),
         )
+    }
+
+    /// The cache key for a `run` request on `circuit` under this simulator's
+    /// configuration: the circuit fingerprint folded with everything else
+    /// that changes the prepared sampler — backend choice, the
+    /// Clifford-router flag, and the attached noise model (whose *presence*
+    /// is tagged separately from its content, so "no noise" and "noise-free
+    /// model attached" still collide onto the same artifact only when both
+    /// produce identical simulations).
+    ///
+    /// Two simulators with equal `request_fingerprint`s for a circuit serve
+    /// each other's cached artifacts; any angle-bit, register-layout,
+    /// backend or noise difference yields a different key.
+    #[must_use]
+    pub fn request_fingerprint(&self, circuit: &Circuit) -> [u64; 2] {
+        let [mut a, mut b] = circuit.fingerprint();
+        let config = u64::from(self.backend as u8) << 8 | u64::from(self.clifford_router);
+        a = hash_mix(a, config);
+        b = hash_mix(b, config ^ 0x9e37_79b9_7f4a_7c15);
+        match self.noise.as_ref().filter(|model| model.has_noise()) {
+            Some(model) => {
+                let [na, nb] = model.fingerprint();
+                a = hash_mix(hash_mix(a, 1), na);
+                b = hash_mix(hash_mix(b, 1), nb);
+            }
+            None => {
+                a = hash_mix(a, 0);
+                b = hash_mix(b, 0);
+            }
+        }
+        [a, b]
+    }
+
+    /// Serves a cache-eligible request through the artifact layer: look the
+    /// request fingerprint up, build-and-insert on a miss, then sample the
+    /// shared artifact.  The returned histogram is bit-identical to the
+    /// uncached run for the same seed on both hits and misses.
+    fn run_cached(
+        &self,
+        cache: &ArtifactCache,
+        circuit: &Circuit,
+        shots: u64,
+        seed: u64,
+    ) -> Result<RunOutcome, RunError> {
+        let key = self.request_fingerprint(circuit);
+        if let Some(artifact) = cache.get(key) {
+            let sampling_start = Instant::now();
+            let histogram = artifact.sample(shots, seed);
+            let sampling_time = sampling_start.elapsed();
+            return Ok(RunOutcome {
+                backend: artifact.backend(),
+                representation_size: artifact.representation_size(),
+                dd_stats: artifact.dd_stats(),
+                histogram,
+                // A warm request pays nothing but the per-shot draw: the
+                // strong simulation and sampler preparation were amortized
+                // into the artifact by the miss that built it.
+                strong_time: Duration::ZERO,
+                precompute_time: Duration::ZERO,
+                sampling_time,
+                state: None,
+                interruption: None,
+                route: artifact.route().clone(),
+                cache: Some(CacheOutcome::Hit),
+            });
+        }
+
+        let (artifact, state) = self.prepare_artifact(circuit)?;
+        let artifact = cache.insert(key, artifact);
+        let sampling_start = Instant::now();
+        let histogram = artifact.sample(shots, seed);
+        let sampling_time = sampling_start.elapsed();
+        Ok(RunOutcome {
+            backend: artifact.backend(),
+            representation_size: artifact.representation_size(),
+            dd_stats: artifact.dd_stats(),
+            histogram,
+            strong_time: artifact.build_strong_time(),
+            precompute_time: artifact.build_precompute_time(),
+            sampling_time,
+            state,
+            interruption: None,
+            route: artifact.route().clone(),
+            cache: Some(CacheOutcome::Miss),
+        })
+    }
+
+    /// Builds the [`SimArtifact`] for a validated, noise-free, static
+    /// `circuit`, mirroring the routing semantics of [`run`](Self::run)
+    /// exactly: the router (when enabled) may serve a fully-Clifford circuit
+    /// from a tableau sampler or stitch a Clifford prefix, and a tableau
+    /// rejection degrades to the dense path just like the uncached run.
+    ///
+    /// Also returns the [`StrongState`] when the dense path built one, so a
+    /// cache miss can still expose [`RunOutcome::strong`].
+    fn prepare_artifact(
+        &self,
+        circuit: &Circuit,
+    ) -> Result<(SimArtifact, Option<StrongState>), RunError> {
+        if self.clifford_router {
+            match crate::router::route_plan(circuit, self.backend) {
+                RoutePlan::FullyClifford => {
+                    if let Some(artifact) =
+                        crate::router::prepare_tableau_artifact(circuit, self.backend)
+                    {
+                        return Ok((artifact, None));
+                    }
+                    // Tableau rejection (unsupported structure) degrades to
+                    // dense, mirroring `route`'s fallback.
+                }
+                RoutePlan::Stitched { stitched, route } => {
+                    return self.prepare_dense_artifact(&stitched, route);
+                }
+                RoutePlan::Dense => {}
+            }
+        }
+        self.prepare_dense_artifact(circuit, RunRoute::dense(self.backend, circuit.len()))
+    }
+
+    /// The dense arm of [`prepare_artifact`]: strong-simulate the unitary
+    /// prefix and compile the backend's prepared sampler into an artifact.
+    fn prepare_dense_artifact(
+        &self,
+        circuit: &Circuit,
+        route: RunRoute,
+    ) -> Result<(SimArtifact, Option<StrongState>), RunError> {
+        // `split_terminal_measurements` returns `None` only for dynamic
+        // circuits, which the cache hook already filtered out.
+        let (prefix, mapping) = circuit
+            .split_terminal_measurements()
+            .ok_or(RunError::DynamicCircuit { op_index: 0 })?;
+        let strong_start = Instant::now();
+        let state = self.strong(&prefix)?;
+        let strong_time = strong_start.elapsed();
+        let artifact =
+            SimArtifact::from_dense(&state, mapping, circuit.num_clbits(), route, strong_time)?;
+        Ok((artifact, Some(state)))
     }
 
     /// The dense (non-tableau) execution path shared by unrouted, stitched
@@ -558,6 +732,7 @@ impl WeakSimulator {
                 state: Some(state),
                 interruption: None,
                 route,
+                cache: None,
             });
         }
 
@@ -590,6 +765,7 @@ impl WeakSimulator {
                 state: None,
                 interruption: outcome.interruption,
                 route,
+                cache: None,
             });
         };
 
@@ -614,6 +790,7 @@ impl WeakSimulator {
             state: Some(state),
             interruption: None,
             route,
+            cache: None,
         })
     }
 
@@ -621,9 +798,10 @@ impl WeakSimulator {
     ///
     /// Returns the histogram together with the precomputation time (prefix
     /// sums or sampler compilation) and the pure sampling time.  On the
-    /// decision-diagram backend the compiled sampler is cached inside the
-    /// [`StrongState`], so only the first call on a state pays the
-    /// compilation; later calls report a (near-)zero precompute time.
+    /// decision-diagram backend the sampler is compiled *per call*; to reuse
+    /// a compiled sampler across calls (or threads, or runs), go through the
+    /// artifact layer instead — [`SimArtifact`] owns the long-lived arena
+    /// and [`ArtifactCache`] shares it across requests.
     ///
     /// The decision-diagram path draws the batch on every available worker
     /// thread; the output is deterministic for a given `seed` regardless of
@@ -786,25 +964,40 @@ mod tests {
     }
 
     #[test]
-    fn repeated_sampling_reuses_the_compiled_sampler() {
+    fn cached_runs_hit_after_a_miss_and_stay_bit_identical() {
         let circuit = algorithms::ghz(8);
-        let state = WeakSimulator::new(Backend::DecisionDiagram)
-            .strong(&circuit)
-            .unwrap();
-        let (first_hist, _, _) = WeakSimulator::sample(&state, 2000, 5).unwrap();
-        // The compiled sampler is now cached inside the state.
-        let StrongState::DecisionDiagram { compiled, .. } = &state else {
-            panic!("DD backend produced a non-DD state");
-        };
-        assert!(compiled.get().is_some(), "first sample call must compile");
-        let node_count = compiled.get().unwrap().node_count();
-        let (second_hist, _, _) = WeakSimulator::sample(&state, 2000, 5).unwrap();
-        assert_eq!(first_hist, second_hist, "same seed, same samples");
-        assert_eq!(
-            compiled.get().unwrap().node_count(),
-            node_count,
-            "the cached sampler must be reused, not rebuilt"
+        let cache = ArtifactCache::unbounded();
+        let mut cached = WeakSimulator::new(Backend::DecisionDiagram).with_cache(&cache);
+        let mut uncached = WeakSimulator::new(Backend::DecisionDiagram);
+
+        let cold = cached.run(&circuit, 2000, 5).unwrap();
+        assert_eq!(cold.cache, Some(CacheOutcome::Miss));
+        assert!(
+            cold.state.is_some(),
+            "a miss still exposes the strong state"
         );
+
+        let warm = cached.run(&circuit, 2000, 5).unwrap();
+        assert_eq!(warm.cache, Some(CacheOutcome::Hit));
+        assert!(warm.state.is_none(), "a hit never rebuilds the state");
+        assert_eq!(warm.strong_time, Duration::ZERO);
+        assert_eq!(warm.precompute_time, Duration::ZERO);
+
+        let plain = uncached.run(&circuit, 2000, 5).unwrap();
+        assert_eq!(plain.cache, None, "no cache attached, none consulted");
+        assert_eq!(cold.histogram, plain.histogram, "miss matches uncached");
+        assert_eq!(warm.histogram, plain.histogram, "hit matches uncached");
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        // A second simulator sharing the cache handle hits immediately.
+        let shared = WeakSimulator::new(Backend::DecisionDiagram)
+            .with_cache(&cache)
+            .run(&circuit, 2000, 5)
+            .unwrap();
+        assert_eq!(shared.cache, Some(CacheOutcome::Hit));
+        assert_eq!(shared.histogram, plain.histogram);
     }
 
     #[test]

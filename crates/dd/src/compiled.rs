@@ -72,7 +72,11 @@ struct CompiledNode {
 /// Compilation snapshots the reachable part of the decision diagram, so the
 /// sampler stays valid even if the [`DdPackage`] is mutated or dropped
 /// afterwards — unlike [`DdSampler`](crate::DdSampler), no package reference
-/// is needed while sampling.
+/// is needed while sampling.  The arena is an owned `Vec` of plain data, so
+/// the sampler is `Send + Sync + 'static`: it can be wrapped in an `Arc`
+/// and shared across threads and across runs — the `weaksim` artifact
+/// cache relies on exactly this to serve warm requests without re-running
+/// strong simulation.
 ///
 /// # Examples
 ///
@@ -233,6 +237,14 @@ impl CompiledSampler {
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Heap bytes held by the compiled arena (24 packed bytes per node),
+    /// the quantity an artifact cache charges against its byte budget for a
+    /// retained sampler.
+    #[must_use]
+    pub fn arena_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<CompiledNode>()
     }
 
     /// Draws one basis-state sample: a pure array walk, `O(n)` per shot.
@@ -513,6 +525,26 @@ mod tests {
             let shot = sampler.sample(&mut rng);
             assert!(matches!(shot, 1 | 3 | 4 | 7), "impossible outcome {shot}");
         }
+    }
+
+    #[test]
+    fn compiled_sampler_is_send_sync_and_static() {
+        // The artifact cache hands out `Arc<CompiledSampler>`-carrying
+        // values to concurrent tenants; these bounds are its contract.
+        fn assert_shareable<T: Send + Sync + 'static>() {}
+        assert_shareable::<CompiledSampler>();
+    }
+
+    #[test]
+    fn arena_bytes_tracks_the_node_count() {
+        let mut p = DdPackage::new();
+        let s = paper_example(&mut p);
+        let sampler = CompiledSampler::new(&p, &s).unwrap();
+        assert_eq!(
+            sampler.arena_bytes(),
+            sampler.node_count() * std::mem::size_of::<CompiledNode>()
+        );
+        assert!(sampler.arena_bytes() > 0);
     }
 
     #[test]

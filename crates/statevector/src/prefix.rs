@@ -93,6 +93,14 @@ impl PrefixSampler {
         self.prefix.last().copied().unwrap_or(0.0)
     }
 
+    /// Heap bytes held by the prefix-sum array — what an artifact cache
+    /// charges against its byte budget for a retained sampler.  Dense: the
+    /// array has `2^n` entries regardless of the state's structure.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.prefix.len() * std::mem::size_of::<f64>()
+    }
+
     /// Draws one basis-state index using the supplied random number
     /// generator (one uniform variate plus a binary search).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {

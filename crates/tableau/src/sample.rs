@@ -102,6 +102,14 @@ impl MeasurementSampler {
         self.basis.len()
     }
 
+    /// Heap bytes held by the reference element and the basis rows — what
+    /// an artifact cache charges against its byte budget for a retained
+    /// sampler.  Polynomial: at most `(n + 1) * ceil(n/64)` words.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        (1 + self.basis.len()) * self.words * std::mem::size_of::<u64>()
+    }
+
     /// Draws one full-register shot as `ceil(n/64)` packed little-endian
     /// words (qubit `q` at word `q / 64`, bit `q % 64`).
     #[must_use]

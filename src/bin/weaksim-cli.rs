@@ -1,0 +1,230 @@
+//! `weaksim-cli` — a serve-loop front end over the artifact cache.
+//!
+//! Reads OpenQASM circuits (file arguments, or file paths line-by-line on
+//! stdin when no files are given), runs each as a weak-simulation *request*
+//! against one long-lived [`weaksim::ArtifactCache`], and prints per-request
+//! route, cache outcome, timings and the top measurement outcomes.  Feeding
+//! the same circuit twice (or using `--repeat`) demonstrates the pay-once
+//! contract: the first request pays strong simulation + sampler
+//! preparation, every later one only the per-shot draw — with a histogram
+//! bit-identical to the cold run for the same seed.
+//!
+//! ```text
+//! weaksim-cli [--backend dd|sv] [--shots N] [--seed N] [--router]
+//!             [--cache-bytes N] [--repeat N] [FILE ...]
+//! ```
+//!
+//! With no `FILE` arguments the tool enters serve mode: each stdin line
+//! naming a QASM file is one request, errors are reported per request and
+//! the loop continues, and an end-of-session cache summary is printed on
+//! EOF.
+
+#![forbid(unsafe_code)]
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use weaksim::{ArtifactCache, Backend, CacheOutcome, RunGovernor, WeakSimulator};
+
+/// How many distinct outcomes to print per request.
+const TOP_OUTCOMES: usize = 4;
+
+struct Options {
+    backend: Backend,
+    shots: u64,
+    seed: u64,
+    router: bool,
+    cache_bytes: Option<u64>,
+    repeat: u32,
+    files: Vec<String>,
+}
+
+const USAGE: &str = "usage: weaksim-cli [--backend dd|sv] [--shots N] [--seed N] [--router] \
+                     [--cache-bytes N] [--repeat N] [FILE ...]\n\
+                     With no FILEs, reads QASM file paths line-by-line from stdin (serve mode).";
+
+fn parse_options(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut options = Options {
+        backend: Backend::DecisionDiagram,
+        shots: 10_000,
+        seed: 1,
+        router: false,
+        cache_bytes: None,
+        repeat: 1,
+        files: Vec::new(),
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} expects a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--backend" => {
+                options.backend = match value("--backend")?.as_str() {
+                    "dd" => Backend::DecisionDiagram,
+                    "sv" => Backend::StateVector,
+                    other => return Err(format!("unknown backend `{other}` (want dd or sv)")),
+                };
+            }
+            "--shots" => {
+                options.shots = value("--shots")?
+                    .parse()
+                    .map_err(|e| format!("--shots: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--router" => options.router = true,
+            "--cache-bytes" => {
+                options.cache_bytes = Some(
+                    value("--cache-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--cache-bytes: {e}"))?,
+                );
+            }
+            "--repeat" => {
+                options.repeat = value("--repeat")?
+                    .parse()
+                    .map_err(|e| format!("--repeat: {e}"))?;
+                if options.repeat == 0 {
+                    return Err("--repeat must be at least 1".into());
+                }
+            }
+            "--help" | "-h" => return Err(USAGE.into()),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+            }
+            file => options.files.push(file.to_owned()),
+        }
+    }
+    Ok(options)
+}
+
+/// Runs one request (a QASM file) `repeat` times against the shared cache,
+/// printing one report line per run.  Returns `false` if the request failed.
+fn serve_request(sim: &mut WeakSimulator, options: &Options, path: &str) -> bool {
+    let source = match std::fs::read_to_string(path) {
+        Ok(source) => source,
+        Err(e) => {
+            eprintln!("{path}: cannot read: {e}");
+            return false;
+        }
+    };
+    let circuit = match circuit::qasm::parse(&source) {
+        Ok(circuit) => circuit,
+        Err(e) => {
+            eprintln!("{path}: QASM parse error: {e}");
+            return false;
+        }
+    };
+    let name = if circuit.name().is_empty() {
+        path
+    } else {
+        circuit.name()
+    };
+    for _ in 0..options.repeat {
+        let wall = Instant::now();
+        let outcome = match sim.run(&circuit, options.shots, options.seed) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                eprintln!("{path}: run failed: {e}");
+                return false;
+            }
+        };
+        let wall = wall.elapsed();
+        let cache = match outcome.cache {
+            Some(CacheOutcome::Hit) => "hit",
+            Some(CacheOutcome::Miss) => "miss",
+            None => "bypass",
+        };
+        println!(
+            "{name}: {} qubits, {} shots, cache {cache}, route [{}]",
+            circuit.num_qubits(),
+            outcome.histogram.shots(),
+            outcome.route,
+        );
+        println!(
+            "  strong {:.3}s + prepare {:.3}s + sample {:.3}s (wall {:.3}s)",
+            outcome.strong_time.as_secs_f64(),
+            outcome.precompute_time.as_secs_f64(),
+            outcome.sampling_time.as_secs_f64(),
+            wall.as_secs_f64(),
+        );
+        let mut top: Vec<(u64, u64)> = outcome.histogram.sorted_counts();
+        top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let shown: Vec<String> = top
+            .iter()
+            .take(TOP_OUTCOMES)
+            .map(|&(outcome_bits, count)| {
+                format!("{} x{count}", outcome.histogram.bitstring(outcome_bits))
+            })
+            .collect();
+        let rest = top.len().saturating_sub(TOP_OUTCOMES);
+        if rest > 0 {
+            println!("  top outcomes: {} (+{rest} more)", shown.join(", "));
+        } else {
+            println!("  top outcomes: {}", shown.join(", "));
+        }
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cache = match options.cache_bytes {
+        Some(bytes) => ArtifactCache::governed(&RunGovernor::unlimited().with_byte_budget(bytes)),
+        None => ArtifactCache::unbounded(),
+    };
+    let mut sim = WeakSimulator::new(options.backend).with_cache(&cache);
+    if options.router {
+        sim = sim.with_clifford_router();
+    }
+
+    let mut all_ok = true;
+    if options.files.is_empty() {
+        // Serve mode: one QASM file path per stdin line, errors are
+        // per-request and the loop keeps going.
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = match line {
+                Ok(line) => line,
+                Err(e) => {
+                    eprintln!("stdin: {e}");
+                    all_ok = false;
+                    break;
+                }
+            };
+            let path = line.trim();
+            if path.is_empty() || path.starts_with('#') {
+                continue;
+            }
+            all_ok &= serve_request(&mut sim, &options, path);
+        }
+    } else {
+        for path in &options.files {
+            all_ok &= serve_request(&mut sim, &options, path);
+        }
+    }
+
+    let stats = cache.stats();
+    println!(
+        "cache: {} entries, {} bytes, {} hits / {} misses, {} evictions",
+        stats.entries, stats.bytes, stats.hits, stats.misses, stats.evictions,
+    );
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
