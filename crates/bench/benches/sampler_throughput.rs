@@ -257,8 +257,16 @@ fn record_baseline_json(_c: &mut Criterion) {
 
     let (circuit, _) = algorithms::supremacy(4, 5, 10, BENCH_SEED);
     let mut package = DdPackage::new();
+    // Fan construction out over the rayon pool when one is worth having;
+    // on a single-core box the plain sequential path is the fastest build.
+    let construction_threads = rayon::current_num_threads().max(1);
     let construction_start = Instant::now();
-    let state = dd::simulate(&mut package, &circuit).expect("valid circuit");
+    let state = if construction_threads > 1 {
+        dd::simulate_with_threads(&mut package, &circuit, construction_threads)
+            .expect("valid circuit")
+    } else {
+        dd::simulate(&mut package, &circuit).expect("valid circuit")
+    };
     let construction_seconds = construction_start.elapsed().as_secs_f64();
     let construction_stats = package.stats();
     let nodes = state.node_count(&package);
@@ -442,7 +450,7 @@ fn record_baseline_json(_c: &mut Criterion) {
         )
     };
     let construction_json = format!(
-        "{{\n    \"seconds\": {construction_seconds:.6},\n    \"nodes\": {nodes},\n    \"vector_unique_hit_rate\": {vu:.4},\n    \"compute_hit_rate\": {ch:.4}\n  }}",
+        "{{\n    \"seconds\": {construction_seconds:.6},\n    \"threads\": {construction_threads},\n    \"nodes\": {nodes},\n    \"vector_unique_hit_rate\": {vu:.4},\n    \"compute_hit_rate\": {ch:.4}\n  }}",
         vu = construction_stats.vector_unique_hit_rate(),
         ch = construction_stats.compute_hit_rate(),
     );

@@ -35,11 +35,15 @@ pub(crate) trait Engine: Sync {
     /// Strong-simulates `circuit` to its final state (the strong-apply
     /// hook).  `budget` bounds dense allocations; `governor` is armed for
     /// the duration of the simulation on engines that support governance.
+    /// `construction_threads` fans gate construction out over a worker pool
+    /// on engines that support it (`None` = sequential; `Some(0)` = one
+    /// worker per CPU); engines without parallel construction ignore it.
     fn strong(
         &self,
         circuit: &Circuit,
         budget: MemoryBudget,
         governor: &RunGovernor,
+        construction_threads: Option<usize>,
     ) -> Result<StrongState, RunError>;
 
     /// Draws `shots` samples from a state this engine produced, optionally
@@ -134,13 +138,17 @@ impl Engine for DdEngine {
         circuit: &Circuit,
         _budget: MemoryBudget,
         governor: &RunGovernor,
+        construction_threads: Option<usize>,
     ) -> Result<StrongState, RunError> {
         // Decision diagrams grow with the state's structure, not with 2^n,
         // so the dense memory budget never applies; their memory is bounded
         // by the governor's node/byte budget instead.
         let mut package = Box::new(DdPackage::new());
         package.set_governor(governor.arm());
-        let state = dd::simulate(&mut package, circuit)?;
+        let state = match construction_threads {
+            None => dd::simulate(&mut package, circuit)?,
+            Some(workers) => dd::simulate_with_threads(&mut package, circuit, workers)?,
+        };
         Ok(StrongState::DecisionDiagram { package, state })
     }
 
@@ -221,7 +229,10 @@ impl Engine for SvEngine {
         circuit: &Circuit,
         budget: MemoryBudget,
         _governor: &RunGovernor,
+        _construction_threads: Option<usize>,
     ) -> Result<StrongState, RunError> {
+        // Dense evolution has no construction worker pool; the knob is a
+        // decision-diagram concept and is deliberately ignored here.
         let state = statevector::simulate_with_budget(circuit, budget)?;
         Ok(StrongState::StateVector(state))
     }
@@ -300,6 +311,7 @@ mod tests {
                     &circuit,
                     MemoryBudget::unlimited(),
                     &RunGovernor::unlimited(),
+                    None,
                 )
                 .unwrap();
             assert_eq!(state.backend(), backend);
@@ -313,12 +325,12 @@ mod tests {
         let governor = RunGovernor::unlimited();
         assert!(Backend::DecisionDiagram
             .engine()
-            .strong(&circuit, tight, &governor)
+            .strong(&circuit, tight, &governor, None)
             .is_ok());
         assert!(matches!(
             Backend::StateVector
                 .engine()
-                .strong(&circuit, tight, &governor),
+                .strong(&circuit, tight, &governor, None),
             Err(RunError::MemoryOut { .. })
         ));
     }

@@ -57,7 +57,7 @@ use crate::edge::{MatrixEdge, MatrixNodeId, VectorEdge, VectorNodeId, WeightId};
 use crate::govern::{DdError, Governor};
 use crate::node::{MatrixNode, VectorNode};
 use circuit::{OneQubitGate, Qubit};
-use mathkit::{hash_mix, CTable, Complex, FxHashMap, FxHashSet, Tolerance};
+use mathkit::{hash_finish, hash_mix, CTable, Complex, FxHashMap, FxHashSet, Tolerance};
 use std::mem::size_of;
 
 /// The edge-weight normalization scheme applied when creating vector nodes.
@@ -255,8 +255,13 @@ const EMPTY_SLOT: UniqueSlot = UniqueSlot {
 /// equality predicate over arena ids, which is only consulted when the
 /// stored 64-bit hash matches — so node structs are hashed once per lookup
 /// and compared only on probable hits.
+///
+/// Crate-visible because parallel construction (`crate::parallel`) reuses it
+/// as the per-worker overlay shard: the master table is probed read-only
+/// through a shared reference while each worker dedups its private nodes
+/// through its own `UniqueTable`, keyed by the same precomputed 64-bit hash.
 #[derive(Debug)]
-struct UniqueTable {
+pub(crate) struct UniqueTable {
     slots: Vec<UniqueSlot>,
     len: usize,
 }
@@ -266,7 +271,7 @@ impl UniqueTable {
         Self::with_slots(1 << 12)
     }
 
-    fn with_slots(slots: usize) -> Self {
+    pub(crate) fn with_slots(slots: usize) -> Self {
         let slots = slots.next_power_of_two().max(16);
         Self {
             slots: vec![EMPTY_SLOT; slots],
@@ -275,7 +280,7 @@ impl UniqueTable {
     }
 
     #[inline]
-    fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+    pub(crate) fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
         let mask = self.slots.len() - 1;
         let mut i = (hash as usize) & mask;
         loop {
@@ -291,7 +296,7 @@ impl UniqueTable {
     }
 
     /// Inserts an id the caller has verified to be absent.
-    fn insert(&mut self, hash: u64, id: u32) {
+    pub(crate) fn insert(&mut self, hash: u64, id: u32) {
         // Grow at 3/4 load so probe chains stay short.
         if (self.len + 1) * 4 > self.slots.len() * 3 {
             self.grow();
@@ -327,13 +332,13 @@ impl UniqueTable {
 
 /// Hashes a vector node payload (once, by field folding).
 #[inline]
-fn vnode_hash(node: &VectorNode) -> u64 {
+pub(crate) fn vnode_hash(node: &VectorNode) -> u64 {
     let mut h = hash_mix(0, u64::from(node.var));
     for child in node.children {
         h = hash_mix(h, vedge_word(child));
     }
     // Final avalanche so low slot bits depend on every field.
-    hash_mix(h, 0x9E37_79B9_7F4A_7C15)
+    hash_finish(h)
 }
 
 /// Hashes a matrix node payload.
@@ -343,7 +348,7 @@ fn mnode_hash(node: &MatrixNode) -> u64 {
     for child in node.children {
         h = hash_mix(h, medge_word(child));
     }
-    hash_mix(h, 0x9E37_79B9_7F4A_7C15)
+    hash_finish(h)
 }
 
 /// Packs a vector edge into a pair of mixable words folded to one.
@@ -744,6 +749,34 @@ impl DdPackage {
         }
     }
 
+    /// Creates a package whose unique tables start at `slots` slots each
+    /// (rounded up to a power of two, minimum 16) instead of the tuned
+    /// default.  Intended for table-growth stress tests: starting at the
+    /// minimum capacity forces the open-addressing tables to rehash under
+    /// load almost immediately, which is exactly the pressure the
+    /// concurrency soak suite wants to exercise.
+    #[must_use]
+    pub fn with_unique_table_slots(slots: usize) -> Self {
+        let mut package = Self::new();
+        package.vunique = UniqueTable::with_slots(slots);
+        package.munique = UniqueTable::with_slots(slots);
+        package
+    }
+
+    /// The id the next freshly-created vector node will get.  Parallel
+    /// construction freezes the master at this watermark: worker overlays
+    /// treat every target `< vnode_base()` as a shared master node and
+    /// offset their private ids above it.
+    pub(crate) fn vnode_base(&self) -> u32 {
+        self.vnodes.len() as u32
+    }
+
+    /// Read-only view of the interned-value table, for frozen-master probes
+    /// from worker overlays.
+    pub(crate) fn ctable(&self) -> &CTable {
+        &self.ctable
+    }
+
     /// Installs a [`Governor`] checked by every subsequent make-node call
     /// (see the [`govern`](crate::govern) module docs for the amortization
     /// scheme).  Replacing the governor mid-run is allowed; the default is
@@ -998,12 +1031,47 @@ impl DdPackage {
             var,
             children: [zero_edge, one_edge],
         };
+        let id = self.intern_vnode_inner(node)?;
+        Ok(VectorEdge {
+            target: id,
+            weight: self.weight(factor),
+        })
+    }
+
+    /// Canonically interns a fully-normalized vector node, creating it on a
+    /// unique-table miss.  This is the re-interning primitive of parallel
+    /// construction: worker-private nodes are grafted into the master package
+    /// through this method at layer sync points, in a fixed order, so the
+    /// resulting arena ids are independent of worker count.
+    ///
+    /// The caller must pass children that are already canonical (normalized
+    /// weights, zero edges collapsed); `make_vnode` is the normalizing
+    /// front-end.
+    pub(crate) fn intern_vnode(&mut self, node: VectorNode) -> Result<VectorNodeId, DdError> {
+        self.governor.checkpoint()?;
+        self.intern_vnode_inner(node)
+    }
+
+    /// Read-only unique-table lookup: the id of the canonical node
+    /// structurally equal to `node`, or `None` without interning anything.
+    /// Worker overlays call this through a shared reference to recognise
+    /// frozen-master nodes mid-task without taking a lock (the master is not
+    /// mutated during the parallel region); hit/miss counters are not
+    /// touched, so concurrent probes stay free of data races.
+    pub(crate) fn find_vnode(&self, node: &VectorNode) -> Option<VectorNodeId> {
+        let hash = vnode_hash(node);
+        self.vunique
+            .find(hash, |id| self.vnodes[id as usize] == *node)
+            .map(VectorNodeId)
+    }
+
+    fn intern_vnode_inner(&mut self, node: VectorNode) -> Result<VectorNodeId, DdError> {
         let hash = vnode_hash(&node);
         let vnodes = &self.vnodes;
-        let id = match self.vunique.find(hash, |id| vnodes[id as usize] == node) {
+        match self.vunique.find(hash, |id| vnodes[id as usize] == node) {
             Some(id) => {
                 self.vunique_hits += 1;
-                VectorNodeId(id)
+                Ok(VectorNodeId(id))
             }
             None => {
                 self.vunique_misses += 1;
@@ -1021,13 +1089,9 @@ impl DdPackage {
                     .ok_or(DdError::ArenaOverflow { arena: "vector" })?;
                 self.vnodes.push(node);
                 self.vunique.insert(hash, id);
-                VectorNodeId(id)
+                Ok(VectorNodeId(id))
             }
-        };
-        Ok(VectorEdge {
-            target: id,
-            weight: self.weight(factor),
-        })
+        }
     }
 
     fn canonical_child(&mut self, child: VectorEdge, normalized_weight: Complex) -> VectorEdge {

@@ -114,6 +114,25 @@ pub fn hash_mix(state: u64, word: u64) -> u64 {
     (state.rotate_left(5) ^ word).wrapping_mul(SEED)
 }
 
+/// The avalanche word folded in as the final [`hash_mix`] step of a
+/// hand-rolled struct hash (see [`hash_finish`]).
+pub const HASH_AVALANCHE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Finalises a running Fx hash state built with [`hash_mix`] by folding in
+/// one avalanche constant, so the low bits — the ones an open-addressing
+/// table actually indexes with — depend on every field folded so far.
+///
+/// Every table that keys on the same payload layout must use the same
+/// finaliser: the decision-diagram unique tables and the per-worker overlay
+/// tables of parallel construction hash node payloads with `hash_mix` +
+/// `hash_finish` so a precomputed hash can be carried across table
+/// boundaries without rehashing.
+#[inline]
+#[must_use]
+pub fn hash_finish(state: u64) -> u64 {
+    hash_mix(state, HASH_AVALANCHE)
+}
+
 /// Hashes an `f64` by its bit pattern after normalising `-0.0` to `+0.0`.
 ///
 /// Interned complex values are compared by tolerance before hashing, so two

@@ -44,7 +44,10 @@ mod tolerance;
 pub use angle::{binary_angle, Angle};
 pub use complex::Complex;
 pub use ctable::{CTable, CTableStats, ValueId};
-pub use hash::{hash_f64, hash_mix, hash_u64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hash::{
+    hash_f64, hash_finish, hash_mix, hash_u64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher,
+    HASH_AVALANCHE,
+};
 pub use kahan::{compensated_sum, KahanSum};
 pub use tolerance::{approx_eq, approx_eq_with, Tolerance, DEFAULT_TOLERANCE};
 

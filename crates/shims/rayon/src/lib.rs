@@ -12,6 +12,27 @@
 //! [`Scope::spawn`] takes a plain `FnOnce()` instead of `FnOnce(&Scope)`.
 //! The callers in this workspace amortize the spawn cost over thousands of
 //! samples per task, where the difference is noise.
+//!
+//! # The scoped-pool pattern
+//!
+//! Both heavy users — `CompiledSampler::sample_many_parallel` (shot
+//! batching) and `dd::parallel` (parallel DD construction) — follow the
+//! same shape on top of [`scope`]:
+//!
+//! 1. decompose the work into a deterministic, scheduler-independent task
+//!    list *before* spawning anything;
+//! 2. statically partition the tasks into `min(workers, tasks)` contiguous
+//!    chunks (`chunks`/`chunks_mut`, one spawn per chunk) so each output
+//!    slot is written by exactly one worker through a disjoint `&mut` slice
+//!    — no locks, no channels;
+//! 3. merge the slots *after* the scope joins, in task order, so the result
+//!    is a pure function of the task list and never of thread timing.
+//!
+//! Because [`scope`] joins every task before returning and panics
+//! propagate at the join, a worker failure can never be silently lost;
+//! workers that must fail softly return `Result` through their slot
+//! instead (the DD construction workers do — the lowest-indexed error
+//! wins deterministically).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,26 @@
+//! Measures DD construction wall time on `supremacy_4x5_10` for the
+//! sequential path and the parallel path at several worker counts.
+use std::time::Instant;
+
+fn main() {
+    let (circuit, _) = algorithms::supremacy(4, 5, 10, 7);
+    let start = Instant::now();
+    let mut package = dd::DdPackage::new();
+    let state = dd::simulate(&mut package, &circuit).expect("valid circuit");
+    println!(
+        "sequential: {:.2}s ({} nodes)",
+        start.elapsed().as_secs_f64(),
+        state.node_count(&package)
+    );
+    for workers in [1usize, 2, 4] {
+        let start = Instant::now();
+        let mut package = dd::DdPackage::new();
+        let state =
+            dd::simulate_with_threads(&mut package, &circuit, workers).expect("valid circuit");
+        println!(
+            "workers={workers}: {:.2}s ({} nodes)",
+            start.elapsed().as_secs_f64(),
+            state.node_count(&package)
+        );
+    }
+}

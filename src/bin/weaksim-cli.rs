@@ -11,7 +11,8 @@
 //!
 //! ```text
 //! weaksim-cli [--backend dd|sv] [--shots N] [--seed N] [--router]
-//!             [--cache-bytes N] [--repeat N] [FILE ...]
+//!             [--cache-bytes N] [--repeat N] [--construction-threads N]
+//!             [FILE ...]
 //! ```
 //!
 //! With no `FILE` arguments the tool enters serve mode: each stdin line
@@ -37,11 +38,12 @@ struct Options {
     router: bool,
     cache_bytes: Option<u64>,
     repeat: u32,
+    construction_threads: Option<usize>,
     files: Vec<String>,
 }
 
 const USAGE: &str = "usage: weaksim-cli [--backend dd|sv] [--shots N] [--seed N] [--router] \
-                     [--cache-bytes N] [--repeat N] [FILE ...]\n\
+                     [--cache-bytes N] [--repeat N] [--construction-threads N] [FILE ...]\n\
                      With no FILEs, reads QASM file paths line-by-line from stdin (serve mode).";
 
 fn parse_options(args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -52,6 +54,7 @@ fn parse_options(args: impl Iterator<Item = String>) -> Result<Options, String> 
         router: false,
         cache_bytes: None,
         repeat: 1,
+        construction_threads: None,
         files: Vec::new(),
     };
     let mut args = args.peekable();
@@ -93,6 +96,15 @@ fn parse_options(args: impl Iterator<Item = String>) -> Result<Options, String> 
                 if options.repeat == 0 {
                     return Err("--repeat must be at least 1".into());
                 }
+            }
+            "--construction-threads" => {
+                // Decision-diagram construction workers; 0 = one per CPU.
+                // The built diagram is bit-identical for every worker count.
+                options.construction_threads = Some(
+                    value("--construction-threads")?
+                        .parse()
+                        .map_err(|e| format!("--construction-threads: {e}"))?,
+                );
             }
             "--help" | "-h" => return Err(USAGE.into()),
             flag if flag.starts_with("--") => {
@@ -189,6 +201,9 @@ fn main() -> ExitCode {
     let mut sim = WeakSimulator::new(options.backend).with_cache(&cache);
     if options.router {
         sim = sim.with_clifford_router();
+    }
+    if let Some(threads) = options.construction_threads {
+        sim = sim.with_construction_threads(threads);
     }
 
     let mut all_ok = true;

@@ -1,0 +1,125 @@
+//! End-to-end serve-loop tests for `weaksim-cli`: per-request failures must
+//! neither kill the loop nor corrupt the end-of-session cache summary — the
+//! [`weaksim::ArtifactCache`] hit/miss counters printed at exit reflect
+//! exactly the requests that reached the cache, malformed requests included
+//! mid-stream notwithstanding.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+const GOOD_QASM: &str = "OPENQASM 2.0;\n\
+                         include \"qelib1.inc\";\n\
+                         qreg q[3];\n\
+                         creg c[3];\n\
+                         h q[0];\n\
+                         cx q[0],q[1];\n\
+                         cx q[1],q[2];\n";
+
+/// Writes `contents` to a unique file under the target tmp dir and returns
+/// its path.
+fn fixture(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("weaksim-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write fixture");
+    path
+}
+
+/// Runs the CLI in serve mode with the given stdin lines; returns
+/// (stdout, stderr, success).
+fn serve(extra_args: &[&str], stdin_lines: &[&str]) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_weaksim-cli"))
+        .args(["--shots", "200"])
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn weaksim-cli");
+    child
+        .stdin
+        .take()
+        .expect("stdin handle")
+        .write_all(stdin_lines.join("\n").as_bytes())
+        .expect("feed stdin");
+    let output = child.wait_with_output().expect("wait for weaksim-cli");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.success(),
+    )
+}
+
+#[test]
+fn cache_counters_survive_a_malformed_request_mid_stream() {
+    let good = fixture("good.qasm", GOOD_QASM);
+    let bad = fixture(
+        "malformed.qasm",
+        "OPENQASM 2.0;\nqreg q[2;\nthis is not qasm\n",
+    );
+    let good_path = good.to_str().expect("utf-8 path");
+    let bad_path = bad.to_str().expect("utf-8 path");
+
+    let (stdout, stderr, ok) = serve(&[], &[good_path, bad_path, good_path]);
+
+    // The malformed request fails the session but not the loop: both good
+    // requests are served (cold miss, then warm hit on the same artifact).
+    assert!(!ok, "a malformed request must fail the session exit code");
+    assert!(
+        stderr.contains("QASM parse error"),
+        "stderr should name the parse failure, got:\n{stderr}"
+    );
+    assert!(stdout.contains("cache miss"), "stdout:\n{stdout}");
+    assert!(stdout.contains("cache hit"), "stdout:\n{stdout}");
+
+    // The exit summary still accounts for exactly the two requests that
+    // reached the cache — the mid-stream error neither dropped the summary
+    // nor leaked a phantom miss.
+    assert!(
+        stdout.contains("1 hits / 1 misses"),
+        "cache summary must survive the mid-stream error, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn unreadable_path_mid_stream_keeps_serving_too() {
+    let good = fixture("good2.qasm", GOOD_QASM);
+    let good_path = good.to_str().expect("utf-8 path");
+
+    let (stdout, stderr, ok) = serve(&[], &[good_path, "/no/such/file.qasm", good_path]);
+
+    assert!(!ok);
+    assert!(
+        stderr.contains("cannot read"),
+        "stderr should report the unreadable path, got:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("1 hits / 1 misses"),
+        "cache summary must survive the unreadable path, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn construction_threads_flag_serves_the_identical_histogram() {
+    let good = fixture("good3.qasm", GOOD_QASM);
+    let good_path = good.to_str().expect("utf-8 path");
+
+    let (baseline, _, ok1) = serve(&["--construction-threads", "1"], &[good_path]);
+    let (parallel, _, ok4) = serve(&["--construction-threads", "4"], &[good_path]);
+    assert!(ok1 && ok4);
+
+    // Parallel DD construction is bit-identical, so the whole report — top
+    // outcomes included — matches line for line (timing lines excluded).
+    let outcomes = |out: &str| {
+        out.lines()
+            .filter(|line| line.contains("top outcomes"))
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        outcomes(&baseline),
+        outcomes(&parallel),
+        "construction worker count changed the served histogram"
+    );
+}

@@ -260,6 +260,72 @@ fn unique_table_sharing_survives_growth_and_gc_rebuild() {
     );
 }
 
+/// Concurrency soak for the parallel construction path: randomized
+/// interleavings of parallel applies (worker count re-rolled per gate), GC
+/// rebuilds and compute-cache evictions, on a package whose unique tables
+/// start at the *minimum* capacity so every run forces repeated table growth
+/// while construction workers are interning into their overlay shards.
+///
+/// Asserted: (1) the stressed run's amplitudes are bit-identical to a fresh
+/// unstressed single-worker build (dyadic gate set — every value is exact),
+/// and (2) canonical sharing survives — replaying the applied prefix in the
+/// same package, at yet another worker count, lands on the *identical* root
+/// edge instead of duplicating the diagram.
+#[test]
+fn soak_parallel_applies_gcs_and_evictions_keep_sharing_canonical() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(9000 + seed);
+        let circuit = random_dyadic_circuit(6, 48, 300 + seed);
+
+        let mut reference_pkg = DdPackage::new();
+        let reference =
+            dd::simulate_with_threads(&mut reference_pkg, &circuit, 1).expect("valid circuit");
+        let reference_amps = reference.to_amplitudes(&reference_pkg);
+
+        // Stressed run: tables start at minimum capacity and must grow under
+        // parallel interning pressure; GCs rebuild them mid-run; evictions
+        // shrink (or disable) the compute caches between applies.
+        let mut package = DdPackage::with_unique_table_slots(16);
+        let mut state = StateDd::zero_state(&mut package, 6).unwrap();
+        let mut applied: Vec<circuit::Operation> = Vec::new();
+        for op in circuit.operations() {
+            let workers = [1usize, 2, 4, 8][rng.gen_range(0..4usize)];
+            state = dd::apply_operation_with_threads(&mut package, state, op, workers)
+                .unwrap_or_else(|e| panic!("seed {seed}: apply with {workers} workers: {e}"));
+            applied.push(op.clone());
+
+            match rng.gen_range(0..8u8) {
+                0 => {
+                    let roots = package.collect_garbage(&[state.root()]);
+                    state = StateDd::from_root(roots[0], 6);
+                }
+                1 => package.shrink_compute_caches(),
+                2 => package.set_compute_cache_capacity(rng.gen_range(0..64)),
+                _ => {}
+            }
+        }
+
+        assert_eq!(
+            state.to_amplitudes(&package),
+            reference_amps,
+            "seed {seed}: stressed parallel run diverged from the fresh 1-worker build"
+        );
+
+        // Canonical sharing after all that churn: a replay in the same
+        // package (at a fixed different worker count, no GC this time) must
+        // re-derive the existing nodes, not duplicate them.
+        let mut replay = StateDd::zero_state(&mut package, 6).unwrap();
+        for op in &applied {
+            replay = dd::apply_operation_with_threads(&mut package, replay, op, 4).unwrap();
+        }
+        assert_eq!(
+            replay.root(),
+            state.root(),
+            "seed {seed}: replay after parallel churn did not share the existing diagram"
+        );
+    }
+}
+
 /// `measure_all` (ported to the compiled sampler) still draws from the
 /// correct distribution and collapses to the observed basis state.
 #[test]

@@ -1,0 +1,183 @@
+//! Determinism proofs for the parallel DD-construction path.
+//!
+//! The contract under test: [`dd::simulate_with_threads`] must produce a root
+//! edge (and a node population) that is **bit-identical** across construction
+//! worker counts.  Workers intern into private overlay tables and the results
+//! are re-interned into the master package in a fixed task order, so the
+//! merged diagram is a pure function of the circuit — never of the worker
+//! count or of scheduling.
+//!
+//! The plain sequential [`dd::simulate`] entry point interleaves interning
+//! differently (it never splits a multiply into sub-cone tasks), so against
+//! it we only assert numerical agreement of the amplitudes, not bit-identity.
+
+use circuit::{Circuit, Qubit};
+use dd::{DdPackage, StateDd};
+use mathkit::Angle;
+
+/// Worker counts every arm must agree across.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Builds `circuit` with `workers` construction workers and returns the
+/// package and state for inspection.
+fn build_with_workers(circuit: &Circuit, workers: usize) -> (DdPackage, StateDd) {
+    let mut package = DdPackage::new();
+    let state = dd::simulate_with_threads(&mut package, circuit, workers)
+        .unwrap_or_else(|e| panic!("construction with {workers} workers failed: {e}"));
+    (package, state)
+}
+
+/// Asserts the canonical root edge, the full package statistics and the
+/// amplitude vector are identical across all of [`WORKER_COUNTS`], and that
+/// the amplitudes numerically match the plain sequential builder.
+fn assert_thread_count_invariant(circuit: &Circuit, label: &str) {
+    let (reference_package, reference_state) = build_with_workers(circuit, 1);
+    let reference_amplitudes = reference_state.to_amplitudes(&reference_package);
+
+    for &workers in &WORKER_COUNTS[1..] {
+        let (package, state) = build_with_workers(circuit, workers);
+        assert_eq!(
+            state.root(),
+            reference_state.root(),
+            "{label}: root edge with {workers} workers differs from the 1-worker run"
+        );
+        assert_eq!(
+            state.node_count(&package),
+            reference_state.node_count(&reference_package),
+            "{label}: reachable node count with {workers} workers differs"
+        );
+        assert_eq!(
+            package.stats().vector_nodes,
+            reference_package.stats().vector_nodes,
+            "{label}: vector arena population with {workers} workers differs"
+        );
+        assert_eq!(
+            state.to_amplitudes(&package),
+            reference_amplitudes,
+            "{label}: amplitudes with {workers} workers are not bit-identical"
+        );
+    }
+
+    // The sequential path interns in a different order, so amplitudes agree
+    // numerically (shared canonical weight table, same arithmetic) but the
+    // root edge need not be the same id.
+    let mut sequential_package = DdPackage::new();
+    let sequential_state = dd::simulate(&mut sequential_package, circuit)
+        .unwrap_or_else(|e| panic!("{label}: sequential construction failed: {e}"));
+    let sequential_amplitudes = sequential_state.to_amplitudes(&sequential_package);
+    assert_eq!(
+        sequential_amplitudes.len(),
+        reference_amplitudes.len(),
+        "{label}: amplitude vector lengths differ"
+    );
+    for (i, (parallel, sequential)) in reference_amplitudes
+        .iter()
+        .zip(sequential_amplitudes.iter())
+        .enumerate()
+    {
+        let delta = (*parallel - *sequential).norm();
+        assert!(
+            delta < 1e-10,
+            "{label}: amplitude {i} differs from sequential by {delta:.3e}"
+        );
+    }
+}
+
+#[test]
+fn ghz_is_worker_count_invariant() {
+    assert_thread_count_invariant(&algorithms::ghz(12), "ghz_12");
+}
+
+/// The coherent (fully unitary) equivalent of [`algorithms::ipe`]: an
+/// `num_bits`-qubit counting register accumulating phase kickback from a
+/// `|1>` eigenstate qubit, read out by an inverse QFT.  The library's
+/// iterative variant recycles one ancilla through mid-circuit measure/reset
+/// and is therefore dynamic — strong simulation rejects it by design.
+fn coherent_ipe(num_bits: u16, phase: f64) -> Circuit {
+    let mut c = Circuit::new(num_bits + 1);
+    let eigen = Qubit(num_bits);
+    c.x(eigen);
+    for j in 0..num_bits {
+        c.h(Qubit(j));
+        let theta = phase * std::f64::consts::TAU * (1u64 << j) as f64;
+        c.cp(Angle::Radians(theta), Qubit(j), eigen);
+    }
+    c.extend_from(&algorithms::inverse_qft(num_bits, true));
+    c
+}
+
+#[test]
+fn ipe_is_worker_count_invariant() {
+    assert_thread_count_invariant(&coherent_ipe(5, 0.8125), "coherent_ipe_5");
+}
+
+#[test]
+fn supremacy_3x3_is_worker_count_invariant() {
+    let (circuit, _) = algorithms::supremacy(3, 3, 8, 5);
+    assert_thread_count_invariant(&circuit, "supremacy_3x3_8");
+}
+
+/// The acceptance workload from the bench suite: the 20-qubit
+/// `supremacy_4x5_10` circuit.  Building it to completion takes tens of
+/// seconds per run in debug, so this arm compares the full-size circuit at a
+/// reduced depth in debug builds and at full depth under `--release` (CI's
+/// thread-matrix job runs it optimized).
+#[test]
+fn supremacy_4x5_is_worker_count_invariant() {
+    let depth = if cfg!(debug_assertions) { 5 } else { 10 };
+    let (circuit, _) = algorithms::supremacy(4, 5, depth, 7);
+    let (reference_package, reference_state) = build_with_workers(&circuit, 1);
+    for workers in [2, 4] {
+        let (package, state) = build_with_workers(&circuit, workers);
+        assert_eq!(
+            state.root(),
+            reference_state.root(),
+            "supremacy_4x5_{depth}: root with {workers} workers differs from 1 worker"
+        );
+        assert_eq!(
+            package.stats().vector_nodes,
+            reference_package.stats().vector_nodes,
+            "supremacy_4x5_{depth}: arena population with {workers} workers differs"
+        );
+    }
+}
+
+#[test]
+fn random_circuits_are_worker_count_invariant() {
+    for seed in 0..6 {
+        let circuit = algorithms::random_circuit(6, 6, seed);
+        assert_thread_count_invariant(&circuit, &format!("random_6x6_seed{seed}"));
+    }
+}
+
+/// `workers == 0` means "one worker per CPU"; whatever that resolves to on
+/// the host, the result must still match the explicit 1-worker run.
+#[test]
+fn auto_worker_count_matches_explicit() {
+    let (circuit, _) = algorithms::supremacy(3, 3, 6, 3);
+    let (_, reference) = build_with_workers(&circuit, 1);
+    let (_, auto) = build_with_workers(&circuit, 0);
+    assert_eq!(auto.root(), reference.root());
+}
+
+/// The simulator-facing knob must route through the same deterministic
+/// machinery: a [`weaksim::WeakSimulator`] configured with construction
+/// threads samples exactly the histogram the 1-worker run does.
+#[test]
+fn weak_simulator_construction_threads_preserve_samples() {
+    let (circuit, _) = algorithms::supremacy(3, 3, 8, 5);
+    let baseline = weaksim::WeakSimulator::new(weaksim::Backend::DecisionDiagram)
+        .with_construction_threads(1)
+        .run(&circuit, 256, 17)
+        .expect("1-worker run failed");
+    for workers in [2, 4] {
+        let outcome = weaksim::WeakSimulator::new(weaksim::Backend::DecisionDiagram)
+            .with_construction_threads(workers)
+            .run(&circuit, 256, 17)
+            .expect("parallel run failed");
+        assert_eq!(
+            outcome.histogram, baseline.histogram,
+            "histogram with {workers} construction workers diverged"
+        );
+    }
+}
