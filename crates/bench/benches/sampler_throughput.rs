@@ -406,39 +406,84 @@ fn record_baseline_json(_c: &mut Criterion) {
     let tableau_json = router_entry(&ghz_circuit, trajectory_shots, 1);
     let routed_json = router_entry(&deep_circuit, trajectory_shots, threads);
 
-    // Artifact-cache entry: the same supremacy request served cold (miss:
-    // strong simulation + sampler compilation + sampling) and then warm
-    // (hit: sampling only) through one `ArtifactCache`, demonstrating the
-    // pay-once contract on the headline workload.  Both draws use the same
-    // seed, so the histograms are bit-identical — asserted here, not just
-    // claimed.
+    // Artifact-cache entry: the same supremacy request served through one
+    // `ServiceBroker` — four concurrent cold tenants (one builds, the rest
+    // coalesce single-flight onto the in-flight construction), then a warm
+    // hit (sampling only), demonstrating the pay-once contract on the
+    // headline workload.  All draws use the same seed, so the histograms
+    // are bit-identical — asserted here, not just claimed.  The entry also
+    // times the crash-safe snapshot round trip of the populated cache.
     let artifact_cache_json = {
-        let cache = weaksim::ArtifactCache::unbounded();
-        let mut sim = WeakSimulator::new(Backend::DecisionDiagram).with_cache(&cache);
+        use weaksim::service::{load_snapshot, ServiceBroker, ServiceConfig};
+        let broker = ServiceBroker::new(
+            weaksim::ArtifactCache::unbounded(),
+            ServiceConfig::default(),
+        );
+        let sim = WeakSimulator::new(Backend::DecisionDiagram);
         let request_shots = shots as u64;
         let cold_start = Instant::now();
-        let cold = sim
-            .run(&circuit, request_shots, BENCH_SEED)
-            .expect("cold cached run succeeds");
+        let outcomes: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let broker = &broker;
+                    let sim = &sim;
+                    let circuit = &circuit;
+                    scope.spawn(move || {
+                        broker
+                            .serve(sim, circuit, request_shots, BENCH_SEED)
+                            .expect("cold serve succeeds")
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("serve thread"))
+                .collect()
+        });
         let cold_seconds = cold_start.elapsed().as_secs_f64();
-        assert_eq!(cold.cache, Some(weaksim::CacheOutcome::Miss));
+        let misses = outcomes
+            .iter()
+            .filter(|o| o.cache == Some(weaksim::CacheOutcome::Miss))
+            .count();
+        assert_eq!(misses, 1, "single-flight admits exactly one construction");
+        for outcome in &outcomes[1..] {
+            assert_eq!(
+                outcome.histogram, outcomes[0].histogram,
+                "coalesced requests must be bit-identical to the builder's"
+            );
+        }
         let warm_start = Instant::now();
-        let warm = sim
-            .run(&circuit, request_shots, BENCH_SEED)
-            .expect("warm cached run succeeds");
+        let warm = broker
+            .serve(&sim, &circuit, request_shots, BENCH_SEED)
+            .expect("warm serve succeeds");
         let warm_seconds = warm_start.elapsed().as_secs_f64();
         assert_eq!(warm.cache, Some(weaksim::CacheOutcome::Hit));
         assert_eq!(
-            warm.histogram, cold.histogram,
+            warm.histogram, outcomes[0].histogram,
             "warm request must be bit-identical to the cold one"
         );
-        let stats = cache.stats();
+
+        let snap = std::env::temp_dir().join(format!("weaksim-bench-{}.snap", std::process::id()));
+        let write_start = Instant::now();
+        broker
+            .write_snapshot(&snap)
+            .expect("snapshot write succeeds");
+        let snapshot_write_seconds = write_start.elapsed().as_secs_f64();
+        let restored = weaksim::ArtifactCache::unbounded();
+        let load_start = Instant::now();
+        let report = load_snapshot(&restored, &snap).expect("snapshot load succeeds");
+        let snapshot_load_seconds = load_start.elapsed().as_secs_f64();
+        assert_eq!(report.loaded, 1, "the snapshot round-trips the artifact");
+        std::fs::remove_file(&snap).ok();
+
+        let stats = broker.cache().stats();
         format!(
-            "{{\n    \"benchmark\": \"{name}\",\n    \"shots\": {request_shots},\n    \"cold_seconds\": {cold_seconds:.6},\n    \"warm_seconds\": {warm_seconds:.6},\n    \"warm_speedup\": {speedup:.2},\n    \"hits\": {hits},\n    \"misses\": {misses},\n    \"cached_bytes\": {bytes}\n  }}",
+            "{{\n    \"benchmark\": \"{name}\",\n    \"shots\": {request_shots},\n    \"cold_seconds\": {cold_seconds:.6},\n    \"warm_seconds\": {warm_seconds:.6},\n    \"warm_speedup\": {speedup:.2},\n    \"hits\": {hits},\n    \"misses\": {misses},\n    \"coalesced_builds\": {coalesced},\n    \"snapshot_write_seconds\": {snapshot_write_seconds:.6},\n    \"snapshot_load_seconds\": {snapshot_load_seconds:.6},\n    \"cached_bytes\": {bytes}\n  }}",
             name = circuit.name(),
             speedup = cold_seconds / warm_seconds,
             hits = stats.hits,
             misses = stats.misses,
+            coalesced = broker.stats().coalesced,
             bytes = stats.bytes,
         )
     };

@@ -226,6 +226,167 @@ impl SimArtifact {
             + self.route.segments.len() * std::mem::size_of::<crate::router::RouteSegment>()
     }
 
+    /// Serializes the complete artifact into `out` — the per-entry payload
+    /// of the service snapshot (see [`crate::service`] for the file
+    /// framing).  Everything [`decode_snapshot`](Self::decode_snapshot)
+    /// needs to re-serve bit-identical histograms: the sampler (via its
+    /// engine crate's encoder), the relabelling, the route and the build
+    /// metadata.
+    pub(crate) fn encode_snapshot(&self, out: &mut Vec<u8>) {
+        let kind: u8 = match &self.sampler {
+            PreparedSampler::DecisionDiagram(_) => 0,
+            PreparedSampler::StateVector(_) => 1,
+            PreparedSampler::Tableau(_) => 2,
+        };
+        out.push(kind);
+        out.push(match self.backend {
+            Backend::DecisionDiagram => 0,
+            Backend::StateVector => 1,
+        });
+        out.extend_from_slice(&self.num_qubits.to_le_bytes());
+        out.extend_from_slice(&self.record_width.to_le_bytes());
+        out.extend_from_slice(&(self.mapping.len() as u32).to_le_bytes());
+        for &(qubit, cbit) in &self.mapping {
+            out.extend_from_slice(&qubit.0.to_le_bytes());
+            out.extend_from_slice(&cbit.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.route.segments.len() as u32).to_le_bytes());
+        for segment in &self.route.segments {
+            out.push(match segment.engine {
+                crate::router::EngineKind::Tableau => 0,
+                crate::router::EngineKind::DecisionDiagram => 1,
+                crate::router::EngineKind::StateVector => 2,
+            });
+            out.extend_from_slice(&(segment.ops as u64).to_le_bytes());
+        }
+        match &self.dd_stats {
+            None => out.push(0),
+            Some(stats) => {
+                out.push(1);
+                for value in dd_stats_words(stats) {
+                    out.extend_from_slice(&value.to_le_bytes());
+                }
+            }
+        }
+        out.extend_from_slice(&self.representation_size.to_le_bytes());
+        out.extend_from_slice(&self.build_strong_time.as_secs_f64().to_bits().to_le_bytes());
+        out.extend_from_slice(
+            &self
+                .build_precompute_time
+                .as_secs_f64()
+                .to_bits()
+                .to_le_bytes(),
+        );
+        let mut sampler_bytes = Vec::new();
+        match &self.sampler {
+            PreparedSampler::DecisionDiagram(s) => s.encode_snapshot(&mut sampler_bytes),
+            PreparedSampler::StateVector(s) => s.encode_snapshot(&mut sampler_bytes),
+            PreparedSampler::Tableau(s) => s.encode_snapshot(&mut sampler_bytes),
+        }
+        out.extend_from_slice(&(sampler_bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&sampler_bytes);
+    }
+
+    /// Reconstructs an artifact from an [`encode_snapshot`](Self::encode_snapshot)
+    /// payload, delegating sampler validation to the engine crates and
+    /// cross-checking the register width.  Returns `None` for any
+    /// truncated, malformed or inconsistent payload — a corrupted snapshot
+    /// section is skipped by the loader, never a panic.
+    pub(crate) fn decode_snapshot(bytes: &[u8]) -> Option<Self> {
+        let mut reader = SnapshotReader(bytes);
+        let kind = reader.u8()?;
+        let backend = match reader.u8()? {
+            0 => Backend::DecisionDiagram,
+            1 => Backend::StateVector,
+            _ => return None,
+        };
+        let num_qubits = reader.u16()?;
+        let record_width = reader.u16()?;
+        let mapping_len = reader.u32()? as usize;
+        if mapping_len > usize::from(u16::MAX) {
+            return None;
+        }
+        let mut mapping = Vec::with_capacity(mapping_len);
+        for _ in 0..mapping_len {
+            let qubit = Qubit(reader.u16()?);
+            let cbit = reader.u16()?;
+            if qubit.0 >= num_qubits || cbit >= record_width {
+                return None;
+            }
+            mapping.push((qubit, cbit));
+        }
+        let segment_count = reader.u32()? as usize;
+        if segment_count > 1 << 20 {
+            return None;
+        }
+        let mut segments = Vec::with_capacity(segment_count);
+        for _ in 0..segment_count {
+            let engine = match reader.u8()? {
+                0 => crate::router::EngineKind::Tableau,
+                1 => crate::router::EngineKind::DecisionDiagram,
+                2 => crate::router::EngineKind::StateVector,
+                _ => return None,
+            };
+            let ops = usize::try_from(reader.u64()?).ok()?;
+            segments.push(crate::router::RouteSegment { engine, ops });
+        }
+        let dd_stats = match reader.u8()? {
+            0 => None,
+            1 => {
+                let mut words = [0u64; DD_STATS_WORDS];
+                for word in &mut words {
+                    *word = reader.u64()?;
+                }
+                Some(dd_stats_from_words(&words)?)
+            }
+            _ => return None,
+        };
+        let representation_size = reader.u128()?;
+        let build_strong_time = duration_from_bits(reader.u64()?)?;
+        let build_precompute_time = duration_from_bits(reader.u64()?)?;
+        let sampler_len = usize::try_from(reader.u64()?).ok()?;
+        let sampler_bytes = reader.take(sampler_len)?;
+        if reader.remaining() != 0 {
+            return None;
+        }
+        let sampler = match kind {
+            0 => {
+                let s = CompiledSampler::decode_snapshot(sampler_bytes)?;
+                if s.num_qubits() != num_qubits {
+                    return None;
+                }
+                PreparedSampler::DecisionDiagram(s)
+            }
+            1 => {
+                let s = PrefixSampler::decode_snapshot(sampler_bytes)?;
+                if s.num_qubits() != num_qubits {
+                    return None;
+                }
+                PreparedSampler::StateVector(s)
+            }
+            2 => {
+                let s = MeasurementSampler::decode_snapshot(sampler_bytes)?;
+                if s.num_qubits() != usize::from(num_qubits) {
+                    return None;
+                }
+                PreparedSampler::Tableau(s)
+            }
+            _ => return None,
+        };
+        Some(Self {
+            sampler,
+            mapping,
+            num_qubits,
+            record_width,
+            backend,
+            route: RunRoute { segments },
+            dd_stats,
+            representation_size,
+            build_strong_time,
+            build_precompute_time,
+        })
+    }
+
     /// Draws `shots` seed-deterministic samples.
     ///
     /// The RNG scheme matches the engine that built the artifact exactly —
@@ -315,6 +476,123 @@ impl SimArtifact {
     }
 }
 
+/// Number of `u64` words a [`DdStats`] serializes to.
+const DD_STATS_WORDS: usize = 23;
+
+/// Flattens a [`DdStats`] into a fixed-width word array (the snapshot
+/// encoding); [`dd_stats_from_words`] is the inverse.
+fn dd_stats_words(stats: &DdStats) -> [u64; DD_STATS_WORDS] {
+    let c = |counters: &dd::CacheCounters| [counters.hits, counters.misses, counters.evictions];
+    let [a0, a1, a2] = c(&stats.add_cache);
+    let [b0, b1, b2] = c(&stats.mv_cache);
+    let [d0, d1, d2] = c(&stats.madd_cache);
+    let [e0, e1, e2] = c(&stats.mm_cache);
+    let [f0, f1, f2] = c(&stats.operator_cache);
+    [
+        stats.vector_nodes as u64,
+        stats.matrix_nodes as u64,
+        stats.interned_values as u64,
+        stats.vector_unique_hits,
+        stats.vector_unique_misses,
+        stats.matrix_unique_hits,
+        stats.matrix_unique_misses,
+        a0,
+        a1,
+        a2,
+        b0,
+        b1,
+        b2,
+        d0,
+        d1,
+        d2,
+        e0,
+        e1,
+        e2,
+        f0,
+        f1,
+        f2,
+        stats.garbage_collections,
+    ]
+}
+
+/// Rebuilds a [`DdStats`] from its snapshot words; `None` when a `usize`
+/// field does not fit the loading target.
+fn dd_stats_from_words(words: &[u64; DD_STATS_WORDS]) -> Option<DdStats> {
+    let counters = |offset: usize| dd::CacheCounters {
+        hits: words[offset],
+        misses: words[offset + 1],
+        evictions: words[offset + 2],
+    };
+    Some(DdStats {
+        vector_nodes: usize::try_from(words[0]).ok()?,
+        matrix_nodes: usize::try_from(words[1]).ok()?,
+        interned_values: usize::try_from(words[2]).ok()?,
+        vector_unique_hits: words[3],
+        vector_unique_misses: words[4],
+        matrix_unique_hits: words[5],
+        matrix_unique_misses: words[6],
+        add_cache: counters(7),
+        mv_cache: counters(10),
+        madd_cache: counters(13),
+        mm_cache: counters(16),
+        operator_cache: counters(19),
+        garbage_collections: words[22],
+    })
+}
+
+/// A finite, non-negative duration decoded from `f64` bits; `None` rejects
+/// the NaN/negative/infinite values a corrupted payload could carry
+/// (`Duration::from_secs_f64` panics on those).
+fn duration_from_bits(bits: u64) -> Option<Duration> {
+    let seconds = f64::from_bits(bits);
+    if seconds.is_finite() && (0.0..1e18).contains(&seconds) {
+        Some(Duration::from_secs_f64(seconds))
+    } else {
+        None
+    }
+}
+
+/// A bounds-checked little-endian reader over a snapshot payload.
+struct SnapshotReader<'a>(&'a [u8]);
+
+impl<'a> SnapshotReader<'a> {
+    fn remaining(&self) -> usize {
+        self.0.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.0.len() < n {
+            return None;
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Some(head)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .and_then(|b| b.try_into().ok().map(u64::from_le_bytes))
+    }
+
+    fn u128(&mut self) -> Option<u128> {
+        self.take(16)
+            .and_then(|b| b.try_into().ok().map(u128::from_le_bytes))
+    }
+}
+
 /// Whether a cached run was served from the cache or had to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {
@@ -322,6 +600,12 @@ pub enum CacheOutcome {
     Hit,
     /// The artifact was built by this run and inserted for the next one.
     Miss,
+    /// The artifact was built by a *concurrent* request with the same
+    /// fingerprint: this request waited on the shared build slot and was
+    /// served the published artifact without building (or re-querying the
+    /// cache).  Only the [`ServiceBroker`](crate::service::ServiceBroker)
+    /// produces this outcome — plain cached runs report hits and misses.
+    Coalesced,
 }
 
 /// A counters-and-occupancy snapshot of an [`ArtifactCache`].
@@ -528,6 +812,90 @@ impl ArtifactCache {
         let mut inner = self.lock();
         inner.entries.clear();
         inner.bytes = 0;
+    }
+
+    /// Bumps the recency of `key` without counting a hit or a miss; returns
+    /// whether the entry is retained.
+    ///
+    /// This is the broker's serve-path hook: a request served from a shared
+    /// build slot (coalesced waiter) or re-checked under the broker lock
+    /// never calls [`get`](Self::get), yet the entry it was served from must
+    /// become the *most* recently used — otherwise an artifact serving heavy
+    /// concurrent traffic could still be the LRU eviction victim.
+    pub fn touch(&self, key: [u64; 2]) -> bool {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.iter_mut().find(|entry| entry.key == key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Like [`get`](Self::get), but without counting a hit or a miss — the
+    /// broker's double-check under its own lock, which must not inflate the
+    /// request-level counters.  Bumps recency on success.
+    pub(crate) fn peek(&self, key: [u64; 2]) -> Option<Arc<SimArtifact>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner
+            .entries
+            .iter_mut()
+            .find(|entry| entry.key == key)
+            .map(|entry| {
+                entry.last_used = tick;
+                Arc::clone(&entry.artifact)
+            })
+    }
+
+    /// Every retained entry in LRU order (least recently used first) —
+    /// the order a snapshot writes, so a budget-constrained load replays
+    /// insertions oldest-first and evicts the same victims the live cache
+    /// would have.
+    pub(crate) fn entries_lru_order(&self) -> Vec<([u64; 2], Arc<SimArtifact>)> {
+        let inner = self.lock();
+        let mut entries: Vec<_> = inner
+            .entries
+            .iter()
+            .map(|entry| (entry.last_used, entry.key, Arc::clone(&entry.artifact)))
+            .collect();
+        entries.sort_by_key(|&(last_used, _, _)| last_used);
+        entries
+            .into_iter()
+            .map(|(_, key, artifact)| (key, artifact))
+            .collect()
+    }
+
+    /// Inserts an already-shared artifact (the snapshot-load path), with the
+    /// same replace/evict/oversize semantics as [`insert`](Self::insert) but
+    /// without counting an insertion — restoring a snapshot is not request
+    /// traffic.
+    pub(crate) fn restore(&self, key: [u64; 2], artifact: Arc<SimArtifact>) {
+        let bytes = artifact.heap_bytes() as u64;
+        let mut inner = self.lock();
+        if let Some(existing) = inner.entries.iter().position(|entry| entry.key == key) {
+            let removed = inner.entries.swap_remove(existing);
+            inner.bytes -= removed.bytes;
+        }
+        if let Some(budget) = inner.byte_budget {
+            if bytes > budget {
+                return;
+            }
+            inner.evict_to_fit(bytes, budget);
+        }
+        inner.tick += 1;
+        let last_used = inner.tick;
+        inner.bytes += bytes;
+        inner.entries.push(CacheEntry {
+            key,
+            artifact,
+            bytes,
+            last_used,
+        });
     }
 
     /// Locks the store.  A poisoned mutex is recovered, not propagated: the

@@ -150,6 +150,14 @@ impl RunGovernor {
     }
 
     /// The configured timeout, if any.
+    ///
+    /// Besides bounding the armed run itself, this is the deadline the
+    /// service broker's admission control honours: a queued request whose
+    /// estimated wait for a construction slot would exceed this timeout is
+    /// shed immediately with
+    /// [`RunError::Overloaded`](crate::RunError::Overloaded) instead of
+    /// waiting only to time out mid-build (see
+    /// [`ServiceBroker`](crate::service::ServiceBroker)).
     #[must_use]
     pub fn timeout(&self) -> Option<Duration> {
         self.timeout

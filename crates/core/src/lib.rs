@@ -34,6 +34,12 @@
 //!   with a typed [`RunError`]; interrupted trajectory runs degrade
 //!   gracefully, returning the completed shots plus an
 //!   [`Interruption`] reason;
+//! * [`service`] — the multi-threaded request broker around an
+//!   [`ArtifactCache`]: [`ServiceBroker`] coalesces concurrent
+//!   same-fingerprint cold builds single-flight, applies admission control
+//!   (bounded in-flight constructions plus a deadline-aware queue; shed
+//!   requests surface [`RunError::Overloaded`]) and persists the cache as
+//!   a crash-safe, corruption-tolerant binary snapshot;
 //! * [`ShotHistogram`] — aggregated samples with bitstring formatting;
 //! * [`stats`] — chi-square goodness-of-fit and total-variation-distance
 //!   checks used to validate the "statistically indistinguishable" claim;
@@ -99,6 +105,7 @@ mod backend;
 pub mod experiment;
 pub mod govern;
 pub mod router;
+pub mod service;
 mod shots;
 mod simulator;
 pub mod stats;
@@ -108,6 +115,10 @@ pub use artifact::{ArtifactCache, CacheOutcome, CacheStats, PreparedSampler, Sim
 pub use dd::{CancelToken, DdError};
 pub use govern::{Interruption, RunGovernor};
 pub use router::{EngineKind, RouteSegment, RunRoute};
+pub use service::{
+    RetryPolicy, ServiceBroker, ServiceConfig, ServiceStats, SnapshotLoadReport,
+    SnapshotWriteReport,
+};
 pub use shots::ShotHistogram;
 pub use simulator::{Backend, RunError, RunOutcome, StrongState, WeakSimulator};
 pub use trajectory::{

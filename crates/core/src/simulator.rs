@@ -89,6 +89,20 @@ pub enum RunError {
     /// The run was cancelled through its
     /// [`CancelToken`](dd::CancelToken).
     Cancelled(DdError),
+    /// The service broker shed this request before admitting it to a cold
+    /// build: every construction slot was busy, and the bounded queue was
+    /// full or the estimated wait exceeded the request's deadline (see
+    /// [`crate::service::ServiceBroker`]).  Shedding happens *immediately* —
+    /// the request consumed no strong-simulation resources — so the client
+    /// can retry against another replica or back off.  Warm cache hits are
+    /// never shed.
+    Overloaded {
+        /// Requests already queued for a construction slot at shed time.
+        queue_depth: usize,
+        /// Estimated wait for a slot, from the broker's moving average of
+        /// recent build times.
+        estimated_wait: Duration,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -110,6 +124,15 @@ impl fmt::Display for RunError {
             RunError::DdMemoryOut(e) | RunError::Deadline(e) | RunError::Cancelled(e) => {
                 write!(f, "{e}")
             }
+            RunError::Overloaded {
+                queue_depth,
+                estimated_wait,
+            } => write!(
+                f,
+                "service overloaded: {queue_depth} request(s) queued for a construction slot, \
+                 estimated wait {:.3} s; request shed before admission",
+                estimated_wait.as_secs_f64()
+            ),
         }
     }
 }
@@ -628,45 +651,24 @@ impl WeakSimulator {
     ) -> Result<RunOutcome, RunError> {
         let key = self.request_fingerprint(circuit);
         if let Some(artifact) = cache.get(key) {
-            let sampling_start = Instant::now();
-            let histogram = artifact.sample(shots, seed);
-            let sampling_time = sampling_start.elapsed();
-            return Ok(RunOutcome {
-                backend: artifact.backend(),
-                representation_size: artifact.representation_size(),
-                dd_stats: artifact.dd_stats(),
-                histogram,
-                // A warm request pays nothing but the per-shot draw: the
-                // strong simulation and sampler preparation were amortized
-                // into the artifact by the miss that built it.
-                strong_time: Duration::ZERO,
-                precompute_time: Duration::ZERO,
-                sampling_time,
-                state: None,
-                interruption: None,
-                route: artifact.route().clone(),
-                cache: Some(CacheOutcome::Hit),
-            });
+            return Ok(outcome_from_artifact(
+                &artifact,
+                shots,
+                seed,
+                CacheOutcome::Hit,
+                None,
+            ));
         }
 
         let (artifact, state) = self.prepare_artifact(circuit)?;
         let artifact = cache.insert(key, artifact);
-        let sampling_start = Instant::now();
-        let histogram = artifact.sample(shots, seed);
-        let sampling_time = sampling_start.elapsed();
-        Ok(RunOutcome {
-            backend: artifact.backend(),
-            representation_size: artifact.representation_size(),
-            dd_stats: artifact.dd_stats(),
-            histogram,
-            strong_time: artifact.build_strong_time(),
-            precompute_time: artifact.build_precompute_time(),
-            sampling_time,
+        Ok(outcome_from_artifact(
+            &artifact,
+            shots,
+            seed,
+            CacheOutcome::Miss,
             state,
-            interruption: None,
-            route: artifact.route().clone(),
-            cache: Some(CacheOutcome::Miss),
-        })
+        ))
     }
 
     /// Builds the [`SimArtifact`] for a validated, noise-free, static
@@ -677,7 +679,7 @@ impl WeakSimulator {
     ///
     /// Also returns the [`StrongState`] when the dense path built one, so a
     /// cache miss can still expose [`RunOutcome::strong`].
-    fn prepare_artifact(
+    pub(crate) fn prepare_artifact(
         &self,
         circuit: &Circuit,
     ) -> Result<(SimArtifact, Option<StrongState>), RunError> {
@@ -858,6 +860,46 @@ impl WeakSimulator {
             .backend()
             .engine()
             .sample_with_record(state, shots, seed, record)
+    }
+}
+
+/// Builds the [`RunOutcome`] for a request served from a prepared artifact,
+/// shared by the in-simulator cache path and the service broker.  Builder
+/// outcomes ([`CacheOutcome::Miss`]) report the artifact's build times (and
+/// carry the strong state when the dense path produced one); hit and
+/// coalesced outcomes paid only the per-shot draw.
+pub(crate) fn outcome_from_artifact(
+    artifact: &SimArtifact,
+    shots: u64,
+    seed: u64,
+    cache: CacheOutcome,
+    state: Option<StrongState>,
+) -> RunOutcome {
+    let sampling_start = Instant::now();
+    let histogram = artifact.sample(shots, seed);
+    let sampling_time = sampling_start.elapsed();
+    let (strong_time, precompute_time) = match cache {
+        CacheOutcome::Miss => (
+            artifact.build_strong_time(),
+            artifact.build_precompute_time(),
+        ),
+        // A warm or coalesced request pays nothing but the per-shot draw:
+        // strong simulation and sampler preparation were amortized into the
+        // artifact by the build that published it.
+        CacheOutcome::Hit | CacheOutcome::Coalesced => (Duration::ZERO, Duration::ZERO),
+    };
+    RunOutcome {
+        backend: artifact.backend(),
+        representation_size: artifact.representation_size(),
+        dd_stats: artifact.dd_stats(),
+        histogram,
+        strong_time,
+        precompute_time,
+        sampling_time,
+        state,
+        interruption: None,
+        route: artifact.route().clone(),
+        cache: Some(cache),
     }
 }
 

@@ -344,6 +344,116 @@ impl CompiledSampler {
             *slot = self.sample(&mut rng);
         }
     }
+
+    /// Serializes the arena into `out` as little-endian plain data, the
+    /// payload format of the `weaksim` artifact-cache snapshot.  Everything
+    /// a [`decode_snapshot`](Self::decode_snapshot) on another process needs
+    /// to reproduce bit-identical samples: `num_qubits`, the root index and
+    /// each node's `(p_zero bits, children, one_bit)` record in arena order.
+    pub fn encode_snapshot(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.num_qubits.to_le_bytes());
+        out.extend_from_slice(&self.root.to_le_bytes());
+        out.extend_from_slice(&(self.nodes.len() as u64).to_le_bytes());
+        for node in &self.nodes {
+            out.extend_from_slice(&node.p_zero.to_bits().to_le_bytes());
+            out.extend_from_slice(&node.children[0].to_le_bytes());
+            out.extend_from_slice(&node.children[1].to_le_bytes());
+            out.extend_from_slice(&node.one_bit.to_le_bytes());
+        }
+    }
+
+    /// Reconstructs a sampler from [`encode_snapshot`](Self::encode_snapshot)
+    /// bytes, validating every structural invariant a traversal relies on —
+    /// in-range child and root indices, probabilities in `[0, 1]`,
+    /// single-bit `one_bit` masks below the register width, and strictly
+    /// level-descending edges (which rules out traversal cycles).  Returns
+    /// `None` for any truncated, oversized or inconsistent payload: a
+    /// corrupted snapshot section must never panic (or loop) a loader.
+    #[must_use]
+    pub fn decode_snapshot(bytes: &[u8]) -> Option<Self> {
+        let mut cursor = Cursor::new(bytes);
+        let num_qubits = cursor.u16()?;
+        let root = cursor.u32()?;
+        let node_count = usize::try_from(cursor.u64()?).ok()?;
+        if num_qubits > 64 || cursor.remaining() != node_count.checked_mul(24)? {
+            return None;
+        }
+        let in_range = |child: u32| child == TERMINAL || (child as usize) < node_count;
+        if !in_range(root) {
+            return None;
+        }
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let p_zero = f64::from_bits(cursor.u64()?);
+            let children = [cursor.u32()?, cursor.u32()?];
+            let one_bit = cursor.u64()?;
+            if !(0.0..=1.0).contains(&p_zero)
+                || !children.into_iter().all(in_range)
+                || one_bit.count_ones() != 1
+                || one_bit.trailing_zeros() >= u32::from(num_qubits)
+            {
+                return None;
+            }
+            nodes.push(CompiledNode {
+                p_zero,
+                children,
+                one_bit,
+            });
+        }
+        // Every edge must descend strictly in variable level: genuine
+        // compiled arenas always do, and it guarantees the sampling walk
+        // terminates even if a corrupted payload slipped past the checksum.
+        let descending = nodes.iter().all(|node| {
+            node.children
+                .into_iter()
+                .filter(|&child| child != TERMINAL)
+                .all(|child| nodes[child as usize].one_bit < node.one_bit)
+        });
+        if !descending {
+            return None;
+        }
+        Some(Self {
+            nodes,
+            root,
+            num_qubits,
+        })
+    }
+}
+
+/// A bounds-checked little-endian reader over a snapshot payload.
+struct Cursor<'a>(&'a [u8]);
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self(bytes)
+    }
+
+    fn remaining(&self) -> usize {
+        self.0.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.0.len() < n {
+            return None;
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Some(head)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .and_then(|b| b.try_into().ok().map(u64::from_le_bytes))
+    }
 }
 
 /// Computes downstream probabilities for every discovered node into a dense
@@ -613,6 +723,46 @@ mod tests {
         let second = sampler.sample_batch_parallel(7, 2, 3 * PARALLEL_CHUNK_SHOTS + 123, 2);
         let stitched: Vec<u64> = first.into_iter().chain(second).collect();
         assert_eq!(reference, stitched);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let mut p = DdPackage::new();
+        let s = paper_example(&mut p);
+        let sampler = CompiledSampler::new(&p, &s).unwrap();
+        let mut bytes = Vec::new();
+        sampler.encode_snapshot(&mut bytes);
+        let decoded = CompiledSampler::decode_snapshot(&bytes).expect("round trip");
+        assert_eq!(decoded.num_qubits(), sampler.num_qubits());
+        assert_eq!(decoded.node_count(), sampler.node_count());
+        assert_eq!(
+            sampler.sample_many_parallel(77, 4096),
+            decoded.sample_many_parallel(77, 4096),
+            "decoded sampler must reproduce bit-identical samples"
+        );
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_corruption_without_panicking() {
+        let mut p = DdPackage::new();
+        let s = paper_example(&mut p);
+        let sampler = CompiledSampler::new(&p, &s).unwrap();
+        let mut bytes = Vec::new();
+        sampler.encode_snapshot(&mut bytes);
+
+        // Truncation at every prefix length must fail cleanly.
+        for len in 0..bytes.len() {
+            assert!(CompiledSampler::decode_snapshot(&bytes[..len]).is_none());
+        }
+        // An out-of-range child index must be rejected.
+        let mut oob = bytes.clone();
+        let first_child = 2 + 4 + 8 + 8; // header + p_zero of node 0
+        oob[first_child..first_child + 4].copy_from_slice(&u32::MAX.wrapping_sub(1).to_le_bytes());
+        assert!(CompiledSampler::decode_snapshot(&oob).is_none());
+        // A probability outside [0, 1] must be rejected.
+        let mut bad_p = bytes.clone();
+        bad_p[14..22].copy_from_slice(&2.5f64.to_bits().to_le_bytes());
+        assert!(CompiledSampler::decode_snapshot(&bad_p).is_none());
     }
 
     #[test]

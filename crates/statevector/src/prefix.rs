@@ -124,6 +124,49 @@ impl PrefixSampler {
         // Guard against p_hat == total mass (can only happen through rounding).
         idx.min(self.prefix.len() - 1) as u64
     }
+
+    /// Serializes the prefix-sum array into `out` as little-endian plain
+    /// data — the payload format of the `weaksim` artifact-cache snapshot.
+    pub fn encode_snapshot(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.num_qubits.to_le_bytes());
+        out.extend_from_slice(&(self.prefix.len() as u64).to_le_bytes());
+        for &value in &self.prefix {
+            out.extend_from_slice(&value.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Reconstructs a sampler from [`encode_snapshot`](Self::encode_snapshot)
+    /// bytes, validating everything [`locate`](Self::locate) relies on: the
+    /// array has exactly `2^n` entries, every entry is finite and
+    /// non-negative, and the sequence is monotonically non-decreasing.
+    /// Returns `None` for any truncated or inconsistent payload — a
+    /// corrupted snapshot section must never panic a loader.
+    #[must_use]
+    pub fn decode_snapshot(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 10 {
+            return None;
+        }
+        let (header, body) = bytes.split_at(10);
+        let num_qubits = u16::from_le_bytes([header[0], header[1]]);
+        let len = usize::try_from(u64::from_le_bytes(header[2..10].try_into().ok()?)).ok()?;
+        if num_qubits >= 48
+            || len != 1usize.checked_shl(u32::from(num_qubits))?
+            || body.len() != len.checked_mul(8)?
+        {
+            return None;
+        }
+        let mut prefix = Vec::with_capacity(len);
+        let mut previous = 0.0f64;
+        for chunk in body.chunks_exact(8) {
+            let value = f64::from_bits(u64::from_le_bytes(chunk.try_into().ok()?));
+            if !value.is_finite() || value < previous {
+                return None;
+            }
+            prefix.push(value);
+            previous = value;
+        }
+        Some(Self { prefix, num_qubits })
+    }
 }
 
 #[cfg(test)]
@@ -230,5 +273,39 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn from_probabilities_requires_power_of_two() {
         let _ = PrefixSampler::from_probabilities(&[0.5, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let sampler = PrefixSampler::new(&paper_example_state());
+        let mut bytes = Vec::new();
+        sampler.encode_snapshot(&mut bytes);
+        let decoded = PrefixSampler::decode_snapshot(&bytes).expect("round trip");
+        assert_eq!(decoded.num_qubits(), sampler.num_qubits());
+        assert_eq!(decoded.prefix_sums(), sampler.prefix_sums());
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(
+            sampler.sample_many(&mut a, 4096),
+            decoded.sample_many(&mut b, 4096)
+        );
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_corruption_without_panicking() {
+        let sampler = PrefixSampler::new(&paper_example_state());
+        let mut bytes = Vec::new();
+        sampler.encode_snapshot(&mut bytes);
+        for len in 0..bytes.len() {
+            assert!(PrefixSampler::decode_snapshot(&bytes[..len]).is_none());
+        }
+        // Breaking monotonicity must be rejected.
+        let mut bad = bytes.clone();
+        bad[10..18].copy_from_slice(&5.0f64.to_bits().to_le_bytes());
+        assert!(PrefixSampler::decode_snapshot(&bad).is_none());
+        // A NaN entry must be rejected.
+        let mut nan = bytes;
+        nan[10..18].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(PrefixSampler::decode_snapshot(&nan).is_none());
     }
 }

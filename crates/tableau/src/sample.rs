@@ -157,6 +157,63 @@ impl MeasurementSampler {
         self.sample_into(&mut out, rng);
         out[0]
     }
+
+    /// Serializes the reference element and basis rows into `out` as
+    /// little-endian plain data — the payload format of the `weaksim`
+    /// artifact-cache snapshot.
+    pub fn encode_snapshot(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.num_qubits as u64).to_le_bytes());
+        out.extend_from_slice(&(self.basis.len() as u64).to_le_bytes());
+        for word in &self.reference {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        for row in &self.basis {
+            for word in row {
+                out.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+    }
+
+    /// Reconstructs a sampler from [`encode_snapshot`](Self::encode_snapshot)
+    /// bytes, validating the packed-width invariants the draw loop relies on
+    /// (at least one reference word, a basis of at most `num_qubits` rows,
+    /// and an exact payload length).  Returns `None` for any truncated or
+    /// inconsistent payload — a corrupted snapshot section must never panic
+    /// a loader.
+    #[must_use]
+    pub fn decode_snapshot(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 16 {
+            return None;
+        }
+        let num_qubits = usize::try_from(u64::from_le_bytes(bytes[..8].try_into().ok()?)).ok()?;
+        let rows = usize::try_from(u64::from_le_bytes(bytes[8..16].try_into().ok()?)).ok()?;
+        if num_qubits == 0 || rows > num_qubits {
+            return None;
+        }
+        let words = num_qubits.div_ceil(64);
+        let expected = rows.checked_add(1)?.checked_mul(words)?.checked_mul(8)?;
+        if bytes.len() - 16 != expected {
+            return None;
+        }
+        let mut read_words = bytes[16..]
+            .chunks_exact(8)
+            .map(|chunk| chunk.try_into().map(u64::from_le_bytes));
+        let mut next_row = |count: usize| -> Option<Vec<u64>> {
+            (0..count)
+                .map(|_| read_words.next()?.ok())
+                .collect::<Option<Vec<u64>>>()
+        };
+        let reference = next_row(words)?;
+        let basis = (0..rows)
+            .map(|_| next_row(words))
+            .collect::<Option<Vec<_>>>()?;
+        Some(Self {
+            num_qubits,
+            words,
+            reference,
+            basis,
+        })
+    }
 }
 
 fn first_set_bit(words: &[u64]) -> Option<usize> {
@@ -260,6 +317,45 @@ mod tests {
         }
         // Support: q0 fixed to 1, (q1, q2) correlated => outcomes 0b001, 0b111.
         assert_eq!(fast[0b001] + fast[0b111], shots);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let mut tab = Tableau::zero_state(70); // two packed words
+        tab.h(0);
+        for q in 1..70 {
+            tab.cx(q - 1, q);
+        }
+        tab.x(69);
+        let sampler = tab.measurement_sampler();
+        let mut bytes = Vec::new();
+        sampler.encode_snapshot(&mut bytes);
+        let decoded = MeasurementSampler::decode_snapshot(&bytes).expect("round trip");
+        assert_eq!(decoded.num_qubits(), sampler.num_qubits());
+        assert_eq!(decoded.support_dimension(), sampler.support_dimension());
+        let mut a = SmallRng::seed_from_u64(6);
+        let mut b = SmallRng::seed_from_u64(6);
+        for _ in 0..200 {
+            assert_eq!(sampler.sample_words(&mut a), decoded.sample_words(&mut b));
+        }
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_corruption_without_panicking() {
+        let mut tab = Tableau::zero_state(5);
+        tab.h(0);
+        tab.cx(0, 1);
+        let sampler = tab.measurement_sampler();
+        let mut bytes = Vec::new();
+        sampler.encode_snapshot(&mut bytes);
+        assert!(MeasurementSampler::decode_snapshot(&bytes).is_some());
+        for len in 0..bytes.len() {
+            assert!(MeasurementSampler::decode_snapshot(&bytes[..len]).is_none());
+        }
+        // A basis larger than the register is structurally impossible.
+        let mut bad_rows = bytes;
+        bad_rows[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(MeasurementSampler::decode_snapshot(&bad_rows).is_none());
     }
 
     #[test]

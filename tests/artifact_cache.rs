@@ -185,6 +185,65 @@ fn byte_budget_evicts_lru_and_rebuilds_transparently() {
 }
 
 #[test]
+fn touch_on_hit_keeps_broker_served_entries_off_the_eviction_block() {
+    // Regression for the serve-path LRU ordering: a broker-served entry
+    // never goes through `ArtifactCache::get` (coalesced waiters take the
+    // artifact from the build slot), so recency must be bumped via
+    // `ArtifactCache::touch` — without it, an entry that just served a
+    // burst of concurrent traffic is still ranked by its *insertion* time
+    // and becomes the eviction victim at the next insert.
+    //
+    // Three near-identical circuits (same structure, different angles) give
+    // three same-sized artifacts; a budget sized to hold exactly two forces
+    // every insert past the second to evict.
+    let variant = |theta: f64| {
+        let mut c = Circuit::new(9);
+        for q in 0..9 {
+            c.h(Qubit(q));
+        }
+        for q in 0..8 {
+            c.cx(Qubit(q), Qubit(q + 1));
+        }
+        c.gate(OneQubitGate::Rz(Angle::Radians(theta)), Qubit(4));
+        c
+    };
+    let (a, b, c) = (variant(0.25), variant(0.5), variant(0.75));
+
+    let probe = ArtifactCache::unbounded();
+    let mut sizing = WeakSimulator::new(Backend::DecisionDiagram).with_cache(&probe);
+    sizing.run(&a, 100, 1).unwrap();
+    sizing.run(&b, 100, 1).unwrap();
+    let two = probe.stats().bytes;
+    assert_eq!(probe.stats().entries, 2);
+
+    let cache = ArtifactCache::governed(&RunGovernor::unlimited().with_byte_budget(two));
+    let mut sim = WeakSimulator::new(Backend::DecisionDiagram).with_cache(&cache);
+    let sim_ro = WeakSimulator::new(Backend::DecisionDiagram);
+    let (key_a, key_b) = (
+        sim_ro.request_fingerprint(&a),
+        sim_ro.request_fingerprint(&b),
+    );
+
+    // Insert a then b, then interleave a broker-style slot-serve of `a`
+    // (touch, not get) before inserting c at the full budget.
+    sim.run(&a, 100, 1).unwrap();
+    sim.run(&b, 100, 1).unwrap();
+    assert!(cache.touch(key_a), "a is resident and must be touchable");
+    sim.run(&c, 100, 1).unwrap();
+
+    // The victim must be b — the true least-recently-*used* entry — not a.
+    assert!(
+        cache.get(key_a).is_some(),
+        "touched entry a must survive the eviction"
+    );
+    assert!(
+        cache.get(key_b).is_none(),
+        "untouched entry b must be the eviction victim"
+    );
+    assert!(!cache.touch(key_b), "touching an evicted key reports false");
+}
+
+#[test]
 fn noisy_and_dynamic_requests_bypass_the_cache() {
     let cache = ArtifactCache::unbounded();
 

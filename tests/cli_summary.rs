@@ -101,6 +101,119 @@ fn unreadable_path_mid_stream_keeps_serving_too() {
 }
 
 #[test]
+fn broken_stdout_pipe_still_reports_the_summary_and_exits_nonzero() {
+    let good = fixture("good-pipe.qasm", GOOD_QASM);
+    let good_path = good.to_str().expect("utf-8 path");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_weaksim-cli"))
+        .args(["--shots", "200"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn weaksim-cli");
+    // Close the read end of the CLI's stdout before it serves anything:
+    // its first report write hits a broken pipe.
+    drop(child.stdout.take());
+    child
+        .stdin
+        .take()
+        .expect("stdin handle")
+        .write_all(format!("{good_path}\n{good_path}\n").as_bytes())
+        .expect("feed stdin");
+    let output = child.wait_with_output().expect("wait for weaksim-cli");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+
+    assert!(
+        !output.status.success(),
+        "a broken stdout must fail the session exit code"
+    );
+    // No panic: the loop kept serving, and the end-of-session summary was
+    // rerouted to stderr instead of being swallowed.
+    assert!(
+        stderr.contains("cache:"),
+        "summary must survive the broken pipe on stderr, got:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("stdout"),
+        "the broken pipe itself should be reported, got:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "broken pipe must never panic, got:\n{stderr}"
+    );
+}
+
+#[test]
+fn snapshot_round_trip_serves_the_second_session_warm() {
+    let good = fixture("good-snap.qasm", GOOD_QASM);
+    let good_path = good.to_str().expect("utf-8 path");
+    let snap = fixture("cache.snap", ""); // unique path; content replaced below
+    std::fs::remove_file(&snap).ok();
+    let snap_path = snap.to_str().expect("utf-8 path");
+
+    // Session 1: cold build, snapshot written at (clean) shutdown.
+    let (stdout1, stderr1, ok1) = serve(&["--snapshot", snap_path], &[good_path]);
+    assert!(ok1, "first session failed:\n{stderr1}");
+    assert!(stdout1.contains("cache miss"), "stdout:\n{stdout1}");
+    assert!(
+        stderr1.contains("snapshot: wrote 1 artifact"),
+        "stderr:\n{stderr1}"
+    );
+    assert!(snap.exists(), "snapshot file must exist after shutdown");
+
+    // Session 2: the same request is served warm from the restored cache —
+    // same seed, so the reported top outcomes match the cold run exactly.
+    let (stdout2, stderr2, ok2) = serve(&["--snapshot", snap_path], &[good_path]);
+    assert!(ok2, "second session failed:\n{stderr2}");
+    assert!(
+        stderr2.contains("restored 1 artifact"),
+        "stderr:\n{stderr2}"
+    );
+    assert!(stdout2.contains("cache hit"), "stdout:\n{stdout2}");
+    assert!(stdout2.contains("1 hits / 0 misses"), "stdout:\n{stdout2}");
+    let outcomes = |out: &str| {
+        out.lines()
+            .filter(|line| line.contains("top outcomes"))
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        outcomes(&stdout1),
+        outcomes(&stdout2),
+        "snapshot restore changed the served histogram"
+    );
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn serve_threads_coalesce_identical_requests_into_one_build() {
+    let good = fixture("good-threads.qasm", GOOD_QASM);
+    let good_path = good.to_str().expect("utf-8 path");
+    let requests = [good_path; 6];
+
+    let (stdout, stderr, ok) = serve(&["--serve-threads", "4"], &requests);
+    assert!(ok, "threaded session failed:\n{stderr}");
+
+    // All six requests were served, every one with the identical histogram,
+    // and the broker built the artifact exactly once — the rest were warm
+    // hits or coalesced onto the single in-flight build.
+    let outcomes: Vec<&str> = stdout
+        .lines()
+        .filter(|line| line.contains("top outcomes"))
+        .collect();
+    assert_eq!(outcomes.len(), 6, "stdout:\n{stdout}");
+    assert!(
+        outcomes.iter().all(|line| *line == outcomes[0]),
+        "threaded serves diverged:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("service: 1 builds"),
+        "single-flight must build exactly once, got:\n{stdout}"
+    );
+}
+
+#[test]
 fn construction_threads_flag_serves_the_identical_histogram() {
     let good = fixture("good3.qasm", GOOD_QASM);
     let good_path = good.to_str().expect("utf-8 path");
